@@ -1,0 +1,84 @@
+//! Criterion bench for ablation A1: append cost and proof-build cost per
+//! hash-pointer strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdp_capsule::{
+    CapsuleWriter, DataCapsule, MembershipProof, MetadataBuilder, PointerStrategy,
+};
+use gdp_crypto::SigningKey;
+
+fn setup(strategy: &PointerStrategy, n: u64) -> DataCapsule {
+    let owner = SigningKey::from_seed(&[1u8; 32]);
+    let wk = SigningKey::from_seed(&[2u8; 32]);
+    let meta = MetadataBuilder::new()
+        .writer(&wk.verifying_key())
+        .set_str("description", "bench")
+        .sign(&owner);
+    let mut capsule = DataCapsule::new(meta.clone()).unwrap();
+    let mut writer = CapsuleWriter::new(&meta, wk, strategy.clone()).unwrap();
+    for i in 0..n {
+        capsule.ingest(writer.append(&i.to_be_bytes(), i).unwrap()).unwrap();
+    }
+    capsule
+}
+
+fn strategies() -> Vec<(&'static str, PointerStrategy)> {
+    vec![
+        ("chain", PointerStrategy::Chain),
+        ("skiplist", PointerStrategy::SkipList),
+        ("checkpoint64", PointerStrategy::Checkpoint { interval: 64 }),
+    ]
+}
+
+fn append_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashptr/append");
+    for (label, strategy) in strategies() {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let owner = SigningKey::from_seed(&[1u8; 32]);
+            let wk = SigningKey::from_seed(&[2u8; 32]);
+            let meta = MetadataBuilder::new()
+                .writer(&wk.verifying_key())
+                .set_str("description", "bench")
+                .sign(&owner);
+            let mut writer = CapsuleWriter::new(&meta, wk, strategy.clone()).unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                writer.append(&i.to_be_bytes(), i).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn proof_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashptr/proof_build_n1024");
+    group.sample_size(20);
+    for (label, strategy) in strategies() {
+        let capsule = setup(&strategy, 1024);
+        let hb = capsule.head_heartbeat().unwrap().unwrap();
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| MembershipProof::build(&capsule, &hb, 1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn proof_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashptr/proof_verify_n1024");
+    group.sample_size(20);
+    for (label, strategy) in strategies() {
+        let capsule = setup(&strategy, 1024);
+        let hb = capsule.head_heartbeat().unwrap().unwrap();
+        let proof = MembershipProof::build(&capsule, &hb, 1).unwrap();
+        let name = capsule.name();
+        let wk = *capsule.writer_key();
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| proof.verify(&name, &wk).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, append_cost, proof_build, proof_verify);
+criterion_main!(benches);

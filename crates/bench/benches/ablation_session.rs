@@ -1,0 +1,68 @@
+//! Criterion bench for ablation A3: per-response authentication cost —
+//! Ed25519 signature vs flow-key HMAC (paper §V "Secure Responses"), plus
+//! the underlying primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gdp_crypto::{aead, hmac, sha2, SigningKey};
+use gdp_server::proto::{mac_response, response_transcript, sign_response};
+use gdp_wire::Name;
+
+fn response_auth(c: &mut Criterion) {
+    let key = SigningKey::from_seed(&[3u8; 32]);
+    let capsule = Name::from_content(b"bench");
+    let body = vec![0u8; 1024];
+    let mut group = c.benchmark_group("session/response_auth_1KiB");
+
+    group.bench_function("sign", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            sign_response(&key, &capsule, i, &body)
+        });
+    });
+    let sig = sign_response(&key, &capsule, 0, &body);
+    let vk = key.verifying_key();
+    group.bench_function("verify", |b| {
+        b.iter(|| {
+            let t = response_transcript(&capsule, 0, &body);
+            assert!(vk.verify(&t, &sig));
+        });
+    });
+    group.bench_function("hmac", |b| {
+        let flow = [9u8; 32];
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            mac_response(&flow, &capsule, i, &body)
+        });
+    });
+    group.finish();
+}
+
+fn primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto/primitives");
+    let data = vec![0u8; 4096];
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("sha256_4KiB", |b| b.iter(|| sha2::sha256(&data)));
+    group.bench_function("hmac_sha256_4KiB", |b| {
+        b.iter(|| hmac::hmac_sha256(b"key", &data))
+    });
+    group.bench_function("chacha20poly1305_seal_4KiB", |b| {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        b.iter(|| aead::seal(&key, &nonce, b"", &data));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("crypto/ed25519");
+    let key = SigningKey::from_seed(&[4u8; 32]);
+    group.bench_function("sign_64B", |b| b.iter(|| key.sign(b"0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")));
+    let msg = b"hello";
+    let sig = key.sign(msg);
+    let vk = key.verifying_key();
+    group.bench_function("verify", |b| b.iter(|| assert!(vk.verify(msg, &sig))));
+    group.finish();
+}
+
+criterion_group!(benches, response_auth, primitives);
+criterion_main!(benches);

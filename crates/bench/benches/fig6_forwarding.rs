@@ -1,0 +1,44 @@
+//! Criterion bench for Fig 6: real (wall-clock) router forwarding cost per
+//! PDU size, plus the simulated 32×32 steady-state rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gdp_cert::{PrincipalId, PrincipalKind};
+use gdp_router::{attach_directly, Attacher, Router};
+use gdp_wire::{Name, Pdu};
+
+fn forwarding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6/forward_pdu");
+    for size in [64usize, 256, 1024, 4096, 10240, 16384] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut router = Router::from_seed(&[61u8; 32], "bench router");
+            let recv = PrincipalId::from_seed(PrincipalKind::Client, &[62u8; 32], "sink");
+            let recv_name = recv.name();
+            let mut attacher = Attacher::new(recv, router.name(), vec![], 1 << 50);
+            attach_directly(&mut router, 7, &mut attacher, 0).expect("attach");
+            let template = Pdu::data(Name::ZERO, recv_name, 0, vec![0u8; size]);
+            b.iter(|| {
+                let out = router.handle_pdu(1, 3, template.clone());
+                assert_eq!(out.len(), 1);
+                out
+            });
+        });
+    }
+    group.finish();
+}
+
+fn simulated_steady_state(c: &mut Criterion) {
+    // Wall-clock cost of simulating the full 32×32 experiment (meta-bench:
+    // how fast the simulator itself runs Fig 6).
+    let mut group = c.benchmark_group("fig6/simulate_32x32");
+    group.sample_size(10);
+    for size in [64usize, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| gdp_bench::fig6::simulated(size, 20));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, forwarding, simulated_steady_state);
+criterion_main!(benches);

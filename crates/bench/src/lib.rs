@@ -1,0 +1,13 @@
+//! # gdp-bench
+//!
+//! Benchmark harness reproducing the paper's evaluation artifacts. The
+//! `report` binary regenerates each figure/table as a text series (see
+//! DESIGN.md, "Per-experiment index"); Criterion benches in `benches/`
+//! measure the real CPU-bound costs.
+
+pub mod ablations;
+pub mod fig6;
+pub mod fig8;
+pub mod table;
+
+pub use table::Table;

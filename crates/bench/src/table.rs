@@ -1,0 +1,96 @@
+//! Minimal aligned-text table printer for benchmark reports.
+
+/// A simple column-aligned table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Adds a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats seconds with 2 decimals.
+pub fn secs(micros: u64) -> String {
+    format!("{:.2}", micros as f64 / 1e6)
+}
+
+/// Formats a rate with thousands separators-ish precision.
+pub fn rate(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".to_string(), "1".to_string()]);
+        t.row(&["longer".to_string(), "22".to_string()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(secs(1_500_000), "1.50");
+        assert_eq!(rate(120_000.0), "120.0k");
+        assert_eq!(rate(1_200_000_000.0), "1.20G");
+    }
+}

@@ -1,0 +1,328 @@
+//! Multi-writer support via a Paxos-backed commit service.
+//!
+//! Paper §V-A: "Multiple writers can be accommodated ... by using a
+//! distributed commit service \\[Paxos\\] that accepts updates from multiple
+//! writers, serializes them, and appends them to a DataCapsule ... such a
+//! distributed commit service is the single writer, and represents a
+//! separation of write decisions from durability responsibilities."
+//!
+//! This module implements single-decree Paxos per log slot (prepare /
+//! promise / accept), and a [`CommitService`] that owns the capsule's
+//! writer key: client submissions are serialized by Paxos agreement among
+//! acceptors, then the chosen value of each slot is appended in order.
+
+use crate::backend::{CaapiError, CapsuleAccess};
+use gdp_wire::{DecodeError, Decoder, Encoder, Name, Wire};
+use std::collections::HashMap;
+
+/// A Paxos ballot: (round, proposer id), ordered lexicographically.
+pub type Ballot = (u64, u64);
+
+/// A submission from one of the multiple writers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Submission {
+    /// Identifies the submitting writer (application-level).
+    pub writer_id: u64,
+    /// Opaque operation bytes.
+    pub op: Vec<u8>,
+}
+
+impl Wire for Submission {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.varint(self.writer_id);
+        enc.bytes(&self.op);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Submission { writer_id: dec.varint()?, op: dec.bytes()?.to_vec() })
+    }
+}
+
+/// Acceptor response to a prepare.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Promise {
+    /// Whether the prepare was accepted (ballot high enough).
+    pub ok: bool,
+    /// The highest-ballot value already accepted for the slot, if any.
+    pub accepted: Option<(Ballot, Vec<u8>)>,
+}
+
+/// One Paxos acceptor. Persistent in spirit; in-memory here (a real
+/// deployment would back `promised`/`accepted` with a DataCapsule).
+#[derive(Clone, Debug, Default)]
+pub struct Acceptor {
+    promised: HashMap<u64, Ballot>,
+    accepted: HashMap<u64, (Ballot, Vec<u8>)>,
+    /// Simulated crash: a down acceptor ignores all messages.
+    pub down: bool,
+}
+
+impl Acceptor {
+    /// Creates a fresh acceptor.
+    pub fn new() -> Acceptor {
+        Acceptor::default()
+    }
+
+    /// Phase 1: prepare(slot, ballot).
+    pub fn prepare(&mut self, slot: u64, ballot: Ballot) -> Option<Promise> {
+        if self.down {
+            return None;
+        }
+        let promised = self.promised.entry(slot).or_insert((0, 0));
+        if ballot >= *promised {
+            *promised = ballot;
+            Some(Promise { ok: true, accepted: self.accepted.get(&slot).cloned() })
+        } else {
+            Some(Promise { ok: false, accepted: None })
+        }
+    }
+
+    /// Phase 2: accept(slot, ballot, value). Returns true when accepted.
+    pub fn accept(&mut self, slot: u64, ballot: Ballot, value: &[u8]) -> Option<bool> {
+        if self.down {
+            return None;
+        }
+        let promised = self.promised.entry(slot).or_insert((0, 0));
+        if ballot >= *promised {
+            *promised = ballot;
+            self.accepted.insert(slot, (ballot, value.to_vec()));
+            Some(true)
+        } else {
+            Some(false)
+        }
+    }
+
+    /// The accepted value for a slot (test introspection).
+    pub fn accepted_value(&self, slot: u64) -> Option<&[u8]> {
+        self.accepted.get(&slot).map(|(_, v)| v.as_slice())
+    }
+}
+
+/// A Paxos proposer.
+#[derive(Clone, Debug)]
+pub struct Proposer {
+    /// Unique proposer id (ballot tiebreaker).
+    pub id: u64,
+    round: u64,
+}
+
+/// Proposal errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PaxosError {
+    /// Fewer than a majority of acceptors responded.
+    NoQuorum,
+    /// Lost the ballot race too many times.
+    Contention,
+}
+
+impl Proposer {
+    /// Creates a proposer.
+    pub fn new(id: u64) -> Proposer {
+        Proposer { id, round: 0 }
+    }
+
+    /// Runs Paxos for `slot`, proposing `value`. Returns the *chosen*
+    /// value — which may be a previously accepted value from a competing
+    /// proposer (the classic safety rule).
+    pub fn propose(
+        &mut self,
+        acceptors: &mut [Acceptor],
+        slot: u64,
+        value: &[u8],
+    ) -> Result<Vec<u8>, PaxosError> {
+        let majority = acceptors.len() / 2 + 1;
+        for _attempt in 0..16 {
+            self.round += 1;
+            let ballot: Ballot = (self.round, self.id);
+            // Phase 1.
+            let mut promises = Vec::new();
+            for a in acceptors.iter_mut() {
+                if let Some(p) = a.prepare(slot, ballot) {
+                    promises.push(p);
+                }
+            }
+            if promises.len() < majority {
+                return Err(PaxosError::NoQuorum);
+            }
+            let granted = promises.iter().filter(|p| p.ok).count();
+            if granted < majority {
+                // Someone holds a higher ballot; bump round and retry.
+                continue;
+            }
+            // Safety: adopt the highest-ballot already-accepted value.
+            let adopted: Vec<u8> = promises
+                .iter()
+                .filter_map(|p| p.accepted.as_ref())
+                .max_by_key(|(b, _)| *b)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| value.to_vec());
+            // Phase 2.
+            let mut acks = 0usize;
+            let mut responded = 0usize;
+            for a in acceptors.iter_mut() {
+                match a.accept(slot, ballot, &adopted) {
+                    Some(true) => {
+                        acks += 1;
+                        responded += 1;
+                    }
+                    Some(false) => responded += 1,
+                    None => {}
+                }
+            }
+            if responded < majority {
+                return Err(PaxosError::NoQuorum);
+            }
+            if acks >= majority {
+                return Ok(adopted);
+            }
+        }
+        Err(PaxosError::Contention)
+    }
+}
+
+/// The commit service: the capsule's single writer, fed by many
+/// application writers through Paxos-ordered slots.
+pub struct CommitService<B: CapsuleAccess> {
+    backend: B,
+    capsule: Name,
+    proposer: Proposer,
+    next_slot: u64,
+}
+
+impl<B: CapsuleAccess> CommitService<B> {
+    /// Wraps an existing capsule (created via
+    /// [`CapsuleAccess::create_capsule`]) as the commit target.
+    pub fn new(backend: B, capsule: Name, proposer_id: u64) -> CommitService<B> {
+        CommitService { backend, capsule, proposer: Proposer::new(proposer_id), next_slot: 1 }
+    }
+
+    /// The capsule receiving committed operations.
+    pub fn capsule(&self) -> Name {
+        self.capsule
+    }
+
+    /// Access to the backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Commits one submission: agree on the next slot's value with the
+    /// acceptors, then append the chosen value. Returns (slot, seq,
+    /// chosen) — `chosen` may differ from `submission` under contention;
+    /// callers must then resubmit.
+    pub fn commit(
+        &mut self,
+        acceptors: &mut [Acceptor],
+        submission: &Submission,
+    ) -> Result<(u64, u64, Submission), CaapiError> {
+        let slot = self.next_slot;
+        let chosen_bytes = self
+            .proposer
+            .propose(acceptors, slot, &submission.to_wire())
+            .map_err(|e| CaapiError::Transport(format!("paxos: {e:?}")))?;
+        let chosen = Submission::from_wire(&chosen_bytes)
+            .map_err(|_| CaapiError::Format("bad chosen value".into()))?;
+        let seq = self.backend.append(&self.capsule, &chosen_bytes)?;
+        self.next_slot += 1;
+        Ok((slot, seq, chosen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{new_capsule_spec, LocalBackend};
+    use gdp_capsule::PointerStrategy;
+    use gdp_crypto::SigningKey;
+
+    fn acceptors(n: usize) -> Vec<Acceptor> {
+        (0..n).map(|_| Acceptor::new()).collect()
+    }
+
+    #[test]
+    fn single_proposer_chooses_own_value() {
+        let mut accs = acceptors(3);
+        let mut p = Proposer::new(1);
+        let chosen = p.propose(&mut accs, 1, b"hello").unwrap();
+        assert_eq!(chosen, b"hello");
+        // All live acceptors converge.
+        for a in &accs {
+            assert_eq!(a.accepted_value(1), Some(b"hello".as_slice()));
+        }
+    }
+
+    #[test]
+    fn second_proposer_adopts_chosen_value() {
+        let mut accs = acceptors(3);
+        let mut p1 = Proposer::new(1);
+        let mut p2 = Proposer::new(2);
+        let first = p1.propose(&mut accs, 1, b"from p1").unwrap();
+        assert_eq!(first, b"from p1");
+        // p2 proposes a different value for the same slot: safety demands
+        // it learns and re-proposes p1's value.
+        let second = p2.propose(&mut accs, 1, b"from p2").unwrap();
+        assert_eq!(second, b"from p1");
+    }
+
+    #[test]
+    fn survives_minority_failure() {
+        let mut accs = acceptors(5);
+        accs[0].down = true;
+        accs[3].down = true;
+        let mut p = Proposer::new(1);
+        assert_eq!(p.propose(&mut accs, 1, b"v").unwrap(), b"v");
+    }
+
+    #[test]
+    fn fails_without_quorum() {
+        let mut accs = acceptors(3);
+        accs[0].down = true;
+        accs[1].down = true;
+        let mut p = Proposer::new(1);
+        assert_eq!(p.propose(&mut accs, 1, b"v"), Err(PaxosError::NoQuorum));
+    }
+
+    #[test]
+    fn stale_ballot_rejected_then_retried() {
+        let mut accs = acceptors(3);
+        let mut p_low = Proposer::new(1);
+        let mut p_high = Proposer::new(2);
+        // p_high runs many rounds first, raising the promised ballot.
+        for _ in 0..5 {
+            let _ = p_high.propose(&mut accs, 2, b"x");
+        }
+        // p_low still succeeds for slot 2 by retrying with higher rounds,
+        // but must adopt the already-chosen value.
+        let chosen = p_low.propose(&mut accs, 2, b"y").unwrap();
+        assert_eq!(chosen, b"x");
+    }
+
+    #[test]
+    fn commit_service_orders_multi_writer_ops() {
+        let owner = SigningKey::from_seed(&[1u8; 32]);
+        let mut backend = LocalBackend::new();
+        let (meta, writer) = new_capsule_spec(&owner, "multi-writer log");
+        let capsule = backend
+            .create_capsule(meta, writer, PointerStrategy::Chain)
+            .unwrap();
+        let mut svc = CommitService::new(backend, capsule, 1);
+        let mut accs = acceptors(3);
+
+        // Three application writers interleave.
+        for (writer_id, op) in [(10u64, "a"), (20, "b"), (10, "c"), (30, "d")] {
+            let sub = Submission { writer_id, op: op.as_bytes().to_vec() };
+            let (_, _, chosen) = svc.commit(&mut accs, &sub).unwrap();
+            assert_eq!(chosen, sub);
+        }
+        // The capsule holds all four ops in commit order.
+        let b = svc.backend_mut();
+        let records = b.read_range(&capsule, 1, 4).unwrap();
+        let ops: Vec<String> = records
+            .iter()
+            .map(|r| {
+                let s = Submission::from_wire(&r.body).unwrap();
+                String::from_utf8(s.op).unwrap()
+            })
+            .collect();
+        assert_eq!(ops, vec!["a", "b", "c", "d"]);
+    }
+}

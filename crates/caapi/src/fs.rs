@@ -1,0 +1,365 @@
+//! Filesystem CAAPI.
+//!
+//! The structure the paper's TensorFlow plugin used (§IX): "this CAAPI
+//! maintains a top-level directory in a single DataCapsule. Each filename
+//! is represented as its own DataCapsule; the top-level directory merely
+//! maps filenames to DataCapsule-names."
+//!
+//! Files are chunked into records; the final record of every write is a
+//! manifest carrying the file length and chunk count, so a reader can
+//! reassemble and validate. Directory entries are append-only operations
+//! (Create / Remove); the current listing is a replay of the log — giving
+//! the filesystem a complete, provenance-carrying history for free.
+
+use crate::backend::{new_capsule_spec, CaapiError, CapsuleAccess};
+use gdp_capsule::PointerStrategy;
+use gdp_crypto::SigningKey;
+use gdp_wire::{DecodeError, Decoder, Encoder, Name, Wire};
+use std::collections::BTreeMap;
+
+/// Chunk size for file contents (256 KiB keeps records well under the PDU
+/// payload cap while amortizing per-record overhead).
+pub const CHUNK_SIZE: usize = 256 * 1024;
+
+/// A directory-log operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum DirOp {
+    /// Bind `path` to a file capsule.
+    Create { path: String, capsule: Name },
+    /// Unbind `path`.
+    Remove { path: String },
+}
+
+impl Wire for DirOp {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            DirOp::Create { path, capsule } => {
+                enc.u8(0);
+                enc.string(path);
+                enc.name(capsule);
+            }
+            DirOp::Remove { path } => {
+                enc.u8(1);
+                enc.string(path);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match dec.u8()? {
+            0 => DirOp::Create { path: dec.string()?, capsule: dec.name()? },
+            1 => DirOp::Remove { path: dec.string()? },
+            t => return Err(DecodeError::BadTag(t as u64)),
+        })
+    }
+}
+
+/// Per-write manifest: the last record of a file version.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Manifest {
+    /// Total file length in bytes.
+    len: u64,
+    /// Number of chunk records in this version.
+    chunks: u32,
+}
+
+const MANIFEST_MAGIC: u8 = 0xF1;
+const CHUNK_MAGIC: u8 = 0xF0;
+
+impl Manifest {
+    fn to_body(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.u8(MANIFEST_MAGIC);
+        enc.varint(self.len);
+        enc.u32(self.chunks);
+        enc.finish()
+    }
+
+    fn from_body(body: &[u8]) -> Option<Manifest> {
+        let mut dec = Decoder::new(body);
+        if dec.u8().ok()? != MANIFEST_MAGIC {
+            return None;
+        }
+        let len = dec.varint().ok()?;
+        let chunks = dec.u32().ok()?;
+        dec.expect_end().ok()?;
+        Some(Manifest { len, chunks })
+    }
+}
+
+/// A GDP-backed filesystem.
+pub struct GdpFs<B: CapsuleAccess> {
+    backend: B,
+    owner: SigningKey,
+    directory: Name,
+    /// Local view of the directory (replayed from the log).
+    entries: BTreeMap<String, Name>,
+    /// Next directory seq to replay.
+    dir_cursor: u64,
+}
+
+impl<B: CapsuleAccess> GdpFs<B> {
+    /// Creates a new filesystem with a fresh directory capsule.
+    pub fn format(mut backend: B, owner: SigningKey) -> Result<GdpFs<B>, CaapiError> {
+        let (meta, writer) = new_capsule_spec(&owner, "gdpfs directory");
+        let directory = backend.create_capsule(
+            meta,
+            writer,
+            PointerStrategy::Checkpoint { interval: 64 },
+        )?;
+        Ok(GdpFs { backend, owner, directory, entries: BTreeMap::new(), dir_cursor: 0 })
+    }
+
+    /// The directory capsule's name (share it to mount the same fs).
+    pub fn directory(&self) -> Name {
+        self.directory
+    }
+
+    /// Access to the underlying backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Replays any directory records appended since the last call (e.g. by
+    /// another mount of the same filesystem).
+    pub fn refresh(&mut self) -> Result<(), CaapiError> {
+        let latest = self.backend.latest_seq(&self.directory)?;
+        if latest <= self.dir_cursor {
+            return Ok(());
+        }
+        let records = self
+            .backend
+            .read_range(&self.directory, self.dir_cursor + 1, latest)?;
+        for r in records {
+            match DirOp::from_wire(&r.body) {
+                Ok(DirOp::Create { path, capsule }) => {
+                    self.entries.insert(path, capsule);
+                }
+                Ok(DirOp::Remove { path }) => {
+                    self.entries.remove(&path);
+                }
+                Err(_) => return Err(CaapiError::Format("bad directory record".into())),
+            }
+        }
+        self.dir_cursor = latest;
+        Ok(())
+    }
+
+    /// Lists all paths, sorted.
+    pub fn list(&mut self) -> Result<Vec<String>, CaapiError> {
+        self.refresh()?;
+        Ok(self.entries.keys().cloned().collect())
+    }
+
+    /// True if `path` exists.
+    pub fn exists(&mut self, path: &str) -> Result<bool, CaapiError> {
+        self.refresh()?;
+        Ok(self.entries.contains_key(path))
+    }
+
+    /// The capsule backing `path`.
+    pub fn file_capsule(&mut self, path: &str) -> Result<Name, CaapiError> {
+        self.refresh()?;
+        self.entries
+            .get(path)
+            .copied()
+            .ok_or_else(|| CaapiError::NotFound(path.to_string()))
+    }
+
+    /// Writes a complete file (creating it if needed). Returns the number
+    /// of records appended.
+    pub fn write_file(&mut self, path: &str, contents: &[u8]) -> Result<u64, CaapiError> {
+        self.refresh()?;
+        let capsule = match self.entries.get(path) {
+            Some(c) => *c,
+            None => {
+                let (meta, writer) = new_capsule_spec(&self.owner, &format!("file:{path}"));
+                // Checkpoint pointers let readers validate any chunk against
+                // the closest manifest (paper §V: filesystem strategy).
+                let capsule = self.backend.create_capsule(
+                    meta,
+                    writer,
+                    PointerStrategy::Checkpoint { interval: 32 },
+                )?;
+                let op = DirOp::Create { path: path.to_string(), capsule };
+                self.backend.append(&self.directory, &op.to_wire())?;
+                self.entries.insert(path.to_string(), capsule);
+                self.dir_cursor += 1;
+                capsule
+            }
+        };
+        let bodies: Vec<Vec<u8>> = contents
+            .chunks(CHUNK_SIZE.max(1))
+            .map(|chunk| {
+                let mut body = Vec::with_capacity(chunk.len() + 1);
+                body.push(CHUNK_MAGIC);
+                body.extend_from_slice(chunk);
+                body
+            })
+            .collect();
+        let chunks = bodies.len() as u32;
+        if !bodies.is_empty() {
+            self.backend.append_batch(&capsule, &bodies)?;
+        }
+        let manifest = Manifest { len: contents.len() as u64, chunks };
+        self.backend.append(&capsule, &manifest.to_body())?;
+        Ok(chunks as u64 + 1)
+    }
+
+    /// Reads the newest version of a file.
+    pub fn read_file(&mut self, path: &str) -> Result<Vec<u8>, CaapiError> {
+        let capsule = self.file_capsule(path)?;
+        let latest = self
+            .backend
+            .latest(&capsule)?
+            .ok_or_else(|| CaapiError::NotFound(format!("{path}: empty capsule")))?;
+        let manifest = Manifest::from_body(&latest.body)
+            .ok_or_else(|| CaapiError::Format(format!("{path}: newest record not a manifest")))?;
+        let last_seq = latest.header.seq;
+        if manifest.chunks == 0 {
+            return Ok(Vec::new());
+        }
+        let first_chunk = last_seq - manifest.chunks as u64;
+        let records = self.backend.read_range(&capsule, first_chunk, last_seq - 1)?;
+        if records.len() != manifest.chunks as usize {
+            return Err(CaapiError::Format(format!(
+                "{path}: expected {} chunks, got {}",
+                manifest.chunks,
+                records.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(manifest.len as usize);
+        for r in records {
+            if r.body.first() != Some(&CHUNK_MAGIC) {
+                return Err(CaapiError::Format(format!("{path}: bad chunk record")));
+            }
+            out.extend_from_slice(&r.body[1..]);
+        }
+        if out.len() as u64 != manifest.len {
+            return Err(CaapiError::Format(format!(
+                "{path}: length mismatch ({} vs {})",
+                out.len(),
+                manifest.len
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Removes a path (the file capsule and its history remain — removal is
+    /// a directory operation, preserving provenance).
+    pub fn remove(&mut self, path: &str) -> Result<(), CaapiError> {
+        self.refresh()?;
+        if !self.entries.contains_key(path) {
+            return Err(CaapiError::NotFound(path.to_string()));
+        }
+        let op = DirOp::Remove { path: path.to_string() };
+        self.backend.append(&self.directory, &op.to_wire())?;
+        self.entries.remove(path);
+        self.dir_cursor += 1;
+        Ok(())
+    }
+
+    /// Reads an old version: the version whose manifest is at `manifest_seq`.
+    pub fn read_file_at(&mut self, path: &str, manifest_seq: u64) -> Result<Vec<u8>, CaapiError> {
+        let capsule = self.file_capsule(path)?;
+        let manifest_rec = self.backend.read(&capsule, manifest_seq)?;
+        let manifest = Manifest::from_body(&manifest_rec.body)
+            .ok_or_else(|| CaapiError::Format(format!("{path}: seq {manifest_seq} not a manifest")))?;
+        if manifest.chunks == 0 {
+            return Ok(Vec::new());
+        }
+        let first = manifest_seq - manifest.chunks as u64;
+        let records = self.backend.read_range(&capsule, first, manifest_seq - 1)?;
+        let mut out = Vec::new();
+        for r in records {
+            out.extend_from_slice(&r.body[1..]);
+        }
+        Ok(out)
+    }
+
+    /// Sequence numbers of all manifests for `path` (its version history).
+    pub fn versions(&mut self, path: &str) -> Result<Vec<u64>, CaapiError> {
+        let capsule = self.file_capsule(path)?;
+        let latest = self.backend.latest_seq(&capsule)?;
+        if latest == 0 {
+            return Ok(Vec::new());
+        }
+        let records = self.backend.read_range(&capsule, 1, latest)?;
+        Ok(records
+            .iter()
+            .filter(|r| Manifest::from_body(&r.body).is_some())
+            .map(|r| r.header.seq)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::LocalBackend;
+
+    fn fs() -> GdpFs<LocalBackend> {
+        let owner = SigningKey::from_seed(&[1u8; 32]);
+        GdpFs::format(LocalBackend::new(), owner).unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut fs = fs();
+        fs.write_file("model.bin", b"weights here").unwrap();
+        assert_eq!(fs.read_file("model.bin").unwrap(), b"weights here");
+        assert!(fs.exists("model.bin").unwrap());
+        assert!(!fs.exists("other").unwrap());
+    }
+
+    #[test]
+    fn multi_chunk_file() {
+        let mut fs = fs();
+        let big: Vec<u8> = (0..(CHUNK_SIZE * 2 + 1234)).map(|i| (i % 251) as u8).collect();
+        let records = fs.write_file("big.dat", &big).unwrap();
+        assert_eq!(records, 4); // 3 chunks + manifest
+        assert_eq!(fs.read_file("big.dat").unwrap(), big);
+    }
+
+    #[test]
+    fn empty_file() {
+        let mut fs = fs();
+        fs.write_file("empty", b"").unwrap();
+        assert_eq!(fs.read_file("empty").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn overwrite_keeps_versions() {
+        let mut fs = fs();
+        fs.write_file("cfg", b"v1").unwrap();
+        fs.write_file("cfg", b"version two").unwrap();
+        assert_eq!(fs.read_file("cfg").unwrap(), b"version two");
+        let versions = fs.versions("cfg").unwrap();
+        assert_eq!(versions.len(), 2);
+        // Time shift: the old version is still readable.
+        assert_eq!(fs.read_file_at("cfg", versions[0]).unwrap(), b"v1");
+    }
+
+    #[test]
+    fn list_and_remove() {
+        let mut fs = fs();
+        fs.write_file("a", b"1").unwrap();
+        fs.write_file("b", b"2").unwrap();
+        assert_eq!(fs.list().unwrap(), vec!["a".to_string(), "b".to_string()]);
+        fs.remove("a").unwrap();
+        assert_eq!(fs.list().unwrap(), vec!["b".to_string()]);
+        assert!(fs.read_file("a").is_err());
+        assert!(matches!(fs.remove("a"), Err(CaapiError::NotFound(_))));
+    }
+
+    #[test]
+    fn second_mount_sees_changes() {
+        let owner = SigningKey::from_seed(&[1u8; 32]);
+        let mut fs = GdpFs::format(LocalBackend::new(), owner).unwrap();
+        fs.write_file("shared", b"hello").unwrap();
+        // Simulate a second mount by resetting the cursor/view.
+        fs.entries.clear();
+        fs.dir_cursor = 0;
+        assert_eq!(fs.list().unwrap(), vec!["shared".to_string()]);
+        assert_eq!(fs.read_file("shared").unwrap(), b"hello");
+    }
+}

@@ -1,0 +1,256 @@
+//! Key-value store CAAPI.
+//!
+//! "DataCapsules are sufficient to implement any convenient, mutable data
+//! storage repository" (paper §V-B). The KV store is a log of Put/Delete
+//! operations with periodic checkpoint records (a full state snapshot), so
+//! a fresh reader recovers in O(checkpoint + tail) instead of O(history).
+
+use crate::backend::{new_capsule_spec, CaapiError, CapsuleAccess};
+use gdp_capsule::PointerStrategy;
+use gdp_crypto::SigningKey;
+use gdp_wire::{DecodeError, Decoder, Encoder, Name, Wire};
+use std::collections::BTreeMap;
+
+/// One KV log entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum KvOp {
+    /// Set `key` to `value`.
+    Put { key: String, value: Vec<u8> },
+    /// Remove `key`.
+    Delete { key: String },
+    /// Full-state snapshot (sorted pairs).
+    Checkpoint { pairs: Vec<(String, Vec<u8>)> },
+}
+
+impl Wire for KvOp {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            KvOp::Put { key, value } => {
+                enc.u8(0);
+                enc.string(key);
+                enc.bytes(value);
+            }
+            KvOp::Delete { key } => {
+                enc.u8(1);
+                enc.string(key);
+            }
+            KvOp::Checkpoint { pairs } => {
+                enc.u8(2);
+                enc.seq(pairs, |e, (k, v)| {
+                    e.string(k);
+                    e.bytes(v);
+                });
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match dec.u8()? {
+            0 => KvOp::Put { key: dec.string()?, value: dec.bytes()?.to_vec() },
+            1 => KvOp::Delete { key: dec.string()? },
+            2 => KvOp::Checkpoint {
+                pairs: dec.seq(|d| {
+                    let k = d.string()?;
+                    let v = d.bytes()?.to_vec();
+                    Ok((k, v))
+                })?,
+            },
+            t => return Err(DecodeError::BadTag(t as u64)),
+        })
+    }
+}
+
+/// A capsule-backed key-value store.
+pub struct GdpKv<B: CapsuleAccess> {
+    backend: B,
+    capsule: Name,
+    state: BTreeMap<String, Vec<u8>>,
+    cursor: u64,
+    ops_since_checkpoint: u64,
+    /// Write a checkpoint record after this many mutations.
+    pub checkpoint_interval: u64,
+}
+
+impl<B: CapsuleAccess> GdpKv<B> {
+    /// Creates a fresh store.
+    pub fn create(mut backend: B, owner: &SigningKey) -> Result<GdpKv<B>, CaapiError> {
+        let (meta, writer) = new_capsule_spec(owner, "gdp-kv");
+        let capsule = backend.create_capsule(
+            meta,
+            writer,
+            PointerStrategy::Checkpoint { interval: 32 },
+        )?;
+        Ok(GdpKv {
+            backend,
+            capsule,
+            state: BTreeMap::new(),
+            cursor: 0,
+            ops_since_checkpoint: 0,
+            checkpoint_interval: 64,
+        })
+    }
+
+    /// The backing capsule name.
+    pub fn capsule(&self) -> Name {
+        self.capsule
+    }
+
+    /// Replays new log records into the local state. A recovery from
+    /// scratch scans backward for the latest checkpoint first.
+    pub fn refresh(&mut self) -> Result<(), CaapiError> {
+        let latest = self.backend.latest_seq(&self.capsule)?;
+        if latest <= self.cursor {
+            return Ok(());
+        }
+        let mut start = self.cursor + 1;
+        if self.cursor == 0 && latest > 0 {
+            // Fresh recovery: find the newest checkpoint by scanning
+            // backward; stop at the first one.
+            let records = self.backend.read_range(&self.capsule, 1, latest)?;
+            let mut checkpoint_at = None;
+            for r in records.iter().rev() {
+                if let Ok(KvOp::Checkpoint { pairs }) = KvOp::from_wire(&r.body) {
+                    self.state = pairs.into_iter().collect();
+                    checkpoint_at = Some(r.header.seq);
+                    break;
+                }
+            }
+            if let Some(cp) = checkpoint_at {
+                start = cp + 1;
+            }
+        }
+        if start <= latest {
+            for r in self.backend.read_range(&self.capsule, start, latest)? {
+                match KvOp::from_wire(&r.body) {
+                    Ok(KvOp::Put { key, value }) => {
+                        self.state.insert(key, value);
+                    }
+                    Ok(KvOp::Delete { key }) => {
+                        self.state.remove(&key);
+                    }
+                    Ok(KvOp::Checkpoint { pairs }) => {
+                        self.state = pairs.into_iter().collect();
+                    }
+                    Err(_) => return Err(CaapiError::Format("bad kv record".into())),
+                }
+            }
+        }
+        self.cursor = latest;
+        Ok(())
+    }
+
+    fn mutate(&mut self, op: KvOp) -> Result<(), CaapiError> {
+        self.backend.append(&self.capsule, &op.to_wire())?;
+        self.cursor += 1;
+        self.ops_since_checkpoint += 1;
+        if self.ops_since_checkpoint >= self.checkpoint_interval {
+            let pairs: Vec<(String, Vec<u8>)> =
+                self.state.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            self.backend
+                .append(&self.capsule, &KvOp::Checkpoint { pairs }.to_wire())?;
+            self.cursor += 1;
+            self.ops_since_checkpoint = 0;
+        }
+        Ok(())
+    }
+
+    /// Sets a key.
+    pub fn put(&mut self, key: &str, value: &[u8]) -> Result<(), CaapiError> {
+        self.refresh()?;
+        self.state.insert(key.to_string(), value.to_vec());
+        self.mutate(KvOp::Put { key: key.to_string(), value: value.to_vec() })
+    }
+
+    /// Reads a key.
+    pub fn get(&mut self, key: &str) -> Result<Option<Vec<u8>>, CaapiError> {
+        self.refresh()?;
+        Ok(self.state.get(key).cloned())
+    }
+
+    /// Deletes a key (no-op if absent).
+    pub fn delete(&mut self, key: &str) -> Result<(), CaapiError> {
+        self.refresh()?;
+        self.state.remove(key);
+        self.mutate(KvOp::Delete { key: key.to_string() })
+    }
+
+    /// All keys, sorted.
+    pub fn keys(&mut self) -> Result<Vec<String>, CaapiError> {
+        self.refresh()?;
+        Ok(self.state.keys().cloned().collect())
+    }
+
+    /// Number of live keys.
+    pub fn len(&mut self) -> Result<usize, CaapiError> {
+        self.refresh()?;
+        Ok(self.state.len())
+    }
+
+    /// True when no keys exist.
+    pub fn is_empty(&mut self) -> Result<bool, CaapiError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Drops local state and replays from the log (crash-recovery path).
+    pub fn recover(&mut self) -> Result<(), CaapiError> {
+        self.state.clear();
+        self.cursor = 0;
+        self.refresh()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::LocalBackend;
+
+    fn kv() -> GdpKv<LocalBackend> {
+        let owner = SigningKey::from_seed(&[1u8; 32]);
+        GdpKv::create(LocalBackend::new(), &owner).unwrap()
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut kv = kv();
+        kv.put("alpha", b"1").unwrap();
+        kv.put("beta", b"2").unwrap();
+        assert_eq!(kv.get("alpha").unwrap(), Some(b"1".to_vec()));
+        kv.put("alpha", b"updated").unwrap();
+        assert_eq!(kv.get("alpha").unwrap(), Some(b"updated".to_vec()));
+        kv.delete("alpha").unwrap();
+        assert_eq!(kv.get("alpha").unwrap(), None);
+        assert_eq!(kv.keys().unwrap(), vec!["beta".to_string()]);
+    }
+
+    #[test]
+    fn recovery_replays_log() {
+        let mut kv = kv();
+        for i in 0..20 {
+            kv.put(&format!("k{i}"), format!("v{i}").as_bytes()).unwrap();
+        }
+        kv.delete("k3").unwrap();
+        kv.recover().unwrap();
+        assert_eq!(kv.len().unwrap(), 19);
+        assert_eq!(kv.get("k7").unwrap(), Some(b"v7".to_vec()));
+        assert_eq!(kv.get("k3").unwrap(), None);
+    }
+
+    #[test]
+    fn checkpoints_bound_recovery() {
+        let mut kv = kv();
+        kv.checkpoint_interval = 10;
+        for i in 0..35 {
+            kv.put(&format!("k{}", i % 5), &[i as u8]).unwrap();
+        }
+        // 35 mutations with interval 10 → at least 3 checkpoints in the log.
+        kv.recover().unwrap();
+        assert_eq!(kv.len().unwrap(), 5);
+        assert_eq!(kv.get("k4").unwrap(), Some(vec![34u8]));
+    }
+
+    #[test]
+    fn empty_store() {
+        let mut kv = kv();
+        assert!(kv.is_empty().unwrap());
+        assert_eq!(kv.get("nope").unwrap(), None);
+    }
+}

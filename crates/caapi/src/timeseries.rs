@@ -1,0 +1,280 @@
+//! Time-series CAAPI.
+//!
+//! The paper's running IoT example: "a DataCapsule could be used to store
+//! ... time-series data representing ambient temperature" (§IV-A), and the
+//! prototype's first applications were "time-series environmental sensors"
+//! (§VIII). Samples are appended in timestamp order (the single writer is
+//! the point of serialization), so time-range queries binary-search on
+//! record timestamps.
+
+use crate::backend::{new_capsule_spec, CaapiError, CapsuleAccess};
+use gdp_capsule::PointerStrategy;
+use gdp_crypto::SigningKey;
+use gdp_wire::{DecodeError, Decoder, Encoder, Name, Wire};
+
+/// One sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sample {
+    /// Timestamp, microseconds since epoch (must be non-decreasing).
+    pub timestamp_micros: u64,
+    /// The measured value.
+    pub value: f64,
+}
+
+impl Wire for Sample {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.varint(self.timestamp_micros);
+        enc.u64(self.value.to_bits());
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Sample {
+            timestamp_micros: dec.varint()?,
+            value: f64::from_bits(dec.u64()?),
+        })
+    }
+}
+
+/// Aggregate statistics over a queried window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aggregates {
+    /// Number of samples.
+    pub count: u64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+/// A capsule-backed time series.
+pub struct GdpTimeSeries<B: CapsuleAccess> {
+    backend: B,
+    capsule: Name,
+    last_ts: u64,
+}
+
+impl<B: CapsuleAccess> GdpTimeSeries<B> {
+    /// Creates a fresh series. Stream pointers let readers bridge small
+    /// losses (the paper's video/stream strategy applies to lossy sensor
+    /// feeds too).
+    pub fn create(
+        mut backend: B,
+        owner: &SigningKey,
+        description: &str,
+    ) -> Result<GdpTimeSeries<B>, CaapiError> {
+        let (meta, writer) = new_capsule_spec(owner, description);
+        let capsule =
+            backend.create_capsule(meta, writer, PointerStrategy::Stream { lags: vec![2, 4] })?;
+        Ok(GdpTimeSeries { backend, capsule, last_ts: 0 })
+    }
+
+    /// The backing capsule.
+    pub fn capsule(&self) -> Name {
+        self.capsule
+    }
+
+    /// Access to the backend (e.g. to subscribe via the network layer).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Appends a sample; timestamps must be non-decreasing.
+    pub fn record(&mut self, sample: Sample) -> Result<u64, CaapiError> {
+        if sample.timestamp_micros < self.last_ts {
+            return Err(CaapiError::Conflict(format!(
+                "timestamp {} < previous {}",
+                sample.timestamp_micros, self.last_ts
+            )));
+        }
+        self.last_ts = sample.timestamp_micros;
+        self.backend.append(&self.capsule, &sample.to_wire())
+    }
+
+    fn sample_at(&mut self, seq: u64) -> Result<Sample, CaapiError> {
+        let r = self.backend.read(&self.capsule, seq)?;
+        Sample::from_wire(&r.body).map_err(|_| CaapiError::Format("bad sample".into()))
+    }
+
+    /// First seq with timestamp ≥ `ts` (binary search; None when all are
+    /// older).
+    fn lower_bound(&mut self, ts: u64, latest: u64) -> Result<Option<u64>, CaapiError> {
+        if latest == 0 {
+            return Ok(None);
+        }
+        let (mut lo, mut hi) = (1u64, latest);
+        if self.sample_at(latest)?.timestamp_micros < ts {
+            return Ok(None);
+        }
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.sample_at(mid)?.timestamp_micros < ts {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(Some(lo))
+    }
+
+    /// Samples with timestamps in `[from_ts, to_ts]`, in order.
+    pub fn query(&mut self, from_ts: u64, to_ts: u64) -> Result<Vec<Sample>, CaapiError> {
+        let latest = self.backend.latest_seq(&self.capsule)?;
+        let Some(start) = self.lower_bound(from_ts, latest)? else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        for r in self.backend.read_range(&self.capsule, start, latest)? {
+            let s = Sample::from_wire(&r.body)
+                .map_err(|_| CaapiError::Format("bad sample".into()))?;
+            if s.timestamp_micros > to_ts {
+                break;
+            }
+            out.push(s);
+        }
+        Ok(out)
+    }
+
+    /// Aggregates over `[from_ts, to_ts]`; `None` when the window is empty.
+    pub fn aggregate(&mut self, from_ts: u64, to_ts: u64) -> Result<Option<Aggregates>, CaapiError> {
+        let samples = self.query(from_ts, to_ts)?;
+        if samples.is_empty() {
+            return Ok(None);
+        }
+        let count = samples.len() as u64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for s in &samples {
+            min = min.min(s.value);
+            max = max.max(s.value);
+            sum += s.value;
+        }
+        Ok(Some(Aggregates { count, min, max, mean: sum / count as f64 }))
+    }
+
+    /// The most recent sample.
+    pub fn latest_sample(&mut self) -> Result<Option<Sample>, CaapiError> {
+        match self.backend.latest(&self.capsule)? {
+            Some(r) => Ok(Some(
+                Sample::from_wire(&r.body).map_err(|_| CaapiError::Format("bad sample".into()))?,
+            )),
+            None => Ok(None),
+        }
+    }
+
+    /// Fixed-width window means over `[from_ts, to_ts)` — one value per
+    /// `width` µs bucket (useful for downsampled visualization, the
+    /// paper's §VIII "visualization of time-series data" application).
+    pub fn downsample(
+        &mut self,
+        from_ts: u64,
+        to_ts: u64,
+        width: u64,
+    ) -> Result<Vec<(u64, f64)>, CaapiError> {
+        if width == 0 {
+            return Err(CaapiError::Conflict("zero window width".into()));
+        }
+        let samples = self.query(from_ts, to_ts.saturating_sub(1))?;
+        let mut out: Vec<(u64, f64)> = Vec::new();
+        let mut bucket_start = from_ts;
+        let mut acc = 0.0;
+        let mut n = 0u64;
+        for s in samples {
+            while s.timestamp_micros >= bucket_start + width {
+                if n > 0 {
+                    out.push((bucket_start, acc / n as f64));
+                }
+                bucket_start += width;
+                acc = 0.0;
+                n = 0;
+            }
+            acc += s.value;
+            n += 1;
+        }
+        if n > 0 {
+            out.push((bucket_start, acc / n as f64));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::LocalBackend;
+
+    fn series() -> GdpTimeSeries<LocalBackend> {
+        let owner = SigningKey::from_seed(&[1u8; 32]);
+        GdpTimeSeries::create(LocalBackend::new(), &owner, "temp").unwrap()
+    }
+
+    fn fill(ts: &mut GdpTimeSeries<LocalBackend>, n: u64) {
+        for i in 0..n {
+            ts.record(Sample { timestamp_micros: i * 1000, value: (i as f64).sin() })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut ts = series();
+        fill(&mut ts, 100);
+        let window = ts.query(10_000, 19_999).unwrap();
+        assert_eq!(window.len(), 10);
+        assert_eq!(window[0].timestamp_micros, 10_000);
+        assert_eq!(window[9].timestamp_micros, 19_000);
+    }
+
+    #[test]
+    fn rejects_time_regression() {
+        let mut ts = series();
+        ts.record(Sample { timestamp_micros: 100, value: 1.0 }).unwrap();
+        assert!(ts.record(Sample { timestamp_micros: 50, value: 2.0 }).is_err());
+        // Equal timestamps allowed.
+        ts.record(Sample { timestamp_micros: 100, value: 3.0 }).unwrap();
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut ts = series();
+        for (t, v) in [(0u64, 1.0), (1000, 5.0), (2000, 3.0)] {
+            ts.record(Sample { timestamp_micros: t, value: v }).unwrap();
+        }
+        let agg = ts.aggregate(0, 2000).unwrap().unwrap();
+        assert_eq!(agg.count, 3);
+        assert_eq!(agg.min, 1.0);
+        assert_eq!(agg.max, 5.0);
+        assert!((agg.mean - 3.0).abs() < 1e-9);
+        assert!(ts.aggregate(10_000, 20_000).unwrap().is_none());
+    }
+
+    #[test]
+    fn query_empty_and_out_of_range() {
+        let mut ts = series();
+        assert!(ts.query(0, 100).unwrap().is_empty());
+        fill(&mut ts, 5);
+        assert!(ts.query(1_000_000, 2_000_000).unwrap().is_empty());
+    }
+
+    #[test]
+    fn latest() {
+        let mut ts = series();
+        assert!(ts.latest_sample().unwrap().is_none());
+        fill(&mut ts, 3);
+        assert_eq!(ts.latest_sample().unwrap().unwrap().timestamp_micros, 2000);
+    }
+
+    #[test]
+    fn downsampling() {
+        let mut ts = series();
+        for i in 0..10u64 {
+            ts.record(Sample { timestamp_micros: i * 500, value: i as f64 }).unwrap();
+        }
+        // Buckets of 1000 µs: pairs (0,1), (2,3), ...
+        let buckets = ts.downsample(0, 5000, 1000).unwrap();
+        assert_eq!(buckets.len(), 5);
+        assert!((buckets[0].1 - 0.5).abs() < 1e-9);
+        assert!((buckets[1].1 - 2.5).abs() < 1e-9);
+    }
+}

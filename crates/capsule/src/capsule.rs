@@ -1,0 +1,537 @@
+//! The DataCapsule: a verified, in-memory record DAG.
+//!
+//! This structure is shared by writers (building new records), servers
+//! (ingesting and replicating), and readers (verifying). It is a grow-only
+//! set of signature-verified records keyed by header hash — which makes it a
+//! state-based CRDT: merge is set union, so "a DataCapsule meets the
+//! definition of a Conflict-Free Replicated Data Type" (paper §V-A).
+//!
+//! * In **Strict Single-Writer (SSW)** mode the records form one hash chain
+//!   and readers observe sequential consistency.
+//! * In **Quasi-Single-Writer (QSW)** mode concurrent writers may create
+//!   *branches* (two records whose `prev` point at the same record); readers
+//!   then observe strong eventual consistency (paper §VI-C).
+//! * Records whose `prev` is not (yet) present are *holes* (paper §VI-B);
+//!   they are tracked as pending until the missing ancestors arrive.
+
+use crate::error::CapsuleError;
+use crate::metadata::CapsuleMetadata;
+use crate::record::{Heartbeat, Record, RecordHash};
+use gdp_crypto::VerifyingKey;
+use gdp_wire::Name;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Result of offering a record to a capsule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Record verified and linked into the DAG.
+    Linked,
+    /// Record verified but its `prev` ancestor is missing; buffered as
+    /// pending (a hole exists).
+    Pending,
+    /// Record was already present (idempotent).
+    Duplicate,
+}
+
+/// A verified collection of records for one capsule.
+#[derive(Clone, Debug)]
+pub struct DataCapsule {
+    metadata: CapsuleMetadata,
+    name: Name,
+    writer_key: VerifyingKey,
+    /// All linked (fully connected to the anchor) records by hash.
+    records: HashMap<RecordHash, Record>,
+    /// seq → hashes of linked records at that seq (multiple on branches).
+    by_seq: BTreeMap<u64, Vec<RecordHash>>,
+    /// Linked records that no linked record points to.
+    heads: HashSet<RecordHash>,
+    /// Verified records waiting for a missing ancestor, keyed by the
+    /// ancestor hash they need.
+    pending: HashMap<RecordHash, Vec<Record>>,
+    /// Hashes of records buffered in `pending` (for duplicate detection).
+    pending_hashes: HashSet<RecordHash>,
+}
+
+impl DataCapsule {
+    /// Creates an empty capsule from verified metadata.
+    pub fn new(metadata: CapsuleMetadata) -> Result<DataCapsule, CapsuleError> {
+        metadata.verify()?;
+        let name = metadata.name();
+        let writer_key = metadata.writer_key()?;
+        Ok(DataCapsule {
+            metadata,
+            name,
+            writer_key,
+            records: HashMap::new(),
+            by_seq: BTreeMap::new(),
+            heads: HashSet::new(),
+            pending: HashMap::new(),
+            pending_hashes: HashSet::new(),
+        })
+    }
+
+    /// The capsule's flat name.
+    pub fn name(&self) -> Name {
+        self.name
+    }
+
+    /// The immutable metadata.
+    pub fn metadata(&self) -> &CapsuleMetadata {
+        &self.metadata
+    }
+
+    /// The single writer's verification key.
+    pub fn writer_key(&self) -> &VerifyingKey {
+        &self.writer_key
+    }
+
+    /// Number of linked records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no records are linked.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of verified-but-unlinked records (waiting on holes).
+    pub fn pending_len(&self) -> usize {
+        self.pending_hashes.len()
+    }
+
+    /// Hashes of missing ancestors currently blocking pending records —
+    /// the targets an anti-entropy pass should fetch.
+    pub fn missing_ancestors(&self) -> Vec<RecordHash> {
+        self.pending.keys().copied().collect()
+    }
+
+    /// Current head records (linked records with no linked successor).
+    /// SSW capsules have exactly one head; QSW branches produce several.
+    pub fn heads(&self) -> Vec<&Record> {
+        let mut out: Vec<&Record> = self.heads.iter().map(|h| &self.records[h]).collect();
+        out.sort_by_key(|r| (std::cmp::Reverse(r.header.seq), r.hash()));
+        out
+    }
+
+    /// The unique head in SSW mode, or `Err(Branched)` when diverged.
+    pub fn single_head(&self) -> Result<Option<&Record>, CapsuleError> {
+        let heads = self.heads();
+        match heads.len() {
+            0 => Ok(None),
+            1 => Ok(Some(heads[0])),
+            _ => Err(CapsuleError::Branched),
+        }
+    }
+
+    /// Highest linked sequence number.
+    pub fn latest_seq(&self) -> u64 {
+        self.by_seq.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Looks up a linked record by hash.
+    pub fn get(&self, hash: &RecordHash) -> Option<&Record> {
+        self.records.get(hash)
+    }
+
+    /// Looks up linked records at a sequence number (more than one only on
+    /// QSW branches).
+    pub fn get_by_seq(&self, seq: u64) -> Vec<&Record> {
+        self.by_seq
+            .get(&seq)
+            .map(|hashes| hashes.iter().map(|h| &self.records[h]).collect())
+            .unwrap_or_default()
+    }
+
+    /// The single record at `seq`, or an error when absent/ambiguous.
+    pub fn get_one(&self, seq: u64) -> Result<&Record, CapsuleError> {
+        let rs = self.get_by_seq(seq);
+        match rs.len() {
+            0 => Err(CapsuleError::MissingSeq(seq)),
+            1 => Ok(rs[0]),
+            _ => Err(CapsuleError::Branched),
+        }
+    }
+
+    /// Returns records in a seq range (inclusive), SSW order. An empty or
+    /// inverted range yields no records.
+    pub fn range(&self, from: u64, to: u64) -> Vec<&Record> {
+        if from > to {
+            return Vec::new();
+        }
+        self.by_seq
+            .range(from..=to)
+            .flat_map(|(_, hashes)| hashes.iter().map(|h| &self.records[h]))
+            .collect()
+    }
+
+    /// True when the chain from seq 1 to `latest_seq` has no gaps.
+    pub fn is_contiguous(&self) -> bool {
+        let latest = self.latest_seq();
+        (1..=latest).all(|s| self.by_seq.contains_key(&s))
+    }
+
+    /// First missing sequence number, if the capsule has a hole.
+    pub fn first_hole(&self) -> Option<u64> {
+        let latest = self.latest_seq();
+        (1..=latest).find(|s| !self.by_seq.contains_key(s))
+    }
+
+    /// Verifies and inserts a record. Verification is complete — signature,
+    /// body hash, structure, and (when the ancestor is present) pointer
+    /// linkage — so an untrusted server's tampering is caught here.
+    pub fn ingest(&mut self, record: Record) -> Result<IngestOutcome, CapsuleError> {
+        let hash = record.hash();
+        if self.records.contains_key(&hash) || self.pending_hashes.contains(&hash) {
+            return Ok(IngestOutcome::Duplicate);
+        }
+        record.verify(&self.name, &self.writer_key)?;
+
+        if self.can_link(&record) {
+            self.link(record);
+            Ok(IngestOutcome::Linked)
+        } else {
+            let needed = record.header.prev;
+            self.pending_hashes.insert(hash);
+            self.pending.entry(needed).or_default().push(record);
+            Ok(IngestOutcome::Pending)
+        }
+    }
+
+    fn can_link(&self, record: &Record) -> bool {
+        if record.header.seq == 1 {
+            return record.header.prev == RecordHash::anchor(&self.name);
+        }
+        match self.records.get(&record.header.prev) {
+            Some(prev) => prev.header.seq + 1 == record.header.seq,
+            None => false,
+        }
+    }
+
+    fn link(&mut self, record: Record) {
+        let hash = record.hash();
+        let seq = record.header.seq;
+        self.heads.remove(&record.header.prev);
+        self.heads.insert(hash);
+        self.by_seq.entry(seq).or_default().push(hash);
+        self.records.insert(hash, record);
+        // Linking may unblock pending descendants (hole healing).
+        if let Some(waiting) = self.pending.remove(&hash) {
+            for w in waiting {
+                self.pending_hashes.remove(&w.hash());
+                if self.can_link(&w) {
+                    self.link(w);
+                } else {
+                    // Ancestor present but seq relation is wrong: drop it —
+                    // it can never link.
+                }
+            }
+        }
+    }
+
+    /// Merges all linked and pending records from `other` (CRDT join).
+    /// Returns how many new records became linked.
+    pub fn merge(&mut self, other: &DataCapsule) -> Result<usize, CapsuleError> {
+        if other.name != self.name {
+            return Err(CapsuleError::WrongCapsule { expected: self.name, got: other.name });
+        }
+        let before = self.records.len();
+        // Ingest in seq order so most records link immediately.
+        let mut all: Vec<&Record> = other.records.values().collect();
+        for pend in other.pending.values() {
+            all.extend(pend.iter());
+        }
+        all.sort_by_key(|r| r.header.seq);
+        for r in all {
+            self.ingest(r.clone())?;
+        }
+        Ok(self.records.len() - before)
+    }
+
+    /// Verifies the full history ending at `head` against a heartbeat:
+    /// walks prev-pointers back to the anchor, checking hashes and seq
+    /// decrements. This is the "verify the entire history of DataCapsule up
+    /// to a specific point in time against a specific heartbeat" operation
+    /// (paper §V).
+    pub fn verify_history(&self, heartbeat: &Heartbeat) -> Result<(), CapsuleError> {
+        if heartbeat.capsule != self.name {
+            return Err(CapsuleError::WrongCapsule {
+                expected: self.name,
+                got: heartbeat.capsule,
+            });
+        }
+        heartbeat.verify(&self.writer_key)?;
+        let mut cursor = heartbeat.head;
+        let mut expect_seq = heartbeat.seq;
+        loop {
+            let record = self
+                .records
+                .get(&cursor)
+                .ok_or(CapsuleError::MissingRecord(cursor))?;
+            if record.header.seq != expect_seq {
+                return Err(CapsuleError::BadRecord("seq does not decrement along chain"));
+            }
+            if expect_seq == 1 {
+                if record.header.prev != RecordHash::anchor(&self.name) {
+                    return Err(CapsuleError::BadRecord("chain does not anchor at metadata"));
+                }
+                return Ok(());
+            }
+            cursor = record.header.prev;
+            expect_seq -= 1;
+        }
+    }
+
+    /// A signed heartbeat for the current unique head (SSW mode), extracted
+    /// from the head record itself.
+    pub fn head_heartbeat(&self) -> Result<Option<Heartbeat>, CapsuleError> {
+        Ok(self
+            .single_head()?
+            .map(|head| Heartbeat::from_record(&self.name, head)))
+    }
+
+    /// Iterates all linked records in seq order.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.by_seq
+            .values()
+            .flat_map(move |hashes| hashes.iter().map(move |h| &self.records[h]))
+    }
+
+    /// Total body bytes across linked records.
+    pub fn body_bytes(&self) -> u64 {
+        self.records.values().map(|r| r.body.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::MetadataBuilder;
+    use crate::record::Pointer;
+    use gdp_crypto::SigningKey;
+
+    fn owner() -> SigningKey {
+        SigningKey::from_seed(&[1u8; 32])
+    }
+    fn writer() -> SigningKey {
+        SigningKey::from_seed(&[2u8; 32])
+    }
+
+    fn fresh() -> DataCapsule {
+        let meta = MetadataBuilder::new()
+            .writer(&writer().verifying_key())
+            .set_str("description", "test")
+            .sign(&owner());
+        DataCapsule::new(meta).unwrap()
+    }
+
+    fn make_record(c: &DataCapsule, seq: u64, prev: RecordHash, body: &[u8]) -> Record {
+        Record::create(&c.name(), &writer(), seq, seq * 10, prev, vec![], body.to_vec())
+    }
+
+    fn chain(c: &mut DataCapsule, n: u64) -> Vec<Record> {
+        let mut prev = RecordHash::anchor(&c.name());
+        let mut out = Vec::new();
+        for seq in 1..=n {
+            let r = make_record(c, seq, prev, format!("body {seq}").as_bytes());
+            prev = r.hash();
+            assert_eq!(c.ingest(r.clone()).unwrap(), IngestOutcome::Linked);
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn ingest_chain() {
+        let mut c = fresh();
+        chain(&mut c, 10);
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.latest_seq(), 10);
+        assert!(c.is_contiguous());
+        assert_eq!(c.heads().len(), 1);
+        assert_eq!(c.single_head().unwrap().unwrap().header.seq, 10);
+    }
+
+    #[test]
+    fn duplicate_is_idempotent() {
+        let mut c = fresh();
+        let rs = chain(&mut c, 3);
+        assert_eq!(c.ingest(rs[1].clone()).unwrap(), IngestOutcome::Duplicate);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn out_of_order_ingest_heals() {
+        let mut c = fresh();
+        let anchor = RecordHash::anchor(&c.name());
+        let r1 = make_record(&c, 1, anchor, b"1");
+        let r2 = make_record(&c, 2, r1.hash(), b"2");
+        let r3 = make_record(&c, 3, r2.hash(), b"3");
+        assert_eq!(c.ingest(r3.clone()).unwrap(), IngestOutcome::Pending);
+        assert_eq!(c.ingest(r2.clone()).unwrap(), IngestOutcome::Pending);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.pending_len(), 2);
+        assert_eq!(c.ingest(r1).unwrap(), IngestOutcome::Linked);
+        // Linking r1 must cascade to r2 and r3.
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.pending_len(), 0);
+        assert_eq!(c.latest_seq(), 3);
+    }
+
+    #[test]
+    fn hole_detection() {
+        let mut c = fresh();
+        let anchor = RecordHash::anchor(&c.name());
+        let r1 = make_record(&c, 1, anchor, b"1");
+        let r2 = make_record(&c, 2, r1.hash(), b"2");
+        let r3 = make_record(&c, 3, r2.hash(), b"3");
+        c.ingest(r1).unwrap();
+        c.ingest(r3).unwrap();
+        assert!(!c.is_contiguous() || c.latest_seq() == 1);
+        assert_eq!(c.pending_len(), 1);
+        assert_eq!(c.missing_ancestors(), vec![r2.hash()]);
+        c.ingest(r2).unwrap();
+        assert!(c.is_contiguous());
+        assert_eq!(c.first_hole(), None);
+    }
+
+    #[test]
+    fn branch_creates_two_heads() {
+        let mut c = fresh();
+        let rs = chain(&mut c, 2);
+        // A concurrent writer (QSW) also appends at seq 3 on top of seq 2.
+        let a = make_record(&c, 3, rs[1].hash(), b"branch a");
+        let b = make_record(&c, 3, rs[1].hash(), b"branch b");
+        c.ingest(a).unwrap();
+        c.ingest(b).unwrap();
+        assert_eq!(c.heads().len(), 2);
+        assert!(matches!(c.single_head(), Err(CapsuleError::Branched)));
+        assert_eq!(c.get_by_seq(3).len(), 2);
+    }
+
+    #[test]
+    fn tampered_record_rejected() {
+        let mut c = fresh();
+        let anchor = RecordHash::anchor(&c.name());
+        let mut r1 = make_record(&c, 1, anchor, b"1");
+        r1.body = b"tampered".to_vec();
+        assert!(c.ingest(r1).is_err());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn record_from_wrong_writer_rejected() {
+        let mut c = fresh();
+        let anchor = RecordHash::anchor(&c.name());
+        let evil = SigningKey::from_seed(&[66u8; 32]);
+        let r = Record::create(&c.name(), &evil, 1, 0, anchor, vec![], b"evil".to_vec());
+        assert!(matches!(c.ingest(r), Err(CapsuleError::BadSignature(_))));
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = fresh();
+        let rs = chain(&mut a, 6);
+        let mut b = fresh();
+        // b has a prefix plus holes.
+        b.ingest(rs[0].clone()).unwrap();
+        b.ingest(rs[1].clone()).unwrap();
+        b.ingest(rs[4].clone()).unwrap(); // pending
+        let added = b.merge(&a).unwrap();
+        assert_eq!(added, 4);
+        assert_eq!(b.len(), 6);
+        assert!(b.is_contiguous());
+    }
+
+    #[test]
+    fn merge_commutative() {
+        let mut a = fresh();
+        let rs = chain(&mut a, 5);
+        let mut x = fresh();
+        let mut y = fresh();
+        x.ingest(rs[0].clone()).unwrap();
+        x.ingest(rs[1].clone()).unwrap();
+        y.ingest(rs[3].clone()).unwrap();
+        y.ingest(rs[4].clone()).unwrap();
+        let mut xy = x.clone();
+        xy.merge(&y).unwrap();
+        let mut yx = y.clone();
+        yx.merge(&x).unwrap();
+        assert_eq!(xy.len(), yx.len());
+        let hx: Vec<_> = xy.heads().iter().map(|r| r.hash()).collect();
+        let hy: Vec<_> = yx.heads().iter().map(|r| r.hash()).collect();
+        assert_eq!(hx, hy);
+    }
+
+    #[test]
+    fn merge_rejects_foreign_capsule() {
+        let mut a = fresh();
+        let other_meta = MetadataBuilder::new()
+            .writer(&writer().verifying_key())
+            .set_str("description", "other")
+            .sign(&owner());
+        let b = DataCapsule::new(other_meta).unwrap();
+        assert!(matches!(a.merge(&b), Err(CapsuleError::WrongCapsule { .. })));
+    }
+
+    #[test]
+    fn verify_history_ok() {
+        let mut c = fresh();
+        chain(&mut c, 20);
+        let hb = c.head_heartbeat().unwrap().unwrap();
+        c.verify_history(&hb).unwrap();
+    }
+
+    #[test]
+    fn verify_history_detects_missing_link() {
+        let mut c = fresh();
+        let anchor = RecordHash::anchor(&c.name());
+        let r1 = make_record(&c, 1, anchor, b"1");
+        let r2 = make_record(&c, 2, r1.hash(), b"2");
+        c.ingest(r1.clone()).unwrap();
+        c.ingest(r2.clone()).unwrap();
+        // Heartbeat for a record chain we only partially hold.
+        let r3 = make_record(&c, 3, r2.hash(), b"3");
+        let hb = Heartbeat::from_record(&c.name(), &r3);
+        assert!(matches!(
+            c.verify_history(&hb),
+            Err(CapsuleError::MissingRecord(_))
+        ));
+    }
+
+    #[test]
+    fn verify_history_rejects_forged_heartbeat() {
+        let mut c = fresh();
+        chain(&mut c, 3);
+        let mut hb = c.head_heartbeat().unwrap().unwrap();
+        hb.seq = 2; // break the signed binding
+        assert!(c.verify_history(&hb).is_err());
+    }
+
+    #[test]
+    fn range_and_iter() {
+        let mut c = fresh();
+        chain(&mut c, 10);
+        let r = c.range(3, 6);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0].header.seq, 3);
+        assert_eq!(c.iter().count(), 10);
+        assert!(c.body_bytes() > 0);
+    }
+
+    #[test]
+    fn extra_pointers_allowed_by_ingest() {
+        let mut c = fresh();
+        let rs = chain(&mut c, 4);
+        let r5 = Record::create(
+            &c.name(),
+            &writer(),
+            5,
+            0,
+            rs[3].hash(),
+            vec![Pointer { seq: 2, hash: rs[1].hash() }],
+            b"five".to_vec(),
+        );
+        assert_eq!(c.ingest(r5).unwrap(), IngestOutcome::Linked);
+    }
+}

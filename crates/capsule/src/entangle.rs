@@ -1,0 +1,206 @@
+//! Cross-capsule timeline entanglement.
+//!
+//! Paper §VI-C: "updates across DataCapsules can be ordered using
+//! entanglement schemes described by Maniatis & Baker, 'Secure History
+//! Preservation Through Timeline Entanglement'."
+//!
+//! A writer embeds the signed heartbeats of *other* capsules into its own
+//! records. Because the embedding record is itself hash-chained and
+//! heartbeat-attested, this yields a publicly verifiable happened-before
+//! relation: everything up to peer-seq `h` in capsule A provably precedes
+//! everything from seq `e` onward in capsule B, where `e` is the embedding
+//! record. No clock, no trusted timestamping service.
+
+use crate::capsule::DataCapsule;
+use crate::error::CapsuleError;
+use crate::proof::MembershipProof;
+use crate::record::Heartbeat;
+use gdp_crypto::VerifyingKey;
+use gdp_wire::{DecodeError, Decoder, Encoder, Name, Wire};
+
+/// Body magic distinguishing entanglement records from application data.
+const ENTANGLE_MAGIC: &str = "gdp/entangle/v1";
+
+/// An entanglement body: a batch of peer heartbeats witnessed at append
+/// time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EntanglementBody {
+    /// Heartbeats of peer capsules, as observed by this writer.
+    pub witnessed: Vec<Heartbeat>,
+}
+
+impl EntanglementBody {
+    /// Builds the record body embedding `witnessed`.
+    pub fn new(witnessed: Vec<Heartbeat>) -> EntanglementBody {
+        EntanglementBody { witnessed }
+    }
+
+    /// Attempts to parse a record body as an entanglement record.
+    pub fn parse(body: &[u8]) -> Option<EntanglementBody> {
+        EntanglementBody::from_wire(body).ok()
+    }
+
+    /// The witnessed state for one peer capsule, if present.
+    pub fn witness_for(&self, peer: &Name) -> Option<&Heartbeat> {
+        self.witnessed.iter().find(|h| h.capsule == *peer)
+    }
+}
+
+impl Wire for EntanglementBody {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.string(ENTANGLE_MAGIC);
+        enc.seq(&self.witnessed, |e, h| h.encode(e));
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let magic = dec.string()?;
+        if magic != ENTANGLE_MAGIC {
+            return Err(DecodeError::Invalid("not an entanglement record"));
+        }
+        let witnessed = dec.seq(Heartbeat::decode)?;
+        Ok(EntanglementBody { witnessed })
+    }
+}
+
+/// A self-contained proof that peer capsule `peer`'s state at `peer_seq`
+/// happened before record `embed_seq` of the embedding capsule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrderingProof {
+    /// Membership proof (in the embedding capsule) of the entanglement
+    /// record.
+    pub embedding: MembershipProof,
+    /// Which peer the claim is about.
+    pub peer: Name,
+}
+
+impl OrderingProof {
+    /// Builds a proof from the embedding capsule: finds the earliest
+    /// entanglement record at seq ≥ `from_seq` witnessing `peer`, and
+    /// proves it against the capsule's current heartbeat.
+    pub fn build(
+        embedding: &DataCapsule,
+        peer: &Name,
+        from_seq: u64,
+    ) -> Result<OrderingProof, CapsuleError> {
+        let hb = embedding
+            .head_heartbeat()?
+            .ok_or(CapsuleError::MissingSeq(1))?;
+        for seq in from_seq..=embedding.latest_seq() {
+            if let Ok(record) = embedding.get_one(seq) {
+                if let Some(body) = EntanglementBody::parse(&record.body) {
+                    if body.witness_for(peer).is_some() {
+                        let proof = MembershipProof::build(embedding, &hb, seq)?;
+                        return Ok(OrderingProof { embedding: proof, peer: *peer });
+                    }
+                }
+            }
+        }
+        Err(CapsuleError::MissingSeq(from_seq))
+    }
+
+    /// Verifies and returns the proven ordering:
+    /// `(peer_seq, embed_seq)` meaning peer@peer_seq → embedder@embed_seq.
+    ///
+    /// Requires the embedding capsule's name/writer key (trust anchor) and
+    /// the peer's writer key (to check the witnessed heartbeat signature).
+    pub fn verify(
+        &self,
+        embedding_capsule: &Name,
+        embedding_writer: &VerifyingKey,
+        peer_writer: &VerifyingKey,
+    ) -> Result<(u64, u64), CapsuleError> {
+        let record = self.embedding.verify(embedding_capsule, embedding_writer)?;
+        let body = EntanglementBody::parse(&record.body)
+            .ok_or(CapsuleError::BadProof("not an entanglement record"))?;
+        let witnessed = body
+            .witness_for(&self.peer)
+            .ok_or(CapsuleError::BadProof("peer not witnessed in record"))?;
+        witnessed.verify(peer_writer)?;
+        Ok((witnessed.seq, record.header.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::MetadataBuilder;
+    use crate::strategy::PointerStrategy;
+    use crate::writer::CapsuleWriter;
+    use gdp_crypto::SigningKey;
+
+    fn setup(seed: u8) -> (DataCapsule, CapsuleWriter, SigningKey) {
+        let owner = SigningKey::from_seed(&[seed; 32]);
+        let wk = SigningKey::from_seed(&[seed + 1; 32]);
+        let meta = MetadataBuilder::new()
+            .writer(&wk.verifying_key())
+            .set_str("description", &format!("capsule {seed}"))
+            .sign(&owner);
+        let capsule = DataCapsule::new(meta.clone()).unwrap();
+        let writer = CapsuleWriter::new(&meta, wk.clone(), PointerStrategy::Chain).unwrap();
+        (capsule, writer, wk)
+    }
+
+    #[test]
+    fn entanglement_proves_cross_capsule_order() {
+        let (mut a, mut wa, ka) = setup(10);
+        let (mut b, mut wb, kb) = setup(20);
+
+        // Capsule A makes progress.
+        for i in 0..5u64 {
+            a.ingest(wa.append(format!("a{i}").as_bytes(), i).unwrap()).unwrap();
+        }
+        let a_hb = a.head_heartbeat().unwrap().unwrap();
+
+        // Capsule B's writer witnesses A's state at seq 5.
+        b.ingest(wb.append(b"b-before", 0).unwrap()).unwrap();
+        let entangle = EntanglementBody::new(vec![a_hb]);
+        b.ingest(wb.append(&entangle.to_wire(), 1).unwrap()).unwrap();
+        b.ingest(wb.append(b"b-after", 2).unwrap()).unwrap();
+
+        // Anyone can now prove: A@5 happened before B@2.
+        let proof = OrderingProof::build(&b, &a.name(), 1).unwrap();
+        let (peer_seq, embed_seq) = proof
+            .verify(&b.name(), &kb.verifying_key(), &ka.verifying_key())
+            .unwrap();
+        assert_eq!(peer_seq, 5);
+        assert_eq!(embed_seq, 2);
+    }
+
+    #[test]
+    fn forged_witness_rejected() {
+        let (mut a, mut wa, _ka) = setup(10);
+        let (mut b, mut wb, kb) = setup(20);
+        for i in 0..3u64 {
+            a.ingest(wa.append(format!("a{i}").as_bytes(), i).unwrap()).unwrap();
+        }
+        // B's writer embeds a FORGED heartbeat for A (self-signed).
+        let evil = SigningKey::from_seed(&[66u8; 32]);
+        let forged = Heartbeat::sign(&a.name(), &evil, 999, a.head_heartbeat().unwrap().unwrap().head);
+        b.ingest(wb.append(&EntanglementBody::new(vec![forged]).to_wire(), 0).unwrap())
+            .unwrap();
+        let proof = OrderingProof::build(&b, &a.name(), 1).unwrap();
+        // Verification against A's true writer key fails.
+        let real_a_writer = SigningKey::from_seed(&[11u8; 32]).verifying_key();
+        assert!(proof
+            .verify(&b.name(), &kb.verifying_key(), &real_a_writer)
+            .is_err());
+    }
+
+    #[test]
+    fn non_entanglement_records_skipped() {
+        let (a, _, _) = setup(10);
+        let (mut b, mut wb, _) = setup(20);
+        b.ingest(wb.append(b"plain data", 0).unwrap()).unwrap();
+        assert!(OrderingProof::build(&b, &a.name(), 1).is_err());
+    }
+
+    #[test]
+    fn body_wire_roundtrip() {
+        let (mut a, mut wa, _) = setup(10);
+        a.ingest(wa.append(b"x", 0).unwrap()).unwrap();
+        let hb = a.head_heartbeat().unwrap().unwrap();
+        let body = EntanglementBody::new(vec![hb]);
+        let rt = EntanglementBody::from_wire(&body.to_wire()).unwrap();
+        assert_eq!(rt, body);
+        assert!(EntanglementBody::parse(b"not entangled").is_none());
+    }
+}

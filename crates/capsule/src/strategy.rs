@@ -1,0 +1,179 @@
+//! Hash-pointer strategies.
+//!
+//! Paper §V, "Configuration Flexibility": "A DataCapsule goes beyond just a
+//! simple hash-list and allows for a variable number of additional
+//! hash-pointers to past records ... Our ingenuity is in exposing the
+//! flexibility of which hash-pointers to include to the application.
+//! Regardless of the hash-pointers chosen by the writer, all invariants and
+//! proofs work with a generalized validation scheme."
+//!
+//! A strategy answers one question: *which older sequence numbers should a
+//! new record at `seq` point to, beyond the implicit `seq - 1` pointer?*
+//! Verification never consults the strategy.
+
+/// Which extra hash-pointers a writer includes in each new record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PointerStrategy {
+    /// No extra pointers: a plain hash-chain. Cheapest appends; membership
+    /// proofs are O(distance); ranges are self-verifying.
+    Chain,
+    /// Authenticated-skip-list pointers: for each power of two 2^k that
+    /// divides `seq`, point to `seq - 2^k` (k ≥ 1; the k = 0 pointer is the
+    /// implicit prev). Proofs are O(log n).
+    SkipList,
+    /// Every record points back to the latest checkpoint (a record at a
+    /// multiple of `interval`). A filesystem CAAPI uses this so every record
+    /// can be validated against a checkpoint in ≤ 2 hops
+    /// (paper: "a file-system interface on a DataCapsule may make all
+    /// records include a hash-pointer to a checkpoint record").
+    Checkpoint {
+        /// Distance between checkpoint records; must be ≥ 2.
+        interval: u64,
+    },
+    /// Streaming-loss tolerance: point to `seq - k` for each `k` in the
+    /// provided lag set (e.g. `[2, 4]` lets readers bridge one- to
+    /// three-record losses; paper: "a video stream in a DataCapsule may use
+    /// such hash-pointers to allow for records missing in transmission").
+    Stream {
+        /// Extra backward lags (each > 1; lag 1 is the implicit prev).
+        lags: Vec<u64>,
+    },
+}
+
+impl PointerStrategy {
+    /// Sequence numbers a record at `seq` should additionally point to,
+    /// strictly descending, each in `1..seq`.
+    pub fn extra_targets(&self, seq: u64) -> Vec<u64> {
+        let mut targets = match self {
+            PointerStrategy::Chain => Vec::new(),
+            PointerStrategy::SkipList => {
+                let mut t = Vec::new();
+                let mut k = 1u32;
+                while let Some(step) = 1u64.checked_shl(k) {
+                    if step >= seq {
+                        break;
+                    }
+                    if seq.is_multiple_of(step) {
+                        t.push(seq - step);
+                    }
+                    k += 1;
+                }
+                t
+            }
+            PointerStrategy::Checkpoint { interval } => {
+                let interval = (*interval).max(2);
+                let last_cp = (seq.saturating_sub(1) / interval) * interval;
+                if last_cp > 0 && last_cp != seq.saturating_sub(1) {
+                    vec![last_cp]
+                } else {
+                    Vec::new()
+                }
+            }
+            PointerStrategy::Stream { lags } => lags
+                .iter()
+                .filter(|&&lag| lag > 1 && lag < seq)
+                .map(|&lag| seq - lag)
+                .collect(),
+        };
+        targets.sort_unstable_by(|a, b| b.cmp(a));
+        targets.dedup();
+        debug_assert!(targets.iter().all(|&t| t >= 1 && t < seq));
+        targets
+    }
+
+    /// A short stable label (recorded in capsule metadata as a hint).
+    pub fn label(&self) -> String {
+        match self {
+            PointerStrategy::Chain => "chain".to_string(),
+            PointerStrategy::SkipList => "skiplist".to_string(),
+            PointerStrategy::Checkpoint { interval } => format!("checkpoint:{interval}"),
+            PointerStrategy::Stream { lags } => {
+                let lags: Vec<String> = lags.iter().map(|l| l.to_string()).collect();
+                format!("stream:{}", lags.join(","))
+            }
+        }
+    }
+
+    /// Parses a label produced by [`Self::label`].
+    pub fn from_label(s: &str) -> Option<PointerStrategy> {
+        if s == "chain" {
+            return Some(PointerStrategy::Chain);
+        }
+        if s == "skiplist" {
+            return Some(PointerStrategy::SkipList);
+        }
+        if let Some(rest) = s.strip_prefix("checkpoint:") {
+            return rest.parse().ok().map(|interval| PointerStrategy::Checkpoint { interval });
+        }
+        if let Some(rest) = s.strip_prefix("stream:") {
+            let lags: Option<Vec<u64>> = rest.split(',').map(|p| p.parse().ok()).collect();
+            return lags.map(|lags| PointerStrategy::Stream { lags });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_has_no_extras() {
+        for seq in 1..100 {
+            assert!(PointerStrategy::Chain.extra_targets(seq).is_empty());
+        }
+    }
+
+    #[test]
+    fn skiplist_targets() {
+        let s = PointerStrategy::SkipList;
+        assert!(s.extra_targets(1).is_empty());
+        assert!(s.extra_targets(3).is_empty()); // odd: no power of two ≥ 2 divides it
+        assert_eq!(s.extra_targets(4), vec![2]);
+        // 8 is divisible by 2, 4: targets 6, 4 — and by 8, but 8 ≥ seq? 8 == seq so excluded.
+        assert_eq!(s.extra_targets(8), vec![6, 4]);
+        assert_eq!(s.extra_targets(16), vec![14, 12, 8]);
+        assert_eq!(s.extra_targets(6), vec![4]);
+    }
+
+    #[test]
+    fn skiplist_targets_valid_range() {
+        let s = PointerStrategy::SkipList;
+        for seq in 1..2000u64 {
+            for t in s.extra_targets(seq) {
+                assert!(t >= 1 && t < seq, "seq {seq} target {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_targets() {
+        let s = PointerStrategy::Checkpoint { interval: 10 };
+        assert!(s.extra_targets(5).is_empty()); // last cp is 0
+        assert!(s.extra_targets(11).is_empty()); // prev (10) IS the checkpoint
+        assert_eq!(s.extra_targets(12), vec![10]);
+        assert_eq!(s.extra_targets(19), vec![10]);
+        assert_eq!(s.extra_targets(25), vec![20]);
+    }
+
+    #[test]
+    fn stream_targets() {
+        let s = PointerStrategy::Stream { lags: vec![2, 4] };
+        assert!(s.extra_targets(2).is_empty());
+        assert_eq!(s.extra_targets(3), vec![1]);
+        assert_eq!(s.extra_targets(10), vec![8, 6]);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for s in [
+            PointerStrategy::Chain,
+            PointerStrategy::SkipList,
+            PointerStrategy::Checkpoint { interval: 64 },
+            PointerStrategy::Stream { lags: vec![2, 4, 8] },
+        ] {
+            assert_eq!(PointerStrategy::from_label(&s.label()), Some(s));
+        }
+        assert_eq!(PointerStrategy::from_label("bogus"), None);
+    }
+}

@@ -1,0 +1,443 @@
+//! Secure advertisements (paper §VII).
+//!
+//! "When clients and DataCapsule-servers connect to GDP-routers, they
+//! advertise the names that they can service ... The advertiser must prove
+//! to the routing infrastructure that it possesses authorized delegations
+//! for each of its advertised names; we call this mechanism 'secure
+//! advertisement'. All such proof is included in a catalog, signed by the
+//! advertiser. Advertisements have corresponding expiration times, which can
+//! be deferred as a group by appending extension records to the catalog."
+//!
+//! The flow: the router challenges with a nonce; the advertiser proves key
+//! possession ([`ChallengeProof`]); then it presents an [`Advertisement`] —
+//! a signed catalog of `(capsule metadata, serving chain)` entries the
+//! router (and the GLookupService) can verify end to end.
+
+use crate::certs::CertError;
+use crate::chain::ServingChain;
+use crate::identity::Principal;
+use gdp_capsule::CapsuleMetadata;
+use gdp_crypto::{sha256, Signature, SigningKey};
+use gdp_wire::{DecodeError, Decoder, Encoder, Name, Wire};
+
+const CHALLENGE_TAG: &str = "gdp/advert-challenge/v1";
+const ADVERT_TAG: &str = "gdp/advertisement/v1";
+const EXTENSION_TAG: &str = "gdp/advert-extension/v1";
+
+/// A router-issued liveness/possession challenge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Challenge {
+    /// Random nonce; never reused by an honest router.
+    pub nonce: [u8; 32],
+}
+
+impl Challenge {
+    /// Creates a random challenge.
+    pub fn random() -> Challenge {
+        Challenge { nonce: gdp_crypto::random_array32() }
+    }
+}
+
+impl Wire for Challenge {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.raw(&self.nonce);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Challenge { nonce: dec.array::<32>()? })
+    }
+}
+
+/// Proof of private-key possession for a principal, bound to a specific
+/// router and nonce (so it cannot be replayed elsewhere).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChallengeProof {
+    /// The principal proving itself.
+    pub principal: Principal,
+    /// Echo of the challenge nonce.
+    pub nonce: [u8; 32],
+    /// Signature over (tag, nonce, router name).
+    pub signature: Signature,
+}
+
+impl ChallengeProof {
+    fn message(nonce: &[u8; 32], router: &Name) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.string(CHALLENGE_TAG);
+        enc.raw(nonce);
+        enc.name(router);
+        enc.finish()
+    }
+
+    /// Answers a challenge as `principal` toward `router`.
+    pub fn answer(
+        key: &SigningKey,
+        principal: Principal,
+        challenge: &Challenge,
+        router: &Name,
+    ) -> ChallengeProof {
+        let signature = key.sign(&Self::message(&challenge.nonce, router));
+        ChallengeProof { principal, nonce: challenge.nonce, signature }
+    }
+
+    /// Router-side verification against the nonce it issued.
+    pub fn verify(&self, challenge: &Challenge, router: &Name) -> Result<(), CertError> {
+        if self.nonce != challenge.nonce {
+            return Err(CertError::BadSignature("challenge nonce mismatch"));
+        }
+        let msg = Self::message(&self.nonce, router);
+        if self.principal.verify(&msg, &self.signature) {
+            Ok(())
+        } else {
+            Err(CertError::BadSignature("challenge proof"))
+        }
+    }
+}
+
+impl Wire for ChallengeProof {
+    fn encode(&self, enc: &mut Encoder) {
+        self.principal.encode(enc);
+        enc.raw(&self.nonce);
+        enc.raw(&self.signature.to_bytes());
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let principal = Principal::decode(dec)?;
+        let nonce = dec.array::<32>()?;
+        let signature = Signature(dec.array::<64>()?);
+        Ok(ChallengeProof { principal, nonce, signature })
+    }
+}
+
+/// One catalog entry: everything needed to verify that the advertiser may
+/// serve one capsule, starting from the flat name alone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CapsuleAdvert {
+    /// The capsule's metadata (hash = name; carries the owner key).
+    pub metadata: CapsuleMetadata,
+    /// Owner → … → server delegation ending at the advertiser.
+    pub chain: ServingChain,
+}
+
+impl CapsuleAdvert {
+    /// The advertised capsule name.
+    pub fn capsule(&self) -> Name {
+        self.metadata.name()
+    }
+
+    /// Full verification: metadata is authentic, chain verifies, and the
+    /// chain terminates at `advertiser`.
+    pub fn verify(&self, advertiser: &Name, now: u64) -> Result<(), CertError> {
+        self.metadata
+            .verify_against_name(&self.chain.adcert.capsule)
+            .map_err(|_| CertError::BrokenChain("metadata does not match advertised name"))?;
+        let owner_key = self
+            .metadata
+            .owner_key()
+            .map_err(|_| CertError::BrokenChain("metadata lacks owner key"))?;
+        self.chain.verify(&owner_key, now)?;
+        if self.chain.server().name() != *advertiser {
+            return Err(CertError::BrokenChain("chain does not end at advertiser"));
+        }
+        Ok(())
+    }
+}
+
+impl Wire for CapsuleAdvert {
+    fn encode(&self, enc: &mut Encoder) {
+        self.metadata.encode(enc);
+        self.chain.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let metadata = CapsuleMetadata::decode(dec)?;
+        let chain = ServingChain::decode(dec)?;
+        Ok(CapsuleAdvert { metadata, chain })
+    }
+}
+
+/// A signed catalog of advertised names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Advertisement {
+    /// Who is advertising (a DataCapsule-server or client).
+    pub advertiser: Principal,
+    /// Capsules the advertiser can serve, with proof.
+    pub entries: Vec<CapsuleAdvert>,
+    /// Expiry of the whole catalog, microseconds since epoch.
+    pub expires: u64,
+    /// Advertiser signature over the catalog.
+    pub signature: Signature,
+}
+
+impl Advertisement {
+    fn message(advertiser: &Principal, entries: &[CapsuleAdvert], expires: u64) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.string(ADVERT_TAG);
+        advertiser.encode(&mut enc);
+        enc.seq(entries, |e, entry| entry.encode(e));
+        enc.varint(expires);
+        enc.finish()
+    }
+
+    /// Builds and signs a catalog.
+    pub fn sign(
+        key: &SigningKey,
+        advertiser: Principal,
+        entries: Vec<CapsuleAdvert>,
+        expires: u64,
+    ) -> Advertisement {
+        let signature = key.sign(&Self::message(&advertiser, &entries, expires));
+        Advertisement { advertiser, entries, expires, signature }
+    }
+
+    /// A stable digest identifying this catalog (extension records bind to
+    /// it).
+    pub fn digest(&self) -> [u8; 32] {
+        sha256(&Self::message(&self.advertiser, &self.entries, self.expires))
+    }
+
+    /// Verifies the catalog signature, expiry, and every entry's chain.
+    pub fn verify(&self, now: u64) -> Result<(), CertError> {
+        if now > self.expires {
+            return Err(CertError::Expired { kind: "Advertisement", expires: self.expires, now });
+        }
+        let msg = Self::message(&self.advertiser, &self.entries, self.expires);
+        if !self.advertiser.verify(&msg, &self.signature) {
+            return Err(CertError::BadSignature("advertisement catalog"));
+        }
+        let advertiser = self.advertiser.name();
+        for entry in &self.entries {
+            entry.verify(&advertiser, now)?;
+        }
+        Ok(())
+    }
+
+    /// Verifies accounting for extension records: the effective expiry is
+    /// the max over valid extensions.
+    pub fn verify_with_extensions(
+        &self,
+        extensions: &[AdvertExtension],
+        now: u64,
+    ) -> Result<(), CertError> {
+        let digest = self.digest();
+        let mut effective = self.expires;
+        for ext in extensions {
+            if ext.advert_digest == digest && ext.verify(&self.advertiser).is_ok() {
+                effective = effective.max(ext.new_expires);
+            }
+        }
+        if now > effective {
+            return Err(CertError::Expired { kind: "Advertisement", expires: effective, now });
+        }
+        // Entries themselves must also still be valid now.
+        let msg = Self::message(&self.advertiser, &self.entries, self.expires);
+        if !self.advertiser.verify(&msg, &self.signature) {
+            return Err(CertError::BadSignature("advertisement catalog"));
+        }
+        let advertiser = self.advertiser.name();
+        for entry in &self.entries {
+            entry.verify(&advertiser, now)?;
+        }
+        Ok(())
+    }
+}
+
+impl Wire for Advertisement {
+    fn encode(&self, enc: &mut Encoder) {
+        self.advertiser.encode(enc);
+        enc.seq(&self.entries, |e, entry| entry.encode(e));
+        enc.varint(self.expires);
+        enc.raw(&self.signature.to_bytes());
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let advertiser = Principal::decode(dec)?;
+        let entries = dec.seq(CapsuleAdvert::decode)?;
+        let expires = dec.varint()?;
+        let signature = Signature(dec.array::<64>()?);
+        Ok(Advertisement { advertiser, entries, expires, signature })
+    }
+}
+
+/// An extension record deferring a catalog's expiry "as a group"
+/// (paper §VII) without re-shipping the entries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdvertExtension {
+    /// Digest of the catalog being extended.
+    pub advert_digest: [u8; 32],
+    /// New expiry.
+    pub new_expires: u64,
+    /// Advertiser signature.
+    pub signature: Signature,
+}
+
+impl AdvertExtension {
+    fn message(digest: &[u8; 32], new_expires: u64) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.string(EXTENSION_TAG);
+        enc.raw(digest);
+        enc.varint(new_expires);
+        enc.finish()
+    }
+
+    /// Signs an extension for `advert`.
+    pub fn sign(key: &SigningKey, advert: &Advertisement, new_expires: u64) -> AdvertExtension {
+        let digest = advert.digest();
+        let signature = key.sign(&Self::message(&digest, new_expires));
+        AdvertExtension { advert_digest: digest, new_expires, signature }
+    }
+
+    /// Verifies the advertiser's signature.
+    pub fn verify(&self, advertiser: &Principal) -> Result<(), CertError> {
+        let msg = Self::message(&self.advert_digest, self.new_expires);
+        if advertiser.verify(&msg, &self.signature) {
+            Ok(())
+        } else {
+            Err(CertError::BadSignature("advertisement extension"))
+        }
+    }
+}
+
+impl Wire for AdvertExtension {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.raw(&self.advert_digest);
+        enc.varint(self.new_expires);
+        enc.raw(&self.signature.to_bytes());
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let advert_digest = dec.array::<32>()?;
+        let new_expires = dec.varint()?;
+        let signature = Signature(dec.array::<64>()?);
+        Ok(AdvertExtension { advert_digest, new_expires, signature })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certs::{AdCert, Scope};
+    use crate::identity::{PrincipalId, PrincipalKind};
+    use gdp_capsule::MetadataBuilder;
+
+    fn owner() -> SigningKey {
+        SigningKey::from_seed(&[1u8; 32])
+    }
+    fn writer() -> SigningKey {
+        SigningKey::from_seed(&[2u8; 32])
+    }
+    fn server() -> PrincipalId {
+        PrincipalId::from_seed(PrincipalKind::Server, &[4u8; 32], "srv")
+    }
+    fn router() -> PrincipalId {
+        PrincipalId::from_seed(PrincipalKind::Router, &[5u8; 32], "rtr")
+    }
+
+    fn metadata() -> CapsuleMetadata {
+        MetadataBuilder::new()
+            .writer(&writer().verifying_key())
+            .set_str("description", "advert test")
+            .sign(&owner())
+    }
+
+    fn advert_for(meta: &CapsuleMetadata) -> Advertisement {
+        let adcert = AdCert::issue(
+            &owner(),
+            meta.name(),
+            server().name(),
+            false,
+            Scope::Global,
+            1_000_000,
+        );
+        let chain = ServingChain::direct(adcert, server().principal().clone());
+        let entry = CapsuleAdvert { metadata: meta.clone(), chain };
+        Advertisement::sign(
+            server().signing_key(),
+            server().principal().clone(),
+            vec![entry],
+            500_000,
+        )
+    }
+
+    #[test]
+    fn challenge_response() {
+        let ch = Challenge::random();
+        let proof = ChallengeProof::answer(
+            server().signing_key(),
+            server().principal().clone(),
+            &ch,
+            &router().name(),
+        );
+        proof.verify(&ch, &router().name()).unwrap();
+        // Replay to a different router fails.
+        let other = Name::from_content(b"other router");
+        assert!(proof.verify(&ch, &other).is_err());
+        // Different nonce fails.
+        let ch2 = Challenge::random();
+        assert!(proof.verify(&ch2, &router().name()).is_err());
+    }
+
+    #[test]
+    fn advertisement_verifies() {
+        let meta = metadata();
+        let advert = advert_for(&meta);
+        advert.verify(100).unwrap();
+        assert_eq!(advert.entries[0].capsule(), meta.name());
+    }
+
+    #[test]
+    fn advertisement_expiry() {
+        let advert = advert_for(&metadata());
+        assert!(matches!(advert.verify(600_000), Err(CertError::Expired { .. })));
+    }
+
+    #[test]
+    fn extension_defers_expiry() {
+        let advert = advert_for(&metadata());
+        let ext = AdvertExtension::sign(server().signing_key(), &advert, 900_000);
+        advert.verify_with_extensions(std::slice::from_ref(&ext), 600_000).unwrap();
+        // Forged extension (wrong signer) does not extend.
+        let evil = SigningKey::from_seed(&[66u8; 32]);
+        let forged = AdvertExtension {
+            advert_digest: advert.digest(),
+            new_expires: u64::MAX,
+            signature: evil.sign(b"whatever"),
+        };
+        assert!(advert.verify_with_extensions(&[forged], 600_000).is_err());
+    }
+
+    #[test]
+    fn advertisement_rejects_stolen_entry() {
+        // Another server re-signs a catalog containing a chain that ends at
+        // the victim server: entry verification must fail.
+        let meta = metadata();
+        let adcert = AdCert::issue(
+            &owner(),
+            meta.name(),
+            server().name(),
+            false,
+            Scope::Global,
+            1_000_000,
+        );
+        let chain = ServingChain::direct(adcert, server().principal().clone());
+        let entry = CapsuleAdvert { metadata: meta, chain };
+        let thief = PrincipalId::from_seed(PrincipalKind::Server, &[7u8; 32], "thief");
+        let advert = Advertisement::sign(
+            thief.signing_key(),
+            thief.principal().clone(),
+            vec![entry],
+            500_000,
+        );
+        assert!(matches!(advert.verify(100), Err(CertError::BrokenChain(_))));
+    }
+
+    #[test]
+    fn advertisement_wire_roundtrip() {
+        let advert = advert_for(&metadata());
+        let rt = Advertisement::from_wire(&advert.to_wire()).unwrap();
+        assert_eq!(rt, advert);
+        rt.verify(100).unwrap();
+    }
+
+    #[test]
+    fn tampered_catalog_rejected() {
+        let mut advert = advert_for(&metadata());
+        advert.expires += 1;
+        assert!(matches!(advert.verify(100), Err(CertError::BadSignature(_))));
+    }
+}

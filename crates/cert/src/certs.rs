@@ -1,0 +1,378 @@
+//! Delegation certificates: AdCerts, membership certs, and RtCerts.
+//!
+//! Paper §V: "Such delegations are called AdCerts and are essentially a
+//! signed statement by the DataCapsule-owner that a certain
+//! DataCapsule-server is allowed to respond for the DataCapsule in
+//! question." Footnote 8: "in practice, a DataCapsule-owner issues such
+//! delegations to storage organizations instead of individual
+//! DataCapsule-servers" — organizations then attest their servers with
+//! membership certificates.
+//!
+//! Paper §VII: "A RtCert is a signed statement issued by a physical machine
+//! (e.g. a DataCapsule-server) to a GDP-router authorizing the GDP-router
+//! to send/receive messages on behalf of DataCapsule-server."
+
+use gdp_crypto::{Signature, SigningKey, VerifyingKey};
+use gdp_wire::{DecodeError, Decoder, Encoder, Name, Wire};
+
+/// Errors from certificate verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertError {
+    /// A signature did not verify.
+    BadSignature(&'static str),
+    /// The certificate has expired.
+    Expired { kind: &'static str, expires: u64, now: u64 },
+    /// The chain's links do not connect (names/keys mismatch).
+    BrokenChain(&'static str),
+    /// A scope policy forbids the requested propagation.
+    ScopeViolation(&'static str),
+}
+
+impl std::fmt::Display for CertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertError::BadSignature(w) => write!(f, "bad signature: {w}"),
+            CertError::Expired { kind, expires, now } => {
+                write!(f, "{kind} expired at {expires}, now {now}")
+            }
+            CertError::BrokenChain(w) => write!(f, "broken delegation chain: {w}"),
+            CertError::ScopeViolation(w) => write!(f, "scope violation: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+/// Scope restriction for where a capsule may be routed/stored
+/// (paper §VII: "any restriction on where can a DataCapsule be routed
+/// through are specified by the DataCapsule-owner at the time of issuance
+/// of AdCert"; §V fn. 7: "infrastructure ensures that the data does not
+/// leave specified routing domains as controlled by policies").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// May be advertised globally (up to the global GLookupService).
+    Global,
+    /// Must stay within the named routing domain (and its children).
+    Domain(Name),
+}
+
+/// AdCert: the owner's delegation of serving rights for one capsule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdCert {
+    /// The capsule being delegated.
+    pub capsule: Name,
+    /// Grantee: a storage organization or an individual server.
+    pub grantee: Name,
+    /// Whether the grantee may attest members (organizations do; servers
+    /// granted directly do not need to).
+    pub allow_members: bool,
+    /// Propagation scope for advertisements of this capsule.
+    pub scope: Scope,
+    /// Expiry, microseconds since epoch.
+    pub expires: u64,
+    /// Owner signature.
+    pub signature: Signature,
+}
+
+const ADCERT_TAG: &str = "gdp/adcert/v1";
+
+impl AdCert {
+    fn message(
+        capsule: &Name,
+        grantee: &Name,
+        allow_members: bool,
+        scope: &Scope,
+        expires: u64,
+    ) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.string(ADCERT_TAG);
+        enc.name(capsule);
+        enc.name(grantee);
+        enc.boolean(allow_members);
+        match scope {
+            Scope::Global => {
+                enc.u8(0);
+            }
+            Scope::Domain(d) => {
+                enc.u8(1);
+                enc.name(d);
+            }
+        }
+        enc.varint(expires);
+        enc.finish()
+    }
+
+    /// Issues an AdCert signed by the capsule owner's key.
+    pub fn issue(
+        owner: &SigningKey,
+        capsule: Name,
+        grantee: Name,
+        allow_members: bool,
+        scope: Scope,
+        expires: u64,
+    ) -> AdCert {
+        let msg = Self::message(&capsule, &grantee, allow_members, &scope, expires);
+        AdCert { capsule, grantee, allow_members, scope, expires, signature: owner.sign(&msg) }
+    }
+
+    /// Verifies against the owner key (obtained from capsule metadata).
+    pub fn verify(&self, owner: &VerifyingKey, now: u64) -> Result<(), CertError> {
+        if now > self.expires {
+            return Err(CertError::Expired { kind: "AdCert", expires: self.expires, now });
+        }
+        let msg = Self::message(
+            &self.capsule,
+            &self.grantee,
+            self.allow_members,
+            &self.scope,
+            self.expires,
+        );
+        if owner.verify(&msg, &self.signature) {
+            Ok(())
+        } else {
+            Err(CertError::BadSignature("AdCert"))
+        }
+    }
+}
+
+impl Wire for AdCert {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.name(&self.capsule);
+        enc.name(&self.grantee);
+        enc.boolean(self.allow_members);
+        match &self.scope {
+            Scope::Global => {
+                enc.u8(0);
+            }
+            Scope::Domain(d) => {
+                enc.u8(1);
+                enc.name(d);
+            }
+        }
+        enc.varint(self.expires);
+        enc.raw(&self.signature.to_bytes());
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let capsule = dec.name()?;
+        let grantee = dec.name()?;
+        let allow_members = dec.boolean()?;
+        let scope = match dec.u8()? {
+            0 => Scope::Global,
+            1 => Scope::Domain(dec.name()?),
+            t => return Err(DecodeError::BadTag(t as u64)),
+        };
+        let expires = dec.varint()?;
+        let signature = Signature(dec.array::<64>()?);
+        Ok(AdCert { capsule, grantee, allow_members, scope, expires, signature })
+    }
+}
+
+/// Membership certificate: an organization attests that a principal (a
+/// server, or a sub-organization for hierarchical domains) belongs to it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MembershipCert {
+    /// The attesting organization.
+    pub org: Name,
+    /// The attested member (server or sub-organization).
+    pub member: Name,
+    /// Expiry, microseconds since epoch.
+    pub expires: u64,
+    /// Organization signature.
+    pub signature: Signature,
+}
+
+const MEMBER_TAG: &str = "gdp/membership/v1";
+
+impl MembershipCert {
+    fn message(org: &Name, member: &Name, expires: u64) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.string(MEMBER_TAG);
+        enc.name(org);
+        enc.name(member);
+        enc.varint(expires);
+        enc.finish()
+    }
+
+    /// Issues a membership cert signed by the organization key.
+    pub fn issue(org_key: &SigningKey, org: Name, member: Name, expires: u64) -> MembershipCert {
+        let msg = Self::message(&org, &member, expires);
+        MembershipCert { org, member, expires, signature: org_key.sign(&msg) }
+    }
+
+    /// Verifies against the organization's public key.
+    pub fn verify(&self, org_key: &VerifyingKey, now: u64) -> Result<(), CertError> {
+        if now > self.expires {
+            return Err(CertError::Expired { kind: "MembershipCert", expires: self.expires, now });
+        }
+        let msg = Self::message(&self.org, &self.member, self.expires);
+        if org_key.verify(&msg, &self.signature) {
+            Ok(())
+        } else {
+            Err(CertError::BadSignature("MembershipCert"))
+        }
+    }
+}
+
+impl Wire for MembershipCert {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.name(&self.org);
+        enc.name(&self.member);
+        enc.varint(self.expires);
+        enc.raw(&self.signature.to_bytes());
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let org = dec.name()?;
+        let member = dec.name()?;
+        let expires = dec.varint()?;
+        let signature = Signature(dec.array::<64>()?);
+        Ok(MembershipCert { org, member, expires, signature })
+    }
+}
+
+/// RtCert: a principal authorizes a GDP-router to carry its traffic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RtCert {
+    /// The delegating principal (usually a DataCapsule-server or client).
+    pub principal: Name,
+    /// The authorized router (or routing domain, per granularity policy).
+    pub router: Name,
+    /// Expiry, microseconds since epoch.
+    pub expires: u64,
+    /// Principal signature.
+    pub signature: Signature,
+}
+
+const RTCERT_TAG: &str = "gdp/rtcert/v1";
+
+impl RtCert {
+    fn message(principal: &Name, router: &Name, expires: u64) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.string(RTCERT_TAG);
+        enc.name(principal);
+        enc.name(router);
+        enc.varint(expires);
+        enc.finish()
+    }
+
+    /// Issues an RtCert signed by the principal.
+    pub fn issue(key: &SigningKey, principal: Name, router: Name, expires: u64) -> RtCert {
+        let msg = Self::message(&principal, &router, expires);
+        RtCert { principal, router, expires, signature: key.sign(&msg) }
+    }
+
+    /// Verifies against the principal's public key.
+    pub fn verify(&self, principal_key: &VerifyingKey, now: u64) -> Result<(), CertError> {
+        if now > self.expires {
+            return Err(CertError::Expired { kind: "RtCert", expires: self.expires, now });
+        }
+        let msg = Self::message(&self.principal, &self.router, self.expires);
+        if principal_key.verify(&msg, &self.signature) {
+            Ok(())
+        } else {
+            Err(CertError::BadSignature("RtCert"))
+        }
+    }
+}
+
+impl Wire for RtCert {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.name(&self.principal);
+        enc.name(&self.router);
+        enc.varint(self.expires);
+        enc.raw(&self.signature.to_bytes());
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let principal = dec.name()?;
+        let router = dec.name()?;
+        let expires = dec.varint()?;
+        let signature = Signature(dec.array::<64>()?);
+        Ok(RtCert { principal, router, expires, signature })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::{PrincipalId, PrincipalKind};
+
+    fn owner() -> SigningKey {
+        SigningKey::from_seed(&[1u8; 32])
+    }
+
+    #[test]
+    fn adcert_verify_and_expire() {
+        let capsule = Name::from_content(b"capsule");
+        let org = PrincipalId::from_seed(PrincipalKind::Organization, &[2u8; 32], "org");
+        let cert = AdCert::issue(&owner(), capsule, org.name(), true, Scope::Global, 1000);
+        cert.verify(&owner().verifying_key(), 500).unwrap();
+        assert!(matches!(
+            cert.verify(&owner().verifying_key(), 2000),
+            Err(CertError::Expired { .. })
+        ));
+        let evil = SigningKey::from_seed(&[9u8; 32]);
+        assert!(cert.verify(&evil.verifying_key(), 500).is_err());
+    }
+
+    #[test]
+    fn adcert_wire_roundtrip_with_scope() {
+        let capsule = Name::from_content(b"c");
+        let domain = Name::from_content(b"factory-domain");
+        let cert = AdCert::issue(
+            &owner(),
+            capsule,
+            Name::from_content(b"server"),
+            false,
+            Scope::Domain(domain),
+            42,
+        );
+        let rt = AdCert::from_wire(&cert.to_wire()).unwrap();
+        assert_eq!(rt, cert);
+    }
+
+    #[test]
+    fn adcert_tamper_rejected() {
+        let cert = AdCert::issue(
+            &owner(),
+            Name::from_content(b"c"),
+            Name::from_content(b"s"),
+            false,
+            Scope::Global,
+            1000,
+        );
+        let mut forged = cert.clone();
+        forged.grantee = Name::from_content(b"attacker");
+        assert!(forged.verify(&owner().verifying_key(), 1).is_err());
+        let mut forged2 = cert.clone();
+        forged2.expires = u64::MAX; // extend lifetime
+        assert!(forged2.verify(&owner().verifying_key(), 1).is_err());
+        let mut forged3 = cert;
+        forged3.scope = Scope::Global; // same — but re-tag to domain
+        forged3.scope = Scope::Domain(Name::from_content(b"elsewhere"));
+        assert!(forged3.verify(&owner().verifying_key(), 1).is_err());
+    }
+
+    #[test]
+    fn membership_cert() {
+        let org = PrincipalId::from_seed(PrincipalKind::Organization, &[3u8; 32], "org");
+        let server = PrincipalId::from_seed(PrincipalKind::Server, &[4u8; 32], "srv");
+        let cert = MembershipCert::issue(org.signing_key(), org.name(), server.name(), 100);
+        cert.verify(&org.principal().key, 50).unwrap();
+        assert!(cert.verify(&org.principal().key, 200).is_err());
+        assert_eq!(MembershipCert::from_wire(&cert.to_wire()).unwrap(), cert);
+    }
+
+    #[test]
+    fn rtcert() {
+        let server = PrincipalId::from_seed(PrincipalKind::Server, &[4u8; 32], "srv");
+        let router = PrincipalId::from_seed(PrincipalKind::Router, &[5u8; 32], "rtr");
+        let cert = RtCert::issue(server.signing_key(), server.name(), router.name(), 100);
+        cert.verify(&server.principal().key, 50).unwrap();
+        let mut forged = cert.clone();
+        forged.router = Name::from_content(b"mitm");
+        assert!(forged.verify(&server.principal().key, 50).is_err());
+        assert_eq!(RtCert::from_wire(&cert.to_wire()).unwrap(), cert);
+    }
+}

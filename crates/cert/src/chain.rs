@@ -1,0 +1,290 @@
+//! Delegation-chain assembly and verification.
+//!
+//! "The routing infrastructure can thus verify the chain of trust created
+//! by AdCerts and RtCerts to ensure secure routing to such names"
+//! (paper §VII). A full chain for one capsule on one server behind one
+//! router is:
+//!
+//! ```text
+//! capsule name  ──(metadata hash + owner sig)──▶ owner key
+//! owner key     ──(AdCert)──▶ storage org  (or directly a server)
+//! org key       ──(MembershipCert)*──▶ server       [0..n hops]
+//! server key    ──(RtCert)──▶ router
+//! ```
+//!
+//! Everything verifies from the flat capsule name alone — no PKI.
+
+use crate::certs::{AdCert, CertError, MembershipCert, RtCert};
+use crate::identity::Principal;
+use gdp_wire::{DecodeError, Decoder, Encoder, Wire};
+
+/// A complete, self-contained serving delegation for one capsule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServingChain {
+    /// The owner's delegation (to an org or directly to the server).
+    pub adcert: AdCert,
+    /// Principals named along the chain, in order: the AdCert grantee
+    /// first. Each must carry a valid key for signature checks.
+    pub grantee_principal: Principal,
+    /// Organization-hierarchy hops from the grantee down to the server
+    /// (empty when the AdCert names the server directly). Element `i` is
+    /// `(membership cert, member principal)`.
+    pub memberships: Vec<(MembershipCert, Principal)>,
+}
+
+impl ServingChain {
+    /// Direct delegation: AdCert names the server itself.
+    pub fn direct(adcert: AdCert, server: Principal) -> ServingChain {
+        ServingChain { adcert, grantee_principal: server, memberships: Vec::new() }
+    }
+
+    /// Delegation through an organization (possibly a hierarchy).
+    pub fn via_org(
+        adcert: AdCert,
+        org: Principal,
+        memberships: Vec<(MembershipCert, Principal)>,
+    ) -> ServingChain {
+        ServingChain { adcert, grantee_principal: org, memberships }
+    }
+
+    /// The serving principal at the end of the chain.
+    pub fn server(&self) -> &Principal {
+        self.memberships
+            .last()
+            .map(|(_, p)| p)
+            .unwrap_or(&self.grantee_principal)
+    }
+
+    /// Verifies the chain for `capsule_owner_key` (from the capsule
+    /// metadata) at time `now`.
+    pub fn verify(
+        &self,
+        owner_key: &gdp_crypto::VerifyingKey,
+        now: u64,
+    ) -> Result<(), CertError> {
+        self.adcert.verify(owner_key, now)?;
+        if self.grantee_principal.name() != self.adcert.grantee {
+            return Err(CertError::BrokenChain("grantee principal does not match AdCert"));
+        }
+        if !self.memberships.is_empty() && !self.adcert.allow_members {
+            return Err(CertError::BrokenChain(
+                "AdCert does not permit organizational sub-delegation",
+            ));
+        }
+        let mut attester = &self.grantee_principal;
+        for (cert, member) in &self.memberships {
+            if cert.org != attester.name() {
+                return Err(CertError::BrokenChain("membership cert org mismatch"));
+            }
+            if cert.member != member.name() {
+                return Err(CertError::BrokenChain("membership cert member mismatch"));
+            }
+            cert.verify(&attester.key, now)?;
+            attester = member;
+        }
+        Ok(())
+    }
+}
+
+impl Wire for ServingChain {
+    fn encode(&self, enc: &mut Encoder) {
+        self.adcert.encode(enc);
+        self.grantee_principal.encode(enc);
+        enc.seq(&self.memberships, |e, (cert, principal)| {
+            cert.encode(e);
+            principal.encode(e);
+        });
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let adcert = AdCert::decode(dec)?;
+        let grantee_principal = Principal::decode(dec)?;
+        let memberships = dec.seq(|d| {
+            let cert = MembershipCert::decode(d)?;
+            let principal = Principal::decode(d)?;
+            Ok((cert, principal))
+        })?;
+        Ok(ServingChain { adcert, grantee_principal, memberships })
+    }
+}
+
+/// A serving chain extended with the router hop: what the routing
+/// infrastructure stores in the GLookupService.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoutedChain {
+    /// How the server came to serve the capsule.
+    pub serving: ServingChain,
+    /// The server's delegation to the router.
+    pub rtcert: RtCert,
+}
+
+impl RoutedChain {
+    /// Verifies both the serving chain and the router hop.
+    pub fn verify(
+        &self,
+        owner_key: &gdp_crypto::VerifyingKey,
+        now: u64,
+    ) -> Result<(), CertError> {
+        self.serving.verify(owner_key, now)?;
+        let server = self.serving.server();
+        if self.rtcert.principal != server.name() {
+            return Err(CertError::BrokenChain("RtCert principal is not the serving server"));
+        }
+        self.rtcert.verify(&server.key, now)
+    }
+}
+
+impl Wire for RoutedChain {
+    fn encode(&self, enc: &mut Encoder) {
+        self.serving.encode(enc);
+        self.rtcert.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let serving = ServingChain::decode(dec)?;
+        let rtcert = RtCert::decode(dec)?;
+        Ok(RoutedChain { serving, rtcert })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certs::Scope;
+    use crate::identity::{PrincipalId, PrincipalKind};
+    use gdp_crypto::SigningKey;
+    use gdp_wire::Name;
+
+    fn owner() -> SigningKey {
+        SigningKey::from_seed(&[1u8; 32])
+    }
+    fn capsule() -> Name {
+        Name::from_content(b"capsule")
+    }
+
+    fn org() -> PrincipalId {
+        PrincipalId::from_seed(PrincipalKind::Organization, &[2u8; 32], "StorageCo")
+    }
+    fn sub_org() -> PrincipalId {
+        PrincipalId::from_seed(PrincipalKind::Organization, &[3u8; 32], "StorageCo-West")
+    }
+    fn server() -> PrincipalId {
+        PrincipalId::from_seed(PrincipalKind::Server, &[4u8; 32], "srv-1")
+    }
+    fn router() -> PrincipalId {
+        PrincipalId::from_seed(PrincipalKind::Router, &[5u8; 32], "rtr-1")
+    }
+
+    #[test]
+    fn direct_chain_verifies() {
+        let adcert =
+            AdCert::issue(&owner(), capsule(), server().name(), false, Scope::Global, 1000);
+        let chain = ServingChain::direct(adcert, server().principal().clone());
+        chain.verify(&owner().verifying_key(), 10).unwrap();
+        assert_eq!(chain.server().name(), server().name());
+    }
+
+    #[test]
+    fn org_chain_verifies() {
+        let adcert = AdCert::issue(&owner(), capsule(), org().name(), true, Scope::Global, 1000);
+        let m1 = MembershipCert::issue(org().signing_key(), org().name(), sub_org().name(), 1000);
+        let m2 =
+            MembershipCert::issue(sub_org().signing_key(), sub_org().name(), server().name(), 1000);
+        let chain = ServingChain::via_org(
+            adcert,
+            org().principal().clone(),
+            vec![
+                (m1, sub_org().principal().clone()),
+                (m2, server().principal().clone()),
+            ],
+        );
+        chain.verify(&owner().verifying_key(), 10).unwrap();
+        assert_eq!(chain.server().name(), server().name());
+    }
+
+    #[test]
+    fn chain_rejects_unauthorized_subdelegation() {
+        // AdCert issued directly to a server (allow_members = false) cannot
+        // sprout membership hops.
+        let adcert =
+            AdCert::issue(&owner(), capsule(), org().name(), false, Scope::Global, 1000);
+        let m = MembershipCert::issue(org().signing_key(), org().name(), server().name(), 1000);
+        let chain = ServingChain::via_org(
+            adcert,
+            org().principal().clone(),
+            vec![(m, server().principal().clone())],
+        );
+        assert!(matches!(
+            chain.verify(&owner().verifying_key(), 10),
+            Err(CertError::BrokenChain(_))
+        ));
+    }
+
+    #[test]
+    fn chain_rejects_wrong_org_signature() {
+        let adcert = AdCert::issue(&owner(), capsule(), org().name(), true, Scope::Global, 1000);
+        // sub_org tries to self-attest into org's chain.
+        let forged =
+            MembershipCert::issue(sub_org().signing_key(), org().name(), server().name(), 1000);
+        let chain = ServingChain::via_org(
+            adcert,
+            org().principal().clone(),
+            vec![(forged, server().principal().clone())],
+        );
+        assert!(chain.verify(&owner().verifying_key(), 10).is_err());
+    }
+
+    #[test]
+    fn chain_rejects_swapped_principal() {
+        let adcert =
+            AdCert::issue(&owner(), capsule(), server().name(), false, Scope::Global, 1000);
+        // Attacker presents their own principal with the same name claim.
+        let attacker = PrincipalId::from_seed(PrincipalKind::Server, &[66u8; 32], "srv-1");
+        let chain = ServingChain::direct(adcert, attacker.principal().clone());
+        assert!(matches!(
+            chain.verify(&owner().verifying_key(), 10),
+            Err(CertError::BrokenChain(_))
+        ));
+    }
+
+    #[test]
+    fn routed_chain_verifies_and_rejects_mitm() {
+        let adcert =
+            AdCert::issue(&owner(), capsule(), server().name(), false, Scope::Global, 1000);
+        let serving = ServingChain::direct(adcert, server().principal().clone());
+        let rtcert =
+            RtCert::issue(server().signing_key(), server().name(), router().name(), 1000);
+        let routed = RoutedChain { serving: serving.clone(), rtcert };
+        routed.verify(&owner().verifying_key(), 10).unwrap();
+
+        // A router that signs its own RtCert (claiming the server delegated
+        // to it) must fail: the signature is not the server's.
+        let mitm = RtCert::issue(router().signing_key(), server().name(), router().name(), 1000);
+        let bad = RoutedChain { serving, rtcert: mitm };
+        assert!(bad.verify(&owner().verifying_key(), 10).is_err());
+    }
+
+    #[test]
+    fn expiry_cascades() {
+        let adcert = AdCert::issue(&owner(), capsule(), server().name(), false, Scope::Global, 100);
+        let chain = ServingChain::direct(adcert, server().principal().clone());
+        assert!(chain.verify(&owner().verifying_key(), 101).is_err());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let adcert = AdCert::issue(&owner(), capsule(), org().name(), true, Scope::Global, 1000);
+        let m = MembershipCert::issue(org().signing_key(), org().name(), server().name(), 1000);
+        let serving = ServingChain::via_org(
+            adcert,
+            org().principal().clone(),
+            vec![(m, server().principal().clone())],
+        );
+        let rtcert =
+            RtCert::issue(server().signing_key(), server().name(), router().name(), 1000);
+        let routed = RoutedChain { serving, rtcert };
+        let rt = RoutedChain::from_wire(&routed.to_wire()).unwrap();
+        assert_eq!(rt, routed);
+        rt.verify(&owner().verifying_key(), 10).unwrap();
+    }
+}

@@ -1,0 +1,189 @@
+//! Principals: the named, keyed entities of the GDP.
+//!
+//! "Not only organizations, even individual DataCapsule-servers and
+//! GDP-routers also have their own unique identity ... derived in a similar
+//! way as the DataCapsule, i.e. by computing a cryptographic hash over a
+//! list of key-value pairs that includes a public key" (paper §IV-B, §V).
+//!
+//! A [`Principal`] is the public half (name + key + attributes); a
+//! [`PrincipalId`] additionally holds the signing key and is what a running
+//! server/router/organization process owns.
+
+use gdp_crypto::{Signature, SigningKey, VerifyingKey};
+use gdp_wire::{DecodeError, Decoder, Encoder, Name, Wire};
+
+/// What kind of entity a principal is. The kind participates in name
+/// derivation, so a key reused across kinds still yields distinct names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum PrincipalKind {
+    /// An administrative entity owning infrastructure (a Trust Domain).
+    Organization = 0,
+    /// A DataCapsule-server.
+    Server = 1,
+    /// A GDP-router.
+    Router = 2,
+    /// A client (reader or writer endpoint).
+    Client = 3,
+}
+
+impl PrincipalKind {
+    fn tag(self) -> &'static str {
+        match self {
+            PrincipalKind::Organization => "gdp/principal/org/v1",
+            PrincipalKind::Server => "gdp/principal/server/v1",
+            PrincipalKind::Router => "gdp/principal/router/v1",
+            PrincipalKind::Client => "gdp/principal/client/v1",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<PrincipalKind> {
+        Some(match v {
+            0 => PrincipalKind::Organization,
+            1 => PrincipalKind::Server,
+            2 => PrincipalKind::Router,
+            3 => PrincipalKind::Client,
+            _ => return None,
+        })
+    }
+}
+
+/// The public identity of a principal: self-certifying name + key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Principal {
+    /// Entity kind.
+    pub kind: PrincipalKind,
+    /// Public signature key.
+    pub key: VerifyingKey,
+    /// Free-form label (not trusted; for logs and UIs).
+    pub label: String,
+}
+
+impl Principal {
+    /// Derives the principal's flat name: hash over kind, key, and label.
+    pub fn name(&self) -> Name {
+        let mut enc = Encoder::new();
+        enc.u8(self.kind as u8);
+        enc.raw(&self.key.to_bytes());
+        enc.string(&self.label);
+        Name::from_tagged_content(self.kind.tag(), &enc.finish())
+    }
+
+    /// Verifies that `sig` over `msg` was produced by this principal.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        self.key.verify(msg, sig)
+    }
+}
+
+impl Wire for Principal {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u8(self.kind as u8);
+        enc.raw(&self.key.to_bytes());
+        enc.string(&self.label);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let kind = PrincipalKind::from_u8(dec.u8()?)
+            .ok_or(DecodeError::Invalid("unknown principal kind"))?;
+        let key_bytes = dec.array::<32>()?;
+        let key = VerifyingKey::from_bytes(&key_bytes)
+            .ok_or(DecodeError::Invalid("invalid principal key"))?;
+        let label = dec.string()?;
+        Ok(Principal { kind, key, label })
+    }
+}
+
+/// A principal plus its signing key: the credential a process holds.
+#[derive(Clone, Debug)]
+pub struct PrincipalId {
+    principal: Principal,
+    key: SigningKey,
+    name: Name,
+}
+
+impl PrincipalId {
+    /// Creates a principal from a signing key.
+    pub fn new(kind: PrincipalKind, key: SigningKey, label: &str) -> PrincipalId {
+        let principal =
+            Principal { kind, key: key.verifying_key(), label: label.to_string() };
+        let name = principal.name();
+        PrincipalId { principal, key, name }
+    }
+
+    /// Creates a principal with a fresh random key.
+    pub fn generate(kind: PrincipalKind, label: &str) -> PrincipalId {
+        let mut rng = rand::rngs::OsRng;
+        PrincipalId::new(kind, SigningKey::generate(&mut rng), label)
+    }
+
+    /// Deterministic principal for tests/simulations.
+    pub fn from_seed(kind: PrincipalKind, seed: &[u8; 32], label: &str) -> PrincipalId {
+        PrincipalId::new(kind, SigningKey::from_seed(seed), label)
+    }
+
+    /// The public identity.
+    pub fn principal(&self) -> &Principal {
+        &self.principal
+    }
+
+    /// The flat name (cached).
+    pub fn name(&self) -> Name {
+        self.name
+    }
+
+    /// The signing key.
+    pub fn signing_key(&self) -> &SigningKey {
+        &self.key
+    }
+
+    /// Signs a message as this principal.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        self.key.sign(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_depends_on_kind_key_label() {
+        let key = SigningKey::from_seed(&[1u8; 32]);
+        let a = PrincipalId::new(PrincipalKind::Server, key.clone(), "s1");
+        let b = PrincipalId::new(PrincipalKind::Router, key.clone(), "s1");
+        let c = PrincipalId::new(PrincipalKind::Server, key.clone(), "s2");
+        assert_ne!(a.name(), b.name());
+        assert_ne!(a.name(), c.name());
+        // Deterministic.
+        let a2 = PrincipalId::new(PrincipalKind::Server, key, "s1");
+        assert_eq!(a.name(), a2.name());
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_name() {
+        let id = PrincipalId::from_seed(PrincipalKind::Organization, &[7u8; 32], "Berkeley");
+        let p = id.principal().clone();
+        let rt = Principal::from_wire(&p.to_wire()).unwrap();
+        assert_eq!(rt, p);
+        assert_eq!(rt.name(), id.name());
+    }
+
+    #[test]
+    fn sign_verify() {
+        let id = PrincipalId::from_seed(PrincipalKind::Client, &[2u8; 32], "c");
+        let sig = id.sign(b"msg");
+        assert!(id.principal().verify(b"msg", &sig));
+        assert!(!id.principal().verify(b"other", &sig));
+    }
+
+    #[test]
+    fn corrupt_key_rejected_on_decode() {
+        let id = PrincipalId::from_seed(PrincipalKind::Server, &[3u8; 32], "s");
+        let mut bytes = id.principal().to_wire();
+        // An all-0xFF key square root will fail decompression.
+        for b in bytes[1..33].iter_mut() {
+            *b = 0xff;
+        }
+        assert!(Principal::from_wire(&bytes).is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! # gdp-cert
+//!
+//! Trust machinery of the Global Data Plane: self-certifying principal
+//! identities, explicit cryptographic delegations (AdCert / MembershipCert /
+//! RtCert), verifiable delegation chains, and the secure-advertisement
+//! protocol that populates the routing layer.
+//!
+//! The design goal (paper Table I) is a federated architecture "using the
+//! flat name ... as the trust anchor" that "does not rely on traditional
+//! PKI infrastructure": every structure here verifies from a flat name and
+//! the signatures embedded in the objects themselves.
+
+pub mod advertise;
+pub mod certs;
+pub mod chain;
+pub mod identity;
+
+pub use advertise::{AdvertExtension, Advertisement, CapsuleAdvert, Challenge, ChallengeProof};
+pub use certs::{AdCert, CertError, MembershipCert, RtCert, Scope};
+pub use chain::{RoutedChain, ServingChain};
+pub use identity::{Principal, PrincipalId, PrincipalKind};

@@ -1,0 +1,85 @@
+//! Property tests for the certificate layer: arbitrary single-byte
+//! corruption of a serialized delegation chain must never produce a chain
+//! that verifies with *different* semantics — it either fails to decode,
+//! fails to verify, or is byte-identical in meaning.
+
+use gdp_cert::{
+    AdCert, MembershipCert, PrincipalId, PrincipalKind, RoutedChain, RtCert, Scope, ServingChain,
+};
+use gdp_crypto::SigningKey;
+use gdp_wire::{Name, Wire};
+use proptest::prelude::*;
+
+fn owner() -> SigningKey {
+    SigningKey::from_seed(&[1u8; 32])
+}
+
+fn routed_chain() -> (RoutedChain, Name) {
+    let capsule = Name::from_content(b"prop capsule");
+    let org = PrincipalId::from_seed(PrincipalKind::Organization, &[2u8; 32], "org");
+    let server = PrincipalId::from_seed(PrincipalKind::Server, &[3u8; 32], "server");
+    let router = PrincipalId::from_seed(PrincipalKind::Router, &[4u8; 32], "router");
+    let adcert = AdCert::issue(&owner(), capsule, org.name(), true, Scope::Global, 1 << 40);
+    let membership = MembershipCert::issue(org.signing_key(), org.name(), server.name(), 1 << 40);
+    let serving = ServingChain::via_org(
+        adcert,
+        org.principal().clone(),
+        vec![(membership, server.principal().clone())],
+    );
+    let rtcert = RtCert::issue(server.signing_key(), server.name(), router.name(), 1 << 40);
+    (RoutedChain { serving, rtcert }, capsule)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bit-flip robustness across the entire serialized chain.
+    #[test]
+    fn corrupted_chains_never_verify_differently(
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let (chain, _capsule) = routed_chain();
+        let ok = owner().verifying_key();
+        chain.verify(&ok, 0).expect("pristine chain verifies");
+
+        let mut bytes = chain.to_wire();
+        let pos = ((pos_frac * (bytes.len() - 1) as f64) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= flip;
+        match RoutedChain::from_wire(&bytes) {
+            Err(_) => {} // decode rejected the damage
+            Ok(mutated) => {
+                match mutated.verify(&ok, 0) {
+                    Err(_) => {} // verification rejected it
+                    Ok(()) => {
+                        // A flip that still verifies must not have changed
+                        // any security-relevant semantics.
+                        prop_assert_eq!(
+                            mutated.serving.adcert.capsule,
+                            chain.serving.adcert.capsule
+                        );
+                        prop_assert_eq!(
+                            mutated.serving.server().name(),
+                            chain.serving.server().name()
+                        );
+                        prop_assert_eq!(mutated.rtcert.router, chain.rtcert.router);
+                        prop_assert_eq!(
+                            mutated.serving.adcert.expires,
+                            chain.serving.adcert.expires
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Expiry monotonicity: a chain valid at time t is valid at all earlier
+    /// times and invalid after every component's expiry.
+    #[test]
+    fn expiry_is_monotone(t in 0u64..(1u64 << 41)) {
+        let (chain, _) = routed_chain();
+        let ok = owner().verifying_key();
+        let valid = chain.verify(&ok, t).is_ok();
+        prop_assert_eq!(valid, t <= (1 << 40), "t = {}", t);
+    }
+}

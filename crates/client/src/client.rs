@@ -1,0 +1,688 @@
+//! The GDP client: writers, readers, and subscribers.
+//!
+//! Clients are where trust decisions happen: "Clients use digital
+//! signatures and encryption as the fundamental tools to enable trust in
+//! data rather than in infrastructure" (paper §V). Every response is
+//! authenticated (signature or flow-key HMAC) and every record/proof is
+//! re-verified against the capsule's writer key before the application
+//! sees it. Stale replicas are detected by heartbeat monotonicity,
+//! yielding the sequential-consistency reader semantics of §VI-C.
+//!
+//! Like the server, the client is sans-I/O: methods build request PDUs and
+//! `handle_pdu` turns responses into [`ClientEvent`]s.
+
+use gdp_capsule::{
+    CapsuleMetadata, CapsuleWriter, Heartbeat, PointerStrategy, Record,
+};
+use gdp_cert::{Principal, PrincipalId, PrincipalKind};
+use gdp_crypto::x25519::EphemeralKeyPair;
+use gdp_crypto::{ct, hkdf, SigningKey, VerifyingKey};
+use gdp_server::proto::{
+    append_ack_body, event_body, mac_response, read_result_body, response_transcript,
+    session_transcript, AckMode, DataMsg, ErrorCode, ReadResult, ReadTarget, ResponseAuth,
+};
+use gdp_wire::{Name, Pdu, PduType, Wire};
+use std::collections::HashMap;
+
+/// A verified read result delivered to the application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifiedRead {
+    /// One verified record.
+    Record(Record),
+    /// A verified contiguous run, oldest first.
+    Records(Vec<Record>),
+    /// The newest record plus its heartbeat.
+    Latest(Record, Heartbeat),
+    /// A record proven against a heartbeat (by membership proof).
+    Proven(Record),
+    /// A bare heartbeat (freshness answer).
+    Heartbeat(Heartbeat),
+}
+
+/// Events produced by [`GdpClient::handle_pdu`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// A flow key is established with a delegated server.
+    SessionReady {
+        /// The capsule the session is for.
+        capsule: Name,
+        /// The server's name.
+        server: Name,
+    },
+    /// An append was acknowledged durable.
+    AppendAcked {
+        /// The capsule.
+        capsule: Name,
+        /// Sequence number of the acked record.
+        seq: u64,
+        /// Replica count reported by the server.
+        replicas: u32,
+    },
+    /// A verified read result.
+    ReadOk {
+        /// The capsule.
+        capsule: Name,
+        /// Request seq this answers.
+        request_seq: u64,
+        /// The verified payload.
+        result: VerifiedRead,
+    },
+    /// A verified subscription event (pub-sub delivery).
+    SubEvent {
+        /// The capsule.
+        capsule: Name,
+        /// The new record.
+        record: Record,
+    },
+    /// The server reported an error.
+    ServerError {
+        /// The capsule.
+        capsule: Name,
+        /// Error code.
+        code: ErrorCode,
+        /// Detail string (untrusted).
+        detail: String,
+    },
+    /// A response failed client-side verification and was dropped. The
+    /// detection the threat model promises: "a client can detect such
+    /// deviations" (§IV-C).
+    VerificationFailed {
+        /// The capsule.
+        capsule: Name,
+        /// Why.
+        reason: &'static str,
+    },
+    /// The network reported the destination unreachable.
+    Unreachable {
+        /// The name that could not be routed.
+        name: Name,
+    },
+}
+
+struct TrackedCapsule {
+    metadata: CapsuleMetadata,
+    writer_key: VerifyingKey,
+    owner_key: VerifyingKey,
+    /// Highest verified seq observed (stale-replica detection).
+    latest_seen: u64,
+}
+
+struct Flow {
+    eph: EphemeralKeyPair,
+    key: Option<[u8; 32]>,
+}
+
+enum PendingKind {
+    Read,
+    Append,
+    Session,
+}
+
+/// The client endpoint.
+pub struct GdpClient {
+    id: PrincipalId,
+    next_seq: u64,
+    capsules: HashMap<Name, TrackedCapsule>,
+    flows: HashMap<Name, Flow>,
+    writers: HashMap<Name, CapsuleWriter>,
+    pending: HashMap<u64, (Name, PendingKind)>,
+}
+
+impl GdpClient {
+    /// Creates a client with the given identity.
+    pub fn new(id: PrincipalId) -> GdpClient {
+        assert_eq!(id.principal().kind, PrincipalKind::Client);
+        GdpClient {
+            id,
+            next_seq: 1,
+            capsules: HashMap::new(),
+            flows: HashMap::new(),
+            writers: HashMap::new(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Convenience constructor.
+    pub fn from_seed(seed: &[u8; 32], label: &str) -> GdpClient {
+        GdpClient::new(PrincipalId::from_seed(PrincipalKind::Client, seed, label))
+    }
+
+    /// The client's flat name (where responses are routed).
+    pub fn name(&self) -> Name {
+        self.id.name()
+    }
+
+    /// The client's principal id (for attach handshakes).
+    pub fn principal_id(&self) -> &PrincipalId {
+        &self.id
+    }
+
+    /// Registers a capsule the client will talk to. The metadata is the
+    /// trust anchor: its hash must equal the capsule name, and it carries
+    /// the writer/owner keys used for all verification.
+    pub fn track_capsule(&mut self, metadata: &CapsuleMetadata) -> Result<(), &'static str> {
+        metadata.verify().map_err(|_| "metadata signature invalid")?;
+        let writer_key = metadata.writer_key().map_err(|_| "no writer key")?;
+        let owner_key = metadata.owner_key().map_err(|_| "no owner key")?;
+        self.capsules.insert(metadata.name(), TrackedCapsule {
+            metadata: metadata.clone(),
+            writer_key,
+            owner_key,
+            latest_seen: 0,
+        });
+        Ok(())
+    }
+
+    /// Attaches writer state for a capsule (this client is the single
+    /// writer). `key` must match the metadata's writer key.
+    pub fn register_writer(
+        &mut self,
+        metadata: &CapsuleMetadata,
+        key: SigningKey,
+        strategy: PointerStrategy,
+    ) -> Result<(), &'static str> {
+        self.track_capsule(metadata)?;
+        let writer = CapsuleWriter::new(metadata, key, strategy)
+            .map_err(|_| "key is not the declared writer")?;
+        self.writers.insert(metadata.name(), writer);
+        Ok(())
+    }
+
+    /// Direct access to a registered writer (e.g. to resume after crash).
+    pub fn writer_mut(&mut self, capsule: &Name) -> Option<&mut CapsuleWriter> {
+        self.writers.get_mut(capsule)
+    }
+
+    fn fresh_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    fn request(&mut self, capsule: Name, kind: PendingKind, msg: &DataMsg) -> Pdu {
+        let seq = self.fresh_seq();
+        self.pending.insert(seq, (capsule, kind));
+        Pdu {
+            pdu_type: PduType::Data,
+            src: self.name(),
+            dst: capsule,
+            seq,
+            payload: msg.to_wire(),
+        }
+    }
+
+    /// Builds a session-establishment request for a capsule.
+    pub fn session_init(&mut self, capsule: Name) -> Pdu {
+        let eph = EphemeralKeyPair::generate(&mut rand::rngs::OsRng);
+        let client_eph = *eph.public();
+        self.flows.insert(capsule, Flow { eph, key: None });
+        self.request(capsule, PendingKind::Session, &DataMsg::SessionInit { client_eph })
+    }
+
+    /// True once a flow key exists for the capsule.
+    pub fn has_session(&self, capsule: &Name) -> bool {
+        self.flows.get(capsule).map(|f| f.key.is_some()).unwrap_or(false)
+    }
+
+    /// Builds an append request: signs a new record via the registered
+    /// writer and wraps it with the durability mode.
+    pub fn append(
+        &mut self,
+        capsule: Name,
+        body: &[u8],
+        timestamp_micros: u64,
+        ack_mode: AckMode,
+    ) -> Result<(Pdu, Record), &'static str> {
+        let writer = self.writers.get_mut(&capsule).ok_or("no writer registered")?;
+        let record = writer.append(body, timestamp_micros).map_err(|_| "append failed")?;
+        let pdu = self.request(
+            capsule,
+            PendingKind::Append,
+            &DataMsg::Append { record: record.clone(), ack_mode },
+        );
+        Ok((pdu, record))
+    }
+
+    /// Builds a read request.
+    pub fn read(&mut self, capsule: Name, target: ReadTarget) -> Pdu {
+        self.request(capsule, PendingKind::Read, &DataMsg::Read { target })
+    }
+
+    /// Builds a subscribe request.
+    pub fn subscribe(&mut self, capsule: Name, from_seq: u64) -> Pdu {
+        self.request(capsule, PendingKind::Read, &DataMsg::Subscribe { from_seq })
+    }
+
+    /// Builds the metadata-push used when creating a capsule on a server.
+    pub fn put_metadata(&mut self, capsule: Name) -> Option<Pdu> {
+        let meta = self.capsules.get(&capsule)?.metadata.clone();
+        Some(self.request(capsule, PendingKind::Read, &DataMsg::PutMetadata { metadata: meta }))
+    }
+
+    // ---- response handling ------------------------------------------------
+
+    /// Verifies a response's authentication against the transcript.
+    fn check_auth(
+        &self,
+        capsule: &Name,
+        request_seq: u64,
+        body: &[u8],
+        auth: &ResponseAuth,
+        now: u64,
+    ) -> Result<(), &'static str> {
+        match auth {
+            ResponseAuth::Signed { server, chain, signature } => {
+                let tracked = self.capsules.get(capsule).ok_or("untracked capsule")?;
+                chain
+                    .verify(&tracked.owner_key, now)
+                    .map_err(|_| "serving chain invalid")?;
+                if chain.server().name() != server.name() {
+                    return Err("chain does not end at responder");
+                }
+                if chain.adcert.capsule != *capsule {
+                    return Err("chain is for a different capsule");
+                }
+                let transcript = response_transcript(capsule, request_seq, body);
+                if server.verify(&transcript, signature) {
+                    Ok(())
+                } else {
+                    Err("response signature invalid")
+                }
+            }
+            ResponseAuth::Mac { tag } => {
+                let flow = self
+                    .flows
+                    .get(capsule)
+                    .and_then(|f| f.key.as_ref())
+                    .ok_or("MAC response without session")?;
+                let expect = mac_response(flow, capsule, request_seq, body);
+                if ct::eq(&expect, tag) {
+                    Ok(())
+                } else {
+                    Err("response MAC invalid")
+                }
+            }
+        }
+    }
+
+    fn verify_read(
+        &mut self,
+        capsule: &Name,
+        result: ReadResult,
+    ) -> Result<VerifiedRead, &'static str> {
+        let tracked = self.capsules.get_mut(capsule).ok_or("untracked capsule")?;
+        let wk = tracked.writer_key;
+        match result {
+            ReadResult::Record(r) => {
+                r.verify(capsule, &wk).map_err(|_| "record verification failed")?;
+                Ok(VerifiedRead::Record(r))
+            }
+            ReadResult::Records(rs) => {
+                for r in &rs {
+                    r.verify(capsule, &wk).map_err(|_| "record verification failed")?;
+                }
+                // A range answer must be strictly contiguous and chained:
+                // anything else lets a malicious server reorder or omit
+                // records while each record still verifies individually.
+                for w in rs.windows(2) {
+                    if w[1].header.seq != w[0].header.seq + 1 {
+                        return Err("range not contiguous");
+                    }
+                    if w[1].header.prev != w[0].hash() {
+                        return Err("range does not chain");
+                    }
+                }
+                Ok(VerifiedRead::Records(rs))
+            }
+            ReadResult::Latest(r, hb) => {
+                r.verify(capsule, &wk).map_err(|_| "record verification failed")?;
+                hb.verify(&wk).map_err(|_| "heartbeat invalid")?;
+                if hb.head != r.hash() || hb.seq != r.header.seq {
+                    return Err("heartbeat does not match record");
+                }
+                if hb.seq < tracked.latest_seen {
+                    // A replica served state older than what we've already
+                    // verified: sequential consistency says discard (§VI-C).
+                    return Err("stale replica state");
+                }
+                tracked.latest_seen = hb.seq;
+                Ok(VerifiedRead::Latest(r, hb))
+            }
+            ReadResult::Proof(p) => {
+                let record = p
+                    .verify(capsule, &wk)
+                    .map_err(|_| "membership proof invalid")?;
+                tracked.latest_seen = tracked.latest_seen.max(p.heartbeat.seq);
+                Ok(VerifiedRead::Proven(record))
+            }
+            ReadResult::RangeProofResult(p) => {
+                let records = p
+                    .verify(capsule, &wk)
+                    .map_err(|_| "range proof invalid")?;
+                Ok(VerifiedRead::Records(records))
+            }
+            ReadResult::HeartbeatOnly(hb) => {
+                hb.verify(&wk).map_err(|_| "heartbeat invalid")?;
+                if hb.seq < tracked.latest_seen {
+                    return Err("stale replica state");
+                }
+                tracked.latest_seen = hb.seq;
+                Ok(VerifiedRead::Heartbeat(hb))
+            }
+        }
+    }
+
+    /// Processes an inbound PDU, yielding zero or more events.
+    pub fn handle_pdu(&mut self, now: u64, pdu: Pdu) -> Vec<ClientEvent> {
+        if pdu.pdu_type == PduType::Error {
+            // Router-generated unreachable notice; payload = the dest name.
+            let name = pdu
+                .payload
+                .as_slice()
+                .try_into()
+                .map(Name)
+                .unwrap_or(Name::ZERO);
+            return vec![ClientEvent::Unreachable { name }];
+        }
+        if pdu.pdu_type != PduType::Data {
+            return Vec::new();
+        }
+        let Ok(msg) = DataMsg::from_wire(&pdu.payload) else {
+            return Vec::new();
+        };
+        match msg {
+            DataMsg::SessionAccept { server_eph, client_eph, server, chain, signature } => {
+                self.on_session_accept(now, pdu.seq, server_eph, client_eph, server, chain, signature)
+            }
+            DataMsg::AppendAck { seq, hash, replicas, auth } => {
+                let Some((capsule, _)) = self.pending.remove(&pdu.seq) else {
+                    return Vec::new();
+                };
+                let body = append_ack_body(seq, &hash, replicas);
+                match self.check_auth(&capsule, pdu.seq, &body, &auth, now) {
+                    Ok(()) => vec![ClientEvent::AppendAcked { capsule, seq, replicas }],
+                    Err(reason) => vec![ClientEvent::VerificationFailed { capsule, reason }],
+                }
+            }
+            DataMsg::ReadResp { result, auth } => {
+                let Some((capsule, _)) = self.pending.remove(&pdu.seq) else {
+                    return Vec::new();
+                };
+                let body = read_result_body(&result);
+                if let Err(reason) = self.check_auth(&capsule, pdu.seq, &body, &auth, now) {
+                    return vec![ClientEvent::VerificationFailed { capsule, reason }];
+                }
+                match self.verify_read(&capsule, result) {
+                    Ok(result) => {
+                        vec![ClientEvent::ReadOk { capsule, request_seq: pdu.seq, result }]
+                    }
+                    Err(reason) => vec![ClientEvent::VerificationFailed { capsule, reason }],
+                }
+            }
+            DataMsg::Event { record, auth } => {
+                // Events carry request_seq 0 by convention.
+                let capsule = match self.capsule_for_event(&record) {
+                    Some(c) => c,
+                    None => return Vec::new(),
+                };
+                let body = event_body(&record);
+                if let Err(reason) = self.check_auth(&capsule, 0, &body, &auth, now) {
+                    return vec![ClientEvent::VerificationFailed { capsule, reason }];
+                }
+                let tracked = self.capsules.get_mut(&capsule).unwrap();
+                if record.verify(&capsule, &tracked.writer_key).is_err() {
+                    return vec![ClientEvent::VerificationFailed {
+                        capsule,
+                        reason: "event record invalid",
+                    }];
+                }
+                tracked.latest_seen = tracked.latest_seen.max(record.header.seq);
+                vec![ClientEvent::SubEvent { capsule, record }]
+            }
+            DataMsg::ErrResp { code, detail } => {
+                let capsule = self
+                    .pending
+                    .remove(&pdu.seq)
+                    .map(|(c, _)| c)
+                    .unwrap_or(Name::ZERO);
+                vec![ClientEvent::ServerError { capsule, code, detail }]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn capsule_for_event(&self, record: &Record) -> Option<Name> {
+        // Events don't carry the capsule name explicitly; identify the
+        // capsule by which tracked writer key verifies the record.
+        self.capsules
+            .iter()
+            .find(|(name, t)| record.verify(name, &t.writer_key).is_ok())
+            .map(|(name, _)| *name)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_session_accept(
+        &mut self,
+        now: u64,
+        request_seq: u64,
+        server_eph: [u8; 32],
+        client_eph: [u8; 32],
+        server: Principal,
+        chain: gdp_cert::ServingChain,
+        signature: gdp_crypto::Signature,
+    ) -> Vec<ClientEvent> {
+        let Some((capsule, _)) = self.pending.remove(&request_seq) else {
+            return Vec::new();
+        };
+        let Some(tracked) = self.capsules.get(&capsule) else {
+            return Vec::new();
+        };
+        // The chain proves the responder is a delegated server for this
+        // capsule; the signature binds the DH to that identity (anti-MITM).
+        if chain.verify(&tracked.owner_key, now).is_err()
+            || chain.server().name() != server.name()
+            || chain.adcert.capsule != capsule
+        {
+            return vec![ClientEvent::VerificationFailed {
+                capsule,
+                reason: "session chain invalid",
+            }];
+        }
+        let transcript = session_transcript(&capsule, &client_eph, &server_eph);
+        if !server.verify(&transcript, &signature) {
+            return vec![ClientEvent::VerificationFailed {
+                capsule,
+                reason: "session signature invalid",
+            }];
+        }
+        let Some(flow) = self.flows.get_mut(&capsule) else {
+            return Vec::new();
+        };
+        if *flow.eph.public() != client_eph {
+            return vec![ClientEvent::VerificationFailed {
+                capsule,
+                reason: "session echoes wrong ephemeral",
+            }];
+        }
+        let Some(shared) = flow.eph.diffie_hellman(&server_eph) else {
+            return vec![ClientEvent::VerificationFailed {
+                capsule,
+                reason: "degenerate server ephemeral",
+            }];
+        };
+        flow.key = Some(hkdf::derive_key32(capsule.as_bytes(), &shared, b"gdp/flow-key/v1"));
+        vec![ClientEvent::SessionReady { capsule, server: server.name() }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_capsule::MetadataBuilder;
+    use gdp_cert::{AdCert, Scope, ServingChain};
+    use gdp_server::{AckMode, DataCapsuleServer, ReadTarget};
+
+    const FOREVER: u64 = 1 << 50;
+
+    fn owner() -> SigningKey {
+        SigningKey::from_seed(&[1u8; 32])
+    }
+    fn wkey() -> SigningKey {
+        SigningKey::from_seed(&[2u8; 32])
+    }
+
+    /// Client + server wired back to back (every client request PDU is fed
+    /// straight into the server; responses straight back).
+    struct Loop {
+        client: GdpClient,
+        server: DataCapsuleServer,
+        capsule: Name,
+    }
+
+    fn looped() -> Loop {
+        let sid = gdp_cert::PrincipalId::from_seed(
+            gdp_cert::PrincipalKind::Server,
+            &[3u8; 32],
+            "loop server",
+        );
+        let mut server = DataCapsuleServer::new(sid.clone());
+        let meta = MetadataBuilder::new()
+            .writer(&wkey().verifying_key())
+            .set_str("description", "loopback")
+            .sign(&owner());
+        let chain = ServingChain::direct(
+            AdCert::issue(&owner(), meta.name(), sid.name(), false, Scope::Global, FOREVER),
+            sid.principal().clone(),
+        );
+        server.host(meta.clone(), chain, vec![]).unwrap();
+        let mut client = GdpClient::from_seed(&[4u8; 32], "loop client");
+        client
+            .register_writer(&meta, wkey(), PointerStrategy::Chain)
+            .unwrap();
+        Loop { client, server, capsule: meta.name() }
+    }
+
+    impl Loop {
+        fn roundtrip(&mut self, pdu: Pdu) -> Vec<ClientEvent> {
+            let mut events = Vec::new();
+            for resp in self.server.handle_pdu(0, pdu) {
+                events.extend(self.client.handle_pdu(0, resp));
+            }
+            events
+        }
+    }
+
+    #[test]
+    fn append_read_subscribe_loop() {
+        let mut l = looped();
+        // Appends with signed-response auth (no session yet).
+        for i in 0..3u64 {
+            let (pdu, _) = l
+                .client
+                .append(l.capsule, format!("v{i}").as_bytes(), i, AckMode::Local)
+                .unwrap();
+            let events = l.roundtrip(pdu);
+            assert!(matches!(events[0], ClientEvent::AppendAcked { .. }), "{events:?}");
+        }
+        // Reads of every target verify.
+        let pdu = l.client.read(l.capsule, ReadTarget::Range(1, 3));
+        let events = l.roundtrip(pdu);
+        match &events[0] {
+            ClientEvent::ReadOk { result: VerifiedRead::Records(rs), .. } => {
+                assert_eq!(rs.len(), 3)
+            }
+            other => panic!("{other:?}"),
+        }
+        let pdu = l.client.read(l.capsule, ReadTarget::ProofOf(2));
+        let events = l.roundtrip(pdu);
+        assert!(matches!(
+            events[0],
+            ClientEvent::ReadOk { result: VerifiedRead::Proven(_), .. }
+        ));
+        let pdu = l.client.read(l.capsule, ReadTarget::HeartbeatOnly);
+        let events = l.roundtrip(pdu);
+        assert!(matches!(
+            events[0],
+            ClientEvent::ReadOk { result: VerifiedRead::Heartbeat(_), .. }
+        ));
+    }
+
+    #[test]
+    fn session_end_to_end_loop() {
+        let mut l = looped();
+        let pdu = l.client.session_init(l.capsule);
+        let events = l.roundtrip(pdu);
+        assert!(matches!(events[0], ClientEvent::SessionReady { .. }), "{events:?}");
+        assert!(l.client.has_session(&l.capsule));
+        // Post-session responses are MAC'd and still verify.
+        let (pdu, _) = l.client.append(l.capsule, b"hmac path", 9, AckMode::Local).unwrap();
+        let events = l.roundtrip(pdu);
+        assert!(matches!(events[0], ClientEvent::AppendAcked { .. }), "{events:?}");
+    }
+
+    #[test]
+    fn server_error_surfaces() {
+        let mut l = looped();
+        let pdu = l.client.read(l.capsule, ReadTarget::One(42));
+        let events = l.roundtrip(pdu);
+        assert!(matches!(
+            events[0],
+            ClientEvent::ServerError { code: gdp_server::ErrorCode::NotFound, .. }
+        ));
+    }
+
+    #[test]
+    fn subscription_events_verify_in_client() {
+        let mut l = looped();
+        let sub = l.client.subscribe(l.capsule, 0);
+        // No records yet: subscribing returns nothing.
+        assert!(l.roundtrip(sub).is_empty());
+        // New appends trigger Event PDUs to the subscriber (same client).
+        let (pdu, _) = l.client.append(l.capsule, b"published", 1, AckMode::Local).unwrap();
+        let events = l.roundtrip(pdu);
+        let got_event = events
+            .iter()
+            .any(|e| matches!(e, ClientEvent::SubEvent { record, .. } if record.body == b"published"));
+        assert!(got_event, "{events:?}");
+    }
+
+    #[test]
+    fn unknown_response_seq_ignored() {
+        let mut l = looped();
+        let (pdu, _) = l.client.append(l.capsule, b"x", 0, AckMode::Local).unwrap();
+        let mut responses = l.server.handle_pdu(0, pdu);
+        let mut resp = responses.remove(0);
+        resp.seq = 9999; // response to a request we never made
+        assert!(l.client.handle_pdu(0, resp).is_empty());
+    }
+
+    #[test]
+    fn error_pdu_reports_unreachable() {
+        let mut l = looped();
+        let ghost = Name::from_content(b"ghost");
+        let err = Pdu {
+            pdu_type: PduType::Error,
+            src: Name::from_content(b"router"),
+            dst: l.client.name(),
+            seq: 1,
+            payload: ghost.0.to_vec(),
+        };
+        let events = l.client.handle_pdu(0, err);
+        assert_eq!(events, vec![ClientEvent::Unreachable { name: ghost }]);
+    }
+
+    #[test]
+    fn untracked_capsule_cannot_be_written() {
+        let mut client = GdpClient::from_seed(&[5u8; 32], "c");
+        let ghost = Name::from_content(b"ghost");
+        assert!(client.append(ghost, b"x", 0, AckMode::Local).is_err());
+        // Registering with the wrong key also fails.
+        let meta = MetadataBuilder::new()
+            .writer(&wkey().verifying_key())
+            .sign(&owner());
+        let not_writer = SigningKey::from_seed(&[66u8; 32]);
+        assert!(client
+            .register_writer(&meta, not_writer, PointerStrategy::Chain)
+            .is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! # gdp-client
+//!
+//! The verifying GDP client: single-writer appends with durability modes,
+//! reads with end-to-end proof verification, pub-sub subscriptions, and
+//! flow-key sessions — everything the paper's threat model (§IV-C) demands
+//! a client check so that "trust lives in data rather than in
+//! infrastructure" (§V).
+
+pub mod client;
+pub mod simnode;
+
+pub use client::{ClientEvent, GdpClient, VerifiedRead};
+pub use simnode::SimClient;

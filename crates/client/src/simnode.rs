@@ -1,0 +1,105 @@
+//! Simulator adapter for a [`GdpClient`]: attaches to a router, queues
+//! requests, and collects events for test/bench inspection.
+
+use crate::client::{ClientEvent, GdpClient};
+use gdp_net::{NodeId, SimCtx, SimNode};
+use gdp_router::{AttachStep, Attacher};
+use gdp_wire::Pdu;
+use std::any::Any;
+
+/// Timer token: start the attach handshake.
+pub const ATTACH_TIMER: u64 = 0xC0;
+/// Timer token: flush queued requests (used by scripted scenarios).
+pub const FLUSH_TIMER: u64 = 0xC1;
+
+/// A [`GdpClient`] bound to a simulator node.
+pub struct SimClient {
+    /// The wrapped client.
+    pub client: GdpClient,
+    /// Neighbor id of this client's GDP-router.
+    pub router: NodeId,
+    attacher: Option<Attacher>,
+    /// Set once the router accepted the client's advertisement.
+    pub attached: bool,
+    /// Requests queued until attach completes (then sent in order).
+    pub outbox: Vec<Pdu>,
+    /// Everything `handle_pdu` produced, in arrival order.
+    pub events: Vec<ClientEvent>,
+}
+
+impl SimClient {
+    /// Wraps a client that will attach to `router` using `router_name`.
+    pub fn new(
+        client: GdpClient,
+        router: NodeId,
+        router_name: gdp_wire::Name,
+        expires: u64,
+    ) -> Box<SimClient> {
+        let attacher =
+            Attacher::new(client.principal_id().clone(), router_name, Vec::new(), expires);
+        Box::new(SimClient {
+            client,
+            router,
+            attacher: Some(attacher),
+            attached: false,
+            outbox: Vec::new(),
+            events: Vec::new(),
+        })
+    }
+
+    /// Queues a request PDU (sent once attached, or immediately on the
+    /// next event-loop turn when already attached via a flush timer).
+    pub fn enqueue(&mut self, pdu: Pdu) {
+        self.outbox.push(pdu);
+    }
+
+    /// Takes all collected events.
+    pub fn take_events(&mut self) -> Vec<ClientEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl SimNode for SimClient {
+    fn on_pdu(&mut self, ctx: &mut SimCtx<'_>, _from: NodeId, pdu: Pdu) {
+        if let Some(attacher) = self.attacher.as_mut() {
+            match attacher.on_pdu(&pdu) {
+                AttachStep::Send(p) => {
+                    ctx.send(self.router, p);
+                    return;
+                }
+                AttachStep::Done(_) => {
+                    self.attached = true;
+                    self.attacher = None;
+                    for queued in self.outbox.drain(..) {
+                        ctx.send(self.router, queued);
+                    }
+                    return;
+                }
+                AttachStep::Failed(reason) => panic!("client attach failed: {reason}"),
+                AttachStep::Ignored => {}
+            }
+        }
+        let events = self.client.handle_pdu(ctx.now, pdu);
+        self.events.extend(events);
+    }
+
+    fn on_timer(&mut self, ctx: &mut SimCtx<'_>, token: u64) {
+        match token {
+            ATTACH_TIMER => {
+                if let Some(attacher) = self.attacher.as_ref() {
+                    ctx.send(self.router, attacher.hello());
+                }
+            }
+            FLUSH_TIMER if self.attached => {
+                for queued in self.outbox.drain(..) {
+                    ctx.send(self.router, queued);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,382 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439).
+//!
+//! Record bodies in a DataCapsule are encrypted end-to-end: "read access
+//! control is maintained by selective sharing of decryption keys" (§V) and
+//! "encryption provides the final level of defense in the case when the
+//! entire infrastructure is compromised" (§V fn. 7). The infrastructure only
+//! ever sees ciphertext.
+
+use crate::ct;
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+/// Authentication tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 block.
+fn chacha20_block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let v = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// XORs the ChaCha20 keystream into `data` in place.
+pub fn chacha20_xor(key: &[u8; 32], nonce: &[u8; 12], initial_counter: u32, data: &mut [u8]) {
+    let mut counter = initial_counter;
+    for chunk in data.chunks_mut(64) {
+        let block = chacha20_block(key, counter, nonce);
+        for (b, k) in chunk.iter_mut().zip(block.iter()) {
+            *b ^= k;
+        }
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// Poly1305 one-time authenticator over 26-bit limbs.
+struct Poly1305 {
+    r: [u64; 5],
+    h: [u64; 5],
+    pad: [u64; 4], // s as 4 x u32 widened
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    fn new(key: &[u8; 32]) -> Poly1305 {
+        // r with clamping per RFC 8439.
+        let t0 = u32::from_le_bytes(key[0..4].try_into().unwrap()) & 0x0fffffff;
+        let t1 = u32::from_le_bytes(key[4..8].try_into().unwrap()) & 0x0ffffffc;
+        let t2 = u32::from_le_bytes(key[8..12].try_into().unwrap()) & 0x0ffffffc;
+        let t3 = u32::from_le_bytes(key[12..16].try_into().unwrap()) & 0x0ffffffc;
+        // Repack 4x32 into 5x26-bit limbs.
+        let r0 = (t0 & 0x3ffffff) as u64;
+        let r1 = (((t0 >> 26) | (t1 << 6)) & 0x3ffffff) as u64;
+        let r2 = (((t1 >> 20) | (t2 << 12)) & 0x3ffffff) as u64;
+        let r3 = (((t2 >> 14) | (t3 << 18)) & 0x3ffffff) as u64;
+        let r4 = ((t3 >> 8) & 0x3ffffff) as u64;
+        let pad = [
+            u32::from_le_bytes(key[16..20].try_into().unwrap()) as u64,
+            u32::from_le_bytes(key[20..24].try_into().unwrap()) as u64,
+            u32::from_le_bytes(key[24..28].try_into().unwrap()) as u64,
+            u32::from_le_bytes(key[28..32].try_into().unwrap()) as u64,
+        ];
+        Poly1305 { r: [r0, r1, r2, r3, r4], h: [0; 5], pad, buf: [0u8; 16], buf_len: 0 }
+    }
+
+    fn block(&mut self, block: &[u8; 16], partial: bool) {
+        let hibit: u64 = if partial { 0 } else { 1 << 24 };
+        let t0 = u32::from_le_bytes(block[0..4].try_into().unwrap()) as u64;
+        let t1 = u32::from_le_bytes(block[4..8].try_into().unwrap()) as u64;
+        let t2 = u32::from_le_bytes(block[8..12].try_into().unwrap()) as u64;
+        let t3 = u32::from_le_bytes(block[12..16].try_into().unwrap()) as u64;
+
+        self.h[0] += t0 & 0x3ffffff;
+        self.h[1] += ((t0 >> 26) | (t1 << 6)) & 0x3ffffff;
+        self.h[2] += ((t1 >> 20) | (t2 << 12)) & 0x3ffffff;
+        self.h[3] += ((t2 >> 14) | (t3 << 18)) & 0x3ffffff;
+        self.h[4] += (t3 >> 8) | hibit;
+
+        // h *= r mod 2^130 - 5
+        let [r0, r1, r2, r3, r4] = self.r;
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+        let [h0, h1, h2, h3, h4] = self.h;
+        let m = |a: u64, b: u64| (a as u128) * (b as u128);
+        let d0 = m(h0, r0) + m(h1, s4) + m(h2, s3) + m(h3, s2) + m(h4, s1);
+        let d1 = m(h0, r1) + m(h1, r0) + m(h2, s4) + m(h3, s3) + m(h4, s2);
+        let d2 = m(h0, r2) + m(h1, r1) + m(h2, r0) + m(h3, s4) + m(h4, s3);
+        let d3 = m(h0, r3) + m(h1, r2) + m(h2, r1) + m(h3, r0) + m(h4, s4);
+        let d4 = m(h0, r4) + m(h1, r3) + m(h2, r2) + m(h3, r1) + m(h4, r0);
+
+        let mut c: u64;
+        let mut h0 = (d0 as u64) & 0x3ffffff;
+        c = (d0 >> 26) as u64;
+        let d1 = d1 + c as u128;
+        let h1 = (d1 as u64) & 0x3ffffff;
+        c = (d1 >> 26) as u64;
+        let d2 = d2 + c as u128;
+        let h2 = (d2 as u64) & 0x3ffffff;
+        c = (d2 >> 26) as u64;
+        let d3 = d3 + c as u128;
+        let h3 = (d3 as u64) & 0x3ffffff;
+        c = (d3 >> 26) as u64;
+        let d4 = d4 + c as u128;
+        let h4 = (d4 as u64) & 0x3ffffff;
+        c = (d4 >> 26) as u64;
+        h0 += c * 5;
+        let c2 = h0 >> 26;
+        h0 &= 0x3ffffff;
+        let h1 = h1 + c2;
+
+        self.h = [h0, h1, h2, h3, h4];
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let b = self.buf;
+                self.block(&b, false);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let b: [u8; 16] = data[..16].try_into().unwrap();
+            self.block(&b, false);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    fn finalize(mut self) -> [u8; 16] {
+        if self.buf_len > 0 {
+            // Pad the final partial block with 0x01 then zeros; hibit off.
+            let mut b = [0u8; 16];
+            b[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            b[self.buf_len] = 1;
+            self.block(&b, true);
+        }
+        // Full carry and reduction mod 2^130-5.
+        let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.h;
+        let mut c;
+        c = h1 >> 26;
+        h1 &= 0x3ffffff;
+        h2 += c;
+        c = h2 >> 26;
+        h2 &= 0x3ffffff;
+        h3 += c;
+        c = h3 >> 26;
+        h3 &= 0x3ffffff;
+        h4 += c;
+        c = h4 >> 26;
+        h4 &= 0x3ffffff;
+        h0 += c * 5;
+        c = h0 >> 26;
+        h0 &= 0x3ffffff;
+        h1 += c;
+
+        // Compute h + -p = h - (2^130 - 5)
+        let mut g0 = h0.wrapping_add(5);
+        c = g0 >> 26;
+        g0 &= 0x3ffffff;
+        let mut g1 = h1.wrapping_add(c);
+        c = g1 >> 26;
+        g1 &= 0x3ffffff;
+        let mut g2 = h2.wrapping_add(c);
+        c = g2 >> 26;
+        g2 &= 0x3ffffff;
+        let mut g3 = h3.wrapping_add(c);
+        c = g3 >> 26;
+        g3 &= 0x3ffffff;
+        let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+        // Select h if h < p else g.
+        let mask = (g4 >> 63).wrapping_sub(1); // all ones if g4 did not underflow (h >= p)
+        h0 = (h0 & !mask) | (g0 & mask);
+        h1 = (h1 & !mask) | (g1 & mask);
+        h2 = (h2 & !mask) | (g2 & mask);
+        h3 = (h3 & !mask) | (g3 & mask);
+        h4 = (h4 & !mask) | (g4 & mask & 0x3ffffff);
+
+        // Serialize to 4x u32 and add pad (s) with carry.
+        let f0 = (h0 | (h1 << 26)) & 0xffffffff;
+        let f1 = ((h1 >> 6) | (h2 << 20)) & 0xffffffff;
+        let f2 = ((h2 >> 12) | (h3 << 14)) & 0xffffffff;
+        let f3 = ((h3 >> 18) | (h4 << 8)) & 0xffffffff;
+
+        let mut out = [0u8; 16];
+        let mut acc = f0 + self.pad[0];
+        out[0..4].copy_from_slice(&(acc as u32).to_le_bytes());
+        acc = f1 + self.pad[1] + (acc >> 32);
+        out[4..8].copy_from_slice(&(acc as u32).to_le_bytes());
+        acc = f2 + self.pad[2] + (acc >> 32);
+        out[8..12].copy_from_slice(&(acc as u32).to_le_bytes());
+        acc = f3 + self.pad[3] + (acc >> 32);
+        out[12..16].copy_from_slice(&(acc as u32).to_le_bytes());
+        out
+    }
+}
+
+/// Computes a Poly1305 tag.
+pub fn poly1305(key: &[u8; 32], msg: &[u8]) -> [u8; 16] {
+    let mut p = Poly1305::new(key);
+    p.update(msg);
+    p.finalize()
+}
+
+fn aead_mac(otk: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+    let mut p = Poly1305::new(otk);
+    p.update(aad);
+    if !aad.len().is_multiple_of(16) {
+        p.update(&vec![0u8; 16 - aad.len() % 16]);
+    }
+    p.update(ciphertext);
+    if !ciphertext.len().is_multiple_of(16) {
+        p.update(&vec![0u8; 16 - ciphertext.len() % 16]);
+    }
+    p.update(&(aad.len() as u64).to_le_bytes());
+    p.update(&(ciphertext.len() as u64).to_le_bytes());
+    p.finalize()
+}
+
+/// Encrypts `plaintext` with associated data; returns ciphertext || tag.
+pub fn seal(key: &[u8; 32], nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let mut otk = [0u8; 32];
+    otk.copy_from_slice(&chacha20_block(key, 0, nonce)[..32]);
+    let mut out = plaintext.to_vec();
+    chacha20_xor(key, nonce, 1, &mut out);
+    let tag = aead_mac(&otk, aad, &out);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Decrypts ciphertext || tag; returns the plaintext or `None` if
+/// authentication fails.
+pub fn open(key: &[u8; 32], nonce: &[u8; 12], aad: &[u8], sealed: &[u8]) -> Option<Vec<u8>> {
+    if sealed.len() < TAG_LEN {
+        return None;
+    }
+    let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+    let mut otk = [0u8; 32];
+    otk.copy_from_slice(&chacha20_block(key, 0, nonce)[..32]);
+    let expect = aead_mac(&otk, aad, ciphertext);
+    if !ct::eq(&expect, tag) {
+        return None;
+    }
+    let mut out = ciphertext.to_vec();
+    chacha20_xor(key, nonce, 1, &mut out);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn chacha20_block_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce = hex::decode_array::<12>("000000090000004a00000000").unwrap();
+        let block = chacha20_block(&key, 1, &nonce);
+        assert_eq!(
+            hex::encode(&block[..16]),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+        );
+    }
+
+    // RFC 8439 §2.4.2 encryption test vector (first bytes).
+    #[test]
+    fn chacha20_encrypt_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce = hex::decode_array::<12>("000000000000004a00000000").unwrap();
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        chacha20_xor(&key, &nonce, 1, &mut data);
+        assert_eq!(
+            hex::encode(&data[..16]),
+            "6e2e359a2568f98041ba0728dd0d6981"
+        );
+    }
+
+    // RFC 8439 §2.5.2 Poly1305 test vector.
+    #[test]
+    fn poly1305_vector() {
+        let key = hex::decode_array::<32>(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        )
+        .unwrap();
+        let tag = poly1305(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(hex::encode(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let key = [0x42u8; 32];
+        let nonce = [0x24u8; 12];
+        for len in [0usize, 1, 15, 16, 17, 63, 64, 65, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let sealed = seal(&key, &nonce, b"aad", &pt);
+            assert_eq!(sealed.len(), len + TAG_LEN);
+            let opened = open(&key, &nonce, b"aad", &sealed).expect("auth ok");
+            assert_eq!(opened, pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn tamper_detected() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let mut sealed = seal(&key, &nonce, b"", b"secret payload");
+        sealed[3] ^= 1;
+        assert!(open(&key, &nonce, b"", &sealed).is_none());
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let sealed = seal(&key, &nonce, b"context-a", b"payload");
+        assert!(open(&key, &nonce, b"context-b", &sealed).is_none());
+        assert!(open(&key, &nonce, b"context-a", &sealed).is_some());
+    }
+
+    #[test]
+    fn wrong_key_or_nonce_rejected() {
+        let sealed = seal(&[1u8; 32], &[2u8; 12], b"", b"x");
+        assert!(open(&[9u8; 32], &[2u8; 12], b"", &sealed).is_none());
+        assert!(open(&[1u8; 32], &[9u8; 12], b"", &sealed).is_none());
+    }
+
+    #[test]
+    fn too_short_input_rejected() {
+        assert!(open(&[0u8; 32], &[0u8; 12], b"", &[0u8; 8]).is_none());
+    }
+}

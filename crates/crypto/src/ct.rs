@@ -1,0 +1,59 @@
+//! Constant-time helpers.
+//!
+//! Comparisons of MACs, names, and signature components must not leak the
+//! position of the first differing byte through timing.
+
+/// Compares two byte slices in constant time (for equal lengths).
+/// Returns `false` immediately if lengths differ — length is public here.
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Conditionally selects `b` when `flag` is 1, `a` when 0, without branching.
+pub fn select_u64(flag: u64, a: u64, b: u64) -> u64 {
+    debug_assert!(flag == 0 || flag == 1);
+    let mask = flag.wrapping_neg();
+    (a & !mask) | (b & mask)
+}
+
+/// Returns 1 if all bytes are zero, else 0, without early exit.
+pub fn is_zero(a: &[u8]) -> bool {
+    let mut acc = 0u8;
+    for x in a {
+        acc |= x;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(eq(b"abc", b"abc"));
+        assert!(!eq(b"abc", b"abd"));
+        assert!(!eq(b"abc", b"ab"));
+        assert!(eq(b"", b""));
+    }
+
+    #[test]
+    fn select() {
+        assert_eq!(select_u64(0, 1, 2), 1);
+        assert_eq!(select_u64(1, 1, 2), 2);
+    }
+
+    #[test]
+    fn zero_check() {
+        assert!(is_zero(&[0, 0, 0]));
+        assert!(!is_zero(&[0, 1, 0]));
+        assert!(is_zero(&[]));
+    }
+}

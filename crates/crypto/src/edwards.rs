@@ -1,0 +1,295 @@
+//! Twisted Edwards curve group for Ed25519:
+//! -x² + y² = 1 + d·x²·y² over GF(2^255 - 19).
+//!
+//! Points use extended homogeneous coordinates (X : Y : Z : T) with
+//! x = X/Z, y = Y/Z, x·y = T/Z. Addition uses the strongly unified
+//! `add-2008-hwcd-3` formulas, so the same routine handles doubling.
+//! Curve constants (d, sqrt(-1), the base point) are derived numerically at
+//! first use rather than transcribed, and are cached.
+
+use crate::field::Fe;
+use crate::scalar::Scalar;
+use std::sync::OnceLock;
+
+/// A point on the Ed25519 curve in extended coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    pub(crate) x: Fe,
+    pub(crate) y: Fe,
+    pub(crate) z: Fe,
+    pub(crate) t: Fe,
+}
+
+struct Consts {
+    d: Fe,
+    d2: Fe,
+    sqrt_m1: Fe,
+    base: Point,
+}
+
+fn consts() -> &'static Consts {
+    static CONSTS: OnceLock<Consts> = OnceLock::new();
+    CONSTS.get_or_init(|| {
+        // d = -121665/121666 mod p
+        let d = Fe::from_u64(121665).neg() * Fe::from_u64(121666).invert();
+        let d2 = d + d;
+        let sqrt_m1 = Fe::sqrt_m1();
+        // Base point B: y = 4/5, x = the even root.
+        let y = Fe::from_u64(4) * Fe::from_u64(5).invert();
+        let x = recover_x(y, false, d, sqrt_m1).expect("base point must decompress");
+        let base = Point { x, y, z: Fe::ONE, t: x * y };
+        Consts { d, d2, sqrt_m1, base }
+    })
+}
+
+/// Recovers the x-coordinate for a given y and sign bit. Returns `None`
+/// if y is not on the curve.
+fn recover_x(y: Fe, sign: bool, d: Fe, sqrt_m1: Fe) -> Option<Fe> {
+    // x² = (y² - 1) / (d·y² + 1)
+    let y2 = y.square();
+    let u = y2 - Fe::ONE;
+    let v = d * y2 + Fe::ONE;
+    // Candidate root: x = u·v³·(u·v⁷)^((p-5)/8)  (RFC 8032 §5.1.3)
+    let v3 = v.square() * v;
+    let v7 = v3.square() * v;
+    let mut x = u * v3 * (u * v7).pow_p58();
+    let vx2 = v * x.square();
+    if vx2 == u {
+        // ok
+    } else if vx2 == u.neg() {
+        x = x * sqrt_m1;
+    } else {
+        return None;
+    }
+    if x.is_zero() && sign {
+        // "-0" is invalid.
+        return None;
+    }
+    if x.is_negative() != sign {
+        x = x.neg();
+    }
+    Some(x)
+}
+
+impl Point {
+    /// The identity element (0, 1).
+    pub fn identity() -> Point {
+        Point { x: Fe::ZERO, y: Fe::ONE, z: Fe::ONE, t: Fe::ZERO }
+    }
+
+    /// The standard base point B (y = 4/5, even x).
+    pub fn base() -> Point {
+        consts().base
+    }
+
+    /// Point addition (strongly unified; works when `self == rhs`).
+    pub fn add(&self, rhs: &Point) -> Point {
+        let c = consts();
+        let a = (self.y - self.x) * (rhs.y - rhs.x);
+        let b = (self.y + self.x) * (rhs.y + rhs.x);
+        let cc = self.t * c.d2 * rhs.t;
+        let dd = (self.z * rhs.z) + (self.z * rhs.z);
+        let e = b - a;
+        let f = dd - cc;
+        let g = dd + cc;
+        let h = b + a;
+        Point { x: e * f, y: g * h, z: f * g, t: e * h }
+    }
+
+    /// Point doubling.
+    pub fn double(&self) -> Point {
+        self.add(self)
+    }
+
+    /// Negation: (x, y) → (-x, y).
+    pub fn neg(&self) -> Point {
+        Point { x: self.x.neg(), y: self.y, z: self.z, t: self.t.neg() }
+    }
+
+    /// Scalar multiplication, binary double-and-add (MSB first).
+    ///
+    /// NOTE: variable-time. Acceptable for this research reproduction; a
+    /// production deployment would use a constant-time ladder for secret
+    /// scalars.
+    pub fn mul(&self, k: &Scalar) -> Point {
+        let mut acc = Point::identity();
+        let bits: Vec<u8> = k.bits_le().collect();
+        for bit in bits.iter().rev() {
+            acc = acc.double();
+            if *bit == 1 {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// k·B for the standard base point.
+    pub fn mul_base(k: &Scalar) -> Point {
+        Point::base().mul(k)
+    }
+
+    /// Computes s·B - k·A, the verification combination, in one pass.
+    pub fn double_scalar_mul_basepoint(s: &Scalar, k: &Scalar, a_neg: &Point) -> Point {
+        // Straus/Shamir trick over two points.
+        let b = Point::base();
+        let sum = b.add(a_neg);
+        let sb: Vec<u8> = s.bits_le().collect();
+        let kb: Vec<u8> = k.bits_le().collect();
+        let mut acc = Point::identity();
+        for i in (0..256).rev() {
+            acc = acc.double();
+            match (sb[i], kb[i]) {
+                (1, 1) => acc = acc.add(&sum),
+                (1, 0) => acc = acc.add(&b),
+                (0, 1) => acc = acc.add(a_neg),
+                _ => {}
+            }
+        }
+        acc
+    }
+
+    /// Compresses to the 32-byte Ed25519 encoding: y with the sign of x in
+    /// the top bit.
+    pub fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x * zinv;
+        let y = self.y * zinv;
+        let mut out = y.to_bytes();
+        if x.is_negative() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decompresses a 32-byte encoding; `None` if not a curve point.
+    pub fn decompress(bytes: &[u8; 32]) -> Option<Point> {
+        let c = consts();
+        let sign = bytes[31] & 0x80 != 0;
+        let mut y_bytes = *bytes;
+        y_bytes[31] &= 0x7f;
+        let y = Fe::from_bytes(&y_bytes);
+        // Reject non-canonical y (>= p): re-encoding must match.
+        if y.to_bytes() != y_bytes {
+            return None;
+        }
+        let x = recover_x(y, sign, c.d, c.sqrt_m1)?;
+        Some(Point { x, y, z: Fe::ONE, t: x * y })
+    }
+
+    /// True if this is the identity.
+    pub fn is_identity(&self) -> bool {
+        // x/z == 0 and y/z == 1  ⇔  x == 0 and y == z
+        self.x.is_zero() && self.y == self.z
+    }
+
+    /// Checks the curve equation in projective form; used by tests.
+    pub fn is_on_curve(&self) -> bool {
+        let c = consts();
+        // -x² + y² = z² + d·t²  and  t·z = x·y  (extended-coordinate invariants)
+        let lhs = self.y.square() - self.x.square();
+        let rhs = self.z.square() + c.d * self.t.square();
+        lhs == rhs && self.t * self.z == self.x * self.y
+    }
+}
+
+impl PartialEq for Point {
+    fn eq(&self, other: &Point) -> bool {
+        // Compare affine coordinates without dividing: cross-multiply.
+        (self.x * other.z == other.x * self.z) && (self.y * other.z == other.y * self.z)
+    }
+}
+impl Eq for Point {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_point_on_curve() {
+        assert!(Point::base().is_on_curve());
+    }
+
+    #[test]
+    fn identity_laws() {
+        let b = Point::base();
+        let id = Point::identity();
+        assert!(id.is_on_curve());
+        assert_eq!(b.add(&id), b);
+        assert_eq!(id.add(&b), b);
+        assert!(b.add(&b.neg()).is_identity());
+    }
+
+    #[test]
+    fn double_matches_add() {
+        let b = Point::base();
+        assert_eq!(b.double(), b.add(&b));
+        assert!(b.double().is_on_curve());
+    }
+
+    #[test]
+    fn associativity() {
+        let b = Point::base();
+        let p2 = b.double();
+        let p3 = p2.add(&b);
+        assert_eq!(b.add(&p2), p3);
+        assert_eq!(p2.add(&b).add(&p3), p2.add(&b.add(&p3)));
+    }
+
+    #[test]
+    fn scalar_mul_small() {
+        let b = Point::base();
+        assert!(b.mul(&Scalar::ZERO).is_identity());
+        assert_eq!(b.mul(&Scalar::ONE), b);
+        assert_eq!(b.mul(&Scalar::from_u64(2)), b.double());
+        assert_eq!(b.mul(&Scalar::from_u64(5)), b.double().double().add(&b));
+    }
+
+    #[test]
+    fn order_annihilates_base() {
+        // ℓ·B = identity.
+        let l_minus_1 = Scalar::ZERO.sub(Scalar::ONE);
+        let p = Point::base().mul(&l_minus_1).add(&Point::base());
+        assert!(p.is_identity());
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip() {
+        let mut p = Point::base();
+        for _ in 0..16 {
+            let enc = p.compress();
+            let q = Point::decompress(&enc).expect("valid point");
+            assert_eq!(p, q);
+            assert_eq!(q.compress(), enc);
+            p = p.add(&Point::base());
+        }
+    }
+
+    #[test]
+    fn base_point_encoding_matches_rfc8032() {
+        // RFC 8032: B encodes to 0x58666...6666 (y = 4/5, sign 0).
+        let enc = Point::base().compress();
+        let mut expect = [0x66u8; 32];
+        expect[0] = 0x58;
+        assert_eq!(enc, expect);
+    }
+
+    #[test]
+    fn decompress_rejects_invalid() {
+        // y = 2 is not on the curve for either sign.
+        let mut bad = [0u8; 32];
+        bad[0] = 2;
+        assert!(Point::decompress(&bad).is_none());
+        bad[31] |= 0x80;
+        assert!(Point::decompress(&bad).is_none());
+    }
+
+    #[test]
+    fn double_scalar_mul_matches_naive() {
+        let s = Scalar::from_u64(123456789);
+        let k = Scalar::from_u64(987654321);
+        let a = Point::base().mul(&Scalar::from_u64(777));
+        let fast = Point::double_scalar_mul_basepoint(&s, &k, &a.neg());
+        let slow = Point::mul_base(&s).add(&a.mul(&k).neg());
+        assert_eq!(fast, slow);
+    }
+}

@@ -1,0 +1,70 @@
+//! Minimal hex encoding/decoding used throughout the GDP for printing and
+//! parsing 32-byte flat names, keys, and digests.
+
+/// Encodes bytes as lowercase hex.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Decodes a hex string (case-insensitive). Returns `None` on odd length or
+/// non-hex characters.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    let s = s.as_bytes();
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in s.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+/// Decodes a hex string into a fixed-size array. Returns `None` on bad input
+/// or length mismatch.
+pub fn decode_array<const N: usize>(s: &str) -> Option<[u8; N]> {
+    let v = decode(s)?;
+    v.try_into().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0x00u8, 0x01, 0x7f, 0x80, 0xff, 0xde, 0xad, 0xbe, 0xef];
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn decode_rejects_odd_and_nonhex() {
+        assert!(decode("abc").is_none());
+        assert!(decode("zz").is_none());
+        assert!(decode("0g").is_none());
+    }
+
+    #[test]
+    fn decode_mixed_case() {
+        assert_eq!(decode("DeadBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn decode_array_length_check() {
+        assert!(decode_array::<4>("deadbeef").is_some());
+        assert!(decode_array::<5>("deadbeef").is_none());
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,101 @@
+//! HKDF-SHA256 (RFC 5869).
+//!
+//! Used to derive per-flow HMAC keys and record-encryption keys from the
+//! X25519 shared secret established between a client and a DataCapsule-server
+//! (paper §V "Secure Responses") and from a DataCapsule's read-access key.
+
+use crate::hmac::{hmac_sha256, HmacSha256};
+
+/// Extract step: produces a pseudorandom key from input keying material.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// Expand step: derives `out.len()` bytes of output keying material
+/// (`out.len()` must be ≤ 255 * 32).
+pub fn expand(prk: &[u8; 32], info: &[u8], out: &mut [u8]) {
+    assert!(out.len() <= 255 * 32, "HKDF-Expand output too long");
+    let mut t: Vec<u8> = Vec::new();
+    let mut generated = 0usize;
+    let mut counter = 1u8;
+    while generated < out.len() {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(&t);
+        mac.update(info);
+        mac.update(&[counter]);
+        let block = mac.finalize();
+        let take = (out.len() - generated).min(32);
+        out[generated..generated + take].copy_from_slice(&block[..take]);
+        generated += take;
+        t = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// One-shot HKDF: extract-then-expand.
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], out: &mut [u8]) {
+    let prk = extract(salt, ikm);
+    expand(&prk, info, out);
+}
+
+/// Convenience: derives a 32-byte key.
+pub fn derive_key32(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    derive(salt, ikm, info, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0u8..=0x0c).collect();
+        let info: Vec<u8> = (0xf0u8..=0xf9).collect();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex::encode(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex::encode(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0bu8; 22];
+        let prk = extract(&[], &ikm);
+        let mut okm = [0u8; 42];
+        expand(&prk, &[], &mut okm);
+        assert_eq!(
+            hex::encode(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn different_info_different_keys() {
+        let k1 = derive_key32(b"salt", b"secret", b"hmac");
+        let k2 = derive_key32(b"salt", b"secret", b"encrypt");
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn multi_block_expand_is_prefix_consistent() {
+        let prk = extract(b"s", b"ikm");
+        let mut long = [0u8; 100];
+        expand(&prk, b"i", &mut long);
+        let mut short = [0u8; 32];
+        expand(&prk, b"i", &mut short);
+        assert_eq!(&long[..32], &short[..]);
+    }
+}

@@ -1,0 +1,124 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//!
+//! The paper's "Secure Responses" mechanism (§V) bootstraps a per-flow shared
+//! key from a signature-rooted exchange and then authenticates steady-state
+//! responses with HMAC "to achieve a steady state byte overhead roughly
+//! similar to TLS". This module provides that MAC.
+
+use crate::ct;
+use crate::sha2::Sha256;
+
+/// Output size of HMAC-SHA256 in bytes.
+pub const TAG_LEN: usize = 32;
+
+/// Incremental HMAC-SHA256.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl HmacSha256 {
+    /// Creates a MAC instance keyed with `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; 64];
+        if key.len() > 64 {
+            k[..32].copy_from_slice(&crate::sha2::sha256(key));
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; 64];
+        let mut opad = [0x5cu8; 64];
+        for i in 0..64 {
+            ipad[i] ^= k[i];
+            opad[i] ^= k[i];
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacSha256 { inner, outer }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        self.inner.update(data);
+        self
+    }
+
+    /// Finishes and returns the 32-byte tag.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let inner_hash = self.inner.finalize();
+        self.outer.update(&inner_hash);
+        self.outer.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA256.
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    let mut m = HmacSha256::new(key);
+    m.update(data);
+    m.finalize()
+}
+
+/// Verifies a tag in constant time.
+pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+    let expect = hmac_sha256(key, data);
+    tag.len() == TAG_LEN && ct::eq(&expect, tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        assert_eq!(
+            hex::encode(&hmac_sha256(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        assert_eq!(
+            hex::encode(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hex::encode(&hmac_sha256(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed() {
+        // Keys longer than the block size must be hashed first; check the
+        // incremental and one-shot paths agree.
+        let key = vec![0x42u8; 200];
+        let mut m = HmacSha256::new(&key);
+        m.update(b"hello ");
+        m.update(b"world");
+        assert_eq!(m.finalize(), hmac_sha256(&key, b"hello world"));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"k", b"msg");
+        assert!(verify(b"k", b"msg", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!verify(b"k", b"msg", &bad));
+        assert!(!verify(b"k", b"msg", &tag[..31]));
+        assert!(!verify(b"other", b"msg", &tag));
+    }
+}

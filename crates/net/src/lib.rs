@@ -1,0 +1,19 @@
+//! # gdp-net
+//!
+//! Network substrates for the Global Data Plane.
+//!
+//! * [`sim`] — a deterministic discrete-event simulator modeling latency,
+//!   bandwidth (store-and-forward serialization), loss, and partitions.
+//!   All paper-figure reproductions run on it (see DESIGN.md,
+//!   "Substitutions").
+//! * [`mem`] — a threaded in-process transport over crossbeam channels for
+//!   real-concurrency tests and CPU-bound forwarding measurements.
+//!
+//! Protocol logic in `gdp-router`/`gdp-server`/`gdp-client` is written
+//! sans-I/O so the same state machines run on either substrate.
+
+pub mod mem;
+pub mod sim;
+
+pub use mem::{Endpoint, EndpointId, MemNet, MemNetError};
+pub use sim::{LinkSpec, NodeId, SimCtx, SimNet, SimNode, SimTime, MILLI, SECOND};

@@ -1,0 +1,207 @@
+//! In-process threaded transport.
+//!
+//! Where [`crate::sim`] gives deterministic virtual time, `MemNet` gives
+//! real concurrency: each endpoint is a pair of crossbeam channels, and
+//! protocol state machines run on real threads. Used for concurrency tests
+//! and for measuring the *actual* CPU cost of PDU forwarding (Fig 6's
+//! "PDU processing rate" axis).
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use gdp_wire::Pdu;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Endpoint identifier within a `MemNet`.
+pub type EndpointId = usize;
+
+struct Inner {
+    senders: RwLock<HashMap<EndpointId, Sender<(EndpointId, Pdu)>>>,
+    next_id: std::sync::atomic::AtomicUsize,
+}
+
+/// A shared in-process message fabric.
+#[derive(Clone)]
+pub struct MemNet {
+    inner: Arc<Inner>,
+}
+
+/// One attachment point on a [`MemNet`].
+pub struct Endpoint {
+    /// This endpoint's id.
+    pub id: EndpointId,
+    net: MemNet,
+    incoming: Receiver<(EndpointId, Pdu)>,
+}
+
+/// Errors for the threaded transport.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemNetError {
+    /// Destination endpoint does not exist (or has been dropped).
+    NoSuchEndpoint(EndpointId),
+    /// The endpoint's queue was disconnected.
+    Disconnected,
+}
+
+impl std::fmt::Display for MemNetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemNetError::NoSuchEndpoint(id) => write!(f, "no such endpoint: {id}"),
+            MemNetError::Disconnected => write!(f, "endpoint disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for MemNetError {}
+
+impl Default for MemNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemNet {
+    /// Creates an empty fabric.
+    pub fn new() -> MemNet {
+        MemNet {
+            inner: Arc::new(Inner {
+                senders: RwLock::new(HashMap::new()),
+                next_id: std::sync::atomic::AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Attaches a new endpoint.
+    pub fn endpoint(&self) -> Endpoint {
+        let (tx, rx) = unbounded();
+        let id = self
+            .inner
+            .next_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.senders.write().insert(id, tx);
+        Endpoint { id, net: self.clone(), incoming: rx }
+    }
+
+    fn send_from(&self, from: EndpointId, to: EndpointId, pdu: Pdu) -> Result<(), MemNetError> {
+        let senders = self.inner.senders.read();
+        let tx = senders.get(&to).ok_or(MemNetError::NoSuchEndpoint(to))?;
+        tx.send((from, pdu)).map_err(|_| MemNetError::Disconnected)
+    }
+
+    /// Number of live endpoints.
+    pub fn len(&self) -> usize {
+        self.inner.senders.read().len()
+    }
+
+    /// True if no endpoints are attached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn detach(&self, id: EndpointId) {
+        self.inner.senders.write().remove(&id);
+    }
+}
+
+impl Endpoint {
+    /// Sends a PDU to another endpoint.
+    pub fn send(&self, to: EndpointId, pdu: Pdu) -> Result<(), MemNetError> {
+        self.net.send_from(self.id, to, pdu)
+    }
+
+    /// Blocks until a PDU arrives.
+    pub fn recv(&self) -> Result<(EndpointId, Pdu), MemNetError> {
+        self.incoming.recv().map_err(|_| MemNetError::Disconnected)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Option<(EndpointId, Pdu)>, MemNetError> {
+        match self.incoming.try_recv() {
+            Ok(v) => Ok(Some(v)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(MemNetError::Disconnected),
+        }
+    }
+
+    /// Receive with a timeout.
+    pub fn recv_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<(EndpointId, Pdu)>, MemNetError> {
+        match self.incoming.recv_timeout(timeout) {
+            Ok(v) => Ok(Some(v)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(MemNetError::Disconnected)
+            }
+        }
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.net.detach(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_wire::Name;
+
+    fn pdu(seq: u64) -> Pdu {
+        Pdu::data(Name::from_content(b"s"), Name::from_content(b"d"), seq, vec![1, 2, 3])
+    }
+
+    #[test]
+    fn send_recv() {
+        let net = MemNet::new();
+        let a = net.endpoint();
+        let b = net.endpoint();
+        a.send(b.id, pdu(1)).unwrap();
+        let (from, got) = b.recv().unwrap();
+        assert_eq!(from, a.id);
+        assert_eq!(got.seq, 1);
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let net = MemNet::new();
+        let a = net.endpoint();
+        assert_eq!(a.send(99, pdu(1)), Err(MemNetError::NoSuchEndpoint(99)));
+    }
+
+    #[test]
+    fn dropped_endpoint_detaches() {
+        let net = MemNet::new();
+        let a = net.endpoint();
+        let b_id = {
+            let b = net.endpoint();
+            b.id
+        };
+        assert_eq!(a.send(b_id, pdu(1)), Err(MemNetError::NoSuchEndpoint(b_id)));
+    }
+
+    #[test]
+    fn cross_thread_traffic() {
+        let net = MemNet::new();
+        let a = net.endpoint();
+        let b = net.endpoint();
+        let b_id = b.id;
+        let handle = std::thread::spawn(move || {
+            // Echo 100 PDUs back.
+            for _ in 0..100 {
+                let (from, p) = b.recv().unwrap();
+                b.send(from, p).unwrap();
+            }
+        });
+        for i in 0..100 {
+            a.send(b_id, pdu(i)).unwrap();
+        }
+        for _ in 0..100 {
+            a.recv().unwrap();
+        }
+        handle.join().unwrap();
+        assert_eq!(a.try_recv().unwrap(), None);
+    }
+}

@@ -1,0 +1,513 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! This is the testbed substitute (see DESIGN.md): the paper evaluated its
+//! router on EC2 instances and its case study over a residential uplink;
+//! we reproduce the *shapes* of those results on a simulator that models
+//! per-link propagation latency, store-and-forward serialization delay
+//! (bandwidth), random loss, and partitions — with a seeded RNG so every
+//! run is reproducible.
+//!
+//! Protocol logic (routers, servers, clients) is written sans-I/O and
+//! plugged in via the [`SimNode`] trait; handlers buffer actions in a
+//! [`SimCtx`] which the simulator applies after the handler returns.
+
+use gdp_wire::Pdu;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Identifier of a node within one simulation.
+pub type NodeId = usize;
+
+/// Microseconds of virtual time.
+pub type SimTime = u64;
+
+/// One second in simulator time units.
+pub const SECOND: SimTime = 1_000_000;
+/// One millisecond in simulator time units.
+pub const MILLI: SimTime = 1_000;
+
+/// Directed link characteristics.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSpec {
+    /// One-way propagation delay in microseconds.
+    pub latency_us: SimTime,
+    /// Serialization bandwidth in bits per second. `u64::MAX` means
+    /// effectively infinite.
+    pub bandwidth_bps: u64,
+    /// Independent per-PDU drop probability in [0, 1).
+    pub loss: f64,
+}
+
+impl LinkSpec {
+    /// A symmetric LAN-ish link: 1 Gbps, 200 µs, lossless.
+    pub fn lan() -> LinkSpec {
+        LinkSpec { latency_us: 200, bandwidth_bps: 1_000_000_000, loss: 0.0 }
+    }
+
+    /// A wide-area link: 15 ms one way, 1 Gbps.
+    pub fn wan() -> LinkSpec {
+        LinkSpec { latency_us: 15 * MILLI, bandwidth_bps: 1_000_000_000, loss: 0.0 }
+    }
+
+    /// Residential access (paper §IX: "Internet bandwidth capped to 100/10
+    /// Mbps (upload/download)" — note the paper's parenthetical is
+    /// (download/upload) in effect; we expose both directions explicitly).
+    pub fn residential_down() -> LinkSpec {
+        LinkSpec { latency_us: 10 * MILLI, bandwidth_bps: 100_000_000, loss: 0.0 }
+    }
+
+    /// Residential upstream: 10 Mbps.
+    pub fn residential_up() -> LinkSpec {
+        LinkSpec { latency_us: 10 * MILLI, bandwidth_bps: 10_000_000, loss: 0.0 }
+    }
+
+    fn serialize_us(&self, bytes: usize) -> SimTime {
+        if self.bandwidth_bps == u64::MAX {
+            return 0;
+        }
+        // bits * 1e6 / bps, rounded up.
+        let bits = bytes as u128 * 8;
+        (bits * SECOND as u128).div_ceil(self.bandwidth_bps as u128) as SimTime
+    }
+}
+
+struct Link {
+    spec: LinkSpec,
+    up: bool,
+    /// Earliest time the link's transmitter is free (store-and-forward).
+    next_free: SimTime,
+    /// Delivered PDU / byte counters.
+    delivered_pdus: u64,
+    delivered_bytes: u64,
+    dropped_pdus: u64,
+}
+
+/// A protocol participant driven by the simulator.
+pub trait SimNode: Any {
+    /// Handles a PDU arriving from neighbor `from`.
+    fn on_pdu(&mut self, ctx: &mut SimCtx<'_>, from: NodeId, pdu: Pdu);
+
+    /// Handles a timer scheduled via [`SimCtx::set_timer`].
+    fn on_timer(&mut self, _ctx: &mut SimCtx<'_>, _token: u64) {}
+
+    /// Downcast support so tests and harnesses can reach node internals.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Buffered side effects of one handler invocation.
+pub struct SimCtx<'a> {
+    /// The handling node's own id.
+    pub self_id: NodeId,
+    /// Current virtual time.
+    pub now: SimTime,
+    actions: &'a mut Vec<Action>,
+}
+
+impl SimCtx<'_> {
+    /// Sends `pdu` to neighbor `to` over the connecting link.
+    pub fn send(&mut self, to: NodeId, pdu: Pdu) {
+        self.actions.push(Action::Send { from: self.self_id, to, pdu, extra_delay: 0 });
+    }
+
+    /// Sends after an artificial local delay (models per-PDU CPU cost).
+    pub fn send_delayed(&mut self, to: NodeId, pdu: Pdu, delay_us: SimTime) {
+        self.actions.push(Action::Send { from: self.self_id, to, pdu, extra_delay: delay_us });
+    }
+
+    /// Schedules `on_timer(token)` after `delay_us`.
+    pub fn set_timer(&mut self, delay_us: SimTime, token: u64) {
+        self.actions.push(Action::Timer { node: self.self_id, at: self.now + delay_us, token });
+    }
+}
+
+enum Action {
+    Send { from: NodeId, to: NodeId, pdu: Pdu, extra_delay: SimTime },
+    Timer { node: NodeId, at: SimTime, token: u64 },
+}
+
+enum Event {
+    Deliver { from: NodeId, to: NodeId, pdu: Pdu },
+    Timer { node: NodeId, token: u64 },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulator: nodes, links, a virtual clock, and an event queue.
+pub struct SimNet {
+    time: SimTime,
+    seq: u64,
+    nodes: Vec<Box<dyn SimNode>>,
+    links: HashMap<(NodeId, NodeId), Link>,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    rng: StdRng,
+    /// PDUs dropped because no link existed.
+    pub no_route_drops: u64,
+    events_processed: u64,
+}
+
+impl SimNet {
+    /// Creates a simulator with a deterministic RNG seed.
+    pub fn new(seed: u64) -> SimNet {
+        SimNet {
+            time: 0,
+            seq: 0,
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            queue: BinaryHeap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            no_route_drops: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Registers a node; returns its id.
+    pub fn add_node(&mut self, node: Box<dyn SimNode>) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Connects `a` and `b` with symmetric link characteristics.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.connect_directed(a, b, spec);
+        self.connect_directed(b, a, spec);
+    }
+
+    /// Connects a single direction (asymmetric links, e.g. residential
+    /// 100 Mbps down / 10 Mbps up).
+    pub fn connect_directed(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) {
+        self.links.insert(
+            (from, to),
+            Link {
+                spec,
+                up: true,
+                next_free: 0,
+                delivered_pdus: 0,
+                delivered_bytes: 0,
+                dropped_pdus: 0,
+            },
+        );
+    }
+
+    /// Brings a (bidirectional) link up or down — partitions.
+    pub fn set_link_up(&mut self, a: NodeId, b: NodeId, up: bool) {
+        if let Some(l) = self.links.get_mut(&(a, b)) {
+            l.up = up;
+        }
+        if let Some(l) = self.links.get_mut(&(b, a)) {
+            l.up = up;
+        }
+    }
+
+    /// Delivered-PDU count for the directed link `from → to`.
+    pub fn link_delivered(&self, from: NodeId, to: NodeId) -> (u64, u64) {
+        self.links
+            .get(&(from, to))
+            .map(|l| (l.delivered_pdus, l.delivered_bytes))
+            .unwrap_or((0, 0))
+    }
+
+    /// Injects a PDU as if node `from` had sent it to `to` now.
+    pub fn inject(&mut self, from: NodeId, to: NodeId, pdu: Pdu) {
+        let actions = vec![Action::Send { from, to, pdu, extra_delay: 0 }];
+        self.apply_actions(actions);
+    }
+
+    /// Schedules a timer for `node` at an absolute time.
+    pub fn inject_timer(&mut self, node: NodeId, at: SimTime, token: u64) {
+        self.push(at, Event::Timer { node, token });
+    }
+
+    /// Mutable, downcast access to a node's concrete type.
+    pub fn node_mut<T: 'static>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id]
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("node type mismatch")
+    }
+
+    fn push(&mut self, at: SimTime, event: Event) {
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq: self.seq, event }));
+    }
+
+    fn apply_actions(&mut self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { from, to, pdu, extra_delay } => {
+                    let depart_base = self.time + extra_delay;
+                    let Some(link) = self.links.get_mut(&(from, to)) else {
+                        self.no_route_drops += 1;
+                        continue;
+                    };
+                    if !link.up {
+                        link.dropped_pdus += 1;
+                        continue;
+                    }
+                    if link.spec.loss > 0.0 && self.rng.gen::<f64>() < link.spec.loss {
+                        link.dropped_pdus += 1;
+                        continue;
+                    }
+                    let size = gdp_wire::HEADER_LEN + pdu.payload.len();
+                    let start = depart_base.max(link.next_free);
+                    let done_serializing = start + link.spec.serialize_us(size);
+                    link.next_free = done_serializing;
+                    let arrive = done_serializing + link.spec.latency_us;
+                    link.delivered_pdus += 1;
+                    link.delivered_bytes += size as u64;
+                    self.push(arrive, Event::Deliver { from, to, pdu });
+                }
+                Action::Timer { node, at, token } => {
+                    self.push(at, Event::Timer { node, token });
+                }
+            }
+        }
+    }
+
+    /// Processes a single event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(sched)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(sched.at >= self.time, "time went backwards");
+        self.time = sched.at;
+        self.events_processed += 1;
+        let mut actions = Vec::new();
+        match sched.event {
+            Event::Deliver { from, to, pdu } => {
+                let mut ctx = SimCtx { self_id: to, now: self.time, actions: &mut actions };
+                self.nodes[to].on_pdu(&mut ctx, from, pdu);
+            }
+            Event::Timer { node, token } => {
+                let mut ctx = SimCtx { self_id: node, now: self.time, actions: &mut actions };
+                self.nodes[node].on_timer(&mut ctx, token);
+            }
+        }
+        self.apply_actions(actions);
+        true
+    }
+
+    /// Runs until the queue drains or virtual time exceeds `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.time = self.time.max(deadline);
+    }
+
+    /// Runs until no events remain (with a safety cap on event count).
+    pub fn run_to_quiescence(&mut self) {
+        let cap = self.events_processed + 50_000_000;
+        while self.step() {
+            if self.events_processed > cap {
+                panic!("simulation did not quiesce within 50M events");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_wire::Name;
+
+    /// A node that counts arrivals and optionally echoes back.
+    struct Counter {
+        received: Vec<(NodeId, u64)>,
+        echo: bool,
+        timers: Vec<u64>,
+    }
+
+    impl Counter {
+        fn new(echo: bool) -> Box<Counter> {
+            Box::new(Counter { received: Vec::new(), echo, timers: Vec::new() })
+        }
+    }
+
+    impl SimNode for Counter {
+        fn on_pdu(&mut self, ctx: &mut SimCtx<'_>, from: NodeId, pdu: Pdu) {
+            self.received.push((from, pdu.seq));
+            if self.echo {
+                let reply = Pdu::data(pdu.dst, pdu.src, pdu.seq, vec![]);
+                ctx.send(from, reply);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut SimCtx<'_>, token: u64) {
+            self.timers.push(token);
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn pdu(seq: u64, payload_len: usize) -> Pdu {
+        Pdu::data(Name::from_content(b"a"), Name::from_content(b"b"), seq, vec![0u8; payload_len])
+    }
+
+    #[test]
+    fn delivery_and_echo() {
+        let mut net = SimNet::new(1);
+        let a = net.add_node(Counter::new(false));
+        let b = net.add_node(Counter::new(true));
+        net.connect(a, b, LinkSpec::lan());
+        net.inject(a, b, pdu(7, 100));
+        net.run_to_quiescence();
+        assert_eq!(net.node_mut::<Counter>(b).received, vec![(a, 7)]);
+        assert_eq!(net.node_mut::<Counter>(a).received, vec![(b, 7)]);
+    }
+
+    #[test]
+    fn latency_is_modeled() {
+        let mut net = SimNet::new(1);
+        let a = net.add_node(Counter::new(false));
+        let b = net.add_node(Counter::new(false));
+        net.connect(a, b, LinkSpec { latency_us: 5000, bandwidth_bps: u64::MAX, loss: 0.0 });
+        net.inject(a, b, pdu(1, 10));
+        net.run_to_quiescence();
+        assert_eq!(net.now(), 5000);
+    }
+
+    #[test]
+    fn bandwidth_serialization_delay() {
+        let mut net = SimNet::new(1);
+        let a = net.add_node(Counter::new(false));
+        let b = net.add_node(Counter::new(false));
+        // 1 Mbps, zero latency: 10 000 bytes payload + header ≈ 80.6 kbit ⇒ ~80 ms.
+        net.connect(a, b, LinkSpec { latency_us: 0, bandwidth_bps: 1_000_000, loss: 0.0 });
+        net.inject(a, b, pdu(1, 10_000));
+        net.run_to_quiescence();
+        let expect = ((10_000 + gdp_wire::HEADER_LEN) * 8) as u64;
+        assert_eq!(net.now(), expect); // µs at 1 bit/µs
+    }
+
+    #[test]
+    fn store_and_forward_queues_backlog() {
+        let mut net = SimNet::new(1);
+        let a = net.add_node(Counter::new(false));
+        let b = net.add_node(Counter::new(false));
+        net.connect(a, b, LinkSpec { latency_us: 0, bandwidth_bps: 8_000_000, loss: 0.0 });
+        // Two 1000-byte PDUs back to back: each takes ~1078 µs to serialize
+        // at 1 byte/µs; the second must wait for the first.
+        net.inject(a, b, pdu(1, 1000));
+        net.inject(a, b, pdu(2, 1000));
+        net.run_to_quiescence();
+        let per_pdu = (1000 + gdp_wire::HEADER_LEN) as u64;
+        assert_eq!(net.now(), 2 * per_pdu);
+        assert_eq!(net.node_mut::<Counter>(b).received.len(), 2);
+    }
+
+    #[test]
+    fn loss_drops_deterministically() {
+        let mut net = SimNet::new(42);
+        let a = net.add_node(Counter::new(false));
+        let b = net.add_node(Counter::new(false));
+        net.connect(a, b, LinkSpec { latency_us: 1, bandwidth_bps: u64::MAX, loss: 0.5 });
+        for i in 0..100 {
+            net.inject(a, b, pdu(i, 1));
+        }
+        net.run_to_quiescence();
+        let got = net.node_mut::<Counter>(b).received.len();
+        assert!(got > 20 && got < 80, "loss should drop roughly half, got {got}");
+        // Determinism: same seed, same outcome.
+        let mut net2 = SimNet::new(42);
+        let a2 = net2.add_node(Counter::new(false));
+        let b2 = net2.add_node(Counter::new(false));
+        net2.connect(a2, b2, LinkSpec { latency_us: 1, bandwidth_bps: u64::MAX, loss: 0.5 });
+        for i in 0..100 {
+            net2.inject(a2, b2, pdu(i, 1));
+        }
+        net2.run_to_quiescence();
+        assert_eq!(net2.node_mut::<Counter>(b2).received.len(), got);
+    }
+
+    #[test]
+    fn partition_blocks_traffic() {
+        let mut net = SimNet::new(1);
+        let a = net.add_node(Counter::new(false));
+        let b = net.add_node(Counter::new(false));
+        net.connect(a, b, LinkSpec::lan());
+        net.set_link_up(a, b, false);
+        net.inject(a, b, pdu(1, 10));
+        net.run_to_quiescence();
+        assert!(net.node_mut::<Counter>(b).received.is_empty());
+        net.set_link_up(a, b, true);
+        net.inject(a, b, pdu(2, 10));
+        net.run_to_quiescence();
+        assert_eq!(net.node_mut::<Counter>(b).received.len(), 1);
+    }
+
+    #[test]
+    fn missing_link_counts_no_route() {
+        let mut net = SimNet::new(1);
+        let a = net.add_node(Counter::new(false));
+        let b = net.add_node(Counter::new(false));
+        net.inject(a, b, pdu(1, 10));
+        net.run_to_quiescence();
+        assert_eq!(net.no_route_drops, 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut net = SimNet::new(1);
+        let a = net.add_node(Counter::new(false));
+        net.inject_timer(a, 300, 3);
+        net.inject_timer(a, 100, 1);
+        net.inject_timer(a, 200, 2);
+        net.run_to_quiescence();
+        assert_eq!(net.node_mut::<Counter>(a).timers, vec![1, 2, 3]);
+        assert_eq!(net.now(), 300);
+    }
+
+    #[test]
+    fn asymmetric_links() {
+        let mut net = SimNet::new(1);
+        let home = net.add_node(Counter::new(false));
+        let cloud = net.add_node(Counter::new(false));
+        net.connect_directed(home, cloud, LinkSpec::residential_up());
+        net.connect_directed(cloud, home, LinkSpec::residential_down());
+        // Upload of 1 MB at 10 Mbps ≈ 0.8 s; download at 100 Mbps ≈ 0.08 s.
+        net.inject(home, cloud, pdu(1, 1_000_000));
+        net.run_to_quiescence();
+        let up_time = net.now();
+        net.inject(cloud, home, pdu(2, 1_000_000));
+        net.run_to_quiescence();
+        let down_time = net.now() - up_time;
+        assert!(up_time > 7 * down_time, "up {up_time} down {down_time}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Advertiser-side secure-advertisement driver.
+//!
+//! DataCapsule-servers and clients both run this little state machine to
+//! attach to a GDP-router: Hello → (challenge) → Attach{proof, catalog,
+//! RtCert} → Accepted. "Once this process succeeds, the DataCapsule-server
+//! issues a RtCert to the GDP-router" (paper §VII) — here the RtCert rides
+//! in the Attach message.
+
+use crate::messages::AdvertiseMsg;
+use gdp_cert::{AdvertExtension, Advertisement, CapsuleAdvert, ChallengeProof, PrincipalId, RtCert};
+use gdp_wire::{Name, Pdu, PduType, Wire};
+
+/// Progress of an attach handshake.
+#[derive(Debug)]
+pub enum AttachStep {
+    /// Send this PDU to the router and keep waiting.
+    Send(Pdu),
+    /// Attachment accepted; the router installed these names.
+    Done(Vec<Name>),
+    /// Attachment rejected.
+    Failed(String),
+    /// PDU was not part of this handshake; ignore it.
+    Ignored,
+}
+
+/// Client/server side of the secure-advertisement handshake.
+pub struct Attacher {
+    principal: PrincipalId,
+    router: Name,
+    entries: Vec<CapsuleAdvert>,
+    expires: u64,
+    rtcert_expires: u64,
+    seq: u64,
+    last_advertisement: Option<Advertisement>,
+}
+
+impl Attacher {
+    /// Prepares an attach of `principal` to `router`, advertising
+    /// `entries` (empty for plain clients) until `expires`.
+    pub fn new(
+        principal: PrincipalId,
+        router: Name,
+        entries: Vec<CapsuleAdvert>,
+        expires: u64,
+    ) -> Attacher {
+        Attacher {
+            principal,
+            router,
+            entries,
+            expires,
+            rtcert_expires: expires,
+            seq: 1,
+            last_advertisement: None,
+        }
+    }
+
+    /// Sets a longer validity for the RtCert than for the catalog. The
+    /// catalog expiry is a liveness signal meant to be refreshed (or
+    /// deferred with extension records); the RtCert is the routing
+    /// delegation and may outlive many catalogs.
+    pub fn with_rtcert_expires(mut self, expires: u64) -> Attacher {
+        self.rtcert_expires = expires;
+        self
+    }
+
+    /// After a successful attach: builds an extension PDU deferring the
+    /// catalog's expiry to `new_expires` (paper §VII extension records).
+    pub fn extend(&mut self, new_expires: u64) -> Option<Pdu> {
+        let advert = self.last_advertisement.as_ref()?;
+        let extension = AdvertExtension::sign(self.principal.signing_key(), advert, new_expires);
+        self.seq += 1;
+        Some(Pdu {
+            pdu_type: PduType::Advertise,
+            src: self.principal.name(),
+            dst: self.router,
+            seq: self.seq,
+            payload: AdvertiseMsg::Extend { extension }.to_wire(),
+        })
+    }
+
+    /// The initial Hello PDU.
+    pub fn hello(&self) -> Pdu {
+        Pdu {
+            pdu_type: PduType::Advertise,
+            src: self.principal.name(),
+            dst: self.router,
+            seq: self.seq,
+            payload: AdvertiseMsg::Hello.to_wire(),
+        }
+    }
+
+    /// Processes a router reply.
+    pub fn on_pdu(&mut self, pdu: &Pdu) -> AttachStep {
+        if pdu.pdu_type != PduType::Advertise || pdu.src != self.router {
+            return AttachStep::Ignored;
+        }
+        match AdvertiseMsg::from_wire(&pdu.payload) {
+            Ok(AdvertiseMsg::ChallengeMsg(challenge)) => {
+                let proof = ChallengeProof::answer(
+                    self.principal.signing_key(),
+                    self.principal.principal().clone(),
+                    &challenge,
+                    &self.router,
+                );
+                let advertisement = Advertisement::sign(
+                    self.principal.signing_key(),
+                    self.principal.principal().clone(),
+                    self.entries.clone(),
+                    self.expires,
+                );
+                let rtcert = RtCert::issue(
+                    self.principal.signing_key(),
+                    self.principal.name(),
+                    self.router,
+                    self.rtcert_expires,
+                );
+                self.last_advertisement = Some(advertisement.clone());
+                self.seq += 1;
+                AttachStep::Send(Pdu {
+                    pdu_type: PduType::Advertise,
+                    src: self.principal.name(),
+                    dst: self.router,
+                    seq: self.seq,
+                    payload: AdvertiseMsg::Attach { proof, advertisement, rtcert }.to_wire(),
+                })
+            }
+            Ok(AdvertiseMsg::Accepted { accepted }) => AttachStep::Done(accepted),
+            Ok(AdvertiseMsg::Rejected { reason }) => AttachStep::Failed(reason),
+            _ => AttachStep::Ignored,
+        }
+    }
+}
+
+/// Drives a complete handshake synchronously against an in-process router
+/// (no network): used by tests and by simulation setup code.
+pub fn attach_directly(
+    router: &mut crate::router::Router,
+    neighbor: crate::fib::NeighborId,
+    attacher: &mut Attacher,
+    now: u64,
+) -> Result<Vec<Name>, String> {
+    let mut inbound = vec![attacher.hello()];
+    // Bounded loop: Hello → Challenge → Attach → Accepted.
+    for _ in 0..4 {
+        let mut next = Vec::new();
+        for pdu in inbound.drain(..) {
+            for (_, reply) in router.handle_pdu(now, neighbor, pdu) {
+                match attacher.on_pdu(&reply) {
+                    AttachStep::Send(p) => next.push(p),
+                    AttachStep::Done(names) => return Ok(names),
+                    AttachStep::Failed(reason) => return Err(reason),
+                    AttachStep::Ignored => {}
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        inbound = next;
+    }
+    Err("handshake did not complete".to_string())
+}

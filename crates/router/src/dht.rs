@@ -1,0 +1,401 @@
+//! A Kademlia-style DHT backend for the global GLookupService.
+//!
+//! Paper §VII: "the GLookupService is essentially a key-value store and is
+//! not required to be trusted; existing technologies such as distributed
+//! hash tables (DHTs) can be used to implement a highly distributed and
+//! scalable GLookupService."
+//!
+//! Keys are flat names; distance is XOR ([`Name::xor_distance`]); values
+//! are [`VerifiedRoute`]s, which carry their own certificate chains — so a
+//! malicious DHT node can *withhold* a route but cannot *forge* one
+//! (retrievers re-verify everything, and this module does it for them).
+//!
+//! The implementation is an in-process cluster with iterative lookups over
+//! k-buckets: the algorithmic content of Kademlia (routing-table
+//! maintenance, α-parallel iterative search, k-replication) without a
+//! socket layer, matching how the rest of the repo separates protocol
+//! logic from transport.
+
+use crate::messages::VerifiedRoute;
+use gdp_wire::Name;
+use std::collections::{HashMap, HashSet};
+
+/// Replication factor: values live on the K closest nodes.
+pub const K: usize = 4;
+/// Bucket capacity (classic Kademlia uses 20; smaller fits test clusters).
+pub const BUCKET_SIZE: usize = 8;
+/// Lookup parallelism.
+pub const ALPHA: usize = 3;
+
+fn distance(a: &Name, b: &Name) -> [u8; 32] {
+    a.xor_distance(b)
+}
+
+/// Index of the highest set bit of the distance → bucket number (0..256).
+fn bucket_index(d: &[u8; 32]) -> Option<usize> {
+    for (i, byte) in d.iter().enumerate() {
+        if *byte != 0 {
+            return Some((31 - i) * 8 + (7 - byte.leading_zeros() as usize));
+        }
+    }
+    None // distance zero: self
+}
+
+/// One DHT participant.
+pub struct DhtNode {
+    /// This node's id (its flat name).
+    pub id: Name,
+    /// k-buckets: per distance-bit, up to BUCKET_SIZE known peers.
+    buckets: Vec<Vec<Name>>,
+    /// Locally stored routes, keyed by the looked-up name.
+    store: HashMap<Name, Vec<VerifiedRoute>>,
+    /// Simulated failure: a down node answers nothing.
+    pub down: bool,
+}
+
+impl DhtNode {
+    /// Creates a node with the given id.
+    pub fn new(id: Name) -> DhtNode {
+        DhtNode { id, buckets: vec![Vec::new(); 256], store: HashMap::new(), down: false }
+    }
+
+    /// Records contact with a peer (k-bucket insert, LRU-ish: move to
+    /// front, drop the tail when full).
+    pub fn touch(&mut self, peer: Name) {
+        if peer == self.id {
+            return;
+        }
+        let Some(b) = bucket_index(&distance(&self.id, &peer)) else {
+            return;
+        };
+        let bucket = &mut self.buckets[b];
+        if let Some(pos) = bucket.iter().position(|p| *p == peer) {
+            bucket.remove(pos);
+        }
+        bucket.insert(0, peer);
+        bucket.truncate(BUCKET_SIZE);
+    }
+
+    /// The closest `n` peers to `target` this node knows of.
+    pub fn closest_known(&self, target: &Name, n: usize) -> Vec<Name> {
+        let mut all: Vec<Name> = self.buckets.iter().flatten().copied().collect();
+        all.push(self.id);
+        all.sort_by_key(|p| distance(p, target));
+        all.dedup();
+        all.truncate(n);
+        all
+    }
+
+    /// Stores a route locally (no verification here: the DHT is untrusted
+    /// storage; retrieval verifies).
+    pub fn store_value(&mut self, key: Name, route: VerifiedRoute) {
+        let slot = self.store.entry(key).or_default();
+        if let Some(existing) = slot.iter_mut().find(|r| r.server == route.server) {
+            *existing = route;
+        } else {
+            slot.push(route);
+        }
+    }
+
+    /// Local lookup.
+    pub fn find_value(&self, key: &Name) -> Vec<VerifiedRoute> {
+        self.store.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Number of stored keys.
+    pub fn stored_keys(&self) -> usize {
+        self.store.len()
+    }
+}
+
+/// An in-process DHT cluster: the global GLookupService.
+pub struct DhtCluster {
+    nodes: HashMap<Name, DhtNode>,
+    /// Iterative-lookup hop counter for the most recent operation
+    /// (observability: lookups should be O(log n)).
+    pub last_lookup_hops: usize,
+}
+
+impl Default for DhtCluster {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DhtCluster {
+    /// Creates an empty cluster.
+    pub fn new() -> DhtCluster {
+        DhtCluster { nodes: HashMap::new(), last_lookup_hops: 0 }
+    }
+
+    /// Adds a node and bootstraps its routing table via `bootstrap` (any
+    /// existing member; `None` for the first node).
+    pub fn join(&mut self, id: Name, bootstrap: Option<Name>) {
+        let mut node = DhtNode::new(id);
+        if let Some(b) = bootstrap {
+            node.touch(b);
+        }
+        self.nodes.insert(id, node);
+        if bootstrap.is_some() {
+            // Self-lookup populates buckets along the path (Kademlia join).
+            let closest = self.iterative_find_node(&id, &id);
+            for peer in closest {
+                self.nodes.get_mut(&id).unwrap().touch(peer);
+                if let Some(p) = self.nodes.get_mut(&peer) {
+                    p.touch(id);
+                }
+            }
+        }
+    }
+
+    /// Marks a node up/down (failure injection).
+    pub fn set_down(&mut self, id: &Name, down: bool) {
+        if let Some(n) = self.nodes.get_mut(id) {
+            n.down = down;
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterative FIND_NODE from `start`: returns the K closest live nodes
+    /// to `target` discovered by querying progressively closer peers.
+    ///
+    /// The working shortlist is wider than K (dead entries must not mask
+    /// the rest of a node's routing table); only the final result is cut
+    /// down to the K closest live nodes.
+    fn iterative_find_node(&mut self, start: &Name, target: &Name) -> Vec<Name> {
+        const POOL: usize = K * 4;
+        let mut queried: HashSet<Name> = HashSet::new();
+        let mut hops = 0usize;
+        let mut shortlist: Vec<Name> = self
+            .nodes
+            .get(start)
+            .map(|n| n.closest_known(target, POOL))
+            .unwrap_or_default();
+        shortlist.retain(|p| self.nodes.get(p).map(|n| !n.down).unwrap_or(false));
+        loop {
+            // Query up to ALPHA new candidates, closest first.
+            let candidates: Vec<Name> = shortlist
+                .iter()
+                .filter(|p| !queried.contains(*p))
+                .take(ALPHA)
+                .copied()
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let mut learned = Vec::new();
+            for peer in candidates {
+                queried.insert(peer);
+                let Some(node) = self.nodes.get(&peer) else { continue };
+                if node.down {
+                    continue;
+                }
+                hops += 1;
+                learned.extend(node.closest_known(target, POOL));
+            }
+            let before: Vec<Name> = shortlist.clone();
+            shortlist.extend(learned);
+            shortlist.sort_by_key(|p| distance(p, target));
+            shortlist.dedup();
+            shortlist.retain(|p| self.nodes.get(p).map(|n| !n.down).unwrap_or(false));
+            shortlist.truncate(POOL);
+            if shortlist == before {
+                break; // converged
+            }
+        }
+        self.last_lookup_hops = hops;
+        shortlist.truncate(K);
+        shortlist
+    }
+
+    /// Publishes a route under its name: stored on the K closest live
+    /// nodes (what the root GLookupService does on every propagated
+    /// advertisement).
+    pub fn publish(&mut self, from: &Name, route: VerifiedRoute) {
+        let key = route.name;
+        let closest = self.iterative_find_node(from, &key);
+        for peer in closest {
+            if let Some(node) = self.nodes.get_mut(&peer) {
+                if !node.down {
+                    node.store_value(key, route.clone());
+                }
+            }
+        }
+    }
+
+    /// Looks a name up starting from `from`, re-verifying every returned
+    /// route at time `now` (the DHT is untrusted; forged entries are
+    /// silently dropped).
+    pub fn lookup(&mut self, from: &Name, key: &Name, now: u64) -> Vec<VerifiedRoute> {
+        let closest = self.iterative_find_node(from, key);
+        let mut out: Vec<VerifiedRoute> = Vec::new();
+        for peer in closest {
+            let Some(node) = self.nodes.get(&peer) else { continue };
+            if node.down {
+                continue;
+            }
+            for route in node.find_value(key) {
+                if route.name == *key
+                    && route.verify(now).is_ok()
+                    && !out.iter().any(|r| r.server == route.server)
+                {
+                    out.push(route);
+                }
+            }
+        }
+        out
+    }
+
+    /// Re-replicates every stored value to its current K closest live
+    /// nodes (periodic maintenance; heals after failures).
+    pub fn replicate_all(&mut self) {
+        let snapshot: Vec<(Name, Name, Vec<VerifiedRoute>)> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| !n.down)
+            .flat_map(|(id, n)| {
+                n.store
+                    .iter()
+                    .map(move |(k, v)| (*id, *k, v.clone()))
+            })
+            .collect();
+        for (holder, key, routes) in snapshot {
+            for route in routes {
+                self.publish(&holder, route.clone());
+                let _ = key;
+                let _ = holder;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_cert::{PrincipalId, PrincipalKind, RtCert};
+
+    fn route(server_seed: u8) -> VerifiedRoute {
+        let server = PrincipalId::from_seed(PrincipalKind::Server, &[server_seed; 32], "s");
+        let router = PrincipalId::from_seed(PrincipalKind::Router, &[99u8; 32], "r");
+        VerifiedRoute {
+            entry: None,
+            name: server.name(), // bare principal route: name == server name
+            server: server.principal().clone(),
+            rtcert: RtCert::issue(server.signing_key(), server.name(), router.name(), 1 << 50),
+            expires: 1 << 50,
+        }
+    }
+
+    fn cluster(n: usize) -> (DhtCluster, Vec<Name>) {
+        let mut c = DhtCluster::new();
+        let ids: Vec<Name> = (0..n)
+            .map(|i| Name::from_content(format!("dht node {i}").as_bytes()))
+            .collect();
+        c.join(ids[0], None);
+        for id in &ids[1..] {
+            c.join(*id, Some(ids[0]));
+        }
+        (c, ids)
+    }
+
+    #[test]
+    fn publish_and_lookup_across_cluster() {
+        let (mut c, ids) = cluster(40);
+        let r = route(1);
+        let key = r.name;
+        c.publish(&ids[3], r.clone());
+        // Any node can find it.
+        for start in [&ids[0], &ids[17], &ids[39]] {
+            let got = c.lookup(start, &key, 0);
+            assert_eq!(got.len(), 1, "lookup from {start}");
+            assert_eq!(got[0].server_name(), r.server_name());
+        }
+    }
+
+    #[test]
+    fn lookups_are_logarithmic() {
+        let (mut c, ids) = cluster(60);
+        let r = route(2);
+        let key = r.name;
+        c.publish(&ids[0], r);
+        c.lookup(&ids[59], &key, 0);
+        assert!(
+            c.last_lookup_hops <= 30,
+            "iterative lookup should converge quickly, took {} hops",
+            c.last_lookup_hops
+        );
+    }
+
+    #[test]
+    fn survives_minority_node_failures() {
+        let (mut c, ids) = cluster(30);
+        let r = route(3);
+        let key = r.name;
+        c.publish(&ids[0], r.clone());
+        // Kill one of the K holders (find them by checking storage).
+        let holders: Vec<Name> = ids
+            .iter()
+            .filter(|id| !c.nodes[*id].find_value(&key).is_empty())
+            .copied()
+            .collect();
+        assert_eq!(holders.len(), K);
+        c.set_down(&holders[0], true);
+        c.set_down(&holders[1], true);
+        let got = c.lookup(&ids[29], &key, 0);
+        assert_eq!(got.len(), 1, "K-replication must survive 2 failures");
+    }
+
+    #[test]
+    fn replication_heals_after_failures() {
+        let (mut c, ids) = cluster(25);
+        let r = route(4);
+        let key = r.name;
+        c.publish(&ids[0], r.clone());
+        let holders: Vec<Name> = ids
+            .iter()
+            .filter(|id| !c.nodes[*id].find_value(&key).is_empty())
+            .copied()
+            .collect();
+        // Permanently fail all but one holder, then run maintenance.
+        for h in &holders[..K - 1] {
+            c.set_down(h, true);
+        }
+        c.replicate_all();
+        // Bring nothing back: the value must now live on K fresh live nodes.
+        let live_holders = ids
+            .iter()
+            .filter(|id| !c.nodes[*id].down && !c.nodes[*id].find_value(&key).is_empty())
+            .count();
+        assert!(live_holders >= K, "re-replication restored {live_holders} copies");
+    }
+
+    #[test]
+    fn forged_routes_dropped_on_retrieval() {
+        let (mut c, ids) = cluster(10);
+        let mut forged = route(5);
+        forged.name = Name::from_content(b"some other name"); // breaks binding
+        let key = forged.name;
+        c.publish(&ids[0], forged);
+        let got = c.lookup(&ids[9], &key, 0);
+        assert!(got.is_empty(), "unverifiable routes must not be returned");
+    }
+
+    #[test]
+    fn bucket_index_sane() {
+        let a = Name::from_content(b"a");
+        assert_eq!(bucket_index(&a.xor_distance(&a)), None);
+        let b = Name::from_content(b"b");
+        let idx = bucket_index(&a.xor_distance(&b)).unwrap();
+        assert!(idx < 256);
+    }
+}
+

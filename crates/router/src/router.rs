@@ -1,0 +1,506 @@
+//! The GDP-router: a sans-I/O state machine.
+//!
+//! One router per routing domain (the paper's GLookupService "shared
+//! database" per domain lives inside it; see `glookup.rs`). Domains form a
+//! tree that "mimics physical network topology" (Table I): each router has
+//! an optional parent. Forwarding walks the tree: down toward the closest
+//! advertised replica when a FIB candidate exists, otherwise up the default
+//! route. Secure advertisements gate all FIB state, and scoped capsules are
+//! never announced above their designated domain.
+//!
+//! The struct is transport-agnostic: `handle_pdu(now, from, pdu)` returns
+//! the PDUs to emit, so the same code runs on the deterministic simulator,
+//! the threaded fabric, or (in a real deployment) sockets.
+
+use crate::fib::{Fib, FibEntry, NeighborId};
+use crate::glookup::GLookup;
+use crate::messages::{AdvertiseMsg, ControlMsg, LookupMsg, VerifiedRoute};
+use gdp_cert::{Challenge, Principal, PrincipalId, PrincipalKind, Scope};
+use gdp_wire::{Name, Pdu, PduType, Wire};
+use std::collections::HashMap;
+
+/// Router statistics (observable by tests and benches).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Data PDUs forwarded toward a FIB candidate or the parent.
+    pub forwarded: u64,
+    /// Data PDUs delivered to a locally attached principal.
+    pub delivered_local: u64,
+    /// Data PDUs dropped for lack of any route (root only).
+    pub no_route: u64,
+    /// Advertisements accepted.
+    pub adverts_accepted: u64,
+    /// Advertisements rejected (bad proof/chain/certs).
+    pub adverts_rejected: u64,
+    /// Route announcements accepted from child routers.
+    pub announces_accepted: u64,
+    /// Route announcements rejected on re-verification.
+    pub announces_rejected: u64,
+    /// Lookup queries answered from the local GLookupService.
+    pub lookups_local: u64,
+    /// Lookup queries escalated to the parent domain.
+    pub lookups_escalated: u64,
+}
+
+/// What the router remembers about an attached catalog, so later
+/// extension records can be validated and applied.
+struct AttachedCatalog {
+    digest: [u8; 32],
+    advertiser: Principal,
+    /// (name, cert-bound expiry): extensions never exceed the bound set by
+    /// the underlying certificates.
+    names: Vec<(Name, u64)>,
+}
+
+/// The router state machine.
+pub struct Router {
+    id: PrincipalId,
+    parent: Option<NeighborId>,
+    fib: Fib,
+    glookup: GLookup,
+    pending_challenges: HashMap<NeighborId, Challenge>,
+    /// Principals attached directly (neighbor → principal name).
+    attached: HashMap<NeighborId, Name>,
+    /// Catalogs by attaching neighbor (for extension records).
+    catalogs: HashMap<NeighborId, AttachedCatalog>,
+    /// In-flight lookup escalations: local id → (original id, requester).
+    pending_lookups: HashMap<u64, (u64, NeighborId)>,
+    next_query_id: u64,
+    /// Statistics.
+    pub stats: RouterStats,
+    /// Where routers at this level send unknown names (`None` = root, which
+    /// drops and reports).
+    seq: u64,
+}
+
+/// PDUs to emit, paired with the neighbor to emit them to.
+pub type Outbox = Vec<(NeighborId, Pdu)>;
+
+impl Router {
+    /// Creates a router with the given identity.
+    pub fn new(id: PrincipalId) -> Router {
+        assert_eq!(id.principal().kind, PrincipalKind::Router);
+        Router {
+            id,
+            parent: None,
+            fib: Fib::new(),
+            glookup: GLookup::new(),
+            pending_challenges: HashMap::new(),
+            attached: HashMap::new(),
+            catalogs: HashMap::new(),
+            pending_lookups: HashMap::new(),
+            next_query_id: 1,
+            stats: RouterStats::default(),
+            seq: 0,
+        }
+    }
+
+    /// Convenience constructor from a seed and label.
+    pub fn from_seed(seed: &[u8; 32], label: &str) -> Router {
+        Router::new(PrincipalId::from_seed(PrincipalKind::Router, seed, label))
+    }
+
+    /// Sets the parent-domain router's neighbor id (default route).
+    pub fn set_parent(&mut self, parent: NeighborId) {
+        self.parent = Some(parent);
+    }
+
+    /// This router's flat name (= its routing-domain identifier).
+    pub fn name(&self) -> Name {
+        self.id.name()
+    }
+
+    /// Read access to the domain's GLookupService.
+    pub fn glookup(&self) -> &GLookup {
+        &self.glookup
+    }
+
+    /// Read access to the FIB.
+    pub fn fib(&self) -> &Fib {
+        &self.fib
+    }
+
+    /// Handles a link-down event for a neighbor.
+    pub fn neighbor_down(&mut self, neighbor: NeighborId) {
+        self.fib.purge_neighbor(neighbor);
+        self.attached.remove(&neighbor);
+        self.catalogs.remove(&neighbor);
+        self.pending_challenges.remove(&neighbor);
+    }
+
+    /// Periodic maintenance: drop expired routing state.
+    pub fn purge_expired(&mut self, now: u64) {
+        self.fib.purge_expired(now);
+        self.glookup.purge_expired(now);
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Main entry point: processes one PDU, returning PDUs to emit.
+    pub fn handle_pdu(&mut self, now: u64, from: NeighborId, pdu: Pdu) -> Outbox {
+        // Control traffic addressed to this router (or to the wildcard
+        // zero name, used hop-by-hop between routers) is consumed here;
+        // everything else is forwarded in the data plane.
+        let for_me = pdu.dst == self.name() || pdu.dst.is_zero();
+        match pdu.pdu_type {
+            PduType::Advertise if pdu.dst == self.name() => self.handle_advertise(now, from, pdu),
+            PduType::Lookup if for_me => self.handle_lookup(now, from, pdu),
+            PduType::RouterControl if for_me => self.handle_control(now, from, pdu),
+            _ => self.forward(now, from, pdu),
+        }
+    }
+
+    // ---- data plane -----------------------------------------------------
+
+    fn forward(&mut self, now: u64, from: NeighborId, pdu: Pdu) -> Outbox {
+        if let Some(best) = self.fib.best(&pdu.dst, now) {
+            // Never bounce a PDU back out the neighbor it arrived on —
+            // prefer an alternate candidate (multi-replica), else fall
+            // through to the parent.
+            if best.neighbor != from {
+                if self.attached.contains_key(&best.neighbor) {
+                    self.stats.delivered_local += 1;
+                } else {
+                    self.stats.forwarded += 1;
+                }
+                return vec![(best.neighbor, pdu)];
+            }
+            if let Some(alt) = self
+                .fib
+                .candidates(&pdu.dst, now)
+                .into_iter()
+                .find(|e| e.neighbor != from)
+            {
+                self.stats.forwarded += 1;
+                return vec![(alt.neighbor, pdu)];
+            }
+        }
+        match self.parent {
+            Some(parent) if parent != from => {
+                self.stats.forwarded += 1;
+                vec![(parent, pdu)]
+            }
+            _ => {
+                self.stats.no_route += 1;
+                // Report unreachability to the source if we can route back.
+                let err = Pdu {
+                    pdu_type: PduType::Error,
+                    src: self.name(),
+                    dst: pdu.src,
+                    seq: pdu.seq,
+                    payload: pdu.dst.0.to_vec(),
+                };
+                match self.fib.best(&err.dst, now) {
+                    Some(e) => vec![(e.neighbor, err)],
+                    None if from != usize::MAX => vec![(from, err)],
+                    None => Vec::new(),
+                }
+            }
+        }
+    }
+
+    // ---- secure advertisement (§VII) ------------------------------------
+
+    fn handle_advertise(&mut self, now: u64, from: NeighborId, pdu: Pdu) -> Outbox {
+        let msg = match AdvertiseMsg::from_wire(&pdu.payload) {
+            Ok(m) => m,
+            Err(_) => return Vec::new(),
+        };
+        match msg {
+            AdvertiseMsg::Hello => {
+                let challenge = Challenge::random();
+                self.pending_challenges.insert(from, challenge);
+                let reply = AdvertiseMsg::ChallengeMsg(challenge);
+                vec![(from, self.advertise_pdu(pdu.src, pdu.seq, &reply))]
+            }
+            AdvertiseMsg::Attach { proof, advertisement, rtcert } => {
+                match self.admit(now, from, &proof, &advertisement, &rtcert) {
+                    Ok((accepted, mut announcements)) => {
+                        self.stats.adverts_accepted += 1;
+                        let reply = AdvertiseMsg::Accepted { accepted };
+                        let mut out =
+                            vec![(from, self.advertise_pdu(pdu.src, pdu.seq, &reply))];
+                        out.append(&mut announcements);
+                        out
+                    }
+                    Err(reason) => {
+                        self.stats.adverts_rejected += 1;
+                        let reply = AdvertiseMsg::Rejected { reason: reason.to_string() };
+                        vec![(from, self.advertise_pdu(pdu.src, pdu.seq, &reply))]
+                    }
+                }
+            }
+            AdvertiseMsg::Extend { extension } => self.handle_extension(from, &extension),
+            // Router-originated messages arriving here are protocol misuse.
+            AdvertiseMsg::ChallengeMsg(_)
+            | AdvertiseMsg::Accepted { .. }
+            | AdvertiseMsg::Rejected { .. } => Vec::new(),
+        }
+    }
+
+    fn advertise_pdu(&self, dst: Name, seq: u64, msg: &AdvertiseMsg) -> Pdu {
+        Pdu {
+            pdu_type: PduType::Advertise,
+            src: self.name(),
+            dst,
+            seq,
+            payload: msg.to_wire(),
+        }
+    }
+
+    /// Verifies and installs an attachment. Returns accepted names and the
+    /// announcements to propagate to the parent.
+    fn admit(
+        &mut self,
+        now: u64,
+        from: NeighborId,
+        proof: &gdp_cert::ChallengeProof,
+        advertisement: &gdp_cert::Advertisement,
+        rtcert: &gdp_cert::RtCert,
+    ) -> Result<(Vec<Name>, Outbox), &'static str> {
+        let challenge = self
+            .pending_challenges
+            .remove(&from)
+            .ok_or("no outstanding challenge")?;
+        proof
+            .verify(&challenge, &self.name())
+            .map_err(|_| "challenge proof failed")?;
+        if proof.principal != advertisement.advertiser {
+            return Err("proof principal is not the advertiser");
+        }
+        advertisement.verify(now).map_err(|_| "advertisement failed verification")?;
+        let advertiser = advertisement.advertiser.name();
+        if rtcert.principal != advertiser || rtcert.router != self.name() {
+            return Err("rtcert does not bind advertiser to this router");
+        }
+        rtcert
+            .verify(&advertisement.advertiser.key, now)
+            .map_err(|_| "rtcert signature invalid")?;
+
+        self.attached.insert(from, advertiser);
+        let mut accepted = Vec::new();
+        let mut announcements: Outbox = Vec::new();
+        let mut catalog_names: Vec<(Name, u64)> = Vec::new();
+
+        // The advertiser's own name: always installed, always global.
+        let own_route = VerifiedRoute {
+            entry: None,
+            name: advertiser,
+            server: advertisement.advertiser.clone(),
+            rtcert: rtcert.clone(),
+            expires: advertisement.expires.min(rtcert.expires),
+        };
+        self.install_route(from, 0, own_route.clone(), now);
+        accepted.push(advertiser);
+        catalog_names.push((advertiser, rtcert.expires));
+        if let Some(parent) = self.parent {
+            announcements.push((
+                parent,
+                self.control_pdu(ControlMsg::Announce { route: own_route, distance: 1 }),
+            ));
+        }
+
+        // Each capsule entry.
+        for entry in &advertisement.entries {
+            let capsule = entry.capsule();
+            let expires = advertisement
+                .expires
+                .min(rtcert.expires)
+                .min(entry.chain.adcert.expires);
+            let route = VerifiedRoute {
+                entry: Some(entry.clone()),
+                name: capsule,
+                server: advertisement.advertiser.clone(),
+                rtcert: rtcert.clone(),
+                expires,
+            };
+            self.install_route(from, 0, route.clone(), now);
+            accepted.push(capsule);
+            catalog_names.push((capsule, rtcert.expires.min(entry.chain.adcert.expires)));
+            if self.may_propagate(&entry.chain.adcert.scope) {
+                if let Some(parent) = self.parent {
+                    announcements.push((
+                        parent,
+                        self.control_pdu(ControlMsg::Announce { route, distance: 1 }),
+                    ));
+                }
+            }
+        }
+        self.catalogs.insert(from, AttachedCatalog {
+            digest: advertisement.digest(),
+            advertiser: advertisement.advertiser.clone(),
+            names: catalog_names,
+        });
+        Ok((accepted, announcements))
+    }
+
+    /// Applies a verified extension record: the whole catalog's expiry is
+    /// deferred as a group, bounded per name by its certificate expiries.
+    fn handle_extension(&mut self, from: NeighborId, ext: &gdp_cert::AdvertExtension) -> Outbox {
+        let Some(catalog) = self.catalogs.get(&from) else {
+            return Vec::new();
+        };
+        if ext.advert_digest != catalog.digest || ext.verify(&catalog.advertiser).is_err() {
+            self.stats.adverts_rejected += 1;
+            return Vec::new();
+        }
+        let server = catalog.advertiser.name();
+        for (name, bound) in catalog.names.clone() {
+            let new_expires = ext.new_expires.min(bound);
+            self.fib.extend(&name, &server, new_expires);
+            self.glookup.extend(&name, &server, new_expires);
+        }
+        // Re-announce extended routes upstream so parent domains defer too.
+        let mut out = Vec::new();
+        if let Some(parent) = self.parent {
+            let names: Vec<Name> =
+                self.catalogs[&from].names.iter().map(|(n, _)| *n).collect();
+            for name in names {
+                for route in self.glookup.lookup(&name, 0) {
+                    if route.server_name() == server {
+                        let scope_ok = match &route.entry {
+                            Some(entry) => self.may_propagate(&entry.chain.adcert.scope),
+                            None => true,
+                        };
+                        if scope_ok {
+                            out.push((
+                                parent,
+                                self.control_pdu(ControlMsg::Announce { route, distance: 1 }),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Scope policy: a capsule restricted to domain `d` is not announced
+    /// beyond the router named `d`.
+    fn may_propagate(&self, scope: &Scope) -> bool {
+        match scope {
+            Scope::Global => true,
+            Scope::Domain(d) => *d != self.name(),
+        }
+    }
+
+    fn install_route(&mut self, neighbor: NeighborId, distance: u32, route: VerifiedRoute, _now: u64) {
+        self.fib.install(
+            route.name,
+            FibEntry {
+                neighbor,
+                distance,
+                expires: route.expires,
+                server: route.server_name(),
+            },
+        );
+        self.glookup.insert(route);
+    }
+
+    fn control_pdu(&self, msg: ControlMsg) -> Pdu {
+        // Hop-by-hop router control uses the wildcard zero destination: the
+        // next router consumes it regardless of its own name.
+        Pdu {
+            pdu_type: PduType::RouterControl,
+            src: self.name(),
+            dst: Name::ZERO,
+            seq: 0,
+            payload: msg.to_wire(),
+        }
+    }
+
+    // ---- route announcements from children -------------------------------
+
+    fn handle_control(&mut self, now: u64, from: NeighborId, pdu: Pdu) -> Outbox {
+        let ControlMsg::Announce { route, distance } = match ControlMsg::from_wire(&pdu.payload) {
+            Ok(m) => m,
+            Err(_) => return Vec::new(),
+        };
+        // Independently re-verify: child routers are in other trust domains.
+        if route.verify(now).is_err() {
+            self.stats.announces_rejected += 1;
+            return Vec::new();
+        }
+        self.stats.announces_accepted += 1;
+        let scope_ok = match &route.entry {
+            Some(entry) => self.may_propagate(&entry.chain.adcert.scope),
+            None => true,
+        };
+        self.install_route(from, distance, route.clone(), now);
+        if scope_ok {
+            if let Some(parent) = self.parent {
+                return vec![(
+                    parent,
+                    self.control_pdu(ControlMsg::Announce { route, distance: distance + 1 }),
+                )];
+            }
+        }
+        Vec::new()
+    }
+
+    // ---- GLookupService queries ------------------------------------------
+
+    fn handle_lookup(&mut self, now: u64, from: NeighborId, pdu: Pdu) -> Outbox {
+        match LookupMsg::from_wire(&pdu.payload) {
+            Ok(LookupMsg::Query { query_id, name }) => {
+                let routes = self.glookup.lookup(&name, now);
+                match self.parent {
+                    Some(parent) if routes.is_empty() => {
+                        self.stats.lookups_escalated += 1;
+                        let local_id = self.next_query_id;
+                        self.next_query_id += 1;
+                        self.pending_lookups.insert(local_id, (query_id, from));
+                        let query = LookupMsg::Query { query_id: local_id, name };
+                        vec![(parent, self.lookup_pdu(Name::ZERO, &query))]
+                    }
+                    _ => {
+                        self.stats.lookups_local += 1;
+                        let answer = LookupMsg::Answer { query_id, name, routes };
+                        vec![(from, self.lookup_pdu(pdu.src, &answer))]
+                    }
+                }
+            }
+            Ok(LookupMsg::Answer { query_id, name, routes }) => {
+                // Re-verify before caching: the parent GLookupService is
+                // untrusted.
+                let verified: Vec<VerifiedRoute> = routes
+                    .into_iter()
+                    .filter(|r| r.name == name && r.verify(now).is_ok())
+                    .collect();
+                for r in &verified {
+                    // Cache: reachable via the neighbor that answered.
+                    self.install_route(from, u32::MAX / 2, r.clone(), now);
+                }
+                match self.pending_lookups.remove(&query_id) {
+                    Some((orig_id, requester)) => {
+                        let answer =
+                            LookupMsg::Answer { query_id: orig_id, name, routes: verified };
+                        vec![(requester, self.lookup_pdu(Name::ZERO, &answer))]
+                    }
+                    None => Vec::new(),
+                }
+            }
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn lookup_pdu(&self, dst: Name, msg: &LookupMsg) -> Pdu {
+        Pdu {
+            pdu_type: PduType::Lookup,
+            src: self.name(),
+            dst,
+            seq: self.seq,
+            payload: msg.to_wire(),
+        }
+    }
+
+    /// Local (same-process) GLookupService query used by co-located tools;
+    /// network clients use `LookupMsg` PDUs instead.
+    pub fn lookup_local(&mut self, name: &Name, now: u64) -> Vec<VerifiedRoute> {
+        let _ = self.next_seq();
+        self.glookup.lookup(name, now)
+    }
+}

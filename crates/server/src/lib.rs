@@ -1,0 +1,17 @@
+//! # gdp-server
+//!
+//! The DataCapsule-server: verifies and stores records, answers reads with
+//! authenticated responses, implements the paper's durability modes
+//! (§VI-B), replicates leaderlessly with anti-entropy hole healing (§V-A),
+//! and pushes pub-sub events (§V). The [`proto`] module defines the whole
+//! client↔server and server↔server data-plane protocol.
+
+pub mod proto;
+pub mod server;
+pub mod simnode;
+
+pub use proto::{
+    AckMode, DataMsg, ErrorCode, ReadResult, ReadTarget, ResponseAuth,
+};
+pub use server::{DataCapsuleServer, ServerStats};
+pub use simnode::{SimServer, ATTACH_TIMER, TICK_TIMER};

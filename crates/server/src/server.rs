@@ -1,0 +1,1004 @@
+//! The DataCapsule-server state machine.
+//!
+//! "The task of DataCapsule-servers is to make information durable and
+//! available to the appropriate readers while maintaining the integrity of
+//! data" (paper §IV-B). This server:
+//!
+//! * verifies every record against the capsule's writer key before storing
+//!   it (the threat model assumes *other* servers may not);
+//! * answers reads with records, ranges, proofs, and heartbeats,
+//!   authenticated by signature or per-flow HMAC (§V "Secure Responses");
+//! * implements the durability modes of §VI-B (local ack, quorum, all);
+//! * replicates leaderlessly: appends are forwarded to peer replicas "as
+//!   is ... in arbitrary order" and holes heal via anti-entropy (§V-A);
+//! * pushes subscription events (the pub-sub access mode, §V).
+//!
+//! Like the router, it is sans-I/O: `handle_pdu` maps one inbound PDU to
+//! outbound PDUs, so it runs identically on the simulator or threads.
+
+use crate::proto::{
+    append_ack_body, event_body, mac_response, read_result_body, session_transcript,
+    sign_response, AckMode, DataMsg, ErrorCode, ReadResult, ReadTarget, ResponseAuth,
+};
+use gdp_capsule::{
+    CapsuleError, CapsuleMetadata, DataCapsule, IngestOutcome, MembershipProof,
+    Record, RecordHash,
+};
+use gdp_cert::{CapsuleAdvert, PrincipalId, PrincipalKind, ServingChain};
+use gdp_crypto::x25519::EphemeralKeyPair;
+use gdp_crypto::{hkdf, Signature};
+use gdp_store::{CapsuleStore, MemStore};
+use gdp_wire::{Name, Pdu, PduType, Wire};
+use std::collections::HashMap;
+
+/// Server counters, observable by tests and benches.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Appends accepted and stored.
+    pub appends: u64,
+    /// Appends rejected (verification failure).
+    pub appends_rejected: u64,
+    /// Read requests served.
+    pub reads: u64,
+    /// Subscription events pushed.
+    pub events_pushed: u64,
+    /// Records received from peer replicas.
+    pub replicated_in: u64,
+    /// Records sent to peer replicas.
+    pub replicated_out: u64,
+    /// Anti-entropy records served to peers.
+    pub sync_served: u64,
+    /// Sessions established.
+    pub sessions: u64,
+}
+
+struct Hosted {
+    capsule: DataCapsule,
+    store: Box<dyn CapsuleStore>,
+    chain: ServingChain,
+    peers: Vec<Name>,
+    subscribers: Vec<Name>,
+}
+
+struct PendingDurability {
+    capsule: Name,
+    client: Name,
+    request_seq: u64,
+    record_seq: u64,
+    hash: RecordHash,
+    needed: u32,
+    acked: u32,
+    deadline: u64,
+}
+
+/// A DataCapsule-server.
+pub struct DataCapsuleServer {
+    id: PrincipalId,
+    hosted: HashMap<Name, Hosted>,
+    /// Flow keys per client name.
+    sessions: HashMap<Name, [u8; 32]>,
+    pending: Vec<PendingDurability>,
+    /// Statistics.
+    pub stats: ServerStats,
+    /// How long to wait for quorum acks before failing an append (µs).
+    pub durability_timeout: u64,
+    readvertise: bool,
+}
+
+impl DataCapsuleServer {
+    /// Creates a server with the given identity.
+    pub fn new(id: PrincipalId) -> DataCapsuleServer {
+        assert_eq!(id.principal().kind, PrincipalKind::Server);
+        DataCapsuleServer {
+            id,
+            hosted: HashMap::new(),
+            sessions: HashMap::new(),
+            pending: Vec::new(),
+            stats: ServerStats::default(),
+            durability_timeout: 10_000_000,
+            readvertise: false,
+        }
+    }
+
+    /// Convenience constructor.
+    pub fn from_seed(seed: &[u8; 32], label: &str) -> DataCapsuleServer {
+        DataCapsuleServer::new(PrincipalId::from_seed(PrincipalKind::Server, seed, label))
+    }
+
+    /// The server's flat name.
+    pub fn name(&self) -> Name {
+        self.id.name()
+    }
+
+    /// The server's public identity.
+    pub fn principal(&self) -> &gdp_cert::Principal {
+        self.id.principal()
+    }
+
+    /// The server's principal id (for attach handshakes).
+    pub fn principal_id(&self) -> &PrincipalId {
+        &self.id
+    }
+
+    /// Starts hosting a capsule. `chain` must be a delegation ending at
+    /// this server; `peers` are the other delegated replicas.
+    pub fn host(
+        &mut self,
+        metadata: CapsuleMetadata,
+        chain: ServingChain,
+        peers: Vec<Name>,
+    ) -> Result<(), CapsuleError> {
+        self.host_with_store(metadata, chain, peers, Box::new(MemStore::new()))
+    }
+
+    /// Starts hosting with a caller-provided store backend.
+    pub fn host_with_store(
+        &mut self,
+        metadata: CapsuleMetadata,
+        chain: ServingChain,
+        peers: Vec<Name>,
+        mut store: Box<dyn CapsuleStore>,
+    ) -> Result<(), CapsuleError> {
+        if chain.server().name() != self.name() {
+            return Err(CapsuleError::BadMetadata("chain does not end at this server"));
+        }
+        let mut capsule = DataCapsule::new(metadata.clone())?;
+        let _ = store.put_metadata(&metadata);
+        // Recover any records already in the store (restart path).
+        let latest = store.latest_seq();
+        for seq in 1..=latest {
+            if let Ok(records) = store.get_all_at_seq(seq) {
+                for r in records {
+                    let _ = capsule.ingest(r);
+                }
+            }
+        }
+        self.hosted.insert(metadata.name(), Hosted {
+            capsule,
+            store,
+            chain,
+            peers,
+            subscribers: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// True when a Host request arrived since the last advertisement —
+    /// the node adapter re-runs the secure-advertisement handshake.
+    pub fn needs_readvertise(&mut self) -> bool {
+        std::mem::take(&mut self.readvertise)
+    }
+
+    /// Names of hosted capsules.
+    pub fn hosted_names(&self) -> Vec<Name> {
+        self.hosted.keys().copied().collect()
+    }
+
+    /// Read access to a hosted capsule's verified state.
+    pub fn capsule(&self, name: &Name) -> Option<&DataCapsule> {
+        self.hosted.get(name).map(|h| &h.capsule)
+    }
+
+    /// Builds the advertisement entries for all hosted capsules (for the
+    /// secure-advertisement handshake).
+    pub fn advert_entries(&self) -> Vec<CapsuleAdvert> {
+        self.hosted
+            .values()
+            .map(|h| CapsuleAdvert {
+                metadata: h.capsule.metadata().clone(),
+                chain: h.chain.clone(),
+            })
+            .collect()
+    }
+
+    fn data_pdu(&self, dst: Name, seq: u64, msg: &DataMsg) -> Pdu {
+        Pdu { pdu_type: PduType::Data, src: self.name(), dst, seq, payload: msg.to_wire() }
+    }
+
+    fn err_pdu(&self, dst: Name, seq: u64, code: ErrorCode, detail: &str) -> Pdu {
+        self.data_pdu(dst, seq, &DataMsg::ErrResp { code, detail: detail.to_string() })
+    }
+
+    fn auth_for(&self, capsule: &Name, client: &Name, request_seq: u64, body: &[u8]) -> ResponseAuth {
+        match self.sessions.get(client) {
+            Some(flow_key) => ResponseAuth::Mac {
+                tag: mac_response(flow_key, capsule, request_seq, body),
+            },
+            None => {
+                let chain = self.hosted[capsule].chain.clone();
+                ResponseAuth::Signed {
+                    server: self.id.principal().clone(),
+                    chain,
+                    signature: sign_response(self.id.signing_key(), capsule, request_seq, body),
+                }
+            }
+        }
+    }
+
+    /// Main entry point. `pdu.dst` is either a hosted capsule name
+    /// (client requests) or this server's own name (peer replication).
+    pub fn handle_pdu(&mut self, now: u64, pdu: Pdu) -> Vec<Pdu> {
+        if pdu.pdu_type != PduType::Data {
+            return Vec::new();
+        }
+        let msg = match DataMsg::from_wire(&pdu.payload) {
+            Ok(m) => m,
+            Err(_) => {
+                return vec![self.err_pdu(pdu.src, pdu.seq, ErrorCode::BadRequest, "undecodable")]
+            }
+        };
+        let client = pdu.src;
+        let seq = pdu.seq;
+        match msg {
+            DataMsg::SessionInit { client_eph } => self.on_session_init(pdu.dst, client, seq, client_eph),
+            DataMsg::PutMetadata { metadata } => self.on_put_metadata(pdu.dst, client, seq, metadata),
+            DataMsg::Append { record, ack_mode } => {
+                self.on_append(now, pdu.dst, client, seq, record, ack_mode)
+            }
+            DataMsg::Read { target } => self.on_read(pdu.dst, client, seq, target),
+            DataMsg::Subscribe { from_seq } => self.on_subscribe(pdu.dst, client, seq, from_seq),
+            DataMsg::Host { metadata, chain, peers } => {
+                self.on_host(now, client, seq, metadata, chain, peers)
+            }
+            DataMsg::Replicate { capsule, record } => {
+                self.on_replicate(capsule, client, record)
+            }
+            DataMsg::ReplicateAck { capsule, hash } => self.on_replicate_ack(capsule, hash),
+            DataMsg::SyncRequest { capsule, have_seq, missing } => {
+                self.on_sync_request(capsule, client, have_seq, missing)
+            }
+            DataMsg::SyncResponse { capsule, records } => self.on_sync_response(capsule, records),
+            // Server-originated messages arriving at a server are ignored.
+            DataMsg::HostAck { .. }
+            | DataMsg::SessionAccept { .. }
+            | DataMsg::AppendAck { .. }
+            | DataMsg::ReadResp { .. }
+            | DataMsg::Event { .. }
+            | DataMsg::ErrResp { .. } => Vec::new(),
+        }
+    }
+
+    fn on_session_init(
+        &mut self,
+        capsule: Name,
+        client: Name,
+        seq: u64,
+        client_eph: [u8; 32],
+    ) -> Vec<Pdu> {
+        if !self.hosted.contains_key(&capsule) {
+            return vec![self.err_pdu(client, seq, ErrorCode::NotServing, "unknown capsule")];
+        }
+        let eph = EphemeralKeyPair::generate(&mut rand::rngs::OsRng);
+        let Some(shared) = eph.diffie_hellman(&client_eph) else {
+            return vec![self.err_pdu(client, seq, ErrorCode::BadRequest, "degenerate key")];
+        };
+        let flow_key = hkdf::derive_key32(capsule.as_bytes(), &shared, b"gdp/flow-key/v1");
+        self.sessions.insert(client, flow_key);
+        self.stats.sessions += 1;
+        let transcript = session_transcript(&capsule, &client_eph, eph.public());
+        let signature: Signature = self.id.signing_key().sign(&transcript);
+        let chain = self.hosted[&capsule].chain.clone();
+        let msg = DataMsg::SessionAccept {
+            server_eph: *eph.public(),
+            client_eph,
+            server: self.id.principal().clone(),
+            chain,
+            signature,
+        };
+        vec![self.data_pdu(client, seq, &msg)]
+    }
+
+    fn on_put_metadata(
+        &mut self,
+        capsule: Name,
+        client: Name,
+        seq: u64,
+        metadata: CapsuleMetadata,
+    ) -> Vec<Pdu> {
+        // Metadata for an already-hosted capsule is idempotent; metadata
+        // for an unknown capsule is accepted only if it hashes to the
+        // destination name (the server may then be delegated separately).
+        match self.hosted.get_mut(&capsule) {
+            Some(h) => {
+                let _ = h.store.put_metadata(&metadata);
+                Vec::new()
+            }
+            None => vec![self.err_pdu(
+                client,
+                seq,
+                ErrorCode::NotServing,
+                "host() this capsule first",
+            )],
+        }
+    }
+
+    fn on_host(
+        &mut self,
+        now: u64,
+        owner_client: Name,
+        seq: u64,
+        metadata: CapsuleMetadata,
+        chain: ServingChain,
+        peers: Vec<Name>,
+    ) -> Vec<Pdu> {
+        // Verify the delegation before accepting: the chain must come from
+        // the capsule's owner and end at this server.
+        let capsule = metadata.name();
+        let Ok(owner_key) = metadata.owner_key() else {
+            return vec![self.err_pdu(owner_client, seq, ErrorCode::BadRequest, "no owner key")];
+        };
+        if metadata.verify().is_err()
+            || chain.verify(&owner_key, now).is_err()
+            || chain.adcert.capsule != capsule
+            || chain.server().name() != self.name()
+        {
+            return vec![self.err_pdu(
+                owner_client,
+                seq,
+                ErrorCode::VerificationFailed,
+                "invalid hosting delegation",
+            )];
+        }
+        if !self.hosted.contains_key(&capsule) {
+            if self.host(metadata, chain, peers).is_err() {
+                return vec![self.err_pdu(owner_client, seq, ErrorCode::BadRequest, "host failed")];
+            }
+            self.readvertise = true;
+        }
+        vec![self.data_pdu(owner_client, seq, &DataMsg::HostAck { capsule })]
+    }
+
+    fn on_append(
+        &mut self,
+        now: u64,
+        capsule_name: Name,
+        client: Name,
+        seq: u64,
+        record: Record,
+        ack_mode: AckMode,
+    ) -> Vec<Pdu> {
+        let Some(hosted) = self.hosted.get_mut(&capsule_name) else {
+            return vec![self.err_pdu(client, seq, ErrorCode::NotServing, "unknown capsule")];
+        };
+        let record_seq = record.header.seq;
+        let hash = record.hash();
+        match hosted.capsule.ingest(record.clone()) {
+            Ok(IngestOutcome::Duplicate) => {
+                // Idempotent: ack again.
+                let body = append_ack_body(record_seq, &hash, 1);
+                let auth = self.auth_for(&capsule_name, &client, seq, &body);
+                return vec![self.data_pdu(
+                    client,
+                    seq,
+                    &DataMsg::AppendAck { seq: record_seq, hash, replicas: 1, auth },
+                )];
+            }
+            Ok(_) => {}
+            Err(e) => {
+                self.stats.appends_rejected += 1;
+                return vec![self.err_pdu(
+                    client,
+                    seq,
+                    ErrorCode::VerificationFailed,
+                    &e.to_string(),
+                )];
+            }
+        }
+        if hosted.store.append(&record).is_err() {
+            return vec![self.err_pdu(client, seq, ErrorCode::BadRequest, "storage failure")];
+        }
+        self.stats.appends += 1;
+
+        let peers = hosted.peers.clone();
+        let subscribers = hosted.subscribers.clone();
+        let mut out = Vec::new();
+
+        // Forward to peer replicas (leaderless: any order, idempotent).
+        for peer in &peers {
+            out.push(self.data_pdu(
+                *peer,
+                0,
+                &DataMsg::Replicate { capsule: capsule_name, record: record.clone() },
+            ));
+            self.stats.replicated_out += 1;
+        }
+
+        // Push to subscribers.
+        for sub in &subscribers {
+            let body = event_body(&record);
+            let auth = self.auth_for(&capsule_name, sub, 0, &body);
+            out.push(self.data_pdu(*sub, 0, &DataMsg::Event { record: record.clone(), auth }));
+            self.stats.events_pushed += 1;
+        }
+
+        // Acknowledge per durability mode.
+        let needed = match ack_mode {
+            AckMode::Local => 0,
+            AckMode::Quorum(n) => n.min(peers.len() as u32),
+            AckMode::All => peers.len() as u32,
+        };
+        if needed == 0 {
+            let body = append_ack_body(record_seq, &hash, 1);
+            let auth = self.auth_for(&capsule_name, &client, seq, &body);
+            out.push(self.data_pdu(
+                client,
+                seq,
+                &DataMsg::AppendAck { seq: record_seq, hash, replicas: 1, auth },
+            ));
+        } else {
+            self.pending.push(PendingDurability {
+                capsule: capsule_name,
+                client,
+                request_seq: seq,
+                record_seq,
+                hash,
+                needed,
+                acked: 0,
+                deadline: now + self.durability_timeout,
+            });
+        }
+        out
+    }
+
+    fn on_read(&mut self, capsule_name: Name, client: Name, seq: u64, target: ReadTarget) -> Vec<Pdu> {
+        let Some(hosted) = self.hosted.get(&capsule_name) else {
+            return vec![self.err_pdu(client, seq, ErrorCode::NotServing, "unknown capsule")];
+        };
+        self.stats.reads += 1;
+        let capsule = &hosted.capsule;
+        let result = match target {
+            ReadTarget::One(s) => match capsule.get_one(s) {
+                Ok(r) => ReadResult::Record(r.clone()),
+                Err(_) => {
+                    return vec![self.err_pdu(client, seq, ErrorCode::NotFound, "no such seq")]
+                }
+            },
+            ReadTarget::Range(a, b) => {
+                let records: Vec<Record> =
+                    capsule.range(a, b).into_iter().cloned().collect();
+                if records.is_empty() {
+                    return vec![self.err_pdu(client, seq, ErrorCode::NotFound, "empty range")];
+                }
+                ReadResult::Records(records)
+            }
+            ReadTarget::Latest => match capsule.single_head() {
+                Ok(Some(head)) => ReadResult::Latest(
+                    head.clone(),
+                    gdp_capsule::Heartbeat::from_record(&capsule_name, head),
+                ),
+                Ok(None) => {
+                    return vec![self.err_pdu(client, seq, ErrorCode::Empty, "no records")]
+                }
+                Err(_) => {
+                    // Branched capsule: serve the preferred head.
+                    let heads = capsule.heads();
+                    let head = heads[0];
+                    ReadResult::Latest(
+                        head.clone(),
+                        gdp_capsule::Heartbeat::from_record(&capsule_name, head),
+                    )
+                }
+            },
+            ReadTarget::ProofOf(s) => {
+                let hb = match capsule.head_heartbeat() {
+                    Ok(Some(hb)) => hb,
+                    _ => return vec![self.err_pdu(client, seq, ErrorCode::Empty, "no head")],
+                };
+                match MembershipProof::build(capsule, &hb, s) {
+                    Ok(p) => ReadResult::Proof(p),
+                    Err(_) => {
+                        return vec![self.err_pdu(client, seq, ErrorCode::NotFound, "no proof")]
+                    }
+                }
+            }
+            ReadTarget::HeartbeatOnly => match capsule.head_heartbeat() {
+                Ok(Some(hb)) => ReadResult::HeartbeatOnly(hb),
+                _ => return vec![self.err_pdu(client, seq, ErrorCode::Empty, "no records")],
+            },
+        };
+        let body = read_result_body(&result);
+        let auth = self.auth_for(&capsule_name, &client, seq, &body);
+        vec![self.data_pdu(client, seq, &DataMsg::ReadResp { result, auth })]
+    }
+
+    fn on_subscribe(&mut self, capsule_name: Name, client: Name, seq: u64, from_seq: u64) -> Vec<Pdu> {
+        let Some(hosted) = self.hosted.get_mut(&capsule_name) else {
+            return vec![self.err_pdu(client, seq, ErrorCode::NotServing, "unknown capsule")];
+        };
+        if !hosted.subscribers.contains(&client) {
+            hosted.subscribers.push(client);
+        }
+        // Replay history the subscriber asked for (secure replay / time
+        // shift, paper §V), then live events flow from appends.
+        let latest = hosted.capsule.latest_seq();
+        let replay: Vec<Record> = hosted
+            .capsule
+            .range(from_seq.saturating_add(1), latest)
+            .into_iter()
+            .cloned()
+            .collect();
+        let mut out = Vec::new();
+        for record in replay {
+            let body = event_body(&record);
+            let auth = self.auth_for(&capsule_name, &client, 0, &body);
+            out.push(self.data_pdu(client, 0, &DataMsg::Event { record, auth }));
+            self.stats.events_pushed += 1;
+        }
+        out
+    }
+
+    fn on_replicate(&mut self, capsule_name: Name, peer: Name, record: Record) -> Vec<Pdu> {
+        let Some(hosted) = self.hosted.get_mut(&capsule_name) else {
+            return Vec::new();
+        };
+        let hash = record.hash();
+        match hosted.capsule.ingest(record.clone()) {
+            Ok(IngestOutcome::Duplicate) => {}
+            Ok(_) => {
+                let _ = hosted.store.append(&record);
+                self.stats.replicated_in += 1;
+            }
+            Err(_) => return Vec::new(), // never ack unverifiable data
+        }
+        let subscribers = hosted.subscribers.clone();
+        let mut out =
+            vec![self.data_pdu(peer, 0, &DataMsg::ReplicateAck { capsule: capsule_name, hash })];
+        for sub in &subscribers {
+            let body = event_body(&record);
+            let auth = self.auth_for(&capsule_name, sub, 0, &body);
+            out.push(self.data_pdu(*sub, 0, &DataMsg::Event { record: record.clone(), auth }));
+            self.stats.events_pushed += 1;
+        }
+        out
+    }
+
+    fn on_replicate_ack(&mut self, capsule: Name, hash: RecordHash) -> Vec<Pdu> {
+        let mut out = Vec::new();
+        let mut done = Vec::new();
+        for (i, p) in self.pending.iter_mut().enumerate() {
+            if p.capsule == capsule && p.hash == hash {
+                p.acked += 1;
+                if p.acked >= p.needed {
+                    done.push(i);
+                }
+            }
+        }
+        for i in done.into_iter().rev() {
+            let p = self.pending.remove(i);
+            let body = append_ack_body(p.record_seq, &p.hash, p.acked + 1);
+            let auth = self.auth_for(&p.capsule, &p.client, p.request_seq, &body);
+            out.push(self.data_pdu(
+                p.client,
+                p.request_seq,
+                &DataMsg::AppendAck {
+                    seq: p.record_seq,
+                    hash: p.hash,
+                    replicas: p.acked + 1,
+                    auth,
+                },
+            ));
+        }
+        out
+    }
+
+    fn on_sync_request(
+        &mut self,
+        capsule_name: Name,
+        peer: Name,
+        have_seq: u64,
+        missing: Vec<RecordHash>,
+    ) -> Vec<Pdu> {
+        let Some(hosted) = self.hosted.get(&capsule_name) else {
+            return Vec::new();
+        };
+        let mut records = Vec::new();
+        for h in &missing {
+            if let Some(r) = hosted.capsule.get(h) {
+                records.push(r.clone());
+            }
+        }
+        let latest = hosted.capsule.latest_seq();
+        if latest > have_seq {
+            for r in hosted.capsule.range(have_seq + 1, latest) {
+                records.push(r.clone());
+            }
+        }
+        records.sort_by_key(|r| r.header.seq);
+        records.dedup_by_key(|r| r.hash());
+        if records.is_empty() {
+            return Vec::new();
+        }
+        self.stats.sync_served += records.len() as u64;
+        vec![self.data_pdu(
+            peer,
+            0,
+            &DataMsg::SyncResponse { capsule: capsule_name, records },
+        )]
+    }
+
+    fn on_sync_response(&mut self, capsule_name: Name, records: Vec<Record>) -> Vec<Pdu> {
+        let Some(hosted) = self.hosted.get_mut(&capsule_name) else {
+            return Vec::new();
+        };
+        let mut sorted = records;
+        sorted.sort_by_key(|r| r.header.seq);
+        for record in sorted {
+            if let Ok(outcome) = hosted.capsule.ingest(record.clone()) {
+                if outcome != IngestOutcome::Duplicate {
+                    let _ = hosted.store.append(&record);
+                    self.stats.replicated_in += 1;
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    /// Periodic maintenance: emits anti-entropy requests for capsules with
+    /// holes, and fails timed-out durability waits.
+    pub fn tick(&mut self, now: u64) -> Vec<Pdu> {
+        let mut out = Vec::new();
+        // Durability timeouts.
+        let mut expired = Vec::new();
+        for (i, p) in self.pending.iter().enumerate() {
+            if now >= p.deadline {
+                expired.push(i);
+            }
+        }
+        for i in expired.into_iter().rev() {
+            let p = self.pending.remove(i);
+            out.push(self.err_pdu(
+                p.client,
+                p.request_seq,
+                ErrorCode::DurabilityTimeout,
+                "quorum not reached",
+            ));
+        }
+        // Anti-entropy for holes and missing ancestors.
+        let requests: Vec<(Name, Vec<Name>, u64, Vec<RecordHash>)> = self
+            .hosted
+            .iter()
+            .filter_map(|(name, h)| {
+                let missing = h.capsule.missing_ancestors();
+                let contiguous = h.capsule.first_hole().is_none();
+                if missing.is_empty() && contiguous && !h.peers.is_empty() {
+                    // Nothing known-missing: do a cheap freshness probe.
+                    let have = h.capsule.latest_seq();
+                    return Some((*name, h.peers.clone(), have, Vec::new()));
+                }
+                if h.peers.is_empty() {
+                    return None;
+                }
+                let have = h.capsule.first_hole().map(|s| s - 1).unwrap_or(h.capsule.latest_seq());
+                Some((*name, h.peers.clone(), have, missing))
+            })
+            .collect();
+        for (capsule, peers, have_seq, missing) in requests {
+            // Ask one peer, rotating by time for variety.
+            let peer = peers[(now as usize / 1000) % peers.len()];
+            out.push(self.data_pdu(
+                peer,
+                0,
+                &DataMsg::SyncRequest { capsule, have_seq, missing },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_capsule::{CapsuleWriter, MetadataBuilder, PointerStrategy};
+    use gdp_cert::{AdCert, Scope};
+    use gdp_wire::PduType;
+
+    const FOREVER: u64 = 1 << 50;
+
+    fn owner() -> gdp_crypto::SigningKey {
+        gdp_crypto::SigningKey::from_seed(&[1u8; 32])
+    }
+    fn wkey() -> gdp_crypto::SigningKey {
+        gdp_crypto::SigningKey::from_seed(&[2u8; 32])
+    }
+
+    struct Rig {
+        server: DataCapsuleServer,
+        capsule: Name,
+        writer: CapsuleWriter,
+        client: Name,
+        seq: u64,
+    }
+
+    fn rig() -> Rig {
+        rig_with_peers(vec![])
+    }
+
+    fn rig_with_peers(peers: Vec<Name>) -> Rig {
+        let id = PrincipalId::from_seed(gdp_cert::PrincipalKind::Server, &[3u8; 32], "s");
+        let mut server = DataCapsuleServer::new(id.clone());
+        let meta = MetadataBuilder::new()
+            .writer(&wkey().verifying_key())
+            .set_str("description", "unit")
+            .sign(&owner());
+        let chain = ServingChain::direct(
+            AdCert::issue(&owner(), meta.name(), id.name(), false, Scope::Global, FOREVER),
+            id.principal().clone(),
+        );
+        server.host(meta.clone(), chain, peers).unwrap();
+        let writer = CapsuleWriter::new(&meta, wkey(), PointerStrategy::Chain).unwrap();
+        Rig {
+            server,
+            capsule: meta.name(),
+            writer,
+            client: Name::from_content(b"client"),
+            seq: 0,
+        }
+    }
+
+    fn request(rig: &mut Rig, msg: &DataMsg) -> Vec<Pdu> {
+        rig.seq += 1;
+        let pdu = Pdu {
+            pdu_type: PduType::Data,
+            src: rig.client,
+            dst: rig.capsule,
+            seq: rig.seq,
+            payload: msg.to_wire(),
+        };
+        rig.server.handle_pdu(0, pdu)
+    }
+
+    fn msg_of(pdu: &Pdu) -> DataMsg {
+        DataMsg::from_wire(&pdu.payload).unwrap()
+    }
+
+    #[test]
+    fn append_then_read_targets() {
+        let mut rig = rig();
+        for i in 0..5u64 {
+            let record = rig.writer.append(format!("r{i}").as_bytes(), i).unwrap();
+            let out = request(&mut rig, &DataMsg::Append { record, ack_mode: AckMode::Local });
+            assert!(matches!(msg_of(&out[0]), DataMsg::AppendAck { replicas: 1, .. }));
+        }
+        // One
+        let out = request(&mut rig, &DataMsg::Read { target: ReadTarget::One(3) });
+        match msg_of(&out[0]) {
+            DataMsg::ReadResp { result: ReadResult::Record(r), .. } => {
+                assert_eq!(r.body, b"r2")
+            }
+            other => panic!("{other:?}"),
+        }
+        // Range
+        let out = request(&mut rig, &DataMsg::Read { target: ReadTarget::Range(2, 4) });
+        match msg_of(&out[0]) {
+            DataMsg::ReadResp { result: ReadResult::Records(rs), .. } => {
+                assert_eq!(rs.len(), 3)
+            }
+            other => panic!("{other:?}"),
+        }
+        // Latest + heartbeat
+        let out = request(&mut rig, &DataMsg::Read { target: ReadTarget::Latest });
+        match msg_of(&out[0]) {
+            DataMsg::ReadResp { result: ReadResult::Latest(r, hb), .. } => {
+                assert_eq!(r.header.seq, 5);
+                assert_eq!(hb.seq, 5);
+                hb.verify(&wkey().verifying_key()).unwrap();
+            }
+            other => panic!("{other:?}"),
+        }
+        // Proof
+        let out = request(&mut rig, &DataMsg::Read { target: ReadTarget::ProofOf(1) });
+        match msg_of(&out[0]) {
+            DataMsg::ReadResp { result: ReadResult::Proof(p), .. } => {
+                p.verify(&rig.capsule, &wkey().verifying_key()).unwrap();
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(rig.server.stats.appends, 5);
+        assert_eq!(rig.server.stats.reads, 4);
+    }
+
+    #[test]
+    fn bad_record_rejected_and_counted() {
+        let mut rig = rig();
+        let mut record = rig.writer.append(b"good", 0).unwrap();
+        record.body = b"tampered".to_vec();
+        let out = request(&mut rig, &DataMsg::Append { record, ack_mode: AckMode::Local });
+        assert!(matches!(
+            msg_of(&out[0]),
+            DataMsg::ErrResp { code: ErrorCode::VerificationFailed, .. }
+        ));
+        assert_eq!(rig.server.stats.appends_rejected, 1);
+    }
+
+    #[test]
+    fn read_errors() {
+        let mut rig = rig();
+        let out = request(&mut rig, &DataMsg::Read { target: ReadTarget::One(9) });
+        assert!(matches!(msg_of(&out[0]), DataMsg::ErrResp { code: ErrorCode::NotFound, .. }));
+        let out = request(&mut rig, &DataMsg::Read { target: ReadTarget::Latest });
+        assert!(matches!(msg_of(&out[0]), DataMsg::ErrResp { code: ErrorCode::Empty, .. }));
+        // Unknown capsule
+        rig.capsule = Name::from_content(b"ghost");
+        let out = request(&mut rig, &DataMsg::Read { target: ReadTarget::Latest });
+        assert!(matches!(msg_of(&out[0]), DataMsg::ErrResp { code: ErrorCode::NotServing, .. }));
+    }
+
+    #[test]
+    fn duplicate_append_is_idempotent() {
+        let mut rig = rig();
+        let record = rig.writer.append(b"once", 0).unwrap();
+        let out1 = request(&mut rig, &DataMsg::Append {
+            record: record.clone(),
+            ack_mode: AckMode::Local,
+        });
+        let out2 = request(&mut rig, &DataMsg::Append { record, ack_mode: AckMode::Local });
+        assert!(matches!(msg_of(&out1[0]), DataMsg::AppendAck { .. }));
+        assert!(matches!(msg_of(&out2[0]), DataMsg::AppendAck { .. }));
+        assert_eq!(rig.server.capsule(&rig.capsule).unwrap().len(), 1);
+        assert_eq!(rig.server.stats.appends, 1);
+    }
+
+    #[test]
+    fn quorum_append_waits_for_replica_acks() {
+        let peer = Name::from_content(b"peer server");
+        let mut rig = rig_with_peers(vec![peer]);
+        let record = rig.writer.append(b"replicated", 0).unwrap();
+        let hash = record.hash();
+        let out = request(&mut rig, &DataMsg::Append {
+            record,
+            ack_mode: AckMode::Quorum(1),
+        });
+        // A Replicate goes to the peer, but no client ack yet.
+        assert!(out.iter().any(|p| p.dst == peer
+            && matches!(msg_of(p), DataMsg::Replicate { .. })));
+        assert!(!out
+            .iter()
+            .any(|p| matches!(msg_of(p), DataMsg::AppendAck { .. })));
+        // Peer ack arrives → client ack with replicas=2.
+        let ack_pdu = Pdu {
+            pdu_type: PduType::Data,
+            src: peer,
+            dst: rig.server.name(),
+            seq: 0,
+            payload: DataMsg::ReplicateAck { capsule: rig.capsule, hash }.to_wire(),
+        };
+        let out = rig.server.handle_pdu(1, ack_pdu);
+        match msg_of(&out[0]) {
+            DataMsg::AppendAck { replicas, .. } => assert_eq!(replicas, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn durability_timeout_fails_pending() {
+        let peer = Name::from_content(b"dead peer");
+        let mut rig = rig_with_peers(vec![peer]);
+        rig.server.durability_timeout = 1_000;
+        let record = rig.writer.append(b"doomed", 0).unwrap();
+        request(&mut rig, &DataMsg::Append { record, ack_mode: AckMode::All });
+        // Tick past the deadline: the client gets a DurabilityTimeout.
+        let out = rig.server.tick(10_000);
+        assert!(out.iter().any(|p| p.dst == rig.client
+            && matches!(
+                msg_of(p),
+                DataMsg::ErrResp { code: ErrorCode::DurabilityTimeout, .. }
+            )));
+    }
+
+    #[test]
+    fn subscribe_replays_then_streams() {
+        let mut rig = rig();
+        let r1 = rig.writer.append(b"old", 0).unwrap();
+        request(&mut rig, &DataMsg::Append { record: r1, ack_mode: AckMode::Local });
+        // Subscribe from 0: the existing record is replayed.
+        let out = request(&mut rig, &DataMsg::Subscribe { from_seq: 0 });
+        assert_eq!(out.len(), 1);
+        assert!(matches!(msg_of(&out[0]), DataMsg::Event { .. }));
+        // New appends generate live events (ack + event).
+        let r2 = rig.writer.append(b"new", 1).unwrap();
+        let out = request(&mut rig, &DataMsg::Append { record: r2, ack_mode: AckMode::Local });
+        let events = out
+            .iter()
+            .filter(|p| matches!(msg_of(p), DataMsg::Event { .. }))
+            .count();
+        assert_eq!(events, 1);
+        assert_eq!(rig.server.stats.events_pushed, 2);
+    }
+
+    #[test]
+    fn sync_request_serves_missing_and_newer() {
+        let mut rig = rig();
+        let mut hashes = Vec::new();
+        for i in 0..4u64 {
+            let r = rig.writer.append(&[i as u8], i).unwrap();
+            hashes.push(r.hash());
+            request(&mut rig, &DataMsg::Append { record: r, ack_mode: AckMode::Local });
+        }
+        let peer = Name::from_content(b"lagging peer");
+        let pdu = Pdu {
+            pdu_type: PduType::Data,
+            src: peer,
+            dst: rig.server.name(),
+            seq: 0,
+            payload: DataMsg::SyncRequest {
+                capsule: rig.capsule,
+                have_seq: 2,
+                missing: vec![hashes[0]],
+            }
+            .to_wire(),
+        };
+        let out = rig.server.handle_pdu(0, pdu);
+        match msg_of(&out[0]) {
+            DataMsg::SyncResponse { records, .. } => {
+                // records 3,4 (newer than have_seq) + record 1 (missing).
+                let seqs: Vec<u64> = records.iter().map(|r| r.header.seq).collect();
+                assert_eq!(seqs, vec![1, 3, 4]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn host_message_requires_valid_delegation() {
+        let mut rig = rig();
+        let other_meta = MetadataBuilder::new()
+            .writer(&wkey().verifying_key())
+            .set_str("description", "second capsule")
+            .sign(&owner());
+        // Forged chain: delegation to a different server.
+        let stranger =
+            PrincipalId::from_seed(gdp_cert::PrincipalKind::Server, &[9u8; 32], "other");
+        let bad_chain = ServingChain::direct(
+            AdCert::issue(&owner(), other_meta.name(), stranger.name(), false, Scope::Global, FOREVER),
+            stranger.principal().clone(),
+        );
+        let pdu = Pdu {
+            pdu_type: PduType::Data,
+            src: rig.client,
+            dst: rig.server.name(),
+            seq: 77,
+            payload: DataMsg::Host {
+                metadata: other_meta.clone(),
+                chain: bad_chain,
+                peers: vec![],
+            }
+            .to_wire(),
+        };
+        let out = rig.server.handle_pdu(0, pdu);
+        assert!(matches!(
+            msg_of(&out[0]),
+            DataMsg::ErrResp { code: ErrorCode::VerificationFailed, .. }
+        ));
+        assert!(!rig.server.hosted_names().contains(&other_meta.name()));
+    }
+
+    #[test]
+    fn session_init_establishes_hmac_responses() {
+        let mut rig = rig();
+        let eph = gdp_crypto::x25519::EphemeralKeyPair::from_secret([7u8; 32]);
+        let out = request(&mut rig, &DataMsg::SessionInit { client_eph: *eph.public() });
+        let (server_eph, sig_ok) = match msg_of(&out[0]) {
+            DataMsg::SessionAccept { server_eph, client_eph, server, signature, .. } => {
+                let transcript =
+                    session_transcript(&rig.capsule, &client_eph, &server_eph);
+                (server_eph, server.verify(&transcript, &signature))
+            }
+            other => panic!("{other:?}"),
+        };
+        assert!(sig_ok);
+        // Subsequent responses use Mac auth with the same derived key.
+        let shared = eph.diffie_hellman(&server_eph).unwrap();
+        let flow = hkdf::derive_key32(rig.capsule.as_bytes(), &shared, b"gdp/flow-key/v1");
+        let record = rig.writer.append(b"x", 0).unwrap();
+        let (rseq, rhash) = (record.header.seq, record.hash());
+        let out = request(&mut rig, &DataMsg::Append { record, ack_mode: AckMode::Local });
+        match msg_of(&out[0]) {
+            DataMsg::AppendAck { auth: crate::proto::ResponseAuth::Mac { tag }, .. } => {
+                let body = append_ack_body(rseq, &rhash, 1);
+                let expect = mac_response(&flow, &rig.capsule, rig.seq, &body);
+                assert_eq!(tag, expect, "server must MAC with the agreed flow key");
+            }
+            other => panic!("expected MAC-authenticated ack, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Simulator adapter for a DataCapsule-server, including its attach
+//! handshake to a router and periodic anti-entropy ticks.
+
+use crate::server::DataCapsuleServer;
+use gdp_net::{NodeId, SimCtx, SimNode, SimTime};
+use gdp_router::{AttachStep, Attacher};
+use gdp_wire::Pdu;
+use std::any::Any;
+
+/// Timer token: start the attach handshake.
+pub const ATTACH_TIMER: u64 = 0xB0;
+/// Timer token: run `tick` (anti-entropy + durability timeouts).
+pub const TICK_TIMER: u64 = 0xB1;
+
+/// A [`DataCapsuleServer`] bound to a simulator node.
+pub struct SimServer {
+    /// The wrapped server (public for test/bench inspection).
+    pub server: DataCapsuleServer,
+    /// Neighbor id of this server's GDP-router.
+    pub router: NodeId,
+    attacher: Option<Attacher>,
+    /// Set when the router accepted the advertisement.
+    pub attached: bool,
+    /// Anti-entropy interval in µs (0 = disabled).
+    pub tick_interval: SimTime,
+    /// Modeled CPU cost per handled request (µs): signature verification,
+    /// hashing, storage. 0 = free.
+    pub cpu_cost_us: SimTime,
+    router_name: gdp_wire::Name,
+    advert_expires: u64,
+    busy_until: SimTime,
+}
+
+impl SimServer {
+    /// Wraps a server that will attach to `router` (neighbor id) using
+    /// `router_name`, advertising all hosted capsules.
+    pub fn new(
+        server: DataCapsuleServer,
+        router: NodeId,
+        router_name: gdp_wire::Name,
+        expires: u64,
+    ) -> Box<SimServer> {
+        let attacher = Attacher::new(
+            server.principal_id().clone(),
+            router_name,
+            server.advert_entries(),
+            expires,
+        );
+        Box::new(SimServer {
+            server,
+            router,
+            attacher: Some(attacher),
+            attached: false,
+            tick_interval: 0,
+            cpu_cost_us: 0,
+            router_name,
+            advert_expires: expires,
+            busy_until: 0,
+        })
+    }
+
+    /// Enables periodic anti-entropy every `interval` µs.
+    pub fn with_tick(mut self: Box<Self>, interval: SimTime) -> Box<Self> {
+        self.tick_interval = interval;
+        self
+    }
+}
+
+impl SimNode for SimServer {
+    fn on_pdu(&mut self, ctx: &mut SimCtx<'_>, _from: NodeId, pdu: Pdu) {
+        if let Some(attacher) = self.attacher.as_mut() {
+            match attacher.on_pdu(&pdu) {
+                AttachStep::Send(p) => {
+                    ctx.send(self.router, p);
+                    return;
+                }
+                AttachStep::Done(_) => {
+                    self.attached = true;
+                    self.attacher = None;
+                    return;
+                }
+                AttachStep::Failed(reason) => {
+                    panic!("server attach failed: {reason}");
+                }
+                AttachStep::Ignored => {}
+            }
+        }
+        let outputs = self.server.handle_pdu(ctx.now, pdu);
+        if self.cpu_cost_us == 0 {
+            for out in outputs {
+                ctx.send(self.router, out);
+            }
+        } else {
+            // Model a single serving core: each request occupies the CPU
+            // before its responses leave (signature checks, hashing).
+            let start = ctx.now.max(self.busy_until);
+            let done = start + self.cpu_cost_us;
+            self.busy_until = done;
+            for out in outputs {
+                ctx.send_delayed(self.router, out, done - ctx.now);
+            }
+        }
+        // A Host request may have added capsules: re-run the secure
+        // advertisement so the new names get routed here.
+        if self.server.needs_readvertise() {
+            let attacher = Attacher::new(
+                self.server.principal_id().clone(),
+                self.router_name,
+                self.server.advert_entries(),
+                self.advert_expires,
+            );
+            ctx.send(self.router, attacher.hello());
+            self.attacher = Some(attacher);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut SimCtx<'_>, token: u64) {
+        match token {
+            ATTACH_TIMER => {
+                if let Some(attacher) = self.attacher.as_ref() {
+                    ctx.send(self.router, attacher.hello());
+                }
+            }
+            TICK_TIMER => {
+                for out in self.server.tick(ctx.now) {
+                    ctx.send(self.router, out);
+                }
+                if self.tick_interval > 0 {
+                    ctx.set_timer(self.tick_interval, TICK_TIMER);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,388 @@
+//! Baseline systems for the Fig 8 case study.
+//!
+//! The paper compares the GDP against Amazon S3 and SSHFS (§IX). Neither
+//! is available here, so we model their *client-observable transfer
+//! behaviour* on the same simulated links (DESIGN.md, "Substitutions"):
+//!
+//! * **ObjectStore** (S3-like, via [`BaselineWorld::object_store_cloud`]) —
+//!   whole objects moved in sequential
+//!   multipart requests with a large per-request overhead, matching the
+//!   paper's note that "TensorFlow's S3 implementation for loading data is
+//!   not particularly efficient".
+//! * **RemoteFs** (SSHFS-like, via [`BaselineWorld::remote_fs_cloud`]) —
+//!   small fixed-size blocks with a bounded
+//!   pipeline window; efficient in the common case, chatty per block.
+//!
+//! Both are plain `SimNode` servers speaking an ad-hoc request/response
+//! protocol over the same PDU fabric, so bandwidth-delay effects are
+//! identical across systems; only protocol behaviour differs.
+
+use gdp_net::{NodeId, SimCtx, SimNet, SimNode, SimTime, MILLI};
+use gdp_wire::{Name, Pdu, PduType};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// S3-like part size (8 MiB).
+pub const OBJECT_PART: usize = 8 * 1024 * 1024;
+/// SSHFS-like block size (64 KiB).
+pub const FS_BLOCK: usize = 64 * 1024;
+/// SSHFS pipeline window (outstanding block requests).
+pub const FS_WINDOW: usize = 8;
+/// Modeled per-request processing overhead of the object store
+/// (auth/index/slow client), per part, on reads.
+pub const OBJECT_PART_OVERHEAD: SimTime = 120 * MILLI;
+/// Upload overhead factor for the object store (multipart init/commit and
+/// the inefficient TF S3 writer): puts cost this multiple of the read
+/// overhead.
+pub const OBJECT_PUT_FACTOR: SimTime = 3;
+/// Modeled per-block server overhead of the remote fs.
+pub const FS_BLOCK_OVERHEAD: SimTime = 300; // µs
+
+// Ad-hoc opcodes carried in the first payload byte.
+const OP_PUT_PART: u8 = 1;
+const OP_PUT_ACK: u8 = 2;
+const OP_GET_PART: u8 = 3;
+const OP_GET_RESP: u8 = 4;
+const OP_SIZE: u8 = 5;
+const OP_SIZE_RESP: u8 = 6;
+
+fn req(src: Name, dst: Name, seq: u64, op: u8, body: Vec<u8>) -> Pdu {
+    let mut payload = Vec::with_capacity(body.len() + 1);
+    payload.push(op);
+    payload.extend_from_slice(&body);
+    Pdu { pdu_type: PduType::Data, src, dst, seq, payload }
+}
+
+/// A blob server node (used for both baselines; behaviour differences are
+/// in the *client* access patterns plus the per-request overhead).
+pub struct BlobServer {
+    /// The server's name (clients address it directly; no GDP routing).
+    pub name: Name,
+    /// Per-request modeled processing overhead.
+    pub request_overhead: SimTime,
+    /// Multiplier applied to `request_overhead` for PUT requests.
+    pub put_factor: SimTime,
+    objects: HashMap<(Name, u64), Vec<u8>>, // (object, part index) → bytes
+    sizes: HashMap<Name, u64>,
+    busy_until: SimTime,
+}
+
+impl BlobServer {
+    /// Creates a server node.
+    pub fn new(name: Name, request_overhead: SimTime) -> Box<BlobServer> {
+        Box::new(BlobServer {
+            name,
+            request_overhead,
+            put_factor: 1,
+            objects: HashMap::new(),
+            sizes: HashMap::new(),
+            busy_until: 0,
+        })
+    }
+
+    fn delay(&mut self, now: SimTime, factor: SimTime) -> SimTime {
+        let start = now.max(self.busy_until);
+        let done = start + self.request_overhead * factor;
+        self.busy_until = done;
+        done - now
+    }
+}
+
+impl SimNode for BlobServer {
+    fn on_pdu(&mut self, ctx: &mut SimCtx<'_>, from: NodeId, pdu: Pdu) {
+        if pdu.payload.is_empty() {
+            return;
+        }
+        let op = pdu.payload[0];
+        let body = &pdu.payload[1..];
+        let factor = if op == OP_PUT_PART { self.put_factor } else { 1 };
+        let delay = self.delay(ctx.now, factor);
+        match op {
+            OP_PUT_PART => {
+                // body = object name (32) + part index (8) + total size (8) + bytes
+                if body.len() < 48 {
+                    return;
+                }
+                let object = Name(body[..32].try_into().unwrap());
+                let part = u64::from_be_bytes(body[32..40].try_into().unwrap());
+                let total = u64::from_be_bytes(body[40..48].try_into().unwrap());
+                self.objects.insert((object, part), body[48..].to_vec());
+                self.sizes.insert(object, total);
+                let ack = req(self.name, pdu.src, pdu.seq, OP_PUT_ACK, Vec::new());
+                ctx.send_delayed(from, ack, delay);
+            }
+            OP_GET_PART => {
+                if body.len() < 40 {
+                    return;
+                }
+                let object = Name(body[..32].try_into().unwrap());
+                let part = u64::from_be_bytes(body[32..40].try_into().unwrap());
+                let bytes = self.objects.get(&(object, part)).cloned().unwrap_or_default();
+                let resp = req(self.name, pdu.src, pdu.seq, OP_GET_RESP, bytes);
+                ctx.send_delayed(from, resp, delay);
+            }
+            OP_SIZE => {
+                if body.len() < 32 {
+                    return;
+                }
+                let object = Name(body[..32].try_into().unwrap());
+                let size = self.sizes.get(&object).copied().unwrap_or(0);
+                let resp =
+                    req(self.name, pdu.src, pdu.seq, OP_SIZE_RESP, size.to_be_bytes().to_vec());
+                ctx.send_delayed(from, resp, delay);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A recording client node: collects responses for the driver.
+struct BaselineClient {
+    responses: Vec<Pdu>,
+}
+
+impl SimNode for BaselineClient {
+    fn on_pdu(&mut self, _ctx: &mut SimCtx<'_>, _from: NodeId, pdu: Pdu) {
+        self.responses.push(pdu);
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Synchronous driver for a baseline deployment: client ↔ server over the
+/// given links, with configurable chunking and pipelining.
+pub struct BaselineWorld {
+    /// The simulator.
+    pub net: SimNet,
+    client_node: NodeId,
+    /// The blob-server node id.
+    pub server_node: NodeId,
+    client_name: Name,
+    server_name: Name,
+    /// Transfer chunk size.
+    pub chunk: usize,
+    /// Outstanding-request window (1 = strict request/response).
+    pub window: usize,
+    next_seq: u64,
+}
+
+impl BaselineWorld {
+    /// Builds a client↔server pair with explicit directed links.
+    pub fn new(
+        seed: u64,
+        up: gdp_net::LinkSpec,
+        down: gdp_net::LinkSpec,
+        request_overhead: SimTime,
+        chunk: usize,
+        window: usize,
+    ) -> BaselineWorld {
+        let mut net = SimNet::new(seed);
+        let client_name = Name::from_content(b"baseline client");
+        let server_name = Name::from_content(b"baseline server");
+        let client_node = net.add_node(Box::new(BaselineClient { responses: Vec::new() }));
+        let server_node = net.add_node(BlobServer::new(server_name, request_overhead));
+        net.connect_directed(client_node, server_node, up);
+        net.connect_directed(server_node, client_node, down);
+        BaselineWorld { net, client_node, server_node, client_name, server_name, chunk, window, next_seq: 1 }
+    }
+
+    /// S3-like deployment over a residential link: big parts, strict
+    /// sequential requests, heavy per-request overhead (heavier on PUT:
+    /// multipart init/commit).
+    pub fn object_store_cloud(seed: u64) -> BaselineWorld {
+        let mut w = BaselineWorld::new(
+            seed,
+            gdp_net::LinkSpec::residential_up(),
+            gdp_net::LinkSpec::residential_down(),
+            OBJECT_PART_OVERHEAD,
+            OBJECT_PART,
+            1,
+        );
+        w.net.node_mut::<BlobServer>(w.server_node).put_factor = OBJECT_PUT_FACTOR;
+        w
+    }
+
+    /// SSHFS-like deployment over a residential link: small blocks,
+    /// pipeline window, tiny overhead.
+    pub fn remote_fs_cloud(seed: u64) -> BaselineWorld {
+        BaselineWorld::new(
+            seed,
+            gdp_net::LinkSpec::residential_up(),
+            gdp_net::LinkSpec::residential_down(),
+            FS_BLOCK_OVERHEAD,
+            FS_BLOCK,
+            FS_WINDOW,
+        )
+    }
+
+    /// SSHFS-like deployment on an edge LAN.
+    pub fn remote_fs_edge(seed: u64) -> BaselineWorld {
+        BaselineWorld::new(
+            seed,
+            gdp_net::LinkSpec::lan(),
+            gdp_net::LinkSpec::lan(),
+            FS_BLOCK_OVERHEAD,
+            FS_BLOCK,
+            FS_WINDOW,
+        )
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    fn take_responses(&mut self) -> Vec<Pdu> {
+        std::mem::take(&mut self.net.node_mut::<BaselineClient>(self.client_node).responses)
+    }
+
+    fn run_until_responses(&mut self, n: usize) -> Vec<Pdu> {
+        loop {
+            let have = self.net.node_mut::<BaselineClient>(self.client_node).responses.len();
+            if have >= n || !self.net.step() {
+                return self.take_responses();
+            }
+        }
+    }
+
+    /// Uploads an object, honoring chunk size and window. Returns elapsed
+    /// virtual µs.
+    pub fn put(&mut self, object: Name, bytes: &[u8]) -> SimTime {
+        let t0 = self.net.now();
+        let total = bytes.len() as u64;
+        let parts: Vec<&[u8]> = if bytes.is_empty() {
+            vec![&[][..]]
+        } else {
+            bytes.chunks(self.chunk).collect()
+        };
+        let mut sent = 0usize;
+        let mut acked = 0usize;
+        while acked < parts.len() {
+            while sent < parts.len() && sent - acked < self.window {
+                let mut body = Vec::with_capacity(48 + parts[sent].len());
+                body.extend_from_slice(&object.0);
+                body.extend_from_slice(&(sent as u64).to_be_bytes());
+                body.extend_from_slice(&total.to_be_bytes());
+                body.extend_from_slice(parts[sent]);
+                let pdu = req(self.client_name, self.server_name, self.next_seq, OP_PUT_PART, body);
+                self.next_seq += 1;
+                self.net.inject(self.client_node, self.server_node, pdu);
+                sent += 1;
+            }
+            let got = self.run_until_responses(1);
+            if got.is_empty() {
+                break; // network drained without an ack — avoid hanging
+            }
+            acked += got.len();
+        }
+        self.net.now() - t0
+    }
+
+    /// Downloads an object of known size. Returns (bytes, elapsed µs).
+    pub fn get(&mut self, object: Name, size: usize) -> (Vec<u8>, SimTime) {
+        let t0 = self.net.now();
+        let nparts = if size == 0 { 1 } else { size.div_ceil(self.chunk) };
+        let mut out = vec![Vec::new(); nparts];
+        let mut requested = 0usize;
+        let mut received = 0usize;
+        let mut seq_to_part: HashMap<u64, usize> = HashMap::new();
+        while received < nparts {
+            while requested < nparts && requested - received < self.window {
+                let mut body = Vec::with_capacity(40);
+                body.extend_from_slice(&object.0);
+                body.extend_from_slice(&(requested as u64).to_be_bytes());
+                let pdu = req(self.client_name, self.server_name, self.next_seq, OP_GET_PART, body);
+                seq_to_part.insert(self.next_seq, requested);
+                self.next_seq += 1;
+                self.net.inject(self.client_node, self.server_node, pdu);
+                requested += 1;
+            }
+            let got = self.run_until_responses(1);
+            if got.is_empty() {
+                break; // network drained without a response
+            }
+            for resp in got {
+                if resp.payload.first() == Some(&OP_GET_RESP) {
+                    if let Some(part) = seq_to_part.remove(&resp.seq) {
+                        out[part] = resp.payload[1..].to_vec();
+                        received += 1;
+                    }
+                }
+            }
+        }
+        (out.concat(), self.net.now() - t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut w = BaselineWorld::remote_fs_edge(1);
+        let obj = Name::from_content(b"blob");
+        let data: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
+        let put_time = w.put(obj, &data);
+        assert!(put_time > 0);
+        let (back, get_time) = w.get(obj, data.len());
+        assert_eq!(back, data);
+        assert!(get_time > 0);
+    }
+
+    #[test]
+    fn empty_object() {
+        let mut w = BaselineWorld::remote_fs_edge(2);
+        let obj = Name::from_content(b"empty");
+        w.put(obj, b"");
+        let (back, _) = w.get(obj, 0);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn windowed_transfer_faster_than_sequential() {
+        let data = vec![7u8; 2_000_000];
+        let obj = Name::from_content(b"o");
+        let mut seq = BaselineWorld::new(
+            3,
+            gdp_net::LinkSpec::residential_up(),
+            gdp_net::LinkSpec::residential_down(),
+            1000,
+            FS_BLOCK,
+            1,
+        );
+        seq.put(obj, &data);
+        let (_, t_seq) = seq.get(obj, data.len());
+        let mut win = BaselineWorld::new(
+            3,
+            gdp_net::LinkSpec::residential_up(),
+            gdp_net::LinkSpec::residential_down(),
+            1000,
+            FS_BLOCK,
+            8,
+        );
+        win.put(obj, &data);
+        let (_, t_win) = win.get(obj, data.len());
+        assert!(t_win < t_seq, "windowed {t_win} vs sequential {t_seq}");
+    }
+
+    #[test]
+    fn object_store_slower_than_remote_fs_on_read() {
+        // The calibrated Fig 8 ordering on the cloud path (reads are
+        // download-bound at 100 Mbps; S3's per-part overhead dominates).
+        let data = vec![1u8; 28_000_000];
+        let obj = Name::from_content(b"model");
+        let mut s3 = BaselineWorld::object_store_cloud(4);
+        s3.put(obj, &data);
+        let (_, t_s3) = s3.get(obj, data.len());
+        let mut fs = BaselineWorld::remote_fs_cloud(4);
+        fs.put(obj, &data);
+        let (_, t_fs) = fs.get(obj, data.len());
+        assert!(t_s3 > t_fs, "s3 {t_s3} fs {t_fs}");
+    }
+}

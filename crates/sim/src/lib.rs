@@ -1,0 +1,13 @@
+//! # gdp-sim
+//!
+//! Scenario assembly and evaluation support: complete simulated GDP
+//! deployments ([`world::GdpWorld`]) that CAAPIs run over unmodified, the
+//! S3-like / SSHFS-like baseline models for the paper's case study
+//! ([`baselines`]), and deterministic workload generators ([`workload`]).
+
+pub mod baselines;
+pub mod workload;
+pub mod world;
+
+pub use baselines::{BaselineWorld, BlobServer};
+pub use world::{GdpWorld, Placement, FOREVER};

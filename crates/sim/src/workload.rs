@@ -1,0 +1,88 @@
+//! Workload generators for benchmarks and examples.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic pseudo-random blob of `len` bytes (model weights, video
+/// frames, …). Same seed → same bytes, so cross-system comparisons move
+/// identical data.
+pub fn blob(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![0u8; len];
+    rng.fill(&mut out[..]);
+    out
+}
+
+/// The paper's two case-study model sizes (§IX): 28 MB and 115 MB.
+pub const MODEL_SMALL: usize = 28 * 1_000_000;
+/// The larger model.
+pub const MODEL_LARGE: usize = 115 * 1_000_000;
+
+/// A synthetic sensor trace: `n` samples at `period_micros`, sinusoidal
+/// with seeded noise.
+pub fn sensor_trace(seed: u64, n: usize, period_micros: u64) -> Vec<(u64, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let t = i as u64 * period_micros;
+            let v = 21.0
+                + 3.0 * ((i as f64) * 0.01).sin()
+                + rng.gen_range(-0.25..0.25);
+            (t, v)
+        })
+        .collect()
+}
+
+/// Payload-size sweep used by the Fig 6 reproduction: 64 B … 16 KiB in
+/// powers of two (the paper sweeps PDU size up to ~10 kB).
+pub fn fig6_pdu_sizes() -> Vec<usize> {
+    (6..=14).map(|k| 1usize << k).collect()
+}
+
+/// A synthetic robot "episode" record for the case study: joint states +
+/// camera digest, roughly 4 KiB.
+pub fn robot_episode(seed: u64, step: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ step);
+    let mut out = Vec::with_capacity(4096);
+    out.extend_from_slice(&step.to_be_bytes());
+    for _ in 0..16 {
+        out.extend_from_slice(&rng.gen::<f64>().to_be_bytes());
+    }
+    let mut frame = vec![0u8; 3960];
+    rng.fill(&mut frame[..]);
+    out.extend_from_slice(&frame);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_are_deterministic() {
+        assert_eq!(blob(1, 1000), blob(1, 1000));
+        assert_ne!(blob(1, 1000), blob(2, 1000));
+    }
+
+    #[test]
+    fn sensor_trace_monotone_time() {
+        let trace = sensor_trace(3, 100, 1000);
+        assert_eq!(trace.len(), 100);
+        for w in trace.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    fn pdu_sizes_cover_paper_range() {
+        let sizes = fig6_pdu_sizes();
+        assert_eq!(*sizes.first().unwrap(), 64);
+        assert_eq!(*sizes.last().unwrap(), 16384);
+    }
+
+    #[test]
+    fn episodes_sized_right() {
+        let e = robot_episode(7, 3);
+        assert!(e.len() > 4000 && e.len() < 4200);
+    }
+}

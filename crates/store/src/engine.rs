@@ -1,0 +1,151 @@
+//! Multi-capsule storage engine: what a DataCapsule-server mounts.
+//!
+//! Manages one [`CapsuleStore`] per hosted capsule, either all in memory or
+//! as one segment file per capsule under a directory (mirroring the
+//! prototype's one-SQLite-file-per-capsule layout, paper §VIII).
+
+use crate::file::FileStore;
+use crate::store::{CapsuleStore, MemStore, StoreError};
+use gdp_wire::Name;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Backing medium for a [`StorageEngine`].
+#[derive(Clone, Debug)]
+pub enum Backing {
+    /// Everything in memory (simulations, tests).
+    Memory,
+    /// One append-only segment file per capsule under this directory.
+    Directory(PathBuf),
+}
+
+/// A shared handle to one capsule's store.
+pub type SharedStore = Arc<Mutex<Box<dyn CapsuleStore>>>;
+
+/// A thread-safe collection of per-capsule stores.
+pub struct StorageEngine {
+    backing: Backing,
+    stores: Mutex<HashMap<Name, SharedStore>>,
+}
+
+impl StorageEngine {
+    /// Creates an engine with the given backing.
+    pub fn new(backing: Backing) -> StorageEngine {
+        StorageEngine { backing, stores: Mutex::new(HashMap::new()) }
+    }
+
+    /// In-memory engine.
+    pub fn in_memory() -> StorageEngine {
+        StorageEngine::new(Backing::Memory)
+    }
+
+    /// Opens (creating if needed) the store for `capsule`.
+    pub fn open(&self, capsule: &Name) -> Result<SharedStore, StoreError> {
+        let mut stores = self.stores.lock();
+        if let Some(s) = stores.get(capsule) {
+            return Ok(Arc::clone(s));
+        }
+        let store: Box<dyn CapsuleStore> = match &self.backing {
+            Backing::Memory => Box::new(MemStore::new()),
+            Backing::Directory(dir) => {
+                Box::new(FileStore::open(dir.join(format!("{}.log", capsule.to_hex())))?)
+            }
+        };
+        let arc = Arc::new(Mutex::new(store));
+        stores.insert(*capsule, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Names of all capsules with an open store.
+    pub fn hosted(&self) -> Vec<Name> {
+        self.stores.lock().keys().copied().collect()
+    }
+
+    /// True if a store exists for `capsule` (open in this engine).
+    pub fn hosts(&self, capsule: &Name) -> bool {
+        self.stores.lock().contains_key(capsule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_capsule::{MetadataBuilder, Record, RecordHash};
+    use gdp_crypto::SigningKey;
+
+    #[test]
+    fn memory_engine_isolates_capsules() {
+        let engine = StorageEngine::in_memory();
+        let owner = SigningKey::from_seed(&[1u8; 32]);
+        let writer = SigningKey::from_seed(&[2u8; 32]);
+        let m1 = MetadataBuilder::new()
+            .writer(&writer.verifying_key())
+            .set_str("description", "one")
+            .sign(&owner);
+        let m2 = MetadataBuilder::new()
+            .writer(&writer.verifying_key())
+            .set_str("description", "two")
+            .sign(&owner);
+        let s1 = engine.open(&m1.name()).unwrap();
+        let s2 = engine.open(&m2.name()).unwrap();
+        s1.lock().put_metadata(&m1).unwrap();
+        s2.lock().put_metadata(&m2).unwrap();
+        let r = Record::create(
+            &m1.name(),
+            &writer,
+            1,
+            0,
+            RecordHash::anchor(&m1.name()),
+            vec![],
+            b"only in one".to_vec(),
+        );
+        s1.lock().append(&r).unwrap();
+        assert_eq!(s1.lock().len(), 1);
+        assert_eq!(s2.lock().len(), 0);
+        assert_eq!(engine.hosted().len(), 2);
+        assert!(engine.hosts(&m1.name()));
+    }
+
+    #[test]
+    fn same_capsule_shares_store() {
+        let engine = StorageEngine::in_memory();
+        let n = Name::from_content(b"cap");
+        let a = engine.open(&n).unwrap();
+        let b = engine.open(&n).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn directory_engine_persists() {
+        let dir = std::env::temp_dir().join(format!("gdp-engine-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let owner = SigningKey::from_seed(&[1u8; 32]);
+        let writer = SigningKey::from_seed(&[2u8; 32]);
+        let meta = MetadataBuilder::new()
+            .writer(&writer.verifying_key())
+            .sign(&owner);
+        let name = meta.name();
+        {
+            let engine = StorageEngine::new(Backing::Directory(dir.clone()));
+            let s = engine.open(&name).unwrap();
+            s.lock().put_metadata(&meta).unwrap();
+            let r = Record::create(
+                &name,
+                &writer,
+                1,
+                0,
+                RecordHash::anchor(&name),
+                vec![],
+                b"persisted".to_vec(),
+            );
+            s.lock().append(&r).unwrap();
+        }
+        let engine = StorageEngine::new(Backing::Directory(dir.clone()));
+        let s = engine.open(&name).unwrap();
+        assert_eq!(s.lock().len(), 1);
+        assert_eq!(s.lock().metadata().unwrap(), meta);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,371 @@
+//! File-backed capsule store: an append-only segment log with CRC framing,
+//! an in-memory index built on open, and crash recovery by truncating the
+//! first torn entry.
+//!
+//! Layout of `<dir>/<capsule-hex>.log`:
+//!
+//! ```text
+//! [ entry ]*
+//! entry := kind:u8  len:u32be  crc32:u32be  bytes[len]
+//! kind  := 0 (metadata) | 1 (record)
+//! ```
+
+use crate::crc::crc32;
+use crate::store::{CapsuleStore, StoreError};
+use gdp_capsule::{CapsuleMetadata, Record, RecordHash};
+use gdp_wire::Wire;
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const KIND_METADATA: u8 = 0;
+const KIND_RECORD: u8 = 1;
+const ENTRY_HEADER: usize = 1 + 4 + 4;
+
+/// A file-backed per-capsule store.
+pub struct FileStore {
+    path: PathBuf,
+    file: File,
+    metadata: Option<CapsuleMetadata>,
+    /// hash → (file offset of entry start, body length) for random reads.
+    index: HashMap<RecordHash, u64>,
+    by_seq: BTreeMap<u64, Vec<RecordHash>>,
+    tail: u64,
+    /// fsync after every append (durable but slow) or rely on OS flush.
+    sync_each_write: bool,
+}
+
+impl FileStore {
+    /// Opens (or creates) the store file, scanning and indexing existing
+    /// entries. A torn final entry — from a crash mid-write — is truncated.
+    pub fn open(path: impl AsRef<Path>) -> Result<FileStore, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut bytes)?;
+
+        let mut store = FileStore {
+            path,
+            file,
+            metadata: None,
+            index: HashMap::new(),
+            by_seq: BTreeMap::new(),
+            tail: 0,
+            sync_each_write: false,
+        };
+        store.recover(&bytes)?;
+        Ok(store)
+    }
+
+    /// Enables fsync-per-append.
+    pub fn with_sync(mut self, sync: bool) -> FileStore {
+        self.sync_each_write = sync;
+        self
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn recover(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        let mut pos = 0usize;
+        let mut valid_end = 0usize;
+        while bytes.len() - pos >= ENTRY_HEADER {
+            let kind = bytes[pos];
+            let len =
+                u32::from_be_bytes(bytes[pos + 1..pos + 5].try_into().unwrap()) as usize;
+            let crc = u32::from_be_bytes(bytes[pos + 5..pos + 9].try_into().unwrap());
+            let body_start = pos + ENTRY_HEADER;
+            if bytes.len() - body_start < len {
+                break; // torn tail
+            }
+            let body = &bytes[body_start..body_start + len];
+            if crc32(body) != crc {
+                break; // torn or rotted tail entry
+            }
+            match kind {
+                KIND_METADATA => {
+                    let meta = CapsuleMetadata::from_wire(body)
+                        .map_err(|e| StoreError::Corrupt(format!("metadata: {e}")))?;
+                    if self.metadata.is_none() {
+                        self.metadata = Some(meta);
+                    }
+                }
+                KIND_RECORD => {
+                    let record = Record::from_wire(body)
+                        .map_err(|e| StoreError::Corrupt(format!("record: {e}")))?;
+                    let hash = record.hash();
+                    if let std::collections::hash_map::Entry::Vacant(e) = self.index.entry(hash) {
+                        e.insert(pos as u64);
+                        self.by_seq.entry(record.header.seq).or_default().push(hash);
+                    }
+                }
+                other => {
+                    return Err(StoreError::Corrupt(format!("unknown entry kind {other}")));
+                }
+            }
+            pos = body_start + len;
+            valid_end = pos;
+        }
+        if valid_end < bytes.len() {
+            // Drop the torn tail so future appends start from a clean edge.
+            self.file.set_len(valid_end as u64)?;
+            self.file.seek(SeekFrom::End(0))?;
+        }
+        self.tail = valid_end as u64;
+        Ok(())
+    }
+
+    fn write_entry(&mut self, kind: u8, body: &[u8]) -> Result<u64, StoreError> {
+        let offset = self.tail;
+        let mut frame = Vec::with_capacity(ENTRY_HEADER + body.len());
+        frame.push(kind);
+        frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&crc32(body).to_be_bytes());
+        frame.extend_from_slice(body);
+        self.file.write_all(&frame)?;
+        if self.sync_each_write {
+            self.file.sync_data()?;
+        }
+        self.tail += frame.len() as u64;
+        Ok(offset)
+    }
+
+    fn read_record_at(&self, offset: u64) -> Result<Record, StoreError> {
+        let mut file = File::open(&self.path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut header = [0u8; ENTRY_HEADER];
+        file.read_exact(&mut header)?;
+        if header[0] != KIND_RECORD {
+            return Err(StoreError::Corrupt("expected record entry".to_string()));
+        }
+        let len = u32::from_be_bytes(header[1..5].try_into().unwrap()) as usize;
+        let crc = u32::from_be_bytes(header[5..9].try_into().unwrap());
+        let mut body = vec![0u8; len];
+        file.read_exact(&mut body)?;
+        if crc32(&body) != crc {
+            return Err(StoreError::Corrupt("crc mismatch on read".to_string()));
+        }
+        Record::from_wire(&body).map_err(|e| StoreError::Corrupt(format!("record: {e}")))
+    }
+}
+
+impl CapsuleStore for FileStore {
+    fn put_metadata(&mut self, metadata: &CapsuleMetadata) -> Result<(), StoreError> {
+        if self.metadata.is_some() {
+            return Ok(());
+        }
+        self.write_entry(KIND_METADATA, &metadata.to_wire())?;
+        self.metadata = Some(metadata.clone());
+        Ok(())
+    }
+
+    fn metadata(&self) -> Result<CapsuleMetadata, StoreError> {
+        self.metadata.clone().ok_or(StoreError::NoMetadata)
+    }
+
+    fn append(&mut self, record: &Record) -> Result<(), StoreError> {
+        let hash = record.hash();
+        if self.index.contains_key(&hash) {
+            return Ok(());
+        }
+        let offset = self.write_entry(KIND_RECORD, &record.to_wire())?;
+        self.index.insert(hash, offset);
+        self.by_seq.entry(record.header.seq).or_default().push(hash);
+        Ok(())
+    }
+
+    fn get_by_seq(&self, seq: u64) -> Result<Option<Record>, StoreError> {
+        match self.by_seq.get(&seq).and_then(|hs| hs.first()) {
+            Some(hash) => Ok(Some(self.read_record_at(self.index[hash])?)),
+            None => Ok(None),
+        }
+    }
+
+    fn get_all_at_seq(&self, seq: u64) -> Result<Vec<Record>, StoreError> {
+        let mut out = Vec::new();
+        if let Some(hs) = self.by_seq.get(&seq) {
+            for h in hs {
+                out.push(self.read_record_at(self.index[h])?);
+            }
+        }
+        Ok(out)
+    }
+
+    fn get_by_hash(&self, hash: &RecordHash) -> Result<Option<Record>, StoreError> {
+        match self.index.get(hash) {
+            Some(&offset) => Ok(Some(self.read_record_at(offset)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn latest_seq(&self) -> u64 {
+        self.by_seq.keys().next_back().copied().unwrap_or(0)
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn range(&self, from: u64, to: u64) -> Result<Vec<Record>, StoreError> {
+        let mut out = Vec::new();
+        for (_, hs) in self.by_seq.range(from..=to) {
+            for h in hs {
+                out.push(self.read_record_at(self.index[h])?);
+            }
+        }
+        Ok(out)
+    }
+
+    fn hashes(&self) -> Vec<RecordHash> {
+        self.index.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_capsule::MetadataBuilder;
+    use gdp_crypto::SigningKey;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gdp-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn setup() -> (CapsuleMetadata, Vec<Record>) {
+        let owner = SigningKey::from_seed(&[1u8; 32]);
+        let writer = SigningKey::from_seed(&[2u8; 32]);
+        let meta = MetadataBuilder::new()
+            .writer(&writer.verifying_key())
+            .sign(&owner);
+        let name = meta.name();
+        let mut prev = RecordHash::anchor(&name);
+        let mut records = Vec::new();
+        for seq in 1..=10u64 {
+            let r = Record::create(
+                &name,
+                &writer,
+                seq,
+                seq,
+                prev,
+                vec![],
+                format!("payload {seq}").into_bytes(),
+            );
+            prev = r.hash();
+            records.push(r);
+        }
+        (meta, records)
+    }
+
+    #[test]
+    fn write_read_reopen() {
+        let dir = tmpdir("reopen");
+        let path = dir.join("c.log");
+        let (meta, records) = setup();
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            s.put_metadata(&meta).unwrap();
+            for r in &records {
+                s.append(r).unwrap();
+            }
+            assert_eq!(s.len(), 10);
+            assert_eq!(s.get_by_seq(7).unwrap().unwrap(), records[6]);
+        }
+        // Reopen and verify the index rebuilds.
+        let s = FileStore::open(&path).unwrap();
+        assert_eq!(s.metadata().unwrap(), meta);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.latest_seq(), 10);
+        assert_eq!(s.get_by_hash(&records[3].hash()).unwrap().unwrap(), records[3]);
+        assert_eq!(s.range(2, 5).unwrap().len(), 4);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let dir = tmpdir("torn");
+        let path = dir.join("c.log");
+        let (meta, records) = setup();
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            s.put_metadata(&meta).unwrap();
+            for r in &records {
+                s.append(r).unwrap();
+            }
+        }
+        // Chop bytes off the end, simulating a crash mid-append.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let s = FileStore::open(&path).unwrap();
+        assert_eq!(s.len(), 9, "torn final record dropped");
+        assert_eq!(s.latest_seq(), 9);
+        // The file itself must have been truncated to the valid prefix.
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(after < full.len() as u64 - 6);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_middle_detected_on_read() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("c.log");
+        let (meta, records) = setup();
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            s.put_metadata(&meta).unwrap();
+            for r in &records {
+                s.append(r).unwrap();
+            }
+        }
+        // Flip one byte in the middle of the file (inside some record body).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        // Recovery scan stops at the corrupt entry: earlier records survive.
+        let s = FileStore::open(&path).unwrap();
+        assert!(s.len() < 10);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn duplicate_append_not_rewritten() {
+        let dir = tmpdir("dup");
+        let path = dir.join("c.log");
+        let (meta, records) = setup();
+        let mut s = FileStore::open(&path).unwrap();
+        s.put_metadata(&meta).unwrap();
+        s.append(&records[0]).unwrap();
+        let size1 = std::fs::metadata(&path).unwrap().len();
+        s.append(&records[0]).unwrap();
+        let size2 = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(size1, size2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn empty_store() {
+        let dir = tmpdir("empty");
+        let s = FileStore::open(dir.join("c.log")).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.latest_seq(), 0);
+        assert!(s.get_by_seq(1).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,16 @@
+//! # gdp-store
+//!
+//! Storage engine for DataCapsule-servers. The paper's prototype used one
+//! SQLite database per capsule for efficient random reads (§VIII); the
+//! equivalent here is an append-only segment log with CRC-framed entries,
+//! an in-memory index rebuilt on open, and crash recovery that truncates a
+//! torn tail — plus a pure in-memory backend for simulation.
+
+pub mod crc;
+pub mod engine;
+pub mod file;
+pub mod store;
+
+pub use engine::{Backing, StorageEngine};
+pub use file::FileStore;
+pub use store::{CapsuleStore, MemStore, StoreError};

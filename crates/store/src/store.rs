@@ -1,0 +1,237 @@
+//! Per-capsule record stores.
+//!
+//! The paper's prototype keeps "each DataCapsule ... in its own separate
+//! SQLite database" so servers "respond to random reads efficiently"
+//! (§VIII). The equivalent here is a [`CapsuleStore`] trait with two
+//! backends: an in-memory map (simulation, tests) and an append-only
+//! segment file with CRC framing and crash-recovery scan (`FileStore` in
+//! `file.rs`). Both index records by sequence number and header hash.
+
+use gdp_capsule::{CapsuleError, CapsuleMetadata, Record, RecordHash};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Errors from the storage layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Stored bytes failed to decode or failed CRC.
+    Corrupt(String),
+    /// Capsule-level validation failed.
+    Capsule(CapsuleError),
+    /// The store has no metadata yet.
+    NoMetadata,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Corrupt(w) => write!(f, "corrupt store: {w}"),
+            StoreError::Capsule(e) => write!(f, "capsule error: {e}"),
+            StoreError::NoMetadata => write!(f, "store has no metadata"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CapsuleError> for StoreError {
+    fn from(e: CapsuleError) -> Self {
+        StoreError::Capsule(e)
+    }
+}
+
+/// Durable storage for one capsule's metadata and records.
+///
+/// Stores are deliberately dumb: they persist what they are given and answer
+/// random reads. Verification policy lives in `gdp-server`.
+pub trait CapsuleStore: Send {
+    /// Persists capsule metadata (idempotent; first write wins).
+    fn put_metadata(&mut self, metadata: &CapsuleMetadata) -> Result<(), StoreError>;
+
+    /// Reads the capsule metadata.
+    fn metadata(&self) -> Result<CapsuleMetadata, StoreError>;
+
+    /// Persists a record (idempotent on duplicate hashes).
+    fn append(&mut self, record: &Record) -> Result<(), StoreError>;
+
+    /// Random read by sequence number (first match on branches).
+    fn get_by_seq(&self, seq: u64) -> Result<Option<Record>, StoreError>;
+
+    /// All records at a sequence number (branch-aware).
+    fn get_all_at_seq(&self, seq: u64) -> Result<Vec<Record>, StoreError>;
+
+    /// Random read by header hash.
+    fn get_by_hash(&self, hash: &RecordHash) -> Result<Option<Record>, StoreError>;
+
+    /// Highest stored sequence number (0 when empty).
+    fn latest_seq(&self) -> u64;
+
+    /// Number of stored records.
+    fn len(&self) -> usize;
+
+    /// True when no records are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records in `[from, to]` in seq order.
+    fn range(&self, from: u64, to: u64) -> Result<Vec<Record>, StoreError>;
+
+    /// All stored record hashes (for anti-entropy comparison).
+    fn hashes(&self) -> Vec<RecordHash>;
+}
+
+/// In-memory store: the default for simulations and tests.
+#[derive(Default)]
+pub struct MemStore {
+    metadata: Option<CapsuleMetadata>,
+    by_hash: HashMap<RecordHash, Record>,
+    by_seq: BTreeMap<u64, Vec<RecordHash>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+}
+
+impl CapsuleStore for MemStore {
+    fn put_metadata(&mut self, metadata: &CapsuleMetadata) -> Result<(), StoreError> {
+        if self.metadata.is_none() {
+            self.metadata = Some(metadata.clone());
+        }
+        Ok(())
+    }
+
+    fn metadata(&self) -> Result<CapsuleMetadata, StoreError> {
+        self.metadata.clone().ok_or(StoreError::NoMetadata)
+    }
+
+    fn append(&mut self, record: &Record) -> Result<(), StoreError> {
+        let hash = record.hash();
+        if self.by_hash.contains_key(&hash) {
+            return Ok(());
+        }
+        self.by_seq.entry(record.header.seq).or_default().push(hash);
+        self.by_hash.insert(hash, record.clone());
+        Ok(())
+    }
+
+    fn get_by_seq(&self, seq: u64) -> Result<Option<Record>, StoreError> {
+        Ok(self
+            .by_seq
+            .get(&seq)
+            .and_then(|hs| hs.first())
+            .map(|h| self.by_hash[h].clone()))
+    }
+
+    fn get_all_at_seq(&self, seq: u64) -> Result<Vec<Record>, StoreError> {
+        Ok(self
+            .by_seq
+            .get(&seq)
+            .map(|hs| hs.iter().map(|h| self.by_hash[h].clone()).collect())
+            .unwrap_or_default())
+    }
+
+    fn get_by_hash(&self, hash: &RecordHash) -> Result<Option<Record>, StoreError> {
+        Ok(self.by_hash.get(hash).cloned())
+    }
+
+    fn latest_seq(&self) -> u64 {
+        self.by_seq.keys().next_back().copied().unwrap_or(0)
+    }
+
+    fn len(&self) -> usize {
+        self.by_hash.len()
+    }
+
+    fn range(&self, from: u64, to: u64) -> Result<Vec<Record>, StoreError> {
+        Ok(self
+            .by_seq
+            .range(from..=to)
+            .flat_map(|(_, hs)| hs.iter().map(|h| self.by_hash[h].clone()))
+            .collect())
+    }
+
+    fn hashes(&self) -> Vec<RecordHash> {
+        self.by_hash.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_capsule::{MetadataBuilder, Record, RecordHash};
+    use gdp_crypto::SigningKey;
+
+    fn setup() -> (CapsuleMetadata, Vec<Record>) {
+        let owner = SigningKey::from_seed(&[1u8; 32]);
+        let writer = SigningKey::from_seed(&[2u8; 32]);
+        let meta = MetadataBuilder::new()
+            .writer(&writer.verifying_key())
+            .sign(&owner);
+        let name = meta.name();
+        let mut prev = RecordHash::anchor(&name);
+        let mut records = Vec::new();
+        for seq in 1..=5u64 {
+            let r = Record::create(&name, &writer, seq, seq, prev, vec![], vec![seq as u8; 8]);
+            prev = r.hash();
+            records.push(r);
+        }
+        (meta, records)
+    }
+
+    #[test]
+    fn memstore_roundtrip() {
+        let (meta, records) = setup();
+        let mut s = MemStore::new();
+        assert!(matches!(s.metadata(), Err(StoreError::NoMetadata)));
+        s.put_metadata(&meta).unwrap();
+        assert_eq!(s.metadata().unwrap(), meta);
+        for r in &records {
+            s.append(r).unwrap();
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.latest_seq(), 5);
+        assert_eq!(s.get_by_seq(3).unwrap().unwrap(), records[2]);
+        assert_eq!(
+            s.get_by_hash(&records[0].hash()).unwrap().unwrap(),
+            records[0]
+        );
+        assert_eq!(s.range(2, 4).unwrap().len(), 3);
+        assert!(s.get_by_seq(99).unwrap().is_none());
+    }
+
+    #[test]
+    fn memstore_idempotent_append() {
+        let (meta, records) = setup();
+        let mut s = MemStore::new();
+        s.put_metadata(&meta).unwrap();
+        s.append(&records[0]).unwrap();
+        s.append(&records[0]).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn metadata_first_write_wins() {
+        let (meta, _) = setup();
+        let owner2 = SigningKey::from_seed(&[9u8; 32]);
+        let meta2 = MetadataBuilder::new()
+            .writer(&owner2.verifying_key())
+            .sign(&owner2);
+        let mut s = MemStore::new();
+        s.put_metadata(&meta).unwrap();
+        s.put_metadata(&meta2).unwrap();
+        assert_eq!(s.metadata().unwrap(), meta);
+    }
+}

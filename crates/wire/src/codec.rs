@@ -1,0 +1,451 @@
+//! Deterministic binary codec.
+//!
+//! All GDP on-wire and on-disk structures (records, metadata, certificates,
+//! PDUs) use this hand-rolled, versioned, length-checked encoding. It is
+//! deterministic — the same value always encodes to the same bytes — which
+//! matters because names and signatures are computed over encodings.
+
+use crate::name::Name;
+
+/// Errors produced while decoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the value was complete.
+    UnexpectedEnd,
+    /// A length prefix exceeded the remaining input or a sanity cap.
+    BadLength(u64),
+    /// An enum discriminant or magic value was not recognized.
+    BadTag(u64),
+    /// A varint was not minimally encoded or overflowed 64 bits.
+    BadVarint,
+    /// Trailing bytes remained after a complete decode.
+    TrailingBytes(usize),
+    /// Structured validation failed (caller-supplied context).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            DecodeError::BadLength(n) => write!(f, "bad length prefix: {n}"),
+            DecodeError::BadTag(t) => write!(f, "unrecognized tag: {t}"),
+            DecodeError::BadVarint => write!(f, "malformed varint"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+            DecodeError::Invalid(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only encoder.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Encoder {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Creates an encoder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Encoder {
+        Encoder { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Consumes the encoder, returning the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a single byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Writes a big-endian u16.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Writes a big-endian u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Writes a big-endian u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Writes an LEB128-style varint (canonical: no redundant
+    /// continuation bytes).
+    pub fn varint(&mut self, mut v: u64) -> &mut Self {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                break;
+            }
+            self.buf.push(byte | 0x80);
+        }
+        self
+    }
+
+    /// Writes raw bytes with no length prefix (fixed-size fields).
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(bytes);
+        self
+    }
+
+    /// Writes varint-length-prefixed bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.varint(bytes.len() as u64);
+        self.raw(bytes)
+    }
+
+    /// Writes a varint-length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Writes a flat name (32 raw bytes).
+    pub fn name(&mut self, n: &Name) -> &mut Self {
+        self.raw(&n.0)
+    }
+
+    /// Writes a bool as one byte.
+    pub fn boolean(&mut self, b: bool) -> &mut Self {
+        self.u8(b as u8)
+    }
+
+    /// Writes `Some(x)` as 1 followed by `f`, `None` as 0.
+    pub fn option<T>(&mut self, v: &Option<T>, f: impl FnOnce(&mut Self, &T)) -> &mut Self {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                f(self, x);
+            }
+            None => {
+                self.u8(0);
+            }
+        }
+        self
+    }
+
+    /// Writes a varint count followed by each element.
+    pub fn seq<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Self, &T)) -> &mut Self {
+        self.varint(items.len() as u64);
+        for item in items {
+            f(self, item);
+        }
+        self
+    }
+}
+
+/// Bounds-checked decoder over a byte slice.
+pub struct Decoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+    /// Cap on any single length prefix, guarding against allocation bombs.
+    max_len: u64,
+}
+
+/// Default cap on a single length-prefixed field (64 MiB).
+pub const DEFAULT_MAX_LEN: u64 = 64 * 1024 * 1024;
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `input`.
+    pub fn new(input: &'a [u8]) -> Decoder<'a> {
+        Decoder { input, pos: 0, max_len: DEFAULT_MAX_LEN }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Errors unless the input was fully consumed.
+    pub fn expect_end(&self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let out = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian u16.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian u32.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian u64.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a canonical varint.
+    pub fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(DecodeError::BadVarint);
+            }
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                // Canonicality: the final byte must be non-zero unless the
+                // whole value is a single zero byte.
+                if byte == 0 && shift != 0 {
+                    return Err(DecodeError::BadVarint);
+                }
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(DecodeError::BadVarint);
+            }
+        }
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
+    }
+
+    /// Reads a fixed-size array.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        Ok(self.take(N)?.try_into().unwrap())
+    }
+
+    /// Reads varint-length-prefixed bytes.
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.varint()?;
+        if len > self.max_len || len > self.remaining() as u64 {
+            return Err(DecodeError::BadLength(len));
+        }
+        self.take(len as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, DecodeError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| DecodeError::Invalid("utf-8"))
+    }
+
+    /// Reads a flat name.
+    pub fn name(&mut self) -> Result<Name, DecodeError> {
+        Ok(Name(self.array::<32>()?))
+    }
+
+    /// Reads a bool byte (must be 0 or 1).
+    pub fn boolean(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(DecodeError::BadTag(t as u64)),
+        }
+    }
+
+    /// Reads an option written by [`Encoder::option`].
+    pub fn option<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, DecodeError>,
+    ) -> Result<Option<T>, DecodeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            t => Err(DecodeError::BadTag(t as u64)),
+        }
+    }
+
+    /// Reads a sequence written by [`Encoder::seq`].
+    pub fn seq<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, DecodeError>,
+    ) -> Result<Vec<T>, DecodeError> {
+        let n = self.varint()?;
+        if n > self.remaining() as u64 {
+            // Each element takes at least one byte; anything bigger lies.
+            return Err(DecodeError::BadLength(n));
+        }
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Types with a canonical GDP wire encoding.
+pub trait Wire: Sized {
+    /// Appends the canonical encoding of `self`.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Decodes a value.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError>;
+
+    /// Encodes to a fresh byte vector.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.finish()
+    }
+
+    /// Decodes from a complete byte slice, requiring full consumption.
+    fn from_wire(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut dec = Decoder::new(bytes);
+        let v = Self::decode(&mut dec)?;
+        dec.expect_end()?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        let mut e = Encoder::new();
+        e.u8(7).u16(0xabcd).u32(0xdeadbeef).u64(u64::MAX).boolean(true);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u16().unwrap(), 0xabcd);
+        assert_eq!(d.u32().unwrap(), 0xdeadbeef);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert!(d.boolean().unwrap());
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut e = Encoder::new();
+            e.varint(v);
+            let buf = e.finish();
+            let mut d = Decoder::new(&buf);
+            assert_eq!(d.varint().unwrap(), v);
+            d.expect_end().unwrap();
+        }
+    }
+
+    #[test]
+    fn varint_rejects_noncanonical() {
+        // 0x80 0x00 is a redundant encoding of zero.
+        let mut d = Decoder::new(&[0x80, 0x00]);
+        assert_eq!(d.varint(), Err(DecodeError::BadVarint));
+    }
+
+    #[test]
+    fn varint_rejects_overflow() {
+        let buf = [0xffu8; 10];
+        let mut d = Decoder::new(&buf);
+        assert!(d.varint().is_err());
+    }
+
+    #[test]
+    fn bytes_and_strings() {
+        let mut e = Encoder::new();
+        e.bytes(b"payload").string("héllo");
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.bytes().unwrap(), b"payload");
+        assert_eq!(d.string().unwrap(), "héllo");
+    }
+
+    #[test]
+    fn length_prefix_cannot_exceed_input() {
+        let mut e = Encoder::new();
+        e.varint(1000); // claims 1000 bytes follow
+        e.raw(b"tiny");
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert!(matches!(d.bytes(), Err(DecodeError::BadLength(1000))));
+    }
+
+    #[test]
+    fn option_and_seq() {
+        let mut e = Encoder::new();
+        e.option(&Some(42u64), |e, v| {
+            e.u64(*v);
+        });
+        e.option(&None::<u64>, |e, v| {
+            e.u64(*v);
+        });
+        e.seq(&[1u8, 2, 3], |e, v| {
+            e.u8(*v);
+        });
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.option(|d| d.u64()).unwrap(), Some(42));
+        assert_eq!(d.option(|d| d.u64()).unwrap(), None);
+        assert_eq!(d.seq(|d| d.u8()).unwrap(), vec![1, 2, 3]);
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn seq_rejects_absurd_count() {
+        let mut e = Encoder::new();
+        e.varint(u32::MAX as u64);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert!(d.seq(|d| d.u8()).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut d = Decoder::new(&[1, 2, 3]);
+        let _ = d.u8().unwrap();
+        assert_eq!(d.expect_end(), Err(DecodeError::TrailingBytes(2)));
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        let n = Name::from_content(b"x");
+        let mut e = Encoder::new();
+        e.name(&n);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.name().unwrap(), n);
+    }
+}

@@ -1,0 +1,18 @@
+//! # gdp-wire
+//!
+//! The wire layer of the Global Data Plane: flat 256-bit [`Name`]s (the
+//! single namespace shared by DataCapsules, servers, routers, and
+//! organizations), a deterministic binary [`codec`], and the routable
+//! [`Pdu`] envelope.
+//!
+//! Everything that is ever hashed or signed in the GDP is first encoded with
+//! this codec, so determinism here is a correctness requirement, not an
+//! optimization.
+
+pub mod codec;
+pub mod name;
+pub mod pdu;
+
+pub use codec::{DecodeError, Decoder, Encoder, Wire};
+pub use name::{Name, NAME_LEN};
+pub use pdu::{Pdu, PduType, HEADER_LEN, MAX_PAYLOAD};

@@ -1,0 +1,134 @@
+//! Flat 256-bit names.
+//!
+//! Every addressable entity in the GDP — DataCapsules, DataCapsule-servers,
+//! GDP-routers, organizations, clients — lives in one flat name space
+//! (paper §IV-B: "these names/identities for various addressable entities
+//! are all part of the same flat name-space, which is also their address in
+//! the underlying GDP network"). A name is the SHA-256 hash of the entity's
+//! signed metadata, which makes it a self-certifying trust anchor.
+
+use gdp_crypto::{hex, sha256};
+
+/// Length of a flat name in bytes.
+pub const NAME_LEN: usize = 32;
+
+/// A 256-bit flat name: address and cryptographic trust anchor.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name(pub [u8; NAME_LEN]);
+
+impl Name {
+    /// The all-zero name, used as a broadcast/unspecified address.
+    pub const ZERO: Name = Name([0u8; NAME_LEN]);
+
+    /// Derives a name by hashing `bytes` (typically signed metadata).
+    pub fn from_content(bytes: &[u8]) -> Name {
+        Name(sha256(bytes))
+    }
+
+    /// Derives a name from a domain-separation tag plus content, so that
+    /// different entity kinds can never collide even on identical metadata.
+    pub fn from_tagged_content(tag: &str, bytes: &[u8]) -> Name {
+        let mut h = gdp_crypto::Sha256::new();
+        h.update(&(tag.len() as u32).to_be_bytes());
+        h.update(tag.as_bytes());
+        h.update(bytes);
+        Name(h.finalize())
+    }
+
+    /// Parses from a 64-character hex string.
+    pub fn from_hex(s: &str) -> Option<Name> {
+        hex::decode_array::<NAME_LEN>(s).map(Name)
+    }
+
+    /// Full lowercase hex representation.
+    pub fn to_hex(&self) -> String {
+        hex::encode(&self.0)
+    }
+
+    /// Short printable prefix (first 8 hex chars), for logs.
+    pub fn short(&self) -> String {
+        hex::encode(&self.0[..4])
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8; NAME_LEN] {
+        &self.0
+    }
+
+    /// True if this is the all-zero name.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0u8; NAME_LEN]
+    }
+
+    /// XOR-distance metric between names. The GLookupService and anycast
+    /// tie-breaking use this to pick deterministic winners; a DHT-backed
+    /// GLookupService (paper §VII) would use the same metric.
+    pub fn xor_distance(&self, other: &Name) -> [u8; NAME_LEN] {
+        let mut out = [0u8; NAME_LEN];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a ^ b;
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Name {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Name({})", self.short())
+    }
+}
+
+impl std::fmt::Display for Name {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.short())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_addressing_is_deterministic() {
+        assert_eq!(Name::from_content(b"meta"), Name::from_content(b"meta"));
+        assert_ne!(Name::from_content(b"meta"), Name::from_content(b"meta2"));
+    }
+
+    #[test]
+    fn tags_separate_domains() {
+        assert_ne!(
+            Name::from_tagged_content("capsule", b"x"),
+            Name::from_tagged_content("server", b"x")
+        );
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let n = Name::from_content(b"hello");
+        assert_eq!(Name::from_hex(&n.to_hex()), Some(n));
+        assert!(Name::from_hex("abc").is_none());
+    }
+
+    #[test]
+    fn zero_name() {
+        assert!(Name::ZERO.is_zero());
+        assert!(!Name::from_content(b"x").is_zero());
+    }
+
+    #[test]
+    fn xor_distance_properties() {
+        let a = Name::from_content(b"a");
+        let b = Name::from_content(b"b");
+        assert_eq!(a.xor_distance(&a), [0u8; 32]);
+        assert_eq!(a.xor_distance(&b), b.xor_distance(&a));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut names: Vec<Name> = (0u8..10).map(|i| Name::from_content(&[i])).collect();
+        names.sort();
+        for w in names.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Protocol Data Units.
+//!
+//! GDP-routers "route PDUs in the flat namespace network" (paper §VIII).
+//! A PDU carries a source and destination flat name, a type tag that lets
+//! routers handle control traffic (advertisements, lookups) without parsing
+//! payloads, and an opaque payload interpreted by the endpoints.
+
+use crate::codec::{DecodeError, Decoder, Encoder, Wire};
+use crate::name::Name;
+
+/// Magic bytes at the start of every PDU.
+pub const MAGIC: u16 = 0x47D0; // "GD"-ish, versioned separately
+/// Wire format version understood by this implementation.
+pub const VERSION: u8 = 1;
+/// Fixed header size: magic(2) + version(1) + type(1) + src(32) + dst(32) +
+/// seq(8) + payload_len(4).
+pub const HEADER_LEN: usize = 2 + 1 + 1 + 32 + 32 + 8 + 4;
+/// Maximum payload a single PDU may carry (16 MiB).
+pub const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
+
+/// PDU type tag: the router-visible class of a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum PduType {
+    /// Client/server data-plane traffic (append, read, subscribe, acks).
+    Data = 0,
+    /// Secure advertisement control traffic (certs, challenges).
+    Advertise = 1,
+    /// GLookupService queries and responses.
+    Lookup = 2,
+    /// Router-to-router control (FIB sync, domain gossip).
+    RouterControl = 3,
+    /// Terminal error notification (e.g. no route to destination).
+    Error = 4,
+}
+
+impl PduType {
+    /// Parses from the wire tag.
+    pub fn from_u8(v: u8) -> Option<PduType> {
+        Some(match v {
+            0 => PduType::Data,
+            1 => PduType::Advertise,
+            2 => PduType::Lookup,
+            3 => PduType::RouterControl,
+            4 => PduType::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// A protocol data unit: the routable message envelope of the GDP.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pdu {
+    /// Router-visible message class.
+    pub pdu_type: PduType,
+    /// Source flat name (a client, server, or router identity).
+    pub src: Name,
+    /// Destination flat name (a DataCapsule, server, or router).
+    pub dst: Name,
+    /// Sender-assigned sequence number, echoed in replies for matching.
+    pub seq: u64,
+    /// Opaque payload interpreted by the endpoint.
+    pub payload: Vec<u8>,
+}
+
+impl Pdu {
+    /// Builds a data-plane PDU.
+    pub fn data(src: Name, dst: Name, seq: u64, payload: Vec<u8>) -> Pdu {
+        Pdu { pdu_type: PduType::Data, src, dst, seq, payload }
+    }
+
+    /// Total encoded size.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+}
+
+impl Wire for Pdu {
+    fn encode(&self, enc: &mut Encoder) {
+        debug_assert!(self.payload.len() <= MAX_PAYLOAD);
+        enc.u16(MAGIC);
+        enc.u8(VERSION);
+        enc.u8(self.pdu_type as u8);
+        enc.name(&self.src);
+        enc.name(&self.dst);
+        enc.u64(self.seq);
+        enc.u32(self.payload.len() as u32);
+        enc.raw(&self.payload);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Pdu, DecodeError> {
+        let magic = dec.u16()?;
+        if magic != MAGIC {
+            return Err(DecodeError::BadTag(magic as u64));
+        }
+        let version = dec.u8()?;
+        if version != VERSION {
+            return Err(DecodeError::Invalid("unsupported PDU version"));
+        }
+        let pdu_type =
+            PduType::from_u8(dec.u8()?).ok_or(DecodeError::Invalid("unknown PDU type"))?;
+        let src = dec.name()?;
+        let dst = dec.name()?;
+        let seq = dec.u64()?;
+        let len = dec.u32()? as usize;
+        if len > MAX_PAYLOAD {
+            return Err(DecodeError::BadLength(len as u64));
+        }
+        let payload = dec.raw(len)?.to_vec();
+        Ok(Pdu { pdu_type, src, dst, seq, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Pdu {
+        Pdu {
+            pdu_type: PduType::Data,
+            src: Name::from_content(b"src"),
+            dst: Name::from_content(b"dst"),
+            seq: 42,
+            payload: b"hello capsule".to_vec(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let pdu = sample();
+        let bytes = pdu.to_wire();
+        assert_eq!(bytes.len(), pdu.wire_len());
+        assert_eq!(Pdu::from_wire(&bytes).unwrap(), pdu);
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let mut pdu = sample();
+        pdu.payload.clear();
+        assert_eq!(Pdu::from_wire(&pdu.to_wire()).unwrap(), pdu);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_wire();
+        bytes[0] ^= 0xff;
+        assert!(Pdu::from_wire(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = sample().to_wire();
+        bytes[2] = 99;
+        assert!(Pdu::from_wire(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_type_rejected() {
+        let mut bytes = sample().to_wire();
+        bytes[3] = 200;
+        assert!(Pdu::from_wire(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let bytes = sample().to_wire();
+        assert!(Pdu::from_wire(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut bytes = sample().to_wire();
+        // Header ends at HEADER_LEN; the payload length field is its last 4 bytes.
+        let len_off = HEADER_LEN - 4;
+        bytes[len_off..len_off + 4].copy_from_slice(&(MAX_PAYLOAD as u32 + 1).to_be_bytes());
+        assert!(Pdu::from_wire(&bytes).is_err());
+    }
+
+    #[test]
+    fn all_types_roundtrip() {
+        for t in [
+            PduType::Data,
+            PduType::Advertise,
+            PduType::Lookup,
+            PduType::RouterControl,
+            PduType::Error,
+        ] {
+            let mut pdu = sample();
+            pdu.pdu_type = t;
+            assert_eq!(Pdu::from_wire(&pdu.to_wire()).unwrap().pdu_type, t);
+        }
+    }
+}

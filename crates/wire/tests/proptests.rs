@@ -1,0 +1,80 @@
+//! Property tests for the wire codec: determinism, roundtrips, and
+//! robustness against arbitrary input (never panic, never misparse).
+
+use gdp_wire::{Decoder, Encoder, Name, Pdu, PduType, Wire};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn varint_roundtrips(v in any::<u64>()) {
+        let mut e = Encoder::new();
+        e.varint(v);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        prop_assert_eq!(d.varint().unwrap(), v);
+        d.expect_end().unwrap();
+        // Canonical length: 1 byte per 7 bits.
+        let expect_len = if v == 0 { 1 } else { (64 - v.leading_zeros() as usize).div_ceil(7) };
+        prop_assert_eq!(buf.len(), expect_len);
+    }
+
+    #[test]
+    fn bytes_and_strings_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512), s in ".{0,64}") {
+        let mut e = Encoder::new();
+        e.bytes(&data).string(&s);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        prop_assert_eq!(d.bytes().unwrap(), &data[..]);
+        prop_assert_eq!(d.string().unwrap(), s);
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn pdu_roundtrips(
+        t in 0u8..5,
+        src in any::<[u8; 32]>(),
+        dst in any::<[u8; 32]>(),
+        seq in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let pdu = Pdu {
+            pdu_type: PduType::from_u8(t).unwrap(),
+            src: Name(src),
+            dst: Name(dst),
+            seq,
+            payload,
+        };
+        prop_assert_eq!(Pdu::from_wire(&pdu.to_wire()).unwrap(), pdu);
+    }
+
+    /// Arbitrary bytes never panic the decoder — they either parse or
+    /// produce an error.
+    #[test]
+    fn decoder_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Pdu::from_wire(&junk);
+        let mut d = Decoder::new(&junk);
+        let _ = d.varint();
+        let _ = d.bytes();
+        let _ = d.string();
+        let _ = d.seq(|d| d.u64());
+    }
+
+    /// Truncating a valid encoding always fails cleanly.
+    #[test]
+    fn truncation_detected(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let pdu = Pdu::data(Name::from_content(b"a"), Name::from_content(b"b"), 7, payload);
+        let bytes = pdu.to_wire();
+        let cut = 1 + ((bytes.len() - 2) as f64 * cut_frac) as usize;
+        prop_assert!(Pdu::from_wire(&bytes[..cut]).is_err());
+    }
+
+    /// Encoding is deterministic: same value, same bytes.
+    #[test]
+    fn encoding_deterministic(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let pdu = Pdu::data(Name::from_content(b"x"), Name::from_content(b"y"), 1, payload);
+        prop_assert_eq!(pdu.to_wire(), pdu.to_wire());
+    }
+}

@@ -1,0 +1,330 @@
+//! Table I reproduction: one demonstration test per row of the paper's
+//! "summary of how Global Data Plane meets the platform requirements".
+//!
+//! Regenerate the summary with `cargo run -p gdp-bench --bin report -- table1`;
+//! each row names its demonstrating test here.
+
+use gdp::caapi::{CapsuleAccess, GdpFs, GdpKv, GdpTimeSeries, LocalBackend, Sample};
+use gdp::capsule::{MetadataBuilder, PointerStrategy};
+use gdp::cert::{AdCert, CapsuleAdvert, PrincipalId, PrincipalKind, Scope, ServingChain};
+use gdp::client::{ClientEvent, GdpClient, SimClient};
+use gdp::crypto::SigningKey;
+use gdp::net::{LinkSpec, SimNet};
+use gdp::router::{Router, SimRouter};
+use gdp::server::{ReadTarget, SimServer};
+use gdp::sim::{GdpWorld, Placement, FOREVER};
+
+fn owner() -> SigningKey {
+    SigningKey::from_seed(&[1u8; 32])
+}
+fn writer_key() -> SigningKey {
+    SigningKey::from_seed(&[2u8; 32])
+}
+
+/// Row 1 — Homogeneous interface: "DataCapsule interface that supports
+/// diverse applications". One capsule substrate, three very different
+/// application interfaces (filesystem, KV store, time series).
+#[test]
+fn homogeneous_interface() {
+    let mut fs = GdpFs::format(LocalBackend::new(), owner()).unwrap();
+    fs.write_file("report.txt", b"quarterly numbers").unwrap();
+    assert_eq!(fs.read_file("report.txt").unwrap(), b"quarterly numbers");
+
+    let mut kv = GdpKv::create(LocalBackend::new(), &owner()).unwrap();
+    kv.put("region", b"edge-west").unwrap();
+    assert_eq!(kv.get("region").unwrap(), Some(b"edge-west".to_vec()));
+
+    let mut ts = GdpTimeSeries::create(LocalBackend::new(), &owner(), "temp").unwrap();
+    ts.record(Sample { timestamp_micros: 1, value: 20.0 }).unwrap();
+    assert_eq!(ts.latest_sample().unwrap().unwrap().value, 20.0);
+}
+
+/// Row 2 — Federated architecture: "Using the flat name for a DataCapsule
+/// as the trust anchor and does not rely on traditional PKI
+/// infrastructure". Everything verifies from the name alone.
+#[test]
+fn federated_no_pki() {
+    let metadata = MetadataBuilder::new()
+        .writer(&writer_key().verifying_key())
+        .set_str("description", "anchored")
+        .sign(&owner());
+    let name = metadata.name();
+    // A verifier holding ONLY the flat name can authenticate the metadata…
+    metadata.verify_against_name(&name).unwrap();
+    // …and transitively everything else: records, heartbeats, delegations.
+    let server = PrincipalId::from_seed(PrincipalKind::Server, &[9u8; 32], "srv");
+    let adcert = AdCert::issue(&owner(), name, server.name(), false, Scope::Global, FOREVER);
+    let chain = ServingChain::direct(adcert, server.principal().clone());
+    chain.verify(&metadata.owner_key().unwrap(), 0).unwrap();
+    // No certificate authority, no hostnames, no IP addresses anywhere.
+}
+
+/// Row 3 — Locality: "Hierarchical structure for routing domains that
+/// mimics physical network topology" + anycast. A request from a domain
+/// with a local replica never crosses the root.
+#[test]
+fn locality_anycast() {
+    let mut world = GdpWorld::hierarchy(61);
+    let owner = world.owner.clone();
+    let meta = MetadataBuilder::new()
+        .writer(&writer_key().verifying_key())
+        .set_str("description", "replicated")
+        .sign(&owner);
+    let capsule = world
+        .provision_capsule(&meta, writer_key(), PointerStrategy::Chain)
+        .unwrap();
+    world.append(&capsule, b"data").unwrap();
+    world.net.run_to_quiescence();
+    let root_node = world.routers[1].0;
+    let before = world.net.node_mut::<SimRouter>(root_node).router.stats.forwarded;
+    world.read(&capsule, 1).unwrap();
+    let after = world.net.node_mut::<SimRouter>(root_node).router.stats.forwarded;
+    assert_eq!(before, after, "read with local replica must not touch the root");
+}
+
+/// Row 4 — Secure storage: "DataCapsule as an authenticated data structure
+/// that enables clients to verify the confidentiality and integrity of
+/// information". A tampering server cannot fool a reader.
+#[test]
+fn secure_storage_untrusted_server() {
+    let mut world = GdpWorld::new(62, Placement::EdgeLan);
+    let owner = world.owner.clone();
+    let meta = MetadataBuilder::new()
+        .writer(&writer_key().verifying_key())
+        .set_str("description", "tamper test")
+        .sign(&owner);
+    let capsule = world
+        .provision_capsule(&meta, writer_key(), PointerStrategy::Chain)
+        .unwrap();
+    world.append(&capsule, b"the truth").unwrap();
+
+    // A malicious server forges a response: flip a byte in the stored
+    // record's body and re-serve it. We emulate by crafting the forged
+    // response directly against the client's verifier.
+    let pdu = world.client_mut().read(capsule, ReadTarget::One(1));
+    let request_seq = pdu.seq;
+    // Build the forged ReadResp the way a compromised server would.
+    use gdp::server::{DataMsg, ReadResult, ResponseAuth};
+    use gdp::wire::{Pdu, PduType, Wire};
+    let (server_node, _) = world.servers[0];
+    let mut record = world
+        .net
+        .node_mut::<SimServer>(server_node)
+        .server
+        .capsule(&capsule)
+        .unwrap()
+        .get_one(1)
+        .unwrap()
+        .clone();
+    record.body = b"a falsehood".to_vec(); // tamper
+    let msg = DataMsg::ReadResp {
+        result: ReadResult::Record(record),
+        // The server cannot produce a valid auth for content it forged
+        // under the *writer's* key, but it CAN sign with its own key —
+        // which is exactly what the client must not accept as sufficient.
+        auth: ResponseAuth::Mac { tag: [0u8; 32] },
+    };
+    let forged = Pdu {
+        pdu_type: PduType::Data,
+        src: world.servers[0].1.name(),
+        dst: world.client_name(),
+        seq: request_seq,
+        payload: msg.to_wire(),
+    };
+    let events = world.client_mut().handle_pdu(0, forged);
+    assert!(
+        events
+            .iter()
+            .all(|e| matches!(e, ClientEvent::VerificationFailed { .. })),
+        "client must reject the forgery: {events:?}"
+    );
+}
+
+/// Row 5 — Administrative boundaries: "Explicit cryptographic delegations
+/// to organizations at a DataCapsule-level", including org hierarchies.
+#[test]
+fn administrative_delegation() {
+    let meta = MetadataBuilder::new()
+        .writer(&writer_key().verifying_key())
+        .set_str("description", "delegated")
+        .sign(&owner());
+    let org = PrincipalId::from_seed(PrincipalKind::Organization, &[11u8; 32], "StorageCo");
+    let sub = PrincipalId::from_seed(PrincipalKind::Organization, &[12u8; 32], "StorageCo-West");
+    let srv = PrincipalId::from_seed(PrincipalKind::Server, &[13u8; 32], "rack-7");
+    // Owner delegates to the org; org manages its own hierarchy below.
+    let adcert = AdCert::issue(&owner(), meta.name(), org.name(), true, Scope::Global, FOREVER);
+    let m1 = gdp::cert::MembershipCert::issue(org.signing_key(), org.name(), sub.name(), FOREVER);
+    let m2 = gdp::cert::MembershipCert::issue(sub.signing_key(), sub.name(), srv.name(), FOREVER);
+    let chain = ServingChain::via_org(
+        adcert,
+        org.principal().clone(),
+        vec![(m1, sub.principal().clone()), (m2, srv.principal().clone())],
+    );
+    chain.verify(&meta.owner_key().unwrap(), 0).unwrap();
+    // An outsider server with no membership cert cannot join the chain.
+    let outsider = PrincipalId::from_seed(PrincipalKind::Server, &[14u8; 32], "freeloader");
+    let fake = gdp::cert::MembershipCert::issue(
+        outsider.signing_key(), // signs for itself, not the org
+        org.name(),
+        outsider.name(),
+        FOREVER,
+    );
+    let bad = ServingChain::via_org(
+        AdCert::issue(&owner(), meta.name(), org.name(), true, Scope::Global, FOREVER),
+        org.principal().clone(),
+        vec![(fake, outsider.principal().clone())],
+    );
+    assert!(bad.verify(&meta.owner_key().unwrap(), 0).is_err());
+}
+
+/// Row 6 — Secure routing: "Secure advertisements and explicit
+/// cryptographic delegations" mean nobody can squat a name.
+#[test]
+fn secure_routing_no_squatting() {
+    let mut net = SimNet::new(63);
+    let router = Router::from_seed(&[20u8; 32], "router");
+    let router_name = router.name();
+    let router_node = net.add_node(SimRouter::new(router));
+
+    // A legitimate capsule owned by `owner`, and a squatter who tries to
+    // advertise it without a delegation.
+    let meta = MetadataBuilder::new()
+        .writer(&writer_key().verifying_key())
+        .set_str("description", "victim capsule")
+        .sign(&owner());
+    let squatter = PrincipalId::from_seed(PrincipalKind::Server, &[21u8; 32], "squatter");
+    // The squatter self-issues an AdCert (signed by itself, not the owner).
+    let forged_adcert = AdCert::issue(
+        squatter.signing_key(),
+        meta.name(),
+        squatter.name(),
+        false,
+        Scope::Global,
+        FOREVER,
+    );
+    let entry = CapsuleAdvert {
+        metadata: meta.clone(),
+        chain: ServingChain::direct(forged_adcert, squatter.principal().clone()),
+    };
+    let attacher = gdp::router::Attacher::new(squatter, router_name, vec![entry], FOREVER);
+    let node = net.add_node(TestEndpoint::new(attacher, router_node));
+    net.connect(node, router_node, LinkSpec::lan());
+    // Drive the handshake manually through the sim.
+    net.inject_timer(node, 0, 0);
+    net.run_to_quiescence();
+    let rejected = net.node_mut::<TestEndpoint>(node).failed;
+    assert!(rejected, "router must reject the squatter's advertisement");
+    assert!(net
+        .node_mut::<SimRouter>(router_node)
+        .router
+        .lookup_local(&meta.name(), 0)
+        .is_empty());
+}
+
+// Small harness node for the squatting test.
+struct TestEndpoint {
+    attacher: Option<gdp::router::Attacher>,
+    router: usize,
+    failed: bool,
+}
+impl TestEndpoint {
+    fn new(attacher: gdp::router::Attacher, router: usize) -> Box<TestEndpoint> {
+        Box::new(TestEndpoint { attacher: Some(attacher), router, failed: false })
+    }
+}
+impl gdp::net::SimNode for TestEndpoint {
+    fn on_pdu(&mut self, ctx: &mut gdp::net::SimCtx<'_>, _from: usize, pdu: gdp::wire::Pdu) {
+        if let Some(attacher) = self.attacher.as_mut() {
+            match attacher.on_pdu(&pdu) {
+                gdp::router::AttachStep::Send(p) => ctx.send(self.router, p),
+                gdp::router::AttachStep::Failed(_) => {
+                    self.failed = true;
+                    self.attacher = None;
+                }
+                gdp::router::AttachStep::Done(_) => {
+                    self.attacher = None;
+                }
+                gdp::router::AttachStep::Ignored => {}
+            }
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut gdp::net::SimCtx<'_>, _token: u64) {
+        if let Some(a) = self.attacher.as_ref() {
+            ctx.send(self.router, a.hello());
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Row 7 — Publish-subscribe: "Publish-subscribe as a native mode of
+/// access for a DataCapsule".
+#[test]
+fn native_pubsub() {
+    let mut world = GdpWorld::new(64, Placement::EdgeLan);
+    let owner = world.owner.clone();
+    let meta = MetadataBuilder::new()
+        .writer(&writer_key().verifying_key())
+        .set_str("description", "pubsub")
+        .sign(&owner);
+    let capsule = world
+        .provision_capsule(&meta, writer_key(), PointerStrategy::Chain)
+        .unwrap();
+
+    // A second client subscribes before any data exists.
+    let (router_node, router_name) = world.routers[0];
+    let mut sub_client = GdpClient::from_seed(&[31u8; 32], "subscriber");
+    sub_client.track_capsule(&meta).unwrap();
+    let sub_node = world
+        .net
+        .add_node(SimClient::new(sub_client, router_node, router_name, FOREVER));
+    world.net.connect(sub_node, router_node, LinkSpec::lan());
+    world
+        .net
+        .inject_timer(sub_node, world.net.now() + 1, gdp::client::simnode::ATTACH_TIMER);
+    world.net.run_to_quiescence();
+    let sub_pdu = world.net.node_mut::<SimClient>(sub_node).client.subscribe(capsule, 0);
+    world.net.inject(sub_node, router_node, sub_pdu);
+    world.net.run_to_quiescence();
+
+    // Publisher appends; subscriber receives verified events.
+    world.append(&capsule, b"event-1").unwrap();
+    world.append(&capsule, b"event-2").unwrap();
+    world.net.run_to_quiescence();
+    let events = world.net.node_mut::<SimClient>(sub_node).take_events();
+    let bodies: Vec<Vec<u8>> = events
+        .iter()
+        .filter_map(|e| match e {
+            ClientEvent::SubEvent { record, .. } => Some(record.body.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(bodies, vec![b"event-1".to_vec(), b"event-2".to_vec()]);
+}
+
+/// Row 8 — Incremental deployment: "Routing over existing IP networks as
+/// an overlay". GDP PDUs traverse links with arbitrary underlying
+/// characteristics (here: an asymmetric consumer link modeled after the
+/// FCC broadband report) — no native GDP fabric is assumed.
+#[test]
+fn overlay_incremental() {
+    // The same capsule operations succeed over a LAN, a WAN, and a lossy
+    // asymmetric residential overlay path.
+    for (label, placement) in [
+        ("edge lan", Placement::EdgeLan),
+        ("residential overlay", Placement::CloudFromResidential),
+    ] {
+        let mut world = GdpWorld::new(65, placement);
+        let owner = world.owner.clone();
+        let meta = MetadataBuilder::new()
+            .writer(&writer_key().verifying_key())
+            .set_str("description", label)
+            .sign(&owner);
+        let capsule = world
+            .provision_capsule(&meta, writer_key(), PointerStrategy::Chain)
+            .unwrap();
+        world.append(&capsule, b"overlay payload").unwrap();
+        assert_eq!(world.read(&capsule, 1).unwrap().body, b"overlay payload", "{label}");
+    }
+}
