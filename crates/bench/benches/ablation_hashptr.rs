@@ -2,9 +2,7 @@
 //! hash-pointer strategy.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gdp_capsule::{
-    CapsuleWriter, DataCapsule, MembershipProof, MetadataBuilder, PointerStrategy,
-};
+use gdp_capsule::{CapsuleWriter, DataCapsule, MembershipProof, MetadataBuilder, PointerStrategy};
 use gdp_crypto::SigningKey;
 
 fn setup(strategy: &PointerStrategy, n: u64) -> DataCapsule {

@@ -44,9 +44,7 @@ fn primitives(c: &mut Criterion) {
     let data = vec![0u8; 4096];
     group.throughput(Throughput::Bytes(4096));
     group.bench_function("sha256_4KiB", |b| b.iter(|| sha2::sha256(&data)));
-    group.bench_function("hmac_sha256_4KiB", |b| {
-        b.iter(|| hmac::hmac_sha256(b"key", &data))
-    });
+    group.bench_function("hmac_sha256_4KiB", |b| b.iter(|| hmac::hmac_sha256(b"key", &data)));
     group.bench_function("chacha20poly1305_seal_4KiB", |b| {
         let key = [1u8; 32];
         let nonce = [2u8; 12];
@@ -56,7 +54,9 @@ fn primitives(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("crypto/ed25519");
     let key = SigningKey::from_seed(&[4u8; 32]);
-    group.bench_function("sign_64B", |b| b.iter(|| key.sign(b"0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")));
+    group.bench_function("sign_64B", |b| {
+        b.iter(|| key.sign(b"0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"))
+    });
     let msg = b"hello";
     let sig = key.sign(msg);
     let vk = key.verifying_key();

@@ -1,0 +1,88 @@
+//! Fig 6 companion over real sockets: PDU forwarding rate through a
+//! loopback TCP hop, per payload size.
+//!
+//! Where `fig6_forwarding` measures the router state machine in
+//! isolation and the simulator end-to-end, this measures the deployable
+//! transport path: frame encode → kernel TCP (loopback) → framed decode
+//! on a hardened `FrameReader` — i.e. what a `gdpd` hop costs without
+//! protocol work. Numbers are directly comparable with the in-process
+//! `MemNet` hop to show what the socket boundary itself adds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gdp_net::tcp::{TcpNet, TcpNetConfig};
+use gdp_net::MemNet;
+use gdp_wire::{Name, Pdu};
+use std::time::Duration;
+
+const SIZES: [usize; 5] = [64, 256, 1024, 4096, 16384];
+/// PDUs per measured batch: enough to amortize the receive wakeup but
+/// small enough to stay inside socket buffers (no backpressure stalls).
+const BATCH: u64 = 64;
+
+fn pdu(size: usize) -> Pdu {
+    Pdu::data(
+        Name::from_content(b"bench-src"),
+        Name::from_content(b"bench-dst"),
+        0,
+        vec![0u8; size],
+    )
+}
+
+fn tcp_hop(c: &mut Criterion) {
+    let cfg = TcpNetConfig { poll_interval: Duration::from_millis(1), ..TcpNetConfig::default() };
+    let a = TcpNet::bind_with("127.0.0.1:0".parse().unwrap(), cfg.clone()).expect("bind");
+    let b = TcpNet::bind_with("127.0.0.1:0".parse().unwrap(), cfg).expect("bind");
+    let b_addr = b.local_addr();
+    // Warm the connection so dialing is outside the measurement.
+    a.send(b_addr, pdu(16)).unwrap();
+    b.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+
+    let mut group = c.benchmark_group("fig6_tcp/loopback_hop");
+    for size in SIZES {
+        group.throughput(Throughput::Bytes((size as u64) * BATCH));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, &size| {
+            let template = pdu(size);
+            bench.iter(|| {
+                for i in 0..BATCH {
+                    let mut p = template.clone();
+                    p.seq = i;
+                    a.send(b_addr, p).expect("send");
+                }
+                for _ in 0..BATCH {
+                    b.recv_timeout(Duration::from_secs(5)).expect("recv").expect("timeout");
+                }
+            });
+        });
+    }
+    group.finish();
+    a.shutdown();
+    b.shutdown();
+}
+
+fn mem_hop(c: &mut Criterion) {
+    let net = MemNet::new();
+    let a = net.endpoint();
+    let b = net.endpoint();
+
+    let mut group = c.benchmark_group("fig6_tcp/memnet_hop");
+    for size in SIZES {
+        group.throughput(Throughput::Bytes((size as u64) * BATCH));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, &size| {
+            let template = pdu(size);
+            bench.iter(|| {
+                for i in 0..BATCH {
+                    let mut p = template.clone();
+                    p.seq = i;
+                    a.send(b.id, p).expect("send");
+                }
+                for _ in 0..BATCH {
+                    b.recv_timeout(Duration::from_secs(5)).expect("recv").expect("timeout");
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tcp_hop, mem_hop);
+criterion_main!(benches);

@@ -2,9 +2,7 @@
 //! (DESIGN.md experiments A1–A4).
 
 use crate::table::{rate, secs, Table};
-use gdp_capsule::{
-    CapsuleWriter, DataCapsule, MembershipProof, MetadataBuilder, PointerStrategy,
-};
+use gdp_capsule::{CapsuleWriter, DataCapsule, MembershipProof, MetadataBuilder, PointerStrategy};
 use gdp_crypto::SigningKey;
 use gdp_server::{AckMode, SimServer};
 use gdp_sim::GdpWorld;
@@ -37,13 +35,7 @@ pub fn hashptr(n: u64) {
         ("checkpoint/64", PointerStrategy::Checkpoint { interval: 64 }),
         ("stream[2,4]", PointerStrategy::Stream { lags: vec![2, 4] }),
     ];
-    let mut t = Table::new(&[
-        "strategy",
-        "append/s",
-        "proof hops",
-        "proof bytes",
-        "writer cache",
-    ]);
+    let mut t = Table::new(&["strategy", "append/s", "proof hops", "proof bytes", "writer cache"]);
     for (label, strategy) in strategies {
         let (capsule, elapsed) = build_capsule(&strategy, n);
         let hb = capsule.head_heartbeat().unwrap().unwrap();
@@ -76,12 +68,11 @@ pub fn hashptr(n: u64) {
 pub fn durability() {
     println!("\nA2 — durability modes (hierarchy world: replica in each of 2 domains)");
     use gdp_caapi::CapsuleAccess;
-    let mut t = Table::new(&["ack mode", "append latency (s)", "partitioned write", "acked data lost"]);
-    for (label, mode) in [
-        ("Local", AckMode::Local),
-        ("Quorum(1)", AckMode::Quorum(1)),
-        ("All", AckMode::All),
-    ] {
+    let mut t =
+        Table::new(&["ack mode", "append latency (s)", "partitioned write", "acked data lost"]);
+    for (label, mode) in
+        [("Local", AckMode::Local), ("Quorum(1)", AckMode::Quorum(1)), ("All", AckMode::All)]
+    {
         // Latency on a healthy deployment.
         let mut world = GdpWorld::hierarchy(21);
         world.ack_mode = mode;
@@ -91,9 +82,7 @@ pub fn durability() {
             .writer(&writer_key.verifying_key())
             .set_str("description", "durability")
             .sign(&owner);
-        let capsule = world
-            .provision_capsule(&meta, writer_key, PointerStrategy::Chain)
-            .unwrap();
+        let capsule = world.provision_capsule(&meta, writer_key, PointerStrategy::Chain).unwrap();
         let t0 = world.now();
         world.append(&capsule, &vec![7u8; 65_536]).unwrap();
         let latency = world.now() - t0;
@@ -109,9 +98,7 @@ pub fn durability() {
             .writer(&writer_key.verifying_key())
             .set_str("description", "durability-exposure")
             .sign(&owner);
-        let capsule = world
-            .provision_capsule(&meta, writer_key, PointerStrategy::Chain)
-            .unwrap();
+        let capsule = world.provision_capsule(&meta, writer_key, PointerStrategy::Chain).unwrap();
         let d2_router = world.routers[0].0;
         let root_router = world.routers[1].0;
         world.net.set_link_up(d2_router, root_router, false);
@@ -132,12 +119,7 @@ pub fn durability() {
             }
             Err(_) => ("refused", false),
         };
-        t.row(&[
-            label.to_string(),
-            secs(latency),
-            acked.to_string(),
-            lost.to_string(),
-        ]);
+        t.row(&[label.to_string(), secs(latency), acked.to_string(), lost.to_string()]);
     }
     t.print();
     println!("shape: Local acks fastest but can lose acked data under partition+crash;");
@@ -175,10 +157,16 @@ pub fn session(flow_lengths: &[u32]) {
     }
     let mac_us = start.elapsed().as_secs_f64() * 1e6 / (iters * 50) as f64;
 
-    println!("  sign: {sign_us:.1} µs   verify: {verify_us:.1} µs   hmac: {mac_us:.2} µs (1 KiB body)");
-    println!("  byte overhead: signed ≈ {} B (sig+principal+chain)  hmac = 32 B (≈ TLS record MAC)", 64 + 35 + 200);
+    println!(
+        "  sign: {sign_us:.1} µs   verify: {verify_us:.1} µs   hmac: {mac_us:.2} µs (1 KiB body)"
+    );
+    println!(
+        "  byte overhead: signed ≈ {} B (sig+principal+chain)  hmac = 32 B (≈ TLS record MAC)",
+        64 + 35 + 200
+    );
 
-    let mut t = Table::new(&["flow length", "all-signed µs/resp", "1 sig + hmac µs/resp", "speedup"]);
+    let mut t =
+        Table::new(&["flow length", "all-signed µs/resp", "1 sig + hmac µs/resp", "speedup"]);
     for &n in flow_lengths {
         let all_signed = sign_us + verify_us;
         let amortized = ((sign_us + verify_us) + (n as f64 - 1.0) * 2.0 * mac_us) / n as f64;
@@ -232,12 +220,41 @@ pub fn anycast() {
     let t0 = remote.now();
     remote.read(&capsule, 1).unwrap();
     let remote_latency = remote.now() - t0;
-    t.row(&["replica in remote domain only".to_string(), format!("{:.1}", remote_latency as f64 / 1e3)]);
+    t.row(&[
+        "replica in remote domain only".to_string(),
+        format!("{:.1}", remote_latency as f64 / 1e3),
+    ]);
     t.print();
     println!(
         "shape: a local replica cuts read latency ≈{:.0}× (two WAN hops avoided).",
         remote_latency as f64 / local_latency as f64
     );
+}
+
+/// A5 — read flow-control batch: how many records a reader requests per
+/// round trip. Models the client-side window that turns per-record
+/// request/response (chatty, SSHFS-like) into streaming (bulk) reads.
+pub fn read_batch() {
+    use gdp_caapi::GdpFs;
+    use gdp_sim::{workload, Placement};
+    println!("\nA5 — read batch size vs model-load time (8 MB file, cloud path)");
+    let mut t = Table::new(&["batch (records)", "read (s)"]);
+    for batch in [1u64, 2, 4, 8, 16, 32] {
+        let mut world = GdpWorld::new(51, Placement::CloudFromResidential);
+        world.read_batch = batch;
+        let owner = world.owner.clone();
+        let mut fs = GdpFs::format(world, owner).unwrap();
+        let model = workload::blob(5, 8_000_000);
+        fs.write_file("model.pb", &model).unwrap();
+        let t0 = fs.backend_mut().now();
+        let loaded = fs.read_file("model.pb").unwrap();
+        let elapsed = fs.backend_mut().now() - t0;
+        assert_eq!(loaded.len(), model.len());
+        t.row(&[batch.to_string(), secs(elapsed)]);
+    }
+    t.print();
+    println!("shape: batch=1 pays a WAN round trip per 256 KiB record; larger");
+    println!("windows amortize it toward the bandwidth floor (≈0.64 s at 100 Mbps).");
 }
 
 #[cfg(test)]
@@ -278,30 +295,4 @@ mod tests {
         let all = run(AckMode::All);
         assert!(all > local * 2, "all {all} local {local}");
     }
-}
-
-/// A5 — read flow-control batch: how many records a reader requests per
-/// round trip. Models the client-side window that turns per-record
-/// request/response (chatty, SSHFS-like) into streaming (bulk) reads.
-pub fn read_batch() {
-    use gdp_caapi::GdpFs;
-    use gdp_sim::{workload, Placement};
-    println!("\nA5 — read batch size vs model-load time (8 MB file, cloud path)");
-    let mut t = Table::new(&["batch (records)", "read (s)"]);
-    for batch in [1u64, 2, 4, 8, 16, 32] {
-        let mut world = GdpWorld::new(51, Placement::CloudFromResidential);
-        world.read_batch = batch;
-        let owner = world.owner.clone();
-        let mut fs = GdpFs::format(world, owner).unwrap();
-        let model = workload::blob(5, 8_000_000);
-        fs.write_file("model.pb", &model).unwrap();
-        let t0 = fs.backend_mut().now();
-        let loaded = fs.read_file("model.pb").unwrap();
-        let elapsed = fs.backend_mut().now() - t0;
-        assert_eq!(loaded.len(), model.len());
-        t.row(&[batch.to_string(), secs(elapsed)]);
-    }
-    t.print();
-    println!("shape: batch=1 pays a WAN round trip per 256 KiB record; larger");
-    println!("windows amortize it toward the bandwidth floor (≈0.64 s at 100 Mbps).");
 }

@@ -20,8 +20,11 @@ use gdp_bench::{ablations, fig6, fig8};
 
 fn run_fig6() {
     println!("Fig 6 — forwarding rate and throughput vs PDU size");
-    println!("(simulated 32×32 through one router; CPU model {} µs + {} ns/B per PDU)\n",
-        fig6::PER_PDU_US, fig6::PER_BYTE_NS);
+    println!(
+        "(simulated 32×32 through one router; CPU model {} µs + {} ns/B per PDU)\n",
+        fig6::PER_PDU_US,
+        fig6::PER_BYTE_NS
+    );
     let mut t = Table::new(&["PDU bytes", "PDUs/s", "throughput (bps)"]);
     for size in gdp_sim::workload::fig6_pdu_sizes() {
         let p = fig6::simulated(size, 60);
@@ -49,16 +52,8 @@ fn run_table1() {
             "DataCapsule API + CAAPIs (fs/kv/timeseries)",
             "homogeneous_interface",
         ),
-        (
-            "Federated architecture",
-            "flat name as trust anchor, no PKI",
-            "federated_no_pki",
-        ),
-        (
-            "Locality",
-            "hierarchical routing domains + anycast",
-            "locality_anycast",
-        ),
+        ("Federated architecture", "flat name as trust anchor, no PKI", "federated_no_pki"),
+        ("Locality", "hierarchical routing domains + anycast", "locality_anycast"),
         (
             "Secure storage",
             "capsule = authenticated data structure",
@@ -74,11 +69,7 @@ fn run_table1() {
             "secure advertisements + AdCert/RtCert chains",
             "secure_routing_no_squatting",
         ),
-        (
-            "Publish-subscribe",
-            "subscribe as a native capsule access mode",
-            "native_pubsub",
-        ),
+        ("Publish-subscribe", "subscribe as a native capsule access mode", "native_pubsub"),
         (
             "Incremental deployment",
             "overlay PDUs over host links (simulated IP)",

@@ -46,7 +46,13 @@ struct LoadEndpoint {
 }
 
 impl LoadEndpoint {
-    fn new(attacher: Attacher, router: NodeId, peer: Name, to_send: u32, pdu_size: usize) -> Box<Self> {
+    fn new(
+        attacher: Attacher,
+        router: NodeId,
+        peer: Name,
+        to_send: u32,
+        pdu_size: usize,
+    ) -> Box<Self> {
         Box::new(LoadEndpoint {
             attacher: Some(attacher),
             router,
@@ -123,8 +129,7 @@ pub fn simulated(pdu_size: usize, pdus_per_sender: u32) -> Fig6Point {
         );
         let recv_name = recv_id.name();
         let recv_attach = Attacher::new(recv_id, router_name, vec![], 1 << 50);
-        let recv_node =
-            net.add_node(LoadEndpoint::new(recv_attach, router_node, Name::ZERO, 0, 0));
+        let recv_node = net.add_node(LoadEndpoint::new(recv_attach, router_node, Name::ZERO, 0, 0));
         net.connect(recv_node, router_node, link);
         net.inject_timer(recv_node, 0, 0);
 
@@ -203,11 +208,7 @@ mod tests {
         );
         assert!(small.throughput_bps < 200_000_000.0);
         // Large PDUs: close to 1 Gbps, far lower PDU rate.
-        assert!(
-            large.throughput_bps > 700_000_000.0,
-            "large throughput {}",
-            large.throughput_bps
-        );
+        assert!(large.throughput_bps > 700_000_000.0, "large throughput {}", large.throughput_bps);
         assert!(large.pdus_per_sec < small.pdus_per_sec);
     }
 

@@ -78,10 +78,9 @@ pub fn run_size(model_bytes: usize, runs: u32) -> Vec<(&'static str, Fig8Cell)> 
 
 /// Prints the full Fig 8 table for both model sizes.
 pub fn report(runs: u32) {
-    for (label, size) in [
-        ("28 MB model", workload::MODEL_SMALL),
-        ("115 MB model", workload::MODEL_LARGE),
-    ] {
+    for (label, size) in
+        [("28 MB model", workload::MODEL_SMALL), ("115 MB model", workload::MODEL_LARGE)]
+    {
         println!("\nFig 8 — {label} (avg over {runs} runs, virtual seconds; smaller is better)");
         let mut t = Table::new(&["system", "write (s)", "read (s)"]);
         for (name, cell) in run_size(size, runs) {

@@ -90,8 +90,11 @@ impl<B: CapsuleAccess> Aggregator<B> {
             }
         }
         batch.sort_by(|a, b| {
-            (a.timestamp_micros, a.source, a.source_seq)
-                .cmp(&(b.timestamp_micros, b.source, b.source_seq))
+            (a.timestamp_micros, a.source, a.source_seq).cmp(&(
+                b.timestamp_micros,
+                b.source,
+                b.source_seq,
+            ))
         });
         let n = batch.len();
         for m in batch {

@@ -138,10 +138,7 @@ impl CapsuleAccess for LocalBackend {
     }
 
     fn append(&mut self, capsule: &Name, body: &[u8]) -> Result<u64, CaapiError> {
-        let entry = self
-            .entries
-            .get_mut(capsule)
-            .ok_or(CaapiError::UnknownCapsule(*capsule))?;
+        let entry = self.entries.get_mut(capsule).ok_or(CaapiError::UnknownCapsule(*capsule))?;
         entry.clock += 1;
         let record = entry.writer.append(body, entry.clock)?;
         let seq = record.header.seq;
@@ -150,10 +147,7 @@ impl CapsuleAccess for LocalBackend {
     }
 
     fn read(&mut self, capsule: &Name, seq: u64) -> Result<Record, CaapiError> {
-        let entry = self
-            .entries
-            .get(capsule)
-            .ok_or(CaapiError::UnknownCapsule(*capsule))?;
+        let entry = self.entries.get(capsule).ok_or(CaapiError::UnknownCapsule(*capsule))?;
         Ok(entry.capsule.get_one(seq)?.clone())
     }
 
@@ -163,28 +157,19 @@ impl CapsuleAccess for LocalBackend {
         from: u64,
         to: u64,
     ) -> Result<Vec<Record>, CaapiError> {
-        let entry = self
-            .entries
-            .get(capsule)
-            .ok_or(CaapiError::UnknownCapsule(*capsule))?;
+        let entry = self.entries.get(capsule).ok_or(CaapiError::UnknownCapsule(*capsule))?;
         Ok(entry.capsule.range(from, to).into_iter().cloned().collect())
     }
 
     fn latest(&mut self, capsule: &Name) -> Result<Option<Record>, CaapiError> {
-        let entry = self
-            .entries
-            .get(capsule)
-            .ok_or(CaapiError::UnknownCapsule(*capsule))?;
+        let entry = self.entries.get(capsule).ok_or(CaapiError::UnknownCapsule(*capsule))?;
         Ok(entry.capsule.single_head()?.cloned())
     }
 }
 
 /// Helper: builds capsule metadata + a fresh writer key for a CAAPI-managed
 /// capsule, signed by `owner`.
-pub fn new_capsule_spec(
-    owner: &SigningKey,
-    description: &str,
-) -> (CapsuleMetadata, SigningKey) {
+pub fn new_capsule_spec(owner: &SigningKey, description: &str) -> (CapsuleMetadata, SigningKey) {
     let writer = SigningKey::from_seed(&gdp_crypto::random_array32());
     let metadata = gdp_capsule::MetadataBuilder::new()
         .writer(&writer.verifying_key())
@@ -202,9 +187,7 @@ mod tests {
         let owner = SigningKey::from_seed(&[1u8; 32]);
         let mut backend = LocalBackend::new();
         let (meta, writer) = new_capsule_spec(&owner, "test");
-        let name = backend
-            .create_capsule(meta, writer, PointerStrategy::Chain)
-            .unwrap();
+        let name = backend.create_capsule(meta, writer, PointerStrategy::Chain).unwrap();
         assert_eq!(backend.append(&name, b"one").unwrap(), 1);
         assert_eq!(backend.append(&name, b"two").unwrap(), 2);
         assert_eq!(backend.read(&name, 1).unwrap().body, b"one");
@@ -217,10 +200,7 @@ mod tests {
     fn unknown_capsule_errors() {
         let mut backend = LocalBackend::new();
         let ghost = Name::from_content(b"ghost");
-        assert!(matches!(
-            backend.append(&ghost, b"x"),
-            Err(CaapiError::UnknownCapsule(_))
-        ));
+        assert!(matches!(backend.append(&ghost, b"x"), Err(CaapiError::UnknownCapsule(_))));
         assert!(backend.read(&ghost, 1).is_err());
     }
 }

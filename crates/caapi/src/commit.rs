@@ -301,9 +301,7 @@ mod tests {
         let owner = SigningKey::from_seed(&[1u8; 32]);
         let mut backend = LocalBackend::new();
         let (meta, writer) = new_capsule_spec(&owner, "multi-writer log");
-        let capsule = backend
-            .create_capsule(meta, writer, PointerStrategy::Chain)
-            .unwrap();
+        let capsule = backend.create_capsule(meta, writer, PointerStrategy::Chain).unwrap();
         let mut svc = CommitService::new(backend, capsule, 1);
         let mut accs = acceptors(3);
 

@@ -136,9 +136,7 @@ mod tests {
     fn sealed_on_the_wire_plain_at_the_api() {
         let mut b = EncryptedBackend::new(LocalBackend::new());
         let (meta, writer) = new_capsule_spec(&owner(), "secret log");
-        let capsule = b
-            .create_capsule(meta, writer, PointerStrategy::Chain)
-            .unwrap();
+        let capsule = b.create_capsule(meta, writer, PointerStrategy::Chain).unwrap();
         b.append(&capsule, b"plaintext secret").unwrap();
         // The API returns plaintext…
         assert_eq!(b.read(&capsule, 1).unwrap().body, b"plaintext secret");
@@ -152,9 +150,7 @@ mod tests {
     fn no_key_no_read() {
         let mut writer_side = EncryptedBackend::new(LocalBackend::new());
         let (meta, writer) = new_capsule_spec(&owner(), "private");
-        let capsule = writer_side
-            .create_capsule(meta, writer, PointerStrategy::Chain)
-            .unwrap();
+        let capsule = writer_side.create_capsule(meta, writer, PointerStrategy::Chain).unwrap();
         writer_side.append(&capsule, b"for members only").unwrap();
         // A reader without the key fails; with the granted key succeeds.
         let key = writer_side.read_key(&capsule).unwrap().clone();
@@ -181,10 +177,7 @@ mod tests {
             .get_one(1)
             .unwrap()
             .clone();
-        assert!(!stored
-            .body
-            .windows(10)
-            .any(|w| w == b"classified".as_slice()));
+        assert!(!stored.body.windows(10).any(|w| w == b"classified".as_slice()));
     }
 
     #[test]
@@ -201,9 +194,7 @@ mod tests {
     fn batch_append_seals_per_seq() {
         let mut b = EncryptedBackend::new(LocalBackend::new());
         let (meta, writer) = new_capsule_spec(&owner(), "batch");
-        let capsule = b
-            .create_capsule(meta, writer, PointerStrategy::Chain)
-            .unwrap();
+        let capsule = b.create_capsule(meta, writer, PointerStrategy::Chain).unwrap();
         let bodies = vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()];
         b.append_batch(&capsule, &bodies).unwrap();
         assert_eq!(b.read(&capsule, 2).unwrap().body, b"two");

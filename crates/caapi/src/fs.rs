@@ -101,11 +101,8 @@ impl<B: CapsuleAccess> GdpFs<B> {
     /// Creates a new filesystem with a fresh directory capsule.
     pub fn format(mut backend: B, owner: SigningKey) -> Result<GdpFs<B>, CaapiError> {
         let (meta, writer) = new_capsule_spec(&owner, "gdpfs directory");
-        let directory = backend.create_capsule(
-            meta,
-            writer,
-            PointerStrategy::Checkpoint { interval: 64 },
-        )?;
+        let directory =
+            backend.create_capsule(meta, writer, PointerStrategy::Checkpoint { interval: 64 })?;
         Ok(GdpFs { backend, owner, directory, entries: BTreeMap::new(), dir_cursor: 0 })
     }
 
@@ -126,9 +123,7 @@ impl<B: CapsuleAccess> GdpFs<B> {
         if latest <= self.dir_cursor {
             return Ok(());
         }
-        let records = self
-            .backend
-            .read_range(&self.directory, self.dir_cursor + 1, latest)?;
+        let records = self.backend.read_range(&self.directory, self.dir_cursor + 1, latest)?;
         for r in records {
             match DirOp::from_wire(&r.body) {
                 Ok(DirOp::Create { path, capsule }) => {
@@ -159,10 +154,7 @@ impl<B: CapsuleAccess> GdpFs<B> {
     /// The capsule backing `path`.
     pub fn file_capsule(&mut self, path: &str) -> Result<Name, CaapiError> {
         self.refresh()?;
-        self.entries
-            .get(path)
-            .copied()
-            .ok_or_else(|| CaapiError::NotFound(path.to_string()))
+        self.entries.get(path).copied().ok_or_else(|| CaapiError::NotFound(path.to_string()))
     }
 
     /// Writes a complete file (creating it if needed). Returns the number
@@ -262,8 +254,9 @@ impl<B: CapsuleAccess> GdpFs<B> {
     pub fn read_file_at(&mut self, path: &str, manifest_seq: u64) -> Result<Vec<u8>, CaapiError> {
         let capsule = self.file_capsule(path)?;
         let manifest_rec = self.backend.read(&capsule, manifest_seq)?;
-        let manifest = Manifest::from_body(&manifest_rec.body)
-            .ok_or_else(|| CaapiError::Format(format!("{path}: seq {manifest_seq} not a manifest")))?;
+        let manifest = Manifest::from_body(&manifest_rec.body).ok_or_else(|| {
+            CaapiError::Format(format!("{path}: seq {manifest_seq} not a manifest"))
+        })?;
         if manifest.chunks == 0 {
             return Ok(Vec::new());
         }

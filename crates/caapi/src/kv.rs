@@ -74,11 +74,8 @@ impl<B: CapsuleAccess> GdpKv<B> {
     /// Creates a fresh store.
     pub fn create(mut backend: B, owner: &SigningKey) -> Result<GdpKv<B>, CaapiError> {
         let (meta, writer) = new_capsule_spec(owner, "gdp-kv");
-        let capsule = backend.create_capsule(
-            meta,
-            writer,
-            PointerStrategy::Checkpoint { interval: 32 },
-        )?;
+        let capsule =
+            backend.create_capsule(meta, writer, PointerStrategy::Checkpoint { interval: 32 })?;
         Ok(GdpKv {
             backend,
             capsule,
@@ -145,8 +142,7 @@ impl<B: CapsuleAccess> GdpKv<B> {
         if self.ops_since_checkpoint >= self.checkpoint_interval {
             let pairs: Vec<(String, Vec<u8>)> =
                 self.state.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-            self.backend
-                .append(&self.capsule, &KvOp::Checkpoint { pairs }.to_wire())?;
+            self.backend.append(&self.capsule, &KvOp::Checkpoint { pairs }.to_wire())?;
             self.cursor += 1;
             self.ops_since_checkpoint = 0;
         }

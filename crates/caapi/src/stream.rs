@@ -59,7 +59,11 @@ pub struct GdpStream<B: CapsuleAccess> {
 
 impl<B: CapsuleAccess> GdpStream<B> {
     /// Creates a new topic.
-    pub fn create(mut backend: B, owner: SigningKey, label: &str) -> Result<GdpStream<B>, CaapiError> {
+    pub fn create(
+        mut backend: B,
+        owner: SigningKey,
+        label: &str,
+    ) -> Result<GdpStream<B>, CaapiError> {
         let (meta, writer) = new_capsule_spec(&owner, &format!("topic:{label}"));
         let topic = backend.create_capsule(meta, writer, PointerStrategy::SkipList)?;
         Ok(GdpStream { backend, owner, topic, groups: HashMap::new() })
@@ -122,8 +126,7 @@ impl<B: CapsuleAccess> GdpStream<B> {
             )));
         }
         let capsule = self.group_capsule(group)?;
-        self.backend
-            .append(&capsule, &OffsetCommit { offset }.to_wire())?;
+        self.backend.append(&capsule, &OffsetCommit { offset }.to_wire())?;
         Ok(())
     }
 
@@ -150,7 +153,11 @@ impl<B: CapsuleAccess> GdpStream<B> {
 
     /// Replays from an arbitrary historical offset regardless of commits —
     /// the paper's time-shift property.
-    pub fn replay(&mut self, from_offset: u64, max: u64) -> Result<Vec<(u64, Message)>, CaapiError> {
+    pub fn replay(
+        &mut self,
+        from_offset: u64,
+        max: u64,
+    ) -> Result<Vec<(u64, Message)>, CaapiError> {
         let hw = self.high_watermark()?;
         if from_offset > hw || from_offset == 0 {
             return Ok(Vec::new());
@@ -218,10 +225,7 @@ mod tests {
         let mut s = stream();
         s.publish_batch(&[msg("a"), msg("b")]).unwrap();
         s.commit_offset("g", 2).unwrap();
-        assert!(matches!(
-            s.commit_offset("g", 1),
-            Err(CaapiError::Conflict(_))
-        ));
+        assert!(matches!(s.commit_offset("g", 1), Err(CaapiError::Conflict(_))));
         // Re-committing the same offset is fine (idempotent consumers).
         s.commit_offset("g", 2).unwrap();
     }

@@ -27,10 +27,7 @@ impl Wire for Sample {
         enc.u64(self.value.to_bits());
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
-        Ok(Sample {
-            timestamp_micros: dec.varint()?,
-            value: f64::from_bits(dec.u64()?),
-        })
+        Ok(Sample { timestamp_micros: dec.varint()?, value: f64::from_bits(dec.u64()?) })
     }
 }
 
@@ -125,8 +122,8 @@ impl<B: CapsuleAccess> GdpTimeSeries<B> {
         };
         let mut out = Vec::new();
         for r in self.backend.read_range(&self.capsule, start, latest)? {
-            let s = Sample::from_wire(&r.body)
-                .map_err(|_| CaapiError::Format("bad sample".into()))?;
+            let s =
+                Sample::from_wire(&r.body).map_err(|_| CaapiError::Format("bad sample".into()))?;
             if s.timestamp_micros > to_ts {
                 break;
             }
@@ -136,7 +133,11 @@ impl<B: CapsuleAccess> GdpTimeSeries<B> {
     }
 
     /// Aggregates over `[from_ts, to_ts]`; `None` when the window is empty.
-    pub fn aggregate(&mut self, from_ts: u64, to_ts: u64) -> Result<Option<Aggregates>, CaapiError> {
+    pub fn aggregate(
+        &mut self,
+        from_ts: u64,
+        to_ts: u64,
+    ) -> Result<Option<Aggregates>, CaapiError> {
         let samples = self.query(from_ts, to_ts)?;
         if samples.is_empty() {
             return Ok(None);
@@ -211,8 +212,7 @@ mod tests {
 
     fn fill(ts: &mut GdpTimeSeries<LocalBackend>, n: u64) {
         for i in 0..n {
-            ts.record(Sample { timestamp_micros: i * 1000, value: (i as f64).sin() })
-                .unwrap();
+            ts.record(Sample { timestamp_micros: i * 1000, value: (i as f64).sin() }).unwrap();
         }
     }
 

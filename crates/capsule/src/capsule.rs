@@ -255,19 +255,13 @@ impl DataCapsule {
     /// (paper §V).
     pub fn verify_history(&self, heartbeat: &Heartbeat) -> Result<(), CapsuleError> {
         if heartbeat.capsule != self.name {
-            return Err(CapsuleError::WrongCapsule {
-                expected: self.name,
-                got: heartbeat.capsule,
-            });
+            return Err(CapsuleError::WrongCapsule { expected: self.name, got: heartbeat.capsule });
         }
         heartbeat.verify(&self.writer_key)?;
         let mut cursor = heartbeat.head;
         let mut expect_seq = heartbeat.seq;
         loop {
-            let record = self
-                .records
-                .get(&cursor)
-                .ok_or(CapsuleError::MissingRecord(cursor))?;
+            let record = self.records.get(&cursor).ok_or(CapsuleError::MissingRecord(cursor))?;
             if record.header.seq != expect_seq {
                 return Err(CapsuleError::BadRecord("seq does not decrement along chain"));
             }
@@ -285,16 +279,12 @@ impl DataCapsule {
     /// A signed heartbeat for the current unique head (SSW mode), extracted
     /// from the head record itself.
     pub fn head_heartbeat(&self) -> Result<Option<Heartbeat>, CapsuleError> {
-        Ok(self
-            .single_head()?
-            .map(|head| Heartbeat::from_record(&self.name, head)))
+        Ok(self.single_head()?.map(|head| Heartbeat::from_record(&self.name, head)))
     }
 
     /// Iterates all linked records in seq order.
     pub fn iter(&self) -> impl Iterator<Item = &Record> {
-        self.by_seq
-            .values()
-            .flat_map(move |hashes| hashes.iter().map(move |h| &self.records[h]))
+        self.by_seq.values().flat_map(move |hashes| hashes.iter().map(move |h| &self.records[h]))
     }
 
     /// Total body bytes across linked records.
@@ -493,10 +483,7 @@ mod tests {
         // Heartbeat for a record chain we only partially hold.
         let r3 = make_record(&c, 3, r2.hash(), b"3");
         let hb = Heartbeat::from_record(&c.name(), &r3);
-        assert!(matches!(
-            c.verify_history(&hb),
-            Err(CapsuleError::MissingRecord(_))
-        ));
+        assert!(matches!(c.verify_history(&hb), Err(CapsuleError::MissingRecord(_))));
     }
 
     #[test]

@@ -57,24 +57,14 @@ impl ReadKey {
 
     /// Encrypts a record body for `(capsule, seq)`.
     pub fn seal(&self, capsule: &Name, seq: u64, plaintext: &[u8]) -> Vec<u8> {
-        aead::seal(
-            &self.aead_key(capsule),
-            &Self::nonce(seq),
-            &Self::aad(capsule, seq),
-            plaintext,
-        )
+        aead::seal(&self.aead_key(capsule), &Self::nonce(seq), &Self::aad(capsule, seq), plaintext)
     }
 
     /// Decrypts a record body; fails if the ciphertext was moved, replayed,
     /// or tampered with.
     pub fn open(&self, capsule: &Name, seq: u64, sealed: &[u8]) -> Result<Vec<u8>, CapsuleError> {
-        aead::open(
-            &self.aead_key(capsule),
-            &Self::nonce(seq),
-            &Self::aad(capsule, seq),
-            sealed,
-        )
-        .ok_or(CapsuleError::Crypto("body decryption failed"))
+        aead::open(&self.aead_key(capsule), &Self::nonce(seq), &Self::aad(capsule, seq), sealed)
+            .ok_or(CapsuleError::Crypto("body decryption failed"))
     }
 }
 

@@ -81,9 +81,7 @@ impl OrderingProof {
         peer: &Name,
         from_seq: u64,
     ) -> Result<OrderingProof, CapsuleError> {
-        let hb = embedding
-            .head_heartbeat()?
-            .ok_or(CapsuleError::MissingSeq(1))?;
+        let hb = embedding.head_heartbeat()?.ok_or(CapsuleError::MissingSeq(1))?;
         for seq in from_seq..=embedding.latest_seq() {
             if let Ok(record) = embedding.get_one(seq) {
                 if let Some(body) = EntanglementBody::parse(&record.body) {
@@ -158,9 +156,8 @@ mod tests {
 
         // Anyone can now prove: A@5 happened before B@2.
         let proof = OrderingProof::build(&b, &a.name(), 1).unwrap();
-        let (peer_seq, embed_seq) = proof
-            .verify(&b.name(), &kb.verifying_key(), &ka.verifying_key())
-            .unwrap();
+        let (peer_seq, embed_seq) =
+            proof.verify(&b.name(), &kb.verifying_key(), &ka.verifying_key()).unwrap();
         assert_eq!(peer_seq, 5);
         assert_eq!(embed_seq, 2);
     }
@@ -174,15 +171,13 @@ mod tests {
         }
         // B's writer embeds a FORGED heartbeat for A (self-signed).
         let evil = SigningKey::from_seed(&[66u8; 32]);
-        let forged = Heartbeat::sign(&a.name(), &evil, 999, a.head_heartbeat().unwrap().unwrap().head);
-        b.ingest(wb.append(&EntanglementBody::new(vec![forged]).to_wire(), 0).unwrap())
-            .unwrap();
+        let forged =
+            Heartbeat::sign(&a.name(), &evil, 999, a.head_heartbeat().unwrap().unwrap().head);
+        b.ingest(wb.append(&EntanglementBody::new(vec![forged]).to_wire(), 0).unwrap()).unwrap();
         let proof = OrderingProof::build(&b, &a.name(), 1).unwrap();
         // Verification against A's true writer key fails.
         let real_a_writer = SigningKey::from_seed(&[11u8; 32]).verifying_key();
-        assert!(proof
-            .verify(&b.name(), &kb.verifying_key(), &real_a_writer)
-            .is_err());
+        assert!(proof.verify(&b.name(), &kb.verifying_key(), &real_a_writer).is_err());
     }
 
     #[test]

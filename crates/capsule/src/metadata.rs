@@ -109,10 +109,7 @@ impl CapsuleMetadata {
 
     /// Looks up a raw metadata value.
     pub fn get(&self, key: &str) -> Option<&[u8]> {
-        self.pairs
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_slice())
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_slice())
     }
 
     /// All pairs, sorted by key.
@@ -125,20 +122,17 @@ impl CapsuleMetadata {
         let raw = self
             .get(KEY_WRITER_PUBKEY)
             .ok_or(CapsuleError::BadMetadata("missing writer-pubkey"))?;
-        let arr: [u8; 32] = raw
-            .try_into()
-            .map_err(|_| CapsuleError::BadMetadata("writer-pubkey length"))?;
+        let arr: [u8; 32] =
+            raw.try_into().map_err(|_| CapsuleError::BadMetadata("writer-pubkey length"))?;
         VerifyingKey::from_bytes(&arr).ok_or(CapsuleError::BadMetadata("writer-pubkey invalid"))
     }
 
     /// The owner's verification key.
     pub fn owner_key(&self) -> Result<VerifyingKey, CapsuleError> {
-        let raw = self
-            .get(KEY_OWNER_PUBKEY)
-            .ok_or(CapsuleError::BadMetadata("missing owner-pubkey"))?;
-        let arr: [u8; 32] = raw
-            .try_into()
-            .map_err(|_| CapsuleError::BadMetadata("owner-pubkey length"))?;
+        let raw =
+            self.get(KEY_OWNER_PUBKEY).ok_or(CapsuleError::BadMetadata("missing owner-pubkey"))?;
+        let arr: [u8; 32] =
+            raw.try_into().map_err(|_| CapsuleError::BadMetadata("owner-pubkey length"))?;
         VerifyingKey::from_bytes(&arr).ok_or(CapsuleError::BadMetadata("owner-pubkey invalid"))
     }
 
@@ -282,7 +276,7 @@ mod tests {
         let idx = bytes.len() / 2;
         bytes[idx] ^= 1;
         match CapsuleMetadata::from_wire(&bytes) {
-            Err(_) => {}                        // broke framing — fine
+            Err(_) => {} // broke framing — fine
             Ok(m2) => assert!(m2.verify().is_err() || m2.name() != m.name()),
         }
     }

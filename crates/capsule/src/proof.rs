@@ -43,9 +43,8 @@ impl MembershipProof {
         heartbeat: &Heartbeat,
         target_seq: u64,
     ) -> Result<MembershipProof, CapsuleError> {
-        let head = capsule
-            .get(&heartbeat.head)
-            .ok_or(CapsuleError::MissingRecord(heartbeat.head))?;
+        let head =
+            capsule.get(&heartbeat.head).ok_or(CapsuleError::MissingRecord(heartbeat.head))?;
         if target_seq > head.header.seq || target_seq == 0 {
             return Err(CapsuleError::MissingSeq(target_seq));
         }
@@ -81,21 +80,13 @@ impl MembershipProof {
             .map(|h| capsule.get(h).map(|r| r.header.clone()))
             .collect::<Option<Vec<_>>>()
             .ok_or(CapsuleError::BadProof("record vanished during build"))?;
-        let body = capsule
-            .get(&target)
-            .ok_or(CapsuleError::MissingRecord(target))?
-            .body
-            .clone();
+        let body = capsule.get(&target).ok_or(CapsuleError::MissingRecord(target))?.body.clone();
         Ok(MembershipProof { heartbeat: heartbeat.clone(), path, body })
     }
 
     /// Verifies the proof with nothing but the capsule name and writer key —
     /// no other local state. Returns the proven record.
-    pub fn verify(
-        &self,
-        capsule: &Name,
-        writer: &VerifyingKey,
-    ) -> Result<Record, CapsuleError> {
+    pub fn verify(&self, capsule: &Name, writer: &VerifyingKey) -> Result<Record, CapsuleError> {
         if self.heartbeat.capsule != *capsule {
             return Err(CapsuleError::WrongCapsule {
                 expected: *capsule,
@@ -111,9 +102,8 @@ impl MembershipProof {
         for w in self.path.windows(2) {
             let (from, to) = (&w[0], &w[1]);
             let to_hash = to.hash();
-            let justified = from
-                .all_pointers()
-                .any(|(pseq, phash)| phash == to_hash && pseq == to.seq);
+            let justified =
+                from.all_pointers().any(|(pseq, phash)| phash == to_hash && pseq == to.seq);
             if !justified {
                 return Err(CapsuleError::BadProof("hop not justified by a hash-pointer"));
             }
@@ -297,11 +287,7 @@ mod tests {
         let c = capsule_with(&PointerStrategy::SkipList, 512);
         let hb = c.head_heartbeat().unwrap().unwrap();
         let proof = MembershipProof::build(&c, &hb, 1).unwrap();
-        assert!(
-            proof.hops() <= 20,
-            "skip-list proof should be short, got {}",
-            proof.hops()
-        );
+        assert!(proof.hops() <= 20, "skip-list proof should be short, got {}", proof.hops());
         proof.verify(&c.name(), &writer().verifying_key()).unwrap();
     }
 

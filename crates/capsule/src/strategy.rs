@@ -69,11 +69,9 @@ impl PointerStrategy {
                     Vec::new()
                 }
             }
-            PointerStrategy::Stream { lags } => lags
-                .iter()
-                .filter(|&&lag| lag > 1 && lag < seq)
-                .map(|&lag| seq - lag)
-                .collect(),
+            PointerStrategy::Stream { lags } => {
+                lags.iter().filter(|&&lag| lag > 1 && lag < seq).map(|&lag| seq - lag).collect()
+            }
         };
         targets.sort_unstable_by(|a, b| b.cmp(a));
         targets.dedup();

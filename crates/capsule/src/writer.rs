@@ -117,9 +117,7 @@ impl CapsuleWriter {
             .extra_targets(seq)
             .into_iter()
             .filter_map(|target| {
-                self.cache
-                    .get(&target)
-                    .map(|hash| Pointer { seq: target, hash: *hash })
+                self.cache.get(&target).map(|hash| Pointer { seq: target, hash: *hash })
             })
             .collect();
         let record = Record::create(
@@ -206,9 +204,7 @@ impl CapsuleWriter {
     /// (paper §VI-C). Errors in strict mode.
     pub fn resume_possibly_stale(&mut self, stale_head: &Record) -> Result<(), CapsuleError> {
         if self.mode != WriterMode::Quasi {
-            return Err(CapsuleError::BadRecord(
-                "stale resume requires quasi-single-writer mode",
-            ));
+            return Err(CapsuleError::BadRecord("stale resume requires quasi-single-writer mode"));
         }
         self.resume_from_head(stale_head)
     }
@@ -239,9 +235,7 @@ mod tests {
 
     #[test]
     fn wrong_key_rejected_at_construction() {
-        let meta = MetadataBuilder::new()
-            .writer(&writer_key().verifying_key())
-            .sign(&owner());
+        let meta = MetadataBuilder::new().writer(&writer_key().verifying_key()).sign(&owner());
         let evil = SigningKey::from_seed(&[66u8; 32]);
         assert!(CapsuleWriter::new(&meta, evil, PointerStrategy::Chain).is_err());
     }
@@ -288,11 +282,7 @@ mod tests {
         for i in 0..4096u64 {
             w.append(b"x", i).unwrap();
         }
-        assert!(
-            w.cache_size() <= 32,
-            "skip-list cache should be O(log n), got {}",
-            w.cache_size()
-        );
+        assert!(w.cache_size() <= 32, "skip-list cache should be O(log n), got {}", w.cache_size());
     }
 
     #[test]
@@ -311,10 +301,8 @@ mod tests {
     #[test]
     fn encrypted_bodies() {
         let key = ReadKey::from_bytes([9u8; 32]);
-        let meta = MetadataBuilder::new()
-            .writer(&writer_key().verifying_key())
-            .encrypted()
-            .sign(&owner());
+        let meta =
+            MetadataBuilder::new().writer(&writer_key().verifying_key()).encrypted().sign(&owner());
         let mut c = DataCapsule::new(meta.clone()).unwrap();
         let mut w = CapsuleWriter::new(&meta, writer_key(), PointerStrategy::Chain)
             .unwrap()

@@ -336,14 +336,8 @@ mod tests {
     }
 
     fn advert_for(meta: &CapsuleMetadata) -> Advertisement {
-        let adcert = AdCert::issue(
-            &owner(),
-            meta.name(),
-            server().name(),
-            false,
-            Scope::Global,
-            1_000_000,
-        );
+        let adcert =
+            AdCert::issue(&owner(), meta.name(), server().name(), false, Scope::Global, 1_000_000);
         let chain = ServingChain::direct(adcert, server().principal().clone());
         let entry = CapsuleAdvert { metadata: meta.clone(), chain };
         Advertisement::sign(
@@ -406,14 +400,8 @@ mod tests {
         // Another server re-signs a catalog containing a chain that ends at
         // the victim server: entry verification must fail.
         let meta = metadata();
-        let adcert = AdCert::issue(
-            &owner(),
-            meta.name(),
-            server().name(),
-            false,
-            Scope::Global,
-            1_000_000,
-        );
+        let adcert =
+            AdCert::issue(&owner(), meta.name(), server().name(), false, Scope::Global, 1_000_000);
         let chain = ServingChain::direct(adcert, server().principal().clone());
         let entry = CapsuleAdvert { metadata: meta, chain };
         let thief = PrincipalId::from_seed(PrincipalKind::Server, &[7u8; 32], "thief");

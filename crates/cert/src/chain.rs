@@ -49,19 +49,12 @@ impl ServingChain {
 
     /// The serving principal at the end of the chain.
     pub fn server(&self) -> &Principal {
-        self.memberships
-            .last()
-            .map(|(_, p)| p)
-            .unwrap_or(&self.grantee_principal)
+        self.memberships.last().map(|(_, p)| p).unwrap_or(&self.grantee_principal)
     }
 
     /// Verifies the chain for `capsule_owner_key` (from the capsule
     /// metadata) at time `now`.
-    pub fn verify(
-        &self,
-        owner_key: &gdp_crypto::VerifyingKey,
-        now: u64,
-    ) -> Result<(), CertError> {
+    pub fn verify(&self, owner_key: &gdp_crypto::VerifyingKey, now: u64) -> Result<(), CertError> {
         self.adcert.verify(owner_key, now)?;
         if self.grantee_principal.name() != self.adcert.grantee {
             return Err(CertError::BrokenChain("grantee principal does not match AdCert"));
@@ -120,11 +113,7 @@ pub struct RoutedChain {
 
 impl RoutedChain {
     /// Verifies both the serving chain and the router hop.
-    pub fn verify(
-        &self,
-        owner_key: &gdp_crypto::VerifyingKey,
-        now: u64,
-    ) -> Result<(), CertError> {
+    pub fn verify(&self, owner_key: &gdp_crypto::VerifyingKey, now: u64) -> Result<(), CertError> {
         self.serving.verify(owner_key, now)?;
         let server = self.serving.server();
         if self.rtcert.principal != server.name() {
@@ -193,10 +182,7 @@ mod tests {
         let chain = ServingChain::via_org(
             adcert,
             org().principal().clone(),
-            vec![
-                (m1, sub_org().principal().clone()),
-                (m2, server().principal().clone()),
-            ],
+            vec![(m1, sub_org().principal().clone()), (m2, server().principal().clone())],
         );
         chain.verify(&owner().verifying_key(), 10).unwrap();
         assert_eq!(chain.server().name(), server().name());
@@ -206,8 +192,7 @@ mod tests {
     fn chain_rejects_unauthorized_subdelegation() {
         // AdCert issued directly to a server (allow_members = false) cannot
         // sprout membership hops.
-        let adcert =
-            AdCert::issue(&owner(), capsule(), org().name(), false, Scope::Global, 1000);
+        let adcert = AdCert::issue(&owner(), capsule(), org().name(), false, Scope::Global, 1000);
         let m = MembershipCert::issue(org().signing_key(), org().name(), server().name(), 1000);
         let chain = ServingChain::via_org(
             adcert,
@@ -252,8 +237,7 @@ mod tests {
         let adcert =
             AdCert::issue(&owner(), capsule(), server().name(), false, Scope::Global, 1000);
         let serving = ServingChain::direct(adcert, server().principal().clone());
-        let rtcert =
-            RtCert::issue(server().signing_key(), server().name(), router().name(), 1000);
+        let rtcert = RtCert::issue(server().signing_key(), server().name(), router().name(), 1000);
         let routed = RoutedChain { serving: serving.clone(), rtcert };
         routed.verify(&owner().verifying_key(), 10).unwrap();
 
@@ -280,8 +264,7 @@ mod tests {
             org().principal().clone(),
             vec![(m, server().principal().clone())],
         );
-        let rtcert =
-            RtCert::issue(server().signing_key(), server().name(), router().name(), 1000);
+        let rtcert = RtCert::issue(server().signing_key(), server().name(), router().name(), 1000);
         let routed = RoutedChain { serving, rtcert };
         let rt = RoutedChain::from_wire(&routed.to_wire()).unwrap();
         assert_eq!(rt, routed);

@@ -104,8 +104,7 @@ pub struct PrincipalId {
 impl PrincipalId {
     /// Creates a principal from a signing key.
     pub fn new(kind: PrincipalKind, key: SigningKey, label: &str) -> PrincipalId {
-        let principal =
-            Principal { kind, key: key.verifying_key(), label: label.to_string() };
+        let principal = Principal { kind, key: key.verifying_key(), label: label.to_string() };
         let name = principal.name();
         PrincipalId { principal, key, name }
     }

@@ -11,9 +11,7 @@
 //! Like the server, the client is sans-I/O: methods build request PDUs and
 //! `handle_pdu` turns responses into [`ClientEvent`]s.
 
-use gdp_capsule::{
-    CapsuleMetadata, CapsuleWriter, Heartbeat, PointerStrategy, Record,
-};
+use gdp_capsule::{CapsuleMetadata, CapsuleWriter, Heartbeat, PointerStrategy, Record};
 use gdp_cert::{Principal, PrincipalId, PrincipalKind};
 use gdp_crypto::x25519::EphemeralKeyPair;
 use gdp_crypto::{ct, hkdf, SigningKey, VerifyingKey};
@@ -164,12 +162,10 @@ impl GdpClient {
         metadata.verify().map_err(|_| "metadata signature invalid")?;
         let writer_key = metadata.writer_key().map_err(|_| "no writer key")?;
         let owner_key = metadata.owner_key().map_err(|_| "no owner key")?;
-        self.capsules.insert(metadata.name(), TrackedCapsule {
-            metadata: metadata.clone(),
-            writer_key,
-            owner_key,
-            latest_seen: 0,
-        });
+        self.capsules.insert(
+            metadata.name(),
+            TrackedCapsule { metadata: metadata.clone(), writer_key, owner_key, latest_seen: 0 },
+        );
         Ok(())
     }
 
@@ -202,13 +198,7 @@ impl GdpClient {
     fn request(&mut self, capsule: Name, kind: PendingKind, msg: &DataMsg) -> Pdu {
         let seq = self.fresh_seq();
         self.pending.insert(seq, (capsule, kind));
-        Pdu {
-            pdu_type: PduType::Data,
-            src: self.name(),
-            dst: capsule,
-            seq,
-            payload: msg.to_wire(),
-        }
+        Pdu { pdu_type: PduType::Data, src: self.name(), dst: capsule, seq, payload: msg.to_wire() }
     }
 
     /// Builds a session-establishment request for a capsule.
@@ -273,9 +263,7 @@ impl GdpClient {
         match auth {
             ResponseAuth::Signed { server, chain, signature } => {
                 let tracked = self.capsules.get(capsule).ok_or("untracked capsule")?;
-                chain
-                    .verify(&tracked.owner_key, now)
-                    .map_err(|_| "serving chain invalid")?;
+                chain.verify(&tracked.owner_key, now).map_err(|_| "serving chain invalid")?;
                 if chain.server().name() != server.name() {
                     return Err("chain does not end at responder");
                 }
@@ -349,16 +337,12 @@ impl GdpClient {
                 Ok(VerifiedRead::Latest(r, hb))
             }
             ReadResult::Proof(p) => {
-                let record = p
-                    .verify(capsule, &wk)
-                    .map_err(|_| "membership proof invalid")?;
+                let record = p.verify(capsule, &wk).map_err(|_| "membership proof invalid")?;
                 tracked.latest_seen = tracked.latest_seen.max(p.heartbeat.seq);
                 Ok(VerifiedRead::Proven(record))
             }
             ReadResult::RangeProofResult(p) => {
-                let records = p
-                    .verify(capsule, &wk)
-                    .map_err(|_| "range proof invalid")?;
+                let records = p.verify(capsule, &wk).map_err(|_| "range proof invalid")?;
                 Ok(VerifiedRead::Records(records))
             }
             ReadResult::HeartbeatOnly(hb) => {
@@ -376,12 +360,7 @@ impl GdpClient {
     pub fn handle_pdu(&mut self, now: u64, pdu: Pdu) -> Vec<ClientEvent> {
         if pdu.pdu_type == PduType::Error {
             // Router-generated unreachable notice; payload = the dest name.
-            let name = pdu
-                .payload
-                .as_slice()
-                .try_into()
-                .map(Name)
-                .unwrap_or(Name::ZERO);
+            let name = pdu.payload.as_slice().try_into().map(Name).unwrap_or(Name::ZERO);
             return vec![ClientEvent::Unreachable { name }];
         }
         if pdu.pdu_type != PduType::Data {
@@ -391,9 +370,8 @@ impl GdpClient {
             return Vec::new();
         };
         match msg {
-            DataMsg::SessionAccept { server_eph, client_eph, server, chain, signature } => {
-                self.on_session_accept(now, pdu.seq, server_eph, client_eph, server, chain, signature)
-            }
+            DataMsg::SessionAccept { server_eph, client_eph, server, chain, signature } => self
+                .on_session_accept(now, pdu.seq, server_eph, client_eph, server, chain, signature),
             DataMsg::AppendAck { seq, hash, replicas, auth } => {
                 let Some((capsule, _)) = self.pending.remove(&pdu.seq) else {
                     return Vec::new();
@@ -440,11 +418,7 @@ impl GdpClient {
                 vec![ClientEvent::SubEvent { capsule, record }]
             }
             DataMsg::ErrResp { code, detail } => {
-                let capsule = self
-                    .pending
-                    .remove(&pdu.seq)
-                    .map(|(c, _)| c)
-                    .unwrap_or(Name::ZERO);
+                let capsule = self.pending.remove(&pdu.seq).map(|(c, _)| c).unwrap_or(Name::ZERO);
                 vec![ClientEvent::ServerError { capsule, code, detail }]
             }
             _ => Vec::new(),
@@ -556,9 +530,7 @@ mod tests {
         );
         server.host(meta.clone(), chain, vec![]).unwrap();
         let mut client = GdpClient::from_seed(&[4u8; 32], "loop client");
-        client
-            .register_writer(&meta, wkey(), PointerStrategy::Chain)
-            .unwrap();
+        client.register_writer(&meta, wkey(), PointerStrategy::Chain).unwrap();
         Loop { client, server, capsule: meta.name() }
     }
 
@@ -577,10 +549,8 @@ mod tests {
         let mut l = looped();
         // Appends with signed-response auth (no session yet).
         for i in 0..3u64 {
-            let (pdu, _) = l
-                .client
-                .append(l.capsule, format!("v{i}").as_bytes(), i, AckMode::Local)
-                .unwrap();
+            let (pdu, _) =
+                l.client.append(l.capsule, format!("v{i}").as_bytes(), i, AckMode::Local).unwrap();
             let events = l.roundtrip(pdu);
             assert!(matches!(events[0], ClientEvent::AppendAcked { .. }), "{events:?}");
         }
@@ -595,10 +565,7 @@ mod tests {
         }
         let pdu = l.client.read(l.capsule, ReadTarget::ProofOf(2));
         let events = l.roundtrip(pdu);
-        assert!(matches!(
-            events[0],
-            ClientEvent::ReadOk { result: VerifiedRead::Proven(_), .. }
-        ));
+        assert!(matches!(events[0], ClientEvent::ReadOk { result: VerifiedRead::Proven(_), .. }));
         let pdu = l.client.read(l.capsule, ReadTarget::HeartbeatOnly);
         let events = l.roundtrip(pdu);
         assert!(matches!(
@@ -640,9 +607,9 @@ mod tests {
         // New appends trigger Event PDUs to the subscriber (same client).
         let (pdu, _) = l.client.append(l.capsule, b"published", 1, AckMode::Local).unwrap();
         let events = l.roundtrip(pdu);
-        let got_event = events
-            .iter()
-            .any(|e| matches!(e, ClientEvent::SubEvent { record, .. } if record.body == b"published"));
+        let got_event = events.iter().any(
+            |e| matches!(e, ClientEvent::SubEvent { record, .. } if record.body == b"published"),
+        );
         assert!(got_event, "{events:?}");
     }
 
@@ -677,12 +644,8 @@ mod tests {
         let ghost = Name::from_content(b"ghost");
         assert!(client.append(ghost, b"x", 0, AckMode::Local).is_err());
         // Registering with the wrong key also fails.
-        let meta = MetadataBuilder::new()
-            .writer(&wkey().verifying_key())
-            .sign(&owner());
+        let meta = MetadataBuilder::new().writer(&wkey().verifying_key()).sign(&owner());
         let not_writer = SigningKey::from_seed(&[66u8; 32]);
-        assert!(client
-            .register_writer(&meta, not_writer, PointerStrategy::Chain)
-            .is_err());
+        assert!(client.register_writer(&meta, not_writer, PointerStrategy::Chain).is_err());
     }
 }

@@ -83,9 +83,7 @@ fn build_world(ack_ticks: bool) -> World {
     }
 
     let mut client = GdpClient::from_seed(&[30u8; 32], "writer-client");
-    client
-        .register_writer(&metadata, writer_key(), PointerStrategy::SkipList)
-        .unwrap();
+    client.register_writer(&metadata, writer_key(), PointerStrategy::SkipList).unwrap();
     let client_node = net.add_node(SimClient::new(client, 0, r2_name, FOREVER));
     net.node_mut::<SimClient>(client_node).router = r2_node;
     net.connect(client_node, r2_node, LinkSpec::lan());
@@ -126,10 +124,8 @@ fn append_replicates_and_reads_verify() {
         send_request(&mut world, pdu);
     }
     let events = world.net.node_mut::<SimClient>(world.client_node).take_events();
-    let acks: Vec<_> = events
-        .iter()
-        .filter(|e| matches!(e, ClientEvent::AppendAcked { .. }))
-        .collect();
+    let acks: Vec<_> =
+        events.iter().filter(|e| matches!(e, ClientEvent::AppendAcked { .. })).collect();
     assert_eq!(acks.len(), 3, "events: {events:?}");
     if let ClientEvent::AppendAcked { replicas, .. } = acks[2] {
         assert!(*replicas >= 2, "quorum ack must report ≥2 replicas");
@@ -144,11 +140,8 @@ fn append_replicates_and_reads_verify() {
     }
 
     // Read latest and a membership proof; both verify client-side.
-    let pdu = world
-        .net
-        .node_mut::<SimClient>(world.client_node)
-        .client
-        .read(capsule, ReadTarget::Latest);
+    let pdu =
+        world.net.node_mut::<SimClient>(world.client_node).client.read(capsule, ReadTarget::Latest);
     send_request(&mut world, pdu);
     let pdu = world
         .net
@@ -186,22 +179,14 @@ fn session_upgrade_to_hmac() {
     let mut world = build_world(false);
     let capsule = world.capsule;
 
-    let pdu = world
-        .net
-        .node_mut::<SimClient>(world.client_node)
-        .client
-        .session_init(capsule);
+    let pdu = world.net.node_mut::<SimClient>(world.client_node).client.session_init(capsule);
     send_request(&mut world, pdu);
     let events = world.net.node_mut::<SimClient>(world.client_node).take_events();
     assert!(
         events.iter().any(|e| matches!(e, ClientEvent::SessionReady { .. })),
         "events: {events:?}"
     );
-    assert!(world
-        .net
-        .node_mut::<SimClient>(world.client_node)
-        .client
-        .has_session(&capsule));
+    assert!(world.net.node_mut::<SimClient>(world.client_node).client.has_session(&capsule));
 
     // Subsequent appends are HMAC-authenticated and still verify.
     let (pdu, _) = world
@@ -231,16 +216,10 @@ fn subscription_delivers_live_events() {
     let reader_node = world.net.add_node(SimClient::new(reader, r1_node, r1_name, FOREVER));
     world.net.node_mut::<SimClient>(reader_node).router = r1_node;
     world.net.connect(reader_node, r1_node, LinkSpec::lan());
-    world
-        .net
-        .inject_timer(reader_node, world.net.now() + 1, gdp_client::simnode::ATTACH_TIMER);
+    world.net.inject_timer(reader_node, world.net.now() + 1, gdp_client::simnode::ATTACH_TIMER);
     world.net.run_to_quiescence();
 
-    let sub_pdu = world
-        .net
-        .node_mut::<SimClient>(reader_node)
-        .client
-        .subscribe(capsule, 0);
+    let sub_pdu = world.net.node_mut::<SimClient>(reader_node).client.subscribe(capsule, 0);
     world.net.inject(reader_node, r1_node, sub_pdu);
     world.net.run_to_quiescence();
 
@@ -262,10 +241,7 @@ fn subscription_delivers_live_events() {
             _ => None,
         })
         .collect();
-    assert!(
-        sub_events.contains(&b"published!".to_vec()),
-        "reader events: {events:?}"
-    );
+    assert!(sub_events.contains(&b"published!".to_vec()), "reader events: {events:?}");
 }
 
 #[test]
@@ -287,23 +263,11 @@ fn anti_entropy_heals_partition() {
     }
     // Server 2 has the records; server 1 does not.
     assert_eq!(
-        world
-            .net
-            .node_mut::<SimServer>(world.srv2_node)
-            .server
-            .capsule(&capsule)
-            .unwrap()
-            .len(),
+        world.net.node_mut::<SimServer>(world.srv2_node).server.capsule(&capsule).unwrap().len(),
         4
     );
     assert_eq!(
-        world
-            .net
-            .node_mut::<SimServer>(world.srv1_node)
-            .server
-            .capsule(&capsule)
-            .unwrap()
-            .len(),
+        world.net.node_mut::<SimServer>(world.srv1_node).server.capsule(&capsule).unwrap().len(),
         0
     );
 
@@ -313,13 +277,7 @@ fn anti_entropy_heals_partition() {
     // Keep ticking until the sync happens (ticks self-reschedule).
     world.net.run_until(deadline);
     assert_eq!(
-        world
-            .net
-            .node_mut::<SimServer>(world.srv1_node)
-            .server
-            .capsule(&capsule)
-            .unwrap()
-            .len(),
+        world.net.node_mut::<SimServer>(world.srv1_node).server.capsule(&capsule).unwrap().len(),
         4,
         "anti-entropy should heal the lagging replica"
     );

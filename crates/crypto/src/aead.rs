@@ -307,10 +307,7 @@ mod tests {
         let key: [u8; 32] = core::array::from_fn(|i| i as u8);
         let nonce = hex::decode_array::<12>("000000090000004a00000000").unwrap();
         let block = chacha20_block(&key, 1, &nonce);
-        assert_eq!(
-            hex::encode(&block[..16]),
-            "10f1e7e4d13b5915500fdd1fa32071c4"
-        );
+        assert_eq!(hex::encode(&block[..16]), "10f1e7e4d13b5915500fdd1fa32071c4");
     }
 
     // RFC 8439 §2.4.2 encryption test vector (first bytes).
@@ -320,10 +317,7 @@ mod tests {
         let nonce = hex::decode_array::<12>("000000000000004a00000000").unwrap();
         let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
         chacha20_xor(&key, &nonce, 1, &mut data);
-        assert_eq!(
-            hex::encode(&data[..16]),
-            "6e2e359a2568f98041ba0728dd0d6981"
-        );
+        assert_eq!(hex::encode(&data[..16]), "6e2e359a2568f98041ba0728dd0d6981");
     }
 
     // RFC 8439 §2.5.2 Poly1305 test vector.

@@ -6,12 +6,8 @@
 //! no long transcribed magic tables to get wrong.
 
 /// The group order ℓ as four little-endian u64 limbs.
-pub const L: [u64; 4] = [
-    0x5812631a5cf5d3ed,
-    0x14def9dea2f79cd6,
-    0x0000000000000000,
-    0x1000000000000000,
-];
+pub const L: [u64; 4] =
+    [0x5812631a5cf5d3ed, 0x14def9dea2f79cd6, 0x0000000000000000, 0x1000000000000000];
 
 /// A scalar modulo ℓ, in normal (non-Montgomery) form, 4 little-endian
 /// u64 limbs, always fully reduced.
@@ -263,15 +259,9 @@ mod tests {
         let a = Scalar::from_u64(1_000_000_007);
         let b = Scalar::from_u64(998_244_353);
         assert_eq!(a.add(b).sub(b), a);
-        assert_eq!(
-            a.mul(b),
-            Scalar::from_u64(1_000_000_007).mul(Scalar::from_u64(998_244_353))
-        );
+        assert_eq!(a.mul(b), Scalar::from_u64(1_000_000_007).mul(Scalar::from_u64(998_244_353)));
         // 2 * 3 = 6
-        assert_eq!(
-            Scalar::from_u64(2).mul(Scalar::from_u64(3)),
-            Scalar::from_u64(6)
-        );
+        assert_eq!(Scalar::from_u64(2).mul(Scalar::from_u64(3)), Scalar::from_u64(6));
     }
 
     #[test]
@@ -289,10 +279,7 @@ mod tests {
         narrow[17] = 0x99;
         let mut wide = [0u8; 64];
         wide[..32].copy_from_slice(&narrow);
-        assert_eq!(
-            Scalar::from_bytes_mod_order(&narrow),
-            Scalar::from_bytes_mod_order_wide(&wide)
-        );
+        assert_eq!(Scalar::from_bytes_mod_order(&narrow), Scalar::from_bytes_mod_order_wide(&wide));
     }
 
     #[test]

@@ -165,10 +165,7 @@ mod tests {
         let a = EphemeralKeyPair::from_secret([4u8; 32]);
         let b = EphemeralKeyPair::from_secret([5u8; 32]);
         let c = EphemeralKeyPair::from_secret([6u8; 32]);
-        assert_ne!(
-            a.diffie_hellman(b.public()).unwrap(),
-            a.diffie_hellman(c.public()).unwrap()
-        );
+        assert_ne!(a.diffie_hellman(b.public()).unwrap(), a.diffie_hellman(c.public()).unwrap());
     }
 }
 

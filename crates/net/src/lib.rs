@@ -8,12 +8,83 @@
 //!   "Substitutions").
 //! * [`mem`] — a threaded in-process transport over crossbeam channels for
 //!   real-concurrency tests and CPU-bound forwarding measurements.
+//! * [`tcp`] — a real-socket transport over `std::net` TCP with
+//!   length-prefixed framing, a reconnecting per-peer connection pool, and
+//!   a hardened decode path, so GDP nodes can run as separate processes.
 //!
 //! Protocol logic in `gdp-router`/`gdp-server`/`gdp-client` is written
-//! sans-I/O so the same state machines run on either substrate.
+//! sans-I/O so the same state machines run on any substrate. The
+//! [`Transport`] trait captures the shared contract; the conformance
+//! suite in [`conformance`] checks every implementation against it.
 
+pub mod conformance;
 pub mod mem;
 pub mod sim;
+pub mod tcp;
 
 pub use mem::{Endpoint, EndpointId, MemNet, MemNetError};
 pub use sim::{LinkSpec, NodeId, SimCtx, SimNet, SimNode, SimTime, MILLI, SECOND};
+pub use tcp::{PeerEvent, TcpNet, TcpNetConfig, TcpNetError, TcpStats};
+
+use gdp_wire::Pdu;
+use std::time::Duration;
+
+/// The contract shared by message-oriented transports ([`Endpoint`] over
+/// [`MemNet`], and [`TcpNet`]): unicast PDU delivery with per-peer FIFO
+/// ordering and non-blocking/timeout receive.
+///
+/// The simulator is deliberately excluded — it owns virtual time and
+/// drives nodes via callbacks rather than channels.
+pub trait Transport {
+    /// Peer address type (endpoint id in-process, socket addr on TCP).
+    type Peer: Copy + Eq + std::hash::Hash + std::fmt::Debug;
+    /// Transport-specific error type.
+    type Error: std::error::Error;
+
+    /// Queues a PDU for delivery to `to`. Best-effort: delivery failures
+    /// after this returns surface through transport-specific channels.
+    fn send(&self, to: Self::Peer, pdu: Pdu) -> Result<(), Self::Error>;
+
+    /// Blocks up to `timeout` for the next PDU; `Ok(None)` on timeout.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(Self::Peer, Pdu)>, Self::Error>;
+
+    /// Non-blocking receive.
+    fn try_recv(&self) -> Result<Option<(Self::Peer, Pdu)>, Self::Error>;
+}
+
+impl Transport for Endpoint {
+    type Peer = EndpointId;
+    type Error = MemNetError;
+
+    fn send(&self, to: EndpointId, pdu: Pdu) -> Result<(), MemNetError> {
+        Endpoint::send(self, to, pdu)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(EndpointId, Pdu)>, MemNetError> {
+        Endpoint::recv_timeout(self, timeout)
+    }
+
+    fn try_recv(&self) -> Result<Option<(EndpointId, Pdu)>, MemNetError> {
+        Endpoint::try_recv(self)
+    }
+}
+
+impl Transport for TcpNet {
+    type Peer = std::net::SocketAddr;
+    type Error = TcpNetError;
+
+    fn send(&self, to: std::net::SocketAddr, pdu: Pdu) -> Result<(), TcpNetError> {
+        TcpNet::send(self, to, pdu)
+    }
+
+    fn recv_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Option<(std::net::SocketAddr, Pdu)>, TcpNetError> {
+        TcpNet::recv_timeout(self, timeout)
+    }
+
+    fn try_recv(&self) -> Result<Option<(std::net::SocketAddr, Pdu)>, TcpNetError> {
+        TcpNet::try_recv(self)
+    }
+}

@@ -74,10 +74,7 @@ impl MemNet {
     /// Attaches a new endpoint.
     pub fn endpoint(&self) -> Endpoint {
         let (tx, rx) = unbounded();
-        let id = self
-            .inner
-            .next_id
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let id = self.inner.next_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.inner.senders.write().insert(id, tx);
         Endpoint { id, net: self.clone(), incoming: rx }
     }

@@ -234,10 +234,7 @@ impl SimNet {
 
     /// Delivered-PDU count for the directed link `from → to`.
     pub fn link_delivered(&self, from: NodeId, to: NodeId) -> (u64, u64) {
-        self.links
-            .get(&(from, to))
-            .map(|l| (l.delivered_pdus, l.delivered_bytes))
-            .unwrap_or((0, 0))
+        self.links.get(&(from, to)).map(|l| (l.delivered_pdus, l.delivered_bytes)).unwrap_or((0, 0))
     }
 
     /// Injects a PDU as if node `from` had sent it to `to` now.
@@ -253,10 +250,7 @@ impl SimNet {
 
     /// Mutable, downcast access to a node's concrete type.
     pub fn node_mut<T: 'static>(&mut self, id: NodeId) -> &mut T {
-        self.nodes[id]
-            .as_any_mut()
-            .downcast_mut::<T>()
-            .expect("node type mismatch")
+        self.nodes[id].as_any_mut().downcast_mut::<T>().expect("node type mismatch")
     }
 
     fn push(&mut self, at: SimTime, event: Event) {

@@ -1,0 +1,756 @@
+//! Real-socket transport over `std::net` TCP.
+//!
+//! Where [`crate::sim`] gives deterministic virtual time and [`crate::mem`]
+//! gives in-process concurrency, `TcpNet` puts GDP nodes on actual sockets
+//! so routers, DataCapsule-servers, and clients can run as separate OS
+//! processes (paper §VIII runs its prototype this way on EC2).
+//!
+//! Design:
+//!
+//! * **Peers are listen addresses.** Every `TcpNet` binds a listener; a
+//!   peer is identified by its advertised `SocketAddr`, exchanged in a
+//!   fixed-size HELLO preamble when a connection opens, so inbound
+//!   (ephemeral-port) connections are correctly attributed and replies
+//!   reuse the same connection instead of dialing back.
+//! * **Framing** reuses [`gdp_wire::frame`]: 4-byte length prefix + PDU
+//!   encoding, with the declared length validated against a cap *before*
+//!   any allocation. A peer that sends an oversized, zero-length, or
+//!   malformed frame is disconnected (framing desync is unrecoverable).
+//! * **Per-peer connection pool with reconnect.** Each peer has one writer
+//!   thread draining a bounded queue. Lost connections are redialed with
+//!   exponential backoff plus jitter; after `max_dial_attempts` the peer
+//!   is declared dead ([`PeerEvent::Down`]) and its queue is dropped.
+//!   Protocol layers already treat the network as lossy and retry.
+//! * **Timeouts everywhere.** Reads poll with a short timeout so shutdown
+//!   is prompt; writes carry a write timeout so a stalled peer cannot
+//!   wedge a writer thread forever.
+//! * **Clean shutdown.** [`TcpNet::shutdown`] stops the accept loop, wakes
+//!   every thread, and joins them.
+
+use crossbeam::channel::{
+    bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError,
+};
+use gdp_wire::frame::{encode_frame, FrameReader, MAX_FRAME};
+use gdp_wire::Pdu;
+use parking_lot::Mutex;
+use rand::{thread_rng, Rng};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning knobs for a [`TcpNet`].
+#[derive(Clone, Debug)]
+pub struct TcpNetConfig {
+    /// Cap on a single frame (prefix excluded). Frames declaring more are
+    /// rejected before allocation and the peer is dropped.
+    pub max_frame: usize,
+    /// Poll granularity for reads and queue waits; bounds shutdown latency.
+    pub poll_interval: Duration,
+    /// Write timeout per frame.
+    pub write_timeout: Duration,
+    /// Timeout for one dial attempt (TCP connect + HELLO exchange).
+    pub connect_timeout: Duration,
+    /// First reconnect backoff; doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Consecutive failed dial attempts before a peer is declared dead.
+    pub max_dial_attempts: u32,
+    /// Bounded per-peer outgoing queue (PDUs).
+    pub send_queue: usize,
+}
+
+impl Default for TcpNetConfig {
+    fn default() -> TcpNetConfig {
+        TcpNetConfig {
+            max_frame: MAX_FRAME,
+            poll_interval: Duration::from_millis(25),
+            write_timeout: Duration::from_secs(10),
+            connect_timeout: Duration::from_secs(5),
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            max_dial_attempts: 5,
+            send_queue: 1024,
+        }
+    }
+}
+
+/// Errors surfaced by [`TcpNet`] operations.
+#[derive(Debug)]
+pub enum TcpNetError {
+    /// Binding the listener failed.
+    Bind(std::io::Error),
+    /// The fabric has been shut down.
+    Shutdown,
+    /// The peer's bounded send queue is full (backpressure).
+    Backpressure(SocketAddr),
+}
+
+impl std::fmt::Display for TcpNetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcpNetError::Bind(e) => write!(f, "bind failed: {e}"),
+            TcpNetError::Shutdown => write!(f, "transport shut down"),
+            TcpNetError::Backpressure(peer) => write!(f, "send queue full for {peer}"),
+        }
+    }
+}
+
+impl std::error::Error for TcpNetError {}
+
+/// Peer connectivity transitions, observable via
+/// [`TcpNet::poll_peer_event`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeerEvent {
+    /// A connection to/from the peer was established.
+    Up(SocketAddr),
+    /// The peer's connection was lost (EOF, I/O error, framing violation,
+    /// or reconnect attempts exhausted).
+    Down(SocketAddr),
+}
+
+/// Counters for observability and hostile-input tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TcpStats {
+    /// Frames rejected for being oversized, empty, or malformed.
+    pub frames_rejected: u64,
+    /// Successful dials (initial and re-dials).
+    pub connects: u64,
+    /// Failed dial attempts.
+    pub dial_failures: u64,
+    /// Inbound connections accepted (HELLO completed).
+    pub accepts: u64,
+    /// PDUs delivered to the receive queue.
+    pub pdus_received: u64,
+    /// PDUs written to a socket.
+    pub pdus_sent: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    frames_rejected: AtomicU64,
+    connects: AtomicU64,
+    dial_failures: AtomicU64,
+    accepts: AtomicU64,
+    pdus_received: AtomicU64,
+    pdus_sent: AtomicU64,
+}
+
+const HELLO_MAGIC: [u8; 4] = *b"GDPT";
+const HELLO_VERSION: u8 = 1;
+/// Fixed-size preamble: magic(4) + version(1) + addr_len(1) + addr(58).
+const HELLO_LEN: usize = 64;
+
+struct Shared {
+    cfg: TcpNetConfig,
+    local: SocketAddr,
+    peers: Mutex<HashMap<SocketAddr, Sender<Pdu>>>,
+    pdu_tx: Sender<(SocketAddr, Pdu)>,
+    pdu_rx: Receiver<(SocketAddr, Pdu)>,
+    ev_tx: Sender<PeerEvent>,
+    ev_rx: Receiver<PeerEvent>,
+    shutdown: AtomicBool,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    stats: StatCells,
+}
+
+/// A TCP message fabric endpoint. Cloneable handle; all clones share the
+/// same listener, peer pool, and receive queue.
+#[derive(Clone)]
+pub struct TcpNet {
+    inner: Arc<Shared>,
+}
+
+impl TcpNet {
+    /// Binds a listener (use port 0 for an OS-assigned port) with default
+    /// configuration.
+    pub fn bind(addr: SocketAddr) -> Result<TcpNet, TcpNetError> {
+        TcpNet::bind_with(addr, TcpNetConfig::default())
+    }
+
+    /// Binds with explicit configuration.
+    pub fn bind_with(addr: SocketAddr, cfg: TcpNetConfig) -> Result<TcpNet, TcpNetError> {
+        let listener = TcpListener::bind(addr).map_err(TcpNetError::Bind)?;
+        let local = listener.local_addr().map_err(TcpNetError::Bind)?;
+        let (pdu_tx, pdu_rx) = unbounded();
+        let (ev_tx, ev_rx) = unbounded();
+        let inner = Arc::new(Shared {
+            cfg,
+            local,
+            peers: Mutex::new(HashMap::new()),
+            pdu_tx,
+            pdu_rx,
+            ev_tx,
+            ev_rx,
+            shutdown: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+            stats: StatCells::default(),
+        });
+        let net = TcpNet { inner: Arc::clone(&inner) };
+        let accept_net = net.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("gdp-tcp-accept-{local}"))
+            .spawn(move || accept_loop(accept_net, listener))
+            .expect("spawn accept thread");
+        inner.threads.lock().push(handle);
+        Ok(net)
+    }
+
+    /// The address peers should dial (also this node's peer identity).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local
+    }
+
+    /// Queues a PDU for delivery to `to`, dialing (with backoff) if no
+    /// connection exists. Non-blocking: a full per-peer queue surfaces as
+    /// [`TcpNetError::Backpressure`]. Delivery is best-effort — peer death
+    /// is reported asynchronously via [`PeerEvent::Down`].
+    pub fn send(&self, to: SocketAddr, pdu: Pdu) -> Result<(), TcpNetError> {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(TcpNetError::Shutdown);
+        }
+        let mut peers = self.inner.peers.lock();
+        let tx = peers.entry(to).or_insert_with(|| spawn_writer(&self.inner, to, None));
+        match tx.try_send(pdu) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(TcpNetError::Backpressure(to)),
+            Err(TrySendError::Disconnected(pdu)) => {
+                // The writer exited (peer died earlier); start a fresh one.
+                let tx = spawn_writer(&self.inner, to, None);
+                let r = tx.try_send(pdu).map_err(|_| TcpNetError::Backpressure(to));
+                peers.insert(to, tx);
+                r
+            }
+        }
+    }
+
+    /// Blocks until a PDU arrives or the fabric shuts down.
+    pub fn recv(&self) -> Result<(SocketAddr, Pdu), TcpNetError> {
+        self.inner.pdu_rx.recv().map_err(|_| TcpNetError::Shutdown)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Option<(SocketAddr, Pdu)>, TcpNetError> {
+        match self.inner.pdu_rx.try_recv() {
+            Ok(v) => Ok(Some(v)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TcpNetError::Shutdown),
+        }
+    }
+
+    /// Receive with a timeout (`Ok(None)` on timeout).
+    pub fn recv_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Option<(SocketAddr, Pdu)>, TcpNetError> {
+        match self.inner.pdu_rx.recv_timeout(timeout) {
+            Ok(v) => Ok(Some(v)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TcpNetError::Shutdown),
+        }
+    }
+
+    /// Drains one pending peer connectivity event, if any.
+    pub fn poll_peer_event(&self) -> Option<PeerEvent> {
+        self.inner.ev_rx.try_recv().ok()
+    }
+
+    /// Snapshot of transport counters.
+    pub fn stats(&self) -> TcpStats {
+        let s = &self.inner.stats;
+        TcpStats {
+            frames_rejected: s.frames_rejected.load(Ordering::Relaxed),
+            connects: s.connects.load(Ordering::Relaxed),
+            dial_failures: s.dial_failures.load(Ordering::Relaxed),
+            accepts: s.accepts.load(Ordering::Relaxed),
+            pdus_received: s.pdus_received.load(Ordering::Relaxed),
+            pdus_sent: s.pdus_sent.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Addresses of peers with a live writer.
+    pub fn connected_peers(&self) -> Vec<SocketAddr> {
+        self.inner.peers.lock().keys().copied().collect()
+    }
+
+    /// Stops the fabric: no new connections or sends, all threads joined.
+    /// Idempotent; safe to call from any clone.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Drop all peer queues so writer threads observe disconnection.
+        self.inner.peers.lock().clear();
+        // Wake the blocking accept call.
+        let _ = TcpStream::connect_timeout(&self.inner.local, Duration::from_millis(250));
+        loop {
+            let handle = self.inner.threads.lock().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for Shared {
+    fn drop(&mut self) {
+        // Threads all hold an Arc<Shared> via a TcpNet clone, so by the
+        // time Shared drops they have already exited; nothing to join.
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+fn spawn_thread(shared: &Arc<Shared>, name: String, f: impl FnOnce() + Send + 'static) {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return;
+    }
+    let handle = std::thread::Builder::new().name(name).spawn(f).expect("spawn tcp thread");
+    shared.threads.lock().push(handle);
+}
+
+/// Writes the fixed-size HELLO preamble advertising `local`.
+fn write_hello(stream: &mut TcpStream, local: SocketAddr) -> std::io::Result<()> {
+    let addr = local.to_string();
+    let mut buf = [0u8; HELLO_LEN];
+    buf[..4].copy_from_slice(&HELLO_MAGIC);
+    buf[4] = HELLO_VERSION;
+    let bytes = addr.as_bytes();
+    assert!(bytes.len() <= HELLO_LEN - 6, "socket addr renders too long");
+    buf[5] = bytes.len() as u8;
+    buf[6..6 + bytes.len()].copy_from_slice(bytes);
+    stream.write_all(&buf)
+}
+
+/// Reads and validates a HELLO, returning the peer's advertised address.
+fn read_hello(stream: &mut TcpStream) -> std::io::Result<SocketAddr> {
+    let mut buf = [0u8; HELLO_LEN];
+    stream.read_exact(&mut buf)?;
+    if buf[..4] != HELLO_MAGIC || buf[4] != HELLO_VERSION {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad HELLO"));
+    }
+    let len = buf[5] as usize;
+    if len > HELLO_LEN - 6 {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad HELLO length"));
+    }
+    let addr = std::str::from_utf8(&buf[6..6 + len])
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad HELLO utf-8"))?;
+    addr.parse().map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad HELLO addr"))
+}
+
+fn configure_stream(stream: &TcpStream, cfg: &TcpNetConfig) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(cfg.poll_interval));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+}
+
+fn accept_loop(net: TcpNet, listener: TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if net.is_shutdown() {
+                    return;
+                }
+                let inner = Arc::clone(&net.inner);
+                // Handshake on a separate thread so one slow-HELLO peer
+                // cannot stall the accept loop.
+                spawn_thread(&net.inner, "gdp-tcp-inbound".into(), move || {
+                    inbound_connection(inner, stream)
+                });
+            }
+            Err(_) => {
+                if net.is_shutdown() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn inbound_connection(shared: Arc<Shared>, mut stream: TcpStream) {
+    configure_stream(&stream, &shared.cfg);
+    // Bounded handshake: read_timeout is set, and read_hello reads exactly
+    // HELLO_LEN bytes, so a silent or garbage peer is dropped quickly.
+    let _ = stream.set_read_timeout(Some(shared.cfg.connect_timeout));
+    if write_hello(&mut stream, shared.local).is_err() {
+        return;
+    }
+    let peer = match read_hello(&mut stream) {
+        Ok(p) => p,
+        Err(_) => {
+            shared.stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let _ = stream.set_read_timeout(Some(shared.cfg.poll_interval));
+    shared.stats.accepts.fetch_add(1, Ordering::Relaxed);
+
+    // Adopt this connection for outbound traffic to the peer unless a
+    // writer already exists (e.g. simultaneous dial from both sides).
+    {
+        let mut peers = shared.peers.lock();
+        if !peers.contains_key(&peer) && !shared.shutdown.load(Ordering::SeqCst) {
+            if let Ok(write_half) = stream.try_clone() {
+                let tx = spawn_writer(&shared, peer, Some(write_half));
+                peers.insert(peer, tx);
+            }
+        }
+    }
+    let _ = shared.ev_tx.send(PeerEvent::Up(peer));
+    read_loop(shared, peer, stream);
+}
+
+/// Reads frames from one connection until EOF, error, framing violation,
+/// or shutdown.
+fn read_loop(shared: Arc<Shared>, peer: SocketAddr, mut stream: TcpStream) {
+    let mut frames = FrameReader::with_max_frame(shared.cfg.max_frame);
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                frames.push(&buf[..n]);
+                loop {
+                    match frames.next_frame() {
+                        Ok(Some(pdu)) => {
+                            shared.stats.pdus_received.fetch_add(1, Ordering::Relaxed);
+                            let _ = shared.pdu_tx.send((peer, pdu));
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            shared.stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                            peer_lost(&shared, peer);
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        }
+    }
+    peer_lost(&shared, peer);
+}
+
+/// Tears down the peer's writer (by dropping its queue) and reports Down.
+fn peer_lost(shared: &Shared, peer: SocketAddr) {
+    if shared.peers.lock().remove(&peer).is_some() {
+        let _ = shared.ev_tx.send(PeerEvent::Down(peer));
+    }
+}
+
+/// Spawns the writer thread for `peer`, optionally adopting an existing
+/// connection (inbound), and returns its bounded queue sender.
+fn spawn_writer(shared: &Arc<Shared>, peer: SocketAddr, adopted: Option<TcpStream>) -> Sender<Pdu> {
+    let (tx, rx) = bounded::<Pdu>(shared.cfg.send_queue);
+    let shared = Arc::clone(shared);
+    let name = format!("gdp-tcp-writer-{peer}");
+    let spawn_ref = Arc::clone(&shared);
+    spawn_thread(&spawn_ref, name, move || writer_loop(shared, peer, rx, adopted));
+    tx
+}
+
+fn writer_loop(
+    shared: Arc<Shared>,
+    peer: SocketAddr,
+    rx: Receiver<Pdu>,
+    mut conn: Option<TcpStream>,
+) {
+    let cfg = shared.cfg.clone();
+    let mut pending: Option<Pdu> = None;
+    'main: loop {
+        let pdu = match pending.take() {
+            Some(p) => p,
+            None => match rx.recv_timeout(cfg.poll_interval) {
+                Ok(p) => p,
+                Err(RecvTimeoutError::Timeout) => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    continue;
+                }
+                // Queue dropped: peer torn down or fabric shutting down.
+                Err(RecvTimeoutError::Disconnected) => return,
+            },
+        };
+
+        // Ensure a connection, dialing with exponential backoff + jitter.
+        let mut attempts = 0u32;
+        while conn.is_none() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match dial(&shared, peer) {
+                Ok(stream) => {
+                    shared.stats.connects.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(read_half) = stream.try_clone() {
+                        let rs = Arc::clone(&shared);
+                        spawn_thread(&shared, format!("gdp-tcp-reader-{peer}"), move || {
+                            read_loop(rs, peer, read_half)
+                        });
+                    }
+                    let _ = shared.ev_tx.send(PeerEvent::Up(peer));
+                    conn = Some(stream);
+                }
+                Err(_) => {
+                    shared.stats.dial_failures.fetch_add(1, Ordering::Relaxed);
+                    attempts += 1;
+                    if attempts >= cfg.max_dial_attempts {
+                        peer_lost(&shared, peer);
+                        return;
+                    }
+                    interruptible_sleep(&shared, backoff_delay(&cfg, attempts));
+                }
+            }
+        }
+
+        let stream = conn.as_mut().unwrap();
+        shared.stats.pdus_sent.fetch_add(1, Ordering::Relaxed);
+        if stream.write_all(&encode_frame(&pdu)).is_err() {
+            shared.stats.pdus_sent.fetch_sub(1, Ordering::Relaxed);
+            // Connection died mid-write: redial and retry this PDU once
+            // per reconnect cycle.
+            conn = None;
+            pending = Some(pdu);
+            continue 'main;
+        }
+    }
+}
+
+/// One dial attempt: TCP connect + HELLO exchange within connect_timeout.
+fn dial(shared: &Shared, peer: SocketAddr) -> std::io::Result<TcpStream> {
+    let mut stream = TcpStream::connect_timeout(&peer, shared.cfg.connect_timeout)?;
+    configure_stream(&stream, &shared.cfg);
+    let _ = stream.set_read_timeout(Some(shared.cfg.connect_timeout));
+    write_hello(&mut stream, shared.local)?;
+    let _ = read_hello(&mut stream)?;
+    let _ = stream.set_read_timeout(Some(shared.cfg.poll_interval));
+    Ok(stream)
+}
+
+/// Exponential backoff with ±25% jitter, capped.
+fn backoff_delay(cfg: &TcpNetConfig, attempt: u32) -> Duration {
+    let base = cfg.backoff_base.as_millis() as u64;
+    let exp = base.saturating_mul(1u64 << (attempt - 1).min(16));
+    let capped = exp.min(cfg.backoff_max.as_millis() as u64).max(1);
+    let jitter = thread_rng().gen_range(0..=capped / 2);
+    Duration::from_millis(capped - capped / 4 + jitter)
+}
+
+/// Sleeps in poll-interval slices so shutdown interrupts backoff.
+fn interruptible_sleep(shared: &Shared, total: Duration) {
+    let mut remaining = total;
+    while !remaining.is_zero() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let step = remaining.min(shared.cfg.poll_interval);
+        std::thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_wire::Name;
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    fn pdu(seq: u64, payload: Vec<u8>) -> Pdu {
+        Pdu::data(Name::from_content(b"s"), Name::from_content(b"d"), seq, payload)
+    }
+
+    fn fast_cfg() -> TcpNetConfig {
+        TcpNetConfig {
+            poll_interval: Duration::from_millis(5),
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(50),
+            max_dial_attempts: 3,
+            ..TcpNetConfig::default()
+        }
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let a = TcpNet::bind_with(loopback(), fast_cfg()).unwrap();
+        let b = TcpNet::bind_with(loopback(), fast_cfg()).unwrap();
+        a.send(b.local_addr(), pdu(1, b"over tcp".to_vec())).unwrap();
+        let (from, got) = b.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(from, a.local_addr());
+        assert_eq!(got.seq, 1);
+        assert_eq!(got.payload, b"over tcp");
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn reply_reuses_inbound_connection() {
+        let a = TcpNet::bind_with(loopback(), fast_cfg()).unwrap();
+        let b = TcpNet::bind_with(loopback(), fast_cfg()).unwrap();
+        a.send(b.local_addr(), pdu(1, vec![1])).unwrap();
+        let (from, _) = b.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        b.send(from, pdu(2, vec![2])).unwrap();
+        let (_, got) = a.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(got.seq, 2);
+        // The reply must not have dialed a's listener: b adopted the
+        // inbound connection, so b performed zero connects.
+        assert_eq!(b.stats().connects, 0);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn ordered_delivery_per_peer() {
+        let a = TcpNet::bind_with(loopback(), fast_cfg()).unwrap();
+        let b = TcpNet::bind_with(loopback(), fast_cfg()).unwrap();
+        for i in 0..200 {
+            a.send(b.local_addr(), pdu(i, vec![0u8; 128])).unwrap();
+        }
+        for i in 0..200 {
+            let (_, got) = b.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+            assert_eq!(got.seq, i);
+        }
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn dead_peer_reported_down_and_fabric_survives() {
+        let a = TcpNet::bind_with(loopback(), fast_cfg()).unwrap();
+        let b = TcpNet::bind_with(loopback(), fast_cfg()).unwrap();
+        let dead: SocketAddr = {
+            // A port that was bound and then released: connection refused.
+            let l = TcpListener::bind(loopback()).unwrap();
+            l.local_addr().unwrap()
+        };
+        a.send(dead, pdu(1, vec![9])).unwrap();
+        // Eventually the dialer gives up and reports Down.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut down = false;
+        while std::time::Instant::now() < deadline {
+            if let Some(PeerEvent::Down(p)) = a.poll_peer_event() {
+                assert_eq!(p, dead);
+                down = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(down, "peer death never reported");
+        // The fabric still works for live peers.
+        a.send(b.local_addr(), pdu(2, b"alive".to_vec())).unwrap();
+        let (_, got) = b.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(got.payload, b"alive");
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn oversized_frame_drops_connection() {
+        let cfg = fast_cfg();
+        let b = TcpNet::bind_with(loopback(), cfg).unwrap();
+        // Raw hostile client: valid HELLO, then a forged 4 GiB frame
+        // prefix. The reader must reject before allocating and drop us.
+        let mut s = TcpStream::connect(b.local_addr()).unwrap();
+        let local = s.local_addr().unwrap();
+        write_hello(&mut s, local).unwrap();
+        read_hello(&mut s).unwrap();
+        s.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        s.write_all(&[0u8; 1024]).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while b.stats().frames_rejected == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(b.stats().frames_rejected >= 1, "oversized frame not rejected");
+        assert_eq!(b.stats().pdus_received, 0);
+        b.shutdown();
+    }
+
+    #[test]
+    fn garbage_hello_rejected() {
+        let b = TcpNet::bind_with(loopback(), fast_cfg()).unwrap();
+        let mut s = TcpStream::connect(b.local_addr()).unwrap();
+        s.write_all(&[0xFFu8; HELLO_LEN]).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while b.stats().frames_rejected == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(b.stats().frames_rejected >= 1);
+        assert!(b.connected_peers().is_empty());
+        b.shutdown();
+    }
+
+    #[test]
+    fn reconnects_after_peer_restart() {
+        let cfg = fast_cfg();
+        let a = TcpNet::bind_with(loopback(), cfg.clone()).unwrap();
+        let b1 = TcpNet::bind_with(loopback(), cfg.clone()).unwrap();
+        let b_addr = b1.local_addr();
+        a.send(b_addr, pdu(1, b"first".to_vec())).unwrap();
+        assert!(b1.recv_timeout(Duration::from_secs(5)).unwrap().is_some());
+        b1.shutdown();
+        // Give a's reader a moment to observe the close.
+        std::thread::sleep(Duration::from_millis(100));
+        while a.poll_peer_event().is_some() {}
+        // Restart the peer on the same address and send again: the pool
+        // must dial a fresh connection.
+        let b2 = TcpNet::bind_with(b_addr, cfg).expect("rebind same port");
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut delivered = false;
+        while std::time::Instant::now() < deadline {
+            let _ = a.send(b_addr, pdu(2, b"second".to_vec()));
+            if let Some((_, got)) = b2.recv_timeout(Duration::from_millis(200)).unwrap() {
+                assert_eq!(got.payload, b"second");
+                delivered = true;
+                break;
+            }
+        }
+        assert!(delivered, "no delivery after peer restart");
+        a.shutdown();
+        b2.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_threads_and_rejects_sends() {
+        let a = TcpNet::bind_with(loopback(), fast_cfg()).unwrap();
+        let b = TcpNet::bind_with(loopback(), fast_cfg()).unwrap();
+        a.send(b.local_addr(), pdu(1, vec![1])).unwrap();
+        b.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        a.shutdown();
+        assert!(matches!(a.send(b.local_addr(), pdu(2, vec![2])), Err(TcpNetError::Shutdown)));
+        // Idempotent.
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn large_pdu_crosses_socket() {
+        let a = TcpNet::bind_with(loopback(), fast_cfg()).unwrap();
+        let b = TcpNet::bind_with(loopback(), fast_cfg()).unwrap();
+        let payload = vec![0xA5u8; 1 << 20]; // 1 MiB
+        a.send(b.local_addr(), pdu(1, payload.clone())).unwrap();
+        let (_, got) = b.recv_timeout(Duration::from_secs(10)).unwrap().unwrap();
+        assert_eq!(got.payload, payload);
+        a.shutdown();
+        b.shutdown();
+    }
+}

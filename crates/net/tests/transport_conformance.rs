@@ -1,0 +1,143 @@
+//! The conformance suite from `gdp_net::conformance`, instantiated for
+//! both transports: `MemNet` endpoints and `TcpNet` over real loopback
+//! sockets. The same PDU sequences must be delivered, per-peer order
+//! preserved, and peers isolated — plus transport-specific peer-death
+//! behavior.
+
+use gdp_net::conformance as conf;
+use gdp_net::tcp::{PeerEvent, TcpNet, TcpNetConfig};
+use gdp_net::{MemNet, MemNetError};
+use gdp_wire::{Name, Pdu};
+use std::time::Duration;
+
+fn tcp() -> TcpNet {
+    let cfg = TcpNetConfig {
+        poll_interval: Duration::from_millis(5),
+        backoff_base: Duration::from_millis(10),
+        backoff_max: Duration::from_millis(50),
+        max_dial_attempts: 3,
+        ..TcpNetConfig::default()
+    };
+    TcpNet::bind_with("127.0.0.1:0".parse().unwrap(), cfg).expect("bind loopback")
+}
+
+fn pdu(seq: u64, payload: Vec<u8>) -> Pdu {
+    Pdu::data(Name::from_content(b"t-src"), Name::from_content(b"t-dst"), seq, payload)
+}
+
+// ---- MemNet ----------------------------------------------------------
+
+#[test]
+fn mem_delivery_integrity() {
+    let net = MemNet::new();
+    let (a, b) = (net.endpoint(), net.endpoint());
+    conf::check_delivery_integrity(&a, &b, b.id);
+}
+
+#[test]
+fn mem_per_peer_ordering() {
+    let net = MemNet::new();
+    let (a, b) = (net.endpoint(), net.endpoint());
+    conf::check_per_peer_ordering(&a, &b, b.id, 500);
+}
+
+#[test]
+fn mem_interleaved_senders() {
+    let net = MemNet::new();
+    let (a, b, c) = (net.endpoint(), net.endpoint(), net.endpoint());
+    conf::check_interleaved_senders(&a, &b, &c, c.id, 200);
+}
+
+#[test]
+fn mem_timeout_honesty() {
+    let net = MemNet::new();
+    let a = net.endpoint();
+    conf::check_timeout_honesty(&a);
+}
+
+#[test]
+fn mem_isolation() {
+    let net = MemNet::new();
+    let (a, b, bystander) = (net.endpoint(), net.endpoint(), net.endpoint());
+    conf::check_isolation(&a, &b, b.id, &bystander);
+}
+
+#[test]
+fn mem_peer_death_is_an_error() {
+    let net = MemNet::new();
+    let a = net.endpoint();
+    let b = net.endpoint();
+    let b_id = b.id;
+    drop(b);
+    // Sending to a dropped endpoint fails fast with a typed error.
+    let err = a.send(b_id, pdu(1, vec![1])).unwrap_err();
+    assert!(matches!(err, MemNetError::NoSuchEndpoint(_) | MemNetError::Disconnected));
+}
+
+// ---- TcpNet over real loopback sockets --------------------------------
+
+#[test]
+fn tcp_delivery_integrity() {
+    let (a, b) = (tcp(), tcp());
+    conf::check_delivery_integrity(&a, &b, b.local_addr());
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn tcp_per_peer_ordering() {
+    let (a, b) = (tcp(), tcp());
+    conf::check_per_peer_ordering(&a, &b, b.local_addr(), 500);
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn tcp_interleaved_senders() {
+    let (a, b, c) = (tcp(), tcp(), tcp());
+    conf::check_interleaved_senders(&a, &b, &c, c.local_addr(), 200);
+    a.shutdown();
+    b.shutdown();
+    c.shutdown();
+}
+
+#[test]
+fn tcp_timeout_honesty() {
+    let a = tcp();
+    conf::check_timeout_honesty(&a);
+    a.shutdown();
+}
+
+#[test]
+fn tcp_isolation() {
+    let (a, b, bystander) = (tcp(), tcp(), tcp());
+    conf::check_isolation(&a, &b, b.local_addr(), &bystander);
+    a.shutdown();
+    b.shutdown();
+    bystander.shutdown();
+}
+
+#[test]
+fn tcp_peer_death_reported_asynchronously() {
+    let a = tcp();
+    let b = tcp();
+    let b_addr = b.local_addr();
+    a.send(b_addr, pdu(1, vec![1])).unwrap();
+    assert!(b.recv_timeout(Duration::from_secs(5)).unwrap().is_some());
+    b.shutdown();
+    // TCP peer death is asynchronous: the pool retries, then reports Down.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut saw_down = false;
+    while std::time::Instant::now() < deadline {
+        let _ = a.send(b_addr, pdu(2, vec![2]));
+        if let Some(PeerEvent::Down(p)) = a.poll_peer_event() {
+            if p == b_addr {
+                saw_down = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(saw_down, "dead TCP peer never reported Down");
+    a.shutdown();
+}

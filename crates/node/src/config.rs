@@ -1,0 +1,345 @@
+//! `gdpd` configuration: a small line-oriented `key = value` format.
+//!
+//! No external parser dependencies are available offline, and the config
+//! surface is deliberately tiny, so this is a hand-rolled format:
+//!
+//! ```text
+//! # role of this node in the cluster
+//! role       = both              # router | storage | both
+//! listen     = 127.0.0.1:7000
+//! seed       = 0101…01           # 64 hex chars: deterministic identity
+//! label      = node-a            # human-readable identity label
+//! peer       = 127.0.0.1:7001    # repeatable: addresses this node dials
+//! router     = ab…cd             # Name (64 hex) of the router to attach
+//!                                # through (storage role; optional when
+//!                                # this node runs its own router)
+//! data_dir   = /var/lib/gdp      # optional: file-backed capsule stores
+//! host       = <meta>:<chain>:<peer>,<peer>   # repeatable, see below
+//! ```
+//!
+//! A `host` entry tells a storage node to serve one DataCapsule. The three
+//! `:`-separated fields are the hex-encoded wire encodings of the
+//! [`CapsuleMetadata`], of this server's [`ServingChain`] (the owner's
+//! delegation ending at *this* server), and a comma-separated (possibly
+//! empty) list of replica-peer server [`Name`]s. Everything is hex so
+//! specs survive any config transport; they are produced with
+//! [`HostSpec::render`].
+
+use gdp_capsule::CapsuleMetadata;
+use gdp_cert::ServingChain;
+use gdp_wire::{Name, Wire};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+/// What protocol roles a node runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// GDP-router only: forwards PDUs, terminates attach handshakes.
+    Router,
+    /// DataCapsule-server only: hosts capsules, attaches via `router`.
+    Storage,
+    /// Both in one process (the server attaches to the local router).
+    Both,
+}
+
+impl Role {
+    /// True if this node runs a router.
+    pub fn routes(self) -> bool {
+        matches!(self, Role::Router | Role::Both)
+    }
+
+    /// True if this node runs a DataCapsule-server.
+    pub fn stores(self) -> bool {
+        matches!(self, Role::Storage | Role::Both)
+    }
+}
+
+/// One capsule this node serves: metadata + this server's delegation +
+/// replica peers.
+#[derive(Clone, Debug)]
+pub struct HostSpec {
+    /// The capsule's signed metadata (defines its name).
+    pub metadata: CapsuleMetadata,
+    /// Owner → … → this server delegation chain.
+    pub chain: ServingChain,
+    /// Names of the other replicas serving this capsule.
+    pub peers: Vec<Name>,
+}
+
+impl HostSpec {
+    /// Renders the spec as the config-file `host =` value.
+    pub fn render(&self) -> String {
+        let peers: Vec<String> = self.peers.iter().map(|p| p.to_hex()).collect();
+        format!(
+            "{}:{}:{}",
+            hex_encode(&self.metadata.to_wire()),
+            hex_encode(&self.chain.to_wire()),
+            peers.join(",")
+        )
+    }
+
+    fn parse(value: &str) -> Result<HostSpec, ConfigError> {
+        let mut parts = value.splitn(3, ':');
+        let meta_hex = parts.next().unwrap_or("");
+        let chain_hex = parts.next().ok_or(ConfigError::bad("host", "missing chain field"))?;
+        let peers_csv = parts.next().unwrap_or("");
+        let metadata = CapsuleMetadata::from_wire(
+            &hex_decode(meta_hex).ok_or(ConfigError::bad("host", "metadata is not hex"))?,
+        )
+        .map_err(|_| ConfigError::bad("host", "metadata does not decode"))?;
+        let chain = ServingChain::from_wire(
+            &hex_decode(chain_hex).ok_or(ConfigError::bad("host", "chain is not hex"))?,
+        )
+        .map_err(|_| ConfigError::bad("host", "chain does not decode"))?;
+        let mut peers = Vec::new();
+        for p in peers_csv.split(',').filter(|p| !p.is_empty()) {
+            peers.push(Name::from_hex(p).ok_or(ConfigError::bad("host", "bad peer name"))?);
+        }
+        Ok(HostSpec { metadata, chain, peers })
+    }
+}
+
+/// Full configuration of one `gdpd` process.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Protocol roles to run.
+    pub role: Role,
+    /// TCP listen address (port 0 for OS-assigned).
+    pub listen: SocketAddr,
+    /// Identity seed (deterministic keypair).
+    pub seed: [u8; 32],
+    /// Identity label.
+    pub label: String,
+    /// Peers this node dials at startup (a storage node lists its router
+    /// here; routers may list other routers).
+    pub peers: Vec<SocketAddr>,
+    /// Name of the router to attach through. Required for `Storage`;
+    /// ignored for `Both` (the local router is used) and `Router`.
+    pub router: Option<Name>,
+    /// Directory for file-backed capsule stores; in-memory when absent.
+    pub data_dir: Option<PathBuf>,
+    /// Capsules this node serves (storage roles).
+    pub hosts: Vec<HostSpec>,
+}
+
+/// Config parse failures, with the offending key.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// The config key that failed.
+    pub key: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl ConfigError {
+    fn bad(key: &str, reason: &str) -> ConfigError {
+        ConfigError { key: key.to_string(), reason: reason.to_string() }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config key `{}`: {}", self.key, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl NodeConfig {
+    /// Parses the `key = value` config format. Unknown keys are an error
+    /// (config typos should not silently change cluster behavior).
+    pub fn parse(text: &str) -> Result<NodeConfig, ConfigError> {
+        let mut role = None;
+        let mut listen = None;
+        let mut seed = None;
+        let mut label = None;
+        let mut router = None;
+        let mut data_dir = None;
+        let mut peers = Vec::new();
+        let mut hosts = Vec::new();
+        for raw in text.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) =
+                line.split_once('=').ok_or(ConfigError::bad(line, "expected `key = value`"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "role" => {
+                    role = Some(match value {
+                        "router" => Role::Router,
+                        "storage" => Role::Storage,
+                        "both" => Role::Both,
+                        _ => return Err(ConfigError::bad("role", "must be router|storage|both")),
+                    })
+                }
+                "listen" => {
+                    listen = Some(
+                        value.parse().map_err(|_| ConfigError::bad("listen", "bad socket addr"))?,
+                    )
+                }
+                "seed" => {
+                    let bytes = hex_decode(value).ok_or(ConfigError::bad("seed", "must be hex"))?;
+                    let arr: [u8; 32] = bytes
+                        .try_into()
+                        .map_err(|_| ConfigError::bad("seed", "must be 32 bytes (64 hex chars)"))?;
+                    seed = Some(arr);
+                }
+                "label" => label = Some(value.to_string()),
+                "peer" => peers
+                    .push(value.parse().map_err(|_| ConfigError::bad("peer", "bad socket addr"))?),
+                "router" => {
+                    router =
+                        Some(Name::from_hex(value).ok_or(ConfigError::bad("router", "bad name"))?)
+                }
+                "data_dir" => data_dir = Some(PathBuf::from(value)),
+                "host" => hosts.push(HostSpec::parse(value)?),
+                other => return Err(ConfigError::bad(other, "unknown key")),
+            }
+        }
+        let cfg = NodeConfig {
+            role: role.ok_or(ConfigError::bad("role", "missing"))?,
+            listen: listen.ok_or(ConfigError::bad("listen", "missing"))?,
+            seed: seed.ok_or(ConfigError::bad("seed", "missing"))?,
+            label: label.ok_or(ConfigError::bad("label", "missing"))?,
+            peers,
+            router,
+            data_dir,
+            hosts,
+        };
+        if cfg.role == Role::Storage {
+            if cfg.router.is_none() {
+                return Err(ConfigError::bad("router", "required for role = storage"));
+            }
+            if cfg.peers.is_empty() {
+                return Err(ConfigError::bad("peer", "storage nodes need a router peer"));
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Renders the config back to the file format (inverse of `parse`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let role = match self.role {
+            Role::Router => "router",
+            Role::Storage => "storage",
+            Role::Both => "both",
+        };
+        out.push_str(&format!("role = {role}\n"));
+        out.push_str(&format!("listen = {}\n", self.listen));
+        out.push_str(&format!("seed = {}\n", hex_encode(&self.seed)));
+        out.push_str(&format!("label = {}\n", self.label));
+        for p in &self.peers {
+            out.push_str(&format!("peer = {p}\n"));
+        }
+        if let Some(r) = &self.router {
+            out.push_str(&format!("router = {}\n", r.to_hex()));
+        }
+        if let Some(d) = &self.data_dir {
+            out.push_str(&format!("data_dir = {}\n", d.display()));
+        }
+        for h in &self.hosts {
+            out.push_str(&format!("host = {}\n", h.render()));
+        }
+        out
+    }
+}
+
+/// Lowercase hex encoding.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Hex decoding; `None` on odd length or non-hex characters.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2).map(|i| u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).ok()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_capsule::MetadataBuilder;
+    use gdp_cert::{AdCert, PrincipalId, PrincipalKind, Scope};
+    use gdp_crypto::SigningKey;
+
+    fn sample_host() -> HostSpec {
+        let owner = SigningKey::from_seed(&[1u8; 32]);
+        let writer = SigningKey::from_seed(&[2u8; 32]);
+        let meta = MetadataBuilder::new().writer(&writer.verifying_key()).sign(&owner);
+        let server = PrincipalId::from_seed(PrincipalKind::Server, &[3u8; 32], "cfg-srv");
+        let chain = ServingChain::direct(
+            AdCert::issue(&owner, meta.name(), server.name(), false, Scope::Global, 1 << 50),
+            server.principal().clone(),
+        );
+        HostSpec { metadata: meta, chain, peers: vec![Name::from_content(b"replica-2")] }
+    }
+
+    #[test]
+    fn roundtrip_full_config() {
+        let cfg = NodeConfig {
+            role: Role::Storage,
+            listen: "127.0.0.1:7001".parse().unwrap(),
+            seed: [7u8; 32],
+            label: "storage-1".into(),
+            peers: vec!["127.0.0.1:7000".parse().unwrap()],
+            router: Some(Name::from_content(b"router")),
+            data_dir: Some(PathBuf::from("/tmp/gdp-test")),
+            hosts: vec![sample_host()],
+        };
+        let text = cfg.render();
+        let parsed = NodeConfig::parse(&text).unwrap();
+        assert_eq!(parsed.role, cfg.role);
+        assert_eq!(parsed.listen, cfg.listen);
+        assert_eq!(parsed.seed, cfg.seed);
+        assert_eq!(parsed.label, cfg.label);
+        assert_eq!(parsed.peers, cfg.peers);
+        assert_eq!(parsed.router, cfg.router);
+        assert_eq!(parsed.data_dir, cfg.data_dir);
+        assert_eq!(parsed.hosts.len(), 1);
+        assert_eq!(parsed.hosts[0].metadata, cfg.hosts[0].metadata);
+        assert_eq!(parsed.hosts[0].peers, cfg.hosts[0].peers);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let cfg = NodeConfig::parse(
+            "# a router\nrole = router\n\nlisten = 127.0.0.1:0 # inline\nseed = 0101010101010101010101010101010101010101010101010101010101010101\nlabel = r\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.role, Role::Router);
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let err = NodeConfig::parse(
+            "role = router\nlisten = 127.0.0.1:0\nseed = 00\nlabel = x\nbogus = 1\n",
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn storage_requires_router_and_peer() {
+        let text = format!(
+            "role = storage\nlisten = 127.0.0.1:0\nseed = {}\nlabel = s\n",
+            hex_encode(&[9u8; 32])
+        );
+        let err = NodeConfig::parse(&text).unwrap_err();
+        assert_eq!(err.key, "router");
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        assert_eq!(hex_decode(&hex_encode(&[0x00, 0xff, 0x5a])).unwrap(), vec![0x00, 0xff, 0x5a]);
+        assert!(hex_decode("zz").is_none());
+        assert!(hex_decode("abc").is_none());
+    }
+}

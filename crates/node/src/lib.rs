@@ -1,0 +1,22 @@
+//! # gdp-node
+//!
+//! The deployable GDP node: glue between the sans-I/O protocol cores
+//! (gdp-router, gdp-server) and the real-socket TCP transport, plus the
+//! `gdpd` daemon binary and a blocking client driver.
+//!
+//! A node is configured with a small text file ([`NodeConfig`]) selecting
+//! a role — `router`, `storage`, or `both` — a listen address, a
+//! deterministic identity, peers to dial, and (for storage roles) the
+//! DataCapsules to serve. Three `gdpd` processes on loopback form a
+//! complete GDP cluster: clients establish sessions, append signed
+//! records, and perform verified reads with membership proofs over real
+//! sockets, and reads fail over to a surviving replica when a storage
+//! process dies (see `tests/live_cluster.rs`).
+
+pub mod client_io;
+pub mod config;
+pub mod node;
+
+pub use client_io::{ClientError, ClusterClient};
+pub use config::{ConfigError, HostSpec, NodeConfig, Role};
+pub use node::{start, NodeError, NodeHandle, FOREVER};

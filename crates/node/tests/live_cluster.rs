@@ -1,0 +1,232 @@
+//! End-to-end acceptance test: a 3-node GDP cluster as real OS processes.
+//!
+//! Spawns three `gdpd` daemons on loopback — one router, two storage
+//! replicas serving the same DataCapsule — then drives a verifying client
+//! over real TCP sockets: session establishment, signed appends with
+//! quorum durability (exercising server-to-server replication through the
+//! router), verified range reads and membership proofs, and finally
+//! replica failover: one storage process is killed and reads must succeed
+//! from the survivor.
+
+use gdp_capsule::{MetadataBuilder, PointerStrategy};
+use gdp_cert::{AdCert, PrincipalId, PrincipalKind, Scope, ServingChain};
+use gdp_client::VerifiedRead;
+use gdp_crypto::SigningKey;
+use gdp_node::{ClusterClient, HostSpec, NodeConfig, Role, FOREVER};
+use gdp_router::Router;
+use gdp_server::{AckMode, ReadTarget};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// A gdpd child process that is killed on drop (test panics must not
+/// leak daemons).
+struct Daemon {
+    child: Child,
+    listen: std::net::SocketAddr,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `gdpd <config>` and parses its status lines for the actual
+/// listen address (configs use port 0).
+fn spawn_gdpd(dir: &std::path::Path, name: &str, cfg: &NodeConfig) -> Daemon {
+    let path = dir.join(format!("{name}.conf"));
+    std::fs::write(&path, cfg.render()).unwrap();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gdpd"))
+        .arg(&path)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn gdpd");
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let listen = loop {
+        let line =
+            lines.next().expect("gdpd exited before printing status").expect("read gdpd stdout");
+        if let Some(addr) = line.strip_prefix("gdpd listen ") {
+            break addr.parse().expect("gdpd printed a bad listen addr");
+        }
+    };
+    // Drain the remaining status lines in the background so the child
+    // never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    Daemon { child, listen }
+}
+
+/// The server identity a gdpd storage node derives from its config seed
+/// (must match the derivation in `gdp_node::node::start`).
+fn server_identity(seed: [u8; 32], label: &str) -> PrincipalId {
+    let mut s = seed;
+    s[0] ^= 0x5a;
+    PrincipalId::from_seed(PrincipalKind::Server, &s, label)
+}
+
+#[test]
+fn three_process_cluster_with_failover() {
+    let dir = std::env::temp_dir().join(format!("gdp-live-cluster-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // --- Cluster identity plan (all deterministic from seeds) ---------
+    let router_seed = [10u8; 32];
+    let router_name = Router::from_seed(&router_seed, "r1").name();
+    let s1 = server_identity([21u8; 32], "s1");
+    let s2 = server_identity([22u8; 32], "s2");
+
+    // The capsule and its delegations, issued by the owner out-of-band.
+    let owner = SigningKey::from_seed(&[31u8; 32]);
+    let writer_key = SigningKey::from_seed(&[32u8; 32]);
+    let meta = MetadataBuilder::new()
+        .writer(&writer_key.verifying_key())
+        .set_str("description", "live-cluster e2e")
+        .sign(&owner);
+    let capsule = meta.name();
+    let chain_for = |srv: &PrincipalId| {
+        ServingChain::direct(
+            AdCert::issue(&owner, capsule, srv.name(), false, Scope::Global, FOREVER),
+            srv.principal().clone(),
+        )
+    };
+
+    // --- Router first (storage configs need its live port) ------------
+    let router = spawn_gdpd(
+        &dir,
+        "router",
+        &NodeConfig {
+            role: Role::Router,
+            listen: "127.0.0.1:0".parse().unwrap(),
+            seed: router_seed,
+            label: "r1".into(),
+            peers: vec![],
+            router: None,
+            data_dir: None,
+            hosts: vec![],
+        },
+    );
+
+    let storage_cfg =
+        |seed: [u8; 32], label: &str, me: &PrincipalId, other: &PrincipalId| NodeConfig {
+            role: Role::Storage,
+            listen: "127.0.0.1:0".parse().unwrap(),
+            seed,
+            label: label.into(),
+            peers: vec![router.listen],
+            router: Some(router_name),
+            data_dir: Some(dir.join(label)),
+            hosts: vec![HostSpec {
+                metadata: meta.clone(),
+                chain: chain_for(me),
+                peers: vec![other.name()],
+            }],
+        };
+    let store1 = spawn_gdpd(&dir, "s1", &storage_cfg([21u8; 32], "s1", &s1, &s2));
+    let store2 = spawn_gdpd(&dir, "s2", &storage_cfg([22u8; 32], "s2", &s2, &s1));
+
+    // --- Client: session + replicated appends over real sockets -------
+    let mut client = ClusterClient::connect(router.listen, router_name, &[41u8; 32], "cli")
+        .expect("client attach");
+    client.timeout = Duration::from_secs(20);
+    client.track(&meta).expect("track");
+    client.register_writer(&meta, writer_key, PointerStrategy::Chain).expect("register writer");
+
+    client.session(capsule).expect("session establishment");
+    assert!(client.core().has_session(&capsule));
+
+    const N: u64 = 10;
+    for i in 0..N {
+        // Quorum(1): the serving replica must confirm replication to the
+        // other storage process before acking.
+        let seq = client
+            .append(capsule, format!("record {i}").as_bytes(), AckMode::Quorum(1))
+            .unwrap_or_else(|e| panic!("append {i}: {e}"));
+        assert_eq!(seq, i + 1);
+    }
+
+    // Verified range read (self-verifying hash chain back to the anchor).
+    let read = client.read(capsule, ReadTarget::Range(1, N)).expect("range read");
+    let VerifiedRead::Records(records) = read else { panic!("wanted records, got {read:?}") };
+    assert_eq!(records.len() as u64, N);
+    assert_eq!(records[0].body, b"record 0");
+    assert_eq!(records[N as usize - 1].body, format!("record {}", N - 1).as_bytes());
+
+    // Membership proof for an interior record against the newest heartbeat.
+    let read = client.read(capsule, ReadTarget::ProofOf(3)).expect("membership proof read");
+    let VerifiedRead::Proven(rec) = read else { panic!("wanted proven record, got {read:?}") };
+    assert_eq!(rec.header.seq, 3);
+    assert_eq!(rec.body, b"record 2");
+
+    // --- Failover: kill one replica, the cluster must keep serving ----
+    drop(store2);
+    // Appends keep working against the survivor (Local ack: with one
+    // replica dead a replication quorum is no longer reachable).
+    let seq = client
+        .append(capsule, b"after failover", AckMode::Local)
+        .expect("append after replica death");
+    assert_eq!(seq, N + 1);
+
+    let read = client.read(capsule, ReadTarget::Range(1, N + 1)).expect("read after replica death");
+    let VerifiedRead::Records(records) = read else { panic!("wanted records, got {read:?}") };
+    assert_eq!(records.len() as u64, N + 1);
+    assert_eq!(records[N as usize].body, b"after failover");
+
+    client.close();
+    drop(store1);
+    drop(router);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same wiring, but exercising the `both` role: a single process that
+/// routes and stores, with a client attached over TCP.
+#[test]
+fn single_both_node_serves_clients() {
+    let dir = std::env::temp_dir().join(format!("gdp-live-both-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let seed = [50u8; 32];
+    let router_name = Router::from_seed(&seed, "solo").name();
+    let server = server_identity(seed, "solo");
+
+    let owner = SigningKey::from_seed(&[51u8; 32]);
+    let writer_key = SigningKey::from_seed(&[52u8; 32]);
+    let meta = MetadataBuilder::new().writer(&writer_key.verifying_key()).sign(&owner);
+    let capsule = meta.name();
+    let chain = ServingChain::direct(
+        AdCert::issue(&owner, capsule, server.name(), false, Scope::Global, FOREVER),
+        server.principal().clone(),
+    );
+
+    let node = spawn_gdpd(
+        &dir,
+        "solo",
+        &NodeConfig {
+            role: Role::Both,
+            listen: "127.0.0.1:0".parse().unwrap(),
+            seed,
+            label: "solo".into(),
+            peers: vec![],
+            router: None,
+            data_dir: Some(dir.join("data")),
+            hosts: vec![HostSpec { metadata: meta.clone(), chain, peers: vec![] }],
+        },
+    );
+
+    let mut client =
+        ClusterClient::connect(node.listen, router_name, &[53u8; 32], "cli2").expect("attach");
+    client.track(&meta).expect("track");
+    client.register_writer(&meta, writer_key, PointerStrategy::Chain).expect("writer");
+    client.append(capsule, b"solo record", AckMode::Local).expect("append");
+    let read = client.read(capsule, ReadTarget::Latest).expect("latest read");
+    let VerifiedRead::Latest(rec, _) = read else { panic!("wanted latest, got {read:?}") };
+    assert_eq!(rec.body, b"solo record");
+
+    client.close();
+    drop(node);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -7,7 +7,9 @@
 //! in the Attach message.
 
 use crate::messages::AdvertiseMsg;
-use gdp_cert::{AdvertExtension, Advertisement, CapsuleAdvert, ChallengeProof, PrincipalId, RtCert};
+use gdp_cert::{
+    AdvertExtension, Advertisement, CapsuleAdvert, ChallengeProof, PrincipalId, RtCert,
+};
 use gdp_wire::{Name, Pdu, PduType, Wire};
 
 /// Progress of an attach handshake.

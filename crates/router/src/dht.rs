@@ -175,20 +175,13 @@ impl DhtCluster {
         const POOL: usize = K * 4;
         let mut queried: HashSet<Name> = HashSet::new();
         let mut hops = 0usize;
-        let mut shortlist: Vec<Name> = self
-            .nodes
-            .get(start)
-            .map(|n| n.closest_known(target, POOL))
-            .unwrap_or_default();
+        let mut shortlist: Vec<Name> =
+            self.nodes.get(start).map(|n| n.closest_known(target, POOL)).unwrap_or_default();
         shortlist.retain(|p| self.nodes.get(p).map(|n| !n.down).unwrap_or(false));
         loop {
             // Query up to ALPHA new candidates, closest first.
-            let candidates: Vec<Name> = shortlist
-                .iter()
-                .filter(|p| !queried.contains(*p))
-                .take(ALPHA)
-                .copied()
-                .collect();
+            let candidates: Vec<Name> =
+                shortlist.iter().filter(|p| !queried.contains(*p)).take(ALPHA).copied().collect();
             if candidates.is_empty() {
                 break;
             }
@@ -262,11 +255,7 @@ impl DhtCluster {
             .nodes
             .iter()
             .filter(|(_, n)| !n.down)
-            .flat_map(|(id, n)| {
-                n.store
-                    .iter()
-                    .map(move |(k, v)| (*id, *k, v.clone()))
-            })
+            .flat_map(|(id, n)| n.store.iter().map(move |(k, v)| (*id, *k, v.clone())))
             .collect();
         for (holder, key, routes) in snapshot {
             for route in routes {
@@ -297,9 +286,8 @@ mod tests {
 
     fn cluster(n: usize) -> (DhtCluster, Vec<Name>) {
         let mut c = DhtCluster::new();
-        let ids: Vec<Name> = (0..n)
-            .map(|i| Name::from_content(format!("dht node {i}").as_bytes()))
-            .collect();
+        let ids: Vec<Name> =
+            (0..n).map(|i| Name::from_content(format!("dht node {i}").as_bytes())).collect();
         c.join(ids[0], None);
         for id in &ids[1..] {
             c.join(*id, Some(ids[0]));
@@ -342,11 +330,8 @@ mod tests {
         let key = r.name;
         c.publish(&ids[0], r.clone());
         // Kill one of the K holders (find them by checking storage).
-        let holders: Vec<Name> = ids
-            .iter()
-            .filter(|id| !c.nodes[*id].find_value(&key).is_empty())
-            .copied()
-            .collect();
+        let holders: Vec<Name> =
+            ids.iter().filter(|id| !c.nodes[*id].find_value(&key).is_empty()).copied().collect();
         assert_eq!(holders.len(), K);
         c.set_down(&holders[0], true);
         c.set_down(&holders[1], true);
@@ -360,11 +345,8 @@ mod tests {
         let r = route(4);
         let key = r.name;
         c.publish(&ids[0], r.clone());
-        let holders: Vec<Name> = ids
-            .iter()
-            .filter(|id| !c.nodes[*id].find_value(&key).is_empty())
-            .copied()
-            .collect();
+        let holders: Vec<Name> =
+            ids.iter().filter(|id| !c.nodes[*id].find_value(&key).is_empty()).copied().collect();
         // Permanently fail all but one holder, then run maintenance.
         for h in &holders[..K - 1] {
             c.set_down(h, true);
@@ -398,4 +380,3 @@ mod tests {
         assert!(idx < 256);
     }
 }
-

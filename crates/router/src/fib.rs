@@ -45,9 +45,8 @@ impl Fib {
         let slot = self.entries.entry(name).or_default();
         // Replace an existing candidate from the same server via the same
         // neighbor (refresh), otherwise add.
-        if let Some(existing) = slot
-            .iter_mut()
-            .find(|e| e.server == entry.server && e.neighbor == entry.neighbor)
+        if let Some(existing) =
+            slot.iter_mut().find(|e| e.server == entry.server && e.neighbor == entry.neighbor)
         {
             *existing = entry;
         } else {
@@ -58,10 +57,7 @@ impl Fib {
     /// Best (minimum-distance, then lowest server name) live candidate.
     pub fn best(&self, name: &Name, now: u64) -> Option<FibEntry> {
         self.entries.get(name).and_then(|slot| {
-            slot.iter()
-                .filter(|e| e.expires > now)
-                .min_by_key(|e| (e.distance, e.server))
-                .copied()
+            slot.iter().filter(|e| e.expires > now).min_by_key(|e| (e.distance, e.server)).copied()
         })
     }
 

@@ -82,8 +82,7 @@ mod tests {
     use gdp_cert::{PrincipalId, PrincipalKind, RtCert};
 
     fn route(name_bytes: &[u8], server_seed: u8, expires: u64) -> VerifiedRoute {
-        let server =
-            PrincipalId::from_seed(PrincipalKind::Server, &[server_seed; 32], "s");
+        let server = PrincipalId::from_seed(PrincipalKind::Server, &[server_seed; 32], "s");
         let router = PrincipalId::from_seed(PrincipalKind::Router, &[99u8; 32], "r");
         VerifiedRoute {
             entry: None,

@@ -7,7 +7,10 @@
 //! * [`LookupMsg`] — GLookupService queries, recursing to the parent
 //!   domain on a miss, with independently verifiable answers.
 
-use gdp_cert::{AdvertExtension, Advertisement, CapsuleAdvert, CertError, Challenge, ChallengeProof, Principal, RtCert};
+use gdp_cert::{
+    AdvertExtension, Advertisement, CapsuleAdvert, CertError, Challenge, ChallengeProof, Principal,
+    RtCert,
+};
 use gdp_wire::{DecodeError, Decoder, Encoder, Name, Wire};
 
 /// A route to one capsule (or principal) that anyone can re-verify:

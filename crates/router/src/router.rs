@@ -168,11 +168,8 @@ impl Router {
                 }
                 return vec![(best.neighbor, pdu)];
             }
-            if let Some(alt) = self
-                .fib
-                .candidates(&pdu.dst, now)
-                .into_iter()
-                .find(|e| e.neighbor != from)
+            if let Some(alt) =
+                self.fib.candidates(&pdu.dst, now).into_iter().find(|e| e.neighbor != from)
             {
                 self.stats.forwarded += 1;
                 return vec![(alt.neighbor, pdu)];
@@ -221,8 +218,7 @@ impl Router {
                     Ok((accepted, mut announcements)) => {
                         self.stats.adverts_accepted += 1;
                         let reply = AdvertiseMsg::Accepted { accepted };
-                        let mut out =
-                            vec![(from, self.advertise_pdu(pdu.src, pdu.seq, &reply))];
+                        let mut out = vec![(from, self.advertise_pdu(pdu.src, pdu.seq, &reply))];
                         out.append(&mut announcements);
                         out
                     }
@@ -242,13 +238,7 @@ impl Router {
     }
 
     fn advertise_pdu(&self, dst: Name, seq: u64, msg: &AdvertiseMsg) -> Pdu {
-        Pdu {
-            pdu_type: PduType::Advertise,
-            src: self.name(),
-            dst,
-            seq,
-            payload: msg.to_wire(),
-        }
+        Pdu { pdu_type: PduType::Advertise, src: self.name(), dst, seq, payload: msg.to_wire() }
     }
 
     /// Verifies and installs an attachment. Returns accepted names and the
@@ -261,13 +251,8 @@ impl Router {
         advertisement: &gdp_cert::Advertisement,
         rtcert: &gdp_cert::RtCert,
     ) -> Result<(Vec<Name>, Outbox), &'static str> {
-        let challenge = self
-            .pending_challenges
-            .remove(&from)
-            .ok_or("no outstanding challenge")?;
-        proof
-            .verify(&challenge, &self.name())
-            .map_err(|_| "challenge proof failed")?;
+        let challenge = self.pending_challenges.remove(&from).ok_or("no outstanding challenge")?;
+        proof.verify(&challenge, &self.name()).map_err(|_| "challenge proof failed")?;
         if proof.principal != advertisement.advertiser {
             return Err("proof principal is not the advertiser");
         }
@@ -306,10 +291,7 @@ impl Router {
         // Each capsule entry.
         for entry in &advertisement.entries {
             let capsule = entry.capsule();
-            let expires = advertisement
-                .expires
-                .min(rtcert.expires)
-                .min(entry.chain.adcert.expires);
+            let expires = advertisement.expires.min(rtcert.expires).min(entry.chain.adcert.expires);
             let route = VerifiedRoute {
                 entry: Some(entry.clone()),
                 name: capsule,
@@ -329,11 +311,14 @@ impl Router {
                 }
             }
         }
-        self.catalogs.insert(from, AttachedCatalog {
-            digest: advertisement.digest(),
-            advertiser: advertisement.advertiser.clone(),
-            names: catalog_names,
-        });
+        self.catalogs.insert(
+            from,
+            AttachedCatalog {
+                digest: advertisement.digest(),
+                advertiser: advertisement.advertiser.clone(),
+                names: catalog_names,
+            },
+        );
         Ok((accepted, announcements))
     }
 
@@ -356,8 +341,7 @@ impl Router {
         // Re-announce extended routes upstream so parent domains defer too.
         let mut out = Vec::new();
         if let Some(parent) = self.parent {
-            let names: Vec<Name> =
-                self.catalogs[&from].names.iter().map(|(n, _)| *n).collect();
+            let names: Vec<Name> = self.catalogs[&from].names.iter().map(|(n, _)| *n).collect();
             for name in names {
                 for route in self.glookup.lookup(&name, 0) {
                     if route.server_name() == server {
@@ -387,15 +371,16 @@ impl Router {
         }
     }
 
-    fn install_route(&mut self, neighbor: NeighborId, distance: u32, route: VerifiedRoute, _now: u64) {
+    fn install_route(
+        &mut self,
+        neighbor: NeighborId,
+        distance: u32,
+        route: VerifiedRoute,
+        _now: u64,
+    ) {
         self.fib.install(
             route.name,
-            FibEntry {
-                neighbor,
-                distance,
-                expires: route.expires,
-                server: route.server_name(),
-            },
+            FibEntry { neighbor, distance, expires: route.expires, server: route.server_name() },
         );
         self.glookup.insert(route);
     }

@@ -2,8 +2,8 @@
 //! (paper §VII: "Advertisements have corresponding expiration times, which
 //! can be deferred as a group by appending extension records").
 
-use gdp_cert::{AdCert, CapsuleAdvert, PrincipalId, PrincipalKind, Scope, ServingChain};
 use gdp_capsule::MetadataBuilder;
+use gdp_cert::{AdCert, CapsuleAdvert, PrincipalId, PrincipalKind, Scope, ServingChain};
 use gdp_crypto::SigningKey;
 use gdp_router::{attach_directly, Attacher, Router};
 use gdp_wire::{Name, Pdu};
@@ -103,4 +103,3 @@ fn extension_from_wrong_neighbor_ignored() {
     deliver(&mut router, 99, 900, ext_pdu);
     assert!(router.fib().best(&capsule, 1001).is_none());
 }
-

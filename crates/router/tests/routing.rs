@@ -2,10 +2,8 @@
 //! advertisement over the network, hierarchical forwarding, anycast
 //! locality, scope enforcement, and GLookupService recursion.
 
-use gdp_cert::{
-    AdCert, CapsuleAdvert, PrincipalId, PrincipalKind, Scope, ServingChain,
-};
 use gdp_capsule::{CapsuleMetadata, MetadataBuilder};
+use gdp_cert::{AdCert, CapsuleAdvert, PrincipalId, PrincipalKind, Scope, ServingChain};
 use gdp_crypto::SigningKey;
 use gdp_net::{LinkSpec, NodeId, SimCtx, SimNet, SimNode};
 use gdp_router::{AttachStep, Attacher, LookupMsg, Router, SimRouter};
@@ -158,11 +156,7 @@ fn advertisement_and_cross_domain_forwarding() {
 
     // The capsule propagated to the root GLookupService (global scope).
     let now = h.net.now();
-    let root_routes = h
-        .net
-        .node_mut::<SimRouter>(h.root)
-        .router
-        .lookup_local(&meta.name(), now);
+    let root_routes = h.net.node_mut::<SimRouter>(h.root).router.lookup_local(&meta.name(), now);
     assert_eq!(root_routes.len(), 1);
     root_routes[0].verify(now).unwrap();
     assert_eq!(root_routes[0].server_name(), server_name);
@@ -218,11 +212,7 @@ fn anycast_prefers_local_replica() {
     );
     // The root still knows both replicas (for clients elsewhere).
     let now = h.net.now();
-    let routes = h
-        .net
-        .node_mut::<SimRouter>(h.root)
-        .router
-        .lookup_local(&meta.name(), now);
+    let routes = h.net.node_mut::<SimRouter>(h.root).router.lookup_local(&meta.name(), now);
     assert_eq!(routes.len(), 2);
     assert!(routes.iter().any(|r| r.server_name() == srv2_name));
 }
@@ -239,19 +229,9 @@ fn scoped_capsule_stays_in_domain() {
 
     let now = h.net.now();
     // r1 knows the capsule.
-    assert!(!h
-        .net
-        .node_mut::<SimRouter>(h.r1)
-        .router
-        .lookup_local(&meta.name(), now)
-        .is_empty());
+    assert!(!h.net.node_mut::<SimRouter>(h.r1).router.lookup_local(&meta.name(), now).is_empty());
     // The root must NOT know it.
-    assert!(h
-        .net
-        .node_mut::<SimRouter>(h.root)
-        .router
-        .lookup_local(&meta.name(), now)
-        .is_empty());
+    assert!(h.net.node_mut::<SimRouter>(h.root).router.lookup_local(&meta.name(), now).is_empty());
 }
 
 #[test]
@@ -273,12 +253,7 @@ fn forged_advertisement_rejected() {
     assert!(node.attached.is_none());
     assert!(node.attach_error.is_some());
     let now = h.net.now();
-    assert!(h
-        .net
-        .node_mut::<SimRouter>(h.r1)
-        .router
-        .lookup_local(&meta.name(), now)
-        .is_empty());
+    assert!(h.net.node_mut::<SimRouter>(h.r1).router.lookup_local(&meta.name(), now).is_empty());
     assert_eq!(h.net.node_mut::<SimRouter>(h.r1).router.stats.adverts_rejected, 1);
 }
 
@@ -308,10 +283,7 @@ fn lookup_recurses_to_parent() {
     h.net.run_to_quiescence();
 
     let received = &h.net.node_mut::<EndpointNode>(client_node).received;
-    let answer = received
-        .iter()
-        .find(|p| p.pdu_type == PduType::Lookup)
-        .expect("lookup answer");
+    let answer = received.iter().find(|p| p.pdu_type == PduType::Lookup).expect("lookup answer");
     match LookupMsg::from_wire(&answer.payload).unwrap() {
         LookupMsg::Answer { query_id, name, routes } => {
             assert_eq!(query_id, 77);

@@ -258,17 +258,17 @@ pub fn response_transcript(capsule: &Name, request_seq: u64, body: &[u8]) -> Vec
 }
 
 /// Signs a response transcript with the server key.
-pub fn sign_response(
-    key: &SigningKey,
-    capsule: &Name,
-    request_seq: u64,
-    body: &[u8],
-) -> Signature {
+pub fn sign_response(key: &SigningKey, capsule: &Name, request_seq: u64, body: &[u8]) -> Signature {
     key.sign(&response_transcript(capsule, request_seq, body))
 }
 
 /// MACs a response transcript with a flow key.
-pub fn mac_response(flow_key: &[u8; 32], capsule: &Name, request_seq: u64, body: &[u8]) -> [u8; 32] {
+pub fn mac_response(
+    flow_key: &[u8; 32],
+    capsule: &Name,
+    request_seq: u64,
+    body: &[u8],
+) -> [u8; 32] {
     hmac_sha256(flow_key, &response_transcript(capsule, request_seq, body))
 }
 
@@ -501,10 +501,7 @@ impl Wire for DataMsg {
                 signature: Signature(dec.array::<64>()?),
             },
             2 => DataMsg::PutMetadata { metadata: CapsuleMetadata::decode(dec)? },
-            3 => DataMsg::Append {
-                record: Record::decode(dec)?,
-                ack_mode: AckMode::decode(dec)?,
-            },
+            3 => DataMsg::Append { record: Record::decode(dec)?, ack_mode: AckMode::decode(dec)? },
             4 => DataMsg::AppendAck {
                 seq: dec.varint()?,
                 hash: RecordHash(dec.array::<32>()?),
@@ -517,27 +514,19 @@ impl Wire for DataMsg {
                 auth: ResponseAuth::decode(dec)?,
             },
             7 => DataMsg::Subscribe { from_seq: dec.varint()? },
-            8 => DataMsg::Event {
-                record: Record::decode(dec)?,
-                auth: ResponseAuth::decode(dec)?,
-            },
+            8 => DataMsg::Event { record: Record::decode(dec)?, auth: ResponseAuth::decode(dec)? },
             9 => DataMsg::Replicate { capsule: dec.name()?, record: Record::decode(dec)? },
-            10 => DataMsg::ReplicateAck {
-                capsule: dec.name()?,
-                hash: RecordHash(dec.array::<32>()?),
-            },
+            10 => {
+                DataMsg::ReplicateAck { capsule: dec.name()?, hash: RecordHash(dec.array::<32>()?) }
+            }
             11 => DataMsg::SyncRequest {
                 capsule: dec.name()?,
                 have_seq: dec.varint()?,
                 missing: dec.seq(|d| Ok(RecordHash(d.array::<32>()?)))?,
             },
-            12 => DataMsg::SyncResponse {
-                capsule: dec.name()?,
-                records: dec.seq(Record::decode)?,
-            },
+            12 => DataMsg::SyncResponse { capsule: dec.name()?, records: dec.seq(Record::decode)? },
             13 => DataMsg::ErrResp {
-                code: ErrorCode::from_u8(dec.u8()?)
-                    .ok_or(DecodeError::Invalid("error code"))?,
+                code: ErrorCode::from_u8(dec.u8()?).ok_or(DecodeError::Invalid("error code"))?,
                 detail: dec.string()?,
             },
             14 => DataMsg::Host {
@@ -593,7 +582,8 @@ mod tests {
         let writer = SigningKey::from_seed(&[2u8; 32]);
         let meta = MetadataBuilder::new().writer(&writer.verifying_key()).sign(&owner);
         let name = meta.name();
-        let r = Record::create(&name, &writer, 1, 0, RecordHash::anchor(&name), vec![], b"x".to_vec());
+        let r =
+            Record::create(&name, &writer, 1, 0, RecordHash::anchor(&name), vec![], b"x".to_vec());
         (name, r)
     }
 
@@ -612,10 +602,7 @@ mod tests {
             },
             DataMsg::Read { target: ReadTarget::Range(2, 9) },
             DataMsg::Subscribe { from_seq: 4 },
-            DataMsg::Event {
-                record: record.clone(),
-                auth: ResponseAuth::Mac { tag: [1u8; 32] },
-            },
+            DataMsg::Event { record: record.clone(), auth: ResponseAuth::Mac { tag: [1u8; 32] } },
             DataMsg::Replicate { capsule: name, record: record.clone() },
             DataMsg::ReplicateAck { capsule: name, hash: record.hash() },
             DataMsg::SyncRequest { capsule: name, have_seq: 9, missing: vec![record.hash()] },
@@ -633,13 +620,9 @@ mod tests {
         let key = SigningKey::from_seed(&[5u8; 32]);
         let capsule = Name::from_content(b"c");
         let sig = sign_response(&key, &capsule, 7, b"body");
-        assert!(key
-            .verifying_key()
-            .verify(&response_transcript(&capsule, 7, b"body"), &sig));
+        assert!(key.verifying_key().verify(&response_transcript(&capsule, 7, b"body"), &sig));
         // Different request seq → different transcript.
-        assert!(!key
-            .verifying_key()
-            .verify(&response_transcript(&capsule, 8, b"body"), &sig));
+        assert!(!key.verifying_key().verify(&response_transcript(&capsule, 8, b"body"), &sig));
     }
 
     #[test]

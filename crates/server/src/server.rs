@@ -17,12 +17,11 @@
 //! outbound PDUs, so it runs identically on the simulator or threads.
 
 use crate::proto::{
-    append_ack_body, event_body, mac_response, read_result_body, session_transcript,
-    sign_response, AckMode, DataMsg, ErrorCode, ReadResult, ReadTarget, ResponseAuth,
+    append_ack_body, event_body, mac_response, read_result_body, session_transcript, sign_response,
+    AckMode, DataMsg, ErrorCode, ReadResult, ReadTarget, ResponseAuth,
 };
 use gdp_capsule::{
-    CapsuleError, CapsuleMetadata, DataCapsule, IngestOutcome, MembershipProof,
-    Record, RecordHash,
+    CapsuleError, CapsuleMetadata, DataCapsule, IngestOutcome, MembershipProof, Record, RecordHash,
 };
 use gdp_cert::{CapsuleAdvert, PrincipalId, PrincipalKind, ServingChain};
 use gdp_crypto::x25519::EphemeralKeyPair;
@@ -153,13 +152,10 @@ impl DataCapsuleServer {
                 }
             }
         }
-        self.hosted.insert(metadata.name(), Hosted {
-            capsule,
-            store,
-            chain,
-            peers,
-            subscribers: Vec::new(),
-        });
+        self.hosted.insert(
+            metadata.name(),
+            Hosted { capsule, store, chain, peers, subscribers: Vec::new() },
+        );
         Ok(())
     }
 
@@ -199,11 +195,17 @@ impl DataCapsuleServer {
         self.data_pdu(dst, seq, &DataMsg::ErrResp { code, detail: detail.to_string() })
     }
 
-    fn auth_for(&self, capsule: &Name, client: &Name, request_seq: u64, body: &[u8]) -> ResponseAuth {
+    fn auth_for(
+        &self,
+        capsule: &Name,
+        client: &Name,
+        request_seq: u64,
+        body: &[u8],
+    ) -> ResponseAuth {
         match self.sessions.get(client) {
-            Some(flow_key) => ResponseAuth::Mac {
-                tag: mac_response(flow_key, capsule, request_seq, body),
-            },
+            Some(flow_key) => {
+                ResponseAuth::Mac { tag: mac_response(flow_key, capsule, request_seq, body) }
+            }
             None => {
                 let chain = self.hosted[capsule].chain.clone();
                 ResponseAuth::Signed {
@@ -230,8 +232,12 @@ impl DataCapsuleServer {
         let client = pdu.src;
         let seq = pdu.seq;
         match msg {
-            DataMsg::SessionInit { client_eph } => self.on_session_init(pdu.dst, client, seq, client_eph),
-            DataMsg::PutMetadata { metadata } => self.on_put_metadata(pdu.dst, client, seq, metadata),
+            DataMsg::SessionInit { client_eph } => {
+                self.on_session_init(pdu.dst, client, seq, client_eph)
+            }
+            DataMsg::PutMetadata { metadata } => {
+                self.on_put_metadata(pdu.dst, client, seq, metadata)
+            }
             DataMsg::Append { record, ack_mode } => {
                 self.on_append(now, pdu.dst, client, seq, record, ack_mode)
             }
@@ -240,9 +246,7 @@ impl DataCapsuleServer {
             DataMsg::Host { metadata, chain, peers } => {
                 self.on_host(now, client, seq, metadata, chain, peers)
             }
-            DataMsg::Replicate { capsule, record } => {
-                self.on_replicate(capsule, client, record)
-            }
+            DataMsg::Replicate { capsule, record } => self.on_replicate(capsule, client, record),
             DataMsg::ReplicateAck { capsule, hash } => self.on_replicate_ack(capsule, hash),
             DataMsg::SyncRequest { capsule, have_seq, missing } => {
                 self.on_sync_request(capsule, client, have_seq, missing)
@@ -303,12 +307,9 @@ impl DataCapsuleServer {
                 let _ = h.store.put_metadata(&metadata);
                 Vec::new()
             }
-            None => vec![self.err_pdu(
-                client,
-                seq,
-                ErrorCode::NotServing,
-                "host() this capsule first",
-            )],
+            None => {
+                vec![self.err_pdu(client, seq, ErrorCode::NotServing, "host() this capsule first")]
+            }
         }
     }
 
@@ -440,7 +441,13 @@ impl DataCapsuleServer {
         out
     }
 
-    fn on_read(&mut self, capsule_name: Name, client: Name, seq: u64, target: ReadTarget) -> Vec<Pdu> {
+    fn on_read(
+        &mut self,
+        capsule_name: Name,
+        client: Name,
+        seq: u64,
+        target: ReadTarget,
+    ) -> Vec<Pdu> {
         let Some(hosted) = self.hosted.get(&capsule_name) else {
             return vec![self.err_pdu(client, seq, ErrorCode::NotServing, "unknown capsule")];
         };
@@ -454,8 +461,7 @@ impl DataCapsuleServer {
                 }
             },
             ReadTarget::Range(a, b) => {
-                let records: Vec<Record> =
-                    capsule.range(a, b).into_iter().cloned().collect();
+                let records: Vec<Record> = capsule.range(a, b).into_iter().cloned().collect();
                 if records.is_empty() {
                     return vec![self.err_pdu(client, seq, ErrorCode::NotFound, "empty range")];
                 }
@@ -466,9 +472,7 @@ impl DataCapsuleServer {
                     head.clone(),
                     gdp_capsule::Heartbeat::from_record(&capsule_name, head),
                 ),
-                Ok(None) => {
-                    return vec![self.err_pdu(client, seq, ErrorCode::Empty, "no records")]
-                }
+                Ok(None) => return vec![self.err_pdu(client, seq, ErrorCode::Empty, "no records")],
                 Err(_) => {
                     // Branched capsule: serve the preferred head.
                     let heads = capsule.heads();
@@ -501,7 +505,13 @@ impl DataCapsuleServer {
         vec![self.data_pdu(client, seq, &DataMsg::ReadResp { result, auth })]
     }
 
-    fn on_subscribe(&mut self, capsule_name: Name, client: Name, seq: u64, from_seq: u64) -> Vec<Pdu> {
+    fn on_subscribe(
+        &mut self,
+        capsule_name: Name,
+        client: Name,
+        seq: u64,
+        from_seq: u64,
+    ) -> Vec<Pdu> {
         let Some(hosted) = self.hosted.get_mut(&capsule_name) else {
             return vec![self.err_pdu(client, seq, ErrorCode::NotServing, "unknown capsule")];
         };
@@ -511,12 +521,8 @@ impl DataCapsuleServer {
         // Replay history the subscriber asked for (secure replay / time
         // shift, paper §V), then live events flow from appends.
         let latest = hosted.capsule.latest_seq();
-        let replay: Vec<Record> = hosted
-            .capsule
-            .range(from_seq.saturating_add(1), latest)
-            .into_iter()
-            .cloned()
-            .collect();
+        let replay: Vec<Record> =
+            hosted.capsule.range(from_seq.saturating_add(1), latest).into_iter().cloned().collect();
         let mut out = Vec::new();
         for record in replay {
             let body = event_body(&record);
@@ -609,11 +615,7 @@ impl DataCapsuleServer {
             return Vec::new();
         }
         self.stats.sync_served += records.len() as u64;
-        vec![self.data_pdu(
-            peer,
-            0,
-            &DataMsg::SyncResponse { capsule: capsule_name, records },
-        )]
+        vec![self.data_pdu(peer, 0, &DataMsg::SyncResponse { capsule: capsule_name, records })]
     }
 
     fn on_sync_response(&mut self, capsule_name: Name, records: Vec<Record>) -> Vec<Pdu> {
@@ -675,11 +677,7 @@ impl DataCapsuleServer {
         for (capsule, peers, have_seq, missing) in requests {
             // Ask one peer, rotating by time for variety.
             let peer = peers[(now as usize / 1000) % peers.len()];
-            out.push(self.data_pdu(
-                peer,
-                0,
-                &DataMsg::SyncRequest { capsule, have_seq, missing },
-            ));
+            out.push(self.data_pdu(peer, 0, &DataMsg::SyncRequest { capsule, have_seq, missing }));
         }
         out
     }
@@ -726,13 +724,7 @@ mod tests {
         );
         server.host(meta.clone(), chain, peers).unwrap();
         let writer = CapsuleWriter::new(&meta, wkey(), PointerStrategy::Chain).unwrap();
-        Rig {
-            server,
-            capsule: meta.name(),
-            writer,
-            client: Name::from_content(b"client"),
-            seq: 0,
-        }
+        Rig { server, capsule: meta.name(), writer, client: Name::from_content(b"client"), seq: 0 }
     }
 
     fn request(rig: &mut Rig, msg: &DataMsg) -> Vec<Pdu> {
@@ -827,10 +819,10 @@ mod tests {
     fn duplicate_append_is_idempotent() {
         let mut rig = rig();
         let record = rig.writer.append(b"once", 0).unwrap();
-        let out1 = request(&mut rig, &DataMsg::Append {
-            record: record.clone(),
-            ack_mode: AckMode::Local,
-        });
+        let out1 = request(
+            &mut rig,
+            &DataMsg::Append { record: record.clone(), ack_mode: AckMode::Local },
+        );
         let out2 = request(&mut rig, &DataMsg::Append { record, ack_mode: AckMode::Local });
         assert!(matches!(msg_of(&out1[0]), DataMsg::AppendAck { .. }));
         assert!(matches!(msg_of(&out2[0]), DataMsg::AppendAck { .. }));
@@ -844,16 +836,12 @@ mod tests {
         let mut rig = rig_with_peers(vec![peer]);
         let record = rig.writer.append(b"replicated", 0).unwrap();
         let hash = record.hash();
-        let out = request(&mut rig, &DataMsg::Append {
-            record,
-            ack_mode: AckMode::Quorum(1),
-        });
+        let out = request(&mut rig, &DataMsg::Append { record, ack_mode: AckMode::Quorum(1) });
         // A Replicate goes to the peer, but no client ack yet.
-        assert!(out.iter().any(|p| p.dst == peer
-            && matches!(msg_of(p), DataMsg::Replicate { .. })));
-        assert!(!out
+        assert!(out
             .iter()
-            .any(|p| matches!(msg_of(p), DataMsg::AppendAck { .. })));
+            .any(|p| p.dst == peer && matches!(msg_of(p), DataMsg::Replicate { .. })));
+        assert!(!out.iter().any(|p| matches!(msg_of(p), DataMsg::AppendAck { .. })));
         // Peer ack arrives → client ack with replicas=2.
         let ack_pdu = Pdu {
             pdu_type: PduType::Data,
@@ -879,10 +867,7 @@ mod tests {
         // Tick past the deadline: the client gets a DurabilityTimeout.
         let out = rig.server.tick(10_000);
         assert!(out.iter().any(|p| p.dst == rig.client
-            && matches!(
-                msg_of(p),
-                DataMsg::ErrResp { code: ErrorCode::DurabilityTimeout, .. }
-            )));
+            && matches!(msg_of(p), DataMsg::ErrResp { code: ErrorCode::DurabilityTimeout, .. })));
     }
 
     #[test]
@@ -897,10 +882,7 @@ mod tests {
         // New appends generate live events (ack + event).
         let r2 = rig.writer.append(b"new", 1).unwrap();
         let out = request(&mut rig, &DataMsg::Append { record: r2, ack_mode: AckMode::Local });
-        let events = out
-            .iter()
-            .filter(|p| matches!(msg_of(p), DataMsg::Event { .. }))
-            .count();
+        let events = out.iter().filter(|p| matches!(msg_of(p), DataMsg::Event { .. })).count();
         assert_eq!(events, 1);
         assert_eq!(rig.server.stats.events_pushed, 2);
     }
@@ -946,10 +928,16 @@ mod tests {
             .set_str("description", "second capsule")
             .sign(&owner());
         // Forged chain: delegation to a different server.
-        let stranger =
-            PrincipalId::from_seed(gdp_cert::PrincipalKind::Server, &[9u8; 32], "other");
+        let stranger = PrincipalId::from_seed(gdp_cert::PrincipalKind::Server, &[9u8; 32], "other");
         let bad_chain = ServingChain::direct(
-            AdCert::issue(&owner(), other_meta.name(), stranger.name(), false, Scope::Global, FOREVER),
+            AdCert::issue(
+                &owner(),
+                other_meta.name(),
+                stranger.name(),
+                false,
+                Scope::Global,
+                FOREVER,
+            ),
             stranger.principal().clone(),
         );
         let pdu = Pdu {
@@ -979,8 +967,7 @@ mod tests {
         let out = request(&mut rig, &DataMsg::SessionInit { client_eph: *eph.public() });
         let (server_eph, sig_ok) = match msg_of(&out[0]) {
             DataMsg::SessionAccept { server_eph, client_eph, server, signature, .. } => {
-                let transcript =
-                    session_transcript(&rig.capsule, &client_eph, &server_eph);
+                let transcript = session_transcript(&rig.capsule, &client_eph, &server_eph);
                 (server_eph, server.verify(&transcript, &signature))
             }
             other => panic!("{other:?}"),

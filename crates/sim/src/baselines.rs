@@ -188,7 +188,16 @@ impl BaselineWorld {
         let server_node = net.add_node(BlobServer::new(server_name, request_overhead));
         net.connect_directed(client_node, server_node, up);
         net.connect_directed(server_node, client_node, down);
-        BaselineWorld { net, client_node, server_node, client_name, server_name, chunk, window, next_seq: 1 }
+        BaselineWorld {
+            net,
+            client_node,
+            server_node,
+            client_name,
+            server_name,
+            chunk,
+            window,
+            next_seq: 1,
+        }
     }
 
     /// S3-like deployment over a residential link: big parts, strict
@@ -255,11 +264,8 @@ impl BaselineWorld {
     pub fn put(&mut self, object: Name, bytes: &[u8]) -> SimTime {
         let t0 = self.net.now();
         let total = bytes.len() as u64;
-        let parts: Vec<&[u8]> = if bytes.is_empty() {
-            vec![&[][..]]
-        } else {
-            bytes.chunks(self.chunk).collect()
-        };
+        let parts: Vec<&[u8]> =
+            if bytes.is_empty() { vec![&[][..]] } else { bytes.chunks(self.chunk).collect() };
         let mut sent = 0usize;
         let mut acked = 0usize;
         while acked < parts.len() {

@@ -25,9 +25,7 @@ pub fn sensor_trace(seed: u64, n: usize, period_micros: u64) -> Vec<(u64, f64)> 
     (0..n)
         .map(|i| {
             let t = i as u64 * period_micros;
-            let v = 21.0
-                + 3.0 * ((i as f64) * 0.01).sin()
-                + rng.gen_range(-0.25..0.25);
+            let v = 21.0 + 3.0 * ((i as f64) * 0.01).sin() + rng.gen_range(-0.25..0.25);
             (t, v)
         })
         .collect()

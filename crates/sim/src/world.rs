@@ -136,11 +136,7 @@ impl GdpWorld {
 
         GdpWorld {
             net,
-            routers: vec![
-                (d2_node, d2_name),
-                (root_node, root_name),
-                (d1_node, d1_name),
-            ],
+            routers: vec![(d2_node, d2_name), (root_node, root_name), (d1_node, d1_name)],
             servers: vec![(s1_node, s1_id), (s2_node, s2_id)],
             client_node,
             owner: SigningKey::from_seed(&[99u8; 32]),
@@ -166,8 +162,7 @@ impl GdpWorld {
         self.net.inject(self.client_node, router, pdu);
         let deadline = self.net.now() + self.op_timeout;
         loop {
-            let has_events =
-                !self.net.node_mut::<SimClient>(self.client_node).events.is_empty();
+            let has_events = !self.net.node_mut::<SimClient>(self.client_node).events.is_empty();
             if has_events {
                 break;
             }
@@ -213,11 +208,8 @@ impl GdpWorld {
                 ),
                 server_id.principal().clone(),
             );
-            let peers: Vec<Name> = server_names
-                .iter()
-                .filter(|n| **n != server_id.name())
-                .copied()
-                .collect();
+            let peers: Vec<Name> =
+                server_names.iter().filter(|n| **n != server_id.name()).copied().collect();
             let msg = DataMsg::Host { metadata: metadata.clone(), chain, peers };
             let pdu = Pdu {
                 pdu_type: PduType::Data,
@@ -411,9 +403,7 @@ mod tests {
         let mut world = GdpWorld::new(3, Placement::EdgeLan);
         let owner = world.owner.clone();
         let (meta, writer) = spec(&owner);
-        let capsule = world
-            .create_capsule(meta, writer, PointerStrategy::Chain)
-            .unwrap();
+        let capsule = world.create_capsule(meta, writer, PointerStrategy::Chain).unwrap();
         assert_eq!(world.append(&capsule, b"first").unwrap(), 1);
         assert_eq!(world.append(&capsule, b"second").unwrap(), 2);
         assert_eq!(world.read(&capsule, 1).unwrap().body, b"first");
@@ -429,9 +419,7 @@ mod tests {
             let mut world = GdpWorld::new(3, placement);
             let owner = world.owner.clone();
             let (meta, writer) = spec(&owner);
-            let capsule = world
-                .create_capsule(meta, writer, PointerStrategy::Chain)
-                .unwrap();
+            let capsule = world.create_capsule(meta, writer, PointerStrategy::Chain).unwrap();
             let t0 = world.now();
             world.append(&capsule, &body).unwrap();
             world.now() - t0
@@ -447,9 +435,7 @@ mod tests {
         let mut world = GdpWorld::new(4, Placement::EdgeLan);
         let owner = world.owner.clone();
         let (meta, writer) = spec(&owner);
-        let capsule = world
-            .create_capsule(meta, writer, PointerStrategy::Chain)
-            .unwrap();
+        let capsule = world.create_capsule(meta, writer, PointerStrategy::Chain).unwrap();
         world.establish_session(capsule).unwrap();
         // HMAC-authenticated appends still work.
         assert_eq!(world.append(&capsule, b"with hmac").unwrap(), 1);
@@ -460,19 +446,11 @@ mod tests {
         let mut world = GdpWorld::hierarchy(5);
         let owner = world.owner.clone();
         let (meta, writer) = spec(&owner);
-        let capsule = world
-            .create_capsule(meta, writer, PointerStrategy::Chain)
-            .unwrap();
+        let capsule = world.create_capsule(meta, writer, PointerStrategy::Chain).unwrap();
         world.append(&capsule, b"replicated").unwrap();
         world.net.run_to_quiescence();
         for (node, _) in world.servers.clone() {
-            let len = world
-                .net
-                .node_mut::<SimServer>(node)
-                .server
-                .capsule(&capsule)
-                .unwrap()
-                .len();
+            let len = world.net.node_mut::<SimServer>(node).server.capsule(&capsule).unwrap().len();
             assert_eq!(len, 1, "both replicas must hold the record");
         }
     }

@@ -123,9 +123,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let owner = SigningKey::from_seed(&[1u8; 32]);
         let writer = SigningKey::from_seed(&[2u8; 32]);
-        let meta = MetadataBuilder::new()
-            .writer(&writer.verifying_key())
-            .sign(&owner);
+        let meta = MetadataBuilder::new().writer(&writer.verifying_key()).sign(&owner);
         let name = meta.name();
         {
             let engine = StorageEngine::new(Backing::Directory(dir.clone()));

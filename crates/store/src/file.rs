@@ -44,11 +44,7 @@ impl FileStore {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let mut file = OpenOptions::new()
-            .read(true)
-            .append(true)
-            .create(true)
-            .open(&path)?;
+        let mut file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
         let mut bytes = Vec::new();
         file.seek(SeekFrom::Start(0))?;
         file.read_to_end(&mut bytes)?;
@@ -82,8 +78,7 @@ impl FileStore {
         let mut valid_end = 0usize;
         while bytes.len() - pos >= ENTRY_HEADER {
             let kind = bytes[pos];
-            let len =
-                u32::from_be_bytes(bytes[pos + 1..pos + 5].try_into().unwrap()) as usize;
+            let len = u32::from_be_bytes(bytes[pos + 1..pos + 5].try_into().unwrap()) as usize;
             let crc = u32::from_be_bytes(bytes[pos + 5..pos + 9].try_into().unwrap());
             let body_start = pos + ENTRY_HEADER;
             if bytes.len() - body_start < len {
@@ -239,10 +234,7 @@ mod tests {
     use gdp_crypto::SigningKey;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "gdp-store-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("gdp-store-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -251,9 +243,7 @@ mod tests {
     fn setup() -> (CapsuleMetadata, Vec<Record>) {
         let owner = SigningKey::from_seed(&[1u8; 32]);
         let writer = SigningKey::from_seed(&[2u8; 32]);
-        let meta = MetadataBuilder::new()
-            .writer(&writer.verifying_key())
-            .sign(&owner);
+        let meta = MetadataBuilder::new().writer(&writer.verifying_key()).sign(&owner);
         let name = meta.name();
         let mut prev = RecordHash::anchor(&name);
         let mut records = Vec::new();

@@ -128,11 +128,7 @@ impl CapsuleStore for MemStore {
     }
 
     fn get_by_seq(&self, seq: u64) -> Result<Option<Record>, StoreError> {
-        Ok(self
-            .by_seq
-            .get(&seq)
-            .and_then(|hs| hs.first())
-            .map(|h| self.by_hash[h].clone()))
+        Ok(self.by_seq.get(&seq).and_then(|hs| hs.first()).map(|h| self.by_hash[h].clone()))
     }
 
     fn get_all_at_seq(&self, seq: u64) -> Result<Vec<Record>, StoreError> {
@@ -177,9 +173,7 @@ mod tests {
     fn setup() -> (CapsuleMetadata, Vec<Record>) {
         let owner = SigningKey::from_seed(&[1u8; 32]);
         let writer = SigningKey::from_seed(&[2u8; 32]);
-        let meta = MetadataBuilder::new()
-            .writer(&writer.verifying_key())
-            .sign(&owner);
+        let meta = MetadataBuilder::new().writer(&writer.verifying_key()).sign(&owner);
         let name = meta.name();
         let mut prev = RecordHash::anchor(&name);
         let mut records = Vec::new();
@@ -204,10 +198,7 @@ mod tests {
         assert_eq!(s.len(), 5);
         assert_eq!(s.latest_seq(), 5);
         assert_eq!(s.get_by_seq(3).unwrap().unwrap(), records[2]);
-        assert_eq!(
-            s.get_by_hash(&records[0].hash()).unwrap().unwrap(),
-            records[0]
-        );
+        assert_eq!(s.get_by_hash(&records[0].hash()).unwrap().unwrap(), records[0]);
         assert_eq!(s.range(2, 4).unwrap().len(), 3);
         assert!(s.get_by_seq(99).unwrap().is_none());
     }
@@ -226,9 +217,7 @@ mod tests {
     fn metadata_first_write_wins() {
         let (meta, _) = setup();
         let owner2 = SigningKey::from_seed(&[9u8; 32]);
-        let meta2 = MetadataBuilder::new()
-            .writer(&owner2.verifying_key())
-            .sign(&owner2);
+        let meta2 = MetadataBuilder::new().writer(&owner2.verifying_key()).sign(&owner2);
         let mut s = MemStore::new();
         s.put_metadata(&meta).unwrap();
         s.put_metadata(&meta2).unwrap();

@@ -16,9 +16,7 @@ fn records(n: u64) -> (gdp_capsule::CapsuleMetadata, Vec<Record>) {
         .set_str("description", "store proptest")
         .sign(&owner);
     let mut writer = CapsuleWriter::new(&meta, wk, PointerStrategy::Chain).unwrap();
-    let rs = (0..n)
-        .map(|i| writer.append(format!("body {i}").as_bytes(), i).unwrap())
-        .collect();
+    let rs = (0..n).map(|i| writer.append(format!("body {i}").as_bytes(), i).unwrap()).collect();
     (meta, rs)
 }
 

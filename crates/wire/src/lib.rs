@@ -10,9 +10,11 @@
 //! optimization.
 
 pub mod codec;
+pub mod frame;
 pub mod name;
 pub mod pdu;
 
 pub use codec::{DecodeError, Decoder, Encoder, Wire};
+pub use frame::{decode_frame, encode_frame, FrameError, FrameReader, FRAME_PREFIX, MAX_FRAME};
 pub use name::{Name, NAME_LEN};
 pub use pdu::{Pdu, PduType, HEADER_LEN, MAX_PAYLOAD};

@@ -29,13 +29,20 @@ fn main() {
         })
         .collect();
     stream.publish_batch(&events).unwrap();
-    println!("published {} events; high watermark = {}", events.len(),
-        stream.high_watermark().unwrap());
+    println!(
+        "published {} events; high watermark = {}",
+        events.len(),
+        stream.high_watermark().unwrap()
+    );
 
     // Two independent consumer groups at their own pace.
     let batch = stream.poll("alerting", 5).unwrap();
-    println!("alerting group polled {} events (offsets {}..{})",
-        batch.len(), batch[0].0, batch[batch.len() - 1].0);
+    println!(
+        "alerting group polled {} events (offsets {}..{})",
+        batch.len(),
+        batch[0].0,
+        batch[batch.len() - 1].0
+    );
     stream.commit_offset("alerting", batch.last().unwrap().0).unwrap();
 
     let audit = stream.poll("audit", 100).unwrap();
@@ -43,19 +50,18 @@ fn main() {
 
     // Time shift: replay history regardless of commits.
     let replay = stream.replay(3, 4).unwrap();
-    println!("replay from offset 3: {} events, first = {:?}",
-        replay.len(), String::from_utf8_lossy(&replay[0].1.value));
+    println!(
+        "replay from offset 3: {} events, first = {:?}",
+        replay.len(),
+        String::from_utf8_lossy(&replay[0].1.value)
+    );
 
     // Publish the topic's route into a DHT-backed global GLookupService and
     // resolve it from an arbitrary member.
     let world = stream.backend_mut();
     let (router_node, _) = world.routers[0];
     let now = world.now();
-    let routes = world
-        .net
-        .node_mut::<SimRouter>(router_node)
-        .router
-        .lookup_local(&topic, now);
+    let routes = world.net.node_mut::<SimRouter>(router_node).router.lookup_local(&topic, now);
     let mut dht = DhtCluster::new();
     let members: Vec<Name> =
         (0..24).map(|i| Name::from_content(format!("dht member {i}").as_bytes())).collect();

@@ -52,18 +52,13 @@ fn main() {
             server_id.principal().clone(),
         )
     };
+    server.host(public_meta.clone(), chain(&public_meta, Scope::Global), vec![]).unwrap();
     server
-        .host(public_meta.clone(), chain(&public_meta, Scope::Global), vec![])
-        .unwrap();
-    server
-        .host(
-            secret_meta.clone(),
-            chain(&secret_meta, Scope::Domain(factory_name)),
-            vec![],
-        )
+        .host(secret_meta.clone(), chain(&secret_meta, Scope::Domain(factory_name)), vec![])
         .unwrap();
     let factory_router_name = net.node_mut::<SimRouter>(factory_node).router.name();
-    let server_node = net.add_node(SimServer::new(server, factory_node, factory_router_name, FOREVER));
+    let server_node =
+        net.add_node(SimServer::new(server, factory_node, factory_router_name, FOREVER));
     net.connect(server_node, factory_node, LinkSpec::lan());
     net.inject_timer(server_node, 0, gdp::server::ATTACH_TIMER);
     net.run_to_quiescence();
@@ -87,10 +82,7 @@ fn main() {
     // Any party can independently verify a route returned by the (totally
     // untrusted) GLookupService: the chain runs from the capsule name to
     // the AdCert to the RtCert with no PKI.
-    let routes = net
-        .node_mut::<SimRouter>(root_node)
-        .router
-        .lookup_local(&public_meta.name(), now);
+    let routes = net.node_mut::<SimRouter>(root_node).router.lookup_local(&public_meta.name(), now);
     let route = &routes[0];
     route.verify(now).expect("route verifies end to end");
     println!("\nroot route for public dataset:");

@@ -9,8 +9,7 @@
 //! Run with: `cargo run --example multi_writer`
 
 use gdp::caapi::{
-    new_capsule_spec, Acceptor, Aggregator, CapsuleAccess, CommitService, LocalBackend,
-    Submission,
+    new_capsule_spec, Acceptor, Aggregator, CapsuleAccess, CommitService, LocalBackend, Submission,
 };
 use gdp::capsule::PointerStrategy;
 use gdp::crypto::SigningKey;
@@ -22,9 +21,7 @@ fn main() {
     println!("pattern (a): distributed commit service");
     let mut backend = LocalBackend::new();
     let (meta, writer) = new_capsule_spec(&owner, "shared shopping list");
-    let capsule = backend
-        .create_capsule(meta, writer, PointerStrategy::Chain)
-        .unwrap();
+    let capsule = backend.create_capsule(meta, writer, PointerStrategy::Chain).unwrap();
     let mut svc = CommitService::new(backend, capsule, /*proposer id*/ 1);
     let mut acceptors: Vec<Acceptor> = (0..5).map(|_| Acceptor::new()).collect();
 
@@ -36,10 +33,7 @@ fn main() {
     ];
     for sub in &submissions {
         let (slot, seq, chosen) = svc.commit(&mut acceptors, sub).unwrap();
-        println!(
-            "  slot {slot} → record {seq}: {}",
-            String::from_utf8_lossy(&chosen.op)
-        );
+        println!("  slot {slot} → record {seq}: {}", String::from_utf8_lossy(&chosen.op));
     }
 
     // Two acceptors crash; the service still commits (majority alive).

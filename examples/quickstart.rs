@@ -30,9 +30,8 @@ fn main() {
         CapsuleWriter::new(&metadata, writer_key, PointerStrategy::SkipList).expect("writer");
 
     for i in 0..32u64 {
-        let record = writer
-            .append(format!("measurement #{i}").as_bytes(), i * 1_000)
-            .expect("append");
+        let record =
+            writer.append(format!("measurement #{i}").as_bytes(), i * 1_000).expect("append");
         capsule.ingest(record).expect("verified ingest");
     }
     println!("appended {} records; head seq = {}", capsule.len(), capsule.latest_seq());

@@ -23,8 +23,7 @@ fn main() {
     // record() below is a signed append travelling client → router →
     // server, acknowledged with an authenticated response.
     println!("creating temperature capsule…");
-    let mut series =
-        GdpTimeSeries::create(world, &owner, "ambient temperature, lab 420").unwrap();
+    let mut series = GdpTimeSeries::create(world, &owner, "ambient temperature, lab 420").unwrap();
     let capsule = series.capsule();
     println!("capsule: {}", capsule.to_hex());
 
@@ -68,39 +67,27 @@ fn main() {
 
     let mut dashboard = GdpClient::from_seed(&[77u8; 32], "dashboard");
     dashboard.track_capsule(&metadata).unwrap();
-    let dash_node = world
-        .net
-        .add_node(SimClient::new(dashboard, router_node, router_name, FOREVER));
+    let dash_node =
+        world.net.add_node(SimClient::new(dashboard, router_node, router_name, FOREVER));
     world.net.connect(dash_node, router_node, LinkSpec::lan());
-    world
-        .net
-        .inject_timer(dash_node, world.net.now() + 1, gdp::client::simnode::ATTACH_TIMER);
+    world.net.inject_timer(dash_node, world.net.now() + 1, gdp::client::simnode::ATTACH_TIMER);
     world.net.run_to_quiescence();
 
-    let sub = world
-        .net
-        .node_mut::<SimClient>(dash_node)
-        .client
-        .subscribe(capsule, 240); // only future records
+    let sub = world.net.node_mut::<SimClient>(dash_node).client.subscribe(capsule, 240); // only future records
     world.net.inject(dash_node, router_node, sub);
     world.net.run_to_quiescence();
 
     println!("dashboard subscribed; sensor publishes 5 live samples…");
     for i in 0..5u64 {
-        let sample = Sample {
-            timestamp_micros: (241 + i) * 60_000_000,
-            value: 22.5 + i as f64 * 0.1,
-        };
+        let sample =
+            Sample { timestamp_micros: (241 + i) * 60_000_000, value: 22.5 + i as f64 * 0.1 };
         series.record(sample).unwrap();
     }
     let world = series.backend_mut();
     world.net.run_to_quiescence();
 
     let events = world.net.node_mut::<SimClient>(dash_node).take_events();
-    let live = events
-        .iter()
-        .filter(|e| matches!(e, ClientEvent::SubEvent { .. }))
-        .count();
+    let live = events.iter().filter(|e| matches!(e, ClientEvent::SubEvent { .. })).count();
     println!("dashboard received {live} live, verified events ✔");
     assert_eq!(live, 5);
 }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full verification gate: formatting, lints, release build, all tests.
+# This is what CI runs; keep it green before merging.
+#
+# Usage: scripts/verify.sh [--quick]
+#   --quick   skip fmt/clippy (compile + test only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[ "${1:-}" = "--quick" ] && quick=1
+
+step() { printf '\n==> %s\n' "$*"; }
+
+if [ "$quick" -eq 0 ]; then
+    step "cargo fmt --check"
+    cargo fmt --all -- --check
+
+    step "cargo clippy (deny warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test (workspace)"
+cargo test --workspace -q
+
+step "cargo test (tier-1: facade crate)"
+cargo test -q
+
+step "OK"

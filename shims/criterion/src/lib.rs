@@ -1,0 +1,259 @@
+//! Offline shim for the subset of `criterion` 0.5 this workspace uses:
+//! `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! `bench_function`/`bench_with_input`, `sample_size`, `throughput`,
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and `Bencher::iter`.
+//!
+//! Measurement is simple but honest: each benchmark is warmed up, the
+//! iteration count is calibrated to a target sample duration, several
+//! samples are taken, and the median ns/iter (plus derived throughput) is
+//! printed. There are no HTML reports or statistical regressions — this
+//! exists so `cargo bench` produces usable numbers offline.
+//!
+//! Tuning via env vars: `GDP_BENCH_SAMPLE_MS` (per-sample target, default
+//! 100) and `GDP_BENCH_QUICK=1` (one short sample per benchmark).
+
+use std::time::{Duration, Instant};
+
+/// An opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the closure `iters` times, recording total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_ms: u64,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let sample_ms =
+            std::env::var("GDP_BENCH_SAMPLE_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(100);
+        let quick = std::env::var("GDP_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+        Criterion { sample_ms, quick }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, samples: 10 }
+    }
+
+    /// Standalone `bench_function` (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Declares the work performed per iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the sample target time is
+    /// controlled by `GDP_BENCH_SAMPLE_MS` instead.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        self.run(id.into(), &mut |b| f(b));
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(id.into(), &mut |b| f(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let label =
+            if self.name.is_empty() { id.id.clone() } else { format!("{}/{}", self.name, id.id) };
+        let target = Duration::from_millis(self.criterion.sample_ms);
+
+        // Calibration: double the iteration count until a sample takes at
+        // least 1/8 of the target, then scale to the target.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        loop {
+            f(&mut b);
+            if b.elapsed * 8 >= target || b.iters >= 1 << 30 {
+                break;
+            }
+            b.iters *= 2;
+        }
+        let per_iter = (b.elapsed.as_nanos() / b.iters as u128).max(1);
+        let iters = ((target.as_nanos() / per_iter).clamp(1, 1 << 30)) as u64;
+
+        let samples = if self.criterion.quick { 1 } else { self.samples };
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            b.iters = iters;
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let (lo, hi) = (per_iter_ns[0], per_iter_ns[per_iter_ns.len() - 1]);
+
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let mibs = n as f64 * 1e9 / median / (1024.0 * 1024.0);
+                format!("  thrpt: {mibs:>10.1} MiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let keps = n as f64 * 1e9 / median / 1e3;
+                format!("  thrpt: {keps:>10.1} Kelem/s")
+            }
+            None => String::new(),
+        };
+        println!("{label:<44} time: [{lo:>10.1} {median:>10.1} {hi:>10.1}] ns/iter{rate}");
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main`, running each group (cargo's extra CLI args are
+/// accepted and ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; a bare
+            // `--test`-mode invocation should do nothing expensive.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_prints() {
+        std::env::set_var("GDP_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(64));
+        let mut ran = false;
+        group.bench_function(BenchmarkId::from_parameter(64), |b| {
+            ran = true;
+            b.iter(|| black_box(41u64) + 1)
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("gdp", "cloud").id, "gdp/cloud");
+        assert_eq!(BenchmarkId::from_parameter(128).id, "128");
+    }
+}

@@ -1,0 +1,451 @@
+//! Offline shim for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate stands in
+//! for `rand` with source-compatible items: [`RngCore`], [`CryptoRng`],
+//! [`Rng`] (with `gen`/`gen_range`/`gen_bool`/`fill`), [`SeedableRng`],
+//! [`rngs::OsRng`], [`rngs::StdRng`], [`rngs::ThreadRng`] and
+//! [`thread_rng`]. The deterministic generator is xoshiro256++ seeded via
+//! SplitMix64 — statistically solid for simulation and property testing.
+//! `OsRng` pulls from `/dev/urandom` and is the only generator suitable for
+//! key material.
+
+use std::cell::RefCell;
+use std::io::Read;
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number-generator interface (matches `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Marker for generators safe to use for cryptographic key material.
+pub trait CryptoRng {}
+
+/// Seedable generators (matches `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The seed type (a fixed byte array).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs from a `u64` by expanding it with SplitMix64 (the same
+    /// convention rand 0.8 uses).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for b in seed.as_mut().iter_mut() {
+            *b = 0;
+        }
+        let bytes = seed.as_mut();
+        let mut i = 0;
+        while i < bytes.len() {
+            let chunk = sm.next().to_le_bytes();
+            let n = chunk.len().min(bytes.len() - i);
+            bytes[i..i + n].copy_from_slice(&chunk[..n]);
+            i += n;
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types a generator can produce uniformly via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<T: Standard + Default + Copy, const N: usize> Standard for [T; N] {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> [T; N] {
+        let mut out = [T::default(); N];
+        for v in out.iter_mut() {
+            *v = T::sample(rng);
+        }
+        out
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples uniformly from the range. Panics on an empty range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_u64(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + uniform_u64(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_int!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        // The closed upper bound is hit with negligible probability; treat
+        // the range as half-open scaled by the next-up width.
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f32::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Unbiased uniform sample in `[0, bound)` (`bound > 0`) via rejection.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+/// Convenience extension over [`RngCore`] (matches `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` uniformly.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Built-in generators.
+pub mod rngs {
+    use super::*;
+
+    /// Operating-system entropy source (`/dev/urandom`).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct OsRng;
+
+    impl OsRng {
+        fn read(dest: &mut [u8]) {
+            thread_local! {
+                static URANDOM: RefCell<Option<std::fs::File>> = const { RefCell::new(None) };
+            }
+            URANDOM.with(|cell| {
+                let mut slot = cell.borrow_mut();
+                if slot.is_none() {
+                    *slot = Some(
+                        std::fs::File::open("/dev/urandom")
+                            .expect("OsRng: /dev/urandom unavailable"),
+                    );
+                }
+                slot.as_mut()
+                    .unwrap()
+                    .read_exact(dest)
+                    .expect("OsRng: short read from /dev/urandom");
+            });
+        }
+    }
+
+    impl RngCore for OsRng {
+        fn next_u32(&mut self) -> u32 {
+            let mut b = [0u8; 4];
+            OsRng::read(&mut b);
+            u32::from_le_bytes(b)
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut b = [0u8; 8];
+            OsRng::read(&mut b);
+            u64::from_le_bytes(b)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            OsRng::read(dest);
+        }
+    }
+
+    impl CryptoRng for OsRng {}
+
+    /// Deterministic generator: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut i = 0;
+            while i < dest.len() {
+                let chunk = self.next_u64().to_le_bytes();
+                let n = chunk.len().min(dest.len() - i);
+                dest[i..i + n].copy_from_slice(&chunk[..n]);
+                i += n;
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut s = [0u64; 4];
+            for (i, w) in s.iter_mut().enumerate() {
+                *w = u64::from_le_bytes(seed[i * 8..i * 8 + 8].try_into().unwrap());
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 0xD1B5_4A32_D192_ED03, 0xAEF1_7502_B3B4_B8E9, 1];
+            }
+            StdRng { s }
+        }
+    }
+
+    /// Per-thread generator handle returned by [`super::thread_rng`].
+    #[derive(Clone, Debug)]
+    pub struct ThreadRng;
+
+    thread_local! {
+        static THREAD_RNG: RefCell<StdRng> = RefCell::new({
+            let mut seed = [0u8; 32];
+            OsRng.fill_bytes(&mut seed);
+            StdRng::from_seed(seed)
+        });
+    }
+
+    impl RngCore for ThreadRng {
+        fn next_u32(&mut self) -> u32 {
+            THREAD_RNG.with(|r| r.borrow_mut().next_u32())
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            THREAD_RNG.with(|r| r.borrow_mut().next_u64())
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            THREAD_RNG.with(|r| r.borrow_mut().fill_bytes(dest))
+        }
+    }
+
+    /// Seeded from `OsRng`, so thread-local streams are acceptable for key
+    /// generation in tests (mirrors rand 0.8, where `ThreadRng: CryptoRng`).
+    impl CryptoRng for ThreadRng {}
+}
+
+/// Returns the thread-local generator handle.
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng
+}
+
+/// Generates one random value using the thread-local generator.
+pub fn random<T: Standard>() -> T {
+    T::sample(&mut thread_rng())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{OsRng, StdRng};
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let f: f64 = rng.gen_range(-0.25..0.25);
+            assert!((-0.25..0.25).contains(&f));
+            let i: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn os_rng_fills() {
+        let mut buf = [0u8; 64];
+        OsRng.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 64]);
+    }
+
+    #[test]
+    fn fill_bytes_covers_all_lengths() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for len in 0..40 {
+            let mut buf = vec![0xAAu8; len];
+            rng.fill_bytes(&mut buf);
+            // Statistically some byte should change for len >= 12.
+            if len >= 12 {
+                assert_ne!(buf, vec![0xAAu8; len]);
+            }
+        }
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`client`] | `gdp-client` | verifying client (write/read/subscribe) |
 //! | [`caapi`] | `gdp-caapi` | fs / kv / time-series / commit / aggregate |
 //! | [`sim`] | `gdp-sim` | scenario worlds, baselines, workloads |
+//! | [`node`] | `gdp-node` | deployable node: config, runtime, `gdpd` daemon |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@ pub use gdp_cert as cert;
 pub use gdp_client as client;
 pub use gdp_crypto as crypto;
 pub use gdp_net as net;
+pub use gdp_node as node;
 pub use gdp_router as router;
 pub use gdp_server as server;
 pub use gdp_sim as sim;

@@ -22,9 +22,7 @@ fn world_with_data(seed: u64, n: u64) -> (GdpWorld, Name) {
         .writer(&writer_key().verifying_key())
         .set_str("description", "adversarial")
         .sign(&owner);
-    let capsule = world
-        .provision_capsule(&meta, writer_key(), PointerStrategy::Chain)
-        .unwrap();
+    let capsule = world.provision_capsule(&meta, writer_key(), PointerStrategy::Chain).unwrap();
     use gdp::caapi::CapsuleAccess;
     for i in 0..n {
         world.append(&capsule, format!("record {i}").as_bytes()).unwrap();
@@ -58,8 +56,7 @@ fn response_replay_rejected() {
     let pdu_a = world.client_mut().read(capsule, ReadTarget::One(1));
     let seq_a = pdu_a.seq;
     let (srv_node, _) = world.servers[0];
-    let responses =
-        world.net.node_mut::<SimServer>(srv_node).server.handle_pdu(0, pdu_a);
+    let responses = world.net.node_mut::<SimServer>(srv_node).server.handle_pdu(0, pdu_a);
     let genuine = responses.into_iter().next().unwrap();
     assert_eq!(genuine.seq, seq_a);
     // Deliver it: accepted.
@@ -145,10 +142,7 @@ fn stale_replica_detected() {
     };
     let events = world.client_mut().handle_pdu(0, forged);
     assert!(
-        matches!(
-            events[0],
-            ClientEvent::VerificationFailed { reason: "stale replica state", .. }
-        ),
+        matches!(events[0], ClientEvent::VerificationFailed { reason: "stale replica state", .. }),
         "stale state must be discarded: {events:?}"
     );
 }
@@ -202,11 +196,8 @@ fn undelegated_server_response_rejected() {
     let record = stored_record(&mut world, &capsule, 1);
 
     // A rogue server with NO AdCert chain for this capsule.
-    let rogue = gdp::cert::PrincipalId::from_seed(
-        gdp::cert::PrincipalKind::Server,
-        &[88u8; 32],
-        "rogue",
-    );
+    let rogue =
+        gdp::cert::PrincipalId::from_seed(gdp::cert::PrincipalKind::Server, &[88u8; 32], "rogue");
     // It forges a chain by self-issuing the AdCert.
     let rogue_adcert = gdp::cert::AdCert::issue(
         rogue.signing_key(),
@@ -216,8 +207,7 @@ fn undelegated_server_response_rejected() {
         gdp::cert::Scope::Global,
         1 << 50,
     );
-    let rogue_chain =
-        gdp::cert::ServingChain::direct(rogue_adcert, rogue.principal().clone());
+    let rogue_chain = gdp::cert::ServingChain::direct(rogue_adcert, rogue.principal().clone());
 
     let pdu = world.client_mut().read(capsule, ReadTarget::One(1));
     let request_seq = pdu.seq;

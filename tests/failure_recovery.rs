@@ -24,9 +24,7 @@ fn writer_crash_resume_over_network() {
         .writer(&writer_key().verifying_key())
         .set_str("description", "resume")
         .sign(&owner);
-    let capsule = world
-        .provision_capsule(&meta, writer_key(), PointerStrategy::Chain)
-        .unwrap();
+    let capsule = world.provision_capsule(&meta, writer_key(), PointerStrategy::Chain).unwrap();
     for i in 0..5u64 {
         world.append(&capsule, format!("pre-crash {i}").as_bytes()).unwrap();
     }
@@ -76,17 +74,14 @@ fn server_restart_recovers_from_disk() {
                 meta.clone(),
                 chain.clone(),
                 vec![],
-                Box::new(FileStore::open(dir.join(format!("{}.log", capsule_name.to_hex())))
-                    .unwrap()),
+                Box::new(
+                    FileStore::open(dir.join(format!("{}.log", capsule_name.to_hex()))).unwrap(),
+                ),
             )
             .unwrap();
         drop(store);
-        let mut writer = gdp::capsule::CapsuleWriter::new(
-            &meta,
-            writer_key(),
-            PointerStrategy::Chain,
-        )
-        .unwrap();
+        let mut writer =
+            gdp::capsule::CapsuleWriter::new(&meta, writer_key(), PointerStrategy::Chain).unwrap();
         for i in 0..8u64 {
             let record = writer.append(format!("durable {i}").as_bytes(), i).unwrap();
             let pdu = gdp::wire::Pdu {
@@ -112,9 +107,7 @@ fn server_restart_recovers_from_disk() {
             meta,
             chain,
             vec![],
-            Box::new(
-                FileStore::open(dir.join(format!("{}.log", capsule_name.to_hex()))).unwrap(),
-            ),
+            Box::new(FileStore::open(dir.join(format!("{}.log", capsule_name.to_hex()))).unwrap()),
         )
         .unwrap();
     let c = revived.capsule(&capsule_name).unwrap();
@@ -135,9 +128,7 @@ fn qsw_branch_converges_across_replicas() {
         .writer(&writer_key().verifying_key())
         .set_str("description", "qsw")
         .sign(&owner);
-    let capsule = world
-        .provision_capsule(&meta, writer_key(), PointerStrategy::Chain)
-        .unwrap();
+    let capsule = world.provision_capsule(&meta, writer_key(), PointerStrategy::Chain).unwrap();
     for i in 0..4u64 {
         world.append(&capsule, format!("main {i}").as_bytes()).unwrap();
     }
@@ -157,12 +148,7 @@ fn qsw_branch_converges_across_replicas() {
 
     // Both replicas converge to the same branched DAG.
     for (node, _) in world.servers.clone() {
-        let c = world
-            .net
-            .node_mut::<SimServer>(node)
-            .server
-            .capsule(&capsule)
-            .unwrap();
+        let c = world.net.node_mut::<SimServer>(node).server.capsule(&capsule).unwrap();
         assert_eq!(c.heads().len(), 2, "both replicas see the fork");
         assert_eq!(c.get_by_seq(3).len(), 2);
         assert_eq!(c.len(), 5);
@@ -177,17 +163,14 @@ fn torn_disk_write_bounded_loss() {
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     let owner = SigningKey::from_seed(&[1u8; 32]);
-    let meta = MetadataBuilder::new()
-        .writer(&writer_key().verifying_key())
-        .sign(&owner);
+    let meta = MetadataBuilder::new().writer(&writer_key().verifying_key()).sign(&owner);
     let name = meta.name();
     let path = dir.join("capsule.log");
     {
         let mut store = FileStore::open(&path).unwrap();
         store.put_metadata(&meta).unwrap();
         let mut writer =
-            gdp::capsule::CapsuleWriter::new(&meta, writer_key(), PointerStrategy::Chain)
-                .unwrap();
+            gdp::capsule::CapsuleWriter::new(&meta, writer_key(), PointerStrategy::Chain).unwrap();
         for i in 0..10u64 {
             store.append(&writer.append(&[i as u8], i).unwrap()).unwrap();
         }
@@ -204,9 +187,7 @@ fn torn_disk_write_bounded_loss() {
         capsule.ingest(store.get_by_seq(seq).unwrap().unwrap()).unwrap();
     }
     assert!(capsule.is_contiguous());
-    capsule
-        .verify_history(&capsule.head_heartbeat().unwrap().unwrap())
-        .unwrap();
+    capsule.verify_history(&capsule.head_heartbeat().unwrap().unwrap()).unwrap();
     let _ = std::fs::remove_dir_all(dir);
     let _ = name;
 }
@@ -221,9 +202,7 @@ fn replica_failover_read_path() {
         .writer(&writer_key().verifying_key())
         .set_str("description", "failover")
         .sign(&owner);
-    let capsule = world
-        .provision_capsule(&meta, writer_key(), PointerStrategy::Chain)
-        .unwrap();
+    let capsule = world.provision_capsule(&meta, writer_key(), PointerStrategy::Chain).unwrap();
     world.append(&capsule, b"replicated payload").unwrap();
     world.net.run_to_quiescence();
 
@@ -231,11 +210,7 @@ fn replica_failover_read_path() {
     let (local_srv, _) = world.servers[1];
     let (d2_router, _) = world.routers[0];
     world.net.set_link_up(local_srv, d2_router, false);
-    world
-        .net
-        .node_mut::<gdp::router::SimRouter>(d2_router)
-        .router
-        .neighbor_down(local_srv);
+    world.net.node_mut::<gdp::router::SimRouter>(d2_router).router.neighbor_down(local_srv);
 
     // The read is transparently served by the domain-1 replica.
     let r = world.read(&capsule, 1).unwrap();

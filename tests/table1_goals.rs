@@ -70,9 +70,7 @@ fn locality_anycast() {
         .writer(&writer_key().verifying_key())
         .set_str("description", "replicated")
         .sign(&owner);
-    let capsule = world
-        .provision_capsule(&meta, writer_key(), PointerStrategy::Chain)
-        .unwrap();
+    let capsule = world.provision_capsule(&meta, writer_key(), PointerStrategy::Chain).unwrap();
     world.append(&capsule, b"data").unwrap();
     world.net.run_to_quiescence();
     let root_node = world.routers[1].0;
@@ -93,9 +91,7 @@ fn secure_storage_untrusted_server() {
         .writer(&writer_key().verifying_key())
         .set_str("description", "tamper test")
         .sign(&owner);
-    let capsule = world
-        .provision_capsule(&meta, writer_key(), PointerStrategy::Chain)
-        .unwrap();
+    let capsule = world.provision_capsule(&meta, writer_key(), PointerStrategy::Chain).unwrap();
     world.append(&capsule, b"the truth").unwrap();
 
     // A malicious server forges a response: flip a byte in the stored
@@ -133,9 +129,7 @@ fn secure_storage_untrusted_server() {
     };
     let events = world.client_mut().handle_pdu(0, forged);
     assert!(
-        events
-            .iter()
-            .all(|e| matches!(e, ClientEvent::VerificationFailed { .. })),
+        events.iter().all(|e| matches!(e, ClientEvent::VerificationFailed { .. })),
         "client must reject the forgery: {events:?}"
     );
 }
@@ -214,11 +208,7 @@ fn secure_routing_no_squatting() {
     net.run_to_quiescence();
     let rejected = net.node_mut::<TestEndpoint>(node).failed;
     assert!(rejected, "router must reject the squatter's advertisement");
-    assert!(net
-        .node_mut::<SimRouter>(router_node)
-        .router
-        .lookup_local(&meta.name(), 0)
-        .is_empty());
+    assert!(net.node_mut::<SimRouter>(router_node).router.lookup_local(&meta.name(), 0).is_empty());
 }
 
 // Small harness node for the squatting test.
@@ -268,21 +258,16 @@ fn native_pubsub() {
         .writer(&writer_key().verifying_key())
         .set_str("description", "pubsub")
         .sign(&owner);
-    let capsule = world
-        .provision_capsule(&meta, writer_key(), PointerStrategy::Chain)
-        .unwrap();
+    let capsule = world.provision_capsule(&meta, writer_key(), PointerStrategy::Chain).unwrap();
 
     // A second client subscribes before any data exists.
     let (router_node, router_name) = world.routers[0];
     let mut sub_client = GdpClient::from_seed(&[31u8; 32], "subscriber");
     sub_client.track_capsule(&meta).unwrap();
-    let sub_node = world
-        .net
-        .add_node(SimClient::new(sub_client, router_node, router_name, FOREVER));
+    let sub_node =
+        world.net.add_node(SimClient::new(sub_client, router_node, router_name, FOREVER));
     world.net.connect(sub_node, router_node, LinkSpec::lan());
-    world
-        .net
-        .inject_timer(sub_node, world.net.now() + 1, gdp::client::simnode::ATTACH_TIMER);
+    world.net.inject_timer(sub_node, world.net.now() + 1, gdp::client::simnode::ATTACH_TIMER);
     world.net.run_to_quiescence();
     let sub_pdu = world.net.node_mut::<SimClient>(sub_node).client.subscribe(capsule, 0);
     world.net.inject(sub_node, router_node, sub_pdu);
@@ -311,19 +296,16 @@ fn native_pubsub() {
 fn overlay_incremental() {
     // The same capsule operations succeed over a LAN, a WAN, and a lossy
     // asymmetric residential overlay path.
-    for (label, placement) in [
-        ("edge lan", Placement::EdgeLan),
-        ("residential overlay", Placement::CloudFromResidential),
-    ] {
+    for (label, placement) in
+        [("edge lan", Placement::EdgeLan), ("residential overlay", Placement::CloudFromResidential)]
+    {
         let mut world = GdpWorld::new(65, placement);
         let owner = world.owner.clone();
         let meta = MetadataBuilder::new()
             .writer(&writer_key().verifying_key())
             .set_str("description", label)
             .sign(&owner);
-        let capsule = world
-            .provision_capsule(&meta, writer_key(), PointerStrategy::Chain)
-            .unwrap();
+        let capsule = world.provision_capsule(&meta, writer_key(), PointerStrategy::Chain).unwrap();
         world.append(&capsule, b"overlay payload").unwrap();
         assert_eq!(world.read(&capsule, 1).unwrap().body, b"overlay payload", "{label}");
     }

@@ -54,9 +54,7 @@ fn spawn_server(
             server.advert_entries(),
             FOREVER,
         ));
-        endpoint
-            .send(router_ep, attacher.as_ref().unwrap().hello())
-            .unwrap();
+        endpoint.send(router_ep, attacher.as_ref().unwrap().hello()).unwrap();
         while !stop.load(Ordering::Relaxed) {
             match endpoint.recv_timeout(Duration::from_millis(10)) {
                 Ok(Some((_, pdu))) => {
@@ -151,20 +149,13 @@ fn full_stack_on_threads() {
     let router_name = router.name();
 
     let router_thread = spawn_router(router, router_endpoint, Arc::clone(&stop));
-    let server_thread = spawn_server(
-        server,
-        server_endpoint,
-        router_ep,
-        router_name,
-        Arc::clone(&stop),
-    );
+    let server_thread =
+        spawn_server(server, server_endpoint, router_ep, router_name, Arc::clone(&stop));
 
     // Client attaches from the main thread (after the server, ordering is
     // guaranteed by retrying the first append until routable).
     let mut client = GdpClient::from_seed(&[5u8; 32], "threaded-client");
-    client
-        .register_writer(&meta, writer_key, PointerStrategy::Chain)
-        .unwrap();
+    client.register_writer(&meta, writer_key, PointerStrategy::Chain).unwrap();
     let mut client_attacher =
         Attacher::new(client.principal_id().clone(), router_name, Vec::new(), FOREVER);
     attach_blocking(&mut client_attacher, &client_endpoint, router_ep);
@@ -173,9 +164,8 @@ fn full_stack_on_threads() {
     // same PDU until acked (appends are idempotent server-side).
     const N: u64 = 20;
     for i in 0..N {
-        let (pdu, record) = client
-            .append(capsule, format!("threaded {i}").as_bytes(), i, AckMode::Local)
-            .unwrap();
+        let (pdu, record) =
+            client.append(capsule, format!("threaded {i}").as_bytes(), i, AckMode::Local).unwrap();
         let want = record.header.seq;
         loop {
             client_endpoint.send(router_ep, pdu.clone()).unwrap();
