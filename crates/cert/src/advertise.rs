@@ -32,9 +32,18 @@ pub struct Challenge {
 }
 
 impl Challenge {
-    /// Creates a random challenge.
+    /// Creates a random challenge from OS entropy.
     pub fn random() -> Challenge {
         Challenge { nonce: gdp_crypto::random_array32() }
+    }
+
+    /// Creates a challenge from a caller-supplied generator, so routers
+    /// running under the deterministic simulator can issue replayable
+    /// nonces (production routers pass an entropy-seeded generator).
+    pub fn from_rng<R: rand::RngCore>(rng: &mut R) -> Challenge {
+        let mut nonce = [0u8; 32];
+        rng.fill_bytes(&mut nonce);
+        Challenge { nonce }
     }
 }
 

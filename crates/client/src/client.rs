@@ -20,7 +20,9 @@ use gdp_server::proto::{
     session_transcript, AckMode, DataMsg, ErrorCode, ReadResult, ReadTarget, ResponseAuth,
 };
 use gdp_wire::{Name, Pdu, PduType, Wire};
-use std::collections::HashMap;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashMap};
 
 /// A verified read result delivered to the application.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -108,6 +110,11 @@ struct TrackedCapsule {
 struct Flow {
     eph: EphemeralKeyPair,
     key: Option<[u8; 32]>,
+    /// The server the key was agreed with (set together with `key`).
+    /// Requests are anycast by capsule name, so a *different* delegated
+    /// replica may answer a later request; its MACs are not verifiable
+    /// under this key and must be treated as "no session", not corruption.
+    server: Option<Name>,
 }
 
 enum PendingKind {
@@ -120,10 +127,15 @@ enum PendingKind {
 pub struct GdpClient {
     id: PrincipalId,
     next_seq: u64,
-    capsules: HashMap<Name, TrackedCapsule>,
+    /// Ordered so [`GdpClient::capsule_for_event`] resolution never
+    /// depends on map iteration order (deterministic replay).
+    capsules: BTreeMap<Name, TrackedCapsule>,
     flows: HashMap<Name, Flow>,
     writers: HashMap<Name, CapsuleWriter>,
     pending: HashMap<u64, (Name, PendingKind)>,
+    /// Session-ephemeral-key generator. Entropy-seeded by default;
+    /// [`GdpClient::set_rng_seed`] makes handshakes replayable.
+    rng: StdRng,
 }
 
 impl GdpClient {
@@ -133,11 +145,19 @@ impl GdpClient {
         GdpClient {
             id,
             next_seq: 1,
-            capsules: HashMap::new(),
+            capsules: BTreeMap::new(),
             flows: HashMap::new(),
             writers: HashMap::new(),
             pending: HashMap::new(),
+            rng: StdRng::from_entropy(),
         }
+    }
+
+    /// Replaces the ephemeral-key generator with a deterministic one, so
+    /// simulated runs replay bit-for-bit. Never call this in production:
+    /// session keys become a function of the seed.
+    pub fn set_rng_seed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
     }
 
     /// Convenience constructor.
@@ -203,9 +223,9 @@ impl GdpClient {
 
     /// Builds a session-establishment request for a capsule.
     pub fn session_init(&mut self, capsule: Name) -> Pdu {
-        let eph = EphemeralKeyPair::generate(&mut rand::rngs::OsRng);
+        let eph = EphemeralKeyPair::generate(&mut self.rng);
         let client_eph = *eph.public();
-        self.flows.insert(capsule, Flow { eph, key: None });
+        self.flows.insert(capsule, Flow { eph, key: None, server: None });
         self.request(capsule, PendingKind::Session, &DataMsg::SessionInit { client_eph })
     }
 
@@ -277,10 +297,19 @@ impl GdpClient {
                     Err("response signature invalid")
                 }
             }
-            ResponseAuth::Mac { tag } => {
+            ResponseAuth::Mac { server, epoch, tag } => {
+                // The key must exist, belong to the responding replica
+                // (anycast routing may hand the request to a different
+                // delegated server than the session peer), *and* be the
+                // same key epoch: after a re-key, responses MAC'd under
+                // the previous key can still be in flight, and a key the
+                // client no longer holds is a disagreement to recover
+                // from, not evidence of tampering.
                 let flow = self
                     .flows
                     .get(capsule)
+                    .filter(|f| f.server == Some(*server))
+                    .filter(|f| f.eph.public()[..8] == epoch[..])
                     .and_then(|f| f.key.as_ref())
                     .ok_or("MAC response without session")?;
                 let expect = mac_response(flow, capsule, request_seq, body);
@@ -373,23 +402,31 @@ impl GdpClient {
             DataMsg::SessionAccept { server_eph, client_eph, server, chain, signature } => self
                 .on_session_accept(now, pdu.seq, server_eph, client_eph, server, chain, signature),
             DataMsg::AppendAck { seq, hash, replicas, auth } => {
-                let Some((capsule, _)) = self.pending.remove(&pdu.seq) else {
+                // The pending entry is consumed only once a response
+                // *authenticates*: an unverifiable (or forged) ack must not
+                // cancel the request, or a retransmit's genuine ack would be
+                // ignored forever afterwards.
+                let Some(&(capsule, _)) = self.pending.get(&pdu.seq) else {
                     return Vec::new();
                 };
                 let body = append_ack_body(seq, &hash, replicas);
                 match self.check_auth(&capsule, pdu.seq, &body, &auth, now) {
-                    Ok(()) => vec![ClientEvent::AppendAcked { capsule, seq, replicas }],
+                    Ok(()) => {
+                        self.pending.remove(&pdu.seq);
+                        vec![ClientEvent::AppendAcked { capsule, seq, replicas }]
+                    }
                     Err(reason) => vec![ClientEvent::VerificationFailed { capsule, reason }],
                 }
             }
             DataMsg::ReadResp { result, auth } => {
-                let Some((capsule, _)) = self.pending.remove(&pdu.seq) else {
+                let Some(&(capsule, _)) = self.pending.get(&pdu.seq) else {
                     return Vec::new();
                 };
                 let body = read_result_body(&result);
                 if let Err(reason) = self.check_auth(&capsule, pdu.seq, &body, &auth, now) {
                     return vec![ClientEvent::VerificationFailed { capsule, reason }];
                 }
+                self.pending.remove(&pdu.seq);
                 match self.verify_read(&capsule, result) {
                     Ok(result) => {
                         vec![ClientEvent::ReadOk { capsule, request_seq: pdu.seq, result }]
@@ -418,7 +455,9 @@ impl GdpClient {
                 vec![ClientEvent::SubEvent { capsule, record }]
             }
             DataMsg::ErrResp { code, detail } => {
-                let capsule = self.pending.remove(&pdu.seq).map(|(c, _)| c).unwrap_or(Name::ZERO);
+                // Error responses are unauthenticated, so they also must not
+                // cancel the pending request (spoofable).
+                let capsule = self.pending.get(&pdu.seq).map(|(c, _)| *c).unwrap_or(Name::ZERO);
                 vec![ClientEvent::ServerError { capsule, code, detail }]
             }
             _ => Vec::new(),
@@ -445,7 +484,7 @@ impl GdpClient {
         chain: gdp_cert::ServingChain,
         signature: gdp_crypto::Signature,
     ) -> Vec<ClientEvent> {
-        let Some((capsule, _)) = self.pending.remove(&request_seq) else {
+        let Some(&(capsule, _)) = self.pending.get(&request_seq) else {
             return Vec::new();
         };
         let Some(tracked) = self.capsules.get(&capsule) else {
@@ -485,6 +524,8 @@ impl GdpClient {
             }];
         };
         flow.key = Some(hkdf::derive_key32(capsule.as_bytes(), &shared, b"gdp/flow-key/v1"));
+        flow.server = Some(server.name());
+        self.pending.remove(&request_seq);
         vec![ClientEvent::SessionReady { capsule, server: server.name() }]
     }
 }

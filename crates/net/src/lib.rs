@@ -11,6 +11,11 @@
 //! * [`tcp`] — a real-socket transport over `std::net` TCP with
 //!   length-prefixed framing, a reconnecting per-peer connection pool, and
 //!   a hardened decode path, so GDP nodes can run as separate processes.
+//! * [`simnet`] — a deterministic, seeded discrete-event *transport*: the
+//!   same [`Transport`] contract as `mem`/`tcp`, but with virtual time,
+//!   injectable faults (delay, reorder, drop, duplicate, asymmetric
+//!   partitions, crash/restart), and a replayable trace digest. The chaos
+//!   suite in `gdp-sim` runs the real node runtimes on it.
 //!
 //! Protocol logic in `gdp-router`/`gdp-server`/`gdp-client` is written
 //! sans-I/O so the same state machines run on any substrate. The
@@ -20,6 +25,7 @@
 pub mod conformance;
 pub mod mem;
 pub mod sim;
+pub mod simnet;
 pub mod tcp;
 
 pub use mem::{Endpoint, EndpointId, MemNet, MemNetError};
@@ -30,11 +36,13 @@ use gdp_wire::Pdu;
 use std::time::Duration;
 
 /// The contract shared by message-oriented transports ([`Endpoint`] over
-/// [`MemNet`], and [`TcpNet`]): unicast PDU delivery with per-peer FIFO
-/// ordering and non-blocking/timeout receive.
+/// [`MemNet`], [`TcpNet`], and [`simnet::SimEndpoint`]): unicast PDU
+/// delivery with per-peer FIFO ordering and non-blocking/timeout receive.
 ///
-/// The simulator is deliberately excluded — it owns virtual time and
-/// drives nodes via callbacks rather than channels.
+/// The callback simulator in [`sim`] is excluded — it owns virtual time
+/// and drives nodes via callbacks rather than channels. The [`simnet`]
+/// fabric is its transport-shaped successor: virtual time advances inside
+/// `recv_timeout`, so production event loops run on it unchanged.
 pub trait Transport {
     /// Peer address type (endpoint id in-process, socket addr on TCP).
     type Peer: Copy + Eq + std::hash::Hash + std::fmt::Debug;

@@ -33,7 +33,8 @@ use crossbeam::channel::{
 use gdp_wire::frame::{encode_frame, FrameReader, MAX_FRAME};
 use gdp_wire::Pdu;
 use parking_lot::Mutex;
-use rand::{thread_rng, Rng};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -61,6 +62,10 @@ pub struct TcpNetConfig {
     pub max_dial_attempts: u32,
     /// Bounded per-peer outgoing queue (PDUs).
     pub send_queue: usize,
+    /// Seed for reconnect-backoff jitter. `None` (production default)
+    /// draws fresh entropy per writer; `Some` makes the jitter sequence a
+    /// deterministic function of (seed, peer) for replayable tests.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for TcpNetConfig {
@@ -74,6 +79,7 @@ impl Default for TcpNetConfig {
             backoff_max: Duration::from_secs(2),
             max_dial_attempts: 5,
             send_queue: 1024,
+            jitter_seed: None,
         }
     }
 }
@@ -474,6 +480,12 @@ fn writer_loop(
     mut conn: Option<TcpStream>,
 ) {
     let cfg = shared.cfg.clone();
+    // One jitter stream per writer: seeded deterministically per (seed,
+    // peer) when configured, from entropy otherwise.
+    let mut jitter_rng = match cfg.jitter_seed {
+        Some(seed) => StdRng::seed_from_u64(seed ^ peer_salt(peer)),
+        None => StdRng::from_entropy(),
+    };
     let mut pending: Option<Pdu> = None;
     'main: loop {
         let pdu = match pending.take() {
@@ -516,7 +528,7 @@ fn writer_loop(
                         peer_lost(&shared, peer);
                         return;
                     }
-                    interruptible_sleep(&shared, backoff_delay(&cfg, attempts));
+                    interruptible_sleep(&shared, backoff_delay(&cfg, attempts, &mut jitter_rng));
                 }
             }
         }
@@ -545,13 +557,31 @@ fn dial(shared: &Shared, peer: SocketAddr) -> std::io::Result<TcpStream> {
     Ok(stream)
 }
 
-/// Exponential backoff with ±25% jitter, capped.
-fn backoff_delay(cfg: &TcpNetConfig, attempt: u32) -> Duration {
+/// Exponential backoff with ±25% jitter, capped. The jitter source is the
+/// writer's own stream (see [`TcpNetConfig::jitter_seed`]) so replayable
+/// configurations stay replayable.
+fn backoff_delay(cfg: &TcpNetConfig, attempt: u32, rng: &mut StdRng) -> Duration {
     let base = cfg.backoff_base.as_millis() as u64;
     let exp = base.saturating_mul(1u64 << (attempt - 1).min(16));
     let capped = exp.min(cfg.backoff_max.as_millis() as u64).max(1);
-    let jitter = thread_rng().gen_range(0..=capped / 2);
+    let jitter = rng.gen_range(0..=capped / 2);
     Duration::from_millis(capped - capped / 4 + jitter)
+}
+
+/// Deterministic per-peer salt mixed into the jitter seed, so two writers
+/// of the same fabric never share a jitter stream.
+fn peer_salt(peer: SocketAddr) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mix = |h: &mut u64, b: u8| {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    match peer.ip() {
+        std::net::IpAddr::V4(ip) => ip.octets().iter().for_each(|&b| mix(&mut h, b)),
+        std::net::IpAddr::V6(ip) => ip.octets().iter().for_each(|&b| mix(&mut h, b)),
+    }
+    peer.port().to_be_bytes().iter().for_each(|&b| mix(&mut h, b));
+    h
 }
 
 /// Sleeps in poll-interval slices so shutdown interrupts backoff.

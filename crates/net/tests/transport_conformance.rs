@@ -1,10 +1,11 @@
 //! The conformance suite from `gdp_net::conformance`, instantiated for
-//! both transports: `MemNet` endpoints and `TcpNet` over real loopback
-//! sockets. The same PDU sequences must be delivered, per-peer order
-//! preserved, and peers isolated — plus transport-specific peer-death
-//! behavior.
+//! every transport: `MemNet` endpoints, `TcpNet` over real loopback
+//! sockets, and the deterministic `simnet` fabric. The same PDU sequences
+//! must be delivered, per-peer order preserved, and peers isolated — plus
+//! transport-specific peer-death behavior.
 
 use gdp_net::conformance as conf;
+use gdp_net::simnet::{self, SimNetError};
 use gdp_net::tcp::{PeerEvent, TcpNet, TcpNetConfig};
 use gdp_net::{MemNet, MemNetError};
 use gdp_wire::{Name, Pdu};
@@ -72,6 +73,69 @@ fn mem_peer_death_is_an_error() {
     // Sending to a dropped endpoint fails fast with a typed error.
     let err = a.send(b_id, pdu(1, vec![1])).unwrap_err();
     assert!(matches!(err, MemNetError::NoSuchEndpoint(_) | MemNetError::Disconnected));
+}
+
+// ---- SimNet (deterministic fabric, default no-fault config) -----------
+//
+// With `FaultSpec::reliable()` (fixed latency, no jitter/drop/dup) the
+// fabric is FIFO and lossless, so the full conformance contract holds.
+// Virtual time advances inside `recv_timeout`, so the suite's real-time
+// delivery deadlines are trivially met.
+
+#[test]
+fn simnet_delivery_integrity() {
+    let net = simnet::SimNet::new(0xC0FFEE);
+    let (a, b) = (net.endpoint(), net.endpoint());
+    conf::check_delivery_integrity(&a, &b, b.addr);
+}
+
+#[test]
+fn simnet_per_peer_ordering() {
+    let net = simnet::SimNet::new(0xC0FFEE);
+    let (a, b) = (net.endpoint(), net.endpoint());
+    conf::check_per_peer_ordering(&a, &b, b.addr, 500);
+}
+
+#[test]
+fn simnet_interleaved_senders() {
+    let net = simnet::SimNet::new(0xC0FFEE);
+    let (a, b, c) = (net.endpoint(), net.endpoint(), net.endpoint());
+    conf::check_interleaved_senders(&a, &b, &c, c.addr, 200);
+}
+
+#[test]
+fn simnet_timeout_honesty() {
+    let net = simnet::SimNet::new(0xC0FFEE);
+    let a = net.endpoint();
+    conf::check_timeout_honesty(&a);
+}
+
+#[test]
+fn simnet_isolation() {
+    let net = simnet::SimNet::new(0xC0FFEE);
+    let (a, b, bystander) = (net.endpoint(), net.endpoint(), net.endpoint());
+    conf::check_isolation(&a, &b, b.addr, &bystander);
+}
+
+#[test]
+fn simnet_crashed_peer_drops_silently_then_errors_locally() {
+    let net = simnet::SimNet::new(0xC0FFEE);
+    let (a, b) = (net.endpoint(), net.endpoint());
+    // A send toward a crashed peer succeeds locally (the wire eats it),
+    // mirroring UDP/TCP-pool semantics where loss surfaces asynchronously.
+    net.crash(b.addr);
+    a.send(b.addr, pdu(1, vec![1])).unwrap();
+    net.advance(1_000_000);
+    assert_eq!(net.stats().dropped, 1);
+    // A crashed endpoint's own calls fail fast with a typed error.
+    assert!(matches!(b.try_recv(), Err(SimNetError::Crashed(_))));
+    // An unknown address is a typed local error.
+    assert!(matches!(a.send(999, pdu(2, vec![2])), Err(SimNetError::NoSuchEndpoint(999))));
+    // Restart revives the address: fresh traffic flows again.
+    net.restart(b.addr);
+    a.send(b.addr, pdu(3, vec![3])).unwrap();
+    let got = b.recv_timeout(Duration::from_secs(1)).unwrap().expect("delivered after restart");
+    assert_eq!(got.1.seq, 3);
 }
 
 // ---- TcpNet over real loopback sockets --------------------------------

@@ -16,7 +16,9 @@
 pub mod client_io;
 pub mod config;
 pub mod node;
+pub mod runtime;
 
 pub use client_io::{ClientError, ClusterClient};
 pub use config::{ConfigError, HostSpec, NodeConfig, Role};
 pub use node::{start, NodeError, NodeHandle, FOREVER};
+pub use runtime::{build_cores, NodeOutbox, NodeRuntime};

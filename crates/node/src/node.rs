@@ -1,38 +1,29 @@
-//! The node runtime: composes the sans-I/O protocol cores (gdp-router,
-//! gdp-server) with the real-socket [`TcpNet`] transport.
+//! The node daemon: the transport-agnostic [`NodeRuntime`] core (see
+//! [`crate::runtime`]) driven by the real-socket [`TcpNet`] transport.
 //!
 //! One event-loop thread owns all protocol state. TCP peers (identified
 //! by their advertised listen address) are mapped to stable router
-//! [`NeighborId`]s; a peer whose connection pool gives up is reported to
-//! the router as a down neighbor so its routes are withdrawn (replica
+//! neighbor ids inside the runtime; a peer whose connection pool gives up
+//! is reported as a down neighbor so its routes are withdrawn (replica
 //! failover). A co-located DataCapsule-server (role `both`) occupies a
 //! reserved neighbor id and exchanges PDUs with the router in-process.
+//!
+//! The same runtime, wrapped over `gdp_net::simnet` instead of TCP, runs
+//! inside the deterministic chaos simulator in `gdp-sim`.
 
-use crate::config::{NodeConfig, Role};
+use crate::config::NodeConfig;
+use crate::runtime::{build_cores, NodeRuntime};
 use gdp_net::tcp::{PeerEvent, TcpNet, TcpNetConfig};
-use gdp_router::{attach_directly, AttachStep, Attacher, Router};
-use gdp_server::DataCapsuleServer;
-use gdp_store::{CapsuleStore, FileStore, MemStore};
-use gdp_wire::{Name, Pdu};
-use std::collections::HashMap;
-use std::collections::VecDeque;
+use gdp_wire::Name;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Catalog/RtCert expiry for daemon attachments: effectively forever on
-/// the node's own clock (node time starts at zero at process start).
-pub const FOREVER: u64 = 1 << 50;
-
-/// Reserved neighbor id for the co-located server (role `both`).
-const LOCAL_NID: usize = usize::MAX;
+pub use crate::runtime::FOREVER;
 
 /// How often periodic maintenance (purge, server tick, re-attach) runs.
 const TICK_INTERVAL: Duration = Duration::from_millis(200);
-
-/// How long to wait before re-sending a Hello for an unfinished attach.
-const ATTACH_RETRY: Duration = Duration::from_millis(500);
 
 /// Errors starting a node.
 #[derive(Debug)]
@@ -107,308 +98,67 @@ pub fn start(cfg: NodeConfig) -> Result<NodeHandle, NodeError> {
     let local = net.local_addr();
     let stop = Arc::new(AtomicBool::new(false));
 
-    let router = cfg.role.routes().then(|| Router::from_seed(&cfg.seed, &cfg.label));
-    let router_name = router.as_ref().map(|r| r.name());
-
-    let server = if cfg.role.stores() {
-        // Distinct seed domain for the server half of a `both` node, so
-        // router and server identities never collide.
-        let mut seed = cfg.seed;
-        seed[0] ^= 0x5a;
-        let mut server = DataCapsuleServer::from_seed(&seed, &cfg.label);
-        if let Some(dir) = &cfg.data_dir {
-            std::fs::create_dir_all(dir).map_err(|e| NodeError::Host(format!("data_dir: {e}")))?;
-        }
-        for spec in &cfg.hosts {
-            let capsule = spec.metadata.name();
-            // One append-only segment file per capsule (restart recovery
-            // happens inside host_with_store), or memory without data_dir.
-            let store: Box<dyn CapsuleStore> = match &cfg.data_dir {
-                Some(dir) => Box::new(
-                    FileStore::open(dir.join(format!("{}.log", capsule.to_hex())))
-                        .map_err(|e| NodeError::Host(format!("open store: {e:?}")))?,
-                ),
-                None => Box::new(MemStore::new()),
-            };
-            server
-                .host_with_store(
-                    spec.metadata.clone(),
-                    spec.chain.clone(),
-                    spec.peers.clone(),
-                    store,
-                )
-                .map_err(|e| NodeError::Host(format!("{e:?}")))?;
-        }
-        Some(server)
-    } else {
-        None
-    };
-    let server_name = server.as_ref().map(|s| s.name());
+    let (router, server) = build_cores(&cfg)?;
+    let uplink = cfg.peers.first().copied();
+    let runtime = NodeRuntime::new(cfg.role, router, server, cfg.router, uplink);
+    let router_name = runtime.router_name();
+    let server_name = runtime.server_name();
 
     let loop_net = net.clone();
     let loop_stop = Arc::clone(&stop);
     let thread = std::thread::Builder::new()
         .name(format!("gdp-node-{}", cfg.label))
         .spawn(move || {
-            EventLoop::new(cfg, loop_net, loop_stop, router, server).run();
+            EventLoop { net: loop_net, stop: loop_stop, runtime, epoch: Instant::now() }.run();
         })
         .expect("spawn node event loop");
 
     Ok(NodeHandle { local, router_name, server_name, stop, net, thread: Some(thread) })
 }
 
-/// Server-side attach progress (storage role, network attach).
-enum ServerAttach {
-    /// Handshake in flight; retry Hello after a quiet period.
-    Pending(Box<Attacher>, Instant),
-    /// Attached; nothing to do until a re-advertise is needed.
-    Done,
-}
-
+/// The TCP shell around [`NodeRuntime`]: real clock, real sockets.
 struct EventLoop {
-    cfg: NodeConfig,
     net: TcpNet,
     stop: Arc<AtomicBool>,
-    router: Option<Router>,
-    server: Option<DataCapsuleServer>,
-    attach: Option<ServerAttach>,
-    /// Stable peer-addr → neighbor-id map (never reused; a returning
-    /// peer keeps its id).
-    nids: HashMap<SocketAddr, usize>,
-    addrs: Vec<SocketAddr>,
+    runtime: NodeRuntime<SocketAddr>,
     epoch: Instant,
-    last_tick: Instant,
 }
 
 impl EventLoop {
-    fn new(
-        cfg: NodeConfig,
-        net: TcpNet,
-        stop: Arc<AtomicBool>,
-        router: Option<Router>,
-        server: Option<DataCapsuleServer>,
-    ) -> EventLoop {
-        EventLoop {
-            cfg,
-            net,
-            stop,
-            router,
-            server,
-            attach: None,
-            nids: HashMap::new(),
-            addrs: Vec::new(),
-            epoch: Instant::now(),
-            last_tick: Instant::now() - TICK_INTERVAL,
-        }
-    }
-
     fn now(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
     }
 
-    fn nid(&mut self, addr: SocketAddr) -> usize {
-        if let Some(&n) = self.nids.get(&addr) {
-            return n;
+    fn transmit(&self, out: Vec<(SocketAddr, gdp_wire::Pdu)>) {
+        for (peer, pdu) in out {
+            let _ = self.net.send(peer, pdu);
         }
-        let n = self.addrs.len();
-        self.addrs.push(addr);
-        self.nids.insert(addr, n);
-        n
-    }
-
-    /// The address all storage-role traffic is sent through.
-    fn uplink(&self) -> Option<SocketAddr> {
-        self.cfg.peers.first().copied()
     }
 
     fn run(mut self) {
-        // A `both` node attaches its server to its own router in-process
-        // before serving traffic.
-        self.local_attach();
-        // A pure storage node starts its network attach immediately (the
-        // transport dials and retries underneath).
-        self.start_network_attach();
+        let out = self.runtime.start(self.now());
+        self.transmit(out);
 
+        let mut last_tick = Instant::now() - TICK_INTERVAL;
         while !self.stop.load(Ordering::SeqCst) {
             while let Some(ev) = self.net.poll_peer_event() {
-                self.on_peer_event(ev);
+                if let PeerEvent::Down(addr) = ev {
+                    let out = self.runtime.on_peer_down(self.now(), addr);
+                    self.transmit(out);
+                }
             }
             match self.net.recv_timeout(Duration::from_millis(20)) {
-                Ok(Some((from, pdu))) => self.on_pdu(from, pdu),
+                Ok(Some((from, pdu))) => {
+                    let out = self.runtime.on_pdu(self.now(), from, pdu);
+                    self.transmit(out);
+                }
                 Ok(None) => {}
                 Err(_) => break,
             }
-            if self.last_tick.elapsed() >= TICK_INTERVAL {
-                self.last_tick = Instant::now();
-                self.tick();
-            }
-        }
-    }
-
-    /// Role `both`: drive the attach handshake against the local router
-    /// directly — no network round trip for co-located components.
-    fn local_attach(&mut self) {
-        let (Some(router), Some(server)) = (self.router.as_mut(), self.server.as_mut()) else {
-            return;
-        };
-        let mut attacher = Attacher::new(
-            server.principal_id().clone(),
-            router.name(),
-            server.advert_entries(),
-            FOREVER,
-        );
-        let now = self.epoch.elapsed().as_micros() as u64;
-        attach_directly(router, LOCAL_NID, &mut attacher, now)
-            .expect("local attach cannot fail: both halves are in-process");
-    }
-
-    /// Storage role: begin (or restart) the attach handshake toward the
-    /// configured router over TCP.
-    fn start_network_attach(&mut self) {
-        if self.cfg.role != Role::Storage {
-            return;
-        }
-        let (Some(server), Some(router_name), Some(uplink)) =
-            (self.server.as_ref(), self.cfg.router, self.uplink())
-        else {
-            return;
-        };
-        let attacher = Attacher::new(
-            server.principal_id().clone(),
-            router_name,
-            server.advert_entries(),
-            FOREVER,
-        );
-        let _ = self.net.send(uplink, attacher.hello());
-        self.attach = Some(ServerAttach::Pending(Box::new(attacher), Instant::now()));
-    }
-
-    fn on_peer_event(&mut self, ev: PeerEvent) {
-        match ev {
-            PeerEvent::Down(addr) => {
-                // Withdraw everything the dead neighbor advertised so
-                // reads fail over to surviving replicas.
-                if let (Some(router), Some(&nid)) = (self.router.as_mut(), self.nids.get(&addr)) {
-                    router.neighbor_down(nid);
-                }
-                // A storage node that lost its uplink must re-attach once
-                // the router is reachable again.
-                if self.cfg.role == Role::Storage && Some(addr) == self.uplink() {
-                    self.start_network_attach();
-                }
-            }
-            PeerEvent::Up(_) => {}
-        }
-    }
-
-    fn on_pdu(&mut self, from: SocketAddr, pdu: Pdu) {
-        let now = self.now();
-        // Storage role: the attach handshake claims matching PDUs first.
-        if let Some(ServerAttach::Pending(attacher, _)) = self.attach.as_mut() {
-            match attacher.on_pdu(&pdu) {
-                AttachStep::Send(reply) => {
-                    if let Some(uplink) = self.uplink() {
-                        let _ = self.net.send(uplink, reply);
-                    }
-                    return;
-                }
-                AttachStep::Done(_) => {
-                    self.attach = Some(ServerAttach::Done);
-                    return;
-                }
-                AttachStep::Failed(_) => {
-                    // Router restarted mid-handshake or rejected us; start
-                    // over from Hello.
-                    self.start_network_attach();
-                    return;
-                }
-                AttachStep::Ignored => {}
-            }
-        }
-
-        if self.router.is_some() {
-            let nid = self.nid(from);
-            self.route(now, nid, pdu);
-        } else if let Some(server) = self.server.as_mut() {
-            let replies = server.handle_pdu(now, pdu);
-            if let Some(uplink) = self.uplink() {
-                for reply in replies {
-                    let _ = self.net.send(uplink, reply);
-                }
-            }
-        }
-    }
-
-    /// Feeds one PDU into the router and delivers the resulting cascade,
-    /// bouncing between router and co-located server until quiescent.
-    fn route(&mut self, now: u64, from_nid: usize, pdu: Pdu) {
-        let mut work: VecDeque<(usize, Pdu)> = VecDeque::new();
-        work.push_back((from_nid, pdu));
-        // The request/response protocol cannot ping-pong unboundedly; the
-        // cap is defense against a protocol bug becoming a busy loop.
-        let mut budget = 10_000usize;
-        while let Some((nid, pdu)) = work.pop_front() {
-            if budget == 0 {
-                break;
-            }
-            budget -= 1;
-            let Some(router) = self.router.as_mut() else { return };
-            for (to, out) in router.handle_pdu(now, nid, pdu) {
-                if to == LOCAL_NID {
-                    if let Some(server) = self.server.as_mut() {
-                        for reply in server.handle_pdu(now, out) {
-                            work.push_back((LOCAL_NID, reply));
-                        }
-                    }
-                } else if let Some(&addr) = self.addrs.get(to) {
-                    let _ = self.net.send(addr, out);
-                }
-            }
-        }
-    }
-
-    fn tick(&mut self) {
-        let now = self.now();
-        if let Some(router) = self.router.as_mut() {
-            router.purge_expired(now);
-        }
-
-        // Server maintenance: durability timeouts + anti-entropy.
-        if let Some(server) = self.server.as_mut() {
-            let out = server.tick(now);
-            match self.cfg.role {
-                Role::Both => {
-                    for pdu in out {
-                        self.route(now, LOCAL_NID, pdu);
-                    }
-                }
-                _ => {
-                    if let Some(uplink) = self.uplink() {
-                        for pdu in out {
-                            let _ = self.net.send(uplink, pdu);
-                        }
-                    }
-                }
-            }
-        }
-
-        // Re-advertise when new capsules were mounted at runtime.
-        if self.server.as_mut().map(|s| s.needs_readvertise()).unwrap_or(false) {
-            match self.cfg.role {
-                Role::Both => self.local_attach(),
-                Role::Storage => self.start_network_attach(),
-                Role::Router => {}
-            }
-        }
-
-        // Nudge an unfinished network attach (lost Hello, slow router).
-        if let Some(ServerAttach::Pending(attacher, started)) = self.attach.as_mut() {
-            if started.elapsed() >= ATTACH_RETRY {
-                *started = Instant::now();
-                let hello = attacher.hello();
-                if let Some(uplink) = self.uplink() {
-                    let _ = self.net.send(uplink, hello);
-                }
+            if last_tick.elapsed() >= TICK_INTERVAL {
+                last_tick = Instant::now();
+                let out = self.runtime.tick(self.now());
+                self.transmit(out);
             }
         }
     }

@@ -1,0 +1,386 @@
+//! Transport-agnostic node runtime: the full node composition (router +
+//! DataCapsule server + attach state machine + peer↔neighbor mapping)
+//! as a sans-I/O core, generic over the peer-address type `P`.
+//!
+//! [`crate::node`] wraps this over [`gdp_net::TcpNet`] (P = `SocketAddr`)
+//! for real deployments; `gdp-sim` wraps the *same* runtime over the
+//! deterministic `gdp_net::simnet` fabric (P = `SimAddr`) for seeded
+//! chaos testing. Every method takes the caller's clock (`now`, µs) and
+//! returns an outbox of `(peer, pdu)` pairs to transmit — the runtime
+//! never reads a wall clock, never spawns a thread, and (once seeded via
+//! [`NodeRuntime::set_rng_seed`]) never touches OS randomness, which is
+//! what makes simulation runs byte-for-byte replayable.
+
+use crate::config::{NodeConfig, Role};
+use crate::node::NodeError;
+use gdp_router::{attach_directly, AttachStep, Attacher, Router};
+use gdp_server::DataCapsuleServer;
+use gdp_store::{CapsuleStore, FileStore, MemStore};
+use gdp_wire::{Name, Pdu};
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// Catalog/RtCert expiry for runtime attachments: effectively forever on
+/// the node's own clock (node time starts at zero at process start).
+pub const FOREVER: u64 = 1 << 50;
+
+/// Reserved neighbor id for the co-located server (role `both`).
+pub const LOCAL_NID: usize = usize::MAX;
+
+/// How long (µs) to wait before re-sending a Hello for an unfinished
+/// network attach.
+pub const ATTACH_RETRY_US: u64 = 500_000;
+
+/// PDUs to transmit, in order: `(peer, pdu)`.
+pub type NodeOutbox<P> = Vec<(P, Pdu)>;
+
+/// Server-side attach progress (storage role, network attach).
+enum ServerAttach {
+    /// Handshake in flight; retry Hello after a quiet period (µs of the
+    /// last Hello sent).
+    Pending(Box<Attacher>, u64),
+    /// Attached; nothing to do until a re-advertise is needed.
+    Done,
+}
+
+/// Builds the protocol cores for a node config: the router (when the
+/// role routes) and the server with its hosted capsules mounted over
+/// file- or memory-backed stores (when the role stores).
+///
+/// Extracted from the TCP daemon so the simulator restarts a crashed
+/// node through the *same* code path — including `FileStore` torn-tail
+/// recovery and `host_with_store` replay.
+pub fn build_cores(
+    cfg: &NodeConfig,
+) -> Result<(Option<Router>, Option<DataCapsuleServer>), NodeError> {
+    let router = cfg.role.routes().then(|| Router::from_seed(&cfg.seed, &cfg.label));
+
+    let server = if cfg.role.stores() {
+        // Distinct seed domain for the server half of a `both` node, so
+        // router and server identities never collide.
+        let mut seed = cfg.seed;
+        seed[0] ^= 0x5a;
+        let mut server = DataCapsuleServer::from_seed(&seed, &cfg.label);
+        if let Some(dir) = &cfg.data_dir {
+            std::fs::create_dir_all(dir).map_err(|e| NodeError::Host(format!("data_dir: {e}")))?;
+        }
+        for spec in &cfg.hosts {
+            let capsule = spec.metadata.name();
+            // One append-only segment file per capsule (restart recovery
+            // happens inside host_with_store), or memory without data_dir.
+            let store: Box<dyn CapsuleStore> = match &cfg.data_dir {
+                Some(dir) => Box::new(
+                    FileStore::open(dir.join(format!("{}.log", capsule.to_hex())))
+                        .map_err(|e| NodeError::Host(format!("open store: {e:?}")))?,
+                ),
+                None => Box::new(MemStore::new()),
+            };
+            server
+                .host_with_store(
+                    spec.metadata.clone(),
+                    spec.chain.clone(),
+                    spec.peers.clone(),
+                    store,
+                )
+                .map_err(|e| NodeError::Host(format!("{e:?}")))?;
+        }
+        Some(server)
+    } else {
+        None
+    };
+
+    Ok((router, server))
+}
+
+/// The node composition as a sans-I/O state machine over peer type `P`.
+pub struct NodeRuntime<P> {
+    role: Role,
+    router: Option<Router>,
+    server: Option<DataCapsuleServer>,
+    attach: Option<ServerAttach>,
+    /// The router identity a storage node attaches to.
+    attach_target: Option<Name>,
+    /// The peer all storage-role traffic is sent through.
+    uplink: Option<P>,
+    /// Stable peer → neighbor-id map (never reused; a returning peer
+    /// keeps its id).
+    nids: HashMap<P, usize>,
+    addrs: Vec<P>,
+}
+
+impl<P: Copy + Eq + Hash> NodeRuntime<P> {
+    /// Assembles a runtime from pre-built cores. `attach_target` and
+    /// `uplink` are required for (and only used by) the storage role.
+    pub fn new(
+        role: Role,
+        router: Option<Router>,
+        server: Option<DataCapsuleServer>,
+        attach_target: Option<Name>,
+        uplink: Option<P>,
+    ) -> NodeRuntime<P> {
+        NodeRuntime {
+            role,
+            router,
+            server,
+            attach: None,
+            attach_target,
+            uplink,
+            nids: HashMap::new(),
+            addrs: Vec::new(),
+        }
+    }
+
+    /// Builds cores from `cfg` and assembles the runtime.
+    pub fn from_config(cfg: &NodeConfig, uplink: Option<P>) -> Result<NodeRuntime<P>, NodeError> {
+        let (router, server) = build_cores(cfg)?;
+        Ok(NodeRuntime::new(cfg.role, router, server, cfg.router, uplink))
+    }
+
+    /// The router identity, when this node runs one.
+    pub fn router_name(&self) -> Option<Name> {
+        self.router.as_ref().map(|r| r.name())
+    }
+
+    /// The DataCapsule-server identity, when this node runs one.
+    pub fn server_name(&self) -> Option<Name> {
+        self.server.as_ref().map(|s| s.name())
+    }
+
+    /// The hosted-data core, for inspection (e.g. invariant checks).
+    pub fn server(&self) -> Option<&DataCapsuleServer> {
+        self.server.as_ref()
+    }
+
+    /// Mutable access to the hosted-data core.
+    pub fn server_mut(&mut self) -> Option<&mut DataCapsuleServer> {
+        self.server.as_mut()
+    }
+
+    /// The routing core, for inspection.
+    pub fn router(&self) -> Option<&Router> {
+        self.router.as_ref()
+    }
+
+    /// True once a storage node's network attach has completed.
+    pub fn is_attached(&self) -> bool {
+        matches!(self.attach, Some(ServerAttach::Done))
+    }
+
+    /// Seeds every internal RNG (router challenges, server session keys)
+    /// so runs are deterministic. Call before any traffic is processed.
+    pub fn set_rng_seed(&mut self, seed: u64) {
+        if let Some(r) = self.router.as_mut() {
+            r.set_rng_seed(seed ^ 0x524f_5554);
+        }
+        if let Some(s) = self.server.as_mut() {
+            s.set_rng_seed(seed ^ 0x5352_5652);
+        }
+    }
+
+    fn nid(&mut self, peer: P) -> usize {
+        if let Some(&n) = self.nids.get(&peer) {
+            return n;
+        }
+        let n = self.addrs.len();
+        self.addrs.push(peer);
+        self.nids.insert(peer, n);
+        n
+    }
+
+    /// Starts the node: a `both` node attaches its server to its own
+    /// router in-process; a pure storage node opens the network attach
+    /// handshake toward its uplink.
+    pub fn start(&mut self, now: u64) -> NodeOutbox<P> {
+        let mut out = Vec::new();
+        self.local_attach(now);
+        self.start_network_attach(now, &mut out);
+        out
+    }
+
+    /// Role `both`: drive the attach handshake against the local router
+    /// directly — no network round trip for co-located components.
+    fn local_attach(&mut self, now: u64) {
+        let (Some(router), Some(server)) = (self.router.as_mut(), self.server.as_mut()) else {
+            return;
+        };
+        let mut attacher = Attacher::new(
+            server.principal_id().clone(),
+            router.name(),
+            server.advert_entries(),
+            FOREVER,
+        );
+        attach_directly(router, LOCAL_NID, &mut attacher, now)
+            .expect("local attach cannot fail: both halves are in-process");
+    }
+
+    /// Storage role: begin (or restart) the attach handshake toward the
+    /// configured router.
+    fn start_network_attach(&mut self, now: u64, out: &mut NodeOutbox<P>) {
+        if self.role != Role::Storage {
+            return;
+        }
+        let (Some(server), Some(target), Some(uplink)) =
+            (self.server.as_ref(), self.attach_target, self.uplink)
+        else {
+            return;
+        };
+        let attacher =
+            Attacher::new(server.principal_id().clone(), target, server.advert_entries(), FOREVER);
+        out.push((uplink, attacher.hello()));
+        self.attach = Some(ServerAttach::Pending(Box::new(attacher), now));
+    }
+
+    /// Re-arms the attach handshake *without* sending a Hello now; the
+    /// tick retry sends it one `ATTACH_RETRY_US` later. Used after a
+    /// rejection, where immediate retry would feed an attach storm.
+    fn rearm_network_attach(&mut self, now: u64) {
+        if self.role != Role::Storage {
+            return;
+        }
+        let (Some(server), Some(target)) = (self.server.as_ref(), self.attach_target) else {
+            return;
+        };
+        let attacher =
+            Attacher::new(server.principal_id().clone(), target, server.advert_entries(), FOREVER);
+        self.attach = Some(ServerAttach::Pending(Box::new(attacher), now));
+    }
+
+    /// A peer's transport reported it dead: withdraw its routes and, if
+    /// it was our uplink, restart the attach handshake.
+    pub fn on_peer_down(&mut self, now: u64, peer: P) -> NodeOutbox<P> {
+        let mut out = Vec::new();
+        // Withdraw everything the dead neighbor advertised so reads fail
+        // over to surviving replicas.
+        if let (Some(router), Some(&nid)) = (self.router.as_mut(), self.nids.get(&peer)) {
+            router.neighbor_down(nid);
+        }
+        // A storage node that lost its uplink must re-attach once the
+        // router is reachable again.
+        if self.role == Role::Storage && Some(peer) == self.uplink {
+            self.start_network_attach(now, &mut out);
+        }
+        out
+    }
+
+    /// Feeds one received PDU through the node: the attach handshake
+    /// claims matching PDUs first, then the router cascade (or, on a
+    /// router-less storage node, the server directly).
+    pub fn on_pdu(&mut self, now: u64, from: P, pdu: Pdu) -> NodeOutbox<P> {
+        let mut out = Vec::new();
+        // Storage role: the attach handshake claims matching PDUs first.
+        if let Some(ServerAttach::Pending(attacher, _)) = self.attach.as_mut() {
+            match attacher.on_pdu(&pdu) {
+                AttachStep::Send(reply) => {
+                    if let Some(uplink) = self.uplink {
+                        out.push((uplink, reply));
+                    }
+                    return out;
+                }
+                AttachStep::Done(_) => {
+                    self.attach = Some(ServerAttach::Done);
+                    return out;
+                }
+                AttachStep::Failed(_) => {
+                    // Router restarted mid-handshake or rejected us; start
+                    // over from Hello — but let the tick retry send it.
+                    // Re-Helloing *immediately* on rejection turns overlapping
+                    // handshake cycles into a self-sustaining reject/Hello
+                    // storm (attach livelock, found by chaos seed 160).
+                    self.rearm_network_attach(now);
+                    return out;
+                }
+                AttachStep::Ignored => {}
+            }
+        }
+
+        if self.router.is_some() {
+            let nid = self.nid(from);
+            self.route(now, nid, pdu, &mut out);
+        } else if let Some(server) = self.server.as_mut() {
+            let replies = server.handle_pdu(now, pdu);
+            if let Some(uplink) = self.uplink {
+                for reply in replies {
+                    out.push((uplink, reply));
+                }
+            }
+        }
+        out
+    }
+
+    /// Feeds one PDU into the router and collects the resulting cascade,
+    /// bouncing between router and co-located server until quiescent.
+    fn route(&mut self, now: u64, from_nid: usize, pdu: Pdu, out: &mut NodeOutbox<P>) {
+        let mut work: VecDeque<(usize, Pdu)> = VecDeque::new();
+        work.push_back((from_nid, pdu));
+        // The request/response protocol cannot ping-pong unboundedly; the
+        // cap is defense against a protocol bug becoming a busy loop.
+        let mut budget = 10_000usize;
+        while let Some((nid, pdu)) = work.pop_front() {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            let Some(router) = self.router.as_mut() else { return };
+            for (to, pdu_out) in router.handle_pdu(now, nid, pdu) {
+                if to == LOCAL_NID {
+                    if let Some(server) = self.server.as_mut() {
+                        for reply in server.handle_pdu(now, pdu_out) {
+                            work.push_back((LOCAL_NID, reply));
+                        }
+                    }
+                } else if let Some(&peer) = self.addrs.get(to) {
+                    out.push((peer, pdu_out));
+                }
+            }
+        }
+    }
+
+    /// Periodic maintenance: route-expiry purge, server durability
+    /// timeouts + anti-entropy, re-advertise, attach-Hello retry.
+    pub fn tick(&mut self, now: u64) -> NodeOutbox<P> {
+        let mut out = Vec::new();
+        if let Some(router) = self.router.as_mut() {
+            router.purge_expired(now);
+        }
+
+        // Server maintenance: durability timeouts + anti-entropy.
+        if let Some(server) = self.server.as_mut() {
+            let pdus = server.tick(now);
+            match self.role {
+                Role::Both => {
+                    for pdu in pdus {
+                        self.route(now, LOCAL_NID, pdu, &mut out);
+                    }
+                }
+                _ => {
+                    if let Some(uplink) = self.uplink {
+                        for pdu in pdus {
+                            out.push((uplink, pdu));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Re-advertise when new capsules were mounted at runtime.
+        if self.server.as_mut().map(|s| s.needs_readvertise()).unwrap_or(false) {
+            match self.role {
+                Role::Both => self.local_attach(now),
+                Role::Storage => self.start_network_attach(now, &mut out),
+                Role::Router => {}
+            }
+        }
+
+        // Nudge an unfinished network attach (lost Hello, slow router).
+        if let Some(ServerAttach::Pending(attacher, last_hello)) = self.attach.as_mut() {
+            if now.saturating_sub(*last_hello) >= ATTACH_RETRY_US {
+                *last_hello = now;
+                let hello = attacher.hello();
+                if let Some(uplink) = self.uplink {
+                    out.push((uplink, hello));
+                }
+            }
+        }
+        out
+    }
+}

@@ -17,7 +17,14 @@ use crate::glookup::GLookup;
 use crate::messages::{AdvertiseMsg, ControlMsg, LookupMsg, VerifiedRoute};
 use gdp_cert::{Challenge, Principal, PrincipalId, PrincipalKind, Scope};
 use gdp_wire::{Name, Pdu, PduType, Wire};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::HashMap;
+
+/// Most attach challenges kept outstanding per neighbor. Big enough that
+/// every handshake cycle a retrying-but-honest advertiser can have in
+/// flight stays answerable; small enough to bound per-neighbor state.
+const MAX_OUTSTANDING_CHALLENGES: usize = 4;
 
 /// Router statistics (observable by tests and benches).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -58,7 +65,14 @@ pub struct Router {
     parent: Option<NeighborId>,
     fib: Fib,
     glookup: GLookup,
-    pending_challenges: HashMap<NeighborId, Challenge>,
+    /// Outstanding attach challenges per neighbor. A small *set*, not a
+    /// single slot: retried Hellos (lossy links, duplication) put several
+    /// handshake cycles in flight at once, and if each new challenge
+    /// overwrote the last, a proof could only ever match the *latest*
+    /// challenge — two interleaved cycles then reject each other forever
+    /// (attach livelock, found by seed 160 of the chaos sweep). A proof is
+    /// accepted against any outstanding challenge; failures consume none.
+    pending_challenges: HashMap<NeighborId, Vec<Challenge>>,
     /// Principals attached directly (neighbor → principal name).
     attached: HashMap<NeighborId, Name>,
     /// Catalogs by attaching neighbor (for extension records).
@@ -71,6 +85,9 @@ pub struct Router {
     /// Where routers at this level send unknown names (`None` = root, which
     /// drops and reports).
     seq: u64,
+    /// Nonce generator for attach challenges. Entropy-seeded by default;
+    /// [`Router::set_rng_seed`] makes it replayable under the simulator.
+    rng: StdRng,
 }
 
 /// PDUs to emit, paired with the neighbor to emit them to.
@@ -92,7 +109,15 @@ impl Router {
             next_query_id: 1,
             stats: RouterStats::default(),
             seq: 0,
+            rng: StdRng::from_entropy(),
         }
+    }
+
+    /// Replaces the challenge-nonce generator with a deterministic one.
+    /// Only the simulator should call this: with a fixed seed the router's
+    /// entire output becomes a pure function of its inputs.
+    pub fn set_rng_seed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
     }
 
     /// Convenience constructor from a seed and label.
@@ -208,8 +233,14 @@ impl Router {
         };
         match msg {
             AdvertiseMsg::Hello => {
-                let challenge = Challenge::random();
-                self.pending_challenges.insert(from, challenge);
+                let challenge = Challenge::from_rng(&mut self.rng);
+                let outstanding = self.pending_challenges.entry(from).or_default();
+                // Bound the set: a flapping or hostile neighbor must not
+                // grow state without limit. Oldest challenges die first.
+                if outstanding.len() >= MAX_OUTSTANDING_CHALLENGES {
+                    outstanding.remove(0);
+                }
+                outstanding.push(challenge);
                 let reply = AdvertiseMsg::ChallengeMsg(challenge);
                 vec![(from, self.advertise_pdu(pdu.src, pdu.seq, &reply))]
             }
@@ -251,8 +282,14 @@ impl Router {
         advertisement: &gdp_cert::Advertisement,
         rtcert: &gdp_cert::RtCert,
     ) -> Result<(Vec<Name>, Outbox), &'static str> {
-        let challenge = self.pending_challenges.remove(&from).ok_or("no outstanding challenge")?;
-        proof.verify(&challenge, &self.name()).map_err(|_| "challenge proof failed")?;
+        let outstanding = self.pending_challenges.get(&from).ok_or("no outstanding challenge")?;
+        // Accept a proof of *any* outstanding challenge for this neighbor;
+        // a failed proof consumes none of them, so a stale or duplicated
+        // Attach cannot cancel the handshake cycle that is still live.
+        if !outstanding.iter().any(|c| proof.verify(c, &self.name()).is_ok()) {
+            return Err("challenge proof failed");
+        }
+        self.pending_challenges.remove(&from);
         if proof.principal != advertisement.advertiser {
             return Err("proof principal is not the advertiser");
         }

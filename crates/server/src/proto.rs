@@ -214,6 +214,21 @@ pub enum ResponseAuth {
     },
     /// HMAC under the established flow key.
     Mac {
+        /// Name of the responding server — selects which flow key the
+        /// client must verify against. Requests are routed by *capsule*
+        /// name, so any serving replica may answer; without this hint a
+        /// response MAC'd by a replica other than the session peer is
+        /// indistinguishable from a corrupted one. The hint itself needs
+        /// no protection: the flow key is bound to the server identity at
+        /// session establishment, so lying about it just fails the MAC.
+        server: Name,
+        /// Key epoch: the first 8 bytes of the client ephemeral that
+        /// established the flow key. A client that re-keys can receive
+        /// in-flight responses MAC'd under the *previous* key; the epoch
+        /// lets it classify those as key disagreement (recoverable, retry)
+        /// rather than tampering. Like `server`, it needs no protection —
+        /// lying about it only changes which way verification fails.
+        epoch: [u8; 8],
         /// HMAC-SHA256 over the response transcript.
         tag: [u8; 32],
     },
@@ -228,8 +243,10 @@ impl ResponseAuth {
                 chain.encode(enc);
                 enc.raw(&signature.to_bytes());
             }
-            ResponseAuth::Mac { tag } => {
+            ResponseAuth::Mac { server, epoch, tag } => {
                 enc.u8(1);
+                enc.name(server);
+                enc.raw(epoch);
                 enc.raw(tag);
             }
         }
@@ -241,7 +258,11 @@ impl ResponseAuth {
                 chain: ServingChain::decode(dec)?,
                 signature: Signature(dec.array::<64>()?),
             },
-            1 => ResponseAuth::Mac { tag: dec.array::<32>()? },
+            1 => ResponseAuth::Mac {
+                server: dec.name()?,
+                epoch: dec.array::<8>()?,
+                tag: dec.array::<32>()?,
+            },
             t => return Err(DecodeError::BadTag(t as u64)),
         })
     }
@@ -598,11 +619,22 @@ mod tests {
                 seq: 1,
                 hash: record.hash(),
                 replicas: 3,
-                auth: ResponseAuth::Mac { tag: [9u8; 32] },
+                auth: ResponseAuth::Mac {
+                    server: Name::from_content(b"s"),
+                    epoch: [2u8; 8],
+                    tag: [9u8; 32],
+                },
             },
             DataMsg::Read { target: ReadTarget::Range(2, 9) },
             DataMsg::Subscribe { from_seq: 4 },
-            DataMsg::Event { record: record.clone(), auth: ResponseAuth::Mac { tag: [1u8; 32] } },
+            DataMsg::Event {
+                record: record.clone(),
+                auth: ResponseAuth::Mac {
+                    server: Name::from_content(b"s"),
+                    epoch: [3u8; 8],
+                    tag: [1u8; 32],
+                },
+            },
             DataMsg::Replicate { capsule: name, record: record.clone() },
             DataMsg::ReplicateAck { capsule: name, hash: record.hash() },
             DataMsg::SyncRequest { capsule: name, have_seq: 9, missing: vec![record.hash()] },

@@ -28,7 +28,9 @@ use gdp_crypto::x25519::EphemeralKeyPair;
 use gdp_crypto::{hkdf, Signature};
 use gdp_store::{CapsuleStore, MemStore};
 use gdp_wire::{Name, Pdu, PduType, Wire};
-use std::collections::HashMap;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashMap};
 
 /// Server counters, observable by tests and benches.
 #[derive(Clone, Copy, Debug, Default)]
@@ -70,18 +72,35 @@ struct PendingDurability {
     deadline: u64,
 }
 
+/// An established client flow: the key plus the handshake inputs that
+/// produced it, so a retransmitted `SessionInit` can be answered
+/// idempotently (same server ephemeral, same key, same accept) instead of
+/// silently re-keying — a re-key on a duplicate leaves the client holding
+/// the first key while the server MACs with the second (found by seed 36
+/// of the chaos sweep).
+struct FlowSession {
+    client_eph: [u8; 32],
+    server_eph: [u8; 32],
+    key: [u8; 32],
+}
+
 /// A DataCapsule-server.
 pub struct DataCapsuleServer {
     id: PrincipalId,
-    hosted: HashMap<Name, Hosted>,
+    /// Ordered by capsule name so anti-entropy fan-out and advertisement
+    /// catalogs are iteration-order independent (deterministic replay).
+    hosted: BTreeMap<Name, Hosted>,
     /// Flow keys per client name.
-    sessions: HashMap<Name, [u8; 32]>,
+    sessions: HashMap<Name, FlowSession>,
     pending: Vec<PendingDurability>,
     /// Statistics.
     pub stats: ServerStats,
     /// How long to wait for quorum acks before failing an append (µs).
     pub durability_timeout: u64,
     readvertise: bool,
+    /// Session-ephemeral-key generator. Entropy-seeded by default;
+    /// [`DataCapsuleServer::set_rng_seed`] makes handshakes replayable.
+    rng: StdRng,
 }
 
 impl DataCapsuleServer {
@@ -90,13 +109,21 @@ impl DataCapsuleServer {
         assert_eq!(id.principal().kind, PrincipalKind::Server);
         DataCapsuleServer {
             id,
-            hosted: HashMap::new(),
+            hosted: BTreeMap::new(),
             sessions: HashMap::new(),
             pending: Vec::new(),
             stats: ServerStats::default(),
             durability_timeout: 10_000_000,
             readvertise: false,
+            rng: StdRng::from_entropy(),
         }
+    }
+
+    /// Replaces the ephemeral-key generator with a deterministic one, so
+    /// simulated runs replay bit-for-bit. Never call this in production:
+    /// session keys become a function of the seed.
+    pub fn set_rng_seed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
     }
 
     /// Convenience constructor.
@@ -203,9 +230,11 @@ impl DataCapsuleServer {
         body: &[u8],
     ) -> ResponseAuth {
         match self.sessions.get(client) {
-            Some(flow_key) => {
-                ResponseAuth::Mac { tag: mac_response(flow_key, capsule, request_seq, body) }
-            }
+            Some(session) => ResponseAuth::Mac {
+                server: self.id.name(),
+                epoch: session.client_eph[..8].try_into().expect("8-byte epoch"),
+                tag: mac_response(&session.key, capsule, request_seq, body),
+            },
             None => {
                 let chain = self.hosted[capsule].chain.clone();
                 ResponseAuth::Signed {
@@ -272,18 +301,35 @@ impl DataCapsuleServer {
         if !self.hosted.contains_key(&capsule) {
             return vec![self.err_pdu(client, seq, ErrorCode::NotServing, "unknown capsule")];
         }
-        let eph = EphemeralKeyPair::generate(&mut rand::rngs::OsRng);
-        let Some(shared) = eph.diffie_hellman(&client_eph) else {
-            return vec![self.err_pdu(client, seq, ErrorCode::BadRequest, "degenerate key")];
+        // Idempotence: a retransmitted or fabric-duplicated init for the
+        // ephemeral we already answered must reproduce the *same* accept.
+        // Generating a fresh server ephemeral here would replace the key
+        // while the client (which processes only the first accept) keeps
+        // the old one — poisoning every MAC'd response thereafter.
+        let server_eph = match self.sessions.get(&client) {
+            Some(s) if s.client_eph == client_eph => s.server_eph,
+            _ => {
+                let eph = EphemeralKeyPair::generate(&mut self.rng);
+                let Some(shared) = eph.diffie_hellman(&client_eph) else {
+                    return vec![self.err_pdu(
+                        client,
+                        seq,
+                        ErrorCode::BadRequest,
+                        "degenerate key",
+                    )];
+                };
+                let key = hkdf::derive_key32(capsule.as_bytes(), &shared, b"gdp/flow-key/v1");
+                let server_eph = *eph.public();
+                self.sessions.insert(client, FlowSession { client_eph, server_eph, key });
+                self.stats.sessions += 1;
+                server_eph
+            }
         };
-        let flow_key = hkdf::derive_key32(capsule.as_bytes(), &shared, b"gdp/flow-key/v1");
-        self.sessions.insert(client, flow_key);
-        self.stats.sessions += 1;
-        let transcript = session_transcript(&capsule, &client_eph, eph.public());
+        let transcript = session_transcript(&capsule, &client_eph, &server_eph);
         let signature: Signature = self.id.signing_key().sign(&transcript);
         let chain = self.hosted[&capsule].chain.clone();
         let msg = DataMsg::SessionAccept {
-            server_eph: *eph.public(),
+            server_eph,
             client_eph,
             server: self.id.principal().clone(),
             chain,
@@ -980,7 +1026,7 @@ mod tests {
         let (rseq, rhash) = (record.header.seq, record.hash());
         let out = request(&mut rig, &DataMsg::Append { record, ack_mode: AckMode::Local });
         match msg_of(&out[0]) {
-            DataMsg::AppendAck { auth: crate::proto::ResponseAuth::Mac { tag }, .. } => {
+            DataMsg::AppendAck { auth: crate::proto::ResponseAuth::Mac { tag, .. }, .. } => {
                 let body = append_ack_body(rseq, &rhash, 1);
                 let expect = mac_response(&flow, &rig.capsule, rig.seq, &body);
                 assert_eq!(tag, expect, "server must MAC with the agreed flow key");

@@ -1,0 +1,248 @@
+//! Frame-decode corpus: a checked-in set of hostile byte sequences —
+//! malformed, truncated, oversized, bit-rotted — pushed through both the
+//! one-shot [`decode_frame`] and the streaming [`FrameReader`]. The
+//! contract under attack input is strict: a typed [`FrameError`], never a
+//! panic, never unbounded buffering; and every *valid* frame must
+//! round-trip bit-exactly.
+
+use gdp_wire::{
+    decode_frame, encode_frame, FrameError, FrameReader, Name, Pdu, PduType, FRAME_PREFIX,
+    HEADER_LEN, MAX_FRAME,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn pdu(t: PduType, seq: u64, payload: Vec<u8>) -> Pdu {
+    Pdu {
+        pdu_type: t,
+        src: Name::from_content(b"alpha"),
+        dst: Name::from_content(b"beta"),
+        seq,
+        payload,
+    }
+}
+
+/// A representative spread of valid PDUs: every type tag, empty and
+/// non-trivial payloads, boundary sequence numbers.
+fn valid_corpus() -> Vec<Pdu> {
+    vec![
+        pdu(PduType::Data, 0, Vec::new()),
+        pdu(PduType::Data, 1, b"hello capsule".to_vec()),
+        pdu(PduType::Advertise, u64::MAX, vec![0xAB; 1000]),
+        pdu(PduType::Lookup, 7, vec![0; 1]),
+        pdu(PduType::RouterControl, 1 << 40, (0..=255u8).collect()),
+        pdu(PduType::Error, 2, vec![0xFF; 32]),
+    ]
+}
+
+/// A corpus entry: (label, hostile bytes, expected-error-class check).
+type HostileEntry = (&'static str, Vec<u8>, fn(&FrameError) -> bool);
+
+/// Checked-in adversarial inputs with the error class each must produce.
+fn hostile_corpus() -> Vec<HostileEntry> {
+    let valid = encode_frame(&pdu(PduType::Data, 9, b"seed".to_vec()));
+    let mut corpus: Vec<HostileEntry> = Vec::new();
+
+    // Zero-length frame.
+    corpus.push(("zero-length", vec![0, 0, 0, 0, 1, 2, 3], |e| matches!(e, FrameError::Empty)));
+
+    // Length prefix claiming 4 GiB: must be rejected before any buffering.
+    corpus.push((
+        "oversized-4gib",
+        {
+            let mut b = valid.clone();
+            b[..4].copy_from_slice(&u32::MAX.to_be_bytes());
+            b
+        },
+        |e| matches!(e, FrameError::Oversized { .. }),
+    ));
+
+    // Length prefix exactly one past the cap.
+    corpus.push((
+        "oversized-by-one",
+        {
+            let mut b = vec![0u8; FRAME_PREFIX];
+            b[..4].copy_from_slice(&((MAX_FRAME + 1) as u32).to_be_bytes());
+            b
+        },
+        |e| matches!(e, FrameError::Oversized { .. }),
+    ));
+
+    // Bad magic in the PDU body.
+    corpus.push((
+        "bad-magic",
+        {
+            let mut b = valid.clone();
+            b[4] ^= 0xFF;
+            b
+        },
+        |e| matches!(e, FrameError::Malformed(_)),
+    ));
+
+    // Unsupported PDU version.
+    corpus.push((
+        "bad-version",
+        {
+            let mut b = valid.clone();
+            b[6] = 0x7F;
+            b
+        },
+        |e| matches!(e, FrameError::Malformed(_)),
+    ));
+
+    // Unknown PDU type tag.
+    corpus.push((
+        "bad-type",
+        {
+            let mut b = valid.clone();
+            b[7] = 0xEE;
+            b
+        },
+        |e| matches!(e, FrameError::Malformed(_)),
+    ));
+
+    // Inner payload length pointing past the frame body (header lies).
+    corpus.push((
+        "inner-length-overrun",
+        {
+            let mut b = valid.clone();
+            let len_off = FRAME_PREFIX + HEADER_LEN - 4;
+            b[len_off..len_off + 4].copy_from_slice(&0xFFFF_u32.to_be_bytes());
+            b
+        },
+        |e| matches!(e, FrameError::Malformed(_)),
+    ));
+
+    // Frame body shorter than a PDU header.
+    corpus.push((
+        "body-shorter-than-header",
+        {
+            let mut b = vec![0u8; FRAME_PREFIX + 3];
+            b[..4].copy_from_slice(&3u32.to_be_bytes());
+            b[4..].copy_from_slice(&[0x47, 0xD0, 0x01]);
+            b
+        },
+        |e| matches!(e, FrameError::Malformed(_)),
+    ));
+
+    // Trailing garbage after a correctly-declared body: the *frame* is
+    // consistent but the PDU decoder must reject unconsumed bytes or the
+    // payload-length mismatch.
+    corpus.push((
+        "declared-too-long",
+        {
+            let mut b = valid.clone();
+            let declared = (valid.len() - FRAME_PREFIX + 5) as u32;
+            b[..4].copy_from_slice(&declared.to_be_bytes());
+            b.extend_from_slice(&[9, 9, 9, 9, 9]);
+            b
+        },
+        |e| matches!(e, FrameError::Malformed(_)),
+    ));
+
+    corpus
+}
+
+#[test]
+fn valid_frames_round_trip_exactly() {
+    for p in valid_corpus() {
+        let bytes = encode_frame(&p);
+        let (got, consumed) = decode_frame(&bytes, MAX_FRAME)
+            .unwrap_or_else(|e| panic!("valid frame rejected ({:?}): {e}", p.pdu_type));
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(got, p, "frame round-trip altered the PDU");
+    }
+}
+
+#[test]
+fn hostile_corpus_yields_typed_errors() {
+    for (label, bytes, check) in hostile_corpus() {
+        match decode_frame(&bytes, MAX_FRAME) {
+            Err(e) => assert!(check(&e), "corpus entry {label}: wrong error class: {e}"),
+            Ok((p, _)) => panic!("corpus entry {label}: hostile bytes decoded as {:?}", p.pdu_type),
+        }
+    }
+}
+
+/// The streaming reader must poison itself on the first hostile frame and
+/// stay dead — resynchronizing on a corrupt byte stream is unsound.
+#[test]
+fn reader_poisons_on_every_hostile_entry() {
+    for (label, bytes, _) in hostile_corpus() {
+        let mut r = FrameReader::new();
+        // A valid frame first: corruption mid-stream, not at start.
+        r.push(&encode_frame(&pdu(PduType::Data, 1, b"ok".to_vec())));
+        r.push(&bytes);
+        assert!(r.next_frame().unwrap().is_some(), "{label}: leading valid frame lost");
+        assert!(r.next_frame().is_err(), "{label}: hostile frame not rejected");
+        r.push(&encode_frame(&pdu(PduType::Data, 2, b"late".to_vec())));
+        assert!(r.next_frame().is_err(), "{label}: reader recovered from poison");
+    }
+}
+
+/// Every truncation point of every valid frame is `Incomplete` (one-shot)
+/// and `Ok(None)` (reader) — never a panic, never a misparse.
+#[test]
+fn every_truncation_point_is_incomplete() {
+    for p in valid_corpus() {
+        let bytes = encode_frame(&p);
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut], MAX_FRAME) {
+                Err(FrameError::Incomplete { needed }) => {
+                    assert!(needed > cut, "needed must exceed what was offered")
+                }
+                other => {
+                    let _ = other.map(|(p, _)| p.seq); // normalize for message
+                    panic!("truncated frame (cut {cut}) was not Incomplete")
+                }
+            }
+            let mut r = FrameReader::new();
+            r.push(&bytes[..cut]);
+            assert!(matches!(r.next_frame(), Ok(None)), "reader misparse at cut {cut}");
+        }
+    }
+}
+
+/// Seeded random byte-flips over valid frames: any single-byte mutation
+/// either still decodes (flips inside the opaque payload or names produce
+/// a *different but well-formed* PDU — acceptable; integrity is the
+/// crypto layer's job) or fails with a typed error. Never a panic, and
+/// the consumed length never exceeds the input.
+#[test]
+fn random_bit_rot_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0x46524D45);
+    let frames: Vec<Vec<u8>> = valid_corpus().iter().map(encode_frame).collect();
+    for _ in 0..2_000 {
+        let f = &frames[rng.gen_range(0..frames.len())];
+        let mut b = f.clone();
+        let flips = rng.gen_range(1..4);
+        for _ in 0..flips {
+            let pos = rng.gen_range(0..b.len());
+            b[pos] ^= 1u8 << rng.gen_range(0..8u8);
+        }
+        // A typed Err is fine; a decode must never over-consume.
+        if let Ok((_, consumed)) = decode_frame(&b, MAX_FRAME) {
+            assert!(consumed <= b.len());
+        }
+    }
+}
+
+/// Seeded pure-garbage streams through the reader: bounded buffering and
+/// typed errors only. (The reader may legitimately sit in `Ok(None)`
+/// waiting for more bytes of a large-but-legal declared frame.)
+#[test]
+fn random_garbage_streams_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0x47415242);
+    for _ in 0..200 {
+        let mut r = FrameReader::new();
+        let len = rng.gen_range(1..512);
+        let garbage: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        for chunk in garbage.chunks(rng.gen_range(1..32)) {
+            r.push(chunk);
+            match r.next_frame() {
+                Ok(_) | Err(_) => {}
+            }
+        }
+        assert!(r.buffered() <= MAX_FRAME + 512, "reader buffered unboundedly");
+    }
+}

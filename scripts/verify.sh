@@ -30,4 +30,27 @@ cargo test --workspace -q
 step "cargo test (tier-1: facade crate)"
 cargo test -q
 
+# Seeded chaos sweep: the workspace test run above already covers the
+# default 100-seed sweep once; this dedicated pass widens/narrows it via
+# GDP_SIM_SEEDS and, on failure, surfaces the failing seed with an exact
+# replay command (every panic in the chaos suite leads with GDP_SIM_SEED=<n>).
+sweep="${GDP_SIM_SEEDS:-50}"
+step "chaos seed sweep ($sweep seeds)"
+sweep_log="$(mktemp)"
+if ! GDP_SIM_SEEDS="$sweep" cargo test -p gdp-sim --test chaos seed_sweep -- --nocapture 2>&1 \
+        | tee "$sweep_log"; then
+    seed="$(grep -oE 'GDP_SIM_SEED=[0-9]+' "$sweep_log" | head -n1 || true)"
+    rm -f "$sweep_log"
+    printf '\n!!! chaos sweep FAILED'
+    if [ -n "$seed" ]; then
+        printf ' at %s — replay deterministically with:\n' "$seed"
+        printf '!!!   %s cargo test -p gdp-sim --test chaos -- seed_sweep\n' "$seed"
+        printf '!!!   (add GDP_SIM_DEBUG=1 to narrate every client event)\n'
+    else
+        printf ' — see output above\n'
+    fi
+    exit 1
+fi
+rm -f "$sweep_log"
+
 step "OK"

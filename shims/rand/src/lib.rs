@@ -34,6 +34,14 @@ pub trait SeedableRng: Sized {
     /// Constructs from a full seed.
     fn from_seed(seed: Self::Seed) -> Self;
 
+    /// Constructs from fresh OS entropy (matches `rand 0.8`'s
+    /// `SeedableRng::from_entropy`).
+    fn from_entropy() -> Self {
+        let mut seed = Self::Seed::default();
+        rngs::OsRng.fill_bytes(seed.as_mut());
+        Self::from_seed(seed)
+    }
+
     /// Constructs from a `u64` by expanding it with SplitMix64 (the same
     /// convention rand 0.8 uses).
     fn seed_from_u64(state: u64) -> Self {
@@ -333,6 +341,13 @@ pub mod rngs {
             }
         }
     }
+
+    /// `rand 0.8` marks `StdRng` as `CryptoRng` (it is ChaCha12 there).
+    /// The shim mirrors the API so code can hold one generator type for
+    /// both entropy-seeded production use and `seed_from_u64` replay in
+    /// the deterministic simulator; xoshiro output is only acceptable for
+    /// key material in this research reproduction.
+    impl CryptoRng for StdRng {}
 
     impl SeedableRng for StdRng {
         type Seed = [u8; 32];

@@ -118,7 +118,11 @@ fn secure_storage_untrusted_server() {
         // The server cannot produce a valid auth for content it forged
         // under the *writer's* key, but it CAN sign with its own key —
         // which is exactly what the client must not accept as sufficient.
-        auth: ResponseAuth::Mac { tag: [0u8; 32] },
+        auth: ResponseAuth::Mac {
+            server: world.servers[0].1.name(),
+            epoch: [0u8; 8],
+            tag: [0u8; 32],
+        },
     };
     let forged = Pdu {
         pdu_type: PduType::Data,
