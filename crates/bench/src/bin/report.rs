@@ -1,4 +1,7 @@
-//! Regenerates the paper's figures and tables as text series.
+//! Regenerates the paper's figures and tables as text series. The two
+//! figure experiments also emit machine-readable `BENCH_fig6.json` /
+//! `BENCH_fig8.json` in the working directory (self-validated before
+//! writing; `scripts/verify.sh` re-checks them).
 //!
 //! Usage:
 //! ```text
@@ -15,8 +18,18 @@
 //!   all                 everything above
 //! ```
 
-use gdp_bench::table::{rate, Table};
+use gdp_bench::table::{rate, secs, Table};
 use gdp_bench::{ablations, fig6, fig8};
+use gdp_obs::json;
+use gdp_sim::workload;
+
+/// Validates and writes one figure's JSON artifact, announcing it so the
+/// CI step (and a human skimming the output) can see it landed.
+fn write_bench_json(path: &str, doc: String) {
+    json::validate(&doc).unwrap_or_else(|e| panic!("{path}: generated invalid JSON: {e}"));
+    std::fs::write(path, &doc).unwrap_or_else(|e| panic!("{path}: write failed: {e}"));
+    println!("\nwrote {path}");
+}
 
 fn run_fig6() {
     println!("Fig 6 — forwarding rate and throughput vs PDU size");
@@ -25,22 +38,85 @@ fn run_fig6() {
         fig6::PER_PDU_US,
         fig6::PER_BYTE_NS
     );
+    let mut simulated = Vec::new();
     let mut t = Table::new(&["PDU bytes", "PDUs/s", "throughput (bps)"]);
     for size in gdp_sim::workload::fig6_pdu_sizes() {
         let p = fig6::simulated(size, 60);
         t.row(&[size.to_string(), rate(p.pdus_per_sec), rate(p.throughput_bps)]);
+        simulated.push(format!(
+            "{{\"pdu_bytes\":{},\"pdus_per_sec\":{:.3},\"throughput_bps\":{:.3}}}",
+            size, p.pdus_per_sec, p.throughput_bps
+        ));
     }
     t.print();
     println!("\nwall-clock forwarding rate of this implementation (single thread):");
+    let mut in_process = Vec::new();
     let mut t = Table::new(&["PDU bytes", "PDUs/s"]);
     for size in [64usize, 1024, 10240] {
         let p = fig6::in_process(size, 20_000);
         t.row(&[size.to_string(), rate(p.pdus_per_sec)]);
+        in_process
+            .push(format!("{{\"pdu_bytes\":{},\"pdus_per_sec\":{:.3}}}", size, p.pdus_per_sec));
     }
     t.print();
     println!("\nshape: PDU rate ≈ flat (CPU-bound) for small PDUs; throughput rises with");
     println!("PDU size and saturates near 1 Gbps around 10 kB — matching the paper.");
+    write_bench_json(
+        "BENCH_fig6.json",
+        format!(
+            "{{\"figure\":\"fig6\",\"cpu_model\":{{\"per_pdu_us\":{},\"per_byte_ns\":{}}},\
+             \"simulated\":[{}],\"in_process\":[{}]}}",
+            fig6::PER_PDU_US,
+            fig6::PER_BYTE_NS,
+            simulated.join(","),
+            in_process.join(",")
+        ),
+    );
 }
+
+/// Prints the Fig 8 tables for the given model sizes and emits
+/// `BENCH_fig8.json` (the quick smoke variant writes the same artifact,
+/// tagged so a dashboard never mistakes it for the full run).
+fn run_fig8(variant: &str, runs: u32, sizes: &[(&str, usize)]) {
+    let mut size_docs = Vec::new();
+    for (label, size) in sizes {
+        println!("\nFig 8 — {label} (avg over {runs} runs, virtual seconds; smaller is better)");
+        let mut systems = Vec::new();
+        let mut t = Table::new(&["system", "write (s)", "read (s)"]);
+        for (name, cell) in fig8::run_size(*size, runs) {
+            t.row(&[name.to_string(), secs(cell.write_us), secs(cell.read_us)]);
+            systems.push(format!(
+                "{{\"system\":\"{}\",\"write_us\":{},\"read_us\":{}}}",
+                json::escape(name),
+                cell.write_us,
+                cell.read_us
+            ));
+        }
+        t.print();
+        size_docs.push(format!(
+            "{{\"label\":\"{}\",\"model_bytes\":{},\"systems\":[{}]}}",
+            json::escape(label),
+            size,
+            systems.join(",")
+        ));
+    }
+    if variant == "full" {
+        println!(
+            "\nshape check: GDP(cloud) between SSHFS(cloud) and S3; edge ≫ cloud.\n\
+             (absolute values are simulator-calibrated; see EXPERIMENTS.md)"
+        );
+    }
+    write_bench_json(
+        "BENCH_fig8.json",
+        format!(
+            "{{\"figure\":\"fig8\",\"variant\":\"{variant}\",\"runs\":{runs},\"sizes\":[{}]}}",
+            size_docs.join(",")
+        ),
+    );
+}
+
+const FIG8_FULL: &[(&str, usize)] =
+    &[("28 MB model", workload::MODEL_SMALL), ("115 MB model", workload::MODEL_LARGE)];
 
 fn run_table1() {
     println!("Table I — how the Global Data Plane meets the platform requirements");
@@ -86,19 +162,8 @@ fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     match what.as_str() {
         "fig6" => run_fig6(),
-        "fig8" => fig8::report(5),
-        "fig8-quick" => {
-            println!("Fig 8 (quick) — 4 MB model, 2 runs");
-            let mut t = Table::new(&["system", "write (s)", "read (s)"]);
-            for (name, cell) in fig8::run_size(4_000_000, 2) {
-                t.row(&[
-                    name.to_string(),
-                    gdp_bench::table::secs(cell.write_us),
-                    gdp_bench::table::secs(cell.read_us),
-                ]);
-            }
-            t.print();
-        }
+        "fig8" => run_fig8("full", 5, FIG8_FULL),
+        "fig8-quick" => run_fig8("quick", 2, &[("4 MB model", 4_000_000)]),
         "table1" => run_table1(),
         "ablation-hashptr" => ablations::hashptr(4096),
         "ablation-durability" => ablations::durability(),
@@ -107,7 +172,7 @@ fn main() {
         "ablation-batch" => ablations::read_batch(),
         "all" => {
             run_fig6();
-            fig8::report(5);
+            run_fig8("full", 5, FIG8_FULL);
             run_table1();
             ablations::hashptr(4096);
             ablations::durability();

@@ -15,6 +15,7 @@ use gdp_capsule::{CapsuleMetadata, CapsuleWriter, Heartbeat, PointerStrategy, Re
 use gdp_cert::{Principal, PrincipalId, PrincipalKind};
 use gdp_crypto::x25519::EphemeralKeyPair;
 use gdp_crypto::{ct, hkdf, SigningKey, VerifyingKey};
+use gdp_obs::{Counter, Scope};
 use gdp_server::proto::{
     append_ack_body, event_body, mac_response, read_result_body, response_transcript,
     session_transcript, AckMode, DataMsg, ErrorCode, ReadResult, ReadTarget, ResponseAuth,
@@ -23,6 +24,10 @@ use gdp_wire::{Name, Pdu, PduType, Wire};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, HashMap};
+
+/// Default lifetime of a pending request before
+/// [`GdpClient::sweep_timeouts`] expires it (µs).
+pub const DEFAULT_REQUEST_TIMEOUT_US: u64 = 10_000_000;
 
 /// A verified read result delivered to the application.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -97,6 +102,29 @@ pub enum ClientEvent {
         /// The name that could not be routed.
         name: Name,
     },
+    /// A pending request expired without an authenticated response (the
+    /// response was lost, or never sent). The pending entry is dropped;
+    /// callers should re-issue — [`GdpClient::append_record`] re-wraps an
+    /// already-signed record for exactly this case.
+    Timeout {
+        /// The capsule the request addressed.
+        capsule: Name,
+        /// Request seq that expired.
+        request_seq: u64,
+        /// What kind of request it was.
+        kind: RequestKind,
+    },
+}
+
+/// The kind of an outstanding request (reported by [`ClientEvent::Timeout`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// A read, subscribe, or metadata push.
+    Read,
+    /// An append.
+    Append,
+    /// A session-establishment handshake.
+    Session,
 }
 
 struct TrackedCapsule {
@@ -117,10 +145,45 @@ struct Flow {
     server: Option<Name>,
 }
 
-enum PendingKind {
-    Read,
-    Append,
-    Session,
+struct Pending {
+    capsule: Name,
+    kind: RequestKind,
+    /// Stamped by the first [`GdpClient::sweep_timeouts`] call after
+    /// issuance (the sans-I/O request builders take no clock); expiry is
+    /// measured from that stamp.
+    issued_at: Option<u64>,
+}
+
+/// Cached per-client metric handles (see DESIGN.md, "Observability").
+#[derive(Clone, Debug)]
+struct ClientObs {
+    requests_issued: Counter,
+    acked_writes: Counter,
+    reads_ok: Counter,
+    sessions_ready: Counter,
+    sub_events: Counter,
+    requests_timed_out: Counter,
+    requests_retried: Counter,
+    verify_failures: Counter,
+    server_errors: Counter,
+    unreachable: Counter,
+}
+
+impl ClientObs {
+    fn new(scope: &Scope) -> ClientObs {
+        ClientObs {
+            requests_issued: scope.counter("requests_issued"),
+            acked_writes: scope.counter("acked_writes"),
+            reads_ok: scope.counter("reads_ok"),
+            sessions_ready: scope.counter("sessions_ready"),
+            sub_events: scope.counter("sub_events"),
+            requests_timed_out: scope.counter("requests_timed_out"),
+            requests_retried: scope.counter("requests_retried"),
+            verify_failures: scope.counter("verify_failures"),
+            server_errors: scope.counter("server_errors"),
+            unreachable: scope.counter("unreachable"),
+        }
+    }
 }
 
 /// The client endpoint.
@@ -132,15 +195,24 @@ pub struct GdpClient {
     capsules: BTreeMap<Name, TrackedCapsule>,
     flows: HashMap<Name, Flow>,
     writers: HashMap<Name, CapsuleWriter>,
-    pending: HashMap<u64, (Name, PendingKind)>,
+    /// Ordered so [`GdpClient::sweep_timeouts`] expires deterministically.
+    pending: BTreeMap<u64, Pending>,
+    /// Pending-request lifetime before the sweep expires it (µs).
+    request_timeout: u64,
+    obs: ClientObs,
     /// Session-ephemeral-key generator. Entropy-seeded by default;
     /// [`GdpClient::set_rng_seed`] makes handshakes replayable.
     rng: StdRng,
 }
 
 impl GdpClient {
-    /// Creates a client with the given identity.
+    /// Creates a client with the given identity (private metric registry).
     pub fn new(id: PrincipalId) -> GdpClient {
+        GdpClient::new_with_obs(id, &gdp_obs::Metrics::new().scope("client"))
+    }
+
+    /// Creates a client registering its metrics under `scope`.
+    pub fn new_with_obs(id: PrincipalId, scope: &Scope) -> GdpClient {
         assert_eq!(id.principal().kind, PrincipalKind::Client);
         GdpClient {
             id,
@@ -148,7 +220,9 @@ impl GdpClient {
             capsules: BTreeMap::new(),
             flows: HashMap::new(),
             writers: HashMap::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
+            request_timeout: DEFAULT_REQUEST_TIMEOUT_US,
+            obs: ClientObs::new(scope),
             rng: StdRng::from_entropy(),
         }
     }
@@ -163,6 +237,55 @@ impl GdpClient {
     /// Convenience constructor.
     pub fn from_seed(seed: &[u8; 32], label: &str) -> GdpClient {
         GdpClient::new(PrincipalId::from_seed(PrincipalKind::Client, seed, label))
+    }
+
+    /// Convenience constructor with an explicit metric scope.
+    pub fn from_seed_with_obs(seed: &[u8; 32], label: &str, scope: &Scope) -> GdpClient {
+        GdpClient::new_with_obs(PrincipalId::from_seed(PrincipalKind::Client, seed, label), scope)
+    }
+
+    /// Overrides the pending-request timeout (µs).
+    pub fn set_request_timeout(&mut self, us: u64) {
+        self.request_timeout = us;
+    }
+
+    /// Number of requests awaiting a response.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Counts a driver-level retry (re-send of an already-issued request)
+    /// in the client's `requests_retried` metric.
+    pub fn mark_retry(&self) {
+        self.obs.requests_retried.inc();
+    }
+
+    /// Deadline sweep: expires pending requests older than the request
+    /// timeout, yielding a [`ClientEvent::Timeout`] per casualty. Requests
+    /// not yet stamped are stamped with `now` (the builders take no
+    /// clock), so expiry is measured between consecutive sweeps. Call this
+    /// from the same loop that pumps `handle_pdu` — without it, a response
+    /// lost in transit leaks the pending entry forever.
+    pub fn sweep_timeouts(&mut self, now: u64) -> Vec<ClientEvent> {
+        let mut expired = Vec::new();
+        for (&seq, p) in self.pending.iter_mut() {
+            match p.issued_at {
+                None => p.issued_at = Some(now),
+                Some(t) if now.saturating_sub(t) >= self.request_timeout => expired.push(seq),
+                Some(_) => {}
+            }
+        }
+        let mut events = Vec::new();
+        for seq in expired {
+            let p = self.pending.remove(&seq).expect("expired seq is pending");
+            self.obs.requests_timed_out.inc();
+            events.push(ClientEvent::Timeout {
+                capsule: p.capsule,
+                request_seq: seq,
+                kind: p.kind,
+            });
+        }
+        events
     }
 
     /// The client's flat name (where responses are routed).
@@ -215,9 +338,10 @@ impl GdpClient {
         s
     }
 
-    fn request(&mut self, capsule: Name, kind: PendingKind, msg: &DataMsg) -> Pdu {
+    fn request(&mut self, capsule: Name, kind: RequestKind, msg: &DataMsg) -> Pdu {
         let seq = self.fresh_seq();
-        self.pending.insert(seq, (capsule, kind));
+        self.pending.insert(seq, Pending { capsule, kind, issued_at: None });
+        self.obs.requests_issued.inc();
         Pdu { pdu_type: PduType::Data, src: self.name(), dst: capsule, seq, payload: msg.to_wire() }
     }
 
@@ -226,7 +350,7 @@ impl GdpClient {
         let eph = EphemeralKeyPair::generate(&mut self.rng);
         let client_eph = *eph.public();
         self.flows.insert(capsule, Flow { eph, key: None, server: None });
-        self.request(capsule, PendingKind::Session, &DataMsg::SessionInit { client_eph })
+        self.request(capsule, RequestKind::Session, &DataMsg::SessionInit { client_eph })
     }
 
     /// True once a flow key exists for the capsule.
@@ -247,26 +371,34 @@ impl GdpClient {
         let record = writer.append(body, timestamp_micros).map_err(|_| "append failed")?;
         let pdu = self.request(
             capsule,
-            PendingKind::Append,
+            RequestKind::Append,
             &DataMsg::Append { record: record.clone(), ack_mode },
         );
         Ok((pdu, record))
     }
 
+    /// Re-wraps an already-signed record in a fresh append request — the
+    /// re-issue path after a [`ClientEvent::Timeout`] (appends are
+    /// idempotent server-side, so re-sending a signed record is safe).
+    pub fn append_record(&mut self, capsule: Name, record: Record, ack_mode: AckMode) -> Pdu {
+        self.obs.requests_retried.inc();
+        self.request(capsule, RequestKind::Append, &DataMsg::Append { record, ack_mode })
+    }
+
     /// Builds a read request.
     pub fn read(&mut self, capsule: Name, target: ReadTarget) -> Pdu {
-        self.request(capsule, PendingKind::Read, &DataMsg::Read { target })
+        self.request(capsule, RequestKind::Read, &DataMsg::Read { target })
     }
 
     /// Builds a subscribe request.
     pub fn subscribe(&mut self, capsule: Name, from_seq: u64) -> Pdu {
-        self.request(capsule, PendingKind::Read, &DataMsg::Subscribe { from_seq })
+        self.request(capsule, RequestKind::Read, &DataMsg::Subscribe { from_seq })
     }
 
     /// Builds the metadata-push used when creating a capsule on a server.
     pub fn put_metadata(&mut self, capsule: Name) -> Option<Pdu> {
         let meta = self.capsules.get(&capsule)?.metadata.clone();
-        Some(self.request(capsule, PendingKind::Read, &DataMsg::PutMetadata { metadata: meta }))
+        Some(self.request(capsule, RequestKind::Read, &DataMsg::PutMetadata { metadata: meta }))
     }
 
     // ---- response handling ------------------------------------------------
@@ -390,6 +522,7 @@ impl GdpClient {
         if pdu.pdu_type == PduType::Error {
             // Router-generated unreachable notice; payload = the dest name.
             let name = pdu.payload.as_slice().try_into().map(Name).unwrap_or(Name::ZERO);
+            self.obs.unreachable.inc();
             return vec![ClientEvent::Unreachable { name }];
         }
         if pdu.pdu_type != PduType::Data {
@@ -406,32 +539,41 @@ impl GdpClient {
                 // *authenticates*: an unverifiable (or forged) ack must not
                 // cancel the request, or a retransmit's genuine ack would be
                 // ignored forever afterwards.
-                let Some(&(capsule, _)) = self.pending.get(&pdu.seq) else {
+                let Some(capsule) = self.pending.get(&pdu.seq).map(|p| p.capsule) else {
                     return Vec::new();
                 };
                 let body = append_ack_body(seq, &hash, replicas);
                 match self.check_auth(&capsule, pdu.seq, &body, &auth, now) {
                     Ok(()) => {
                         self.pending.remove(&pdu.seq);
+                        self.obs.acked_writes.inc();
                         vec![ClientEvent::AppendAcked { capsule, seq, replicas }]
                     }
-                    Err(reason) => vec![ClientEvent::VerificationFailed { capsule, reason }],
+                    Err(reason) => {
+                        self.obs.verify_failures.inc();
+                        vec![ClientEvent::VerificationFailed { capsule, reason }]
+                    }
                 }
             }
             DataMsg::ReadResp { result, auth } => {
-                let Some(&(capsule, _)) = self.pending.get(&pdu.seq) else {
+                let Some(capsule) = self.pending.get(&pdu.seq).map(|p| p.capsule) else {
                     return Vec::new();
                 };
                 let body = read_result_body(&result);
                 if let Err(reason) = self.check_auth(&capsule, pdu.seq, &body, &auth, now) {
+                    self.obs.verify_failures.inc();
                     return vec![ClientEvent::VerificationFailed { capsule, reason }];
                 }
                 self.pending.remove(&pdu.seq);
                 match self.verify_read(&capsule, result) {
                     Ok(result) => {
+                        self.obs.reads_ok.inc();
                         vec![ClientEvent::ReadOk { capsule, request_seq: pdu.seq, result }]
                     }
-                    Err(reason) => vec![ClientEvent::VerificationFailed { capsule, reason }],
+                    Err(reason) => {
+                        self.obs.verify_failures.inc();
+                        vec![ClientEvent::VerificationFailed { capsule, reason }]
+                    }
                 }
             }
             DataMsg::Event { record, auth } => {
@@ -442,22 +584,26 @@ impl GdpClient {
                 };
                 let body = event_body(&record);
                 if let Err(reason) = self.check_auth(&capsule, 0, &body, &auth, now) {
+                    self.obs.verify_failures.inc();
                     return vec![ClientEvent::VerificationFailed { capsule, reason }];
                 }
                 let tracked = self.capsules.get_mut(&capsule).unwrap();
                 if record.verify(&capsule, &tracked.writer_key).is_err() {
+                    self.obs.verify_failures.inc();
                     return vec![ClientEvent::VerificationFailed {
                         capsule,
                         reason: "event record invalid",
                     }];
                 }
                 tracked.latest_seen = tracked.latest_seen.max(record.header.seq);
+                self.obs.sub_events.inc();
                 vec![ClientEvent::SubEvent { capsule, record }]
             }
             DataMsg::ErrResp { code, detail } => {
                 // Error responses are unauthenticated, so they also must not
                 // cancel the pending request (spoofable).
-                let capsule = self.pending.get(&pdu.seq).map(|(c, _)| *c).unwrap_or(Name::ZERO);
+                let capsule = self.pending.get(&pdu.seq).map(|p| p.capsule).unwrap_or(Name::ZERO);
+                self.obs.server_errors.inc();
                 vec![ClientEvent::ServerError { capsule, code, detail }]
             }
             _ => Vec::new(),
@@ -484,7 +630,7 @@ impl GdpClient {
         chain: gdp_cert::ServingChain,
         signature: gdp_crypto::Signature,
     ) -> Vec<ClientEvent> {
-        let Some(&(capsule, _)) = self.pending.get(&request_seq) else {
+        let Some(capsule) = self.pending.get(&request_seq).map(|p| p.capsule) else {
             return Vec::new();
         };
         let Some(tracked) = self.capsules.get(&capsule) else {
@@ -496,6 +642,7 @@ impl GdpClient {
             || chain.server().name() != server.name()
             || chain.adcert.capsule != capsule
         {
+            self.obs.verify_failures.inc();
             return vec![ClientEvent::VerificationFailed {
                 capsule,
                 reason: "session chain invalid",
@@ -503,6 +650,7 @@ impl GdpClient {
         }
         let transcript = session_transcript(&capsule, &client_eph, &server_eph);
         if !server.verify(&transcript, &signature) {
+            self.obs.verify_failures.inc();
             return vec![ClientEvent::VerificationFailed {
                 capsule,
                 reason: "session signature invalid",
@@ -512,12 +660,14 @@ impl GdpClient {
             return Vec::new();
         };
         if *flow.eph.public() != client_eph {
+            self.obs.verify_failures.inc();
             return vec![ClientEvent::VerificationFailed {
                 capsule,
                 reason: "session echoes wrong ephemeral",
             }];
         }
         let Some(shared) = flow.eph.diffie_hellman(&server_eph) else {
+            self.obs.verify_failures.inc();
             return vec![ClientEvent::VerificationFailed {
                 capsule,
                 reason: "degenerate server ephemeral",
@@ -526,6 +676,7 @@ impl GdpClient {
         flow.key = Some(hkdf::derive_key32(capsule.as_bytes(), &shared, b"gdp/flow-key/v1"));
         flow.server = Some(server.name());
         self.pending.remove(&request_seq);
+        self.obs.sessions_ready.inc();
         vec![ClientEvent::SessionReady { capsule, server: server.name() }]
     }
 }
@@ -677,6 +828,69 @@ mod tests {
         };
         let events = l.client.handle_pdu(0, err);
         assert_eq!(events, vec![ClientEvent::Unreachable { name: ghost }]);
+    }
+
+    /// Regression (client timeouts): a request whose response is lost must
+    /// not leak pending state forever — the deadline sweep expires it,
+    /// surfaces a [`ClientEvent::Timeout`], and counts it. A late response
+    /// to the expired seq is then ignored, and re-issuing the same signed
+    /// record through [`GdpClient::append_record`] still acks.
+    #[test]
+    fn pending_requests_expire_and_can_be_reissued() {
+        let metrics = gdp_obs::Metrics::new();
+        let sid = gdp_cert::PrincipalId::from_seed(
+            gdp_cert::PrincipalKind::Server,
+            &[3u8; 32],
+            "loop server",
+        );
+        let mut server = DataCapsuleServer::new(sid.clone());
+        let meta = MetadataBuilder::new().writer(&wkey().verifying_key()).sign(&owner());
+        let chain = ServingChain::direct(
+            AdCert::issue(&owner(), meta.name(), sid.name(), false, Scope::Global, FOREVER),
+            sid.principal().clone(),
+        );
+        server.host(meta.clone(), chain, vec![]).unwrap();
+        let mut client = GdpClient::from_seed_with_obs(&[4u8; 32], "c", &metrics.scope("client"));
+        client.register_writer(&meta, wkey(), PointerStrategy::Chain).unwrap();
+        let capsule = meta.name();
+
+        let (pdu, record) = client.append(capsule, b"lost in transit", 0, AckMode::Local).unwrap();
+        let lost_seq = pdu.seq;
+        assert_eq!(client.pending_len(), 1);
+
+        // First sweep stamps; one timeout later the request expires.
+        assert!(client.sweep_timeouts(1_000).is_empty());
+        assert!(client.sweep_timeouts(1_000 + DEFAULT_REQUEST_TIMEOUT_US - 1).is_empty());
+        let events = client.sweep_timeouts(1_000 + DEFAULT_REQUEST_TIMEOUT_US);
+        assert_eq!(
+            events,
+            vec![ClientEvent::Timeout {
+                capsule,
+                request_seq: lost_seq,
+                kind: RequestKind::Append
+            }]
+        );
+        assert_eq!(client.pending_len(), 0);
+        assert_eq!(metrics.counter_value("client", "requests_timed_out"), 1);
+
+        // The "lost" response finally arrives: no pending entry, ignored.
+        for resp in server.handle_pdu(0, pdu) {
+            assert!(client.handle_pdu(0, resp).is_empty());
+        }
+
+        // Re-issue the already-signed record under a fresh request seq.
+        let retry = client.append_record(capsule, record, AckMode::Local);
+        assert_ne!(retry.seq, lost_seq);
+        let mut acked = false;
+        for resp in server.handle_pdu(0, retry) {
+            for ev in client.handle_pdu(0, resp) {
+                acked |= matches!(ev, ClientEvent::AppendAcked { .. });
+            }
+        }
+        assert!(acked);
+        assert_eq!(metrics.counter_value("client", "requests_retried"), 1);
+        assert_eq!(metrics.counter_value("client", "acked_writes"), 1);
+        assert_eq!(metrics.counter_value("client", "requests_issued"), 2);
     }
 
     #[test]

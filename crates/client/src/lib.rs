@@ -9,5 +9,5 @@
 pub mod client;
 pub mod simnode;
 
-pub use client::{ClientEvent, GdpClient, VerifiedRead};
+pub use client::{ClientEvent, GdpClient, RequestKind, VerifiedRead, DEFAULT_REQUEST_TIMEOUT_US};
 pub use simnode::SimClient;

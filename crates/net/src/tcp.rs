@@ -30,6 +30,7 @@
 use crossbeam::channel::{
     bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError,
 };
+use gdp_obs::{Counter, Scope as ObsScope};
 use gdp_wire::frame::{encode_frame, FrameReader, MAX_FRAME};
 use gdp_wire::Pdu;
 use parking_lot::Mutex;
@@ -38,7 +39,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -125,6 +126,8 @@ pub struct TcpStats {
     pub frames_rejected: u64,
     /// Successful dials (initial and re-dials).
     pub connects: u64,
+    /// Successful re-dials after a connection was lost.
+    pub reconnects: u64,
     /// Failed dial attempts.
     pub dial_failures: u64,
     /// Inbound connections accepted (HELLO completed).
@@ -135,14 +138,31 @@ pub struct TcpStats {
     pub pdus_sent: u64,
 }
 
-#[derive(Default)]
+/// Registry-backed counter cells (wire-level names: a "frame" carries one
+/// PDU, so `frames_encoded`/`frames_decoded` count successful writes and
+/// reads, `decode_rejected` counts framing/HELLO violations).
 struct StatCells {
-    frames_rejected: AtomicU64,
-    connects: AtomicU64,
-    dial_failures: AtomicU64,
-    accepts: AtomicU64,
-    pdus_received: AtomicU64,
-    pdus_sent: AtomicU64,
+    frames_rejected: Counter,
+    connects: Counter,
+    reconnects: Counter,
+    dial_failures: Counter,
+    accepts: Counter,
+    pdus_received: Counter,
+    pdus_sent: Counter,
+}
+
+impl StatCells {
+    fn new(scope: &ObsScope) -> StatCells {
+        StatCells {
+            frames_rejected: scope.counter("decode_rejected"),
+            connects: scope.counter("connects"),
+            reconnects: scope.counter("reconnects"),
+            dial_failures: scope.counter("dial_failures"),
+            accepts: scope.counter("accepts"),
+            pdus_received: scope.counter("frames_decoded"),
+            pdus_sent: scope.counter("frames_encoded"),
+        }
+    }
 }
 
 const HELLO_MAGIC: [u8; 4] = *b"GDPT";
@@ -177,8 +197,19 @@ impl TcpNet {
         TcpNet::bind_with(addr, TcpNetConfig::default())
     }
 
-    /// Binds with explicit configuration.
+    /// Binds with explicit configuration (private metric registry).
     pub fn bind_with(addr: SocketAddr, cfg: TcpNetConfig) -> Result<TcpNet, TcpNetError> {
+        TcpNet::bind_with_obs(addr, cfg, &ObsScope::default())
+    }
+
+    /// Binds with explicit configuration, registering transport metrics
+    /// under `obs` — the scope a node hands out from its shared per-node
+    /// [`gdp_obs::Metrics`].
+    pub fn bind_with_obs(
+        addr: SocketAddr,
+        cfg: TcpNetConfig,
+        obs: &ObsScope,
+    ) -> Result<TcpNet, TcpNetError> {
         let listener = TcpListener::bind(addr).map_err(TcpNetError::Bind)?;
         let local = listener.local_addr().map_err(TcpNetError::Bind)?;
         let (pdu_tx, pdu_rx) = unbounded();
@@ -193,7 +224,7 @@ impl TcpNet {
             ev_rx,
             shutdown: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
-            stats: StatCells::default(),
+            stats: StatCells::new(obs),
         });
         let net = TcpNet { inner: Arc::clone(&inner) };
         let accept_net = net.clone();
@@ -268,12 +299,13 @@ impl TcpNet {
     pub fn stats(&self) -> TcpStats {
         let s = &self.inner.stats;
         TcpStats {
-            frames_rejected: s.frames_rejected.load(Ordering::Relaxed),
-            connects: s.connects.load(Ordering::Relaxed),
-            dial_failures: s.dial_failures.load(Ordering::Relaxed),
-            accepts: s.accepts.load(Ordering::Relaxed),
-            pdus_received: s.pdus_received.load(Ordering::Relaxed),
-            pdus_sent: s.pdus_sent.load(Ordering::Relaxed),
+            frames_rejected: s.frames_rejected.get(),
+            connects: s.connects.get(),
+            reconnects: s.reconnects.get(),
+            dial_failures: s.dial_failures.get(),
+            accepts: s.accepts.get(),
+            pdus_received: s.pdus_received.get(),
+            pdus_sent: s.pdus_sent.get(),
         }
     }
 
@@ -393,12 +425,12 @@ fn inbound_connection(shared: Arc<Shared>, mut stream: TcpStream) {
     let peer = match read_hello(&mut stream) {
         Ok(p) => p,
         Err(_) => {
-            shared.stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+            shared.stats.frames_rejected.inc();
             return;
         }
     };
     let _ = stream.set_read_timeout(Some(shared.cfg.poll_interval));
-    shared.stats.accepts.fetch_add(1, Ordering::Relaxed);
+    shared.stats.accepts.inc();
 
     // Adopt this connection for outbound traffic to the peer unless a
     // writer already exists (e.g. simultaneous dial from both sides).
@@ -431,12 +463,12 @@ fn read_loop(shared: Arc<Shared>, peer: SocketAddr, mut stream: TcpStream) {
                 loop {
                     match frames.next_frame() {
                         Ok(Some(pdu)) => {
-                            shared.stats.pdus_received.fetch_add(1, Ordering::Relaxed);
+                            shared.stats.pdus_received.inc();
                             let _ = shared.pdu_tx.send((peer, pdu));
                         }
                         Ok(None) => break,
                         Err(_) => {
-                            shared.stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                            shared.stats.frames_rejected.inc();
                             peer_lost(&shared, peer);
                             return;
                         }
@@ -487,6 +519,9 @@ fn writer_loop(
         None => StdRng::from_entropy(),
     };
     let mut pending: Option<Pdu> = None;
+    // Whether this writer ever held a live connection: a later successful
+    // dial is then a *re*connect, not a first connect.
+    let mut ever_connected = conn.is_some();
     'main: loop {
         let pdu = match pending.take() {
             Some(p) => p,
@@ -511,7 +546,11 @@ fn writer_loop(
             }
             match dial(&shared, peer) {
                 Ok(stream) => {
-                    shared.stats.connects.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.connects.inc();
+                    if ever_connected {
+                        shared.stats.reconnects.inc();
+                    }
+                    ever_connected = true;
                     if let Ok(read_half) = stream.try_clone() {
                         let rs = Arc::clone(&shared);
                         spawn_thread(&shared, format!("gdp-tcp-reader-{peer}"), move || {
@@ -522,7 +561,7 @@ fn writer_loop(
                     conn = Some(stream);
                 }
                 Err(_) => {
-                    shared.stats.dial_failures.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.dial_failures.inc();
                     attempts += 1;
                     if attempts >= cfg.max_dial_attempts {
                         peer_lost(&shared, peer);
@@ -534,15 +573,16 @@ fn writer_loop(
         }
 
         let stream = conn.as_mut().unwrap();
-        shared.stats.pdus_sent.fetch_add(1, Ordering::Relaxed);
         if stream.write_all(&encode_frame(&pdu)).is_err() {
-            shared.stats.pdus_sent.fetch_sub(1, Ordering::Relaxed);
             // Connection died mid-write: redial and retry this PDU once
             // per reconnect cycle.
             conn = None;
             pending = Some(pdu);
             continue 'main;
         }
+        // Counted only after the whole frame is written: a monotonic
+        // counter cannot be decremented on a failed write.
+        shared.stats.pdus_sent.inc();
     }
 }
 

@@ -34,6 +34,7 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let stats_path = cfg.stats_path.clone();
     let handle = match gdp_node::start(cfg) {
         Ok(h) => h,
         Err(e) => {
@@ -51,6 +52,10 @@ fn main() {
     }
     if let Some(s) = handle.server_name() {
         let _ = writeln!(out, "gdpd server {}", s.to_hex());
+    }
+    if let Some(p) = &stats_path {
+        // Dumped on shutdown, and on demand when the trigger file appears.
+        let _ = writeln!(out, "gdpd stats {}", p.display());
     }
     let _ = out.flush();
 

@@ -53,6 +53,8 @@ pub struct ClusterClient {
     router_addr: SocketAddr,
     /// Per-request response deadline.
     pub timeout: Duration,
+    /// Monotonic epoch for the pending-request deadline sweep.
+    started: Instant,
 }
 
 impl ClusterClient {
@@ -69,9 +71,19 @@ impl ClusterClient {
         let net = TcpNet::bind_with("127.0.0.1:0".parse().unwrap(), cfg)
             .map_err(|e| ClientError::Net(e.to_string()))?;
         let client = GdpClient::from_seed(seed, label);
-        let mut me = ClusterClient { client, net, router_addr, timeout: Duration::from_secs(10) };
+        let mut me = ClusterClient {
+            client,
+            net,
+            router_addr,
+            timeout: Duration::from_secs(10),
+            started: Instant::now(),
+        };
         me.attach(router_name)?;
         Ok(me)
+    }
+
+    fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
     }
 
     fn attach(&mut self, router_name: Name) -> Result<(), ClientError> {
@@ -147,6 +159,14 @@ impl ClusterClient {
     ) -> Result<T, ClientError> {
         let deadline = Instant::now() + window;
         while Instant::now() < deadline {
+            // Deadline sweep: expire pending requests whose responses were
+            // lost in transit, so they can't leak or absorb late acks.
+            let now_us = self.now_us();
+            for ev in self.client.sweep_timeouts(now_us) {
+                if let Some(v) = pred(&ev) {
+                    return Ok(v);
+                }
+            }
             let Some((_, pdu)) = self
                 .net
                 .recv_timeout(Duration::from_millis(50))
@@ -179,7 +199,7 @@ impl ClusterClient {
     /// appends are idempotent server-side.
     pub fn append(&mut self, capsule: Name, body: &[u8], ack: AckMode) -> Result<u64, ClientError> {
         let timestamp = 0; // wall-clock timestamps are not part of the proof
-        let (pdu, record) =
+        let (mut pdu, record) =
             self.client.append(capsule, body, timestamp, ack).map_err(ClientError::Client)?;
         let want = record.header.seq;
         let deadline = Instant::now() + self.timeout;
@@ -188,9 +208,11 @@ impl ClusterClient {
         let slice = (self.timeout / 8).max(Duration::from_millis(250));
         loop {
             self.send(pdu.clone())?;
+            let request_seq = pdu.seq;
             let acked = self.wait_for_within("append ack", slice, |ev| match ev {
                 ClientEvent::AppendAcked { seq, .. } if *seq == want => Some(true),
                 ClientEvent::Unreachable { .. } => Some(false),
+                ClientEvent::Timeout { request_seq: t, .. } if *t == request_seq => Some(false),
                 _ => None,
             });
             match acked {
@@ -200,6 +222,10 @@ impl ClusterClient {
                         return Err(ClientError::Timeout("append ack"));
                     }
                     std::thread::sleep(Duration::from_millis(50));
+                    // Re-issue the signed record under a fresh request seq:
+                    // the old pending entry may have been swept, and a
+                    // response to it would otherwise be ignored forever.
+                    pdu = self.client.append_record(capsule, record.clone(), ack);
                 }
                 Err(e) => return Err(e),
             }
@@ -211,8 +237,13 @@ impl ClusterClient {
     pub fn read(&mut self, capsule: Name, target: ReadTarget) -> Result<VerifiedRead, ClientError> {
         let deadline = Instant::now() + self.timeout;
         let slice = (self.timeout / 8).max(Duration::from_millis(250));
+        let mut attempts = 0u32;
         loop {
             let pdu = self.client.read(capsule, target);
+            attempts += 1;
+            if attempts > 1 {
+                self.client.mark_retry();
+            }
             self.send(pdu)?;
             let got = self.wait_for_within("read result", slice, |ev| match ev {
                 ClientEvent::ReadOk { result, .. } => Some(Ok(result.clone())),

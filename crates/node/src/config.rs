@@ -14,6 +14,9 @@
 //!                                # through (storage role; optional when
 //!                                # this node runs its own router)
 //! data_dir   = /var/lib/gdp      # optional: file-backed capsule stores
+//! stats_path = /run/gdp/stats.json # optional: metrics dump target; the
+//!                                # daemon dumps on shutdown and whenever
+//!                                # `<stats_path>.request` appears
 //! host       = <meta>:<chain>:<peer>,<peer>   # repeatable, see below
 //! ```
 //!
@@ -118,6 +121,10 @@ pub struct NodeConfig {
     pub router: Option<Name>,
     /// Directory for file-backed capsule stores; in-memory when absent.
     pub data_dir: Option<PathBuf>,
+    /// Where to dump the metrics registry as JSON. Dumped on shutdown,
+    /// and on demand whenever a `<stats_path>.request` trigger file
+    /// appears (the file is deleted once the dump is written).
+    pub stats_path: Option<PathBuf>,
     /// Capsules this node serves (storage roles).
     pub hosts: Vec<HostSpec>,
 }
@@ -155,6 +162,7 @@ impl NodeConfig {
         let mut label = None;
         let mut router = None;
         let mut data_dir = None;
+        let mut stats_path = None;
         let mut peers = Vec::new();
         let mut hosts = Vec::new();
         for raw in text.lines() {
@@ -194,6 +202,7 @@ impl NodeConfig {
                         Some(Name::from_hex(value).ok_or(ConfigError::bad("router", "bad name"))?)
                 }
                 "data_dir" => data_dir = Some(PathBuf::from(value)),
+                "stats_path" => stats_path = Some(PathBuf::from(value)),
                 "host" => hosts.push(HostSpec::parse(value)?),
                 other => return Err(ConfigError::bad(other, "unknown key")),
             }
@@ -206,6 +215,7 @@ impl NodeConfig {
             peers,
             router,
             data_dir,
+            stats_path,
             hosts,
         };
         if cfg.role == Role::Storage {
@@ -239,6 +249,9 @@ impl NodeConfig {
         }
         if let Some(d) = &self.data_dir {
             out.push_str(&format!("data_dir = {}\n", d.display()));
+        }
+        if let Some(s) = &self.stats_path {
+            out.push_str(&format!("stats_path = {}\n", s.display()));
         }
         for h in &self.hosts {
             out.push_str(&format!("host = {}\n", h.render()));
@@ -293,6 +306,7 @@ mod tests {
             peers: vec!["127.0.0.1:7000".parse().unwrap()],
             router: Some(Name::from_content(b"router")),
             data_dir: Some(PathBuf::from("/tmp/gdp-test")),
+            stats_path: Some(PathBuf::from("/tmp/gdp-test/stats.json")),
             hosts: vec![sample_host()],
         };
         let text = cfg.render();
@@ -304,6 +318,7 @@ mod tests {
         assert_eq!(parsed.peers, cfg.peers);
         assert_eq!(parsed.router, cfg.router);
         assert_eq!(parsed.data_dir, cfg.data_dir);
+        assert_eq!(parsed.stats_path, cfg.stats_path);
         assert_eq!(parsed.hosts.len(), 1);
         assert_eq!(parsed.hosts[0].metadata, cfg.hosts[0].metadata);
         assert_eq!(parsed.hosts[0].peers, cfg.hosts[0].peers);

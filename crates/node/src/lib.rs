@@ -20,5 +20,5 @@ pub mod runtime;
 
 pub use client_io::{ClientError, ClusterClient};
 pub use config::{ConfigError, HostSpec, NodeConfig, Role};
-pub use node::{start, NodeError, NodeHandle, FOREVER};
-pub use runtime::{build_cores, NodeOutbox, NodeRuntime};
+pub use node::{request_path, start, NodeError, NodeHandle, FOREVER};
+pub use runtime::{build_cores, build_cores_with_obs, NodeOutbox, NodeRuntime};

@@ -12,10 +12,12 @@
 //! inside the deterministic chaos simulator in `gdp-sim`.
 
 use crate::config::NodeConfig;
-use crate::runtime::{build_cores, NodeRuntime};
+use crate::runtime::{build_cores_with_obs, NodeRuntime};
 use gdp_net::tcp::{PeerEvent, TcpNet, TcpNetConfig};
+use gdp_obs::{Histogram, Metrics};
 use gdp_wire::Name;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -54,6 +56,7 @@ pub struct NodeHandle {
     server_name: Option<Name>,
     stop: Arc<AtomicBool>,
     net: TcpNet,
+    metrics: Metrics,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -71,6 +74,12 @@ impl NodeHandle {
     /// The DataCapsule-server identity, when this node runs one.
     pub fn server_name(&self) -> Option<Name> {
         self.server_name
+    }
+
+    /// The node's shared metric registry (router, server, store, net, and
+    /// runtime scopes all report here).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Stops the event loop and shuts the transport down.
@@ -94,11 +103,13 @@ impl NodeHandle {
 /// Starts a node from its config: binds the listener, mounts hosted
 /// capsules, and spawns the event-loop thread.
 pub fn start(cfg: NodeConfig) -> Result<NodeHandle, NodeError> {
-    let net = TcpNet::bind_with(cfg.listen, TcpNetConfig::default()).map_err(NodeError::Bind)?;
+    let metrics = Metrics::new();
+    let net = TcpNet::bind_with_obs(cfg.listen, TcpNetConfig::default(), &metrics.scope("net"))
+        .map_err(NodeError::Bind)?;
     let local = net.local_addr();
     let stop = Arc::new(AtomicBool::new(false));
 
-    let (router, server) = build_cores(&cfg)?;
+    let (router, server) = build_cores_with_obs(&cfg, &metrics)?;
     let uplink = cfg.peers.first().copied();
     let runtime = NodeRuntime::new(cfg.role, router, server, cfg.router, uplink);
     let router_name = runtime.router_name();
@@ -106,14 +117,26 @@ pub fn start(cfg: NodeConfig) -> Result<NodeHandle, NodeError> {
 
     let loop_net = net.clone();
     let loop_stop = Arc::clone(&stop);
+    let loop_metrics = metrics.clone();
+    let stats_path = cfg.stats_path.clone();
     let thread = std::thread::Builder::new()
         .name(format!("gdp-node-{}", cfg.label))
         .spawn(move || {
-            EventLoop { net: loop_net, stop: loop_stop, runtime, epoch: Instant::now() }.run();
+            let tick_us = loop_metrics.scope("node").histogram("tick_us");
+            EventLoop {
+                net: loop_net,
+                stop: loop_stop,
+                runtime,
+                epoch: Instant::now(),
+                metrics: loop_metrics,
+                tick_us,
+                stats_path,
+            }
+            .run();
         })
         .expect("spawn node event loop");
 
-    Ok(NodeHandle { local, router_name, server_name, stop, net, thread: Some(thread) })
+    Ok(NodeHandle { local, router_name, server_name, stop, net, metrics, thread: Some(thread) })
 }
 
 /// The TCP shell around [`NodeRuntime`]: real clock, real sockets.
@@ -122,6 +145,11 @@ struct EventLoop {
     stop: Arc<AtomicBool>,
     runtime: NodeRuntime<SocketAddr>,
     epoch: Instant,
+    metrics: Metrics,
+    /// Runtime-maintenance latency (scope `node`, metric `tick_us`).
+    tick_us: Histogram,
+    /// Metrics dump target; `<stats_path>.request` triggers a dump.
+    stats_path: Option<PathBuf>,
 }
 
 impl EventLoop {
@@ -157,9 +185,39 @@ impl EventLoop {
             }
             if last_tick.elapsed() >= TICK_INTERVAL {
                 last_tick = Instant::now();
+                let started = Instant::now();
                 let out = self.runtime.tick(self.now());
+                self.tick_us.observe(started.elapsed().as_micros() as u64);
                 self.transmit(out);
+                self.serve_stats_request();
             }
         }
+        // Final dump: a stopping daemon leaves its counters behind.
+        self.dump_stats();
     }
+
+    /// Operator-triggered stats dump: touching `<stats_path>.request`
+    /// makes the next tick write the registry JSON to `stats_path` and
+    /// delete the trigger (the daemon has no signal handler offline, so a
+    /// trigger file stands in for SIGUSR1).
+    fn serve_stats_request(&self) {
+        let Some(path) = &self.stats_path else { return };
+        let trigger = request_path(path);
+        if trigger.exists() {
+            self.dump_stats();
+            let _ = std::fs::remove_file(trigger);
+        }
+    }
+
+    fn dump_stats(&self) {
+        let Some(path) = &self.stats_path else { return };
+        let _ = std::fs::write(path, self.metrics.to_json());
+    }
+}
+
+/// The trigger file watched next to a stats dump target.
+pub fn request_path(stats_path: &std::path::Path) -> PathBuf {
+    let mut os = stats_path.as_os_str().to_os_string();
+    os.push(".request");
+    PathBuf::from(os)
 }

@@ -13,6 +13,7 @@
 
 use crate::config::{NodeConfig, Role};
 use crate::node::NodeError;
+use gdp_obs::Metrics;
 use gdp_router::{attach_directly, AttachStep, Attacher, Router};
 use gdp_server::DataCapsuleServer;
 use gdp_store::{CapsuleStore, FileStore, MemStore};
@@ -53,25 +54,43 @@ enum ServerAttach {
 pub fn build_cores(
     cfg: &NodeConfig,
 ) -> Result<(Option<Router>, Option<DataCapsuleServer>), NodeError> {
-    let router = cfg.role.routes().then(|| Router::from_seed(&cfg.seed, &cfg.label));
+    build_cores_with_obs(cfg, &Metrics::new())
+}
+
+/// [`build_cores`] with the node's shared metric registry: the router
+/// registers under scope `"router"`, the server under `"server"`, and
+/// every capsule store under `"store"`.
+pub fn build_cores_with_obs(
+    cfg: &NodeConfig,
+    metrics: &Metrics,
+) -> Result<(Option<Router>, Option<DataCapsuleServer>), NodeError> {
+    let router = cfg
+        .role
+        .routes()
+        .then(|| Router::from_seed_with_obs(&cfg.seed, &cfg.label, &metrics.scope("router")));
 
     let server = if cfg.role.stores() {
         // Distinct seed domain for the server half of a `both` node, so
         // router and server identities never collide.
         let mut seed = cfg.seed;
         seed[0] ^= 0x5a;
-        let mut server = DataCapsuleServer::from_seed(&seed, &cfg.label);
+        let mut server =
+            DataCapsuleServer::from_seed_with_obs(&seed, &cfg.label, &metrics.scope("server"));
         if let Some(dir) = &cfg.data_dir {
             std::fs::create_dir_all(dir).map_err(|e| NodeError::Host(format!("data_dir: {e}")))?;
         }
+        let store_scope = metrics.scope("store");
         for spec in &cfg.hosts {
             let capsule = spec.metadata.name();
             // One append-only segment file per capsule (restart recovery
             // happens inside host_with_store), or memory without data_dir.
             let store: Box<dyn CapsuleStore> = match &cfg.data_dir {
                 Some(dir) => Box::new(
-                    FileStore::open(dir.join(format!("{}.log", capsule.to_hex())))
-                        .map_err(|e| NodeError::Host(format!("open store: {e:?}")))?,
+                    FileStore::open_with(
+                        dir.join(format!("{}.log", capsule.to_hex())),
+                        &store_scope,
+                    )
+                    .map_err(|e| NodeError::Host(format!("open store: {e:?}")))?,
                 ),
                 None => Box::new(MemStore::new()),
             };
@@ -133,6 +152,17 @@ impl<P: Copy + Eq + Hash> NodeRuntime<P> {
     /// Builds cores from `cfg` and assembles the runtime.
     pub fn from_config(cfg: &NodeConfig, uplink: Option<P>) -> Result<NodeRuntime<P>, NodeError> {
         let (router, server) = build_cores(cfg)?;
+        Ok(NodeRuntime::new(cfg.role, router, server, cfg.router, uplink))
+    }
+
+    /// [`NodeRuntime::from_config`] registering all core metrics into the
+    /// node's shared registry.
+    pub fn from_config_with_obs(
+        cfg: &NodeConfig,
+        uplink: Option<P>,
+        metrics: &Metrics,
+    ) -> Result<NodeRuntime<P>, NodeError> {
+        let (router, server) = build_cores_with_obs(cfg, metrics)?;
         Ok(NodeRuntime::new(cfg.role, router, server, cfg.router, uplink))
     }
 

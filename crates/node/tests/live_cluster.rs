@@ -106,6 +106,7 @@ fn three_process_cluster_with_failover() {
             peers: vec![],
             router: None,
             data_dir: None,
+            stats_path: None,
             hosts: vec![],
         },
     );
@@ -119,6 +120,7 @@ fn three_process_cluster_with_failover() {
             peers: vec![router.listen],
             router: Some(router_name),
             data_dir: Some(dir.join(label)),
+            stats_path: None,
             hosts: vec![HostSpec {
                 metadata: meta.clone(),
                 chain: chain_for(me),
@@ -213,6 +215,7 @@ fn single_both_node_serves_clients() {
             peers: vec![],
             router: None,
             data_dir: Some(dir.join("data")),
+            stats_path: None,
             hosts: vec![HostSpec { metadata: meta.clone(), chain, peers: vec![] }],
         },
     );

@@ -1,0 +1,520 @@
+//! # gdp-obs
+//!
+//! Lock-cheap observability for the GDP stack: a [`Metrics`] registry of
+//! monotonic counters, gauges, and fixed-bucket latency histograms, plus a
+//! structured [`TraceEvent`] sink — all reachable through per-component
+//! [`Scope`]s.
+//!
+//! Design constraints, in order:
+//!
+//! * **Hot paths touch only atomics.** Components resolve their metric
+//!   handles once (a mutex-guarded registry insert) and then bump plain
+//!   `AtomicU64`s. No formatting, no maps, no locks per event.
+//! * **One registry per node.** Every layer of a node (router, server,
+//!   store, net, client, runtime) registers into the same [`Metrics`]
+//!   handle, so a single [`Metrics::to_json`] call dumps the whole node —
+//!   that is what `gdpd` writes on a stats request and what `SimCluster`
+//!   exposes per simulated node for cross-layer invariants.
+//! * **Deterministic output.** The registry is keyed `(scope, name)` in a
+//!   `BTreeMap`, so the JSON dump is byte-stable for a given state — safe
+//!   to fold into simulation trace digests if a driver chooses to.
+//!
+//! The JSON emitted here is hand-rolled (the build is offline; there is no
+//! serde) and checked by the minimal validator in [`json`].
+
+pub mod json;
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Upper bounds (inclusive, in microseconds) of the fixed latency buckets.
+/// The final implicit bucket is `+inf`. Spanning 10µs to 10s covers
+/// everything from an in-process tick to a WAN round trip.
+pub const LATENCY_BUCKETS_US: [u64; 14] = [
+    10, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 1_000_000,
+    10_000_000,
+];
+
+/// Default capacity of the trace ring; older events are evicted first.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+/// A monotonic counter. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge (set / add / sub). Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a delta (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared cells of a fixed-bucket histogram.
+#[derive(Debug)]
+struct HistogramCells {
+    /// One cell per bound in [`LATENCY_BUCKETS_US`], plus the overflow cell.
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCells {
+    fn default() -> HistogramCells {
+        HistogramCells {
+            buckets: Default::default(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket latency histogram (µs). Cloning shares the cells.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Histogram {
+    /// Record one observation, in microseconds.
+    #[inline]
+    pub fn observe(&self, us: u64) {
+        let idx = LATENCY_BUCKETS_US.partition_point(|&b| b < us);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(us, Ordering::Relaxed);
+        self.0.min.fetch_min(us, Ordering::Relaxed);
+        self.0.max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of the cells.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &*self.0;
+        let count = c.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| c.buckets[i].load(Ordering::Relaxed)),
+            count,
+            sum: c.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { c.min.load(Ordering::Relaxed) },
+            max: c.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; index `i` covers `(LATENCY_BUCKETS_US[i-1],
+    /// LATENCY_BUCKETS_US[i]]`, the final entry is the overflow bucket.
+    pub buckets: [u64; LATENCY_BUCKETS_US.len() + 1],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations (µs).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in µs (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// One named metric in the registry.
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A structured trace event: what happened, where, when, with which fields.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event time in the emitting component's clock domain (µs). Virtual
+    /// time under simulation, wall-clock-derived in a live daemon.
+    pub at_us: u64,
+    /// Component scope that emitted the event (e.g. `"router"`).
+    pub component: String,
+    /// Event name (e.g. `"attach_admitted"`).
+    pub event: String,
+    /// Ordered key/value detail fields.
+    pub fields: Vec<(String, String)>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: Mutex<BTreeMap<(String, String), Metric>>,
+    trace: Mutex<VecDeque<TraceEvent>>,
+    trace_capacity: AtomicU64,
+}
+
+/// The per-node registry: metrics plus the trace ring. Cloning is cheap
+/// and shares all state; hand each layer a [`Scope`] via [`Metrics::scope`].
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    inner: Arc<Inner>,
+}
+
+impl Metrics {
+    /// A fresh registry with the default trace capacity.
+    pub fn new() -> Metrics {
+        let m = Metrics::default();
+        m.inner.trace_capacity.store(DEFAULT_TRACE_CAPACITY as u64, Ordering::Relaxed);
+        m
+    }
+
+    /// Overrides the trace ring capacity (0 disables tracing entirely).
+    pub fn set_trace_capacity(&self, cap: usize) {
+        self.inner.trace_capacity.store(cap as u64, Ordering::Relaxed);
+        let mut ring = self.inner.trace.lock();
+        while ring.len() > cap {
+            ring.pop_front();
+        }
+    }
+
+    /// A handle scoped to one component; metric names are unique per scope.
+    pub fn scope(&self, component: &str) -> Scope {
+        Scope { metrics: self.clone(), component: component.to_string() }
+    }
+
+    fn register(&self, component: &str, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut map = self.inner.metrics.lock();
+        map.entry((component.to_string(), name.to_string())).or_insert_with(make).clone()
+    }
+
+    /// Value of a counter, or 0 if it was never registered. For tests and
+    /// invariant checks; prefer cached [`Counter`] handles on hot paths.
+    pub fn counter_value(&self, component: &str, name: &str) -> u64 {
+        let map = self.inner.metrics.lock();
+        match map.get(&(component.to_string(), name.to_string())) {
+            Some(Metric::Counter(c)) => c.get(),
+            _ => 0,
+        }
+    }
+
+    /// Value of a gauge, or 0 if it was never registered.
+    pub fn gauge_value(&self, component: &str, name: &str) -> i64 {
+        let map = self.inner.metrics.lock();
+        match map.get(&(component.to_string(), name.to_string())) {
+            Some(Metric::Gauge(g)) => g.get(),
+            _ => 0,
+        }
+    }
+
+    /// Snapshot of a histogram, if registered.
+    pub fn histogram_snapshot(&self, component: &str, name: &str) -> Option<HistogramSnapshot> {
+        let map = self.inner.metrics.lock();
+        match map.get(&(component.to_string(), name.to_string())) {
+            Some(Metric::Histogram(h)) => Some(h.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// All counters as `((component, name), value)`, sorted by key.
+    pub fn counters(&self) -> Vec<((String, String), u64)> {
+        let map = self.inner.metrics.lock();
+        map.iter()
+            .filter_map(|(k, v)| match v {
+                Metric::Counter(c) => Some((k.clone(), c.get())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn push_trace(&self, ev: TraceEvent) {
+        let cap = self.inner.trace_capacity.load(Ordering::Relaxed) as usize;
+        if cap == 0 {
+            return;
+        }
+        let mut ring = self.inner.trace.lock();
+        while ring.len() >= cap {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+    }
+
+    /// Removes and returns every buffered trace event, oldest first.
+    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+        self.inner.trace.lock().drain(..).collect()
+    }
+
+    /// Number of currently buffered trace events.
+    pub fn trace_len(&self) -> usize {
+        self.inner.trace.lock().len()
+    }
+
+    /// The whole registry — every metric plus the buffered trace tail — as
+    /// one JSON document. Keys are sorted, so equal states dump equal bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"metrics\":{");
+        {
+            let map = self.inner.metrics.lock();
+            // Group by component; BTreeMap keys are already sorted.
+            let mut first_scope = true;
+            let mut current: Option<&str> = None;
+            for ((component, name), metric) in map.iter() {
+                if current != Some(component.as_str()) {
+                    if current.is_some() {
+                        out.push_str("},");
+                    } else if !first_scope {
+                        out.push(',');
+                    }
+                    first_scope = false;
+                    out.push('"');
+                    out.push_str(&json::escape(component));
+                    out.push_str("\":{");
+                    current = Some(component.as_str());
+                } else {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&json::escape(name));
+                out.push_str("\":");
+                match metric {
+                    Metric::Counter(c) => out.push_str(&c.get().to_string()),
+                    Metric::Gauge(g) => out.push_str(&g.get().to_string()),
+                    Metric::Histogram(h) => {
+                        let s = h.snapshot();
+                        out.push_str(&format!(
+                            "{{\"count\":{},\"sum_us\":{},\"min_us\":{},\"max_us\":{},\"mean_us\":{},\"buckets\":[",
+                            s.count,
+                            s.sum,
+                            s.min,
+                            s.max,
+                            s.mean_us()
+                        ));
+                        for (i, n) in s.buckets.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            let le = LATENCY_BUCKETS_US
+                                .get(i)
+                                .map(|b| format!("\"{b}\""))
+                                .unwrap_or_else(|| "\"inf\"".to_string());
+                            out.push_str(&format!("{{\"le_us\":{le},\"count\":{n}}}"));
+                        }
+                        out.push_str("]}");
+                    }
+                }
+            }
+            if current.is_some() {
+                out.push('}');
+            }
+        }
+        out.push_str("},\"trace\":[");
+        {
+            let ring = self.inner.trace.lock();
+            for (i, ev) in ring.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"at_us\":{},\"component\":\"{}\",\"event\":\"{}\",\"fields\":{{",
+                    ev.at_us,
+                    json::escape(&ev.component),
+                    json::escape(&ev.event)
+                ));
+                for (j, (k, v)) in ev.fields.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{}\":\"{}\"", json::escape(k), json::escape(v)));
+                }
+                out.push_str("}}");
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A per-component view of a [`Metrics`] registry: mints metric handles
+/// under the component's namespace and emits trace events tagged with it.
+#[derive(Clone, Debug)]
+pub struct Scope {
+    metrics: Metrics,
+    component: String,
+}
+
+impl Default for Scope {
+    /// A scope over a private, standalone registry — the default for cores
+    /// constructed without explicit observability wiring.
+    fn default() -> Scope {
+        Metrics::new().scope("default")
+    }
+}
+
+impl Scope {
+    /// The component name this scope tags everything with.
+    pub fn component(&self) -> &str {
+        &self.component
+    }
+
+    /// The registry behind this scope.
+    pub fn registry(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Registers (or retrieves) a monotonic counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.metrics.register(&self.component, name, || Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            _ => Counter::default(), // name already taken by another type
+        }
+    }
+
+    /// Registers (or retrieves) a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.metrics.register(&self.component, name, || Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            _ => Gauge::default(),
+        }
+    }
+
+    /// Registers (or retrieves) a fixed-bucket latency histogram (µs).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self
+            .metrics
+            .register(&self.component, name, || Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(h) => h,
+            _ => Histogram::default(),
+        }
+    }
+
+    /// Emits a structured trace event into the registry's ring.
+    pub fn trace(&self, at_us: u64, event: &str, fields: &[(&str, String)]) {
+        self.metrics.push_trace(TraceEvent {
+            at_us,
+            component: self.component.clone(),
+            event: event.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let m = Metrics::new();
+        let s = m.scope("router");
+        let c = s.counter("pdus_forwarded");
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        assert_eq!(m.counter_value("router", "pdus_forwarded"), 3);
+        // Re-registering the same name yields the same cell.
+        s.counter("pdus_forwarded").inc();
+        assert_eq!(c.get(), 4);
+
+        let g = s.gauge("neighbors");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(m.gauge_value("router", "neighbors"), 3);
+        // Unregistered metrics read as zero.
+        assert_eq!(m.counter_value("router", "nope"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let m = Metrics::new();
+        let h = m.scope("node").histogram("tick_us");
+        for us in [5, 10, 11, 100_000, 20_000_000] {
+            h.observe(us);
+        }
+        let s = m.histogram_snapshot("node", "tick_us").unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 20_000_000);
+        assert_eq!(s.buckets[0], 2); // 5 and 10 land in the ≤10 bucket
+        assert_eq!(s.buckets[1], 1); // 11 lands in ≤50
+        assert_eq!(*s.buckets.last().unwrap(), 1); // 20s overflows
+        assert_eq!(s.sum, 5 + 10 + 11 + 100_000 + 20_000_000);
+    }
+
+    #[test]
+    fn trace_ring_caps_and_drains() {
+        let m = Metrics::new();
+        m.set_trace_capacity(2);
+        let s = m.scope("client");
+        s.trace(1, "a", &[]);
+        s.trace(2, "b", &[("k", "v".to_string())]);
+        s.trace(3, "c", &[]);
+        let evs = m.drain_trace();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].event, "b");
+        assert_eq!(evs[1].event, "c");
+        assert_eq!(m.trace_len(), 0);
+    }
+
+    #[test]
+    fn json_dump_is_valid_and_stable() {
+        let m = Metrics::new();
+        let r = m.scope("router");
+        r.counter("pdus_forwarded").add(7);
+        r.gauge("neighbors").set(-1);
+        m.scope("node").histogram("tick_us").observe(42);
+        m.scope("server").trace(9, "append \"quoted\"", &[("seq", "1".to_string())]);
+        let doc = m.to_json();
+        json::validate(&doc).expect("dump must be valid JSON");
+        assert_eq!(doc, m.to_json(), "equal states must dump equal bytes");
+        assert!(doc.contains("\"pdus_forwarded\":7"));
+        assert!(doc.contains("\"neighbors\":-1"));
+        assert!(doc.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn empty_registry_dumps_valid_json() {
+        let m = Metrics::new();
+        json::validate(&m.to_json()).unwrap();
+    }
+}

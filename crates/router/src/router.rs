@@ -16,6 +16,7 @@ use crate::fib::{Fib, FibEntry, NeighborId};
 use crate::glookup::GLookup;
 use crate::messages::{AdvertiseMsg, ControlMsg, LookupMsg, VerifiedRoute};
 use gdp_cert::{Challenge, Principal, PrincipalId, PrincipalKind, Scope};
+use gdp_obs::{Counter, Scope as ObsScope};
 use gdp_wire::{Name, Pdu, PduType, Wire};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,6 +48,53 @@ pub struct RouterStats {
     pub lookups_local: u64,
     /// Lookup queries escalated to the parent domain.
     pub lookups_escalated: u64,
+}
+
+/// Cached observability handles: resolved once at construction so the
+/// data plane only ever touches atomics. Mirrors [`RouterStats`] and adds
+/// the FIB/GLookup hit-miss split plus sparse attach/no-route traces.
+struct RouterObs {
+    scope: ObsScope,
+    pdus_forwarded: Counter,
+    pdus_delivered_local: Counter,
+    pdus_no_route: Counter,
+    fib_hits: Counter,
+    fib_misses: Counter,
+    glookup_hits: Counter,
+    glookup_misses: Counter,
+    attach_hellos: Counter,
+    adverts_accepted: Counter,
+    adverts_rejected: Counter,
+    announces_accepted: Counter,
+    announces_rejected: Counter,
+    lookups_local: Counter,
+    lookups_escalated: Counter,
+}
+
+impl RouterObs {
+    fn new(scope: &ObsScope) -> RouterObs {
+        RouterObs {
+            pdus_forwarded: scope.counter("pdus_forwarded"),
+            pdus_delivered_local: scope.counter("pdus_delivered_local"),
+            pdus_no_route: scope.counter("pdus_no_route"),
+            fib_hits: scope.counter("fib_hits"),
+            fib_misses: scope.counter("fib_misses"),
+            glookup_hits: scope.counter("glookup_hits"),
+            glookup_misses: scope.counter("glookup_misses"),
+            attach_hellos: scope.counter("attach_hellos"),
+            adverts_accepted: scope.counter("adverts_accepted"),
+            adverts_rejected: scope.counter("adverts_rejected"),
+            announces_accepted: scope.counter("announces_accepted"),
+            announces_rejected: scope.counter("announces_rejected"),
+            lookups_local: scope.counter("lookups_local"),
+            lookups_escalated: scope.counter("lookups_escalated"),
+            scope: scope.clone(),
+        }
+    }
+
+    fn trace(&self, at_us: u64, event: &str, fields: &[(&str, String)]) {
+        self.scope.trace(at_us, event, fields);
+    }
 }
 
 /// What the router remembers about an attached catalog, so later
@@ -82,6 +130,8 @@ pub struct Router {
     next_query_id: u64,
     /// Statistics.
     pub stats: RouterStats,
+    /// Cached metric handles (shared registry when built `with_obs`).
+    obs: RouterObs,
     /// Where routers at this level send unknown names (`None` = root, which
     /// drops and reports).
     seq: u64,
@@ -94,8 +144,14 @@ pub struct Router {
 pub type Outbox = Vec<(NeighborId, Pdu)>;
 
 impl Router {
-    /// Creates a router with the given identity.
+    /// Creates a router with the given identity (private metric registry).
     pub fn new(id: PrincipalId) -> Router {
+        Router::new_with_obs(id, &ObsScope::default())
+    }
+
+    /// Creates a router registering its metrics under `obs` — the scope a
+    /// node hands out from its shared per-node [`gdp_obs::Metrics`].
+    pub fn new_with_obs(id: PrincipalId, obs: &ObsScope) -> Router {
         assert_eq!(id.principal().kind, PrincipalKind::Router);
         Router {
             id,
@@ -108,6 +164,7 @@ impl Router {
             pending_lookups: HashMap::new(),
             next_query_id: 1,
             stats: RouterStats::default(),
+            obs: RouterObs::new(obs),
             seq: 0,
             rng: StdRng::from_entropy(),
         }
@@ -123,6 +180,11 @@ impl Router {
     /// Convenience constructor from a seed and label.
     pub fn from_seed(seed: &[u8; 32], label: &str) -> Router {
         Router::new(PrincipalId::from_seed(PrincipalKind::Router, seed, label))
+    }
+
+    /// Seeded constructor with an observability scope.
+    pub fn from_seed_with_obs(seed: &[u8; 32], label: &str, obs: &ObsScope) -> Router {
+        Router::new_with_obs(PrincipalId::from_seed(PrincipalKind::Router, seed, label), obs)
     }
 
     /// Sets the parent-domain router's neighbor id (default route).
@@ -182,14 +244,17 @@ impl Router {
 
     fn forward(&mut self, now: u64, from: NeighborId, pdu: Pdu) -> Outbox {
         if let Some(best) = self.fib.best(&pdu.dst, now) {
+            self.obs.fib_hits.inc();
             // Never bounce a PDU back out the neighbor it arrived on —
             // prefer an alternate candidate (multi-replica), else fall
             // through to the parent.
             if best.neighbor != from {
                 if self.attached.contains_key(&best.neighbor) {
                     self.stats.delivered_local += 1;
+                    self.obs.pdus_delivered_local.inc();
                 } else {
                     self.stats.forwarded += 1;
+                    self.obs.pdus_forwarded.inc();
                 }
                 return vec![(best.neighbor, pdu)];
             }
@@ -197,16 +262,22 @@ impl Router {
                 self.fib.candidates(&pdu.dst, now).into_iter().find(|e| e.neighbor != from)
             {
                 self.stats.forwarded += 1;
+                self.obs.pdus_forwarded.inc();
                 return vec![(alt.neighbor, pdu)];
             }
+        } else {
+            self.obs.fib_misses.inc();
         }
         match self.parent {
             Some(parent) if parent != from => {
                 self.stats.forwarded += 1;
+                self.obs.pdus_forwarded.inc();
                 vec![(parent, pdu)]
             }
             _ => {
                 self.stats.no_route += 1;
+                self.obs.pdus_no_route.inc();
+                self.obs.trace(now, "no_route", &[("dst", pdu.dst.to_hex())]);
                 // Report unreachability to the source if we can route back.
                 let err = Pdu {
                     pdu_type: PduType::Error,
@@ -233,6 +304,7 @@ impl Router {
         };
         match msg {
             AdvertiseMsg::Hello => {
+                self.obs.attach_hellos.inc();
                 let challenge = Challenge::from_rng(&mut self.rng);
                 let outstanding = self.pending_challenges.entry(from).or_default();
                 // Bound the set: a flapping or hostile neighbor must not
@@ -248,6 +320,15 @@ impl Router {
                 match self.admit(now, from, &proof, &advertisement, &rtcert) {
                     Ok((accepted, mut announcements)) => {
                         self.stats.adverts_accepted += 1;
+                        self.obs.adverts_accepted.inc();
+                        self.obs.trace(
+                            now,
+                            "attach_accepted",
+                            &[
+                                ("advertiser", pdu.src.to_hex()),
+                                ("names", accepted.len().to_string()),
+                            ],
+                        );
                         let reply = AdvertiseMsg::Accepted { accepted };
                         let mut out = vec![(from, self.advertise_pdu(pdu.src, pdu.seq, &reply))];
                         out.append(&mut announcements);
@@ -255,6 +336,12 @@ impl Router {
                     }
                     Err(reason) => {
                         self.stats.adverts_rejected += 1;
+                        self.obs.adverts_rejected.inc();
+                        self.obs.trace(
+                            now,
+                            "attach_rejected",
+                            &[("advertiser", pdu.src.to_hex()), ("reason", reason.to_string())],
+                        );
                         let reply = AdvertiseMsg::Rejected { reason: reason.to_string() };
                         vec![(from, self.advertise_pdu(pdu.src, pdu.seq, &reply))]
                     }
@@ -367,6 +454,7 @@ impl Router {
         };
         if ext.advert_digest != catalog.digest || ext.verify(&catalog.advertiser).is_err() {
             self.stats.adverts_rejected += 1;
+            self.obs.adverts_rejected.inc();
             return Vec::new();
         }
         let server = catalog.advertiser.name();
@@ -444,9 +532,11 @@ impl Router {
         // Independently re-verify: child routers are in other trust domains.
         if route.verify(now).is_err() {
             self.stats.announces_rejected += 1;
+            self.obs.announces_rejected.inc();
             return Vec::new();
         }
         self.stats.announces_accepted += 1;
+        self.obs.announces_accepted.inc();
         let scope_ok = match &route.entry {
             Some(entry) => self.may_propagate(&entry.chain.adcert.scope),
             None => true,
@@ -469,9 +559,15 @@ impl Router {
         match LookupMsg::from_wire(&pdu.payload) {
             Ok(LookupMsg::Query { query_id, name }) => {
                 let routes = self.glookup.lookup(&name, now);
+                if routes.is_empty() {
+                    self.obs.glookup_misses.inc();
+                } else {
+                    self.obs.glookup_hits.inc();
+                }
                 match self.parent {
                     Some(parent) if routes.is_empty() => {
                         self.stats.lookups_escalated += 1;
+                        self.obs.lookups_escalated.inc();
                         let local_id = self.next_query_id;
                         self.next_query_id += 1;
                         self.pending_lookups.insert(local_id, (query_id, from));
@@ -480,6 +576,7 @@ impl Router {
                     }
                     _ => {
                         self.stats.lookups_local += 1;
+                        self.obs.lookups_local.inc();
                         let answer = LookupMsg::Answer { query_id, name, routes };
                         vec![(from, self.lookup_pdu(pdu.src, &answer))]
                     }
@@ -523,6 +620,12 @@ impl Router {
     /// network clients use `LookupMsg` PDUs instead.
     pub fn lookup_local(&mut self, name: &Name, now: u64) -> Vec<VerifiedRoute> {
         let _ = self.next_seq();
-        self.glookup.lookup(name, now)
+        let routes = self.glookup.lookup(name, now);
+        if routes.is_empty() {
+            self.obs.glookup_misses.inc();
+        } else {
+            self.obs.glookup_hits.inc();
+        }
+        routes
     }
 }

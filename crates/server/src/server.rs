@@ -26,6 +26,7 @@ use gdp_capsule::{
 use gdp_cert::{CapsuleAdvert, PrincipalId, PrincipalKind, ServingChain};
 use gdp_crypto::x25519::EphemeralKeyPair;
 use gdp_crypto::{hkdf, Signature};
+use gdp_obs::{Counter, Scope as ObsScope};
 use gdp_store::{CapsuleStore, MemStore};
 use gdp_wire::{Name, Pdu, PduType, Wire};
 use rand::rngs::StdRng;
@@ -51,6 +52,47 @@ pub struct ServerStats {
     pub sync_served: u64,
     /// Sessions established.
     pub sessions: u64,
+}
+
+/// Cached observability handles: resolved once at construction so the
+/// request paths only bump atomics. Mirrors [`ServerStats`] and adds the
+/// security-relevant `verify_failures` and `durability_timeouts` counts.
+struct ServerObs {
+    scope: ObsScope,
+    session_inits: Counter,
+    sessions_established: Counter,
+    appends_committed: Counter,
+    appends_rejected: Counter,
+    reads_served: Counter,
+    events_pushed: Counter,
+    replicated_in: Counter,
+    replicated_out: Counter,
+    sync_served: Counter,
+    verify_failures: Counter,
+    durability_timeouts: Counter,
+}
+
+impl ServerObs {
+    fn new(scope: &ObsScope) -> ServerObs {
+        ServerObs {
+            session_inits: scope.counter("session_inits"),
+            sessions_established: scope.counter("sessions_established"),
+            appends_committed: scope.counter("appends_committed"),
+            appends_rejected: scope.counter("appends_rejected"),
+            reads_served: scope.counter("reads_served"),
+            events_pushed: scope.counter("events_pushed"),
+            replicated_in: scope.counter("replicated_in"),
+            replicated_out: scope.counter("replicated_out"),
+            sync_served: scope.counter("sync_served"),
+            verify_failures: scope.counter("verify_failures"),
+            durability_timeouts: scope.counter("durability_timeouts"),
+            scope: scope.clone(),
+        }
+    }
+
+    fn trace(&self, at_us: u64, event: &str, fields: &[(&str, String)]) {
+        self.scope.trace(at_us, event, fields);
+    }
 }
 
 struct Hosted {
@@ -95,6 +137,8 @@ pub struct DataCapsuleServer {
     pending: Vec<PendingDurability>,
     /// Statistics.
     pub stats: ServerStats,
+    /// Cached metric handles (shared registry when built `with_obs`).
+    obs: ServerObs,
     /// How long to wait for quorum acks before failing an append (µs).
     pub durability_timeout: u64,
     readvertise: bool,
@@ -104,8 +148,14 @@ pub struct DataCapsuleServer {
 }
 
 impl DataCapsuleServer {
-    /// Creates a server with the given identity.
+    /// Creates a server with the given identity (private metric registry).
     pub fn new(id: PrincipalId) -> DataCapsuleServer {
+        DataCapsuleServer::new_with_obs(id, &ObsScope::default())
+    }
+
+    /// Creates a server registering its metrics under `obs` — the scope a
+    /// node hands out from its shared per-node [`gdp_obs::Metrics`].
+    pub fn new_with_obs(id: PrincipalId, obs: &ObsScope) -> DataCapsuleServer {
         assert_eq!(id.principal().kind, PrincipalKind::Server);
         DataCapsuleServer {
             id,
@@ -113,6 +163,7 @@ impl DataCapsuleServer {
             sessions: HashMap::new(),
             pending: Vec::new(),
             stats: ServerStats::default(),
+            obs: ServerObs::new(obs),
             durability_timeout: 10_000_000,
             readvertise: false,
             rng: StdRng::from_entropy(),
@@ -129,6 +180,14 @@ impl DataCapsuleServer {
     /// Convenience constructor.
     pub fn from_seed(seed: &[u8; 32], label: &str) -> DataCapsuleServer {
         DataCapsuleServer::new(PrincipalId::from_seed(PrincipalKind::Server, seed, label))
+    }
+
+    /// Seeded constructor with an observability scope.
+    pub fn from_seed_with_obs(seed: &[u8; 32], label: &str, obs: &ObsScope) -> DataCapsuleServer {
+        DataCapsuleServer::new_with_obs(
+            PrincipalId::from_seed(PrincipalKind::Server, seed, label),
+            obs,
+        )
     }
 
     /// The server's flat name.
@@ -298,6 +357,7 @@ impl DataCapsuleServer {
         seq: u64,
         client_eph: [u8; 32],
     ) -> Vec<Pdu> {
+        self.obs.session_inits.inc();
         if !self.hosted.contains_key(&capsule) {
             return vec![self.err_pdu(client, seq, ErrorCode::NotServing, "unknown capsule")];
         }
@@ -322,6 +382,7 @@ impl DataCapsuleServer {
                 let server_eph = *eph.public();
                 self.sessions.insert(client, FlowSession { client_eph, server_eph, key });
                 self.stats.sessions += 1;
+                self.obs.sessions_established.inc();
                 server_eph
             }
         };
@@ -379,6 +440,8 @@ impl DataCapsuleServer {
             || chain.adcert.capsule != capsule
             || chain.server().name() != self.name()
         {
+            self.obs.verify_failures.inc();
+            self.obs.trace(now, "host_rejected", &[("capsule", capsule.to_hex())]);
             return vec![self.err_pdu(
                 owner_client,
                 seq,
@@ -423,6 +486,13 @@ impl DataCapsuleServer {
             Ok(_) => {}
             Err(e) => {
                 self.stats.appends_rejected += 1;
+                self.obs.appends_rejected.inc();
+                self.obs.verify_failures.inc();
+                self.obs.trace(
+                    now,
+                    "append_rejected",
+                    &[("capsule", capsule_name.to_hex()), ("reason", e.to_string())],
+                );
                 return vec![self.err_pdu(
                     client,
                     seq,
@@ -435,6 +505,7 @@ impl DataCapsuleServer {
             return vec![self.err_pdu(client, seq, ErrorCode::BadRequest, "storage failure")];
         }
         self.stats.appends += 1;
+        self.obs.appends_committed.inc();
 
         let peers = hosted.peers.clone();
         let subscribers = hosted.subscribers.clone();
@@ -448,6 +519,7 @@ impl DataCapsuleServer {
                 &DataMsg::Replicate { capsule: capsule_name, record: record.clone() },
             ));
             self.stats.replicated_out += 1;
+            self.obs.replicated_out.inc();
         }
 
         // Push to subscribers.
@@ -456,6 +528,7 @@ impl DataCapsuleServer {
             let auth = self.auth_for(&capsule_name, sub, 0, &body);
             out.push(self.data_pdu(*sub, 0, &DataMsg::Event { record: record.clone(), auth }));
             self.stats.events_pushed += 1;
+            self.obs.events_pushed.inc();
         }
 
         // Acknowledge per durability mode.
@@ -498,6 +571,7 @@ impl DataCapsuleServer {
             return vec![self.err_pdu(client, seq, ErrorCode::NotServing, "unknown capsule")];
         };
         self.stats.reads += 1;
+        self.obs.reads_served.inc();
         let capsule = &hosted.capsule;
         let result = match target {
             ReadTarget::One(s) => match capsule.get_one(s) {
@@ -575,6 +649,7 @@ impl DataCapsuleServer {
             let auth = self.auth_for(&capsule_name, &client, 0, &body);
             out.push(self.data_pdu(client, 0, &DataMsg::Event { record, auth }));
             self.stats.events_pushed += 1;
+            self.obs.events_pushed.inc();
         }
         out
     }
@@ -589,8 +664,12 @@ impl DataCapsuleServer {
             Ok(_) => {
                 let _ = hosted.store.append(&record);
                 self.stats.replicated_in += 1;
+                self.obs.replicated_in.inc();
             }
-            Err(_) => return Vec::new(), // never ack unverifiable data
+            Err(_) => {
+                self.obs.verify_failures.inc();
+                return Vec::new(); // never ack unverifiable data
+            }
         }
         let subscribers = hosted.subscribers.clone();
         let mut out =
@@ -600,6 +679,7 @@ impl DataCapsuleServer {
             let auth = self.auth_for(&capsule_name, sub, 0, &body);
             out.push(self.data_pdu(*sub, 0, &DataMsg::Event { record: record.clone(), auth }));
             self.stats.events_pushed += 1;
+            self.obs.events_pushed.inc();
         }
         out
     }
@@ -661,6 +741,7 @@ impl DataCapsuleServer {
             return Vec::new();
         }
         self.stats.sync_served += records.len() as u64;
+        self.obs.sync_served.add(records.len() as u64);
         vec![self.data_pdu(peer, 0, &DataMsg::SyncResponse { capsule: capsule_name, records })]
     }
 
@@ -671,11 +752,14 @@ impl DataCapsuleServer {
         let mut sorted = records;
         sorted.sort_by_key(|r| r.header.seq);
         for record in sorted {
-            if let Ok(outcome) = hosted.capsule.ingest(record.clone()) {
-                if outcome != IngestOutcome::Duplicate {
+            match hosted.capsule.ingest(record.clone()) {
+                Ok(IngestOutcome::Duplicate) => {}
+                Ok(_) => {
                     let _ = hosted.store.append(&record);
                     self.stats.replicated_in += 1;
+                    self.obs.replicated_in.inc();
                 }
+                Err(_) => self.obs.verify_failures.inc(),
             }
         }
         Vec::new()
@@ -694,6 +778,12 @@ impl DataCapsuleServer {
         }
         for i in expired.into_iter().rev() {
             let p = self.pending.remove(i);
+            self.obs.durability_timeouts.inc();
+            self.obs.trace(
+                now,
+                "durability_timeout",
+                &[("capsule", p.capsule.to_hex()), ("seq", p.record_seq.to_string())],
+            );
             out.push(self.err_pdu(
                 p.client,
                 p.request_seq,

@@ -20,6 +20,7 @@ use gdp_crypto::SigningKey;
 use gdp_net::simnet::{FaultSpec, SimAddr, SimEndpoint, SimNet};
 use gdp_node::runtime::FOREVER;
 use gdp_node::{HostSpec, NodeConfig, NodeRuntime, Role};
+use gdp_obs::Metrics;
 use gdp_router::{AttachStep, Attacher};
 use gdp_server::{AckMode, ReadTarget};
 use gdp_wire::{Name, Pdu};
@@ -63,6 +64,11 @@ pub struct SimCluster {
     /// `None` while the node is crashed. Index: 0 = router, 1..=2 = storage.
     runtimes: Vec<Option<NodeRuntime<SimAddr>>>,
     cfgs: Vec<NodeConfig>,
+    /// Per-node shared metric registries (same index as `runtimes`).
+    /// Survive crash/restart, so counters accumulate across reboots.
+    node_metrics: Vec<Metrics>,
+    /// The client's registry (scope `client`).
+    client_metrics: Metrics,
     seed: u64,
     client: GdpClient,
     client_attach: Option<Attacher>,
@@ -128,6 +134,7 @@ impl SimCluster {
             peers: vec![],
             router: None,
             data_dir: None,
+            stats_path: None,
             hosts: vec![],
         }];
         for i in 0..STORAGE {
@@ -142,6 +149,7 @@ impl SimCluster {
                 peers: vec![],
                 router: Some(router_name),
                 data_dir: Some(data_root.join(format!("s{i}"))),
+                stats_path: None,
                 hosts: vec![HostSpec {
                     metadata: metadata.clone(),
                     chain: ServingChain::direct(
@@ -153,15 +161,19 @@ impl SimCluster {
             });
         }
 
+        let node_metrics: Vec<Metrics> = cfgs.iter().map(|_| Metrics::new()).collect();
         let mut runtimes = Vec::new();
         for (i, cfg) in cfgs.iter().enumerate() {
             let uplink = (cfg.role == Role::Storage).then_some(ROUTER);
-            let mut rt = NodeRuntime::from_config(cfg, uplink).expect("sim node cores");
+            let mut rt = NodeRuntime::from_config_with_obs(cfg, uplink, &node_metrics[i])
+                .expect("sim node cores");
             rt.set_rng_seed(seed ^ (0x4e4f_4445 + i as u64));
             runtimes.push(Some(rt));
         }
 
-        let mut client = GdpClient::from_seed(&[41u8; 32], "sim-cli");
+        let client_metrics = Metrics::new();
+        let mut client =
+            GdpClient::from_seed_with_obs(&[41u8; 32], "sim-cli", &client_metrics.scope("client"));
         client.set_rng_seed(seed ^ 0x434c_4945);
         client.track_capsule(&metadata).expect("track");
         client.register_writer(&metadata, writer_key, PointerStrategy::Chain).expect("writer");
@@ -171,6 +183,8 @@ impl SimCluster {
             endpoints,
             runtimes,
             cfgs,
+            node_metrics,
+            client_metrics,
             seed,
             client,
             client_attach: None,
@@ -207,6 +221,24 @@ impl SimCluster {
     /// The run seed (for failure messages).
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The shared metric registry of node `idx` (0 = router,
+    /// 1..=2 = storage). Registries survive crash/restart, so counters
+    /// accumulate across a node's whole simulated lifetime.
+    pub fn node_metrics(&self, idx: usize) -> &Metrics {
+        &self.node_metrics[idx]
+    }
+
+    /// The client-side metric registry (scope `client`).
+    pub fn client_metrics(&self) -> &Metrics {
+        &self.client_metrics
+    }
+
+    /// Mutable access to the client core, e.g. to tighten the pending
+    /// request timeout before a drop-heavy run.
+    pub fn client_mut(&mut self) -> &mut GdpClient {
+        &mut self.client
     }
 
     /// Ground-truth hash of the writer's record at `seq` (1-based), if
@@ -366,6 +398,14 @@ impl SimCluster {
                 self.transmit(idx, out);
             }
         }
+        // Client deadline sweep: expire pending requests whose responses
+        // were lost, exactly like the live driver's wait loop does.
+        for ev in self.client.sweep_timeouts(now) {
+            if std::env::var("GDP_SIM_DEBUG").is_ok() {
+                eprintln!("[sim-client] now={now} {ev:?}");
+            }
+            self.client_events.push_back(ev);
+        }
         // Client attach retry (mirrors ClusterClient's 300ms re-Hello,
         // rounded to the tick cadence).
         if !self.client_attached
@@ -489,14 +529,14 @@ impl SimCluster {
     /// Returns the seq on ack; the record stays in the writer chain — and
     /// out of [`SimCluster::acked`] — when the window closes unacked.
     pub fn client_append(&mut self, body: &[u8], ack: AckMode, window_us: u64) -> Option<u64> {
-        let (pdu, record) =
+        let (mut pdu, record) =
             self.client.append(self.capsule, body, 0, ack).expect("writer registered");
         let want = record.header.seq;
         let hash = record.hash();
-        self.records.push(record);
+        self.records.push(record.clone());
         let deadline = self.net.now() + window_us;
         loop {
-            let _ = self.endpoints[CLIENT].send(ROUTER, pdu.clone());
+            let _ = self.endpoints[CLIENT].send(ROUTER, pdu);
             // Per-attempt slice: short enough that a request lost to a
             // mid-failover route retries well before the outer deadline.
             let slice = (self.net.now() + 2_000_000).min(deadline);
@@ -513,6 +553,12 @@ impl SimCluster {
                 return None;
             }
             self.rekey_if_poisoned(seen);
+            // Retry under a fresh request seq: the deadline sweep may have
+            // expired the previous attempt's pending entry, and responses
+            // to a swept seq are ignored. Appends stay idempotent
+            // server-side (same signed record).
+            self.client.mark_retry();
+            pdu = self.client.append_record(self.capsule, record.clone(), ack);
         }
     }
 
@@ -545,6 +591,7 @@ impl SimCluster {
                 return None;
             }
             self.rekey_if_poisoned(seen);
+            self.client.mark_retry();
             // Mirrors the live driver's 50ms pause between retries, so an
             // unroutable capsule doesn't hot-loop request/Error cycles.
             self.run_for(50_000);
@@ -583,8 +630,14 @@ impl SimCluster {
         assert!(self.runtimes[1 + i].is_none(), "restart of a running node");
         self.cancel_downs(i);
         self.net.restart(addr);
-        let mut rt = NodeRuntime::from_config(&self.cfgs[1 + i], Some(ROUTER))
-            .expect("rebuild crashed node");
+        // Same registry as before the crash: the node's counters span its
+        // whole lifetime, reboots included.
+        let mut rt = NodeRuntime::from_config_with_obs(
+            &self.cfgs[1 + i],
+            Some(ROUTER),
+            &self.node_metrics[1 + i],
+        )
+        .expect("rebuild crashed node");
         // A fresh seed domain per boot: a restarted process has new RNG
         // state, but still fully derived from the run seed.
         rt.set_rng_seed(self.seed ^ (0x4245_4254 + i as u64) ^ self.net.now());

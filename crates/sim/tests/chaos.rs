@@ -344,3 +344,138 @@ fn partition_during_replication_converges() {
     assert_eq!(c.acked().len(), 2);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Cross-layer metric accounting on a fault-free fabric: every acked
+/// write is countable at every layer it crossed, and none of the failure
+/// counters moved. This is the observability contract the dashboards
+/// (and `scripts/verify.sh`'s smoke step) rely on.
+#[test]
+fn fault_free_metric_accounting() {
+    let seed = 0x0B5;
+    let dir = fresh_dir();
+    let mut c = SimCluster::new(seed, FaultSpec::reliable(), &dir);
+    assert!(c.attach_client(30 * S));
+
+    const N: u64 = 6;
+    for i in 0..N {
+        c.client_append(format!("obs {i}").as_bytes(), AckMode::Local, 60 * S)
+            .expect("fault-free append");
+    }
+    let reads = 3u64;
+    for _ in 0..reads {
+        c.client_read(ReadTarget::Latest, 30 * S).expect("fault-free read");
+    }
+    // Quiet time so replication fan-out completes before counting.
+    c.run_for(10 * S);
+    check_invariants(&c);
+
+    // Client layer: every append acked, nothing timed out or retried,
+    // nothing failed verification.
+    let cm = c.client_metrics();
+    assert_eq!(cm.counter_value("client", "acked_writes"), N);
+    assert_eq!(cm.counter_value("client", "reads_ok"), reads);
+    assert_eq!(cm.counter_value("client", "requests_timed_out"), 0);
+    assert_eq!(cm.counter_value("client", "requests_retried"), 0);
+    assert_eq!(cm.counter_value("client", "verify_failures"), 0);
+
+    // Server layer: exactly N client appends committed across the two
+    // replicas, each fanned out to the other replica once; no rejects.
+    let committed: u64 =
+        (1..=2).map(|i| c.node_metrics(i).counter_value("server", "appends_committed")).sum();
+    let replicated_in: u64 =
+        (1..=2).map(|i| c.node_metrics(i).counter_value("server", "replicated_in")).sum();
+    assert_eq!(committed, N, "GDP_SIM_SEED={seed}: committed appends != acked appends");
+    assert_eq!(replicated_in, N, "GDP_SIM_SEED={seed}: replication fan-out incomplete");
+    assert!(cm.counter_value("client", "acked_writes") <= committed);
+    for i in 1..=2 {
+        let nm = c.node_metrics(i);
+        assert_eq!(nm.counter_value("server", "appends_rejected"), 0);
+        assert_eq!(nm.counter_value("server", "verify_failures"), 0);
+        assert_eq!(nm.counter_value("server", "durability_timeouts"), 0);
+        // Store layer: every committed record hit the log; recovery never
+        // had to truncate and no CRC ever failed.
+        assert!(nm.counter_value("store", "entries_appended") > 0);
+        assert_eq!(nm.counter_value("store", "recovery_truncations"), 0);
+        assert_eq!(nm.counter_value("store", "crc_failures"), 0);
+    }
+    let served: u64 =
+        (1..=2).map(|i| c.node_metrics(i).counter_value("server", "reads_served")).sum();
+    assert_eq!(served, reads);
+
+    // Router layer: every data PDU the router handled found a route (the
+    // client and both replicas are attached neighbors, so deliveries are
+    // local hops), and the fabric confirms nothing was lost in flight.
+    let rm = c.node_metrics(0);
+    assert_eq!(rm.counter_value("router", "pdus_no_route"), 0);
+    let hops = rm.counter_value("router", "pdus_delivered_local")
+        + rm.counter_value("router", "pdus_forwarded");
+    assert!(hops >= 2 * (N + reads), "too few routed hops: {hops}");
+    let stats = c.net.stats();
+    assert_eq!(stats.dropped, 0, "reliable fabric dropped traffic");
+    assert_eq!(stats.duplicated, 0, "reliable fabric duplicated traffic");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// On a lossy fabric the failure path must be *visible*: dropped frames
+/// imply driver retries, and the counters prove the retry machinery ran
+/// rather than the run merely getting lucky.
+#[test]
+fn lossy_fabric_shows_retries() {
+    let seed = 0x10_55;
+    let dir = fresh_dir();
+    let faults = FaultSpec { latency_us: 2_000, jitter_us: 5_000, drop: 0.35, duplicate: 0.0 };
+    let mut c = SimCluster::new(seed, faults, &dir);
+    assert!(c.attach_client(120 * S), "GDP_SIM_SEED={seed}: attach timed out");
+
+    for i in 0..3 {
+        c.client_append(format!("lossy {i}").as_bytes(), AckMode::Local, 300 * S)
+            .unwrap_or_else(|| panic!("GDP_SIM_SEED={seed}: append {i} never acked"));
+    }
+    // Quiet time: anti-entropy must converge the lagging replica before
+    // the durability invariant is checked.
+    c.run_for(30 * S);
+    check_invariants(&c);
+
+    let dropped = c.net.stats().dropped;
+    assert!(dropped > 0, "GDP_SIM_SEED={seed}: 35% drop rate dropped nothing");
+    assert!(
+        c.client_metrics().counter_value("client", "requests_retried") > 0,
+        "GDP_SIM_SEED={seed}: {dropped} drops but the client never counted a retry"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Drop-heavy coverage for the pending-request deadline sweep: with the
+/// request timeout tightened below the driver's retry slice, lost
+/// responses must surface as `ClientEvent::Timeout` (counted in
+/// `requests_timed_out`) instead of leaking pending entries forever.
+#[test]
+fn timeout_sweep_fires_under_loss() {
+    let seed = 0x71_3E;
+    let dir = fresh_dir();
+    let faults = FaultSpec { latency_us: 2_000, jitter_us: 5_000, drop: 0.35, duplicate: 0.0 };
+    let mut c = SimCluster::new(seed, faults, &dir);
+    assert!(c.attach_client(120 * S), "GDP_SIM_SEED={seed}: attach timed out");
+    // Expire pending requests after 1.5 virtual seconds — inside the
+    // driver's 2 s per-attempt slice, so a lost request times out before
+    // the retry re-issues it.
+    c.client_mut().set_request_timeout(1_500_000);
+
+    for i in 0..4 {
+        c.client_append(format!("sweep {i}").as_bytes(), AckMode::Local, 300 * S)
+            .unwrap_or_else(|| panic!("GDP_SIM_SEED={seed}: append {i} never acked"));
+    }
+    c.run_for(30 * S);
+    check_invariants(&c);
+
+    assert!(c.net.stats().dropped > 0, "GDP_SIM_SEED={seed}: drop rate dropped nothing");
+    assert!(
+        c.client_metrics().counter_value("client", "requests_timed_out") > 0,
+        "GDP_SIM_SEED={seed}: drops never produced a swept timeout"
+    );
+    // The sweep must not leak: after the run settles, nothing old is
+    // still pending (settle longer than the request timeout).
+    c.run_for(5 * S);
+    assert_eq!(c.client_mut().pending_len(), 0, "pending entries leaked past the sweep");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -3,11 +3,10 @@
 //! Detects torn writes and bit rot in the on-disk log; it is *not* a
 //! security mechanism (records are independently signature-verified).
 
-/// Computes the CRC-32 of `data`.
-pub fn crc32(data: &[u8]) -> u32 {
+fn table() -> &'static [u32; 256] {
     const POLY: u32 = 0xEDB88320;
     static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    let table = TABLE.get_or_init(|| {
+    TABLE.get_or_init(|| {
         let mut t = [0u32; 256];
         for (i, entry) in t.iter_mut().enumerate() {
             let mut c = i as u32;
@@ -17,12 +16,40 @@ pub fn crc32(data: &[u8]) -> u32 {
             *entry = c;
         }
         t
-    });
-    let mut crc = 0xFFFFFFFFu32;
-    for &b in data {
-        crc = table[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    })
+}
+
+/// Incremental CRC-32: feed discontiguous pieces (e.g. an entry header and
+/// its body) without concatenating them first.
+#[derive(Clone, Debug)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Starts a fresh computation.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Crc32 {
+        Crc32(0xFFFFFFFF)
     }
-    !crc
+
+    /// Folds `data` into the running CRC.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            self.0 = t[((self.0 ^ b as u32) & 0xff) as usize] ^ (self.0 >> 8);
+        }
+    }
+
+    /// The CRC of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.0
+    }
+}
+
+/// Computes the CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
 }
 
 #[cfg(test)]
@@ -39,5 +66,14 @@ mod tests {
     #[test]
     fn detects_change() {
         assert_ne!(crc32(b"hello"), crc32(b"hellp"));
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut c = Crc32::new();
+        c.update(b"123");
+        c.update(b"");
+        c.update(b"456789");
+        assert_eq!(c.finish(), crc32(b"123456789"));
     }
 }

@@ -6,6 +6,7 @@
 
 use crate::file::FileStore;
 use crate::store::{CapsuleStore, MemStore, StoreError};
+use gdp_obs::Scope;
 use gdp_wire::Name;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -28,12 +29,18 @@ pub type SharedStore = Arc<Mutex<Box<dyn CapsuleStore>>>;
 pub struct StorageEngine {
     backing: Backing,
     stores: Mutex<HashMap<Name, SharedStore>>,
+    obs: Scope,
 }
 
 impl StorageEngine {
-    /// Creates an engine with the given backing.
+    /// Creates an engine with the given backing (private metric registry).
     pub fn new(backing: Backing) -> StorageEngine {
-        StorageEngine { backing, stores: Mutex::new(HashMap::new()) }
+        StorageEngine::with_obs(backing, gdp_obs::Metrics::new().scope("store"))
+    }
+
+    /// Creates an engine registering store metrics under `scope`.
+    pub fn with_obs(backing: Backing, scope: Scope) -> StorageEngine {
+        StorageEngine { backing, stores: Mutex::new(HashMap::new()), obs: scope }
     }
 
     /// In-memory engine.
@@ -49,9 +56,10 @@ impl StorageEngine {
         }
         let store: Box<dyn CapsuleStore> = match &self.backing {
             Backing::Memory => Box::new(MemStore::new()),
-            Backing::Directory(dir) => {
-                Box::new(FileStore::open(dir.join(format!("{}.log", capsule.to_hex())))?)
-            }
+            Backing::Directory(dir) => Box::new(FileStore::open_with(
+                dir.join(format!("{}.log", capsule.to_hex())),
+                &self.obs,
+            )?),
         };
         let arc = Arc::new(Mutex::new(store));
         stores.insert(*capsule, Arc::clone(&arc));

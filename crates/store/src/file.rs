@@ -2,17 +2,33 @@
 //! an in-memory index built on open, and crash recovery by truncating the
 //! first torn entry.
 //!
-//! Layout of `<dir>/<capsule-hex>.log`:
+//! Layout of `<dir>/<capsule-hex>.log` (format v2):
 //!
 //! ```text
-//! [ entry ]*
+//! magic "GDPLOG\0\x02"  [ entry ]*
 //! entry := kind:u8  len:u32be  crc32:u32be  bytes[len]
 //! kind  := 0 (metadata) | 1 (record)
+//! crc32 := CRC-32 over kind ‖ len ‖ bytes
 //! ```
+//!
+//! The v2 CRC covers the entry *header* as well as the body, so a rotted
+//! `kind` or `len` byte is detected exactly like body rot (the scan stops
+//! and the tail is truncated) instead of failing the whole log with
+//! `Corrupt` or misframing every subsequent entry. Files without the magic
+//! are legacy **v1** logs (body-only CRC); they stay fully readable and
+//! appendable in v1 framing — to upgrade a capsule, copy its records into
+//! a freshly created log.
+//!
+//! Recovery streams the log in [`RECOVERY_CHUNK`]-sized reads, so peak
+//! memory is bounded by one chunk plus the largest single entry — never by
+//! log size. Creating a log also fsyncs the parent directory, so a fresh
+//! capsule's directory entry survives a crash along with its first
+//! synced append.
 
-use crate::crc::crc32;
+use crate::crc::{crc32, Crc32};
 use crate::store::{CapsuleStore, StoreError};
 use gdp_capsule::{CapsuleMetadata, Record, RecordHash};
+use gdp_obs::{Counter, Scope};
 use gdp_wire::Wire;
 use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
@@ -22,6 +38,37 @@ use std::path::{Path, PathBuf};
 const KIND_METADATA: u8 = 0;
 const KIND_RECORD: u8 = 1;
 const ENTRY_HEADER: usize = 1 + 4 + 4;
+
+/// Leading magic of a v2 segment file (absent in legacy v1 logs).
+pub const SEGMENT_MAGIC: [u8; 8] = *b"GDPLOG\x00\x02";
+
+/// Recovery reads the log in chunks of this size; peak recovery memory is
+/// one chunk plus the largest single entry.
+pub const RECOVERY_CHUNK: usize = 64 * 1024;
+
+/// Cached per-store metric handles (see DESIGN.md, "Observability").
+#[derive(Clone, Debug)]
+struct StoreObs {
+    entries_appended: Counter,
+    bytes_appended: Counter,
+    fsyncs: Counter,
+    dir_fsyncs: Counter,
+    recovery_truncations: Counter,
+    crc_failures: Counter,
+}
+
+impl StoreObs {
+    fn new(scope: &Scope) -> StoreObs {
+        StoreObs {
+            entries_appended: scope.counter("entries_appended"),
+            bytes_appended: scope.counter("bytes_appended"),
+            fsyncs: scope.counter("fsyncs"),
+            dir_fsyncs: scope.counter("dir_fsyncs"),
+            recovery_truncations: scope.counter("recovery_truncations"),
+            crc_failures: scope.counter("crc_failures"),
+        }
+    }
+}
 
 /// A file-backed per-capsule store.
 pub struct FileStore {
@@ -34,21 +81,37 @@ pub struct FileStore {
     tail: u64,
     /// fsync after every append (durable but slow) or rely on OS flush.
     sync_each_write: bool,
+    /// Segment format: 1 = legacy body-only CRC, 2 = header-covering CRC.
+    format: u8,
+    /// Largest number of bytes buffered at once during the open() scan.
+    recovery_peak_buffer: usize,
+    obs: StoreObs,
 }
 
 impl FileStore {
     /// Opens (or creates) the store file, scanning and indexing existing
     /// entries. A torn final entry — from a crash mid-write — is truncated.
+    /// Metrics land in a private registry; use [`FileStore::open_with`] to
+    /// share a node-wide one.
     pub fn open(path: impl AsRef<Path>) -> Result<FileStore, StoreError> {
+        FileStore::open_with(path, &gdp_obs::Metrics::new().scope("store"))
+    }
+
+    /// [`FileStore::open`], registering metrics under `scope`.
+    pub fn open_with(path: impl AsRef<Path>, scope: &Scope) -> Result<FileStore, StoreError> {
         let path = path.as_ref().to_path_buf();
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let mut file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
-        let mut bytes = Vec::new();
-        file.seek(SeekFrom::Start(0))?;
-        file.read_to_end(&mut bytes)?;
-
+        let obs = StoreObs::new(scope);
+        let created = !path.exists();
+        let file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
+        if created {
+            // A fresh log's directory entry must itself be durable, or an
+            // acked write to a new capsule vanishes with the file on crash.
+            sync_parent_dir(&path)?;
+            obs.dir_fsyncs.inc();
+        }
         let mut store = FileStore {
             path,
             file,
@@ -57,15 +120,23 @@ impl FileStore {
             by_seq: BTreeMap::new(),
             tail: 0,
             sync_each_write: false,
+            format: 2,
+            recovery_peak_buffer: 0,
+            obs,
         };
-        store.recover(&bytes)?;
+        store.recover()?;
         Ok(store)
     }
 
-    /// Enables fsync-per-append.
-    pub fn with_sync(mut self, sync: bool) -> FileStore {
+    /// Enables fsync-per-append. Enabling also fsyncs the parent directory
+    /// once, so the file's existence is as durable as its contents.
+    pub fn with_sync(mut self, sync: bool) -> Result<FileStore, StoreError> {
+        if sync && !self.sync_each_write {
+            sync_parent_dir(&self.path)?;
+            self.obs.dir_fsyncs.inc();
+        }
         self.sync_each_write = sync;
-        self
+        Ok(self)
     }
 
     /// The backing file path.
@@ -73,20 +144,102 @@ impl FileStore {
         &self.path
     }
 
-    fn recover(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
-        let mut pos = 0usize;
-        let mut valid_end = 0usize;
-        while bytes.len() - pos >= ENTRY_HEADER {
-            let kind = bytes[pos];
-            let len = u32::from_be_bytes(bytes[pos + 1..pos + 5].try_into().unwrap()) as usize;
-            let crc = u32::from_be_bytes(bytes[pos + 5..pos + 9].try_into().unwrap());
-            let body_start = pos + ENTRY_HEADER;
-            if bytes.len() - body_start < len {
-                break; // torn tail
+    /// Segment format version in effect (1 = legacy, 2 = current).
+    pub fn format_version(&self) -> u8 {
+        self.format
+    }
+
+    /// Peak bytes buffered during the last `open()` recovery scan —
+    /// bounded by [`RECOVERY_CHUNK`] plus the largest entry, not log size.
+    pub fn recovery_peak_buffer(&self) -> usize {
+        self.recovery_peak_buffer
+    }
+
+    /// Streams the log in bounded chunks, rebuilding the index and
+    /// truncating at the first torn or rotted entry.
+    fn recover(&mut self) -> Result<(), StoreError> {
+        let file_len = self.file.metadata()?.len();
+        self.file.seek(SeekFrom::Start(0))?;
+
+        // Format sniff: v2 logs open with the magic; anything else is a
+        // legacy v1 log (body-only CRC) and is parsed from offset 0.
+        let mut magic = [0u8; SEGMENT_MAGIC.len()];
+        let sniffed = read_fill(&mut self.file, &mut magic)?;
+        let scan_from: u64;
+        if sniffed == SEGMENT_MAGIC.len() && magic == SEGMENT_MAGIC {
+            self.format = 2;
+            scan_from = SEGMENT_MAGIC.len() as u64;
+        } else if file_len == 0 {
+            // Fresh log: stamp the v2 header.
+            self.file.write_all(&SEGMENT_MAGIC)?;
+            self.format = 2;
+            self.tail = SEGMENT_MAGIC.len() as u64;
+            self.recovery_peak_buffer = 0;
+            return Ok(());
+        } else {
+            self.format = 1;
+            scan_from = 0;
+            self.file.seek(SeekFrom::Start(0))?;
+        }
+
+        let format = self.format;
+        let file = &mut self.file;
+        let mut buf: Vec<u8> = Vec::new();
+        let mut start = 0usize; // parse cursor into buf
+        let mut eof = false;
+        let mut peak = 0usize;
+        let mut valid_end = scan_from;
+
+        // Tops the buffer up from the file until `need` unparsed bytes are
+        // available (or EOF); consumed bytes are compacted away first, so
+        // the buffer never outgrows one chunk plus the entry being parsed.
+        fn ensure(
+            file: &mut File,
+            buf: &mut Vec<u8>,
+            start: &mut usize,
+            eof: &mut bool,
+            peak: &mut usize,
+            need: usize,
+        ) -> Result<bool, std::io::Error> {
+            while buf.len() - *start < need && !*eof {
+                if *start > 0 {
+                    buf.drain(..*start);
+                    *start = 0;
+                }
+                let want = need.saturating_sub(buf.len()).max(RECOVERY_CHUNK);
+                let old = buf.len();
+                buf.resize(old + want, 0);
+                let got = read_fill(file, &mut buf[old..])?;
+                buf.truncate(old + got);
+                if got == 0 {
+                    *eof = true;
+                }
+                *peak = (*peak).max(buf.len());
             }
-            let body = &bytes[body_start..body_start + len];
-            if crc32(body) != crc {
-                break; // torn or rotted tail entry
+            Ok(buf.len() - *start >= need)
+        }
+
+        loop {
+            if !ensure(file, &mut buf, &mut start, &mut eof, &mut peak, ENTRY_HEADER)? {
+                break; // torn header at tail
+            }
+            let kind = buf[start];
+            let len = u32::from_be_bytes(buf[start + 1..start + 5].try_into().unwrap()) as usize;
+            let crc = u32::from_be_bytes(buf[start + 5..start + 9].try_into().unwrap());
+            // A body that runs past EOF is a torn (or len-rotted) tail;
+            // checking against the file length first keeps a garbage `len`
+            // from forcing a huge buffer allocation.
+            let remaining = file_len.saturating_sub(valid_end + ENTRY_HEADER as u64);
+            if len as u64 > remaining {
+                break;
+            }
+            if !ensure(file, &mut buf, &mut start, &mut eof, &mut peak, ENTRY_HEADER + len)? {
+                break;
+            }
+            let body = &buf[start + ENTRY_HEADER..start + ENTRY_HEADER + len];
+            if entry_crc(format, kind, body) != crc {
+                self.obs.crc_failures.inc();
+                break; // torn or rotted entry: truncate here
             }
             match kind {
                 KIND_METADATA => {
@@ -101,7 +254,7 @@ impl FileStore {
                         .map_err(|e| StoreError::Corrupt(format!("record: {e}")))?;
                     let hash = record.hash();
                     if let std::collections::hash_map::Entry::Vacant(e) = self.index.entry(hash) {
-                        e.insert(pos as u64);
+                        e.insert(valid_end);
                         self.by_seq.entry(record.header.seq).or_default().push(hash);
                     }
                 }
@@ -109,15 +262,18 @@ impl FileStore {
                     return Err(StoreError::Corrupt(format!("unknown entry kind {other}")));
                 }
             }
-            pos = body_start + len;
-            valid_end = pos;
+            start += ENTRY_HEADER + len;
+            valid_end += (ENTRY_HEADER + len) as u64;
         }
-        if valid_end < bytes.len() {
+
+        if valid_end < file_len {
             // Drop the torn tail so future appends start from a clean edge.
-            self.file.set_len(valid_end as u64)?;
+            self.file.set_len(valid_end)?;
             self.file.seek(SeekFrom::End(0))?;
+            self.obs.recovery_truncations.inc();
         }
-        self.tail = valid_end as u64;
+        self.tail = valid_end;
+        self.recovery_peak_buffer = peak;
         Ok(())
     }
 
@@ -126,13 +282,16 @@ impl FileStore {
         let mut frame = Vec::with_capacity(ENTRY_HEADER + body.len());
         frame.push(kind);
         frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
-        frame.extend_from_slice(&crc32(body).to_be_bytes());
+        frame.extend_from_slice(&entry_crc(self.format, kind, body).to_be_bytes());
         frame.extend_from_slice(body);
         self.file.write_all(&frame)?;
         if self.sync_each_write {
             self.file.sync_data()?;
+            self.obs.fsyncs.inc();
         }
         self.tail += frame.len() as u64;
+        self.obs.entries_appended.inc();
+        self.obs.bytes_appended.add(frame.len() as u64);
         Ok(offset)
     }
 
@@ -148,11 +307,50 @@ impl FileStore {
         let crc = u32::from_be_bytes(header[5..9].try_into().unwrap());
         let mut body = vec![0u8; len];
         file.read_exact(&mut body)?;
-        if crc32(&body) != crc {
+        if entry_crc(self.format, header[0], &body) != crc {
+            self.obs.crc_failures.inc();
             return Err(StoreError::Corrupt("crc mismatch on read".to_string()));
         }
         Record::from_wire(&body).map_err(|e| StoreError::Corrupt(format!("record: {e}")))
     }
+}
+
+/// Per-entry CRC: v2 covers `kind ‖ len ‖ body`, legacy v1 the body only.
+fn entry_crc(format: u8, kind: u8, body: &[u8]) -> u32 {
+    if format >= 2 {
+        let mut c = Crc32::new();
+        c.update(&[kind]);
+        c.update(&(body.len() as u32).to_be_bytes());
+        c.update(body);
+        c.finish()
+    } else {
+        crc32(body)
+    }
+}
+
+/// fsyncs the directory containing `path` (directory entries are data too).
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        File::open(parent)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// `read` until `dst` is full or EOF; returns bytes read.
+fn read_fill(file: &mut File, mut dst: &mut [u8]) -> std::io::Result<usize> {
+    let mut total = 0;
+    while !dst.is_empty() {
+        match file.read(dst) {
+            Ok(0) => break,
+            Ok(n) => {
+                total += n;
+                dst = &mut dst[n..];
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(total)
 }
 
 impl CapsuleStore for FileStore {
@@ -279,6 +477,7 @@ mod tests {
         }
         // Reopen and verify the index rebuilds.
         let s = FileStore::open(&path).unwrap();
+        assert_eq!(s.format_version(), 2);
         assert_eq!(s.metadata().unwrap(), meta);
         assert_eq!(s.len(), 10);
         assert_eq!(s.latest_seq(), 10);
@@ -356,6 +555,148 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.latest_seq(), 0);
         assert!(s.get_by_seq(1).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Regression (durability): creating a fresh log must fsync the parent
+    /// directory — otherwise the directory entry (and with it every synced
+    /// append) can vanish on crash. Reopening an existing log must not.
+    #[test]
+    fn fresh_log_fsyncs_parent_dir_once() {
+        let dir = tmpdir("dirsync");
+        let path = dir.join("c.log");
+        let metrics = gdp_obs::Metrics::new();
+        let scope = metrics.scope("store");
+        {
+            let _s = FileStore::open_with(&path, &scope).unwrap();
+            assert_eq!(metrics.counter_value("store", "dir_fsyncs"), 1);
+        }
+        {
+            let _s = FileStore::open_with(&path, &scope).unwrap();
+            assert_eq!(
+                metrics.counter_value("store", "dir_fsyncs"),
+                1,
+                "reopen must not re-fsync the directory"
+            );
+        }
+        // Enabling sync-per-append makes the directory durable too.
+        let s = FileStore::open_with(&path, &scope).unwrap().with_sync(true).unwrap();
+        drop(s);
+        assert_eq!(metrics.counter_value("store", "dir_fsyncs"), 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Regression (recovery memory): a log much larger than one recovery
+    /// chunk must be scanned with bounded buffering, not slurped whole.
+    #[test]
+    fn large_log_recovery_is_streamed_in_bounded_chunks() {
+        let dir = tmpdir("stream");
+        let path = dir.join("c.log");
+        let owner = SigningKey::from_seed(&[1u8; 32]);
+        let writer = SigningKey::from_seed(&[2u8; 32]);
+        let meta = MetadataBuilder::new().writer(&writer.verifying_key()).sign(&owner);
+        let name = meta.name();
+        let mut prev = RecordHash::anchor(&name);
+        let count = 64u64;
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            s.put_metadata(&meta).unwrap();
+            for seq in 1..=count {
+                let r =
+                    Record::create(&name, &writer, seq, seq, prev, vec![], vec![seq as u8; 8192]);
+                prev = r.hash();
+                s.append(&r).unwrap();
+            }
+        }
+        let log_len = std::fs::metadata(&path).unwrap().len() as usize;
+        assert!(log_len > 6 * RECOVERY_CHUNK, "fixture log too small to exercise streaming");
+        let s = FileStore::open(&path).unwrap();
+        assert_eq!(s.len(), count as usize);
+        assert!(
+            s.recovery_peak_buffer() <= 2 * RECOVERY_CHUNK,
+            "recovery buffered {} bytes for a {} byte log",
+            s.recovery_peak_buffer(),
+            log_len
+        );
+        // A tear landing past the first chunk still recovers the prefix.
+        drop(s);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..2 * RECOVERY_CHUNK + 17]).unwrap();
+        let s = FileStore::open(&path).unwrap();
+        assert!(s.len() > 0 && s.len() < count as usize);
+        for h in s.hashes() {
+            s.get_by_hash(&h).unwrap().unwrap();
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Legacy v1 logs (no magic, body-only CRC) stay readable and
+    /// appendable; appends keep v1 framing so the file stays coherent.
+    #[test]
+    fn legacy_v1_log_read_compat() {
+        let dir = tmpdir("v1compat");
+        let path = dir.join("c.log");
+        let (meta, records) = setup();
+        // Hand-craft a v1 log: no magic, CRC over body only.
+        let mut bytes = Vec::new();
+        for (kind, body) in std::iter::once((KIND_METADATA, meta.to_wire()))
+            .chain(records.iter().map(|r| (KIND_RECORD, r.to_wire())))
+        {
+            bytes.push(kind);
+            bytes.extend_from_slice(&(body.len() as u32).to_be_bytes());
+            bytes.extend_from_slice(&crc32(&body).to_be_bytes());
+            bytes.extend_from_slice(&body);
+        }
+        std::fs::write(&path, &bytes).unwrap();
+
+        let s = FileStore::open(&path).unwrap();
+        assert_eq!(s.format_version(), 1);
+        assert_eq!(s.len(), records.len());
+        assert_eq!(s.metadata().unwrap(), meta);
+        assert_eq!(s.get_by_hash(&records[5].hash()).unwrap().unwrap(), records[5]);
+        drop(s);
+        // Append through the store and reopen: still a coherent v1 log.
+        let name = meta.name();
+        let writer = SigningKey::from_seed(&[2u8; 32]);
+        let extra = Record::create(
+            &name,
+            &writer,
+            11,
+            11,
+            records.last().unwrap().hash(),
+            vec![],
+            b"v1 append".to_vec(),
+        );
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            s.append(&extra).unwrap();
+        }
+        let s = FileStore::open(&path).unwrap();
+        assert_eq!(s.format_version(), 1);
+        assert_eq!(s.len(), records.len() + 1);
+        assert_eq!(s.get_by_hash(&extra.hash()).unwrap().unwrap(), extra);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Recovery truncation is observable as a metric (the chaos suite
+    /// asserts it stays zero on fault-free runs).
+    #[test]
+    fn truncation_increments_metric() {
+        let dir = tmpdir("truncmetric");
+        let path = dir.join("c.log");
+        let (meta, records) = setup();
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            s.put_metadata(&meta).unwrap();
+            for r in &records {
+                s.append(r).unwrap();
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let metrics = gdp_obs::Metrics::new();
+        let _s = FileStore::open_with(&path, &metrics.scope("store")).unwrap();
+        assert_eq!(metrics.counter_value("store", "recovery_truncations"), 1);
         let _ = std::fs::remove_dir_all(dir);
     }
 }

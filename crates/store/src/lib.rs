@@ -12,5 +12,5 @@ pub mod file;
 pub mod store;
 
 pub use engine::{Backing, StorageEngine};
-pub use file::FileStore;
+pub use file::{FileStore, RECOVERY_CHUNK, SEGMENT_MAGIC};
 pub use store::{CapsuleStore, MemStore, StoreError};

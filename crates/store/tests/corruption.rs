@@ -174,6 +174,60 @@ fn unknown_entry_kind_is_typed_corruption() {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+/// Walks a v2 log and returns the file offset of every entry header.
+fn entry_offsets(bytes: &[u8]) -> Vec<usize> {
+    assert_eq!(&bytes[..8], &gdp_store::SEGMENT_MAGIC, "fixture must be a v2 log");
+    let mut offsets = Vec::new();
+    let mut pos = 8usize;
+    while pos + 9 <= bytes.len() {
+        offsets.push(pos);
+        let len = u32::from_be_bytes(bytes[pos + 1..pos + 5].try_into().unwrap()) as usize;
+        pos += 9 + len;
+    }
+    offsets
+}
+
+/// Regression (v2 framing): the CRC covers the `kind` and `len` header
+/// bytes, so a flipped header byte mid-file truncates at that entry like
+/// any other rot — it must NOT fail the whole log with `Corrupt` (flipped
+/// `kind`) or misframe subsequent entries into garbage (flipped `len`).
+#[test]
+fn header_byte_flips_truncate_instead_of_poisoning_the_log() {
+    let dir = tmpdir("hdrflip");
+    let (path, pristine, records) = written_log(&dir);
+    let originals: HashSet<[u8; 32]> = records.iter().map(|r| r.hash().0).collect();
+    let offsets = entry_offsets(&pristine);
+    assert!(offsets.len() >= 4, "fixture too small");
+
+    // Flip each header byte (kind, the 4 len bytes) of a mid-file entry.
+    let victim = offsets[offsets.len() / 2];
+    for hdr_byte in 0..5 {
+        let mut mutated = pristine.clone();
+        mutated[victim + hdr_byte] ^= 0xA5;
+        std::fs::write(&path, &mutated).unwrap();
+
+        let s = FileStore::open(&path).unwrap_or_else(|e| {
+            panic!("header byte {hdr_byte} flip must truncate, not fail open: {e}")
+        });
+        assert!(
+            !s.is_empty() && s.len() < records.len(),
+            "header byte {hdr_byte} flip: expected a proper prefix, got {} records",
+            s.len()
+        );
+        for hash in s.hashes() {
+            assert!(originals.contains(&hash.0), "header byte {hdr_byte} flip fabricated a record");
+            assert_eq!(
+                s.get_by_hash(&hash).unwrap().unwrap(),
+                *records.iter().find(|r| r.hash() == hash).unwrap()
+            );
+        }
+        // The rotted tail is truncated on disk; the entries before the
+        // victim survive byte-identically.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), victim as u64);
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
 /// Every possible truncation point (crash mid-write at any byte) must
 /// recover to a valid prefix without panicking, and the recovered records
 /// must be an exact prefix-set of the originals.
@@ -190,9 +244,11 @@ fn every_truncation_point_recovers_cleanly() {
         for hash in s.hashes() {
             assert!(originals.contains(&hash.0), "cut at {cut} fabricated a record");
         }
-        // The torn tail must actually be gone from disk afterwards.
+        // The torn tail must actually be gone from disk afterwards. An
+        // empty file gets re-stamped with the v2 segment magic on open.
         let on_disk = std::fs::metadata(&path).unwrap().len();
-        assert!(on_disk <= cut as u64, "cut at {cut}: torn tail not truncated");
+        let floor = gdp_store::SEGMENT_MAGIC.len().max(cut) as u64;
+        assert!(on_disk <= floor, "cut at {cut}: torn tail not truncated");
     }
     let _ = std::fs::remove_dir_all(dir);
 }

@@ -54,6 +54,7 @@ fn main() {
         peers: vec![],
         router: None,
         data_dir: None,
+        stats_path: None,
         hosts: vec![],
     })
     .expect("start router");
@@ -68,6 +69,7 @@ fn main() {
             peers: vec![router.local_addr()],
             router: Some(router_name),
             data_dir: None, // in-memory stores for the demo
+            stats_path: None,
             hosts: vec![HostSpec {
                 metadata: meta.clone(),
                 chain: chain_for(me),

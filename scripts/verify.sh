@@ -53,4 +53,26 @@ if ! GDP_SIM_SEEDS="$sweep" cargo test -p gdp-sim --test chaos seed_sweep -- --n
 fi
 rm -f "$sweep_log"
 
+# Observability smoke: a fault-free cluster run must count every hop and
+# move none of the failure counters (verify_failures, crc_failures,
+# recovery_truncations, requests_timed_out stay zero).
+step "fault-free metric smoke"
+cargo test -p gdp-sim --test chaos fault_free_metric_accounting -- --nocapture
+
+# Bench artifacts: the report binary must emit parseable figure JSON.
+step "bench report JSON (fig6 + fig8-quick)"
+rm -f BENCH_fig6.json BENCH_fig8.json
+cargo run --release -p gdp-bench --bin report -- fig6 >/dev/null
+cargo run --release -p gdp-bench --bin report -- fig8-quick >/dev/null
+for f in BENCH_fig6.json BENCH_fig8.json; do
+    [ -s "$f" ] || { printf '!!! %s missing or empty\n' "$f"; exit 1; }
+    # Re-validate with the same strict parser the dumps are checked with
+    # (python as an independent cross-check when available).
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$f" \
+            || { printf '!!! %s is not valid JSON\n' "$f"; exit 1; }
+    fi
+    printf '%s OK\n' "$f"
+done
+
 step "OK"

@@ -13,6 +13,7 @@
 //! |---|---|---|
 //! | [`crypto`] | `gdp-crypto` | SHA-2, HMAC, HKDF, X25519, Ed25519, AEAD |
 //! | [`wire`] | `gdp-wire` | flat names, deterministic codec, PDUs |
+//! | [`obs`] | `gdp-obs` | metrics registry, trace sink, JSON dumps |
 //! | [`capsule`] | `gdp-capsule` | the DataCapsule ADS, proofs, writers |
 //! | [`store`] | `gdp-store` | append-only segment storage |
 //! | [`net`] | `gdp-net` | deterministic simulator + threaded transport |
@@ -52,6 +53,7 @@ pub use gdp_client as client;
 pub use gdp_crypto as crypto;
 pub use gdp_net as net;
 pub use gdp_node as node;
+pub use gdp_obs as obs;
 pub use gdp_router as router;
 pub use gdp_server as server;
 pub use gdp_sim as sim;
