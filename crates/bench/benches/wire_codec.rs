@@ -1,0 +1,50 @@
+//! Microbenches for the wire codec: frame encode (allocating vs into a
+//! reused scratch buffer) and frame decode (copying `Pdu::from_wire` vs
+//! zero-copy `decode_frame_shared` over a refcounted buffer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gdp_wire::frame::{decode_frame, decode_frame_shared, encode_frame, encode_frame_into};
+use gdp_wire::{Bytes, Name, Pdu, MAX_FRAME};
+
+fn sample_pdu(payload_len: usize) -> Pdu {
+    Pdu::data(Name::from_content(b"src"), Name::from_content(b"dst"), 7, vec![0xabu8; payload_len])
+}
+
+fn encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/encode_frame");
+    for size in [64usize, 1024, 10240] {
+        let pdu = sample_pdu(size);
+        group.throughput(Throughput::Bytes(pdu.wire_len() as u64));
+        group.bench_with_input(BenchmarkId::new("alloc", size), &pdu, |b, pdu| {
+            b.iter(|| encode_frame(pdu));
+        });
+        let mut scratch = Vec::new();
+        group.bench_with_input(BenchmarkId::new("into_scratch", size), &pdu, |b, pdu| {
+            b.iter(|| {
+                scratch.clear();
+                encode_frame_into(pdu, &mut scratch);
+                scratch.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/decode_frame");
+    for size in [64usize, 1024, 10240] {
+        let frame = encode_frame(&sample_pdu(size));
+        group.throughput(Throughput::Bytes(frame.len() as u64));
+        group.bench_with_input(BenchmarkId::new("copying", size), &frame, |b, frame| {
+            b.iter(|| decode_frame(frame, MAX_FRAME).expect("decodes"));
+        });
+        let shared = Bytes::from_vec(frame.clone());
+        group.bench_with_input(BenchmarkId::new("zero_copy", size), &shared, |b, shared| {
+            b.iter(|| decode_frame_shared(shared, 0, MAX_FRAME).expect("decodes"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, encode, decode);
+criterion_main!(benches);

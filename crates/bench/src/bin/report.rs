@@ -7,6 +7,9 @@
 //! ```text
 //! cargo run --release -p gdp-bench --bin report -- <experiment>
 //!   fig6                router forwarding rate / throughput vs PDU size
+//!                       (+ data-path ablations and the perf-smoke floor)
+//!   perf-smoke          re-measure 64 B forwarding; fail if >30% below
+//!                       the floor recorded in BENCH_fig6.json
 //!   fig8                case-study read/write times (28 MB and 115 MB)
 //!   fig8-quick          same, 4 MB model (fast smoke run)
 //!   table1              goal → enabling feature → demonstration test
@@ -59,19 +62,95 @@ fn run_fig6() {
             .push(format!("{{\"pdu_bytes\":{},\"pdus_per_sec\":{:.3}}}", size, p.pdus_per_sec));
     }
     t.print();
+
+    // Data-path ablations: what each fast-path layer is worth.
+    println!("\nablations (64 B payloads):");
+    let copying = fig6::in_process_copying(64, 200_000);
+    let zero_copy = fig6::in_process(64, 200_000);
+    let (verify_cold, verify_cached) = fig6::verify_cold_vs_cached(2_000);
+    let shard_points: Vec<(usize, f64)> =
+        [1usize, 2, 4].iter().map(|&n| (n, fig6::sharded(64, 200_000, n).pdus_per_sec)).collect();
+    let mut t = Table::new(&["ablation", "PDUs/s or ops/s"]);
+    t.row(&["copying data plane (allocate per PDU)".into(), rate(copying.pdus_per_sec)]);
+    t.row(&["zero-copy data plane (shared payload)".into(), rate(zero_copy.pdus_per_sec)]);
+    t.row(&["route verify, cold (full chain)".into(), rate(verify_cold)]);
+    t.row(&["route verify, cached (digest hit)".into(), rate(verify_cached)]);
+    for (n, r) in &shard_points {
+        t.row(&[format!("sharded forwarding, {n} thread(s)"), rate(*r)]);
+    }
+    t.print();
+
     println!("\nshape: PDU rate ≈ flat (CPU-bound) for small PDUs; throughput rises with");
     println!("PDU size and saturates near 1 Gbps around 10 kB — matching the paper.");
+    let sharded_json: Vec<String> = shard_points
+        .iter()
+        .map(|(n, r)| format!("{{\"shards\":{n},\"pdus_per_sec\":{r:.3}}}"))
+        .collect();
     write_bench_json(
         "BENCH_fig6.json",
         format!(
             "{{\"figure\":\"fig6\",\"cpu_model\":{{\"per_pdu_us\":{},\"per_byte_ns\":{}}},\
-             \"simulated\":[{}],\"in_process\":[{}]}}",
+             \"simulated\":[{}],\"in_process\":[{}],\
+             \"ablation\":{{\"pdu_bytes\":64,\
+             \"copying_pdus_per_sec\":{:.3},\"zero_copy_pdus_per_sec\":{:.3},\
+             \"verify_cold_per_sec\":{:.3},\"verify_cached_per_sec\":{:.3},\
+             \"sharded\":[{}]}},\
+             \"perf_floor\":{{\"pdu_bytes\":64,\"pdus_per_sec\":{:.3}}}}}",
             fig6::PER_PDU_US,
             fig6::PER_BYTE_NS,
             simulated.join(","),
-            in_process.join(",")
+            in_process.join(","),
+            copying.pdus_per_sec,
+            zero_copy.pdus_per_sec,
+            verify_cold,
+            verify_cached,
+            sharded_json.join(","),
+            zero_copy.pdus_per_sec,
         ),
     );
+}
+
+/// Reads `"key":<float>` out of a flat JSON document (the bench artifacts
+/// are generated by this binary, so the shape is known).
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let at = doc.find(&format!("\"{key}\":"))?;
+    let rest = &doc[at + key.len() + 3..];
+    let num: String =
+        rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+    num.parse().ok()
+}
+
+/// CI perf smoke: re-measures the 64 B zero-copy forwarding rate and
+/// fails (exit 1) when it regresses more than 30% below the floor
+/// recorded in `BENCH_fig6.json` by the last full `fig6` run.
+fn run_perf_smoke() {
+    let doc = match std::fs::read_to_string("BENCH_fig6.json") {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf-smoke: BENCH_fig6.json not readable ({e}); run `report fig6` first");
+            std::process::exit(2);
+        }
+    };
+    let floor = json_number(&doc[doc.find("\"perf_floor\"").unwrap_or(0)..], "pdus_per_sec")
+        .unwrap_or_else(|| {
+            eprintln!("perf-smoke: no perf_floor in BENCH_fig6.json; run `report fig6` first");
+            std::process::exit(2);
+        });
+    // Best of three: the smoke gate must not flake on scheduler noise.
+    let measured =
+        (0..3).map(|_| fig6::in_process(64, 200_000).pdus_per_sec).fold(0.0f64, f64::max);
+    let threshold = floor * 0.7;
+    println!(
+        "perf-smoke: 64 B forwarding {measured:.0} PDUs/s (floor {floor:.0}, threshold {threshold:.0})"
+    );
+    if measured < threshold {
+        eprintln!(
+            "perf-smoke: FAIL — 64 B forwarding regressed >30% below the recorded floor \
+             ({measured:.0} < {threshold:.0} PDUs/s)"
+        );
+        std::process::exit(1);
+    }
+    println!("perf-smoke: OK");
 }
 
 /// Prints the Fig 8 tables for the given model sizes and emits
@@ -162,6 +241,7 @@ fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     match what.as_str() {
         "fig6" => run_fig6(),
+        "perf-smoke" => run_perf_smoke(),
         "fig8" => run_fig8("full", 5, FIG8_FULL),
         "fig8-quick" => run_fig8("quick", 2, &[("4 MB model", 4_000_000)]),
         "table1" => run_table1(),
@@ -182,7 +262,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("known: fig6 fig8 fig8-quick table1 ablation-hashptr ablation-durability ablation-session ablation-anycast all");
+            eprintln!("known: fig6 perf-smoke fig8 fig8-quick table1 ablation-hashptr ablation-durability ablation-session ablation-anycast all");
             std::process::exit(2);
         }
     }

@@ -342,7 +342,13 @@ impl GdpClient {
         let seq = self.fresh_seq();
         self.pending.insert(seq, Pending { capsule, kind, issued_at: None });
         self.obs.requests_issued.inc();
-        Pdu { pdu_type: PduType::Data, src: self.name(), dst: capsule, seq, payload: msg.to_wire() }
+        Pdu {
+            pdu_type: PduType::Data,
+            src: self.name(),
+            dst: capsule,
+            seq,
+            payload: msg.to_wire().into(),
+        }
     }
 
     /// Builds a session-establishment request for a capsule.
@@ -824,7 +830,7 @@ mod tests {
             src: Name::from_content(b"router"),
             dst: l.client.name(),
             seq: 1,
-            payload: ghost.0.to_vec(),
+            payload: ghost.0.to_vec().into(),
         };
         let events = l.client.handle_pdu(0, err);
         assert_eq!(events, vec![ClientEvent::Unreachable { name: ghost }]);

@@ -31,7 +31,7 @@ use crossbeam::channel::{
     bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError,
 };
 use gdp_obs::{Counter, Scope as ObsScope};
-use gdp_wire::frame::{encode_frame, FrameReader, MAX_FRAME};
+use gdp_wire::frame::{encode_frame_into, FrameReader, FRAME_PREFIX, MAX_FRAME};
 use gdp_wire::Pdu;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -136,6 +136,10 @@ pub struct TcpStats {
     pub pdus_received: u64,
     /// PDUs written to a socket.
     pub pdus_sent: u64,
+    /// PDUs written as part of a multi-frame batch (one `write` syscall
+    /// carrying ≥ 2 frames). `0` under light load; approaches `pdus_sent`
+    /// when the egress queue runs hot.
+    pub egress_batched_frames: u64,
 }
 
 /// Registry-backed counter cells (wire-level names: a "frame" carries one
@@ -149,6 +153,7 @@ struct StatCells {
     accepts: Counter,
     pdus_received: Counter,
     pdus_sent: Counter,
+    egress_batched_frames: Counter,
 }
 
 impl StatCells {
@@ -161,9 +166,15 @@ impl StatCells {
             accepts: scope.counter("accepts"),
             pdus_received: scope.counter("frames_decoded"),
             pdus_sent: scope.counter("frames_encoded"),
+            egress_batched_frames: scope.counter("egress_batched_frames"),
         }
     }
 }
+
+/// Soft cap on bytes encoded into one egress flush. A backlog larger than
+/// this is split over several writes; a single oversized frame still goes
+/// out alone (the budget only gates *adding* frames to a batch).
+const EGRESS_FLUSH_BUDGET: usize = 64 * 1024;
 
 const HELLO_MAGIC: [u8; 4] = *b"GDPT";
 const HELLO_VERSION: u8 = 1;
@@ -306,6 +317,7 @@ impl TcpNet {
             accepts: s.accepts.get(),
             pdus_received: s.pdus_received.get(),
             pdus_sent: s.pdus_sent.get(),
+            egress_batched_frames: s.egress_batched_frames.get(),
         }
     }
 
@@ -518,15 +530,19 @@ fn writer_loop(
         Some(seed) => StdRng::seed_from_u64(seed ^ peer_salt(peer)),
         None => StdRng::from_entropy(),
     };
-    let mut pending: Option<Pdu> = None;
+    // Frames queued while the previous write was in flight are flushed
+    // together: one encode pass into the reused scratch buffer, one
+    // `write_all` syscall per tick. A batch survives a failed write and is
+    // retried whole after redial.
+    let mut batch: Vec<Pdu> = Vec::new();
+    let mut scratch: Vec<u8> = Vec::new();
     // Whether this writer ever held a live connection: a later successful
     // dial is then a *re*connect, not a first connect.
     let mut ever_connected = conn.is_some();
     'main: loop {
-        let pdu = match pending.take() {
-            Some(p) => p,
-            None => match rx.recv_timeout(cfg.poll_interval) {
-                Ok(p) => p,
+        if batch.is_empty() {
+            match rx.recv_timeout(cfg.poll_interval) {
+                Ok(p) => batch.push(p),
                 Err(RecvTimeoutError::Timeout) => {
                     if shared.shutdown.load(Ordering::SeqCst) {
                         return;
@@ -535,8 +551,21 @@ fn writer_loop(
                 }
                 // Queue dropped: peer torn down or fabric shutting down.
                 Err(RecvTimeoutError::Disconnected) => return,
-            },
-        };
+            }
+            // Opportunistically drain whatever else is already queued, up
+            // to a flush budget, so a backlog becomes one syscall instead
+            // of one per frame.
+            let mut budget = EGRESS_FLUSH_BUDGET.saturating_sub(FRAME_PREFIX + batch[0].wire_len());
+            while budget > 0 {
+                match rx.try_recv() {
+                    Ok(p) => {
+                        budget = budget.saturating_sub(FRAME_PREFIX + p.wire_len());
+                        batch.push(p);
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
 
         // Ensure a connection, dialing with exponential backoff + jitter.
         let mut attempts = 0u32;
@@ -572,17 +601,24 @@ fn writer_loop(
             }
         }
 
+        scratch.clear();
+        for p in &batch {
+            encode_frame_into(p, &mut scratch);
+        }
         let stream = conn.as_mut().unwrap();
-        if stream.write_all(&encode_frame(&pdu)).is_err() {
-            // Connection died mid-write: redial and retry this PDU once
-            // per reconnect cycle.
+        if stream.write_all(&scratch).is_err() {
+            // Connection died mid-write: redial and retry the whole batch
+            // once per reconnect cycle (receivers dedup on seq).
             conn = None;
-            pending = Some(pdu);
             continue 'main;
         }
-        // Counted only after the whole frame is written: a monotonic
+        // Counted only after the whole buffer is written: a monotonic
         // counter cannot be decremented on a failed write.
-        shared.stats.pdus_sent.inc();
+        shared.stats.pdus_sent.add(batch.len() as u64);
+        if batch.len() > 1 {
+            shared.stats.egress_batched_frames.add(batch.len() as u64);
+        }
+        batch.clear();
     }
 }
 

@@ -38,7 +38,7 @@ proptest! {
                 src: Name(src),
                 dst: Name(dst),
                 seq,
-                payload,
+                payload: payload.into(),
             })
             .collect();
 

@@ -17,6 +17,9 @@
 //! stats_path = /run/gdp/stats.json # optional: metrics dump target; the
 //!                                # daemon dumps on shutdown and whenever
 //!                                # `<stats_path>.request` appears
+//! shards     = 4                 # optional (router role): data-plane
+//!                                # forwarding shards; default 1 keeps the
+//!                                # single-threaded router
 //! host       = <meta>:<chain>:<peer>,<peer>   # repeatable, see below
 //! ```
 //!
@@ -127,6 +130,11 @@ pub struct NodeConfig {
     pub stats_path: Option<PathBuf>,
     /// Capsules this node serves (storage roles).
     pub hosts: Vec<HostSpec>,
+    /// Data-plane forwarding shards for `role = router` nodes: `1` (the
+    /// default) keeps the single-threaded event-loop router; `N > 1`
+    /// spawns N worker shards fed over bounded channels, with the FIB
+    /// partitioned by destination-name hash (see `crate::shard`).
+    pub shards: usize,
 }
 
 /// Config parse failures, with the offending key.
@@ -165,6 +173,7 @@ impl NodeConfig {
         let mut stats_path = None;
         let mut peers = Vec::new();
         let mut hosts = Vec::new();
+        let mut shards = None;
         for raw in text.lines() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -204,6 +213,15 @@ impl NodeConfig {
                 "data_dir" => data_dir = Some(PathBuf::from(value)),
                 "stats_path" => stats_path = Some(PathBuf::from(value)),
                 "host" => hosts.push(HostSpec::parse(value)?),
+                "shards" => {
+                    let n: usize = value
+                        .parse()
+                        .map_err(|_| ConfigError::bad("shards", "must be a positive integer"))?;
+                    if n == 0 {
+                        return Err(ConfigError::bad("shards", "must be at least 1"));
+                    }
+                    shards = Some(n);
+                }
                 other => return Err(ConfigError::bad(other, "unknown key")),
             }
         }
@@ -217,7 +235,11 @@ impl NodeConfig {
             data_dir,
             stats_path,
             hosts,
+            shards: shards.unwrap_or(1),
         };
+        if cfg.shards > 1 && cfg.role != Role::Router {
+            return Err(ConfigError::bad("shards", "sharding requires role = router"));
+        }
         if cfg.role == Role::Storage {
             if cfg.router.is_none() {
                 return Err(ConfigError::bad("router", "required for role = storage"));
@@ -252,6 +274,9 @@ impl NodeConfig {
         }
         if let Some(s) = &self.stats_path {
             out.push_str(&format!("stats_path = {}\n", s.display()));
+        }
+        if self.shards != 1 {
+            out.push_str(&format!("shards = {}\n", self.shards));
         }
         for h in &self.hosts {
             out.push_str(&format!("host = {}\n", h.render()));
@@ -308,6 +333,7 @@ mod tests {
             data_dir: Some(PathBuf::from("/tmp/gdp-test")),
             stats_path: Some(PathBuf::from("/tmp/gdp-test/stats.json")),
             hosts: vec![sample_host()],
+            shards: 1,
         };
         let text = cfg.render();
         let parsed = NodeConfig::parse(&text).unwrap();
@@ -349,6 +375,23 @@ mod tests {
         );
         let err = NodeConfig::parse(&text).unwrap_err();
         assert_eq!(err.key, "router");
+    }
+
+    #[test]
+    fn shards_parse_render_and_validation() {
+        let base = "role = router\nlisten = 127.0.0.1:0\nseed = 0101010101010101010101010101010101010101010101010101010101010101\nlabel = r\n";
+        // Default is 1 and round-trips without emitting the key.
+        let cfg = NodeConfig::parse(base).unwrap();
+        assert_eq!(cfg.shards, 1);
+        assert!(!cfg.render().contains("shards"));
+        // Explicit value round-trips.
+        let cfg = NodeConfig::parse(&format!("{base}shards = 4\n")).unwrap();
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(NodeConfig::parse(&cfg.render()).unwrap().shards, 4);
+        // Zero and non-router sharding are rejected.
+        assert_eq!(NodeConfig::parse(&format!("{base}shards = 0\n")).unwrap_err().key, "shards");
+        let both = base.replace("role = router", "role = both");
+        assert_eq!(NodeConfig::parse(&format!("{both}shards = 2\n")).unwrap_err().key, "shards");
     }
 
     #[test]

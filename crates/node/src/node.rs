@@ -11,8 +11,9 @@
 //! The same runtime, wrapped over `gdp_net::simnet` instead of TCP, runs
 //! inside the deterministic chaos simulator in `gdp-sim`.
 
-use crate::config::NodeConfig;
+use crate::config::{NodeConfig, Role};
 use crate::runtime::{build_cores_with_obs, NodeRuntime};
+use crate::shard::{is_data_plane, ShardedEngine};
 use gdp_net::tcp::{PeerEvent, TcpNet, TcpNetConfig};
 use gdp_obs::{Histogram, Metrics};
 use gdp_wire::Name;
@@ -111,9 +112,21 @@ pub fn start(cfg: NodeConfig) -> Result<NodeHandle, NodeError> {
 
     let (router, server) = build_cores_with_obs(&cfg, &metrics)?;
     let uplink = cfg.peers.first().copied();
-    let runtime = NodeRuntime::new(cfg.role, router, server, cfg.router, uplink);
+    let mut runtime = NodeRuntime::new(cfg.role, router, server, cfg.router, uplink);
     let router_name = runtime.router_name();
     let server_name = runtime.server_name();
+
+    // Router role with `shards > 1`: spawn the data-plane shard pool and
+    // have the control router record installs so they can be mirrored.
+    let engine = if cfg.role == Role::Router && cfg.shards > 1 {
+        let engine = ShardedEngine::start(cfg.shards, &cfg.seed, &cfg.label, &metrics, net.clone());
+        if let Some(router) = runtime.router_mut() {
+            router.record_installs(true);
+        }
+        Some(engine)
+    } else {
+        None
+    };
 
     let loop_net = net.clone();
     let loop_stop = Arc::clone(&stop);
@@ -131,6 +144,8 @@ pub fn start(cfg: NodeConfig) -> Result<NodeHandle, NodeError> {
                 metrics: loop_metrics,
                 tick_us,
                 stats_path,
+                router_name,
+                engine,
             }
             .run();
         })
@@ -150,6 +165,11 @@ struct EventLoop {
     tick_us: Histogram,
     /// Metrics dump target; `<stats_path>.request` triggers a dump.
     stats_path: Option<PathBuf>,
+    /// The control router's identity (shard dispatch predicate).
+    router_name: Option<Name>,
+    /// Data-plane shard pool (`shards > 1`, router role only): the event
+    /// loop keeps the control plane and dispatches forwarding traffic.
+    engine: Option<ShardedEngine>,
 }
 
 impl EventLoop {
@@ -166,19 +186,39 @@ impl EventLoop {
     fn run(mut self) {
         let out = self.runtime.start(self.now());
         self.transmit(out);
+        self.mirror_installs();
 
         let mut last_tick = Instant::now() - TICK_INTERVAL;
         while !self.stop.load(Ordering::SeqCst) {
             while let Some(ev) = self.net.poll_peer_event() {
                 if let PeerEvent::Down(addr) = ev {
-                    let out = self.runtime.on_peer_down(self.now(), addr);
+                    let now = self.now();
+                    let out = self.runtime.on_peer_down(now, addr);
                     self.transmit(out);
+                    if let Some(engine) = &self.engine {
+                        engine.neighbor_down(self.runtime.neighbor_id(addr));
+                    }
                 }
             }
             match self.net.recv_timeout(Duration::from_millis(20)) {
                 Ok(Some((from, pdu))) => {
-                    let out = self.runtime.on_pdu(self.now(), from, pdu);
-                    self.transmit(out);
+                    let now = self.now();
+                    // Forwarding traffic goes straight to its shard; the
+                    // control plane stays on this thread.
+                    let shard_eligible = match (&self.engine, &self.router_name) {
+                        (Some(_), Some(name)) => is_data_plane(&pdu, name),
+                        _ => false,
+                    };
+                    if shard_eligible {
+                        let nid = self.runtime.neighbor_id(from);
+                        let engine = self.engine.as_ref().unwrap();
+                        engine.note_peer(nid, from);
+                        engine.dispatch(now, nid, pdu);
+                    } else {
+                        let out = self.runtime.on_pdu(now, from, pdu);
+                        self.transmit(out);
+                        self.mirror_installs();
+                    }
                 }
                 Ok(None) => {}
                 Err(_) => break,
@@ -186,14 +226,40 @@ impl EventLoop {
             if last_tick.elapsed() >= TICK_INTERVAL {
                 last_tick = Instant::now();
                 let started = Instant::now();
-                let out = self.runtime.tick(self.now());
+                let now = self.now();
+                let out = self.runtime.tick(now);
                 self.tick_us.observe(started.elapsed().as_micros() as u64);
                 self.transmit(out);
+                self.mirror_installs();
+                if let Some(engine) = &self.engine {
+                    engine.purge(now);
+                }
                 self.serve_stats_request();
             }
         }
         // Final dump: a stopping daemon leaves its counters behind.
         self.dump_stats();
+        if let Some(engine) = self.engine.take() {
+            engine.shutdown();
+        }
+    }
+
+    /// Replays control-router route installs into the shard that owns
+    /// each name, publishing the neighbor's address first so shard egress
+    /// can resolve it.
+    fn mirror_installs(&mut self) {
+        let Some(engine) = &self.engine else { return };
+        let now = self.now();
+        let installs = match self.runtime.router_mut() {
+            Some(router) => router.drain_installs(),
+            None => return,
+        };
+        for install in installs {
+            if let Some(addr) = self.runtime.neighbor_addr(install.neighbor) {
+                engine.note_peer(install.neighbor, addr);
+            }
+            engine.mirror_install(install, now);
+        }
     }
 
     /// Operator-triggered stats dump: touching `<stats_path>.request`

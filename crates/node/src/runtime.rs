@@ -191,6 +191,24 @@ impl<P: Copy + Eq + Hash> NodeRuntime<P> {
         self.router.as_ref()
     }
 
+    /// Mutable access to the routing core (e.g. to turn on route-install
+    /// recording for the sharded forwarding engine).
+    pub fn router_mut(&mut self) -> Option<&mut Router> {
+        self.router.as_mut()
+    }
+
+    /// The stable neighbor id for a peer, allocating one on first sight.
+    /// This is the same id space `on_pdu` uses, so external dispatchers
+    /// (the sharded engine) stay consistent with the control router.
+    pub fn neighbor_id(&mut self, peer: P) -> usize {
+        self.nid(peer)
+    }
+
+    /// The peer address bound to a neighbor id, if one was ever mapped.
+    pub fn neighbor_addr(&self, nid: usize) -> Option<P> {
+        self.addrs.get(nid).copied()
+    }
+
     /// True once a storage node's network attach has completed.
     pub fn is_attached(&self) -> bool {
         matches!(self.attach, Some(ServerAttach::Done))

@@ -1,0 +1,267 @@
+//! Sharded forwarding engine for router-role `gdpd` nodes.
+//!
+//! The sans-I/O [`Router`] is single-threaded by design — that is what
+//! keeps SimNet runs byte-for-byte replayable. A deployed router node,
+//! however, can spread the *data plane* across cores without giving that
+//! up: the event-loop thread keeps one **control** router (attach
+//! handshakes, advertisements, lookups — everything that verifies
+//! certificates and mutates routing state), and `N` worker shards each
+//! own a plain `Router` instance that only ever sees forwarding traffic
+//! for its slice of the name space.
+//!
+//! Partitioning is by destination name hash: names are SHA-256 outputs,
+//! so the first 8 bytes are already uniformly distributed and
+//! `name mod N` needs no further mixing. Because a name always maps to
+//! the same shard, per-name FIB state never needs cross-shard
+//! synchronization: the control router records every route install
+//! ([`Router::record_installs`]) and the event loop mirrors each
+//! [`RouteInstall`] to the one shard that owns the name. Neighbor-down
+//! and expiry purges broadcast to all shards.
+//!
+//! PDUs travel: per-connection TCP reader threads → the transport ingress
+//! queue → the event-loop dispatcher (one hash + one bounded-channel send,
+//! no verification) → shard worker → direct egress on the shared
+//! [`TcpNet`] handle. Bounded channels give backpressure; a full shard
+//! queue stalls the dispatcher rather than growing without limit. Each
+//! shard reports its queue depth as a gauge (`router-shard<i>` /
+//! `queue_depth`) so an operator can see skew.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use gdp_net::tcp::TcpNet;
+use gdp_obs::{Gauge, Metrics};
+use gdp_router::{Outbox, RouteInstall, Router, VerifiedRoute};
+use gdp_wire::{Name, Pdu, PduType};
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Per-shard bounded queue length (PDUs + control mirrors).
+pub const SHARD_QUEUE: usize = 1024;
+
+/// Which shard owns a name. Names are SHA-256 outputs, so the leading
+/// 8 bytes are uniform and a plain modulus partitions evenly.
+pub fn shard_of(name: &Name, shards: usize) -> usize {
+    let word = u64::from_le_bytes(name.as_bytes()[..8].try_into().unwrap());
+    (word % shards.max(1) as u64) as usize
+}
+
+/// True when the control router would *forward* this PDU rather than
+/// consume it — the dispatch predicate mirrors `Router::handle_pdu_into`.
+pub fn is_data_plane(pdu: &Pdu, router_name: &Name) -> bool {
+    let for_me = pdu.dst == *router_name || pdu.dst.is_zero();
+    match pdu.pdu_type {
+        PduType::Advertise => pdu.dst != *router_name,
+        PduType::Lookup | PduType::RouterControl => !for_me,
+        PduType::Data | PduType::Error => true,
+    }
+}
+
+/// Work items for one shard worker.
+enum ShardMsg {
+    /// Forward one data-plane PDU (`from` is the control nid space).
+    Pdu { now: u64, from: usize, pdu: Pdu },
+    /// Mirror of a control-router route install for a name this shard owns.
+    Install { neighbor: usize, distance: u32, route: Box<VerifiedRoute>, now: u64 },
+    /// A neighbor's transport died; withdraw its routes.
+    NeighborDown(usize),
+    /// Periodic expiry purge.
+    Purge(u64),
+}
+
+/// Shared neighbor-id → socket-address table. The event loop (the sole
+/// nid authority, via the runtime) appends; shard workers read on egress.
+/// `None` slots are nids whose peer address has not been published yet —
+/// a PDU toward one is dropped, exactly as the transport would drop a
+/// send to a dead peer.
+#[derive(Default)]
+struct AddrTable {
+    addrs: Mutex<Vec<Option<SocketAddr>>>,
+}
+
+impl AddrTable {
+    fn publish(&self, nid: usize, addr: SocketAddr) {
+        let mut addrs = self.addrs.lock();
+        if nid >= addrs.len() {
+            addrs.resize(nid + 1, None);
+        }
+        addrs[nid] = Some(addr);
+    }
+
+    fn resolve(&self, nid: usize) -> Option<SocketAddr> {
+        self.addrs.lock().get(nid).copied().flatten()
+    }
+}
+
+/// The running shard pool: senders, per-shard depth gauges, and the
+/// worker join handles (joined on [`ShardedEngine::shutdown`]).
+pub struct ShardedEngine {
+    txs: Vec<Sender<ShardMsg>>,
+    depth: Vec<Gauge>,
+    addrs: Arc<AddrTable>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ShardedEngine {
+    /// Spawns `shards` workers, each owning a `Router` built from the
+    /// *same* seed and label as the control router (identical identity —
+    /// shard-emitted Error PDUs carry the node's router name) but
+    /// registering metrics under its own `router-shard<i>` scope.
+    pub fn start(
+        shards: usize,
+        seed: &[u8; 32],
+        label: &str,
+        metrics: &Metrics,
+        net: TcpNet,
+    ) -> ShardedEngine {
+        let shards = shards.max(1);
+        let addrs = Arc::new(AddrTable::default());
+        let mut txs = Vec::with_capacity(shards);
+        let mut depth = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let scope = metrics.scope(&format!("router-shard{i}"));
+            let router = Router::from_seed_with_obs(seed, label, &scope);
+            depth.push(scope.gauge("queue_depth"));
+            let (tx, rx) = bounded::<ShardMsg>(SHARD_QUEUE);
+            txs.push(tx);
+            let worker_net = net.clone();
+            let worker_addrs = Arc::clone(&addrs);
+            let handle = std::thread::Builder::new()
+                .name(format!("gdp-shard-{i}"))
+                .spawn(move || shard_worker(router, rx, worker_net, worker_addrs))
+                .expect("spawn shard worker");
+            workers.push(handle);
+        }
+        ShardedEngine { txs, depth, addrs, workers }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Publishes a neighbor-id → address binding so shard egress can
+    /// resolve outbox entries. Idempotent; last write wins (a peer that
+    /// reconnects from a new address keeps its nid).
+    pub fn note_peer(&self, nid: usize, addr: SocketAddr) {
+        self.addrs.publish(nid, addr);
+    }
+
+    /// Hands one data-plane PDU to the shard owning its destination.
+    /// Blocks when that shard's queue is full (backpressure).
+    pub fn dispatch(&self, now: u64, from: usize, pdu: Pdu) {
+        let i = shard_of(&pdu.dst, self.txs.len());
+        if self.txs[i].send(ShardMsg::Pdu { now, from, pdu }).is_ok() {
+            self.depth[i].set(self.txs[i].len() as i64);
+        }
+    }
+
+    /// Mirrors one control-router route install into the owning shard.
+    pub fn mirror_install(&self, install: RouteInstall, now: u64) {
+        let i = shard_of(&install.route.name, self.txs.len());
+        let _ = self.txs[i].send(ShardMsg::Install {
+            neighbor: install.neighbor,
+            distance: install.distance,
+            route: Box::new(install.route),
+            now,
+        });
+    }
+
+    /// Broadcasts a neighbor death (route withdrawal) to every shard.
+    pub fn neighbor_down(&self, nid: usize) {
+        for tx in &self.txs {
+            let _ = tx.send(ShardMsg::NeighborDown(nid));
+        }
+    }
+
+    /// Broadcasts the periodic expiry purge.
+    pub fn purge(&self, now: u64) {
+        for tx in &self.txs {
+            let _ = tx.send(ShardMsg::Purge(now));
+        }
+    }
+
+    /// Drops the queues and joins every worker (drains in-flight work).
+    pub fn shutdown(self) {
+        drop(self.txs);
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One shard: drains its queue until every sender is gone. Forwarding
+/// reuses a single outbox vector across all PDUs (no per-PDU allocation)
+/// and egresses directly on the shared transport handle.
+fn shard_worker(mut router: Router, rx: Receiver<ShardMsg>, net: TcpNet, addrs: Arc<AddrTable>) {
+    let mut out: Outbox = Vec::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Pdu { now, from, pdu } => {
+                out.clear();
+                router.handle_pdu_into(now, from, pdu, &mut out);
+                for (nid, pdu) in out.drain(..) {
+                    if let Some(peer) = addrs.resolve(nid) {
+                        let _ = net.send(peer, pdu);
+                    }
+                }
+            }
+            ShardMsg::Install { neighbor, distance, route, now } => {
+                router.install_verified(neighbor, distance, &route, now);
+            }
+            ShardMsg::NeighborDown(nid) => router.neighbor_down(nid),
+            ShardMsg::Purge(now) => router.purge_expired(now),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for i in 0..64u8 {
+            let name = Name::from_content(&[i]);
+            let s = shard_of(&name, 4);
+            assert!(s < 4);
+            assert_eq!(s, shard_of(&name, 4));
+        }
+        assert_eq!(shard_of(&Name::from_content(b"x"), 1), 0);
+    }
+
+    #[test]
+    fn shard_of_spreads_names() {
+        let shards = 4;
+        let mut buckets = vec![0usize; shards];
+        for i in 0..256u16 {
+            buckets[shard_of(&Name::from_content(&i.to_le_bytes()), shards)] += 1;
+        }
+        // SHA-256-uniform names must not collapse onto few shards.
+        assert!(buckets.iter().all(|&b| b > 256 / shards / 4), "skewed: {buckets:?}");
+    }
+
+    #[test]
+    fn data_plane_predicate_mirrors_router_dispatch() {
+        let me = Name::from_content(b"router");
+        let other = Name::from_content(b"elsewhere");
+        let mk = |t: PduType, dst: Name| Pdu {
+            pdu_type: t,
+            src: Name::from_content(b"src"),
+            dst,
+            seq: 1,
+            payload: gdp_wire::Bytes::new(),
+        };
+        // Consumed by the control router:
+        assert!(!is_data_plane(&mk(PduType::Advertise, me), &me));
+        assert!(!is_data_plane(&mk(PduType::Lookup, me), &me));
+        assert!(!is_data_plane(&mk(PduType::Lookup, Name::ZERO), &me));
+        assert!(!is_data_plane(&mk(PduType::RouterControl, Name::ZERO), &me));
+        // Forwarded (shard-eligible):
+        assert!(is_data_plane(&mk(PduType::Data, other), &me));
+        assert!(is_data_plane(&mk(PduType::Data, me), &me));
+        assert!(is_data_plane(&mk(PduType::Error, other), &me));
+        assert!(is_data_plane(&mk(PduType::Advertise, other), &me));
+        assert!(is_data_plane(&mk(PduType::Lookup, other), &me));
+    }
+}

@@ -108,6 +108,7 @@ fn three_process_cluster_with_failover() {
             data_dir: None,
             stats_path: None,
             hosts: vec![],
+            shards: 1,
         },
     );
 
@@ -121,6 +122,7 @@ fn three_process_cluster_with_failover() {
             router: Some(router_name),
             data_dir: Some(dir.join(label)),
             stats_path: None,
+            shards: 1,
             hosts: vec![HostSpec {
                 metadata: meta.clone(),
                 chain: chain_for(me),
@@ -216,6 +218,7 @@ fn single_both_node_serves_clients() {
             router: None,
             data_dir: Some(dir.join("data")),
             stats_path: None,
+            shards: 1,
             hosts: vec![HostSpec { metadata: meta.clone(), chain, peers: vec![] }],
         },
     );

@@ -27,6 +27,7 @@ fn trigger_file_and_shutdown_both_dump_valid_json() {
         data_dir: None,
         stats_path: Some(stats.clone()),
         hosts: vec![],
+        shards: 1,
     })
     .expect("start node");
 

@@ -57,6 +57,16 @@ impl Counter {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Single-writer increment: a plain load/store pair instead of a
+    /// locked read-modify-write. Only sound when exactly one thread ever
+    /// writes this counter (concurrent readers are always fine; a second
+    /// writer would lose updates). The router uses this on its forwarding
+    /// hot path — each `Router` instance is single-threaded by design.
+    #[inline]
+    pub fn inc_single_writer(&self) {
+        self.0.store(self.0.load(Ordering::Relaxed).wrapping_add(1), Ordering::Relaxed);
+    }
+
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {

@@ -76,7 +76,7 @@ impl Attacher {
             src: self.principal.name(),
             dst: self.router,
             seq: self.seq,
-            payload: AdvertiseMsg::Extend { extension }.to_wire(),
+            payload: AdvertiseMsg::Extend { extension }.to_wire().into(),
         })
     }
 
@@ -87,7 +87,7 @@ impl Attacher {
             src: self.principal.name(),
             dst: self.router,
             seq: self.seq,
-            payload: AdvertiseMsg::Hello.to_wire(),
+            payload: AdvertiseMsg::Hello.to_wire().into(),
         }
     }
 
@@ -123,7 +123,7 @@ impl Attacher {
                     src: self.principal.name(),
                     dst: self.router,
                     seq: self.seq,
-                    payload: AdvertiseMsg::Attach { proof, advertisement, rtcert }.to_wire(),
+                    payload: AdvertiseMsg::Attach { proof, advertisement, rtcert }.to_wire().into(),
                 })
             }
             Ok(AdvertiseMsg::Accepted { accepted }) => AttachStep::Done(accepted),

@@ -6,8 +6,7 @@
 //! ensures that the requests are automatically directed to the closest
 //! replica", paper §VI).
 
-use gdp_wire::Name;
-use std::collections::HashMap;
+use gdp_wire::{FastMap, Name};
 
 /// Identifier of a neighbor attachment (a link endpoint), shared with the
 /// network substrate.
@@ -31,7 +30,9 @@ pub struct FibEntry {
 /// The forwarding table.
 #[derive(Clone, Debug, Default)]
 pub struct Fib {
-    entries: HashMap<Name, Vec<FibEntry>>,
+    /// Keyed by flat name. Names are SHA-256 outputs, so the cheap
+    /// [`FastMap`] hasher is safe here (see `gdp_wire::fasthash`).
+    entries: FastMap<Name, Vec<FibEntry>>,
 }
 
 impl Fib {
@@ -56,9 +57,13 @@ impl Fib {
 
     /// Best (minimum-distance, then lowest server name) live candidate.
     pub fn best(&self, name: &Name, now: u64) -> Option<FibEntry> {
-        self.entries.get(name).and_then(|slot| {
-            slot.iter().filter(|e| e.expires > now).min_by_key(|e| (e.distance, e.server)).copied()
-        })
+        let slot = self.entries.get(name)?;
+        // Single-candidate fast path: the overwhelmingly common case on
+        // the forwarding hot loop (one replica per name per router).
+        if let [only] = slot.as_slice() {
+            return (only.expires > now).then_some(*only);
+        }
+        slot.iter().filter(|e| e.expires > now).min_by_key(|e| (e.distance, e.server)).copied()
     }
 
     /// All live candidates (anycast set), sorted by preference.

@@ -8,13 +8,13 @@
 //! the parent domain, and the root instance is the global GLookupService.
 
 use crate::messages::VerifiedRoute;
-use gdp_wire::Name;
-use std::collections::HashMap;
+use gdp_wire::{FastMap, Name};
 
 /// Verified routing database for one routing domain.
 #[derive(Clone, Debug, Default)]
 pub struct GLookup {
-    routes: HashMap<Name, Vec<VerifiedRoute>>,
+    /// Keyed by flat name (SHA-256 output → [`FastMap`] hashing is safe).
+    routes: FastMap<Name, Vec<VerifiedRoute>>,
 }
 
 impl GLookup {

@@ -18,11 +18,13 @@ pub mod glookup;
 pub mod messages;
 pub mod router;
 pub mod simnode;
+pub mod vcache;
 
 pub use attach::{attach_directly, AttachStep, Attacher};
 pub use dht::{DhtCluster, DhtNode};
 pub use fib::{Fib, FibEntry, NeighborId};
 pub use glookup::GLookup;
 pub use messages::{AdvertiseMsg, ControlMsg, LookupMsg, VerifiedRoute};
-pub use router::{Outbox, Router, RouterStats};
+pub use router::{Outbox, RouteInstall, Router, RouterStats};
 pub use simnode::SimRouter;
+pub use vcache::{VerifyCache, DEFAULT_VERIFY_CACHE_CAP};

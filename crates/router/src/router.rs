@@ -15,12 +15,12 @@
 use crate::fib::{Fib, FibEntry, NeighborId};
 use crate::glookup::GLookup;
 use crate::messages::{AdvertiseMsg, ControlMsg, LookupMsg, VerifiedRoute};
+use crate::vcache::{self, VerifyCache, DEFAULT_VERIFY_CACHE_CAP};
 use gdp_cert::{Challenge, Principal, PrincipalId, PrincipalKind, Scope};
 use gdp_obs::{Counter, Scope as ObsScope};
-use gdp_wire::{Name, Pdu, PduType, Wire};
+use gdp_wire::{FastMap, Name, Pdu, PduType, Wire};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 
 /// Most attach challenges kept outstanding per neighbor. Big enough that
 /// every handshake cycle a retrying-but-honest advertiser can have in
@@ -48,6 +48,10 @@ pub struct RouterStats {
     pub lookups_local: u64,
     /// Lookup queries escalated to the parent domain.
     pub lookups_escalated: u64,
+    /// Signature verifications skipped via the verification cache.
+    pub verify_cache_hits: u64,
+    /// Verifications that ran in full (first sight, expired, or evicted).
+    pub verify_cache_misses: u64,
 }
 
 /// Cached observability handles: resolved once at construction so the
@@ -69,6 +73,8 @@ struct RouterObs {
     announces_rejected: Counter,
     lookups_local: Counter,
     lookups_escalated: Counter,
+    verify_cache_hits: Counter,
+    verify_cache_misses: Counter,
 }
 
 impl RouterObs {
@@ -88,6 +94,8 @@ impl RouterObs {
             announces_rejected: scope.counter("announces_rejected"),
             lookups_local: scope.counter("lookups_local"),
             lookups_escalated: scope.counter("lookups_escalated"),
+            verify_cache_hits: scope.counter("verify_cache_hits"),
+            verify_cache_misses: scope.counter("verify_cache_misses"),
             scope: scope.clone(),
         }
     }
@@ -120,14 +128,20 @@ pub struct Router {
     /// challenge — two interleaved cycles then reject each other forever
     /// (attach livelock, found by seed 160 of the chaos sweep). A proof is
     /// accepted against any outstanding challenge; failures consume none.
-    pending_challenges: HashMap<NeighborId, Vec<Challenge>>,
+    pending_challenges: FastMap<NeighborId, Vec<Challenge>>,
     /// Principals attached directly (neighbor → principal name).
-    attached: HashMap<NeighborId, Name>,
+    attached: FastMap<NeighborId, Name>,
     /// Catalogs by attaching neighbor (for extension records).
-    catalogs: HashMap<NeighborId, AttachedCatalog>,
+    catalogs: FastMap<NeighborId, AttachedCatalog>,
     /// In-flight lookup escalations: local id → (original id, requester).
-    pending_lookups: HashMap<u64, (u64, NeighborId)>,
+    pending_lookups: FastMap<u64, (u64, NeighborId)>,
     next_query_id: u64,
+    /// Memoized signature verifications (see [`crate::vcache`]).
+    vcache: VerifyCache,
+    /// When set, every route installation is also appended here so a
+    /// sharded engine can mirror FIB state into its worker shards. Off by
+    /// default — only the gdpd control router enables it.
+    install_log: Option<Vec<RouteInstall>>,
     /// Statistics.
     pub stats: RouterStats,
     /// Cached metric handles (shared registry when built `with_obs`).
@@ -142,6 +156,17 @@ pub struct Router {
 
 /// PDUs to emit, paired with the neighbor to emit them to.
 pub type Outbox = Vec<(NeighborId, Pdu)>;
+
+/// One recorded route installation (for mirroring into shard workers).
+#[derive(Clone, Debug)]
+pub struct RouteInstall {
+    /// Neighbor the route points at.
+    pub neighbor: NeighborId,
+    /// Router-hop distance.
+    pub distance: u32,
+    /// The verified route itself.
+    pub route: VerifiedRoute,
+}
 
 impl Router {
     /// Creates a router with the given identity (private metric registry).
@@ -158,15 +183,17 @@ impl Router {
             parent: None,
             fib: Fib::new(),
             glookup: GLookup::new(),
-            pending_challenges: HashMap::new(),
-            attached: HashMap::new(),
-            catalogs: HashMap::new(),
-            pending_lookups: HashMap::new(),
+            pending_challenges: FastMap::default(),
+            attached: FastMap::default(),
+            catalogs: FastMap::default(),
+            pending_lookups: FastMap::default(),
             next_query_id: 1,
             stats: RouterStats::default(),
             obs: RouterObs::new(obs),
             seq: 0,
             rng: StdRng::from_entropy(),
+            vcache: VerifyCache::new(DEFAULT_VERIFY_CACHE_CAP),
+            install_log: None,
         }
     }
 
@@ -228,51 +255,82 @@ impl Router {
 
     /// Main entry point: processes one PDU, returning PDUs to emit.
     pub fn handle_pdu(&mut self, now: u64, from: NeighborId, pdu: Pdu) -> Outbox {
+        let mut out = Outbox::new();
+        self.handle_pdu_into(now, from, pdu, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`handle_pdu`](Router::handle_pdu):
+    /// emitted PDUs are appended to a caller-owned outbox, so a tight
+    /// forwarding loop can reuse one `Vec` across millions of PDUs. The
+    /// append order is identical to `handle_pdu`'s return order, keeping
+    /// simulator determinism intact.
+    pub fn handle_pdu_into(&mut self, now: u64, from: NeighborId, pdu: Pdu, out: &mut Outbox) {
         // Control traffic addressed to this router (or to the wildcard
         // zero name, used hop-by-hop between routers) is consumed here;
-        // everything else is forwarded in the data plane.
-        let for_me = pdu.dst == self.name() || pdu.dst.is_zero();
+        // everything else is forwarded in the data plane. Data is matched
+        // first so the forwarding fast path evaluates no name guards.
         match pdu.pdu_type {
-            PduType::Advertise if pdu.dst == self.name() => self.handle_advertise(now, from, pdu),
-            PduType::Lookup if for_me => self.handle_lookup(now, from, pdu),
-            PduType::RouterControl if for_me => self.handle_control(now, from, pdu),
-            _ => self.forward(now, from, pdu),
+            PduType::Data => self.forward_into(now, from, pdu, out),
+            PduType::Advertise if pdu.dst == self.name() => {
+                let emitted = self.handle_advertise(now, from, pdu);
+                out.extend(emitted);
+            }
+            PduType::Lookup if pdu.dst == self.name() || pdu.dst.is_zero() => {
+                let emitted = self.handle_lookup(now, from, pdu);
+                out.extend(emitted);
+            }
+            PduType::RouterControl if pdu.dst == self.name() || pdu.dst.is_zero() => {
+                let emitted = self.handle_control(now, from, pdu);
+                out.extend(emitted);
+            }
+            _ => self.forward_into(now, from, pdu, out),
         }
     }
 
     // ---- data plane -----------------------------------------------------
 
-    fn forward(&mut self, now: u64, from: NeighborId, pdu: Pdu) -> Outbox {
+    fn forward_into(&mut self, now: u64, from: NeighborId, pdu: Pdu, out: &mut Outbox) {
         if let Some(best) = self.fib.best(&pdu.dst, now) {
-            self.obs.fib_hits.inc();
+            // Hot-path counters use the single-writer increment (plain
+            // load/store, no locked RMW): a Router instance is driven by
+            // exactly one thread, scrapers only read.
+            self.obs.fib_hits.inc_single_writer();
             // Never bounce a PDU back out the neighbor it arrived on —
             // prefer an alternate candidate (multi-replica), else fall
             // through to the parent.
             if best.neighbor != from {
-                if self.attached.contains_key(&best.neighbor) {
+                // `distance == 0` is exactly "attached at this router":
+                // only `admit` installs distance-0 entries, and both the
+                // FIB entry and the `attached` slot die together on
+                // `neighbor_down`. Checking the distance avoids a second
+                // map lookup on the forwarding fast path.
+                if best.distance == 0 {
                     self.stats.delivered_local += 1;
-                    self.obs.pdus_delivered_local.inc();
+                    self.obs.pdus_delivered_local.inc_single_writer();
                 } else {
                     self.stats.forwarded += 1;
-                    self.obs.pdus_forwarded.inc();
+                    self.obs.pdus_forwarded.inc_single_writer();
                 }
-                return vec![(best.neighbor, pdu)];
+                out.push((best.neighbor, pdu));
+                return;
             }
             if let Some(alt) =
                 self.fib.candidates(&pdu.dst, now).into_iter().find(|e| e.neighbor != from)
             {
                 self.stats.forwarded += 1;
                 self.obs.pdus_forwarded.inc();
-                return vec![(alt.neighbor, pdu)];
+                out.push((alt.neighbor, pdu));
+                return;
             }
         } else {
-            self.obs.fib_misses.inc();
+            self.obs.fib_misses.inc_single_writer();
         }
         match self.parent {
             Some(parent) if parent != from => {
                 self.stats.forwarded += 1;
                 self.obs.pdus_forwarded.inc();
-                vec![(parent, pdu)]
+                out.push((parent, pdu));
             }
             _ => {
                 self.stats.no_route += 1;
@@ -284,12 +342,12 @@ impl Router {
                     src: self.name(),
                     dst: pdu.src,
                     seq: pdu.seq,
-                    payload: pdu.dst.0.to_vec(),
+                    payload: pdu.dst.0.to_vec().into(),
                 };
                 match self.fib.best(&err.dst, now) {
-                    Some(e) => vec![(e.neighbor, err)],
-                    None if from != usize::MAX => vec![(from, err)],
-                    None => Vec::new(),
+                    Some(e) => out.push((e.neighbor, err)),
+                    None if from != usize::MAX => out.push((from, err)),
+                    None => {}
                 }
             }
         }
@@ -356,7 +414,13 @@ impl Router {
     }
 
     fn advertise_pdu(&self, dst: Name, seq: u64, msg: &AdvertiseMsg) -> Pdu {
-        Pdu { pdu_type: PduType::Advertise, src: self.name(), dst, seq, payload: msg.to_wire() }
+        Pdu {
+            pdu_type: PduType::Advertise,
+            src: self.name(),
+            dst,
+            seq,
+            payload: msg.to_wire().into(),
+        }
     }
 
     /// Verifies and installs an attachment. Returns accepted names and the
@@ -380,14 +444,36 @@ impl Router {
         if proof.principal != advertisement.advertiser {
             return Err("proof principal is not the advertiser");
         }
-        advertisement.verify(now).map_err(|_| "advertisement failed verification")?;
+        // The challenge proof above is NEVER cached — every nonce is
+        // unique. The catalog and RtCert verifications are memoizable:
+        // the same advertiser re-attaching (refresh, reconnect, flap)
+        // re-presents byte-identical signed objects.
+        let advert_key = vcache::advert_digest(advertisement);
+        if self.vcache.hit(&advert_key, now) {
+            self.stats.verify_cache_hits += 1;
+            self.obs.verify_cache_hits.inc();
+        } else {
+            self.stats.verify_cache_misses += 1;
+            self.obs.verify_cache_misses.inc();
+            advertisement.verify(now).map_err(|_| "advertisement failed verification")?;
+            self.vcache.insert(advert_key, vcache::advert_expiry(advertisement));
+        }
         let advertiser = advertisement.advertiser.name();
         if rtcert.principal != advertiser || rtcert.router != self.name() {
             return Err("rtcert does not bind advertiser to this router");
         }
-        rtcert
-            .verify(&advertisement.advertiser.key, now)
-            .map_err(|_| "rtcert signature invalid")?;
+        let rtcert_key = vcache::rtcert_digest(rtcert, &advertisement.advertiser.key);
+        if self.vcache.hit(&rtcert_key, now) {
+            self.stats.verify_cache_hits += 1;
+            self.obs.verify_cache_hits.inc();
+        } else {
+            self.stats.verify_cache_misses += 1;
+            self.obs.verify_cache_misses.inc();
+            rtcert
+                .verify(&advertisement.advertiser.key, now)
+                .map_err(|_| "rtcert signature invalid")?;
+            self.vcache.insert(rtcert_key, rtcert.expires);
+        }
 
         self.attached.insert(from, advertiser);
         let mut accepted = Vec::new();
@@ -402,10 +488,11 @@ impl Router {
             rtcert: rtcert.clone(),
             expires: advertisement.expires.min(rtcert.expires),
         };
-        self.install_route(from, 0, own_route.clone(), now);
+        self.install_route(from, 0, &own_route, now);
         accepted.push(advertiser);
         catalog_names.push((advertiser, rtcert.expires));
         if let Some(parent) = self.parent {
+            // `own_route` is moved into the announcement — no clone.
             announcements.push((
                 parent,
                 self.control_pdu(ControlMsg::Announce { route: own_route, distance: 1 }),
@@ -423,7 +510,7 @@ impl Router {
                 rtcert: rtcert.clone(),
                 expires,
             };
-            self.install_route(from, 0, route.clone(), now);
+            self.install_route(from, 0, &route, now);
             accepted.push(capsule);
             catalog_names.push((capsule, rtcert.expires.min(entry.chain.adcert.expires)));
             if self.may_propagate(&entry.chain.adcert.scope) {
@@ -458,17 +545,18 @@ impl Router {
             return Vec::new();
         }
         let server = catalog.advertiser.name();
-        for (name, bound) in catalog.names.clone() {
-            let new_expires = ext.new_expires.min(bound);
-            self.fib.extend(&name, &server, new_expires);
-            self.glookup.extend(&name, &server, new_expires);
+        // Disjoint-field borrows: `catalog` borrows `self.catalogs` while
+        // the FIB/GLookup are updated — no clone of the name list needed.
+        for (name, bound) in &catalog.names {
+            let new_expires = ext.new_expires.min(*bound);
+            self.fib.extend(name, &server, new_expires);
+            self.glookup.extend(name, &server, new_expires);
         }
         // Re-announce extended routes upstream so parent domains defer too.
         let mut out = Vec::new();
         if let Some(parent) = self.parent {
-            let names: Vec<Name> = self.catalogs[&from].names.iter().map(|(n, _)| *n).collect();
-            for name in names {
-                for route in self.glookup.lookup(&name, 0) {
+            for (name, _) in &catalog.names {
+                for route in self.glookup.lookup(name, 0) {
                     if route.server_name() == server {
                         let scope_ok = match &route.entry {
                             Some(entry) => self.may_propagate(&entry.chain.adcert.scope),
@@ -500,14 +588,42 @@ impl Router {
         &mut self,
         neighbor: NeighborId,
         distance: u32,
-        route: VerifiedRoute,
+        route: &VerifiedRoute,
         _now: u64,
     ) {
         self.fib.install(
             route.name,
             FibEntry { neighbor, distance, expires: route.expires, server: route.server_name() },
         );
-        self.glookup.insert(route);
+        self.glookup.insert(route.clone());
+        if let Some(log) = &mut self.install_log {
+            log.push(RouteInstall { neighbor, distance, route: route.clone() });
+        }
+    }
+
+    /// Installs an already-verified route without re-running verification.
+    ///
+    /// For shard workers only: the control router verified the route
+    /// (admission or announcement) and mirrors it here. Callers outside a
+    /// sharded engine should let the normal PDU paths install routes.
+    pub fn install_verified(
+        &mut self,
+        neighbor: NeighborId,
+        distance: u32,
+        route: &VerifiedRoute,
+        now: u64,
+    ) {
+        self.install_route(neighbor, distance, route, now);
+    }
+
+    /// Enables (or disables) route-install recording for shard mirroring.
+    pub fn record_installs(&mut self, on: bool) {
+        self.install_log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Takes the route installations recorded since the last drain.
+    pub fn drain_installs(&mut self) -> Vec<RouteInstall> {
+        self.install_log.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     fn control_pdu(&self, msg: ControlMsg) -> Pdu {
@@ -518,7 +634,7 @@ impl Router {
             src: self.name(),
             dst: Name::ZERO,
             seq: 0,
-            payload: msg.to_wire(),
+            payload: msg.to_wire().into(),
         }
     }
 
@@ -529,8 +645,11 @@ impl Router {
             Ok(m) => m,
             Err(_) => return Vec::new(),
         };
-        // Independently re-verify: child routers are in other trust domains.
-        if route.verify(now).is_err() {
+        // Independently re-verify: child routers are in other trust
+        // domains. Re-announcement refresh presents byte-identical routes,
+        // so the verification memoizes; first sight and post-expiry runs
+        // the full chain check.
+        if !self.verify_route_cached(&route, now) {
             self.stats.announces_rejected += 1;
             self.obs.announces_rejected.inc();
             return Vec::new();
@@ -541,7 +660,7 @@ impl Router {
             Some(entry) => self.may_propagate(&entry.chain.adcert.scope),
             None => true,
         };
-        self.install_route(from, distance, route.clone(), now);
+        self.install_route(from, distance, &route, now);
         if scope_ok {
             if let Some(parent) = self.parent {
                 return vec![(
@@ -551,6 +670,25 @@ impl Router {
             }
         }
         Vec::new()
+    }
+
+    /// Route verification through the memoization cache: a digest hit
+    /// (within its recorded expiry) skips the Ed25519 chain walk; a miss
+    /// runs [`VerifiedRoute::verify`] in full and caches success.
+    fn verify_route_cached(&mut self, route: &VerifiedRoute, now: u64) -> bool {
+        let digest = vcache::route_digest(route);
+        if self.vcache.hit(&digest, now) {
+            self.stats.verify_cache_hits += 1;
+            self.obs.verify_cache_hits.inc();
+            return true;
+        }
+        self.stats.verify_cache_misses += 1;
+        self.obs.verify_cache_misses.inc();
+        if route.verify(now).is_err() {
+            return false;
+        }
+        self.vcache.insert(digest, vcache::route_expiry(route));
+        true
     }
 
     // ---- GLookupService queries ------------------------------------------
@@ -584,14 +722,14 @@ impl Router {
             }
             Ok(LookupMsg::Answer { query_id, name, routes }) => {
                 // Re-verify before caching: the parent GLookupService is
-                // untrusted.
+                // untrusted. Repeat answers memoize via the verify cache.
                 let verified: Vec<VerifiedRoute> = routes
                     .into_iter()
-                    .filter(|r| r.name == name && r.verify(now).is_ok())
+                    .filter(|r| r.name == name && self.verify_route_cached(r, now))
                     .collect();
                 for r in &verified {
                     // Cache: reachable via the neighbor that answered.
-                    self.install_route(from, u32::MAX / 2, r.clone(), now);
+                    self.install_route(from, u32::MAX / 2, r, now);
                 }
                 match self.pending_lookups.remove(&query_id) {
                     Some((orig_id, requester)) => {
@@ -612,7 +750,7 @@ impl Router {
             src: self.name(),
             dst,
             seq: self.seq,
-            payload: msg.to_wire(),
+            payload: msg.to_wire().into(),
         }
     }
 

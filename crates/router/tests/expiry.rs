@@ -84,9 +84,12 @@ fn forged_extension_ignored() {
     // An attacker on the same link forges an extension with its own key.
     let ext_pdu = attacher.extend(5000).unwrap();
     let mut forged = ext_pdu;
-    // Corrupt the signature portion of the payload (last bytes).
-    let len = forged.payload.len();
-    forged.payload[len - 10] ^= 0xff;
+    // Corrupt the signature portion of the payload (last bytes). The
+    // payload buffer is immutable/shared, so mutate an owned copy.
+    let mut tampered = forged.payload.to_vec();
+    let len = tampered.len();
+    tampered[len - 10] ^= 0xff;
+    forged.payload = tampered.into();
     let before = router.stats.adverts_rejected;
     deliver(&mut router, 900, 5, forged);
     assert_eq!(router.stats.adverts_rejected, before + 1);

@@ -277,7 +277,7 @@ fn lookup_recurses_to_parent() {
         src: client.name(),
         dst: h.r2_name,
         seq: 1,
-        payload: query.to_wire(),
+        payload: query.to_wire().into(),
     };
     h.net.inject(client_node, h.r2, pdu);
     h.net.run_to_quiescence();

@@ -1,0 +1,128 @@
+//! Safety of the verification cache: a cache hit must never stand in for
+//! a verification that would fail. Three attack surfaces are checked —
+//! expiry (a cached digest must stop hitting once the underlying cert
+//! expires), tampering (any flipped bit in the signed bytes changes the
+//! digest, so the tampered object goes back through full verification
+//! and is rejected), and a seeded chaos loop driving the cache against a
+//! reference model across eviction and expiry churn.
+
+use gdp_cert::{AdCert, CapsuleAdvert, PrincipalId, PrincipalKind, Scope, ServingChain};
+use gdp_router::{attach_directly, vcache, Attacher, Router, VerifiedRoute, VerifyCache};
+use gdp_wire::FastMap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Expiry stamped on every certificate in the fixture route (µs).
+const EXPIRES: u64 = 1_000_000;
+
+/// A route carrying a real serving chain with a *finite* expiry,
+/// produced through the actual attach path against a recording router.
+fn finite_route() -> VerifiedRoute {
+    let mut router = Router::from_seed(&[80u8; 32], "vcache router");
+    router.record_installs(true);
+    let owner = gdp_crypto::SigningKey::from_seed(&[81u8; 32]);
+    let server = PrincipalId::from_seed(PrincipalKind::Server, &[82u8; 32], "vcache-srv");
+    let meta = gdp_capsule::MetadataBuilder::new()
+        .writer(&gdp_crypto::SigningKey::from_seed(&[83u8; 32]).verifying_key())
+        .sign(&owner);
+    let chain = ServingChain::direct(
+        AdCert::issue(&owner, meta.name(), server.name(), false, Scope::Global, EXPIRES),
+        server.principal().clone(),
+    );
+    let adverts = vec![CapsuleAdvert { metadata: meta, chain }];
+    let mut attacher = Attacher::new(server, router.name(), adverts, EXPIRES);
+    attach_directly(&mut router, 3, &mut attacher, 0).expect("attach");
+    router
+        .drain_installs()
+        .into_iter()
+        .map(|i| i.route)
+        .find(|r| r.entry.is_some())
+        .expect("attach installed a chained route")
+}
+
+#[test]
+fn expired_cert_is_never_accepted_from_cache() {
+    let route = finite_route();
+    assert_eq!(route.expires, EXPIRES, "fixture expiry must drive the cache entry");
+    let digest = vcache::route_digest(&route);
+
+    let mut cache = VerifyCache::new(16);
+    route.verify(1).expect("fresh route verifies");
+    cache.insert(digest, vcache::route_expiry(&route));
+
+    // While the certs live, the digest hits.
+    assert!(cache.hit(&digest, EXPIRES));
+    // One microsecond past expiry the cache must miss — and the full
+    // verification path the caller falls back to must reject.
+    assert!(!cache.hit(&digest, EXPIRES + 1), "cache accepted an expired cert");
+    assert!(route.verify(EXPIRES + 1).is_err(), "full verify accepted an expired cert");
+    // The expired entry was evicted on access; even a rewound clock
+    // cannot resurrect it without a fresh full verification.
+    assert!(!cache.hit(&digest, 1));
+}
+
+#[test]
+fn flipped_bit_digest_never_hits() {
+    let route = finite_route();
+    let digest = vcache::route_digest(&route);
+    let mut cache = VerifyCache::new(16);
+    cache.insert(digest, vcache::route_expiry(&route));
+
+    // Every single-bit perturbation of the digest misses.
+    for byte in 0..32 {
+        for bit in 0..8 {
+            let mut flipped = digest;
+            flipped[byte] ^= 1 << bit;
+            assert!(!cache.hit(&flipped, 1), "flipped bit {byte}:{bit} hit the cache");
+        }
+    }
+    // And a tampered *object* keys to a different digest, so it cannot
+    // ride on the genuine entry: corrupt the RtCert signature and check
+    // both that the digest moved and that full verification rejects it.
+    let mut tampered = route.clone();
+    tampered.rtcert.signature.0[0] ^= 0x01;
+    let tampered_digest = vcache::route_digest(&tampered);
+    assert_ne!(tampered_digest, digest, "tampering must move the cache key");
+    assert!(!cache.hit(&tampered_digest, 1));
+    assert!(tampered.verify(1).is_err(), "tampered route must fail full verification");
+}
+
+/// Chaos loop: random inserts, probes, and clock jumps against a small
+/// cache, mirrored in an unbounded reference model. The cache may forget
+/// (FIFO eviction, expiry) but must never hit on a digest the model says
+/// is absent or expired — a false hit is a forged verification.
+#[test]
+fn chaos_cache_never_overclaims() {
+    for seed in 0u64..20 {
+        let mut rng = StdRng::seed_from_u64(0x5eed_0000 + seed);
+        let mut cache = VerifyCache::new(8);
+        let mut model: FastMap<[u8; 32], u64> = FastMap::default();
+        let mut now = 0u64;
+        for _ in 0..2_000 {
+            now += rng.gen_range(0..50u64);
+            let mut digest = [0u8; 32];
+            // A small digest universe forces collisions between inserts
+            // and probes, so the loop actually exercises hits.
+            digest[0] = rng.gen_range(0..32u8);
+            digest = gdp_crypto::sha256(&digest);
+            if rng.gen_range(0..100u32) < 40 {
+                let expires = now + rng.gen_range(0..200u64);
+                cache.insert(digest, expires);
+                // Every insert stands for a successful full verification
+                // valid until `expires`; a hit is forged only when `now`
+                // is past *every* expiry ever legitimately recorded, so
+                // the model keeps the max.
+                let granted = model.entry(digest).or_insert(0);
+                *granted = (*granted).max(expires);
+            } else if cache.hit(&digest, now) {
+                let granted = model.get(&digest).copied();
+                assert!(
+                    granted.is_some_and(|e| now <= e),
+                    "seed {seed}: cache hit digest the model calls {} at now={now}",
+                    if granted.is_some() { "expired" } else { "absent" },
+                );
+            }
+            assert!(cache.len() <= 8, "seed {seed}: cache exceeded its bound");
+        }
+    }
+}

@@ -274,7 +274,7 @@ impl DataCapsuleServer {
     }
 
     fn data_pdu(&self, dst: Name, seq: u64, msg: &DataMsg) -> Pdu {
-        Pdu { pdu_type: PduType::Data, src: self.name(), dst, seq, payload: msg.to_wire() }
+        Pdu { pdu_type: PduType::Data, src: self.name(), dst, seq, payload: msg.to_wire().into() }
     }
 
     fn err_pdu(&self, dst: Name, seq: u64, code: ErrorCode, detail: &str) -> Pdu {
@@ -870,7 +870,7 @@ mod tests {
             src: rig.client,
             dst: rig.capsule,
             seq: rig.seq,
-            payload: msg.to_wire(),
+            payload: msg.to_wire().into(),
         };
         rig.server.handle_pdu(0, pdu)
     }
@@ -984,7 +984,7 @@ mod tests {
             src: peer,
             dst: rig.server.name(),
             seq: 0,
-            payload: DataMsg::ReplicateAck { capsule: rig.capsule, hash }.to_wire(),
+            payload: DataMsg::ReplicateAck { capsule: rig.capsule, hash }.to_wire().into(),
         };
         let out = rig.server.handle_pdu(1, ack_pdu);
         match msg_of(&out[0]) {
@@ -1043,7 +1043,8 @@ mod tests {
                 have_seq: 2,
                 missing: vec![hashes[0]],
             }
-            .to_wire(),
+            .to_wire()
+            .into(),
         };
         let out = rig.server.handle_pdu(0, pdu);
         match msg_of(&out[0]) {
@@ -1086,7 +1087,8 @@ mod tests {
                 chain: bad_chain,
                 peers: vec![],
             }
-            .to_wire(),
+            .to_wire()
+            .into(),
         };
         let out = rig.server.handle_pdu(0, pdu);
         assert!(matches!(

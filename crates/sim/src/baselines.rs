@@ -50,7 +50,7 @@ fn req(src: Name, dst: Name, seq: u64, op: u8, body: Vec<u8>) -> Pdu {
     let mut payload = Vec::with_capacity(body.len() + 1);
     payload.push(op);
     payload.extend_from_slice(&body);
-    Pdu { pdu_type: PduType::Data, src, dst, seq, payload }
+    Pdu { pdu_type: PduType::Data, src, dst, seq, payload: payload.into() }
 }
 
 /// A blob server node (used for both baselines; behaviour differences are

@@ -136,6 +136,7 @@ impl SimCluster {
             data_dir: None,
             stats_path: None,
             hosts: vec![],
+            shards: 1,
         }];
         for i in 0..STORAGE {
             let me = &ids[i];
@@ -150,6 +151,7 @@ impl SimCluster {
                 router: Some(router_name),
                 data_dir: Some(data_root.join(format!("s{i}"))),
                 stats_path: None,
+                shards: 1,
                 hosts: vec![HostSpec {
                     metadata: metadata.clone(),
                     chain: ServingChain::direct(

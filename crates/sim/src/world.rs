@@ -216,7 +216,7 @@ impl GdpWorld {
                 src: self.client_name(),
                 dst: server_id.name(),
                 seq: 1_000_000 + i as u64,
-                payload: msg.to_wire(),
+                payload: msg.to_wire().into(),
             };
             let router = self.client_router();
             self.net.inject(self.client_node, router, pdu);

@@ -56,6 +56,13 @@ impl Encoder {
         Encoder { buf: Vec::with_capacity(cap) }
     }
 
+    /// Wraps an existing vector, appending after its current contents.
+    /// Lets a caller reuse one scratch allocation across encodes:
+    /// `Encoder::from_vec(mem::take(&mut scratch))` … `scratch = enc.finish()`.
+    pub fn from_vec(buf: Vec<u8>) -> Encoder {
+        Encoder { buf }
+    }
+
     /// Consumes the encoder, returning the bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf
@@ -181,6 +188,13 @@ impl<'a> Decoder<'a> {
     /// Number of bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.input.len() - self.pos
+    }
+
+    /// Absolute offset of the read cursor from the start of the input.
+    /// Zero-copy decoders use this to map borrowed slices back to
+    /// positions in a shared buffer.
+    pub fn position(&self) -> usize {
+        self.pos
     }
 
     /// Errors unless the input was fully consumed.

@@ -1,0 +1,137 @@
+//! Fast non-cryptographic hashing for hot-path maps.
+//!
+//! The default `HashMap` hasher (SipHash-1-3) is keyed and DoS-resistant
+//! but costs tens of nanoseconds per 32-byte [`Name`](crate::Name) — a
+//! large slice of the per-PDU forwarding budget. GDP names are SHA-256
+//! outputs, i.e. already uniformly distributed by a cryptographic hash an
+//! attacker cannot steer collisions through without breaking SHA-256
+//! itself, so the FIB/GLookup maps only need cheap *mixing*, not keyed
+//! resistance. [`FastHasher`] folds input words with a Fibonacci-style
+//! multiply (the splitmix64 constant) and is several times faster.
+//!
+//! Do **not** use this for maps keyed by attacker-chosen non-hashed bytes.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15; // 2^64 / φ, splitmix64 increment
+
+/// A `HashMap` using [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// A `HashSet` using [`FastHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+/// Multiply-fold hasher for uniformly-distributed keys (names, small ints).
+#[derive(Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        // xor-fold then a full-width multiply; the high bits of the
+        // product diffuse into the low bits via the final rotate.
+        let x = (self.state ^ word).wrapping_mul(SEED);
+        self.state = x.rotate_left(29);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One more multiply so short inputs still fill the high bits
+        // HashMap uses for its control bytes.
+        self.state.wrapping_mul(SEED)
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            self.mix(u64::from_le_bytes(bytes[..8].try_into().unwrap()));
+            bytes = &bytes[8..];
+        }
+        if !bytes.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..bytes.len()].copy_from_slice(bytes);
+            // Length tag keeps "ab" and "ab\0" distinct.
+            tail[7] = tail[7].wrapping_add(bytes.len() as u8);
+            self.mix(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::Name;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FastHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn distinct_names_hash_differently() {
+        let a = Name::from_content(b"a");
+        let b = Name::from_content(b"b");
+        assert_ne!(hash_of(&a.0), hash_of(&b.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(b"hello world"), hash_of(b"hello world"));
+    }
+
+    #[test]
+    fn length_extension_distinct() {
+        assert_ne!(hash_of(b"ab"), hash_of(b"ab\0"));
+        assert_ne!(hash_of(b""), hash_of(b"\0"));
+    }
+
+    #[test]
+    fn map_works_with_name_keys() {
+        let mut m: FastMap<Name, u32> = FastMap::default();
+        for i in 0..1000u32 {
+            m.insert(Name::from_content(&i.to_be_bytes()), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m[&Name::from_content(&i.to_be_bytes())], i);
+        }
+    }
+
+    #[test]
+    fn low_bit_spread() {
+        // HashMap indexes with the low bits; 4096 hashed names must not
+        // pile into a few buckets.
+        let mut buckets = [0u32; 64];
+        for i in 0..4096u32 {
+            let n = Name::from_content(&i.to_le_bytes());
+            buckets[(hash_of(&n.0) & 63) as usize] += 1;
+        }
+        let max = buckets.iter().max().unwrap();
+        assert!(*max < 4096 / 64 * 3, "skewed buckets: max {max}");
+    }
+}

@@ -16,6 +16,7 @@
 //! * a frame whose body fails PDU decoding yields a typed
 //!   [`FrameError::Malformed`] carrying the inner [`DecodeError`].
 
+use crate::bytes::Bytes;
 use crate::codec::{DecodeError, Wire};
 use crate::pdu::{Pdu, HEADER_LEN, MAX_PAYLOAD};
 
@@ -74,12 +75,24 @@ impl std::error::Error for FrameError {
 
 /// Encodes one PDU as a length-prefixed frame.
 pub fn encode_frame(pdu: &Pdu) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_PREFIX + pdu.wire_len());
+    encode_frame_into(pdu, &mut out);
+    out
+}
+
+/// Appends one PDU's frame to `out`, reusing its allocation.
+///
+/// The egress batching path encodes many queued PDUs into one scratch
+/// buffer and issues a single `write`; after the first few calls the
+/// scratch is warm and encoding allocates nothing.
+pub fn encode_frame_into(pdu: &Pdu, out: &mut Vec<u8>) {
     let body_len = pdu.wire_len();
     debug_assert!(body_len <= MAX_FRAME);
-    let mut enc = crate::codec::Encoder::with_capacity(FRAME_PREFIX + body_len);
+    out.reserve(FRAME_PREFIX + body_len);
+    let mut enc = crate::codec::Encoder::from_vec(std::mem::take(out));
     enc.u32(body_len as u32);
     pdu.encode(&mut enc);
-    enc.finish()
+    *out = enc.finish();
 }
 
 /// One-shot decode of a frame from the start of `input`.
@@ -106,18 +119,64 @@ pub fn decode_frame(input: &[u8], max_frame: usize) -> Result<(Pdu, usize), Fram
     Ok((pdu, total))
 }
 
-/// Incremental frame decoder for byte streams.
+/// Zero-copy variant of [`decode_frame`]: decodes the frame starting at
+/// `at` in a shared buffer, returning a PDU whose payload is a refcounted
+/// window into `input` and the offset one past the frame.
+pub fn decode_frame_shared(
+    input: &Bytes,
+    at: usize,
+    max_frame: usize,
+) -> Result<(Pdu, usize), FrameError> {
+    let avail = input.len() - at;
+    if avail < FRAME_PREFIX {
+        return Err(FrameError::Incomplete { needed: FRAME_PREFIX });
+    }
+    let bytes = input.as_slice();
+    let declared = u32::from_be_bytes(bytes[at..at + FRAME_PREFIX].try_into().unwrap()) as usize;
+    if declared == 0 {
+        return Err(FrameError::Empty);
+    }
+    if declared > max_frame {
+        return Err(FrameError::Oversized { declared: declared as u64, max: max_frame });
+    }
+    let total = FRAME_PREFIX + declared;
+    if avail < total {
+        return Err(FrameError::Incomplete { needed: total });
+    }
+    // Bound the decode to this frame's body (an O(1) window, not a copy)
+    // so a lying PDU header can never read into the next frame, and apply
+    // the same no-trailing-bytes strictness as the copying path.
+    let body = input.slice(at + FRAME_PREFIX, at + total);
+    let (pdu, end) = Pdu::decode_shared(&body, 0).map_err(FrameError::Malformed)?;
+    if end != declared {
+        return Err(FrameError::Malformed(DecodeError::TrailingBytes(declared - end)));
+    }
+    Ok((pdu, at + total))
+}
+
+/// Incremental frame decoder for byte streams, zero-copy on the hot path.
 ///
 /// Feed arbitrary chunks with [`push`](FrameReader::push), then drain
-/// complete PDUs with [`next_frame`](FrameReader::next_frame). Memory is
-/// bounded: the internal buffer never grows beyond one maximal frame plus
-/// one read chunk, and a forged length prefix is rejected before any
+/// complete PDUs with [`next_frame`](FrameReader::next_frame). Pushed
+/// bytes are copied **once** into a staging tail; when decoding catches
+/// up the tail is *moved* (not copied) into a frozen, refcounted
+/// [`Bytes`] block and every PDU decoded from it borrows its payload from
+/// that block. Only a frame that straddles a freeze boundary pays a
+/// second copy, so the amortized cost is one copy per byte off the
+/// socket and zero after.
+///
+/// Memory is bounded: the buffers never grow beyond one maximal frame
+/// plus one read chunk, and a forged length prefix is rejected before any
 /// buffering commitment.
 #[derive(Debug)]
 pub struct FrameReader {
-    buf: Vec<u8>,
-    /// Read cursor into `buf`; consumed bytes are compacted lazily.
-    pos: usize,
+    /// Immutable block frames are decoded from, shared with the payloads
+    /// of PDUs already handed out.
+    frozen: Bytes,
+    /// Read cursor into `frozen`.
+    fpos: usize,
+    /// Staging buffer for bytes pushed since the last freeze.
+    tail: Vec<u8>,
     max_frame: usize,
     poisoned: bool,
 }
@@ -136,25 +195,42 @@ impl FrameReader {
 
     /// A reader with a custom frame cap (tighter for constrained nodes).
     pub fn with_max_frame(max_frame: usize) -> FrameReader {
-        FrameReader { buf: Vec::new(), pos: 0, max_frame, poisoned: false }
+        FrameReader { frozen: Bytes::new(), fpos: 0, tail: Vec::new(), max_frame, poisoned: false }
     }
 
-    /// Appends raw bytes read from the stream.
+    /// Appends raw bytes read from the stream (the one copy).
     pub fn push(&mut self, chunk: &[u8]) {
-        // Compact consumed prefix before growing.
-        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > self.max_frame) {
-            self.buf.drain(..self.pos);
-            self.pos = 0;
-        }
-        self.buf.extend_from_slice(chunk);
+        self.tail.extend_from_slice(chunk);
     }
 
     /// Bytes currently buffered and not yet decoded.
     pub fn buffered(&self) -> usize {
-        self.buf.len() - self.pos
+        (self.frozen.len() - self.fpos) + self.tail.len()
     }
 
-    /// Extracts the next complete PDU, if one is buffered.
+    /// Makes all buffered bytes visible to the decoder as one frozen
+    /// block. If the frozen block is fully drained this is a move of the
+    /// tail; otherwise the frozen remainder and tail are merged (the only
+    /// place a buffered byte can be copied a second time — it happens at
+    /// most once per byte, when a frame straddles a freeze boundary).
+    fn freeze(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        if self.fpos == self.frozen.len() {
+            self.frozen = Bytes::from_vec(std::mem::take(&mut self.tail));
+        } else {
+            let rest = &self.frozen.as_slice()[self.fpos..];
+            let mut merged = Vec::with_capacity(rest.len() + self.tail.len());
+            merged.extend_from_slice(rest);
+            merged.append(&mut self.tail);
+            self.frozen = Bytes::from_vec(merged);
+        }
+        self.fpos = 0;
+    }
+
+    /// Extracts the next complete PDU, if one is buffered. Its payload
+    /// aliases the reader's frozen block — no copy.
     ///
     /// `Ok(None)` means "no complete frame yet". An `Err` poisons the
     /// reader — framing errors are not recoverable on a byte stream, so
@@ -164,19 +240,28 @@ impl FrameReader {
         if self.poisoned {
             return Err(FrameError::Malformed(DecodeError::Invalid("poisoned frame stream")));
         }
-        match decode_frame(&self.buf[self.pos..], self.max_frame) {
-            Ok((pdu, consumed)) => {
-                self.pos += consumed;
-                if self.pos == self.buf.len() {
-                    self.buf.clear();
-                    self.pos = 0;
+        loop {
+            match decode_frame_shared(&self.frozen, self.fpos, self.max_frame) {
+                Ok((pdu, end)) => {
+                    self.fpos = end;
+                    if self.fpos == self.frozen.len() && !self.frozen.is_empty() {
+                        // Fully drained: drop our reference so the block's
+                        // lifetime is governed by outstanding payloads only.
+                        self.frozen = Bytes::new();
+                        self.fpos = 0;
+                    }
+                    return Ok(Some(pdu));
                 }
-                Ok(Some(pdu))
-            }
-            Err(FrameError::Incomplete { .. }) => Ok(None),
-            Err(e) => {
-                self.poisoned = true;
-                Err(e)
+                Err(FrameError::Incomplete { .. }) => {
+                    if self.tail.is_empty() {
+                        return Ok(None);
+                    }
+                    self.freeze(); // more bytes are staged — retry with them
+                }
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e);
+                }
             }
         }
     }

@@ -9,12 +9,19 @@
 //! this codec, so determinism here is a correctness requirement, not an
 //! optimization.
 
+pub mod bytes;
 pub mod codec;
+pub mod fasthash;
 pub mod frame;
 pub mod name;
 pub mod pdu;
 
+pub use bytes::Bytes;
 pub use codec::{DecodeError, Decoder, Encoder, Wire};
-pub use frame::{decode_frame, encode_frame, FrameError, FrameReader, FRAME_PREFIX, MAX_FRAME};
+pub use fasthash::{FastMap, FastSet};
+pub use frame::{
+    decode_frame, decode_frame_shared, encode_frame, encode_frame_into, FrameError, FrameReader,
+    FRAME_PREFIX, MAX_FRAME,
+};
 pub use name::{Name, NAME_LEN};
 pub use pdu::{Pdu, PduType, HEADER_LEN, MAX_PAYLOAD};

@@ -5,6 +5,7 @@
 //! routers handle control traffic (advertisements, lookups) without parsing
 //! payloads, and an opaque payload interpreted by the endpoints.
 
+use crate::bytes::Bytes;
 use crate::codec::{DecodeError, Decoder, Encoder, Wire};
 use crate::name::Name;
 
@@ -59,20 +60,61 @@ pub struct Pdu {
     pub dst: Name,
     /// Sender-assigned sequence number, echoed in replies for matching.
     pub seq: u64,
-    /// Opaque payload interpreted by the endpoint.
-    pub payload: Vec<u8>,
+    /// Opaque payload interpreted by the endpoint. Refcounted: cloning a
+    /// PDU (fan-out forwarding) shares the payload storage instead of
+    /// copying it.
+    pub payload: Bytes,
 }
 
 impl Pdu {
     /// Builds a data-plane PDU.
-    pub fn data(src: Name, dst: Name, seq: u64, payload: Vec<u8>) -> Pdu {
-        Pdu { pdu_type: PduType::Data, src, dst, seq, payload }
+    pub fn data(src: Name, dst: Name, seq: u64, payload: impl Into<Bytes>) -> Pdu {
+        Pdu { pdu_type: PduType::Data, src, dst, seq, payload: payload.into() }
     }
 
     /// Total encoded size.
     pub fn wire_len(&self) -> usize {
         HEADER_LEN + self.payload.len()
     }
+
+    /// Zero-copy decode from a shared buffer starting at `at`.
+    ///
+    /// The returned PDU's payload is a refcounted window into `buf` — no
+    /// bytes are copied. Returns the PDU and the offset one past its
+    /// encoding. This is the transport ingest path; [`Wire::decode`]
+    /// remains for callers holding only a borrowed slice.
+    pub fn decode_shared(buf: &Bytes, at: usize) -> Result<(Pdu, usize), DecodeError> {
+        let mut dec = Decoder::new(&buf.as_slice()[at..]);
+        let (pdu_type, src, dst, seq, len) = decode_header(&mut dec)?;
+        let body = at + dec.position();
+        if dec.remaining() < len {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let payload = buf.slice(body, body + len);
+        Ok((Pdu { pdu_type, src, dst, seq, payload }, body + len))
+    }
+}
+
+/// Decodes the fixed header, returning the parsed fields and the declared
+/// payload length (validated against [`MAX_PAYLOAD`] but not yet taken).
+fn decode_header(dec: &mut Decoder<'_>) -> Result<(PduType, Name, Name, u64, usize), DecodeError> {
+    let magic = dec.u16()?;
+    if magic != MAGIC {
+        return Err(DecodeError::BadTag(magic as u64));
+    }
+    let version = dec.u8()?;
+    if version != VERSION {
+        return Err(DecodeError::Invalid("unsupported PDU version"));
+    }
+    let pdu_type = PduType::from_u8(dec.u8()?).ok_or(DecodeError::Invalid("unknown PDU type"))?;
+    let src = dec.name()?;
+    let dst = dec.name()?;
+    let seq = dec.u64()?;
+    let len = dec.u32()? as usize;
+    if len > MAX_PAYLOAD {
+        return Err(DecodeError::BadLength(len as u64));
+    }
+    Ok((pdu_type, src, dst, seq, len))
 }
 
 impl Wire for Pdu {
@@ -89,24 +131,11 @@ impl Wire for Pdu {
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Pdu, DecodeError> {
-        let magic = dec.u16()?;
-        if magic != MAGIC {
-            return Err(DecodeError::BadTag(magic as u64));
-        }
-        let version = dec.u8()?;
-        if version != VERSION {
-            return Err(DecodeError::Invalid("unsupported PDU version"));
-        }
-        let pdu_type =
-            PduType::from_u8(dec.u8()?).ok_or(DecodeError::Invalid("unknown PDU type"))?;
-        let src = dec.name()?;
-        let dst = dec.name()?;
-        let seq = dec.u64()?;
-        let len = dec.u32()? as usize;
-        if len > MAX_PAYLOAD {
-            return Err(DecodeError::BadLength(len as u64));
-        }
-        let payload = dec.raw(len)?.to_vec();
+        let (pdu_type, src, dst, seq, len) = decode_header(dec)?;
+        // The one copy on this path: the input is a borrowed slice, so the
+        // payload must be materialized. Transports decode via
+        // `decode_shared` instead and skip even this.
+        let payload = Bytes::copy_from_slice(dec.raw(len)?);
         Ok(Pdu { pdu_type, src, dst, seq, payload })
     }
 }
@@ -121,7 +150,7 @@ mod tests {
             src: Name::from_content(b"src"),
             dst: Name::from_content(b"dst"),
             seq: 42,
-            payload: b"hello capsule".to_vec(),
+            payload: b"hello capsule".into(),
         }
     }
 
@@ -136,8 +165,26 @@ mod tests {
     #[test]
     fn empty_payload_ok() {
         let mut pdu = sample();
-        pdu.payload.clear();
+        pdu.payload = Bytes::new();
         assert_eq!(Pdu::from_wire(&pdu.to_wire()).unwrap(), pdu);
+    }
+
+    #[test]
+    fn decode_shared_borrows_payload() {
+        let pdu = sample();
+        let buf = Bytes::from_vec(pdu.to_wire());
+        let (got, consumed) = Pdu::decode_shared(&buf, 0).unwrap();
+        assert_eq!(got, pdu);
+        assert_eq!(consumed, pdu.wire_len());
+        // The payload is a window into the shared buffer, not a copy.
+        assert_eq!(got.payload.as_slice().as_ptr(), buf.as_slice()[HEADER_LEN..].as_ptr());
+    }
+
+    #[test]
+    fn decode_shared_rejects_truncation() {
+        let buf = Bytes::from_vec(sample().to_wire());
+        let short = buf.slice(0, buf.len() - 1);
+        assert!(Pdu::decode_shared(&short, 0).is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ fn pdu(t: PduType, seq: u64, payload: Vec<u8>) -> Pdu {
         src: Name::from_content(b"alpha"),
         dst: Name::from_content(b"beta"),
         seq,
-        payload,
+        payload: payload.into(),
     }
 }
 

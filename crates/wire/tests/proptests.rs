@@ -42,7 +42,7 @@ proptest! {
             src: Name(src),
             dst: Name(dst),
             seq,
-            payload,
+            payload: payload.into(),
         };
         prop_assert_eq!(Pdu::from_wire(&pdu.to_wire()).unwrap(), pdu);
     }

@@ -56,6 +56,7 @@ fn main() {
         data_dir: None,
         stats_path: None,
         hosts: vec![],
+        shards: 1,
     })
     .expect("start router");
     println!("router     {} @ {}", router_name.to_hex(), router.local_addr());
@@ -70,6 +71,7 @@ fn main() {
             router: Some(router_name),
             data_dir: None, // in-memory stores for the demo
             stats_path: None,
+            shards: 1,
             hosts: vec![HostSpec {
                 metadata: meta.clone(),
                 chain: chain_for(me),

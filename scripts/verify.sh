@@ -75,4 +75,10 @@ for f in BENCH_fig6.json BENCH_fig8.json; do
     printf '%s OK\n' "$f"
 done
 
+# Perf smoke: re-measure 64 B zero-copy forwarding and fail if it has
+# regressed more than 30% below the floor the fig6 run just recorded in
+# BENCH_fig6.json (the data-path fast paths must not silently rot).
+step "perf smoke (64 B forwarding floor)"
+cargo run --release -p gdp-bench --bin report -- perf-smoke
+
 step "OK"

@@ -138,7 +138,7 @@ fn stale_replica_detected() {
         src: world.servers[0].1.name(),
         dst: world.client_name(),
         seq: request_seq,
-        payload: DataMsg::ReadResp { result, auth }.to_wire(),
+        payload: DataMsg::ReadResp { result, auth }.to_wire().into(),
     };
     let events = world.client_mut().handle_pdu(0, forged);
     assert!(
@@ -179,7 +179,7 @@ fn reordered_range_rejected() {
         src: world.servers[0].1.name(),
         dst: world.client_name(),
         seq: request_seq,
-        payload: DataMsg::ReadResp { result, auth }.to_wire(),
+        payload: DataMsg::ReadResp { result, auth }.to_wire().into(),
     };
     let events = world.client_mut().handle_pdu(0, forged);
     assert!(
@@ -228,7 +228,7 @@ fn undelegated_server_response_rejected() {
         src: rogue.name(),
         dst: world.client_name(),
         seq: request_seq,
-        payload: DataMsg::ReadResp { result, auth }.to_wire(),
+        payload: DataMsg::ReadResp { result, auth }.to_wire().into(),
     };
     let events = world.client_mut().handle_pdu(0, forged);
     assert!(
@@ -271,7 +271,7 @@ fn session_mitm_rejected() {
         src: world.servers[0].1.name(),
         dst: world.client_name(),
         seq: request_seq,
-        payload: msg.to_wire(),
+        payload: msg.to_wire().into(),
     };
     let events = world.client_mut().handle_pdu(0, forged);
     assert!(

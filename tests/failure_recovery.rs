@@ -89,10 +89,9 @@ fn server_restart_recovers_from_disk() {
                 src: gdp::wire::Name::from_content(b"test client"),
                 dst: capsule_name,
                 seq: i,
-                payload: gdp::wire::Wire::to_wire(&gdp::server::DataMsg::Append {
-                    record,
-                    ack_mode: gdp::server::AckMode::Local,
-                }),
+                payload: gdp::wire::Bytes::from_vec(gdp::wire::Wire::to_wire(
+                    &gdp::server::DataMsg::Append { record, ack_mode: gdp::server::AckMode::Local },
+                )),
             };
             let out = server.handle_pdu(0, pdu);
             assert!(!out.is_empty());

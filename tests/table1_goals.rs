@@ -129,7 +129,7 @@ fn secure_storage_untrusted_server() {
         src: world.servers[0].1.name(),
         dst: world.client_name(),
         seq: request_seq,
-        payload: msg.to_wire(),
+        payload: msg.to_wire().into(),
     };
     let events = world.client_mut().handle_pdu(0, forged);
     assert!(
