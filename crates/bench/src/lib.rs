@@ -5,6 +5,8 @@
 //! DESIGN.md, "Per-experiment index"); Criterion benches in `benches/`
 //! measure the real CPU-bound costs.
 
+#![forbid(unsafe_code)]
+
 pub mod ablations;
 pub mod fig6;
 pub mod fig8;

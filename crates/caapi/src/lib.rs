@@ -18,6 +18,8 @@
 //! All CAAPIs run over any [`CapsuleAccess`] backend: in-process capsules
 //! or the full simulated network stack (`gdp-sim`'s `SyncClient`).
 
+#![forbid(unsafe_code)]
+
 pub mod aggregate;
 pub mod backend;
 pub mod commit;

@@ -16,6 +16,8 @@
 //! * [`encryption`] — end-to-end body confidentiality via read keys.
 //! * [`writer`] — the Strict/Quasi Single-Writer append state machine.
 
+#![forbid(unsafe_code)]
+
 pub mod capsule;
 pub mod encryption;
 pub mod entangle;

@@ -228,6 +228,7 @@ impl Advertisement {
         let digest = self.digest();
         let mut effective = self.expires;
         for ext in extensions {
+            // gdp-lint: allow(CT01) -- advert digests are public record identifiers linking an extension to its advertisement; authentication is the signature check, not this equality
             if ext.advert_digest == digest && ext.verify(&self.advertiser).is_ok() {
                 effective = effective.max(ext.new_expires);
             }

@@ -10,6 +10,8 @@
 //! PKI infrastructure": every structure here verifies from a flat name and
 //! the signatures embedded in the objects themselves.
 
+#![forbid(unsafe_code)]
+
 pub mod advertise;
 pub mod certs;
 pub mod chain;

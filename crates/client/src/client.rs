@@ -612,7 +612,21 @@ impl GdpClient {
                 self.obs.server_errors.inc();
                 vec![ClientEvent::ServerError { capsule, code, detail }]
             }
-            _ => Vec::new(),
+            // Request-plane messages: clients never receive these; a
+            // correct server does not send them. Named explicitly -- not
+            // `_` -- so a future DataMsg variant forces a decision here
+            // instead of being silently dropped.
+            DataMsg::SessionInit { .. }
+            | DataMsg::PutMetadata { .. }
+            | DataMsg::Host { .. }
+            | DataMsg::HostAck { .. }
+            | DataMsg::Append { .. }
+            | DataMsg::Read { .. }
+            | DataMsg::Subscribe { .. }
+            | DataMsg::Replicate { .. }
+            | DataMsg::ReplicateAck { .. }
+            | DataMsg::SyncRequest { .. }
+            | DataMsg::SyncResponse { .. } => Vec::new(),
         }
     }
 
@@ -625,7 +639,6 @@ impl GdpClient {
             .map(|(name, _)| *name)
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn on_session_accept(
         &mut self,
         now: u64,

@@ -6,6 +6,8 @@
 //! a client check so that "trust lives in data rather than in
 //! infrastructure" (§V).
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod simnode;
 

@@ -20,6 +20,7 @@
 //! paths (e.g. Edwards scalar multiplication) are variable-time. Do not use
 //! for production secrets.
 
+#![forbid(unsafe_code)]
 // Reference-style crypto code indexes fixed-size limb arrays directly and
 // names scalar/field ops after their mathematical operations.
 #![allow(clippy::needless_range_loop)]

@@ -1,0 +1,437 @@
+//! A small, comment- and string-aware Rust lexer.
+//!
+//! This is deliberately *not* a parser: the rules in this crate operate on
+//! a flat token stream plus a side table of comments. The lexer's only
+//! obligations are (a) never mistake the inside of a string literal or a
+//! comment for code, (b) keep spans (line, column) exact so diagnostics
+//! point at the offending token, and (c) keep multi-character operators
+//! (`==`, `=>`, `::`, `..`) as single tokens so rules can match on them.
+//!
+//! It handles: line comments, nested block comments, string / raw-string /
+//! byte-string / char literals (including escape sequences and the
+//! lifetime-vs-char-literal ambiguity), numbers (enough to not split
+//! `0..8` into a float), identifiers, and punctuation.
+
+/// Token classes the rules distinguish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`match`, `unsafe`, `foo_bar`, `_`).
+    Ident,
+    /// Punctuation, possibly multi-character (`==`, `=>`, `::`, `[`).
+    Punct,
+    /// A string, raw string, byte string, or char literal (text excluded).
+    Lit,
+    /// A numeric literal.
+    Num,
+    /// A lifetime (`'a`, `'_`).
+    Lifetime,
+}
+
+/// One token with its exact source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text of the token (empty for literals — contents of strings
+    /// must never be mistaken for code, so they are not exposed).
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based byte column of the first character.
+    pub col: usize,
+}
+
+/// A comment, with the line it starts on. Multi-line block comments are
+/// recorded once with their full text.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line of the `//` or `/*`.
+    pub line: usize,
+    /// Comment text without the delimiters.
+    pub text: String,
+}
+
+/// A string literal's contents, with the line it starts on. Kept in a
+/// side table — never in the token stream — so rules must opt in to look
+/// at literal text (`SK01` does, for inline format captures like
+/// `{seed:?}`).
+#[derive(Clone, Debug)]
+pub struct StrLit {
+    /// 1-based line of the opening quote.
+    pub line: usize,
+    /// The literal's contents (delimiters excluded, escapes unprocessed).
+    pub text: String,
+}
+
+/// Output of [`lex`]: the token stream plus the comment side table.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens, in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+    /// All string-literal contents, in source order.
+    pub strings: Vec<StrLit>,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: [&str; 25] = [
+    "..=", "...", "<<=", ">>=", "==", "!=", "=>", "->", "::", "..", "&&", "||", "<<", ">>", "<=",
+    ">=", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "?",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into tokens and comments. Unknown bytes are skipped; the
+/// lexer never fails (a static analyzer must degrade, not crash, on the
+/// code it polices).
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut out = Lexed::default();
+
+    while let Some(b) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                cur.bump();
+                cur.bump();
+                let mut text = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if c == b'\n' {
+                        break;
+                    }
+                    text.push(cur.bump().unwrap_or(b' ') as char);
+                }
+                out.comments.push(Comment { line, text });
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                let mut text = String::new();
+                while depth > 0 {
+                    if cur.starts_with("/*") {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                    } else if cur.starts_with("*/") {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                    } else {
+                        match cur.bump() {
+                            Some(c) => text.push(c as char),
+                            None => break,
+                        }
+                    }
+                }
+                out.comments.push(Comment { line, text });
+            }
+            b'"' => {
+                let text = eat_string(&mut cur);
+                out.strings.push(StrLit { line, text });
+                out.tokens.push(Tok { kind: TokKind::Lit, text: String::new(), line, col });
+            }
+            b'r' | b'b' if raw_or_byte_string_ahead(&cur) => {
+                if let Some(text) = eat_prefixed_string(&mut cur) {
+                    out.strings.push(StrLit { line, text });
+                }
+                out.tokens.push(Tok { kind: TokKind::Lit, text: String::new(), line, col });
+            }
+            b'\'' => {
+                if char_literal_ahead(&cur) {
+                    eat_char_literal(&mut cur);
+                    out.tokens.push(Tok { kind: TokKind::Lit, text: String::new(), line, col });
+                } else {
+                    cur.bump(); // the quote
+                    let mut text = String::from("'");
+                    while let Some(c) = cur.peek(0) {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        text.push(cur.bump().unwrap_or(b'_') as char);
+                    }
+                    out.tokens.push(Tok { kind: TokKind::Lifetime, text, line, col });
+                }
+            }
+            _ if b.is_ascii_digit() => {
+                let text = eat_number(&mut cur);
+                out.tokens.push(Tok { kind: TokKind::Num, text, line, col });
+            }
+            _ if is_ident_start(b) => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(cur.bump().unwrap_or(b'_') as char);
+                }
+                out.tokens.push(Tok { kind: TokKind::Ident, text, line, col });
+            }
+            _ => {
+                let mut matched = false;
+                for p in PUNCTS {
+                    if cur.starts_with(p) {
+                        for _ in 0..p.len() {
+                            cur.bump();
+                        }
+                        out.tokens.push(Tok {
+                            kind: TokKind::Punct,
+                            text: p.to_string(),
+                            line,
+                            col,
+                        });
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    cur.bump();
+                    out.tokens.push(Tok {
+                        kind: TokKind::Punct,
+                        text: (b as char).to_string(),
+                        line,
+                        col,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Is the `r`/`b` at the cursor the prefix of a raw/byte string?
+fn raw_or_byte_string_ahead(cur: &Cursor<'_>) -> bool {
+    // r", r#", b", br", b'x' (byte char), rb is not a thing.
+    match cur.peek(0) {
+        Some(b'r') => matches!(cur.peek(1), Some(b'"') | Some(b'#')),
+        Some(b'b') => match cur.peek(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(cur.peek(2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// After a `'`, decide char literal (`'a'`, `'\n'`) vs lifetime (`'a`).
+fn char_literal_ahead(cur: &Cursor<'_>) -> bool {
+    match cur.peek(1) {
+        Some(b'\\') => true,
+        Some(c) if c != b'\'' => cur.peek(2) == Some(b'\''),
+        _ => false,
+    }
+}
+
+fn eat_string(cur: &mut Cursor<'_>) -> String {
+    cur.bump(); // opening quote
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                text.push('\\');
+                if let Some(e) = cur.bump() {
+                    text.push(e as char);
+                }
+            }
+            b'"' => break,
+            c => text.push(c as char),
+        }
+    }
+    text
+}
+
+fn eat_prefixed_string(cur: &mut Cursor<'_>) -> Option<String> {
+    // Consume the r/b/br prefix.
+    while matches!(cur.peek(0), Some(b'r') | Some(b'b')) {
+        cur.bump();
+    }
+    if cur.peek(0) == Some(b'\'') {
+        // Byte char literal b'x' — not a string; no side-table entry.
+        cur.bump();
+        while let Some(c) = cur.bump() {
+            match c {
+                b'\\' => {
+                    cur.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        return None;
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek(0) != Some(b'"') {
+        return None; // not actually a string (e.g. `r#ident`); give up gracefully
+    }
+    cur.bump();
+    let mut text = String::new();
+    if hashes == 0 {
+        // Raw string without hashes still has no escapes.
+        while let Some(c) = cur.bump() {
+            if c == b'"' {
+                break;
+            }
+            text.push(c as char);
+        }
+        return Some(text);
+    }
+    let closer = format!("\"{}", "#".repeat(hashes));
+    while cur.peek(0).is_some() {
+        if cur.starts_with(&closer) {
+            for _ in 0..closer.len() {
+                cur.bump();
+            }
+            break;
+        }
+        if let Some(c) = cur.bump() {
+            text.push(c as char);
+        }
+    }
+    Some(text)
+}
+
+fn eat_char_literal(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'\'' => break,
+            _ => {}
+        }
+    }
+}
+
+fn eat_number(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            text.push(cur.bump().unwrap_or(b'0') as char);
+        } else if c == b'.' {
+            // `0..8` must not swallow the range operator.
+            if cur.peek(1) == Some(b'.') {
+                break;
+            }
+            if cur.peek(1).map(|d| d.is_ascii_digit()).unwrap_or(false) {
+                text.push(cur.bump().unwrap_or(b'.') as char);
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let l = lex("let x = \"== unsafe //\"; // trailing == note\nlet y = 1;");
+        assert!(l.tokens.iter().all(|t| t.text != "unsafe"));
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("trailing"));
+        assert_eq!(l.comments[0].line, 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ fn f() {}");
+        assert_eq!(l.tokens[0].text, "fn");
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex("let s = r#\"has \"quotes\" and == inside\"#; let t = 2;");
+        assert!(l.tokens.iter().all(|t| t.text != "=="));
+        assert!(l.tokens.iter().any(|t| t.text == "t"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = l.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::Lit).count(), 2);
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        assert!(texts("a == b != c => d :: e .. f ..= g").contains(&"..=".to_string()));
+        let t = texts("x[..8]");
+        assert_eq!(t, vec!["x", "[", "..", "8", "]"]);
+    }
+
+    #[test]
+    fn ranges_do_not_become_floats() {
+        let t = texts("for i in 0..8 {}");
+        assert!(t.contains(&"0".to_string()) && t.contains(&"..".to_string()));
+        let t = texts("let f = 1.5f64;");
+        assert!(t.contains(&"1.5f64".to_string()));
+    }
+
+    #[test]
+    fn spans_are_exact() {
+        let l = lex("ab\n  cd == ef");
+        let eq = l.tokens.iter().find(|t| t.text == "==").expect("== token");
+        assert_eq!((eq.line, eq.col), (2, 6));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let l = lex("let a = b\"bytes == \"; let b = b'x'; let c = br#\"raw\"#;");
+        assert!(l.tokens.iter().all(|t| t.text != "=="));
+    }
+}

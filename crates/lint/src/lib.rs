@@ -1,0 +1,148 @@
+//! # gdp-lint
+//!
+//! An offline, dependency-free static analyzer for the GDP workspace. The
+//! paper's security argument (§IV/§VII) rests on invariants the compiler
+//! cannot see; each rule here turns one of them from a code-review
+//! convention into a CI gate:
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `CT01` | MAC/tag/digest/signature byte comparisons are constant-time (`gdp_crypto::ct::eq`), never `==`/`!=` |
+//! | `SK01` | secret key material never reaches `Debug`/format/trace output |
+//! | `HP01` | hot-path/daemon modules contain no `unwrap`/`expect`/`panic!`/range-index panics |
+//! | `OB01` | plain load/store counter increments only in modules allowlisted as single-writer |
+//! | `WX01` | wire-enum decoders/dispatchers cover every variant; no silent `_ =>` swallowing |
+//! | `US01` | `unsafe` requires a `// SAFETY:` comment; unsafe-free crates carry `#![forbid(unsafe_code)]` |
+//!
+//! A finding is suppressed — deliberately and auditable — with a trailing
+//! or preceding comment naming the rule *and a reason*:
+//!
+//! ```text
+//! // gdp-lint: allow(SK01) -- render() writes the config file; the seed is its contents
+//! ```
+//!
+//! Suppressions without a `-- reason` trailer are invalid and do not
+//! suppress. The analyzer is a hand-rolled lexer (comment- and
+//! string-aware, no `syn`) plus token-stream rules; it scans the whole
+//! workspace in well under a second.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One diagnostic: a rule violation at an exact source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule ID (`CT01`, `SK01`, ...).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable description with the fix direction.
+    pub message: String,
+}
+
+/// A finding that was matched by a valid `gdp-lint: allow` comment.
+#[derive(Clone, Debug)]
+pub struct Suppressed {
+    /// Rule ID.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Line of the suppressed finding.
+    pub line: usize,
+}
+
+/// Analyzer output.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of files analyzed.
+    pub files_scanned: usize,
+    /// Unsuppressed findings, sorted by (path, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by valid suppression comments.
+    pub suppressed: Vec<Suppressed>,
+}
+
+impl Report {
+    /// Per-rule counts of unsuppressed findings (all six rules present,
+    /// zeros included, so CI logs show full coverage).
+    pub fn by_rule(&self) -> BTreeMap<&'static str, usize> {
+        let mut map: BTreeMap<&'static str, usize> =
+            rules::RULE_IDS.iter().map(|r| (*r, 0)).collect();
+        for f in &self.findings {
+            *map.entry(f.rule).or_insert(0) += 1;
+        }
+        map
+    }
+}
+
+/// Rule configuration. [`LintConfig::default`] encodes the workspace
+/// policy; tests may build custom configs.
+#[derive(Clone, Debug)]
+pub struct LintConfig {
+    /// Path fragments designating hot-path/daemon modules for `HP01`:
+    /// the router forward path, the shard workers, the gdpd event loop,
+    /// and the TCP transport.
+    pub hot_path_modules: Vec<String>,
+    /// `OB01` allowlist: `(path fragment, owning thread)` pairs for
+    /// modules sanctioned to use single-writer (plain load/store) counter
+    /// increments. The reason names the one thread that owns the writes.
+    pub single_writer_allowlist: Vec<(String, String)>,
+    /// Enum names whose dispatch/decode matches `WX01` polices.
+    pub wire_enums: Vec<String>,
+    /// Minimum distinct variants a match must name before `WX01` treats
+    /// it as a dispatcher (small partial matches are exempt).
+    pub dispatch_threshold: usize,
+}
+
+impl Default for LintConfig {
+    fn default() -> LintConfig {
+        LintConfig {
+            hot_path_modules: vec![
+                // The PR-4 forwarding fast path and its lookup structures.
+                "crates/router/src/router.rs".into(),
+                "crates/router/src/fib.rs".into(),
+                "crates/router/src/vcache.rs".into(),
+                // Shard workers and the node event loop.
+                "crates/node/src/shard.rs".into(),
+                "crates/node/src/runtime.rs".into(),
+                "crates/node/src/bin/gdpd.rs".into(),
+                // The threaded transport (reader/writer/accept loops).
+                "crates/net/src/tcp.rs".into(),
+                // The rule's own fixture corpus.
+                "fixtures/hp01/".into(),
+            ],
+            single_writer_allowlist: vec![
+                (
+                    "crates/obs/src/lib.rs".into(),
+                    "definition site of the sanctioned Counter::inc_single_writer primitive".into(),
+                ),
+                (
+                    "crates/router/src/router.rs".into(),
+                    "each Router instance is owned by exactly one thread: the gdpd event loop, \
+                     or its shard worker (crates/node/src/shard.rs) when `shards > 1`"
+                        .into(),
+                ),
+                ("fixtures/ob01/good.rs".into(), "fixture: models an allowlisted module".into()),
+            ],
+            wire_enums: vec!["Pdu".into(), "PduType".into(), "DataMsg".into()],
+            dispatch_threshold: 4,
+        }
+    }
+}
+
+/// Convenience wrapper: lint `paths` under `root` with the default
+/// workspace policy. `default_scan` selects the production file filter.
+pub fn lint(root: &Path, paths: &[PathBuf], default_scan: bool) -> std::io::Result<Report> {
+    engine::lint_paths(root, paths, &LintConfig::default(), default_scan)
+}

@@ -1,0 +1,96 @@
+//! `gdp-lint` — the workspace-invariant static analyzer CLI.
+//!
+//! ```text
+//! gdp-lint [--root DIR] [--format text|json] [PATH ...]
+//! ```
+//!
+//! With no `PATH` arguments the default production scan runs: every
+//! `.rs` file under `<root>/crates` and `<root>/src`, filtered to crate
+//! sources (shims, `tests/` trees, and the lint fixture corpus are
+//! excluded). Explicit `PATH` arguments disable the filter and scan
+//! every `.rs` file they contain — that is how the fixture tests drive
+//! the binary at its own corpus.
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use gdp_lint::{engine, LintConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut format = Format::Text;
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    let got = other.unwrap_or("nothing");
+                    eprintln!("gdp-lint: --format expects `text` or `json`, got `{got}`");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("gdp-lint: --root expects a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: gdp-lint [--root DIR] [--format text|json] [PATH ...]");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("gdp-lint: unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let default_scan = paths.is_empty();
+    if default_scan {
+        for dir in ["crates", "src"] {
+            let p = root.join(dir);
+            if p.is_dir() {
+                paths.push(p);
+            }
+        }
+        if paths.is_empty() {
+            eprintln!("gdp-lint: nothing to scan under {}", root.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let report = match engine::lint_paths(&root, &paths, &LintConfig::default(), default_scan) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gdp-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match format {
+        Format::Text => print!("{}", gdp_lint::report::text(&report)),
+        Format::Json => print!("{}", gdp_lint::report::json(&report)),
+    }
+
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+enum Format {
+    Text,
+    Json,
+}

@@ -1,0 +1,96 @@
+//! Report rendering: compiler-style text and machine-readable JSON.
+//!
+//! The JSON document is emitted via `gdp_obs::json::escape` and is
+//! guaranteed to pass `gdp_obs::json::validate` (tested). The
+//! `"findings_total"`/`"suppressed_total"` keys are adjacent on purpose:
+//! `verify.sh` extracts them with `sed` for its summary line.
+
+use crate::rules::RULE_IDS;
+use crate::Report;
+use gdp_obs::json::escape;
+use std::fmt::Write as _;
+
+/// Renders findings the way rustc does (`path:line:col: RULE: message`)
+/// plus a per-rule summary block.
+pub fn text(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let _ = writeln!(out, "{}:{}:{}: {}: {}", f.path, f.line, f.col, f.rule, f.message);
+    }
+    if !report.findings.is_empty() {
+        out.push('\n');
+    }
+    let by_rule = report.by_rule();
+    let _ = writeln!(
+        out,
+        "gdp-lint: {} file(s) scanned, {} finding(s), {} suppressed",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed.len()
+    );
+    let counts: Vec<String> =
+        RULE_IDS.iter().map(|r| format!("{r}={}", by_rule.get(r).copied().unwrap_or(0))).collect();
+    let _ = writeln!(out, "gdp-lint: {}", counts.join(" "));
+    out
+}
+
+/// Renders the report as a single JSON object.
+pub fn json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(out, "  \"findings_total\": {},", report.findings.len());
+    let _ = writeln!(out, "  \"suppressed_total\": {},", report.suppressed.len());
+
+    let by_rule = report.by_rule();
+    out.push_str("  \"by_rule\": {");
+    let counts: Vec<String> = RULE_IDS
+        .iter()
+        .map(|r| format!("\"{r}\": {}", by_rule.get(r).copied().unwrap_or(0)))
+        .collect();
+    out.push_str(&counts.join(", "));
+    out.push_str("},\n");
+
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"message\": \"{}\"}}",
+            f.rule,
+            escape(&f.path),
+            f.line,
+            f.col,
+            escape(&f.message)
+        );
+    }
+    if report.findings.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+
+    out.push_str("  \"suppressed\": [");
+    for (i, s) in report.suppressed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}}}",
+            s.rule,
+            escape(&s.path),
+            s.line
+        );
+    }
+    if report.suppressed.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}

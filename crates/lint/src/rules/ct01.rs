@@ -1,0 +1,115 @@
+//! **CT01 — constant-time comparison of authenticator bytes.**
+//!
+//! Comparing a MAC, tag, digest, or signature with `==`/`!=` leaks the
+//! position of the first differing byte through timing (paper §V: secure
+//! responses authenticate with HMACs; a timing oracle on the comparison
+//! forges them byte by byte). Such comparisons must go through
+//! `gdp_crypto::ct::eq`.
+//!
+//! Detection: for every `==`/`!=` token in non-test code, scan the two
+//! operand windows (token runs bounded by expression separators). If
+//! either window mentions an identifier with a `mac`/`hmac`/`tag`/
+//! `digest`/`sig`/`signature` name segment, the comparison is flagged.
+//! Windows containing `.len()` are exempt — length is public — as are
+//! SCREAMING_CASE constants (`TAG_LEN`).
+
+use crate::engine::SourceFile;
+use crate::lexer::TokKind;
+use crate::rules::{finding, ident_segments, is_screaming};
+use crate::Finding;
+
+/// Name segments that mark a value as an authenticator.
+const SECRET_CMP_SEGMENTS: [&str; 6] = ["mac", "hmac", "tag", "digest", "sig", "signature"];
+
+/// Tokens that bound an operand window at bracket depth zero.
+const WINDOW_BOUNDARY: [&str; 15] =
+    [";", ",", "&&", "||", "=", "==", "!=", "=>", "return", "if", "while", "match", "{", "}", "?"];
+
+pub(crate) fn run(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if file.in_test[i] || (tok.text != "==" && tok.text != "!=") {
+            continue;
+        }
+        if window_names_authenticator(file, i, Direction::Left)
+            || window_names_authenticator(file, i, Direction::Right)
+        {
+            out.push(finding(
+                "CT01",
+                file,
+                tok,
+                format!(
+                    "`{}` on MAC/tag/digest/signature bytes is not constant-time; \
+                     use gdp_crypto::ct::eq",
+                    tok.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+enum Direction {
+    Left,
+    Right,
+}
+
+/// Scans one operand window of the comparison at `at`. Returns true when
+/// the window names an authenticator identifier (and is not a `.len()`
+/// length check).
+fn window_names_authenticator(file: &SourceFile, at: usize, dir: Direction) -> bool {
+    let toks = &file.tokens;
+    let mut depth = 0isize;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut has_len = false;
+
+    let mut step = 0usize;
+    loop {
+        step += 1;
+        let idx = match dir {
+            Direction::Left => {
+                if at < step {
+                    break;
+                }
+                at - step
+            }
+            Direction::Right => {
+                if at + step >= toks.len() {
+                    break;
+                }
+                at + step
+            }
+        };
+        let t = &toks[idx];
+        let (open, close) = match dir {
+            Direction::Left => (")]", "(["),
+            Direction::Right => ("([", ")]"),
+        };
+        if t.text.len() == 1 && open.contains(&t.text) {
+            depth += 1;
+        } else if t.text.len() == 1 && close.contains(&t.text) {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if depth == 0 && WINDOW_BOUNDARY.contains(&t.text.as_str()) {
+            break;
+        } else if t.kind == TokKind::Ident {
+            if t.text == "len" {
+                has_len = true;
+            }
+            idents.push(&t.text);
+        }
+        if step > 64 {
+            break; // windows are short expressions; cap the scan
+        }
+    }
+
+    if has_len {
+        return false;
+    }
+    idents.iter().any(|id| {
+        !is_screaming(id)
+            && ident_segments(id).iter().any(|s| SECRET_CMP_SEGMENTS.contains(&s.as_str()))
+    })
+}

@@ -1,0 +1,144 @@
+//! **HP01 — hot-path and daemon modules must not panic.**
+//!
+//! A panic in the router forward path, a shard worker, the gdpd event
+//! loop, or the TCP transport threads takes down a federation node that
+//! other domains depend on (paper §VI: the delegated infrastructure must
+//! stay available to every writer routed through it). Those modules are
+//! designated in [`crate::LintConfig::hot_path_modules`]; inside them,
+//! non-test code may not contain:
+//!
+//! - `.unwrap()` / `.expect(...)`
+//! - `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+//! - range-indexing with a hard-coded numeric bound (`buf[..8]`), which
+//!   panics when the input is shorter than the assumption
+//!
+//! Deliberate exceptions (e.g. thread-spawn at startup, before the data
+//! plane is live) are suppressed with
+//! `// gdp-lint: allow(HP01) -- reason`.
+
+use crate::engine::SourceFile;
+use crate::lexer::TokKind;
+use crate::rules::finding;
+use crate::{Finding, LintConfig};
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub(crate) fn run(file: &SourceFile, cfg: &LintConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if !cfg.hot_path_modules.iter().any(|m| file.path.contains(m.as_str())) {
+        return out;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+
+        // `.unwrap(` / `.expect(`
+        if t.text == "."
+            && matches!(toks.get(i + 1).map(|n| n.text.as_str()), Some("unwrap") | Some("expect"))
+            && toks.get(i + 2).map(|n| n.text.as_str()) == Some("(")
+        {
+            let name = &toks[i + 1];
+            out.push(finding(
+                "HP01",
+                file,
+                name,
+                format!(
+                    "`.{}()` in hot-path module; return/propagate the error or \
+                     restructure so the failure is impossible by construction",
+                    name.text
+                ),
+            ));
+            continue;
+        }
+
+        // panic-family macros
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).map(|n| n.text.as_str()) == Some("!")
+        {
+            out.push(finding(
+                "HP01",
+                file,
+                t,
+                format!("`{}!` in hot-path module; hot paths must not panic", t.text),
+            ));
+            continue;
+        }
+
+        // `expr[.. 8]`-style range indexing with a numeric bound.
+        if t.text == "["
+            && i > 0
+            && is_expr_end(&toks[i - 1])
+            && range_index_with_numeric_bound(file, i)
+        {
+            out.push(finding(
+                "HP01",
+                file,
+                t,
+                "range-indexing with a hard-coded bound panics on short input in a \
+                 hot-path module; use a fixed-size array or checked slicing"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Token kinds that can end an expression (making a following `[` an
+/// index operation rather than an array literal).
+fn is_expr_end(t: &crate::lexer::Tok) -> bool {
+    matches!(t.kind, TokKind::Ident) && !is_keyword(&t.text) || t.text == ")" || t.text == "]"
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "return"
+            | "if"
+            | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "in"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "break"
+            | "continue"
+            | "loop"
+            | "as"
+    )
+}
+
+/// True when the bracket group opening at `open` contains a `..`/`..=`
+/// with a numeric-literal bound at depth 1.
+fn range_index_with_numeric_bound(file: &SourceFile, open: usize) -> bool {
+    let toks = &file.tokens;
+    let mut depth = 0isize;
+    let mut saw_range = false;
+    let mut saw_num = false;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "[" | "(" | "{" => depth += 1,
+            "]" | ")" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            ".." | "..=" if depth == 1 => saw_range = true,
+            _ => {
+                if depth == 1 && toks[i].kind == TokKind::Num {
+                    saw_num = true;
+                }
+            }
+        }
+        i += 1;
+    }
+    saw_range && saw_num
+}

@@ -1,0 +1,84 @@
+//! **OB01 — single-writer counter discipline.**
+//!
+//! PR 4 introduced `Counter::inc_single_writer` — a plain
+//! `load`/`store` pair that skips the atomic RMW on the forwarding fast
+//! path. It is sound only when exactly one thread writes a given counter
+//! instance. That ownership claim cannot be checked by the compiler, so
+//! this rule pins it to an allowlist
+//! ([`crate::LintConfig::single_writer_allowlist`]): every allowlist
+//! entry names the one thread that owns the writes. Outside allowlisted
+//! modules, non-test code may not:
+//!
+//! - call `.inc_single_writer(...)`, nor
+//! - hand-roll the same bug with `.store(.. .load(..) ..)` — a non-atomic
+//!   read-modify-write on a shared cell.
+
+use crate::engine::SourceFile;
+use crate::rules::finding;
+use crate::{Finding, LintConfig};
+
+pub(crate) fn run(file: &SourceFile, cfg: &LintConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if cfg.single_writer_allowlist.iter().any(|(frag, _)| file.path.contains(frag.as_str())) {
+        return out;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.in_test[i] || toks[i].text != "." {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else { break };
+        if toks.get(i + 2).map(|t| t.text.as_str()) != Some("(") {
+            continue;
+        }
+        match name.text.as_str() {
+            "inc_single_writer" => out.push(finding(
+                "OB01",
+                file,
+                name,
+                "inc_single_writer() outside the single-writer allowlist; either use the \
+                 atomic inc(), or add this module to the allowlist naming the one \
+                 owning thread"
+                    .to_string(),
+            )),
+            "store" if args_contain_load(file, i + 2) => out.push(finding(
+                "OB01",
+                file,
+                name,
+                "non-atomic read-modify-write (.store of a .load) outside the \
+                 single-writer allowlist; increments race and drop counts under \
+                 concurrent writers"
+                    .to_string(),
+            )),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// True when the paren group opening at `open` contains a `.load(` call.
+fn args_contain_load(file: &SourceFile, open: usize) -> bool {
+    let toks = &file.tokens;
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            "." if depth >= 1
+                && toks.get(i + 1).map(|t| t.text.as_str()) == Some("load")
+                && toks.get(i + 2).map(|t| t.text.as_str()) == Some("(") =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    false
+}

@@ -1,0 +1,369 @@
+//! **SK01 — secret key material never reaches debug/trace output.**
+//!
+//! The read-access-control story (paper §V) is "selective sharing of
+//! decryption keys": a `Debug` derive on a struct holding raw key bytes,
+//! or a `format!`/trace call interpolating a key-named value, ships key
+//! material to logs the infrastructure is explicitly untrusted to hold.
+//!
+//! Two detections, both in non-test code:
+//!
+//! 1. `#[derive(.. Debug ..)]` on a struct with a raw secret field — a
+//!    field whose name has a `seed`/`secret`/`key` segment *and* whose
+//!    type is raw bytes (`[u8; N]`), or whose type names a secret type
+//!    (`SecretKey`, `SessionKey`). Fix: a manual redacting impl
+//!    (`write!(f, "SecretKey(…redacted…)")`). Types like
+//!    `gdp_crypto::SigningKey` already redact themselves, so fields of
+//!    those types are fine to derive through.
+//! 2. Format-like macros (`format!`, `println!`, `write!`, `panic!`,
+//!    log-style macros) and `.trace(...)`/`to_json` calls whose arguments
+//!    mention a secret-named identifier (`seed`, `flow_key`,
+//!    `session_key`, `signing_key`, ...).
+
+use crate::engine::SourceFile;
+use crate::lexer::{Tok, TokKind};
+use crate::rules::{attr_span, finding, ident_segments, is_screaming};
+use crate::Finding;
+
+/// Type names that are secret wherever they appear.
+const SECRET_TYPES: [&str; 2] = ["SecretKey", "SessionKey"];
+
+/// Exact identifiers that are secret values in format/trace position.
+const SECRET_VALUE_IDENTS: [&str; 9] = [
+    "flow_key",
+    "session_key",
+    "signing_key",
+    "read_key",
+    "mac_key",
+    "secret_key",
+    "private_key",
+    "key_material",
+    "ikm",
+];
+
+/// Name segments that make a *raw-bytes* field secret.
+const SECRET_FIELD_SEGMENTS: [&str; 3] = ["seed", "secret", "key"];
+
+/// Format-like macro names.
+const FORMAT_MACROS: [&str; 16] = [
+    "format",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug",
+    "trace",
+    "info",
+    "warn",
+    "error",
+];
+
+pub(crate) fn run(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    derive_debug_on_secrets(file, &mut out);
+    format_leaks(file, &mut out);
+    out
+}
+
+/// Detection 1: `derive(Debug)` (or `Display`) on secret-bearing structs.
+fn derive_debug_on_secrets(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text != "#" || file.in_test[i] {
+            i += 1;
+            continue;
+        }
+        let (attr_end, ok) = attr_span(toks, i);
+        if !ok {
+            break;
+        }
+        let attr = &toks[i..attr_end];
+        let derives_debug = attr.iter().any(|t| t.text == "derive")
+            && attr.iter().any(|t| t.text == "Debug" || t.text == "Display");
+        if !derives_debug {
+            i = attr_end;
+            continue;
+        }
+        // Skip further attributes, find `struct Name`.
+        let mut j = attr_end;
+        while j < toks.len() && toks[j].text == "#" {
+            let (end, ok) = attr_span(toks, j);
+            if !ok {
+                break;
+            }
+            j = end;
+        }
+        while j < toks.len() && matches!(toks[j].text.as_str(), "pub" | "(" | ")" | "crate") {
+            j += 1;
+        }
+        if toks.get(j).map(|t| t.text.as_str()) != Some("struct") {
+            i = attr_end;
+            continue;
+        }
+        let Some(name_tok) = toks.get(j + 1) else { break };
+        // Find the field block `{` (tuple structs scan `(` instead).
+        let mut k = j + 2;
+        let mut angle = 0isize;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" | "(" if angle <= 0 => break,
+                ";" => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        match toks.get(k).map(|t| t.text.as_str()) {
+            Some("{") => {
+                if let Some(close) = crate::engine::matching_brace(toks, k) {
+                    if let Some(field) = secret_named_field(&toks[k + 1..close]) {
+                        out.push(finding(
+                            "SK01",
+                            file,
+                            &toks[i],
+                            format!(
+                                "#[derive(Debug)] on secret-bearing struct `{}` (field `{}`); \
+                                 write a manual impl that redacts the key material",
+                                name_tok.text, field
+                            ),
+                        ));
+                    }
+                }
+            }
+            Some("(") => {
+                // Tuple struct: flag when the element types name a secret type.
+                let mut depth = 0isize;
+                let mut end = k;
+                while end < toks.len() {
+                    match toks[end].text.as_str() {
+                        "(" => depth += 1,
+                        ")" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    end += 1;
+                }
+                if toks[k..end].iter().any(|t| SECRET_TYPES.contains(&t.text.as_str())) {
+                    out.push(finding(
+                        "SK01",
+                        file,
+                        &toks[i],
+                        format!(
+                            "#[derive(Debug)] on secret-bearing tuple struct `{}`; \
+                             write a manual impl that redacts the key material",
+                            name_tok.text
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+        i = attr_end;
+    }
+}
+
+/// Scans a named-field block for a secret field; returns its name.
+fn secret_named_field(field_toks: &[Tok]) -> Option<String> {
+    // Fields at depth 0 look like: [pub] name : type-tokens, ...
+    let mut depth = 0isize;
+    let mut idx = 0usize;
+    while idx < field_toks.len() {
+        let t = &field_toks[idx];
+        match t.text.as_str() {
+            "{" | "(" | "[" => {
+                depth += 1;
+                idx += 1;
+            }
+            "}" | ")" | "]" => {
+                depth -= 1;
+                idx += 1;
+            }
+            "#" if depth == 0 => {
+                let (end, ok) = attr_span(field_toks, idx);
+                if !ok {
+                    return None;
+                }
+                idx = end;
+            }
+            _ => {
+                if depth == 0
+                    && t.kind == TokKind::Ident
+                    && field_toks.get(idx + 1).map(|n| n.text.as_str()) == Some(":")
+                {
+                    // Collect the type tokens up to the field-separating comma.
+                    let name = &t.text;
+                    let mut ty_end = idx + 2;
+                    let mut ty_depth = 0isize;
+                    while ty_end < field_toks.len() {
+                        match field_toks[ty_end].text.as_str() {
+                            "{" | "(" | "[" | "<" => ty_depth += 1,
+                            "}" | ")" | "]" | ">" => ty_depth -= 1,
+                            "," if ty_depth <= 0 => break,
+                            _ => {}
+                        }
+                        ty_end += 1;
+                    }
+                    let ty = &field_toks[idx + 2..ty_end.min(field_toks.len())];
+                    if field_is_secret(name, ty) {
+                        return Some(name.clone());
+                    }
+                    idx = ty_end;
+                } else {
+                    idx += 1;
+                }
+            }
+        }
+    }
+    None
+}
+
+fn field_is_secret(name: &str, ty: &[Tok]) -> bool {
+    if ty.iter().any(|t| SECRET_TYPES.contains(&t.text.as_str())) {
+        return true;
+    }
+    let named_secret =
+        ident_segments(name).iter().any(|s| SECRET_FIELD_SEGMENTS.contains(&s.as_str()));
+    let raw_bytes = ty.windows(2).any(|w| w[0].text == "[" && w[1].text == "u8");
+    named_secret && raw_bytes
+}
+
+/// Detection 2: secret identifiers inside format-like macros and
+/// `.trace(...)` / `.to_json(...)`-adjacent calls.
+fn format_leaks(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        // format-like: Ident ! ( ... )   trace-call: . trace ( ... )
+        let (callee, args_open, kind) = if toks[i].kind == TokKind::Ident
+            && FORMAT_MACROS.contains(&toks[i].text.as_str())
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("!")
+            && matches!(toks.get(i + 2).map(|t| t.text.as_str()), Some("(") | Some("["))
+        {
+            (&toks[i], i + 2, "macro")
+        } else if toks[i].text == "."
+            && matches!(toks.get(i + 1).map(|t| t.text.as_str()), Some("trace") | Some("to_json"))
+            && toks.get(i + 2).map(|t| t.text.as_str()) == Some("(")
+        {
+            (&toks[i + 1], i + 2, "call")
+        } else {
+            continue;
+        };
+        let mut depth = 0isize;
+        let mut j = args_open;
+        let mut last_line = toks[args_open].line;
+        while j < toks.len() {
+            last_line = toks[j].line;
+            match toks[j].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    let t = &toks[j];
+                    if t.kind == TokKind::Ident
+                        && !is_screaming(&t.text)
+                        && is_secret_value(&t.text)
+                    {
+                        out.push(finding(
+                            "SK01",
+                            file,
+                            t,
+                            format!(
+                                "secret-named value `{}` reaches {} `{}` output; \
+                                 key material must never be formatted or traced",
+                                t.text, kind, callee.text
+                            ),
+                        ));
+                    }
+                }
+            }
+            j += 1;
+        }
+        // Rust 2021 inline format captures (`"{seed:?}"`) put the
+        // identifier inside the string literal; scan the literals spanned
+        // by this call for secret-named captures.
+        let first_line = toks[args_open].line;
+        for lit in &file.strings {
+            if lit.line < first_line || lit.line > last_line {
+                continue;
+            }
+            for cap in inline_captures(&lit.text) {
+                if !is_screaming(&cap) && is_secret_value(&cap) {
+                    out.push(Finding {
+                        rule: "SK01",
+                        path: file.path.clone(),
+                        line: lit.line,
+                        col: 1,
+                        message: format!(
+                            "secret-named value `{cap}` reaches {kind} `{}` output via an \
+                             inline format capture; key material must never be formatted \
+                             or traced",
+                            callee.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers captured inline by a format string: `{seed}`, `{seed:?}`.
+/// `{{` escapes and positional/spec-only captures (`{}`, `{0}`, `{:x}`)
+/// yield nothing.
+fn inline_captures(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'{' {
+            i += 1;
+            continue;
+        }
+        if bytes.get(i + 1) == Some(&b'{') {
+            i += 2; // escaped brace
+            continue;
+        }
+        let mut j = i + 1;
+        let mut name = String::new();
+        while j < bytes.len() {
+            let c = bytes[j];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                name.push(c as char);
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        let terminated = matches!(bytes.get(j), Some(b'}') | Some(b':'));
+        let is_ident =
+            name.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false);
+        if terminated && is_ident {
+            out.push(name);
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+fn is_secret_value(ident: &str) -> bool {
+    if SECRET_VALUE_IDENTS.contains(&ident) {
+        return true;
+    }
+    ident_segments(ident).iter().any(|s| s == "seed" || s == "secret")
+}

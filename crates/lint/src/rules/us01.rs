@@ -1,0 +1,62 @@
+//! **US01 — `unsafe` is justified or forbidden.**
+//!
+//! Two checks, mirroring the standard-library convention:
+//!
+//! 1. Every `unsafe` keyword — in tests too; test UB is still UB — must
+//!    be preceded by a `// SAFETY:` comment on the same line or within
+//!    the two lines above it, stating why the invariants hold.
+//! 2. A crate whose scanned sources contain no `unsafe` at all must pin
+//!    that property with `#![forbid(unsafe_code)]` in its root
+//!    (`lib.rs`/`main.rs`), so the first future `unsafe` block is a
+//!    deliberate, reviewed decision rather than a drive-by.
+
+use crate::engine::SourceFile;
+use crate::rules::{finding, WorkspaceIndex};
+use crate::Finding;
+
+pub(crate) fn run(file: &SourceFile, ws: &WorkspaceIndex) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "unsafe" {
+            continue;
+        }
+        // `#![forbid(unsafe_code)]` / `#[allow(unsafe_code)]` attribute
+        // mentions are not unsafe blocks.
+        if i > 0 && matches!(toks[i - 1].text.as_str(), "(" | ",") {
+            continue;
+        }
+        let justified = (t.line.saturating_sub(2)..=t.line)
+            .any(|l| file.comment_on_line_contains(l, "SAFETY:"));
+        if !justified {
+            out.push(finding(
+                "US01",
+                file,
+                t,
+                "`unsafe` without a preceding `// SAFETY:` comment; state why the \
+                 invariants hold"
+                    .to_string(),
+            ));
+        }
+    }
+
+    // Crate-level check, reported once, on the crate root file.
+    if let Some((_, facts)) =
+        ws.crates.iter().find(|(_, f)| f.root.as_deref() == Some(file.path.as_str()))
+    {
+        if !facts.has_unsafe && !facts.root_forbids {
+            out.push(Finding {
+                rule: "US01",
+                path: file.path.clone(),
+                line: 1,
+                col: 1,
+                message: "crate contains no unsafe code but its root lacks \
+                          `#![forbid(unsafe_code)]`; add it so future unsafe is a \
+                          deliberate decision"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}

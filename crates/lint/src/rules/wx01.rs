@@ -1,0 +1,214 @@
+//! **WX01 — wire-enum dispatch exhaustiveness.**
+//!
+//! The wire protocol evolves: when a `PduType`/`DataMsg` variant is
+//! added, every decoder and dispatcher must make a decision about it. A
+//! quiet `_ =>` arm turns "forgot to handle the new variant" into silent
+//! message loss instead of a compile error (the exact bug class the PR-3
+//! chaos harness exists to catch at runtime — this rule catches it at
+//! lint time).
+//!
+//! Detection: a *dispatcher* is a `match` whose arm patterns name at
+//! least [`crate::LintConfig::dispatch_threshold`] distinct variants of a
+//! designated wire enum ([`crate::LintConfig::wire_enums`]). In a
+//! dispatcher, a catch-all arm (`_ =>` or a bare binding) must be *loud*
+//! — its body must reject (`Err`/`panic!`/`unreachable!`/`todo!`/
+//! `bail`), as decoders do for unknown tags. A quiet catch-all is
+//! flagged, with the declared variants it currently swallows listed in
+//! the message. The fix is to enumerate the remaining variants
+//! explicitly so rustc enforces exhaustiveness from then on.
+
+use crate::engine::{matching_brace, SourceFile};
+use crate::lexer::{Tok, TokKind};
+use crate::rules::{finding, WorkspaceIndex};
+use crate::{Finding, LintConfig};
+use std::collections::BTreeSet;
+
+const LOUD_IDENTS: [&str; 6] = ["Err", "panic", "unreachable", "todo", "unimplemented", "bail"];
+
+pub(crate) fn run(file: &SourceFile, cfg: &LintConfig, ws: &WorkspaceIndex) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text != "match" || toks[i].kind != TokKind::Ident || file.in_test[i] {
+            i += 1;
+            continue;
+        }
+        // The match body is the first `{` at zero bracket depth after the
+        // scrutinee (struct literals cannot appear un-parenthesized there).
+        let mut j = i + 1;
+        let mut depth = 0isize;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if toks.get(j).map(|t| t.text.as_str()) != Some("{") {
+            i += 1;
+            continue;
+        }
+        let Some(close) = matching_brace(toks, j) else { break };
+        check_dispatch(file, cfg, ws, j, close, &mut out);
+        i = j + 1; // descend into the body for nested matches
+    }
+    out
+}
+
+struct Arm {
+    /// Token range of the pattern (up to the `=>`).
+    pat: (usize, usize),
+    /// Token range of the body.
+    body: (usize, usize),
+}
+
+/// Splits the match body `toks[open+1..close]` into arms.
+fn arms(toks: &[Tok], open: usize, close: usize) -> Vec<Arm> {
+    let mut out = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        // Pattern: up to `=>` at depth 0.
+        let pat_start = i;
+        let mut depth = 0isize;
+        let mut or_pipe = false;
+        while i < close {
+            match toks[i].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "|" if depth == 0 => or_pipe = true,
+                "=>" if depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        let _ = or_pipe;
+        if i >= close {
+            break;
+        }
+        let pat_end = i; // exclusive, points at `=>`
+        i += 1;
+        // Body: a brace block, or tokens to the next `,` at depth 0.
+        let body_start = i;
+        let body_end;
+        if toks.get(i).map(|t| t.text.as_str()) == Some("{") {
+            let Some(bclose) = matching_brace(toks, i) else { break };
+            body_end = bclose + 1;
+            i = bclose + 1;
+            if toks.get(i).map(|t| t.text.as_str()) == Some(",") {
+                i += 1;
+            }
+        } else {
+            let mut depth = 0isize;
+            while i < close {
+                match toks[i].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "," if depth == 0 => break,
+                    _ => {}
+                }
+                i += 1;
+            }
+            body_end = i;
+            if i < close {
+                i += 1; // past the `,`
+            }
+        }
+        if pat_end > pat_start {
+            out.push(Arm { pat: (pat_start, pat_end), body: (body_start, body_end) });
+        }
+    }
+    out
+}
+
+fn check_dispatch(
+    file: &SourceFile,
+    cfg: &LintConfig,
+    ws: &WorkspaceIndex,
+    open: usize,
+    close: usize,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &file.tokens;
+    let arms = arms(toks, open, close);
+    if arms.is_empty() {
+        return;
+    }
+
+    for enum_name in &cfg.wire_enums {
+        let Some(declared) = ws.enum_variants.get(enum_name.as_str()) else { continue };
+
+        // Variants of this enum named across all arm patterns. Count only
+        // qualified uses (`Enum::Variant`) plus bare idents that are
+        // declared variants — bare idents in binding position (`t =>`) are
+        // handled by the catch-all check instead.
+        let mut named: BTreeSet<&str> = BTreeSet::new();
+        let mut catch_all: Option<&Arm> = None;
+        for arm in &arms {
+            let pat = &toks[arm.pat.0..arm.pat.1];
+            let mut qualified_hit = false;
+            for w in pat.windows(3) {
+                if w[0].text == *enum_name
+                    && w[1].text == "::"
+                    && declared.contains(w[2].text.as_str())
+                {
+                    named.insert(w[2].text.as_str());
+                    qualified_hit = true;
+                }
+            }
+            if !qualified_hit {
+                for t in pat {
+                    if t.kind == TokKind::Ident && declared.contains(t.text.as_str()) {
+                        named.insert(t.text.as_str());
+                    }
+                }
+            }
+            if is_catch_all(pat) {
+                catch_all = Some(arm);
+            }
+        }
+        if named.len() < cfg.dispatch_threshold {
+            continue;
+        }
+        let Some(ca) = catch_all else { continue };
+        let body = &toks[ca.body.0..ca.body.1.min(toks.len())];
+        if body.iter().any(|t| LOUD_IDENTS.contains(&t.text.as_str())) {
+            continue; // loud wildcard: rejects unknown variants, as decoders must
+        }
+        let missing: Vec<&str> =
+            declared.iter().map(|s| s.as_str()).filter(|v| !named.contains(*v)).collect();
+        let at = &toks[ca.pat.0];
+        let msg = if missing.is_empty() {
+            format!(
+                "quiet catch-all in a {enum_name} dispatcher; it will silently swallow \
+                 any future variant — enumerate the variants explicitly so rustc \
+                 enforces exhaustiveness"
+            )
+        } else {
+            format!(
+                "quiet catch-all in a {enum_name} dispatcher silently swallows: {}; \
+                 enumerate these variants explicitly so rustc enforces exhaustiveness",
+                missing.join(", ")
+            )
+        };
+        out.push(finding("WX01", file, at, msg));
+        return; // one finding per match is enough
+    }
+}
+
+/// A catch-all pattern: `_`, or a single non-keyword lowercase binding
+/// (`t`, `other`), optionally with a leading `ref`/`mut`.
+fn is_catch_all(pat: &[Tok]) -> bool {
+    let pat: Vec<&Tok> = pat.iter().filter(|t| !matches!(t.text.as_str(), "ref" | "mut")).collect();
+    match pat.as_slice() {
+        [t] => {
+            t.text == "_"
+                || (t.kind == TokKind::Ident
+                    && t.text.chars().next().map(|c| c.is_ascii_lowercase()).unwrap_or(false))
+        }
+        _ => false,
+    }
+}

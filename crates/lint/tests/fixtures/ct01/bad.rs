@@ -1,0 +1,13 @@
+// CT01 fixture: timing-unsafe authenticator comparisons (must fire).
+
+pub fn check_mac(expected_mac: &[u8], got_mac: &[u8]) -> bool {
+    expected_mac == got_mac
+}
+
+pub fn reject_sig(signature: &[u8], wire_sig: &[u8]) -> bool {
+    signature != wire_sig
+}
+
+pub fn digest_match(digest: [u8; 32], other: [u8; 32]) -> bool {
+    digest == other
+}

@@ -1,0 +1,33 @@
+// CT01 fixture: comparisons that must NOT fire.
+
+pub const TAG_LEN: usize = 16;
+
+// Length checks are public: a window mentioning `.len()` is exempt.
+pub fn check_len(tag: &[u8]) -> bool {
+    tag.len() == TAG_LEN
+}
+
+// SCREAMING_CASE constants are lengths/limits, never secret bytes.
+pub fn check_version(version: u8) -> bool {
+    version == 3
+}
+
+// The sanctioned constant-time comparison takes the operands as call
+// arguments; no `==` appears.
+pub fn check_ct(mac: &[u8], other: &[u8]) -> bool {
+    ct_eq(mac, other)
+}
+
+fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test assertions on authenticators are fine: tests are not oracles.
+    #[test]
+    fn mac_equality_in_tests_is_exempt() {
+        let mac = [0u8; 4];
+        assert!(mac == [0u8; 4]);
+    }
+}

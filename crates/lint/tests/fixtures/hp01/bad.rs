@@ -1,0 +1,20 @@
+// HP01 fixture: panic sources in a hot-path module (must fire).
+// The path fragment `fixtures/hp01/` is in the default hot-path list.
+
+pub fn forward(buf: &[u8]) -> u8 {
+    *buf.first().unwrap()
+}
+
+pub fn must(v: Option<u8>) -> u8 {
+    v.expect("present")
+}
+
+pub fn header(buf: &[u8]) -> &[u8] {
+    &buf[..8]
+}
+
+pub fn assert_state(ready: bool) {
+    if !ready {
+        panic!("not ready");
+    }
+}

@@ -1,0 +1,24 @@
+// HP01 fixture: the same operations made panic-free (must NOT fire).
+
+pub fn forward(buf: &[u8]) -> u8 {
+    buf.first().copied().unwrap_or(0)
+}
+
+pub fn header(buf: &[u8]) -> Option<&[u8]> {
+    buf.get(..8)
+}
+
+pub fn must(v: Option<u8>) -> u8 {
+    v.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Test code may unwrap: a failing test *should* panic.
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        assert_eq!(forward(&[7]), Some(7).unwrap());
+    }
+}

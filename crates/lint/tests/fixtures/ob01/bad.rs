@@ -1,0 +1,14 @@
+// OB01 fixture: single-writer counter discipline violations in a module
+// that is NOT on the allowlist (must fire).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &Counter) {
+    counter.inc_single_writer(1);
+}
+
+pub fn racy(cell: &AtomicU64) {
+    cell.store(cell.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+}
+
+pub struct Counter;

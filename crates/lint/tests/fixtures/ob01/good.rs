@@ -1,0 +1,15 @@
+// OB01 fixture: this path is on the default allowlist (it models a
+// module owned by exactly one writer thread), so the single-writer
+// increment is sanctioned here (must NOT fire).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &Counter) {
+    counter.inc_single_writer(1);
+}
+
+pub fn read(cell: &AtomicU64) -> u64 {
+    cell.load(Ordering::Relaxed)
+}
+
+pub struct Counter;

@@ -1,0 +1,15 @@
+// SK01 fixture: secret key material reaching Debug/format output (must fire).
+
+#[derive(Clone, Debug)]
+pub struct Identity {
+    pub label: String,
+    pub seed: [u8; 32],
+}
+
+pub fn log_key(session_key: &[u8]) -> String {
+    format!("session key: {session_key:?}")
+}
+
+pub fn trace_seed(seed: [u8; 32]) {
+    println!("booting with seed {seed:?}");
+}

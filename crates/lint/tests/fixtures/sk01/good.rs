@@ -1,0 +1,26 @@
+// SK01 fixture: redaction and public values (must NOT fire).
+
+pub struct Identity {
+    pub label: String,
+    pub seed: [u8; 32],
+}
+
+// The fix for the bad fixture: a manual impl that never touches the bytes.
+impl std::fmt::Debug for Identity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Identity({}, seed: [redacted])", self.label)
+    }
+}
+
+// Secret-*named* field of a non-raw type: `PublicTag` is not key bytes.
+#[derive(Debug)]
+pub struct TagInfo {
+    pub key: PublicTag,
+}
+
+#[derive(Debug)]
+pub struct PublicTag;
+
+pub fn log_name(label: &str) -> String {
+    format!("node label: {label}")
+}

@@ -1,0 +1,10 @@
+// Suppression fixture: an allow WITH a reason suppresses the finding.
+
+pub fn check_mac(mac: &[u8], other: &[u8]) -> bool {
+    // gdp-lint: allow(CT01) -- fixture: deliberate, reasoned suppression
+    mac == other
+}
+
+pub fn trailing(sig: &[u8], other: &[u8]) -> bool {
+    sig != other // gdp-lint: allow(CT01) -- fixture: same-line suppression
+}

@@ -1,0 +1,5 @@
+// US01 fixture: unsafe without a SAFETY justification (must fire).
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

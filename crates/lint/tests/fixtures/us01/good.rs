@@ -1,0 +1,7 @@
+// US01 fixture: justified unsafe (must NOT fire).
+
+pub fn peek(v: &[u8]) -> u8 {
+    // SAFETY: callers pass a non-empty slice, so the pointer is valid for
+    // a one-byte read.
+    unsafe { *v.as_ptr() }
+}

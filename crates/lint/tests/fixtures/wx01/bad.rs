@@ -1,0 +1,20 @@
+// WX01 fixture: a quiet catch-all in a wire-enum dispatcher (must fire).
+
+pub enum DataMsg {
+    Append,
+    Read,
+    Subscribe,
+    Event,
+    ErrResp,
+    Replicate,
+}
+
+pub fn dispatch(msg: DataMsg) -> u32 {
+    match msg {
+        DataMsg::Append => 1,
+        DataMsg::Read => 2,
+        DataMsg::Subscribe => 3,
+        DataMsg::Event => 4,
+        _ => 0,
+    }
+}

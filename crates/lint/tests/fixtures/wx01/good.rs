@@ -1,0 +1,39 @@
+// WX01 fixture: dispatch shapes that must NOT fire.
+
+pub enum PduType {
+    Data,
+    Advertise,
+    Lookup,
+    Control,
+    Error,
+}
+
+// Fully exhaustive: rustc enforces coverage of future variants.
+pub fn dispatch(t: PduType) -> u32 {
+    match t {
+        PduType::Data => 1,
+        PduType::Advertise => 2,
+        PduType::Lookup => 3,
+        PduType::Control | PduType::Error => 4,
+    }
+}
+
+// A loud wildcard (rejects unknown input) is the decoder idiom and is fine.
+pub fn decode(tag: u8) -> Result<PduType, u8> {
+    match tag {
+        0 => Ok(PduType::Data),
+        1 => Ok(PduType::Advertise),
+        2 => Ok(PduType::Lookup),
+        3 => Ok(PduType::Control),
+        4 => Ok(PduType::Error),
+        t => Err(t),
+    }
+}
+
+// Below the dispatcher threshold: a small predicate match may use `_`.
+pub fn is_data(t: &PduType) -> bool {
+    match t {
+        PduType::Data => true,
+        _ => false,
+    }
+}

@@ -1,0 +1,226 @@
+//! Fixture-corpus tests for every gdp-lint rule, the suppression
+//! mechanism, the JSON output contract, and the binary's exit codes.
+//!
+//! The corpus lives in `tests/fixtures/<rule>/{bad.rs,good.rs}`; fixture
+//! files are data, not compiled code. Assertions are line-accurate: a
+//! lexer or rule regression that shifts a diagnostic by one line fails
+//! here.
+
+use gdp_lint::{engine, LintConfig, Report};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Workspace-relative fixture root (`crates/lint/tests`). Lint paths are
+/// reported relative to this, so findings read `fixtures/ct01/bad.rs`.
+fn tests_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests")
+}
+
+/// Lints one fixture directory with the default workspace policy.
+fn lint_fixture(sub: &str) -> Report {
+    let root = tests_root();
+    let dir = root.join("fixtures").join(sub);
+    assert!(dir.is_dir(), "missing fixture dir {}", dir.display());
+    engine::lint_paths(&root, &[dir], &LintConfig::default(), false).expect("lint fixtures")
+}
+
+/// (rule, file, line) triples of a report's findings, sorted.
+fn triples(report: &Report) -> Vec<(String, String, usize)> {
+    report.findings.iter().map(|f| (f.rule.to_string(), f.path.clone(), f.line)).collect()
+}
+
+fn expect(rule: &str, file: &str, lines: &[usize]) -> Vec<(String, String, usize)> {
+    lines.iter().map(|&l| (rule.to_string(), file.to_string(), l)).collect()
+}
+
+#[test]
+fn ct01_flags_bad_and_passes_good() {
+    let report = lint_fixture("ct01");
+    assert_eq!(
+        triples(&report),
+        expect("CT01", "fixtures/ct01/bad.rs", &[4, 8, 12]),
+        "CT01 fixture drift"
+    );
+}
+
+#[test]
+fn sk01_flags_bad_and_passes_good() {
+    let report = lint_fixture("sk01");
+    // Line 3: derive(Debug) on a struct with a raw seed field.
+    // Lines 10/14: inline format captures of secret-named values.
+    assert_eq!(
+        triples(&report),
+        expect("SK01", "fixtures/sk01/bad.rs", &[3, 10, 14]),
+        "SK01 fixture drift"
+    );
+}
+
+#[test]
+fn hp01_flags_bad_and_passes_good() {
+    let report = lint_fixture("hp01");
+    // unwrap (5), expect (9), range index (13), panic! (18).
+    assert_eq!(
+        triples(&report),
+        expect("HP01", "fixtures/hp01/bad.rs", &[5, 9, 13, 18]),
+        "HP01 fixture drift"
+    );
+}
+
+#[test]
+fn ob01_flags_bad_and_passes_allowlisted_good() {
+    let report = lint_fixture("ob01");
+    // good.rs contains the identical inc_single_writer call but is on the
+    // allowlist; only bad.rs may fire.
+    assert_eq!(
+        triples(&report),
+        expect("OB01", "fixtures/ob01/bad.rs", &[7, 11]),
+        "OB01 fixture drift"
+    );
+}
+
+#[test]
+fn wx01_flags_bad_and_passes_good() {
+    let report = lint_fixture("wx01");
+    assert_eq!(
+        triples(&report),
+        expect("WX01", "fixtures/wx01/bad.rs", &[18]),
+        "WX01 fixture drift"
+    );
+    // The message must name exactly the swallowed variants.
+    let msg = &report.findings[0].message;
+    assert!(msg.contains("ErrResp, Replicate"), "missing variant list in: {msg}");
+}
+
+#[test]
+fn us01_flags_bad_and_passes_good() {
+    let report = lint_fixture("us01");
+    assert_eq!(
+        triples(&report),
+        expect("US01", "fixtures/us01/bad.rs", &[4]),
+        "US01 fixture drift"
+    );
+}
+
+#[test]
+fn suppression_round_trip() {
+    let report = lint_fixture("suppress");
+    // valid.rs: both findings carry a reasoned allow — suppressed, and
+    // *recorded* as suppressed (auditable, not invisible).
+    // invalid.rs: a reason-less allow (line 6) and a wrong-rule allow
+    // (line 11) must NOT suppress.
+    assert_eq!(
+        triples(&report),
+        expect("CT01", "fixtures/suppress/invalid.rs", &[6, 11]),
+        "invalid suppressions must not silence findings"
+    );
+    let mut suppressed: Vec<(String, usize)> =
+        report.suppressed.iter().map(|s| (s.path.clone(), s.line)).collect();
+    suppressed.sort();
+    assert_eq!(
+        suppressed,
+        vec![
+            ("fixtures/suppress/valid.rs".to_string(), 5),
+            ("fixtures/suppress/valid.rs".to_string(), 9)
+        ],
+        "valid suppressions must be recorded"
+    );
+}
+
+#[test]
+fn all_rule_ids_covered_by_fixture_corpus() {
+    let root = tests_root();
+    let report = engine::lint_paths(&root, &[root.join("fixtures")], &LintConfig::default(), false)
+        .expect("lint fixtures");
+    let by_rule = report.by_rule();
+    for rule in gdp_lint::rules::RULE_IDS {
+        assert!(
+            by_rule.get(rule).copied().unwrap_or(0) > 0,
+            "fixture corpus has no {rule} finding — a rule with no known-bad \
+             fixture is untested"
+        );
+    }
+}
+
+#[test]
+fn json_output_is_valid_and_has_adjacent_totals() {
+    let root = tests_root();
+    let report = engine::lint_paths(&root, &[root.join("fixtures")], &LintConfig::default(), false)
+        .expect("lint fixtures");
+    let doc = gdp_lint::report::json(&report);
+    gdp_obs::json::validate(&doc).expect("gdp-lint JSON must pass the gdp_obs validator");
+    // verify.sh extracts these with sed; keep them present and adjacent.
+    let f_at = doc.find("\"findings_total\"").expect("findings_total key");
+    let s_at = doc.find("\"suppressed_total\"").expect("suppressed_total key");
+    assert!(f_at < s_at, "findings_total must precede suppressed_total");
+    // Empty-report JSON must be valid too.
+    let empty = gdp_lint::report::json(&Report::default());
+    gdp_obs::json::validate(&empty).expect("empty report JSON");
+}
+
+#[test]
+fn binary_exits_nonzero_on_fixture_corpus() {
+    let root = tests_root();
+    let out = Command::new(env!("CARGO_BIN_EXE_gdp-lint"))
+        .args(["--format", "json", "--root"])
+        .arg(&root)
+        .arg(root.join("fixtures"))
+        .output()
+        .expect("run gdp-lint");
+    assert_eq!(out.status.code(), Some(1), "fixtures must fail the lint");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    gdp_obs::json::validate(&stdout).expect("binary JSON must validate");
+    assert!(stdout.contains("\"findings_total\""));
+}
+
+#[test]
+fn binary_is_clean_on_the_workspace() {
+    // The acceptance bar for the whole PR: the production tree has zero
+    // unsuppressed findings. Runs the same default scan as verify.sh.
+    let ws_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let out = Command::new(env!("CARGO_BIN_EXE_gdp-lint"))
+        .args(["--format", "text", "--root"])
+        .arg(&ws_root)
+        .output()
+        .expect("run gdp-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "workspace must be lint-clean; findings:\n{stdout}");
+}
+
+#[test]
+fn us01_crate_level_forbid_check() {
+    // A crate with no unsafe and no `#![forbid(unsafe_code)]` in its root
+    // gets a crate-level US01; adding the attribute clears it. Uses a
+    // scratch tree because the real workspace is already compliant.
+    let base = std::env::temp_dir().join(format!("gdp-lint-us01-{}", std::process::id()));
+    let src = base.join("crates/demo/src");
+    std::fs::create_dir_all(&src).expect("mkdir scratch crate");
+
+    std::fs::write(src.join("lib.rs"), "pub fn f() -> u8 { 1 }\n").expect("write lib.rs");
+    let report = engine::lint_paths(&base, &[base.join("crates")], &LintConfig::default(), true)
+        .expect("lint scratch");
+    assert_eq!(
+        triples(&report),
+        expect("US01", "crates/demo/src/lib.rs", &[1]),
+        "missing forbid must fire a crate-level US01"
+    );
+
+    std::fs::write(src.join("lib.rs"), "#![forbid(unsafe_code)]\npub fn f() -> u8 { 1 }\n")
+        .expect("rewrite lib.rs");
+    let report = engine::lint_paths(&base, &[base.join("crates")], &LintConfig::default(), true)
+        .expect("lint scratch");
+    assert!(report.findings.is_empty(), "forbid must clear the finding");
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let a = lint_fixture("ct01");
+    let b = lint_fixture("ct01");
+    assert_eq!(triples(&a), triples(&b));
+    assert_eq!(gdp_lint::report::json(&a), gdp_lint::report::json(&b));
+}

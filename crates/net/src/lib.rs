@@ -22,6 +22,8 @@
 //! [`Transport`] trait captures the shared contract; the conformance
 //! suite in [`conformance`] checks every implementation against it.
 
+#![forbid(unsafe_code)]
+
 pub mod conformance;
 pub mod mem;
 pub mod sim;

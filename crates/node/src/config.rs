@@ -106,7 +106,10 @@ impl HostSpec {
 }
 
 /// Full configuration of one `gdpd` process.
-#[derive(Clone, Debug)]
+///
+/// `Debug` is implemented by hand: `seed` derives the node's signing key,
+/// so it must never reach logs or crash reports.
+#[derive(Clone)]
 pub struct NodeConfig {
     /// Protocol roles to run.
     pub role: Role,
@@ -135,6 +138,23 @@ pub struct NodeConfig {
     /// spawns N worker shards fed over bounded channels, with the FIB
     /// partitioned by destination-name hash (see `crate::shard`).
     pub shards: usize,
+}
+
+impl std::fmt::Debug for NodeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeConfig")
+            .field("role", &self.role)
+            .field("listen", &self.listen)
+            .field("seed", &"[redacted; 32 bytes]")
+            .field("label", &self.label)
+            .field("peers", &self.peers)
+            .field("router", &self.router)
+            .field("data_dir", &self.data_dir)
+            .field("stats_path", &self.stats_path)
+            .field("hosts", &self.hosts)
+            .field("shards", &self.shards)
+            .finish()
+    }
 }
 
 /// Config parse failures, with the offending key.
@@ -261,6 +281,7 @@ impl NodeConfig {
         };
         out.push_str(&format!("role = {role}\n"));
         out.push_str(&format!("listen = {}\n", self.listen));
+        // gdp-lint: allow(SK01) -- render() *is* the config file serializer; the seed is the file's contents, written only where the operator points it
         out.push_str(&format!("seed = {}\n", hex_encode(&self.seed)));
         out.push_str(&format!("label = {}\n", self.label));
         for p in &self.peers {

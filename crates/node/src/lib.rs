@@ -13,6 +13,8 @@
 //! sockets, and reads fail over to a surviving replica when a storage
 //! process dies (see `tests/live_cluster.rs`).
 
+#![forbid(unsafe_code)]
+
 pub mod client_io;
 pub mod config;
 pub mod node;

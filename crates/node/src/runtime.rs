@@ -258,6 +258,7 @@ impl<P: Copy + Eq + Hash> NodeRuntime<P> {
             FOREVER,
         );
         attach_directly(router, LOCAL_NID, &mut attacher, now)
+            // gdp-lint: allow(HP01) -- both halves of the attach run in-process with no I/O; failure is a construction-order bug, not a runtime condition
             .expect("local attach cannot fail: both halves are in-process");
     }
 

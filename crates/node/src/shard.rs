@@ -41,7 +41,10 @@ pub const SHARD_QUEUE: usize = 1024;
 /// Which shard owns a name. Names are SHA-256 outputs, so the leading
 /// 8 bytes are uniform and a plain modulus partitions evenly.
 pub fn shard_of(name: &Name, shards: usize) -> usize {
-    let word = u64::from_le_bytes(name.as_bytes()[..8].try_into().unwrap());
+    // `as_bytes` returns a `&[u8; NAME_LEN]`, so these indices are
+    // compile-time in-bounds: no slicing, no fallible conversion.
+    let b = name.as_bytes();
+    let word = u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);
     (word % shards.max(1) as u64) as usize
 }
 
@@ -129,6 +132,7 @@ impl ShardedEngine {
             let handle = std::thread::Builder::new()
                 .name(format!("gdp-shard-{i}"))
                 .spawn(move || shard_worker(router, rx, worker_net, worker_addrs))
+                // gdp-lint: allow(HP01) -- runs once at engine construction, before the data plane is live; a node that cannot spawn its workers cannot serve at all
                 .expect("spawn shard worker");
             workers.push(handle);
         }

@@ -22,6 +22,8 @@
 //! The JSON emitted here is hand-rolled (the build is offline; there is no
 //! serde) and checked by the minimal validator in [`json`].
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 
 use parking_lot::Mutex;

@@ -11,6 +11,8 @@
 //! security to prevent trivial man-in-the-middle attacks, i.e. ensure that
 //! people can not simply claim any name they desire."
 
+#![forbid(unsafe_code)]
+
 pub mod attach;
 pub mod dht;
 pub mod fib;

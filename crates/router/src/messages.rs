@@ -89,7 +89,6 @@ impl Wire for VerifiedRoute {
 
 /// Secure-advertisement handshake messages (PduType::Advertise).
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[allow(clippy::large_enum_variant)] // wire enums: size follows the protocol
 pub enum AdvertiseMsg {
     /// Advertiser → router: request to attach.
     Hello,

@@ -284,7 +284,13 @@ impl Router {
                 let emitted = self.handle_control(now, from, pdu);
                 out.extend(emitted);
             }
-            _ => self.forward_into(now, from, pdu, out),
+            // Control PDUs not addressed to this router (the guards
+            // above) are transit traffic: forward them like data. Named
+            // explicitly -- not `_` -- so adding a PduType variant forces a
+            // routing decision here instead of silently falling through.
+            PduType::Advertise | PduType::Lookup | PduType::RouterControl | PduType::Error => {
+                self.forward_into(now, from, pdu, out)
+            }
         }
     }
 
@@ -539,6 +545,7 @@ impl Router {
         let Some(catalog) = self.catalogs.get(&from) else {
             return Vec::new();
         };
+        // gdp-lint: allow(CT01) -- advert digests are public record identifiers; the security decision is the signature verification on the next clause
         if ext.advert_digest != catalog.digest || ext.verify(&catalog.advertiser).is_err() {
             self.stats.adverts_rejected += 1;
             self.obs.adverts_rejected.inc();

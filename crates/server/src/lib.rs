@@ -6,6 +6,8 @@
 //! and pushes pub-sub events (§V). The [`proto`] module defines the whole
 //! client↔server and server↔server data-plane protocol.
 
+#![forbid(unsafe_code)]
+
 pub mod proto;
 pub mod server;
 pub mod simnode;

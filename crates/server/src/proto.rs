@@ -200,7 +200,6 @@ impl ErrorCode {
 /// Authentication attached to a server response (paper §V "Secure
 /// Responses"): a full signature at flow start, an HMAC at steady state.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[allow(clippy::large_enum_variant)] // wire enum: size follows the protocol
 pub enum ResponseAuth {
     /// Ed25519 signature by the server's key, plus the server principal
     /// and its serving chain so the client can verify end to end.

@@ -34,6 +34,7 @@ pub fn check_invariants(cluster: &SimCluster) {
             let recs = cap.get_by_seq(seq);
             assert!(
                 recs.len() <= 1,
+                // gdp-lint: allow(SK01) -- GDP_SIM_SEED is the chaos-reproduction handle, deliberately printed so failures can be replayed; it is an RNG seed, not key material
                 "GDP_SIM_SEED={seed}: invariant 1 (fork-freedom): replica {label} \
                  holds {} distinct records at seq {seq}",
                 recs.len()
@@ -41,6 +42,7 @@ pub fn check_invariants(cluster: &SimCluster) {
             if let Some(r) = recs.first() {
                 let expect = cluster.written_hash(seq).unwrap_or_else(|| {
                     panic!(
+                        // gdp-lint: allow(SK01) -- GDP_SIM_SEED is the chaos-reproduction handle, deliberately printed so failures can be replayed; it is an RNG seed, not key material
                         "GDP_SIM_SEED={seed}: invariant 1: replica {label} holds seq {seq} \
                          which the writer never signed"
                     )
@@ -48,6 +50,7 @@ pub fn check_invariants(cluster: &SimCluster) {
                 assert_eq!(
                     r.hash(),
                     expect,
+                    // gdp-lint: allow(SK01) -- GDP_SIM_SEED is the chaos-reproduction handle, deliberately printed so failures can be replayed; it is an RNG seed, not key material
                     "GDP_SIM_SEED={seed}: invariant 1: replica {label} seq {seq} \
                      diverges from the writer chain"
                 );
@@ -61,6 +64,7 @@ pub fn check_invariants(cluster: &SimCluster) {
         for (label, cap) in &replicas {
             assert!(
                 cap.get(hash).is_some(),
+                // gdp-lint: allow(SK01) -- GDP_SIM_SEED is the chaos-reproduction handle, deliberately printed so failures can be replayed; it is an RNG seed, not key material
                 "GDP_SIM_SEED={seed}: invariant 2 (durability): acked append seq {seq} \
                  missing from replica {label} after recovery"
             );
@@ -80,6 +84,7 @@ pub fn check_invariants(cluster: &SimCluster) {
         let (lb, b) = &pair[1];
         assert_eq!(
             a, b,
+            // gdp-lint: allow(SK01) -- GDP_SIM_SEED is the chaos-reproduction handle, deliberately printed so failures can be replayed; it is an RNG seed, not key material
             "GDP_SIM_SEED={seed}: invariant 3 (convergence): replicas {la} and {lb} \
              disagree after heal + anti-entropy"
         );
@@ -90,6 +95,7 @@ pub fn check_invariants(cluster: &SimCluster) {
     let hard = cluster.hard_verification_failures();
     assert!(
         hard.is_empty(),
+        // gdp-lint: allow(SK01) -- GDP_SIM_SEED is the chaos-reproduction handle, deliberately printed so failures can be replayed; it is an RNG seed, not key material
         "GDP_SIM_SEED={seed}: invariant 4 (verifiability): hard verification failures: {hard:?}"
     );
 }

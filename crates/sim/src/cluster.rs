@@ -270,6 +270,7 @@ impl SimCluster {
         (0..STORAGE)
             .map(|i| {
                 let rt = self.runtimes[1 + i].as_ref().unwrap_or_else(|| {
+                    // gdp-lint: allow(SK01) -- the sim seed is the chaos-reproduction handle, deliberately printed so a failure can be replayed; it is an RNG seed, not key material
                     panic!("GDP_SIM_SEED={}: storage {i} still crashed at check time", self.seed)
                 });
                 let cap = rt

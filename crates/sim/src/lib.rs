@@ -12,6 +12,8 @@
 //! invariant checks (see `tests/chaos.rs` and DESIGN.md, "Simulation
 //! architecture").
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod check;
 pub mod cluster;

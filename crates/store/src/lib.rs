@@ -6,6 +6,8 @@
 //! an in-memory index rebuilt on open, and crash recovery that truncates a
 //! torn tail — plus a pure in-memory backend for simulation.
 
+#![forbid(unsafe_code)]
+
 pub mod crc;
 pub mod engine;
 pub mod file;

@@ -9,6 +9,8 @@
 //! this codec, so determinism here is a correctness requirement, not an
 //! optimization.
 
+#![forbid(unsafe_code)]
+
 pub mod bytes;
 pub mod codec;
 pub mod fasthash;

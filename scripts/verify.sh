@@ -2,8 +2,16 @@
 # Full verification gate: formatting, lints, release build, all tests.
 # This is what CI runs; keep it green before merging.
 #
+# Step order is deliberate and fail-fast, cheapest gate first:
+#   fmt -> clippy -> gdp-lint -> build --release -> test -> chaos sweep
+#   -> metric smoke -> bench JSON -> perf smoke
+# gdp-lint runs before the release build: it is a sub-second whole-
+# workspace scan, and a workspace-invariant violation (timing-unsafe
+# compare, secret in a log, hot-path panic, swallowed wire variant)
+# should fail the gate before minutes of compilation, not after.
+#
 # Usage: scripts/verify.sh [--quick]
-#   --quick   skip fmt/clippy (compile + test only)
+#   --quick   skip fmt/clippy/gdp-lint (compile + test only)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,6 +27,21 @@ if [ "$quick" -eq 0 ]; then
 
     step "cargo clippy (deny warnings)"
     cargo clippy --workspace --all-targets -- -D warnings
+
+    # Workspace-invariant static analysis (see DESIGN.md, "Static
+    # analysis"). Exits nonzero on any unsuppressed finding; the JSON
+    # report is kept as LINT.json for inspection and the summary line
+    # below is extracted from it (findings_total / suppressed_total).
+    step "gdp-lint (workspace invariants)"
+    cargo run -q -p gdp-lint -- --format json > LINT.json || {
+        cargo run -q -p gdp-lint -- --format text || true
+        printf '!!! gdp-lint found invariant violations (full report: LINT.json)\n'
+        exit 1
+    }
+    findings="$(sed -n 's/.*"findings_total": \([0-9]*\).*/\1/p' LINT.json)"
+    suppressed="$(sed -n 's/.*"suppressed_total": \([0-9]*\).*/\1/p' LINT.json)"
+    printf 'lint_findings_total %s\nlint_suppressed_total %s\n' \
+        "${findings:-?}" "${suppressed:-?}"
 fi
 
 step "cargo build --release"

@@ -46,6 +46,8 @@
 //! capsule.verify_history(&heartbeat).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use gdp_caapi as caapi;
 pub use gdp_capsule as capsule;
 pub use gdp_cert as cert;
