@@ -10,6 +10,10 @@
 //!                       (+ data-path ablations and the perf-smoke floor)
 //!   perf-smoke          re-measure 64 B forwarding; fail if >30% below
 //!                       the floor recorded in BENCH_fig6.json
+//!   store               storage engines at equal durability: segmented
+//!                       group-commit log vs per-capsule files, appends/s
+//!                       and p99 ack latency at 1 / 10k / 100k capsules,
+//!                       plus bounded crash recovery (BENCH_store.json)
 //!   fig8                case-study read/write times (28 MB and 115 MB)
 //!   fig8-quick          same, 4 MB model (fast smoke run)
 //!   table1              goal → enabling feature → demonstration test
@@ -22,7 +26,7 @@
 //! ```
 
 use gdp_bench::table::{rate, secs, Table};
-use gdp_bench::{ablations, fig6, fig8};
+use gdp_bench::{ablations, fig6, fig8, storebench};
 use gdp_obs::json;
 use gdp_sim::workload;
 
@@ -150,7 +154,160 @@ fn run_perf_smoke() {
         );
         std::process::exit(1);
     }
+
+    // Store floor: re-measure segmented durable appends at the same
+    // workload the floor in BENCH_store.json was recorded at.
+    let doc = match std::fs::read_to_string("BENCH_store.json") {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf-smoke: BENCH_store.json not readable ({e}); run `report store` first");
+            std::process::exit(2);
+        }
+    };
+    let floor = json_number(&doc[doc.find("\"store_floor\"").unwrap_or(0)..], "appends_per_sec")
+        .unwrap_or_else(|| {
+            eprintln!("perf-smoke: no store_floor in BENCH_store.json; run `report store` first");
+            std::process::exit(2);
+        });
+    let dir = std::env::temp_dir().join(format!("gdp-perf-smoke-store-{}", std::process::id()));
+    let measured = (0..3)
+        .map(|i| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let r = storebench::seg_append_rate(
+                &dir,
+                storebench::FLOOR_CAPSULES,
+                storebench::FLOOR_APPENDS,
+            );
+            if i == 2 {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            r
+        })
+        .fold(0.0f64, f64::max);
+    let threshold = floor * 0.7;
+    println!(
+        "perf-smoke: segmented store {measured:.0} appends/s (floor {floor:.0}, threshold {threshold:.0})"
+    );
+    if measured < threshold {
+        eprintln!(
+            "perf-smoke: FAIL — segmented durable appends regressed >30% below the recorded \
+             floor ({measured:.0} < {threshold:.0} appends/s)"
+        );
+        std::process::exit(1);
+    }
     println!("perf-smoke: OK");
+}
+
+/// Storage-engine comparison at equal durability (every append acked
+/// durable before it counts), across capsule counts, plus the bounded
+/// crash-recovery series. Emits `BENCH_store.json` with the segmented
+/// speedup and recovery bound asserted before writing: a build where the
+/// segmented engine is not ≥10× the file engine at 10k+ capsules, or
+/// where recovery replays more than the checkpoint tail, fails here.
+fn run_store() {
+    let dir = std::env::temp_dir().join(format!("gdp-report-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+
+    println!("Storage engines — durably-acked appends/s and p99 ack latency");
+    println!(
+        "(file = one log + fsync per capsule per append, ≤{} resident fds;\n\
+         \x20segmented = shared log, one fsync per {}-append group commit)\n",
+        storebench::FD_BUDGET,
+        storebench::GROUP_SIZE
+    );
+    let mut t = Table::new(&[
+        "capsules",
+        "appends",
+        "file app/s",
+        "file p99 µs",
+        "seg app/s",
+        "seg p99 µs",
+        "speedup",
+    ]);
+    let mut points_json = Vec::new();
+    let mut floor_assert_ok = true;
+    for (capsules, appends) in [(1usize, 2_000usize), (10_000, 10_000), (100_000, 10_000)] {
+        let p =
+            storebench::append_comparison(&dir.join(format!("ap-{capsules}")), capsules, appends);
+        t.row(&[
+            capsules.to_string(),
+            appends.to_string(),
+            rate(p.file.per_sec),
+            p.file.p99_us.to_string(),
+            rate(p.seg.per_sec),
+            p.seg.p99_us.to_string(),
+            format!("{:.1}x", p.speedup()),
+        ]);
+        if capsules >= 10_000 && p.speedup() < 10.0 {
+            floor_assert_ok = false;
+        }
+        points_json.push(format!(
+            "{{\"capsules\":{},\"appends\":{},\"file_per_sec\":{:.3},\"file_p99_us\":{},\
+             \"seg_per_sec\":{:.3},\"seg_p99_us\":{},\"speedup\":{:.3}}}",
+            p.capsules,
+            p.appends,
+            p.file.per_sec,
+            p.file.p99_us,
+            p.seg.per_sec,
+            p.seg.p99_us,
+            p.speedup()
+        ));
+    }
+    t.print();
+    assert!(
+        floor_assert_ok,
+        "store bench: segmented engine is <10x the file engine at 10k+ capsules"
+    );
+
+    println!("\ncrash recovery — reopen time vs log size (tail = entries past checkpoint):");
+    let mut t = Table::new(&["records", "tail", "file reopen µs", "seg reopen µs", "seg replayed"]);
+    let mut recovery_json = Vec::new();
+    for (records, tail) in [(4_000u64, 256u64), (16_000, 256)] {
+        // recovery_comparison asserts seg replayed exactly `tail` entries
+        // with no full scan — the bounded-recovery contract.
+        let p = storebench::recovery_comparison(&dir, records, tail);
+        t.row(&[
+            p.records.to_string(),
+            p.tail.to_string(),
+            p.file_us.to_string(),
+            p.seg_us.to_string(),
+            p.seg_stats.tail_entries.to_string(),
+        ]);
+        recovery_json.push(format!(
+            "{{\"records\":{},\"tail\":{},\"file_us\":{},\"seg_us\":{},\
+             \"seg_tail_entries\":{},\"seg_full_scan\":{}}}",
+            p.records, p.tail, p.file_us, p.seg_us, p.seg_stats.tail_entries, p.seg_stats.full_scan
+        ));
+    }
+    t.print();
+    println!(
+        "\nshape: the file store re-scans every record on reopen; the segmented log\n\
+         replays exactly the checkpointed tail (asserted above) and stays well\n\
+         below the full re-scan."
+    );
+
+    let floor = storebench::seg_append_rate(
+        &dir.join("floor"),
+        storebench::FLOOR_CAPSULES,
+        storebench::FLOOR_APPENDS,
+    );
+    write_bench_json(
+        "BENCH_store.json",
+        format!(
+            "{{\"figure\":\"store\",\"group_size\":{},\"fd_budget\":{},\
+             \"append_points\":[{}],\"recovery\":[{}],\
+             \"store_floor\":{{\"capsules\":{},\"appends\":{},\"appends_per_sec\":{:.3}}}}}",
+            storebench::GROUP_SIZE,
+            storebench::FD_BUDGET,
+            points_json.join(","),
+            recovery_json.join(","),
+            storebench::FLOOR_CAPSULES,
+            storebench::FLOOR_APPENDS,
+            floor
+        ),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Prints the Fig 8 tables for the given model sizes and emits
@@ -241,6 +398,7 @@ fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     match what.as_str() {
         "fig6" => run_fig6(),
+        "store" => run_store(),
         "perf-smoke" => run_perf_smoke(),
         "fig8" => run_fig8("full", 5, FIG8_FULL),
         "fig8-quick" => run_fig8("quick", 2, &[("4 MB model", 4_000_000)]),
@@ -252,6 +410,7 @@ fn main() {
         "ablation-batch" => ablations::read_batch(),
         "all" => {
             run_fig6();
+            run_store();
             run_fig8("full", 5, FIG8_FULL);
             run_table1();
             ablations::hashptr(4096);
@@ -262,7 +421,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("known: fig6 perf-smoke fig8 fig8-quick table1 ablation-hashptr ablation-durability ablation-session ablation-anycast all");
+            eprintln!("known: fig6 store perf-smoke fig8 fig8-quick table1 ablation-hashptr ablation-durability ablation-session ablation-anycast all");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,251 @@
+//! Storage-engine benchmark: the shared segmented group-commit log vs
+//! per-capsule file stores, compared **at equal durability** — every
+//! append in the timed region is acked durable (fsynced) before it
+//! counts. That is the comparison the engine exists for: `FileStore`
+//! with `fsync = always` pays one `fdatasync` per record per file (plus
+//! an open/scan/close cycle per append once the capsule count exceeds
+//! the fd budget), while the segmented engine batches every capsule's
+//! appends into one segment write and one covering fsync.
+//!
+//! Recovery is measured the same way the engine bounds it: the segmented
+//! log replays only the checkpointed tail (asserted via
+//! [`RecoveryStats::tail_entries`], not wall-clock), while the file
+//! store re-scans its entire log.
+
+use gdp_capsule::{Record, RecordHash};
+use gdp_crypto::SigningKey;
+use gdp_store::{
+    AppendAck, CapsuleStore, FileStore, FsyncPolicy, RecoveryStats, SegConfig, SegLog,
+};
+use gdp_wire::Name;
+use std::path::Path;
+use std::time::Instant;
+
+/// Appends per covering flush in the segmented timed loop — the batch a
+/// 5 ms group-commit window collects at the measured rates.
+pub const GROUP_SIZE: usize = 64;
+
+/// Open file stores the file engine may keep resident; beyond this the
+/// bench models a bounded-fd node (open + append + fsync + close per
+/// append), which is what a real deployment at 100k capsules does.
+pub const FD_BUDGET: usize = 4096;
+
+/// Workload the perf-smoke store floor is recorded at — and re-measured
+/// at, so the comparison is like-for-like.
+pub const FLOOR_CAPSULES: usize = 1_000;
+/// Appends in the floor measurement.
+pub const FLOOR_APPENDS: usize = 5_000;
+
+/// One engine's measured side of an append comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineSide {
+    /// Durably-acked appends per second over the whole timed region.
+    pub per_sec: f64,
+    /// 99th-percentile append→durable-ack latency (µs).
+    pub p99_us: u64,
+}
+
+/// Both engines at one capsule count.
+#[derive(Clone, Copy, Debug)]
+pub struct AppendPoint {
+    /// Logical streams the appends round-robin over.
+    pub capsules: usize,
+    /// Total appends in the timed region.
+    pub appends: usize,
+    pub file: EngineSide,
+    pub seg: EngineSide,
+}
+
+impl AppendPoint {
+    /// Segmented-over-file speedup on acked appends/s.
+    pub fn speedup(&self) -> f64 {
+        self.seg.per_sec / self.file.per_sec
+    }
+}
+
+/// Crash-recovery comparison at one log size.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryPoint {
+    /// Records in the log before the simulated crash.
+    pub records: u64,
+    /// Records appended after the last segmented checkpoint.
+    pub tail: u64,
+    /// File-store reopen time (scans all `records`), µs.
+    pub file_us: u64,
+    /// Segmented reopen time (replays only `tail`), µs.
+    pub seg_us: u64,
+    /// What the segmented recovery actually did.
+    pub seg_stats: RecoveryStats,
+}
+
+/// Pre-signs `total` records round-robin over `capsules` writer chains,
+/// so signing cost never pollutes the timed append region. One writer
+/// key serves every chain — the store layer never verifies signatures.
+fn mk_workload(capsules: usize, total: usize) -> (Vec<Name>, Vec<Record>) {
+    let writer = SigningKey::from_seed(&[0xBE; 32]);
+    let names: Vec<Name> =
+        (0..capsules).map(|i| Name::from_content(format!("bench-cap-{i}").as_bytes())).collect();
+    let mut seqs = vec![0u64; capsules];
+    let mut prevs: Vec<RecordHash> = names.iter().map(RecordHash::anchor).collect();
+    let mut records = Vec::with_capacity(total);
+    for i in 0..total {
+        let c = i % capsules;
+        seqs[c] += 1;
+        let r = Record::create(
+            &names[c],
+            &writer,
+            seqs[c],
+            0,
+            prevs[c],
+            vec![],
+            format!("store bench payload {i}").into_bytes(),
+        );
+        prevs[c] = r.hash();
+        records.push(r);
+    }
+    (names, records)
+}
+
+fn p99(mut latencies: Vec<u64>) -> u64 {
+    latencies.sort_unstable();
+    if latencies.is_empty() {
+        return 0;
+    }
+    latencies[(latencies.len() - 1) * 99 / 100]
+}
+
+/// File engine, durably acked: `fsync = always`, one log file per
+/// capsule. Stores stay open up to [`FD_BUDGET`] capsules; beyond that
+/// every append is an open/append/close cycle.
+fn bench_file(dir: &Path, names: &[Name], records: &[Record]) -> EngineSide {
+    let path_of = |name: &Name| dir.join("file-engine").join(format!("{}.log", name.to_hex()));
+    let resident = names.len() <= FD_BUDGET;
+    let mut open: Vec<Option<FileStore>> = Vec::new();
+    if resident {
+        for name in names {
+            let s = FileStore::open(path_of(name))
+                .and_then(|s| s.with_policy(FsyncPolicy::Always))
+                .expect("open file store");
+            open.push(Some(s));
+        }
+    }
+    let mut lat = Vec::with_capacity(records.len());
+    let start = Instant::now();
+    for (i, r) in records.iter().enumerate() {
+        let t0 = Instant::now();
+        let c = i % names.len();
+        if resident {
+            let store = open[c].as_mut().expect("resident store");
+            assert_eq!(store.append_acked(r).expect("append"), AppendAck::Durable);
+        } else {
+            let mut store = FileStore::open(path_of(&names[c]))
+                .and_then(|s| s.with_policy(FsyncPolicy::Always))
+                .expect("open file store");
+            assert_eq!(store.append_acked(r).expect("append"), AppendAck::Durable);
+        }
+        lat.push(t0.elapsed().as_micros() as u64);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    EngineSide { per_sec: records.len() as f64 / secs.max(1e-9), p99_us: p99(lat) }
+}
+
+/// Segmented engine, durably acked: appends batch into the shared log
+/// and a covering `flush_now` every [`GROUP_SIZE`] appends makes them
+/// durable; a record's latency runs from its append to that flush.
+fn bench_seg(dir: &Path, names: &[Name], records: &[Record]) -> EngineSide {
+    let scope = gdp_obs::Metrics::new().scope("store");
+    let cfg = SegConfig { policy: FsyncPolicy::DEFAULT_BATCH, ..SegConfig::default() };
+    let log = SegLog::open_with(dir.join("seg-engine"), cfg, &scope).expect("open seg log");
+    let mut handles: Vec<_> = names.iter().map(|n| log.handle(*n)).collect();
+    let mut lat = Vec::with_capacity(records.len());
+    let mut pending: Vec<Instant> = Vec::with_capacity(GROUP_SIZE);
+    let mut now_us = 0u64;
+    let start = Instant::now();
+    for (i, r) in records.iter().enumerate() {
+        let c = i % names.len();
+        pending.push(Instant::now());
+        match handles[c].append_acked(r).expect("append") {
+            AppendAck::Pending(_) | AppendAck::Durable => {}
+        }
+        if pending.len() >= GROUP_SIZE || i == records.len() - 1 {
+            now_us += 5_000;
+            log.flush_now(now_us).expect("flush");
+            for t0 in pending.drain(..) {
+                lat.push(t0.elapsed().as_micros() as u64);
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    EngineSide { per_sec: records.len() as f64 / secs.max(1e-9), p99_us: p99(lat) }
+}
+
+/// Runs both engines over the same pre-signed workload in fresh
+/// subdirectories of `dir`.
+pub fn append_comparison(dir: &Path, capsules: usize, appends: usize) -> AppendPoint {
+    let (names, records) = mk_workload(capsules, appends);
+    let file = bench_file(dir, &names, &records);
+    let seg = bench_seg(dir, &names, &records);
+    AppendPoint { capsules, appends, file, seg }
+}
+
+/// Quick segmented-only re-measurement (the perf-smoke probe).
+pub fn seg_append_rate(dir: &Path, capsules: usize, appends: usize) -> f64 {
+    let (names, records) = mk_workload(capsules, appends);
+    bench_seg(dir, &names, &records).per_sec
+}
+
+/// Builds a segmented log of `records` entries with a checkpoint
+/// covering all but the last `tail`, plus a file-store log of the same
+/// `records` count, then measures both engines' reopen (crash-recovery)
+/// time. The segmented bound is asserted structurally: recovery must
+/// replay exactly `tail` entries and never fall back to a full scan.
+pub fn recovery_comparison(dir: &Path, records: u64, tail: u64) -> RecoveryPoint {
+    assert!(tail < records);
+    let streams = 16usize;
+    let (names, all) = mk_workload(streams, records as usize);
+
+    // Segmented: checkpoint after `records - tail`, then the tail.
+    let seg_dir = dir.join(format!("seg-recover-{records}"));
+    let scope = gdp_obs::Metrics::new().scope("store");
+    let cfg = SegConfig { policy: FsyncPolicy::DEFAULT_BATCH, ..SegConfig::default() };
+    {
+        let log = SegLog::open_with(&seg_dir, cfg.clone(), &scope).expect("open seg log");
+        let mut handles: Vec<_> = names.iter().map(|n| log.handle(*n)).collect();
+        let mut now_us = 0u64;
+        for (i, r) in all.iter().enumerate() {
+            handles[i % streams].append_acked(r).expect("append");
+            if i as u64 + 1 == records - tail {
+                now_us += 5_000;
+                log.checkpoint_now(now_us).expect("checkpoint");
+            }
+        }
+        now_us += 5_000;
+        log.flush_now(now_us).expect("final flush");
+    }
+    let t0 = Instant::now();
+    let log = SegLog::open_with(&seg_dir, cfg, &scope).expect("reopen seg log");
+    let seg_us = t0.elapsed().as_micros() as u64;
+    let seg_stats = log.recovery_stats();
+    assert!(!seg_stats.full_scan, "recovery bench: checkpoint was not used");
+    assert_eq!(
+        seg_stats.tail_entries, tail,
+        "recovery bench: replayed tail != appended tail (bounded recovery is broken)"
+    );
+
+    // File store: one log holding the same record count; recovery always
+    // re-scans everything. The store never validates chaining, so the
+    // interleaved workload can be reused as-is.
+    let file_path = dir.join(format!("file-recover-{records}.log"));
+    {
+        let mut store = FileStore::open(&file_path).expect("open file store");
+        for r in &all {
+            store.append(r).expect("append");
+        }
+    }
+    let t0 = Instant::now();
+    let store = FileStore::open(&file_path).expect("reopen file store");
+    let file_us = t0.elapsed().as_micros() as u64;
+    assert_eq!(store.len() as u64, records);
+
+    RecoveryPoint { records, tail, file_us, seg_us, seg_stats }
+}

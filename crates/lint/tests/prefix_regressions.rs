@@ -130,3 +130,26 @@ fn fixed_shapes_stay_clean() {
     let found = findings_at("crates/node/src/shard.rs", src);
     assert!(found.is_empty(), "post-fix shard_of must be clean: {found:?}");
 }
+
+#[test]
+fn seglog_writer_is_hot_path() {
+    // crates/store/src/seglog/writer.rs joined the HP01 hot-path list
+    // with the segmented storage engine: every durable append crosses
+    // the group-commit writer, and a panic there loses the whole batch.
+    // Pin that the path stays on the list — a snippet that would be
+    // clean elsewhere must fire HP01 at this path.
+    let src = "fn stage(buf: &mut Vec<u8>, entry: &[u8]) {\n\
+               \x20   let len: u32 = entry.len().try_into().unwrap();\n\
+               \x20   buf.extend_from_slice(&len.to_le_bytes());\n\
+               }\n";
+    let found = findings_at("crates/store/src/seglog/writer.rs", src);
+    assert!(
+        found.contains(&("HP01".to_string(), 2)),
+        "unwrap in the seglog writer must fire HP01: {found:?}"
+    );
+    let elsewhere = findings_at("crates/store/src/file.rs", src);
+    assert!(
+        !elsewhere.iter().any(|(r, _)| r == "HP01"),
+        "the same snippet off the hot-path list must not fire HP01: {elsewhere:?}"
+    );
+}

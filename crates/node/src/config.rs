@@ -14,6 +14,12 @@
 //!                                # through (storage role; optional when
 //!                                # this node runs its own router)
 //! data_dir   = /var/lib/gdp      # optional: file-backed capsule stores
+//! store_engine = segmented       # file | segmented (default file);
+//!                                # segmented = one shared group-commit
+//!                                # log for all capsules (needs data_dir)
+//! fsync      = batch(5)          # never | always | batch(<ms>):
+//!                                # durability policy for the store
+//!                                # engine (needs data_dir)
 //! stats_path = /run/gdp/stats.json # optional: metrics dump target; the
 //!                                # daemon dumps on shutdown and whenever
 //!                                # `<stats_path>.request` appears
@@ -33,6 +39,7 @@
 
 use gdp_capsule::CapsuleMetadata;
 use gdp_cert::ServingChain;
+use gdp_store::FsyncPolicy;
 use gdp_wire::{Name, Wire};
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -58,6 +65,19 @@ impl Role {
     pub fn stores(self) -> bool {
         matches!(self, Role::Storage | Role::Both)
     }
+}
+
+/// Which storage engine backs hosted capsules when `data_dir` is set
+/// (without a `data_dir` everything is in memory and the engine choice
+/// is moot).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StoreEngine {
+    /// One append-only log file per capsule (`<data_dir>/<name>.log`).
+    #[default]
+    File,
+    /// One shared segmented log for the whole node, with group-commit,
+    /// checkpointed recovery, and compaction (`<data_dir>/seglog/`).
+    Segmented,
 }
 
 /// One capsule this node serves: metadata + this server's delegation +
@@ -127,6 +147,12 @@ pub struct NodeConfig {
     pub router: Option<Name>,
     /// Directory for file-backed capsule stores; in-memory when absent.
     pub data_dir: Option<PathBuf>,
+    /// Storage engine for hosted capsules (only meaningful with
+    /// `data_dir`; `segmented` requires it).
+    pub store_engine: StoreEngine,
+    /// Durability policy for the storage engine; `None` keeps each
+    /// engine's default (`never` for `file`, `batch(5)` for `segmented`).
+    pub fsync: Option<FsyncPolicy>,
     /// Where to dump the metrics registry as JSON. Dumped on shutdown,
     /// and on demand whenever a `<stats_path>.request` trigger file
     /// appears (the file is deleted once the dump is written).
@@ -150,6 +176,8 @@ impl std::fmt::Debug for NodeConfig {
             .field("peers", &self.peers)
             .field("router", &self.router)
             .field("data_dir", &self.data_dir)
+            .field("store_engine", &self.store_engine)
+            .field("fsync", &self.fsync)
             .field("stats_path", &self.stats_path)
             .field("hosts", &self.hosts)
             .field("shards", &self.shards)
@@ -190,6 +218,8 @@ impl NodeConfig {
         let mut label = None;
         let mut router = None;
         let mut data_dir = None;
+        let mut store_engine = None;
+        let mut fsync = None;
         let mut stats_path = None;
         let mut peers = Vec::new();
         let mut hosts = Vec::new();
@@ -231,6 +261,21 @@ impl NodeConfig {
                         Some(Name::from_hex(value).ok_or(ConfigError::bad("router", "bad name"))?)
                 }
                 "data_dir" => data_dir = Some(PathBuf::from(value)),
+                "store_engine" => {
+                    store_engine = Some(match value {
+                        "file" => StoreEngine::File,
+                        "segmented" => StoreEngine::Segmented,
+                        _ => {
+                            return Err(ConfigError::bad("store_engine", "must be file|segmented"))
+                        }
+                    })
+                }
+                "fsync" => {
+                    fsync = Some(
+                        FsyncPolicy::parse(value)
+                            .ok_or(ConfigError::bad("fsync", "must be never|always|batch(<ms>)"))?,
+                    )
+                }
                 "stats_path" => stats_path = Some(PathBuf::from(value)),
                 "host" => hosts.push(HostSpec::parse(value)?),
                 "shards" => {
@@ -253,12 +298,20 @@ impl NodeConfig {
             peers,
             router,
             data_dir,
+            store_engine: store_engine.unwrap_or_default(),
+            fsync,
             stats_path,
             hosts,
             shards: shards.unwrap_or(1),
         };
         if cfg.shards > 1 && cfg.role != Role::Router {
             return Err(ConfigError::bad("shards", "sharding requires role = router"));
+        }
+        if cfg.store_engine == StoreEngine::Segmented && cfg.data_dir.is_none() {
+            return Err(ConfigError::bad("store_engine", "segmented requires data_dir"));
+        }
+        if cfg.fsync.is_some() && cfg.data_dir.is_none() {
+            return Err(ConfigError::bad("fsync", "durability policy requires data_dir"));
         }
         if cfg.role == Role::Storage {
             if cfg.router.is_none() {
@@ -292,6 +345,12 @@ impl NodeConfig {
         }
         if let Some(d) = &self.data_dir {
             out.push_str(&format!("data_dir = {}\n", d.display()));
+        }
+        if self.store_engine != StoreEngine::File {
+            out.push_str("store_engine = segmented\n");
+        }
+        if let Some(p) = &self.fsync {
+            out.push_str(&format!("fsync = {}\n", p.render()));
         }
         if let Some(s) = &self.stats_path {
             out.push_str(&format!("stats_path = {}\n", s.display()));
@@ -352,6 +411,8 @@ mod tests {
             peers: vec!["127.0.0.1:7000".parse().unwrap()],
             router: Some(Name::from_content(b"router")),
             data_dir: Some(PathBuf::from("/tmp/gdp-test")),
+            store_engine: StoreEngine::Segmented,
+            fsync: Some(FsyncPolicy::Batch { interval_us: 7_000 }),
             stats_path: Some(PathBuf::from("/tmp/gdp-test/stats.json")),
             hosts: vec![sample_host()],
             shards: 1,
@@ -365,6 +426,8 @@ mod tests {
         assert_eq!(parsed.peers, cfg.peers);
         assert_eq!(parsed.router, cfg.router);
         assert_eq!(parsed.data_dir, cfg.data_dir);
+        assert_eq!(parsed.store_engine, cfg.store_engine);
+        assert_eq!(parsed.fsync, cfg.fsync);
         assert_eq!(parsed.stats_path, cfg.stats_path);
         assert_eq!(parsed.hosts.len(), 1);
         assert_eq!(parsed.hosts[0].metadata, cfg.hosts[0].metadata);
@@ -413,6 +476,37 @@ mod tests {
         assert_eq!(NodeConfig::parse(&format!("{base}shards = 0\n")).unwrap_err().key, "shards");
         let both = base.replace("role = router", "role = both");
         assert_eq!(NodeConfig::parse(&format!("{both}shards = 2\n")).unwrap_err().key, "shards");
+    }
+
+    #[test]
+    fn store_engine_and_fsync_parse_render_and_validation() {
+        let base = "role = router\nlisten = 127.0.0.1:0\nseed = 0101010101010101010101010101010101010101010101010101010101010101\nlabel = r\n";
+        // Defaults: file engine, no explicit policy, keys not emitted.
+        let cfg = NodeConfig::parse(base).unwrap();
+        assert_eq!(cfg.store_engine, StoreEngine::File);
+        assert_eq!(cfg.fsync, None);
+        assert!(!cfg.render().contains("store_engine"));
+        assert!(!cfg.render().contains("fsync"));
+        // Explicit values round-trip.
+        let text =
+            format!("{base}data_dir = /tmp/d\nstore_engine = segmented\nfsync = batch(12)\n");
+        let cfg = NodeConfig::parse(&text).unwrap();
+        assert_eq!(cfg.store_engine, StoreEngine::Segmented);
+        assert_eq!(cfg.fsync, Some(FsyncPolicy::Batch { interval_us: 12_000 }));
+        let re = NodeConfig::parse(&cfg.render()).unwrap();
+        assert_eq!(re.store_engine, cfg.store_engine);
+        assert_eq!(re.fsync, cfg.fsync);
+        // Bad values are rejected with the offending key.
+        let err = NodeConfig::parse(&format!("{base}store_engine = sqlite\n")).unwrap_err();
+        assert_eq!(err.key, "store_engine");
+        let err =
+            NodeConfig::parse(&format!("{base}data_dir = /tmp/d\nfsync = batch(0)\n")).unwrap_err();
+        assert_eq!(err.key, "fsync");
+        // Both knobs are meaningless without a data_dir: reject.
+        let err = NodeConfig::parse(&format!("{base}store_engine = segmented\n")).unwrap_err();
+        assert_eq!(err.key, "store_engine");
+        let err = NodeConfig::parse(&format!("{base}fsync = always\n")).unwrap_err();
+        assert_eq!(err.key, "fsync");
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod runtime;
 pub mod shard;
 
 pub use client_io::{ClientError, ClusterClient};
-pub use config::{ConfigError, HostSpec, NodeConfig, Role};
+pub use config::{ConfigError, HostSpec, NodeConfig, Role, StoreEngine};
 pub use node::{request_path, start, NodeError, NodeHandle, FOREVER};
 pub use runtime::{build_cores, build_cores_with_obs, NodeOutbox, NodeRuntime};
 pub use shard::{is_data_plane, shard_of, ShardedEngine};

@@ -11,12 +11,12 @@
 //! [`NodeRuntime::set_rng_seed`]) never touches OS randomness, which is
 //! what makes simulation runs byte-for-byte replayable.
 
-use crate::config::{NodeConfig, Role};
+use crate::config::{NodeConfig, Role, StoreEngine};
 use crate::node::NodeError;
 use gdp_obs::Metrics;
 use gdp_router::{attach_directly, AttachStep, Attacher, Router};
 use gdp_server::DataCapsuleServer;
-use gdp_store::{CapsuleStore, FileStore, MemStore};
+use gdp_store::{Backing, StorageEngine};
 use gdp_wire::{Name, Pdu};
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
@@ -45,8 +45,8 @@ enum ServerAttach {
 }
 
 /// Builds the protocol cores for a node config: the router (when the
-/// role routes) and the server with its hosted capsules mounted over
-/// file- or memory-backed stores (when the role stores).
+/// role routes) and the server with its hosted capsules mounted through
+/// the configured storage engine (when the role stores).
 ///
 /// Extracted from the TCP daemon so the simulator restarts a crashed
 /// node through the *same* code path — including `FileStore` torn-tail
@@ -79,21 +79,26 @@ pub fn build_cores_with_obs(
         if let Some(dir) = &cfg.data_dir {
             std::fs::create_dir_all(dir).map_err(|e| NodeError::Host(format!("data_dir: {e}")))?;
         }
-        let store_scope = metrics.scope("store");
+        // The storage engine maps the config's `data_dir`/`store_engine`/
+        // `fsync` knobs onto one backing shared by every hosted capsule:
+        // per-capsule log files, one shared segmented group-commit log, or
+        // memory when no data_dir is configured. Restart recovery (torn
+        // tails, checkpoint replay) happens inside the engine's open path,
+        // then `host_with_store` replays the store into the server core.
+        let backing = match (&cfg.data_dir, cfg.store_engine) {
+            (None, _) => Backing::Memory,
+            (Some(dir), StoreEngine::File) => Backing::Directory(dir.clone()),
+            (Some(dir), StoreEngine::Segmented) => Backing::Segmented(dir.join("seglog")),
+        };
+        let mut engine = StorageEngine::with_obs(backing, metrics.scope("store"));
+        if let Some(policy) = cfg.fsync {
+            engine = engine.with_policy(policy);
+        }
         for spec in &cfg.hosts {
             let capsule = spec.metadata.name();
-            // One append-only segment file per capsule (restart recovery
-            // happens inside host_with_store), or memory without data_dir.
-            let store: Box<dyn CapsuleStore> = match &cfg.data_dir {
-                Some(dir) => Box::new(
-                    FileStore::open_with(
-                        dir.join(format!("{}.log", capsule.to_hex())),
-                        &store_scope,
-                    )
-                    .map_err(|e| NodeError::Host(format!("open store: {e:?}")))?,
-                ),
-                None => Box::new(MemStore::new()),
-            };
+            let store = engine
+                .open_boxed(&capsule)
+                .map_err(|e| NodeError::Host(format!("open store: {e:?}")))?;
             server
                 .host_with_store(
                     spec.metadata.clone(),

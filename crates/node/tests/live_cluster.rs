@@ -12,7 +12,7 @@ use gdp_capsule::{MetadataBuilder, PointerStrategy};
 use gdp_cert::{AdCert, PrincipalId, PrincipalKind, Scope, ServingChain};
 use gdp_client::VerifiedRead;
 use gdp_crypto::SigningKey;
-use gdp_node::{ClusterClient, HostSpec, NodeConfig, Role, FOREVER};
+use gdp_node::{ClusterClient, HostSpec, NodeConfig, Role, StoreEngine, FOREVER};
 use gdp_router::Router;
 use gdp_server::{AckMode, ReadTarget};
 use std::io::{BufRead, BufReader};
@@ -106,6 +106,8 @@ fn three_process_cluster_with_failover() {
             peers: vec![],
             router: None,
             data_dir: None,
+            store_engine: StoreEngine::File,
+            fsync: None,
             stats_path: None,
             hosts: vec![],
             shards: 1,
@@ -121,6 +123,8 @@ fn three_process_cluster_with_failover() {
             peers: vec![router.listen],
             router: Some(router_name),
             data_dir: Some(dir.join(label)),
+            store_engine: StoreEngine::File,
+            fsync: None,
             stats_path: None,
             shards: 1,
             hosts: vec![HostSpec {
@@ -217,6 +221,8 @@ fn single_both_node_serves_clients() {
             peers: vec![],
             router: None,
             data_dir: Some(dir.join("data")),
+            store_engine: StoreEngine::File,
+            fsync: None,
             stats_path: None,
             shards: 1,
             hosts: vec![HostSpec { metadata: meta.clone(), chain, peers: vec![] }],

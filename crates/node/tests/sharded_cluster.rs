@@ -9,7 +9,9 @@
 use gdp_capsule::{MetadataBuilder, PointerStrategy};
 use gdp_cert::{AdCert, PrincipalId, PrincipalKind, Scope, ServingChain};
 use gdp_client::VerifiedRead;
-use gdp_node::{node, request_path, ClusterClient, HostSpec, NodeConfig, Role, FOREVER};
+use gdp_node::{
+    node, request_path, ClusterClient, HostSpec, NodeConfig, Role, StoreEngine, FOREVER,
+};
 use gdp_router::Router;
 use gdp_server::{AckMode, ReadTarget};
 use std::time::{Duration, Instant};
@@ -50,6 +52,8 @@ fn sharded_router_carries_cluster_traffic() {
         peers: vec![],
         router: None,
         data_dir: None,
+        store_engine: StoreEngine::File,
+        fsync: None,
         stats_path: Some(stats.clone()),
         hosts: vec![],
         shards: 4,
@@ -74,6 +78,8 @@ fn sharded_router_carries_cluster_traffic() {
         peers: vec![router.local_addr()],
         router: Some(router_name),
         data_dir: None,
+        store_engine: StoreEngine::File,
+        fsync: None,
         stats_path: None,
         hosts: vec![HostSpec {
             metadata: meta.clone(),

@@ -2,7 +2,7 @@
 //! makes the event loop write the whole metric registry as one JSON
 //! document, and a stopping node leaves a final dump behind.
 
-use gdp_node::{node, request_path, NodeConfig, Role};
+use gdp_node::{node, request_path, NodeConfig, Role, StoreEngine};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -25,6 +25,8 @@ fn trigger_file_and_shutdown_both_dump_valid_json() {
         peers: vec![],
         router: None,
         data_dir: None,
+        store_engine: StoreEngine::File,
+        fsync: None,
         stats_path: Some(stats.clone()),
         hosts: vec![],
         shards: 1,

@@ -27,7 +27,7 @@ use gdp_cert::{CapsuleAdvert, PrincipalId, PrincipalKind, ServingChain};
 use gdp_crypto::x25519::EphemeralKeyPair;
 use gdp_crypto::{hkdf, Signature};
 use gdp_obs::{Counter, Scope as ObsScope};
-use gdp_store::{CapsuleStore, MemStore};
+use gdp_store::{AppendAck, CapsuleStore, MemStore};
 use gdp_wire::{Name, Pdu, PduType, Wire};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,6 +70,8 @@ struct ServerObs {
     sync_served: Counter,
     verify_failures: Counter,
     durability_timeouts: Counter,
+    acks_deferred: Counter,
+    acks_released: Counter,
 }
 
 impl ServerObs {
@@ -86,6 +88,8 @@ impl ServerObs {
             sync_served: scope.counter("sync_served"),
             verify_failures: scope.counter("verify_failures"),
             durability_timeouts: scope.counter("durability_timeouts"),
+            acks_deferred: scope.counter("acks_deferred"),
+            acks_released: scope.counter("acks_released"),
             scope: scope.clone(),
         }
     }
@@ -126,6 +130,17 @@ struct FlowSession {
     key: [u8; 32],
 }
 
+/// An ack (to a client or an upstream replica) held back because the
+/// record's covering group-commit fsync has not happened yet. Released by
+/// [`DataCapsuleServer::tick`] once the store's durable epoch reaches
+/// `epoch` — the paper's durability promise ("make information durable",
+/// §IV-B) means an ack must never outrun the disk.
+struct DeferredAck {
+    capsule: Name,
+    epoch: u64,
+    pdu: Pdu,
+}
+
 /// A DataCapsule-server.
 pub struct DataCapsuleServer {
     id: PrincipalId,
@@ -135,6 +150,8 @@ pub struct DataCapsuleServer {
     /// Flow keys per client name.
     sessions: HashMap<Name, FlowSession>,
     pending: Vec<PendingDurability>,
+    /// Acks awaiting their covering fsync (group-commit stores).
+    deferred: Vec<DeferredAck>,
     /// Statistics.
     pub stats: ServerStats,
     /// Cached metric handles (shared registry when built `with_obs`).
@@ -162,6 +179,7 @@ impl DataCapsuleServer {
             hosted: BTreeMap::new(),
             sessions: HashMap::new(),
             pending: Vec::new(),
+            deferred: Vec::new(),
             stats: ServerStats::default(),
             obs: ServerObs::new(obs),
             durability_timeout: 10_000_000,
@@ -301,6 +319,18 @@ impl DataCapsuleServer {
                     chain,
                     signature: sign_response(self.id.signing_key(), capsule, request_seq, body),
                 }
+            }
+        }
+    }
+
+    /// Emits `pdu` now if the record backing it is durable, or parks it
+    /// until the covering group-commit fsync (released by `tick`).
+    fn gate_ack(&mut self, capsule: &Name, ack: AppendAck, pdu: Pdu, out: &mut Vec<Pdu>) {
+        match ack {
+            AppendAck::Durable => out.push(pdu),
+            AppendAck::Pending(epoch) => {
+                self.obs.acks_deferred.inc();
+                self.deferred.push(DeferredAck { capsule: *capsule, epoch, pdu });
             }
         }
     }
@@ -474,14 +504,19 @@ impl DataCapsuleServer {
         let hash = record.hash();
         match hosted.capsule.ingest(record.clone()) {
             Ok(IngestOutcome::Duplicate) => {
-                // Idempotent: ack again.
+                // Idempotent: ack again — but a retry must not ack ahead
+                // of the stored record's covering fsync.
+                let dur = hosted.store.durability_of(&hash);
                 let body = append_ack_body(record_seq, &hash, 1);
                 let auth = self.auth_for(&capsule_name, &client, seq, &body);
-                return vec![self.data_pdu(
+                let pdu = self.data_pdu(
                     client,
                     seq,
                     &DataMsg::AppendAck { seq: record_seq, hash, replicas: 1, auth },
-                )];
+                );
+                let mut out = Vec::new();
+                self.gate_ack(&capsule_name, dur, pdu, &mut out);
+                return out;
             }
             Ok(_) => {}
             Err(e) => {
@@ -501,9 +536,12 @@ impl DataCapsuleServer {
                 )];
             }
         }
-        if hosted.store.append(&record).is_err() {
-            return vec![self.err_pdu(client, seq, ErrorCode::BadRequest, "storage failure")];
-        }
+        let ack = match hosted.store.append_acked(&record) {
+            Ok(a) => a,
+            Err(_) => {
+                return vec![self.err_pdu(client, seq, ErrorCode::BadRequest, "storage failure")]
+            }
+        };
         self.stats.appends += 1;
         self.obs.appends_committed.inc();
 
@@ -540,11 +578,12 @@ impl DataCapsuleServer {
         if needed == 0 {
             let body = append_ack_body(record_seq, &hash, 1);
             let auth = self.auth_for(&capsule_name, &client, seq, &body);
-            out.push(self.data_pdu(
+            let pdu = self.data_pdu(
                 client,
                 seq,
                 &DataMsg::AppendAck { seq: record_seq, hash, replicas: 1, auth },
-            ));
+            );
+            self.gate_ack(&capsule_name, ack, pdu, &mut out);
         } else {
             self.pending.push(PendingDurability {
                 capsule: capsule_name,
@@ -659,21 +698,29 @@ impl DataCapsuleServer {
             return Vec::new();
         };
         let hash = record.hash();
-        match hosted.capsule.ingest(record.clone()) {
-            Ok(IngestOutcome::Duplicate) => {}
+        // A ReplicateAck tells the upstream server this replica holds the
+        // record durably (it may count toward a client's quorum), so it is
+        // durability-gated exactly like a client ack.
+        let ack = match hosted.capsule.ingest(record.clone()) {
+            Ok(IngestOutcome::Duplicate) => hosted.store.durability_of(&hash),
             Ok(_) => {
-                let _ = hosted.store.append(&record);
+                let Ok(a) = hosted.store.append_acked(&record) else {
+                    return Vec::new(); // never ack what we failed to store
+                };
                 self.stats.replicated_in += 1;
                 self.obs.replicated_in.inc();
+                a
             }
             Err(_) => {
                 self.obs.verify_failures.inc();
                 return Vec::new(); // never ack unverifiable data
             }
-        }
+        };
         let subscribers = hosted.subscribers.clone();
-        let mut out =
-            vec![self.data_pdu(peer, 0, &DataMsg::ReplicateAck { capsule: capsule_name, hash })];
+        let mut out = Vec::new();
+        let ack_pdu =
+            self.data_pdu(peer, 0, &DataMsg::ReplicateAck { capsule: capsule_name, hash });
+        self.gate_ack(&capsule_name, ack, ack_pdu, &mut out);
         for sub in &subscribers {
             let body = event_body(&record);
             let auth = self.auth_for(&capsule_name, sub, 0, &body);
@@ -697,9 +744,16 @@ impl DataCapsuleServer {
         }
         for i in done.into_iter().rev() {
             let p = self.pending.remove(i);
+            // Quorum reached — but the local copy must also be durable
+            // before this server vouches for the write.
+            let dur = self
+                .hosted
+                .get(&p.capsule)
+                .map(|h| h.store.durability_of(&p.hash))
+                .unwrap_or(AppendAck::Durable);
             let body = append_ack_body(p.record_seq, &p.hash, p.acked + 1);
             let auth = self.auth_for(&p.capsule, &p.client, p.request_seq, &body);
-            out.push(self.data_pdu(
+            let pdu = self.data_pdu(
                 p.client,
                 p.request_seq,
                 &DataMsg::AppendAck {
@@ -708,7 +762,8 @@ impl DataCapsuleServer {
                     replicas: p.acked + 1,
                     auth,
                 },
-            ));
+            );
+            self.gate_ack(&p.capsule, dur, pdu, &mut out);
         }
         out
     }
@@ -765,10 +820,35 @@ impl DataCapsuleServer {
         Vec::new()
     }
 
-    /// Periodic maintenance: emits anti-entropy requests for capsules with
-    /// holes, and fails timed-out durability waits.
+    /// Periodic maintenance: flushes hosted stores (group commit) and
+    /// releases acks whose covering fsync landed, emits anti-entropy
+    /// requests for capsules with holes, and fails timed-out durability
+    /// waits.
     pub fn tick(&mut self, now: u64) -> Vec<Pdu> {
         let mut out = Vec::new();
+        // Drive batched-durability stores; the due-ness check is theirs.
+        for h in self.hosted.values_mut() {
+            let _ = h.store.flush(now);
+        }
+        // Release deferred acks covered by an fsync (FIFO for replay
+        // determinism).
+        if !self.deferred.is_empty() {
+            let mut still = Vec::new();
+            for d in std::mem::take(&mut self.deferred) {
+                let durable = self
+                    .hosted
+                    .get(&d.capsule)
+                    .map(|h| h.store.durable_epoch() >= d.epoch)
+                    .unwrap_or(true);
+                if durable {
+                    self.obs.acks_released.inc();
+                    out.push(d.pdu);
+                } else {
+                    still.push(d);
+                }
+            }
+            self.deferred = still;
+        }
         // Durability timeouts.
         let mut expired = Vec::new();
         for (i, p) in self.pending.iter().enumerate() {
@@ -1096,6 +1176,61 @@ mod tests {
             DataMsg::ErrResp { code: ErrorCode::VerificationFailed, .. }
         ));
         assert!(!rig.server.hosted_names().contains(&other_meta.name()));
+    }
+
+    #[test]
+    fn group_commit_store_defers_acks_until_fsync() {
+        use gdp_store::{FsyncPolicy, SegConfig, SegLog};
+        let dir = std::env::temp_dir().join(format!(
+            "gdp-server-defer-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let id = PrincipalId::from_seed(gdp_cert::PrincipalKind::Server, &[3u8; 32], "s");
+        let mut server = DataCapsuleServer::new(id.clone());
+        let meta = MetadataBuilder::new()
+            .writer(&wkey().verifying_key())
+            .set_str("description", "deferred")
+            .sign(&owner());
+        let chain = ServingChain::direct(
+            AdCert::issue(&owner(), meta.name(), id.name(), false, Scope::Global, FOREVER),
+            id.principal().clone(),
+        );
+        let cfg =
+            SegConfig { policy: FsyncPolicy::Batch { interval_us: 5_000 }, ..SegConfig::default() };
+        let log = SegLog::open(&dir, cfg).unwrap();
+        server
+            .host_with_store(meta.clone(), chain, vec![], Box::new(log.handle(meta.name())))
+            .unwrap();
+        let mut writer = CapsuleWriter::new(&meta, wkey(), PointerStrategy::Chain).unwrap();
+        let client = Name::from_content(b"client");
+
+        let record = writer.append(b"batched", 0).unwrap();
+        let pdu = Pdu {
+            pdu_type: PduType::Data,
+            src: client,
+            dst: meta.name(),
+            seq: 1,
+            payload: DataMsg::Append { record, ack_mode: AckMode::Local }.to_wire().into(),
+        };
+        let out = server.handle_pdu(1_000, pdu);
+        assert!(
+            !out.iter().any(|p| matches!(msg_of(p), DataMsg::AppendAck { .. })),
+            "ack must wait for the covering group-commit fsync"
+        );
+        // Before the batch window elapses the ack stays parked. (The
+        // window anchors at the metadata flush, logical time 0.)
+        let out = server.tick(2_000);
+        assert!(!out.iter().any(|p| matches!(msg_of(p), DataMsg::AppendAck { .. })));
+        // Once it elapses, tick flushes the store and releases the ack.
+        let out = server.tick(6_000);
+        assert!(
+            out.iter().any(|p| p.dst == client && matches!(msg_of(p), DataMsg::AppendAck { .. })),
+            "flush must release the deferred ack"
+        );
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

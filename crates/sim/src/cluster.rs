@@ -19,7 +19,7 @@ use gdp_client::{ClientEvent, GdpClient, VerifiedRead};
 use gdp_crypto::SigningKey;
 use gdp_net::simnet::{FaultSpec, SimAddr, SimEndpoint, SimNet};
 use gdp_node::runtime::FOREVER;
-use gdp_node::{HostSpec, NodeConfig, NodeRuntime, Role};
+use gdp_node::{HostSpec, NodeConfig, NodeRuntime, Role, StoreEngine};
 use gdp_obs::Metrics;
 use gdp_router::{AttachStep, Attacher};
 use gdp_server::{AckMode, ReadTarget};
@@ -95,6 +95,19 @@ impl SimCluster {
     /// (durable across [`SimCluster::crash_storage`] /
     /// [`SimCluster::restart_storage`]).
     pub fn new(seed: u64, faults: FaultSpec, data_root: &Path) -> SimCluster {
+        SimCluster::new_with_engine(seed, faults, data_root, StoreEngine::File)
+    }
+
+    /// [`SimCluster::new`] with an explicit storage engine: `File` keeps
+    /// the per-capsule log files; `Segmented` mounts both replicas on the
+    /// shared group-commit log (acks then gate on the covering fsync, so
+    /// this exercises the deferred-ack path end to end).
+    pub fn new_with_engine(
+        seed: u64,
+        faults: FaultSpec,
+        data_root: &Path,
+        engine: StoreEngine,
+    ) -> SimCluster {
         let net = SimNet::with_faults(seed, faults);
         let endpoints: Vec<SimEndpoint> = (0..STORAGE + 2).map(|_| net.endpoint()).collect();
 
@@ -134,6 +147,8 @@ impl SimCluster {
             peers: vec![],
             router: None,
             data_dir: None,
+            store_engine: StoreEngine::File,
+            fsync: None,
             stats_path: None,
             hosts: vec![],
             shards: 1,
@@ -150,6 +165,8 @@ impl SimCluster {
                 peers: vec![],
                 router: Some(router_name),
                 data_dir: Some(data_root.join(format!("s{i}"))),
+                store_engine: engine,
+                fsync: None,
                 stats_path: None,
                 shards: 1,
                 hosts: vec![HostSpec {
@@ -648,6 +665,39 @@ impl SimCluster {
         let out = rt.start(now);
         self.runtimes[1 + i] = Some(rt);
         self.transmit(1 + i, out);
+    }
+
+    /// Torn-write fault: appends `garbage` to the tail of storage `i`'s
+    /// active on-disk log — the shared log's highest-id segment under the
+    /// segmented engine, the capsule's log file under the file engine —
+    /// simulating a partially persisted write that the crash cut short.
+    /// Only meaningful while the node is crashed (the store is closed);
+    /// recovery on restart must truncate the torn tail and keep every
+    /// acked record. Returns the file that was damaged.
+    pub fn tear_storage_tail(&mut self, i: usize, garbage: &[u8]) -> std::path::PathBuf {
+        assert!(self.storage_crashed(i), "tear_storage_tail on a running node");
+        let cfg = &self.cfgs[1 + i];
+        let data_dir = cfg.data_dir.as_ref().expect("sim storage nodes have a data_dir");
+        let target = match cfg.store_engine {
+            StoreEngine::Segmented => {
+                let seg_dir = data_dir.join("seglog");
+                std::fs::read_dir(&seg_dir)
+                    .expect("seglog dir exists after first boot")
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| p.extension().map(|x| x == "seg").unwrap_or(false))
+                    .max()
+                    .expect("seglog has at least one segment")
+            }
+            StoreEngine::File => data_dir.join(format!("{}.log", self.capsule.to_hex())),
+        };
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&target)
+            .expect("open crashed node's log for tearing");
+        f.write_all(garbage).expect("tear write");
+        f.sync_all().expect("tear fsync");
+        target
     }
 
     /// True if storage `i` is currently crashed.

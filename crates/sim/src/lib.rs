@@ -24,4 +24,5 @@ pub use baselines::{BaselineWorld, BlobServer};
 pub use check::check_invariants;
 pub use cluster::SimCluster;
 pub use gdp_net::simnet::{FaultSpec, SimAddr, SimEndpoint, SimNetError, SimStats};
+pub use gdp_node::StoreEngine;
 pub use world::{GdpWorld, Placement, FOREVER};

@@ -14,7 +14,7 @@
 //! soak runs.
 
 use gdp_server::{AckMode, ReadTarget};
-use gdp_sim::{check_invariants, FaultSpec, SimCluster};
+use gdp_sim::{check_invariants, FaultSpec, SimCluster, StoreEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::{Path, PathBuf};
@@ -48,9 +48,25 @@ struct RunResult {
     crashes: u32,
 }
 
+/// Seed parity picks the storage engine, so the sweep exercises both the
+/// per-capsule file stores (even seeds) and the shared segmented
+/// group-commit log with its deferred acks (odd seeds) under the same
+/// fault schedules.
+fn engine_for(seed: u64) -> StoreEngine {
+    if seed % 2 == 1 {
+        StoreEngine::Segmented
+    } else {
+        StoreEngine::File
+    }
+}
+
 fn run_scenario(seed: u64) -> RunResult {
+    run_scenario_with(seed, engine_for(seed))
+}
+
+fn run_scenario_with(seed: u64, engine: StoreEngine) -> RunResult {
     let dir = fresh_dir();
-    let result = run_scenario_in(seed, &dir);
+    let result = run_scenario_in(seed, &dir, engine);
     let _ = std::fs::remove_dir_all(&dir);
     result
 }
@@ -58,7 +74,7 @@ fn run_scenario(seed: u64) -> RunResult {
 /// One full seeded chaos run: derive a fault model and workload from the
 /// seed, drive appends/reads while disturbing at most one replica at a
 /// time, then heal + restart everything and check invariants.
-fn run_scenario_in(seed: u64, dir: &Path) -> RunResult {
+fn run_scenario_in(seed: u64, dir: &Path, engine: StoreEngine) -> RunResult {
     let mut wl = StdRng::seed_from_u64(seed ^ 0x5745_4154);
     let faults = FaultSpec {
         latency_us: wl.gen_range(1_000..5_000),
@@ -66,7 +82,7 @@ fn run_scenario_in(seed: u64, dir: &Path) -> RunResult {
         drop: wl.gen_range(0.0..0.12),
         duplicate: wl.gen_range(0.0..0.05),
     };
-    let mut c = SimCluster::new(seed, faults, dir);
+    let mut c = SimCluster::new_with_engine(seed, faults, dir, engine);
     assert!(c.attach_client(60 * S), "GDP_SIM_SEED={seed}: client attach timed out");
     if wl.gen_bool(0.5) {
         // Sessions are optional (responses fall back to the signed-chain
@@ -222,7 +238,7 @@ fn seed_sweep() {
 /// exercised on every run even if the sweep default shrinks.
 #[test]
 fn pinned_stale_down_detection() {
-    let r = run_scenario(4);
+    let r = run_scenario_with(4, StoreEngine::File);
     assert!(r.crashes >= 2, "seed 4's schedule changed — repin this regression seed");
 }
 
@@ -236,7 +252,7 @@ fn pinned_stale_down_detection() {
 /// re-keying on "MAC response without session" (driver).
 #[test]
 fn pinned_half_established_session() {
-    let r = run_scenario(12);
+    let r = run_scenario_with(12, StoreEngine::File);
     assert!(!r.acked.is_empty(), "seed 12's schedule changed — repin this regression seed");
 }
 
@@ -251,7 +267,7 @@ fn pinned_half_established_session() {
 /// recoverable no-session path instead of looking like corruption.
 #[test]
 fn pinned_duplicate_session_init_rekey() {
-    let r = run_scenario(36);
+    let r = run_scenario_with(36, StoreEngine::File);
     assert!(!r.acked.is_empty(), "seed 36's schedule changed — repin this regression seed");
 }
 
@@ -269,7 +285,7 @@ fn pinned_duplicate_session_init_rekey() {
 /// sending it inline (node runtime + sim client driver).
 #[test]
 fn pinned_attach_storm_livelock() {
-    let r = run_scenario(160);
+    let r = run_scenario_with(160, StoreEngine::File);
     assert!(!r.acked.is_empty(), "seed 160's schedule changed — repin this regression seed");
 }
 
@@ -285,7 +301,7 @@ fn pinned_attach_storm_livelock() {
 /// "MAC response without session" path instead of reading as tampering.
 #[test]
 fn pinned_rekey_epoch_skew() {
-    let r = run_scenario(747);
+    let r = run_scenario_with(747, StoreEngine::File);
     assert!(!r.acked.is_empty(), "seed 747's schedule changed — repin this regression seed");
 }
 
@@ -477,5 +493,130 @@ fn timeout_sweep_fires_under_loss() {
     // still pending (settle longer than the request timeout).
     c.run_for(5 * S);
     assert_eq!(c.client_mut().pending_len(), 0, "pending entries leaked past the sweep");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Determinism must hold under the segmented engine too: group-commit
+/// flushes, deferred acks, rotation, and checkpoints are all driven by
+/// virtual time, so the same seed must replay byte-identically.
+#[test]
+fn same_seed_identical_trace_segmented() {
+    let a = run_scenario_with(43, StoreEngine::Segmented);
+    let b = run_scenario_with(43, StoreEngine::Segmented);
+    assert_eq!(a, b, "GDP_SIM_SEED=43 diverged under the segmented engine: replay is broken");
+    assert!(a.events > 0, "scenario produced no fabric traffic");
+}
+
+/// Scripted crash/restart durability under the segmented engine: every
+/// *acked* append must survive a replica crash. With the group-commit
+/// default (`batch(5)`), the server defers acks until the covering fsync,
+/// so an ack reaching the client proves the record was on disk — the
+/// crash then exercises checkpointed tail replay on the shared log
+/// instead of per-capsule file recovery.
+#[test]
+fn crash_restart_preserves_acked_writes_segmented() {
+    let seed = 0x5E6D;
+    let dir = fresh_dir();
+    let mut c =
+        SimCluster::new_with_engine(seed, FaultSpec::reliable(), &dir, StoreEngine::Segmented);
+    assert!(c.attach_client(30 * S));
+
+    for i in 0..5 {
+        c.client_append(format!("pre-crash {i}").as_bytes(), AckMode::Quorum(1), 60 * S)
+            .expect("append before crash");
+    }
+    c.crash_storage(0);
+    c.run_for(5 * S);
+    c.client_append(b"during outage", AckMode::Local, 60 * S).expect("append during outage");
+    c.restart_storage(0);
+    c.run_for(20 * S);
+
+    check_invariants(&c);
+    assert_eq!(c.acked().len(), 6);
+    // The deferred-ack path actually ran: at least one ack waited for its
+    // covering fsync on each serving replica.
+    let deferred: u64 =
+        (1..=2).map(|i| c.node_metrics(i).counter_value("server", "acks_deferred")).sum();
+    assert!(deferred > 0, "GDP_SIM_SEED={seed}: group-commit never deferred an ack");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Torn-write chaos on the shared log: crash a replica, append garbage to
+/// its active segment (a write the crash cut short), restart. Recovery
+/// must truncate exactly the torn tail, keep every acked record, and the
+/// cluster must converge — the simulated twin of the power-cut-mid-write
+/// failure the paper's durability contract is about.
+#[test]
+fn torn_segment_tail_recovers_on_restart() {
+    let seed = 0x7EA4;
+    let dir = fresh_dir();
+    let mut c =
+        SimCluster::new_with_engine(seed, FaultSpec::reliable(), &dir, StoreEngine::Segmented);
+    assert!(c.attach_client(30 * S));
+
+    for i in 0..4 {
+        c.client_append(format!("durable {i}").as_bytes(), AckMode::Quorum(1), 60 * S)
+            .expect("append before crash");
+    }
+    c.crash_storage(0);
+    c.run_for(3 * S);
+    // Three torn shapes in one blob: recovery stops at the first invalid
+    // frame, so one garbage append covers them all.
+    c.tear_storage_tail(0, &[0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03]);
+    c.restart_storage(0);
+    c.run_for(20 * S);
+
+    check_invariants(&c);
+    assert_eq!(c.acked().len(), 4);
+    let nm = c.node_metrics(1);
+    assert!(
+        nm.counter_value("store", "recovery_truncations") >= 1,
+        "GDP_SIM_SEED={seed}: the torn tail was never truncated"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fault-free metric accounting for the segmented engine: the group-commit
+/// observability contract. Every acked write crossed one deferred-ack
+/// cycle, fsyncs were batched (not per-append), and no corruption or
+/// full-scan recovery ever happened on a clean run.
+#[test]
+fn fault_free_metric_accounting_segmented() {
+    let seed = 0x0B6;
+    let dir = fresh_dir();
+    let mut c =
+        SimCluster::new_with_engine(seed, FaultSpec::reliable(), &dir, StoreEngine::Segmented);
+    assert!(c.attach_client(30 * S));
+
+    const N: u64 = 6;
+    for i in 0..N {
+        c.client_append(format!("obs {i}").as_bytes(), AckMode::Local, 60 * S)
+            .expect("fault-free append");
+    }
+    c.run_for(10 * S);
+    check_invariants(&c);
+
+    assert_eq!(c.client_metrics().counter_value("client", "acked_writes"), N);
+    for i in 1..=2 {
+        let nm = c.node_metrics(i);
+        // Group commit ran and covered the appends with batched fsyncs.
+        assert!(nm.counter_value("store", "entries_appended") > 0);
+        assert!(nm.counter_value("store", "group_commits") > 0);
+        assert!(
+            nm.counter_value("store", "fsyncs") <= nm.counter_value("store", "entries_appended"),
+            "GDP_SIM_SEED={seed}: more fsyncs than entries — batching never engaged"
+        );
+        // Clean run: no corruption, no torn tails, no full-scan recovery.
+        assert_eq!(nm.counter_value("store", "crc_failures"), 0);
+        assert_eq!(nm.counter_value("store", "recovery_truncations"), 0);
+        assert_eq!(nm.counter_value("store", "recovery_full_scans"), 0);
+        // Every deferred ack was eventually released.
+        let deferred = nm.counter_value("server", "acks_deferred");
+        let released = nm.counter_value("server", "acks_released");
+        assert_eq!(deferred, released, "GDP_SIM_SEED={seed}: acks parked forever");
+    }
+    let deferred: u64 =
+        (1..=2).map(|i| c.node_metrics(i).counter_value("server", "acks_deferred")).sum();
+    assert!(deferred > 0, "GDP_SIM_SEED={seed}: batch policy never deferred an ack");
     let _ = std::fs::remove_dir_all(&dir);
 }

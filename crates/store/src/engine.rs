@@ -1,10 +1,15 @@
 //! Multi-capsule storage engine: what a DataCapsule-server mounts.
 //!
-//! Manages one [`CapsuleStore`] per hosted capsule, either all in memory or
-//! as one segment file per capsule under a directory (mirroring the
-//! prototype's one-SQLite-file-per-capsule layout, paper §VIII).
+//! Selects the backing for hosted capsules (gdpd config `store_engine`):
+//! in memory, one append-only file per capsule (the paper prototype's
+//! one-SQLite-file-per-capsule layout, §VIII), or one shared segmented
+//! log for the whole node (`seglog`). The engine also carries the node's
+//! [`FsyncPolicy`], so both durable backings answer acked-durability the
+//! same way.
 
 use crate::file::FileStore;
+use crate::policy::FsyncPolicy;
+use crate::seglog::{SegConfig, SegLog};
 use crate::store::{CapsuleStore, MemStore, StoreError};
 use gdp_obs::Scope;
 use gdp_wire::Name;
@@ -20,6 +25,8 @@ pub enum Backing {
     Memory,
     /// One append-only segment file per capsule under this directory.
     Directory(PathBuf),
+    /// One shared segmented log for all capsules under this directory.
+    Segmented(PathBuf),
 }
 
 /// A shared handle to one capsule's store.
@@ -28,7 +35,9 @@ pub type SharedStore = Arc<Mutex<Box<dyn CapsuleStore>>>;
 /// A thread-safe collection of per-capsule stores.
 pub struct StorageEngine {
     backing: Backing,
+    policy: Option<FsyncPolicy>,
     stores: Mutex<HashMap<Name, SharedStore>>,
+    seg: Mutex<Option<SegLog>>,
     obs: Scope,
 }
 
@@ -40,7 +49,20 @@ impl StorageEngine {
 
     /// Creates an engine registering store metrics under `scope`.
     pub fn with_obs(backing: Backing, scope: Scope) -> StorageEngine {
-        StorageEngine { backing, stores: Mutex::new(HashMap::new()), obs: scope }
+        StorageEngine {
+            backing,
+            policy: None,
+            stores: Mutex::new(HashMap::new()),
+            seg: Mutex::new(None),
+            obs: scope,
+        }
+    }
+
+    /// Sets the durability policy (engine default when unset: `never` for
+    /// per-capsule files, the default batch window for the shared log).
+    pub fn with_policy(mut self, policy: FsyncPolicy) -> StorageEngine {
+        self.policy = Some(policy);
+        self
     }
 
     /// In-memory engine.
@@ -48,25 +70,60 @@ impl StorageEngine {
         StorageEngine::new(Backing::Memory)
     }
 
-    /// Opens (creating if needed) the store for `capsule`.
+    /// Builds one capsule's store on the configured backing. Shared-log
+    /// handles all view the same underlying [`SegLog`].
+    fn build(&self, capsule: &Name) -> Result<Box<dyn CapsuleStore>, StoreError> {
+        Ok(match &self.backing {
+            Backing::Memory => Box::new(MemStore::new()),
+            Backing::Directory(dir) => Box::new(
+                FileStore::open_with(dir.join(format!("{}.log", capsule.to_hex())), &self.obs)?
+                    .with_policy(self.policy.unwrap_or(FsyncPolicy::Never))?,
+            ),
+            Backing::Segmented(dir) => {
+                let mut seg = self.seg.lock();
+                let log = match &*seg {
+                    Some(log) => log.clone(),
+                    None => {
+                        let cfg = SegConfig {
+                            policy: self.policy.unwrap_or(FsyncPolicy::DEFAULT_BATCH),
+                            ..SegConfig::default()
+                        };
+                        let log = SegLog::open_with(dir, cfg, &self.obs)?;
+                        *seg = Some(log.clone());
+                        log
+                    }
+                };
+                Box::new(log.handle(*capsule))
+            }
+        })
+    }
+
+    /// Opens an owned (non-shared) store for `capsule` — what a server
+    /// core mounts per hosted capsule. Shared-log handles still converge
+    /// on the node's one log.
+    pub fn open_boxed(&self, capsule: &Name) -> Result<Box<dyn CapsuleStore>, StoreError> {
+        self.build(capsule)
+    }
+
+    /// Opens (creating if needed) the shared-handle store for `capsule`.
     pub fn open(&self, capsule: &Name) -> Result<SharedStore, StoreError> {
         let mut stores = self.stores.lock();
         if let Some(s) = stores.get(capsule) {
             return Ok(Arc::clone(s));
         }
-        let store: Box<dyn CapsuleStore> = match &self.backing {
-            Backing::Memory => Box::new(MemStore::new()),
-            Backing::Directory(dir) => Box::new(FileStore::open_with(
-                dir.join(format!("{}.log", capsule.to_hex())),
-                &self.obs,
-            )?),
-        };
+        let store = self.build(capsule)?;
         let arc = Arc::new(Mutex::new(store));
         stores.insert(*capsule, Arc::clone(&arc));
         Ok(arc)
     }
 
-    /// Names of all capsules with an open store.
+    /// The node's shared segmented log, if that backing is in use and has
+    /// been opened (maintenance, introspection).
+    pub fn seg_log(&self) -> Option<SegLog> {
+        self.seg.lock().clone()
+    }
+
+    /// Names of all capsules with an open shared-handle store.
     pub fn hosted(&self) -> Vec<Name> {
         self.stores.lock().keys().copied().collect()
     }
@@ -152,6 +209,50 @@ mod tests {
         let s = engine.open(&name).unwrap();
         assert_eq!(s.lock().len(), 1);
         assert_eq!(s.lock().metadata().unwrap(), meta);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn segmented_engine_shares_one_log_and_persists() {
+        let dir = std::env::temp_dir().join(format!("gdp-engine-seg-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let owner = SigningKey::from_seed(&[1u8; 32]);
+        let writer = SigningKey::from_seed(&[2u8; 32]);
+        let m1 = MetadataBuilder::new()
+            .writer(&writer.verifying_key())
+            .set_str("description", "one")
+            .sign(&owner);
+        let m2 = MetadataBuilder::new()
+            .writer(&writer.verifying_key())
+            .set_str("description", "two")
+            .sign(&owner);
+        {
+            let engine = StorageEngine::new(Backing::Segmented(dir.clone()));
+            let mut s1 = engine.open_boxed(&m1.name()).unwrap();
+            let mut s2 = engine.open_boxed(&m2.name()).unwrap();
+            s1.put_metadata(&m1).unwrap();
+            s2.put_metadata(&m2).unwrap();
+            let r = Record::create(
+                &m1.name(),
+                &writer,
+                1,
+                0,
+                RecordHash::anchor(&m1.name()),
+                vec![],
+                b"only in one".to_vec(),
+            );
+            s1.append(&r).unwrap();
+            s1.flush(10_000_000).unwrap();
+            assert_eq!(s1.len(), 1);
+            assert_eq!(s2.len(), 0);
+            let log = engine.seg_log().unwrap();
+            assert_eq!(log.stream_count(), 2, "both capsules share one log");
+            assert_eq!(log.segment_ids().len(), 1);
+        }
+        let engine = StorageEngine::new(Backing::Segmented(dir.clone()));
+        let s1 = engine.open_boxed(&m1.name()).unwrap();
+        assert_eq!(s1.len(), 1);
+        assert_eq!(s1.metadata().unwrap(), m1);
         let _ = std::fs::remove_dir_all(dir);
     }
 }

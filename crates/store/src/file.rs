@@ -26,6 +26,7 @@
 //! synced append.
 
 use crate::crc::{crc32, Crc32};
+use crate::policy::{AppendAck, FsyncPolicy};
 use crate::store::{CapsuleStore, StoreError};
 use gdp_capsule::{CapsuleMetadata, Record, RecordHash};
 use gdp_obs::{Counter, Scope};
@@ -79,8 +80,16 @@ pub struct FileStore {
     index: HashMap<RecordHash, u64>,
     by_seq: BTreeMap<u64, Vec<RecordHash>>,
     tail: u64,
-    /// fsync after every append (durable but slow) or rely on OS flush.
-    sync_each_write: bool,
+    /// When appends are fsynced (see `policy.rs`); default [`FsyncPolicy::Never`].
+    policy: FsyncPolicy,
+    /// Bytes below this offset are covered by an fsync (or predate this
+    /// process and survived a reopen, which is the same durability claim).
+    synced_tail: u64,
+    /// Advances by one per batched fsync; pending acks carry the epoch
+    /// that will cover them.
+    epoch_durable: u64,
+    /// Caller-clock time of the last batched fsync (µs).
+    last_flush_us: u64,
     /// Segment format: 1 = legacy body-only CRC, 2 = header-covering CRC.
     format: u8,
     /// Largest number of bytes buffered at once during the open() scan.
@@ -119,7 +128,10 @@ impl FileStore {
             index: HashMap::new(),
             by_seq: BTreeMap::new(),
             tail: 0,
-            sync_each_write: false,
+            policy: FsyncPolicy::Never,
+            synced_tail: 0,
+            epoch_durable: 0,
+            last_flush_us: 0,
             format: 2,
             recovery_peak_buffer: 0,
             obs,
@@ -128,15 +140,27 @@ impl FileStore {
         Ok(store)
     }
 
-    /// Enables fsync-per-append. Enabling also fsyncs the parent directory
-    /// once, so the file's existence is as durable as its contents.
-    pub fn with_sync(mut self, sync: bool) -> Result<FileStore, StoreError> {
-        if sync && !self.sync_each_write {
+    /// Enables fsync-per-append (shorthand for
+    /// [`FsyncPolicy::Always`] / [`FsyncPolicy::Never`]).
+    pub fn with_sync(self, sync: bool) -> Result<FileStore, StoreError> {
+        self.with_policy(if sync { FsyncPolicy::Always } else { FsyncPolicy::Never })
+    }
+
+    /// Sets the durability policy. Moving off [`FsyncPolicy::Never`] also
+    /// fsyncs the parent directory once, so the file's existence is as
+    /// durable as its contents.
+    pub fn with_policy(mut self, policy: FsyncPolicy) -> Result<FileStore, StoreError> {
+        if policy != FsyncPolicy::Never && self.policy == FsyncPolicy::Never {
             sync_parent_dir(&self.path)?;
             self.obs.dir_fsyncs.inc();
         }
-        self.sync_each_write = sync;
+        self.policy = policy;
         Ok(self)
+    }
+
+    /// The durability policy in effect.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
     }
 
     /// The backing file path.
@@ -174,6 +198,7 @@ impl FileStore {
             self.file.write_all(&SEGMENT_MAGIC)?;
             self.format = 2;
             self.tail = SEGMENT_MAGIC.len() as u64;
+            self.synced_tail = self.tail;
             self.recovery_peak_buffer = 0;
             return Ok(());
         } else {
@@ -273,6 +298,9 @@ impl FileStore {
             self.obs.recovery_truncations.inc();
         }
         self.tail = valid_end;
+        // Whatever survived to be re-read counts as durable: a pending ack
+        // from before the crash was never sent, and the bytes are on disk.
+        self.synced_tail = valid_end;
         self.recovery_peak_buffer = peak;
         Ok(())
     }
@@ -285,9 +313,10 @@ impl FileStore {
         frame.extend_from_slice(&entry_crc(self.format, kind, body).to_be_bytes());
         frame.extend_from_slice(body);
         self.file.write_all(&frame)?;
-        if self.sync_each_write {
+        if self.policy == FsyncPolicy::Always {
             self.file.sync_data()?;
             self.obs.fsyncs.inc();
+            self.synced_tail = self.tail + frame.len() as u64;
         }
         self.tail += frame.len() as u64;
         self.obs.entries_appended.inc();
@@ -312,6 +341,21 @@ impl FileStore {
             return Err(StoreError::Corrupt("crc mismatch on read".to_string()));
         }
         Record::from_wire(&body).map_err(|e| StoreError::Corrupt(format!("record: {e}")))
+    }
+
+    /// Durability of the entry starting at `offset` under the current policy.
+    fn durability_at(&self, offset: u64) -> AppendAck {
+        match self.policy {
+            // `Never` acks immediately by design; `Always` synced in write_entry.
+            FsyncPolicy::Never | FsyncPolicy::Always => AppendAck::Durable,
+            FsyncPolicy::Batch { .. } => {
+                if offset < self.synced_tail {
+                    AppendAck::Durable
+                } else {
+                    AppendAck::Pending(self.epoch_durable + 1)
+                }
+            }
+        }
     }
 }
 
@@ -422,6 +466,44 @@ impl CapsuleStore for FileStore {
 
     fn hashes(&self) -> Vec<RecordHash> {
         self.index.keys().copied().collect()
+    }
+
+    fn append_acked(&mut self, record: &Record) -> Result<AppendAck, StoreError> {
+        let hash = record.hash();
+        if let Some(&offset) = self.index.get(&hash) {
+            // Duplicate: report the stored record's *current* durability so
+            // a retried append is not acked ahead of its covering fsync.
+            return Ok(self.durability_at(offset));
+        }
+        let offset = self.write_entry(KIND_RECORD, &record.to_wire())?;
+        self.index.insert(hash, offset);
+        self.by_seq.entry(record.header.seq).or_default().push(hash);
+        Ok(self.durability_at(offset))
+    }
+
+    fn flush(&mut self, now_us: u64) -> Result<u64, StoreError> {
+        if let FsyncPolicy::Batch { interval_us } = self.policy {
+            let due = now_us >= self.last_flush_us.saturating_add(interval_us);
+            if self.tail > self.synced_tail && due {
+                self.file.sync_data()?;
+                self.obs.fsyncs.inc();
+                self.synced_tail = self.tail;
+                self.epoch_durable += 1;
+                self.last_flush_us = now_us;
+            }
+        }
+        Ok(self.epoch_durable)
+    }
+
+    fn durable_epoch(&self) -> u64 {
+        self.epoch_durable
+    }
+
+    fn durability_of(&self, hash: &RecordHash) -> AppendAck {
+        match self.index.get(hash) {
+            Some(&offset) => self.durability_at(offset),
+            None => AppendAck::Durable,
+        }
     }
 }
 
@@ -675,6 +757,75 @@ mod tests {
         assert_eq!(s.format_version(), 1);
         assert_eq!(s.len(), records.len() + 1);
         assert_eq!(s.get_by_hash(&extra.hash()).unwrap().unwrap(), extra);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Migration (durability policy): a v2 log written under the historical
+    /// fsync-per-append behaviour reopens under `batch(ms)` with every old
+    /// record immediately durable; new appends ack `Pending` and become
+    /// durable only once the flush window elapses and `flush` fsyncs.
+    #[test]
+    fn batch_policy_migrates_existing_v2_log() {
+        let dir = tmpdir("migrate");
+        let path = dir.join("c.log");
+        let (meta, records) = setup();
+        {
+            let mut s = FileStore::open(&path).unwrap().with_sync(true).unwrap();
+            s.put_metadata(&meta).unwrap();
+            for r in &records[..8] {
+                s.append(r).unwrap();
+            }
+        }
+        let mut s = FileStore::open(&path)
+            .unwrap()
+            .with_policy(FsyncPolicy::Batch { interval_us: 5_000 })
+            .unwrap();
+        assert_eq!(s.len(), 8);
+        // Pre-migration records are durable; a retried append says so.
+        assert_eq!(s.durability_of(&records[0].hash()), AppendAck::Durable);
+        assert_eq!(s.append_acked(&records[0]).unwrap(), AppendAck::Durable);
+        // New appends wait on the covering fsync.
+        let ack = s.append_acked(&records[8]).unwrap();
+        assert_eq!(ack, AppendAck::Pending(1));
+        assert_eq!(s.append_acked(&records[8]).unwrap(), ack, "retry must stay pending");
+        // Not yet due: the window has not elapsed.
+        assert_eq!(s.flush(1_000).unwrap(), 0);
+        assert_eq!(s.flush(5_000).unwrap(), 1, "window elapsed: fsync covers the batch");
+        assert_eq!(s.durability_of(&records[8].hash()), AppendAck::Durable);
+        drop(s);
+        let s = FileStore::open(&path).unwrap();
+        assert_eq!(s.len(), 9, "batched appends persisted");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Same migration for a hand-crafted legacy v1 log (no magic): the
+    /// batch policy composes with v1 framing.
+    #[test]
+    fn batch_policy_migrates_legacy_v1_log() {
+        let dir = tmpdir("migratev1");
+        let path = dir.join("c.log");
+        let (meta, records) = setup();
+        let mut bytes = Vec::new();
+        for (kind, body) in std::iter::once((KIND_METADATA, meta.to_wire()))
+            .chain(records.iter().take(5).map(|r| (KIND_RECORD, r.to_wire())))
+        {
+            bytes.push(kind);
+            bytes.extend_from_slice(&(body.len() as u32).to_be_bytes());
+            bytes.extend_from_slice(&crc32(&body).to_be_bytes());
+            bytes.extend_from_slice(&body);
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let mut s = FileStore::open(&path)
+            .unwrap()
+            .with_policy(FsyncPolicy::Batch { interval_us: 1_000 })
+            .unwrap();
+        assert_eq!(s.format_version(), 1);
+        assert_eq!(s.append_acked(&records[5]).unwrap(), AppendAck::Pending(1));
+        assert_eq!(s.flush(1_000).unwrap(), 1);
+        drop(s);
+        let s = FileStore::open(&path).unwrap();
+        assert_eq!(s.format_version(), 1);
+        assert_eq!(s.len(), 6);
         let _ = std::fs::remove_dir_all(dir);
     }
 

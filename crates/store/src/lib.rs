@@ -1,18 +1,36 @@
 //! # gdp-store
 //!
-//! Storage engine for DataCapsule-servers. The paper's prototype used one
-//! SQLite database per capsule for efficient random reads (§VIII); the
-//! equivalent here is an append-only segment log with CRC-framed entries,
-//! an in-memory index rebuilt on open, and crash recovery that truncates a
-//! torn tail — plus a pure in-memory backend for simulation.
+//! Storage engines for DataCapsule-servers.
+//!
+//! Two durable engines share one [`CapsuleStore`] interface and one
+//! [`FsyncPolicy`] durability-policy type:
+//!
+//! * [`FileStore`] — one append-only CRC-framed log per capsule, the
+//!   paper-prototype shape (one SQLite database per capsule, §VIII).
+//!   Simple and fine for dozens of capsules.
+//! * [`SegLog`] — one *shared* segmented log per node with per-capsule
+//!   logical streams, group-commit (one fsync per batch of appends across
+//!   all capsules), checkpointed bounded recovery, crash-safe compaction,
+//!   and cold-capsule index eviction. The capacity engine: a node hosting
+//!   very many capsules cannot afford a file and an fsync per capsule.
+//!
+//! Plus [`MemStore`], the pure in-memory backend for simulation.
+//! [`StorageEngine`] selects between them (`store_engine = "file" |
+//! "segmented"` in gdpd config).
 
 #![forbid(unsafe_code)]
 
 pub mod crc;
 pub mod engine;
 pub mod file;
+pub mod policy;
+pub mod seglog;
 pub mod store;
 
 pub use engine::{Backing, StorageEngine};
 pub use file::{FileStore, RECOVERY_CHUNK, SEGMENT_MAGIC};
+pub use policy::{AppendAck, FsyncPolicy};
+pub use seglog::{
+    RecoveryStats, SegConfig, SegLog, SegStore, CKPT_MAGIC, SEG_MAGIC as SEGLOG_MAGIC,
+};
 pub use store::{CapsuleStore, MemStore, StoreError};

@@ -1,0 +1,268 @@
+//! Checkpoint file: a durable snapshot of every stream's index.
+//!
+//! Layout of `<dir>/index.ckpt`:
+//!
+//! ```text
+//! magic "GDPCKP\0\x01"
+//! pos_seg:u64be pos_off:u64be          -- log position the snapshot covers
+//! n_segs:u32be  [seg_id:u64be]*        -- segments the snapshot references
+//! n_streams:u32be
+//! header_crc:u32be                     -- CRC-32 over all bytes above
+//! [ capsule:32 payload_len:u32be payload_crc:u32be payload ]*
+//! payload := meta_len:u32be meta n_records:u32be
+//!            [ hash:32 seq:u64be seg:u64be off:u64be ]*
+//! ```
+//!
+//! The checkpoint is advisory: *any* validation failure — bad magic, bad
+//! header CRC, a referenced segment missing from the directory, a short
+//! file — makes recovery ignore it and fall back to a full scan, which is
+//! always correct because the log itself is the source of truth. Writes
+//! go through `index.ckpt.tmp` + fsync + rename + directory fsync, so a
+//! crash mid-write leaves the previous checkpoint intact.
+
+use crate::crc::Crc32;
+use crate::store::StoreError;
+use gdp_capsule::{CapsuleMetadata, RecordHash};
+use gdp_wire::{Name, Wire};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Leading magic of a checkpoint file.
+pub const CKPT_MAGIC: [u8; 8] = *b"GDPCKP\x00\x01";
+
+/// File name of the checkpoint within a log directory.
+pub(crate) const CKPT_FILE: &str = "index.ckpt";
+const CKPT_TMP: &str = "index.ckpt.tmp";
+
+/// Log position a checkpoint covers: everything before `(seg, off)` is in
+/// the snapshot; recovery replays only entries at or past it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointPos {
+    /// Segment holding the first un-snapshotted byte.
+    pub seg: u64,
+    /// Offset of that byte within `seg`.
+    pub off: u64,
+}
+
+/// Where one stream's serialized section lives inside the checkpoint.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SectionLoc {
+    payload_at: u64,
+    payload_len: u32,
+    crc: u32,
+}
+
+/// A validated checkpoint header plus the per-stream section directory.
+pub(crate) struct CheckpointHeader {
+    pub pos: CheckpointPos,
+    pub segs: Vec<u64>,
+    pub sections: BTreeMap<Name, SectionLoc>,
+}
+
+/// One indexed record inside a section payload.
+pub(crate) struct SectionRecord {
+    pub hash: RecordHash,
+    pub seq: u64,
+    pub seg: u64,
+    pub off: u64,
+}
+
+/// Serializes one stream's index into a section payload.
+pub(crate) fn encode_section(
+    metadata: Option<&CapsuleMetadata>,
+    records: &[SectionRecord],
+) -> Vec<u8> {
+    let meta = metadata.map(|m| m.to_wire()).unwrap_or_default();
+    let mut out = Vec::with_capacity(8 + meta.len() + records.len() * 56);
+    out.extend_from_slice(&(meta.len() as u32).to_be_bytes());
+    out.extend_from_slice(&meta);
+    out.extend_from_slice(&(records.len() as u32).to_be_bytes());
+    for r in records {
+        out.extend_from_slice(&r.hash.0);
+        out.extend_from_slice(&r.seq.to_be_bytes());
+        out.extend_from_slice(&r.seg.to_be_bytes());
+        out.extend_from_slice(&r.off.to_be_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_section`]; strict (every byte must be consumed).
+pub(crate) fn decode_section(
+    payload: &[u8],
+) -> Result<(Option<CapsuleMetadata>, Vec<SectionRecord>), StoreError> {
+    let corrupt = |w: &str| StoreError::Corrupt(format!("checkpoint section: {w}"));
+    let mut at = 0usize;
+    let meta_len = read_u32(payload, &mut at).ok_or_else(|| corrupt("short meta_len"))? as usize;
+    let meta_bytes = payload.get(at..at + meta_len).ok_or_else(|| corrupt("short metadata"))?;
+    at += meta_len;
+    let metadata = if meta_len == 0 {
+        None
+    } else {
+        Some(CapsuleMetadata::from_wire(meta_bytes).map_err(|e| corrupt(&format!("meta: {e}")))?)
+    };
+    let n = read_u32(payload, &mut at).ok_or_else(|| corrupt("short n_records"))? as usize;
+    let mut records = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let hash = payload.get(at..at + 32).ok_or_else(|| corrupt("short hash"))?;
+        at += 32;
+        let mut h = [0u8; 32];
+        h.copy_from_slice(hash);
+        let seq = read_u64(payload, &mut at).ok_or_else(|| corrupt("short seq"))?;
+        let seg = read_u64(payload, &mut at).ok_or_else(|| corrupt("short seg"))?;
+        let off = read_u64(payload, &mut at).ok_or_else(|| corrupt("short off"))?;
+        records.push(SectionRecord { hash: RecordHash(h), seq, seg, off });
+    }
+    if at != payload.len() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok((metadata, records))
+}
+
+/// Atomically replaces the checkpoint: tmp + fsync + rename + dir fsync.
+/// Returns the bytes written (for observability).
+pub(crate) fn write(
+    dir: &Path,
+    pos: CheckpointPos,
+    segs: &[u64],
+    sections: &[(Name, Vec<u8>)],
+) -> Result<u64, StoreError> {
+    let mut header = Vec::with_capacity(32 + segs.len() * 8);
+    header.extend_from_slice(&CKPT_MAGIC);
+    header.extend_from_slice(&pos.seg.to_be_bytes());
+    header.extend_from_slice(&pos.off.to_be_bytes());
+    header.extend_from_slice(&(segs.len() as u32).to_be_bytes());
+    for s in segs {
+        header.extend_from_slice(&s.to_be_bytes());
+    }
+    header.extend_from_slice(&(sections.len() as u32).to_be_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&header);
+    header.extend_from_slice(&crc.finish().to_be_bytes());
+
+    let tmp = dir.join(CKPT_TMP);
+    let mut bytes = 0u64;
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&header)?;
+        bytes += header.len() as u64;
+        for (name, payload) in sections {
+            let mut sh = Vec::with_capacity(40);
+            sh.extend_from_slice(name.as_bytes());
+            sh.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            sh.extend_from_slice(&section_crc(name, payload).to_be_bytes());
+            f.write_all(&sh)?;
+            f.write_all(payload)?;
+            bytes += (sh.len() + payload.len()) as u64;
+        }
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, dir.join(CKPT_FILE))?;
+    File::open(dir)?.sync_all()?;
+    Ok(bytes)
+}
+
+/// Loads and validates the checkpoint's header and section directory.
+/// `None` on any inconsistency: recovery then falls back to a full scan.
+pub(crate) fn load_header(dir: &Path) -> Option<CheckpointHeader> {
+    let path = dir.join(CKPT_FILE);
+    let mut f = File::open(path).ok()?;
+    let file_len = f.metadata().ok()?.len();
+    // Header fixed part through n_segs.
+    let mut fixed = [0u8; 28];
+    f.read_exact(&mut fixed).ok()?;
+    if fixed[..8] != CKPT_MAGIC {
+        return None;
+    }
+    let pos = CheckpointPos {
+        seg: u64::from_be_bytes(fixed[8..16].try_into().ok()?),
+        off: u64::from_be_bytes(fixed[16..24].try_into().ok()?),
+    };
+    let n_segs = u32::from_be_bytes(fixed[24..28].try_into().ok()?) as usize;
+    if n_segs > 1 << 20 {
+        return None;
+    }
+    let mut rest = vec![0u8; n_segs * 8 + 8];
+    f.read_exact(&mut rest).ok()?;
+    let mut segs = Vec::with_capacity(n_segs);
+    for i in 0..n_segs {
+        segs.push(u64::from_be_bytes(rest[i * 8..i * 8 + 8].try_into().ok()?));
+    }
+    let n_streams = u32::from_be_bytes(rest[n_segs * 8..n_segs * 8 + 4].try_into().ok()?) as usize;
+    let stored_crc = u32::from_be_bytes(rest[n_segs * 8 + 4..n_segs * 8 + 8].try_into().ok()?);
+    let mut crc = Crc32::new();
+    crc.update(&fixed);
+    crc.update(&rest[..n_segs * 8 + 4]);
+    if crc.finish() != stored_crc {
+        return None;
+    }
+    // Walk the section directory, CRC-checking every payload: rot
+    // anywhere in the checkpoint voids the whole thing (full scan), so an
+    // evicted stream never becomes unreadable while its segments are fine.
+    let mut sections = BTreeMap::new();
+    let mut at = (fixed.len() + rest.len()) as u64;
+    for _ in 0..n_streams {
+        let mut sh = [0u8; 40];
+        f.read_exact(&mut sh).ok()?;
+        let mut nb = [0u8; 32];
+        nb.copy_from_slice(&sh[..32]);
+        let payload_len = u32::from_be_bytes(sh[32..36].try_into().ok()?);
+        let payload_crc = u32::from_be_bytes(sh[36..40].try_into().ok()?);
+        at += 40;
+        if at + payload_len as u64 > file_len {
+            return None;
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        f.read_exact(&mut payload).ok()?;
+        let name = Name(nb);
+        if section_crc(&name, &payload) != payload_crc {
+            return None;
+        }
+        sections.insert(name, SectionLoc { payload_at: at, payload_len, crc: payload_crc });
+        at += payload_len as u64;
+    }
+    if at != file_len {
+        return None;
+    }
+    Some(CheckpointHeader { pos, segs, sections })
+}
+
+/// CRC-32 over a section's name, length, and payload: a flip anywhere in
+/// a section — including the capsule name that keys it — voids it.
+fn section_crc(name: &Name, payload: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(name.as_bytes());
+    crc.update(&(payload.len() as u32).to_be_bytes());
+    crc.update(payload);
+    crc.finish()
+}
+
+/// Reads one stream's raw section payload, CRC-verified (guards against
+/// bytes rotting after `load_header` validated them).
+pub(crate) fn read_raw_section(
+    dir: &Path,
+    name: &Name,
+    loc: &SectionLoc,
+) -> Result<Vec<u8>, StoreError> {
+    let mut f = File::open(dir.join(CKPT_FILE))?;
+    f.seek(SeekFrom::Start(loc.payload_at))?;
+    let mut payload = vec![0u8; loc.payload_len as usize];
+    f.read_exact(&mut payload)?;
+    if section_crc(name, &payload) != loc.crc {
+        return Err(StoreError::Corrupt("checkpoint section crc mismatch".to_string()));
+    }
+    Ok(payload)
+}
+
+fn read_u32(b: &[u8], at: &mut usize) -> Option<u32> {
+    let v = u32::from_be_bytes(b.get(*at..*at + 4)?.try_into().ok()?);
+    *at += 4;
+    Some(v)
+}
+
+fn read_u64(b: &[u8], at: &mut usize) -> Option<u64> {
+    let v = u64::from_be_bytes(b.get(*at..*at + 8)?.try_into().ok()?);
+    *at += 8;
+    Some(v)
+}

@@ -1,0 +1,159 @@
+//! Compaction: copy the live entries out of a sealed segment, delete it.
+//!
+//! Crash-safety argument, step by step (the seg_corruption tests exercise
+//! each window):
+//!
+//! 1. **Copy** every live entry (one whose index location still points
+//!    into the victim) through the normal group-commit path into the
+//!    active segment, updating the in-memory index as we go. A crash here
+//!    leaves duplicates: recovery scans segments in id order, the first
+//!    occurrence of a hash wins, and the victim has the lower id — so the
+//!    originals stay authoritative and the copies count as dead bytes.
+//! 2. **Flush**: the copies are fsynced before anything is removed.
+//! 3. **Unlink** the victim and fsync the directory. A crash between the
+//!    unlink and the next checkpoint leaves a checkpoint whose segment
+//!    list names a file that no longer exists; recovery detects that,
+//!    discards the checkpoint, and falls back to a full scan — which
+//!    finds the flushed copies. Nothing acked is lost in any window.
+//! 4. **Checkpoint**: the new index (copy locations, shrunken segment
+//!    list) becomes the recovery baseline and the window closes.
+//!
+//! A victim with unreadable (rotted) entries refuses compaction and is
+//! marked blocked: deleting bytes we cannot re-home would turn bit rot
+//! into data loss.
+
+use super::segment::{self, seg_path, ScanEnd};
+use super::writer::{ENTRY_HEADER, KIND_METADATA, KIND_RECORD};
+use super::{EntryLoc, LogInner};
+use crate::store::StoreError;
+use gdp_capsule::{Record, RecordHash};
+use gdp_wire::Wire;
+use std::fs::File;
+
+/// Whether a scanned victim entry is still live, and how to re-index it.
+enum Live {
+    Record(RecordHash),
+    Meta,
+    No,
+}
+
+impl LogInner {
+    /// Compacts `victim` (a sealed segment): copy live entries into the
+    /// active segment, flush, unlink, checkpoint. See module docs for the
+    /// crash-safety argument of each step.
+    pub(crate) fn compact_segment(&mut self, victim: u64, now_us: u64) -> Result<(), StoreError> {
+        if victim == self.active || !self.segments.contains_key(&victim) {
+            return Err(StoreError::Corrupt(format!("segment {victim} is not sealed")));
+        }
+        let path = seg_path(&self.dir, victim);
+        let mut entries: Vec<(u8, gdp_wire::Name, Vec<u8>, u64)> = Vec::new();
+        let outcome = segment::scan_segment(&path, 0, |e| {
+            entries.push((e.kind, e.capsule, e.body.to_vec(), e.offset));
+            Ok(())
+        })?;
+        if matches!(outcome.end, ScanEnd::Invalid { .. }) {
+            // Unreadable bytes: refuse to delete what we cannot re-home.
+            if let Some(m) = self.segments.get_mut(&victim) {
+                m.compact_blocked = true;
+            }
+            self.obs.crc_failures.inc();
+            return Err(StoreError::Corrupt(format!(
+                "segment {victim} has unreadable entries; compaction blocked"
+            )));
+        }
+
+        let mut copied = 0u64;
+        for (kind, capsule, body, offset) in entries {
+            let loc = EntryLoc { seg: victim, off: offset };
+            self.ensure_resident(&capsule)?;
+            let live = match kind {
+                KIND_RECORD => {
+                    let record = Record::from_wire(&body)
+                        .map_err(|e| StoreError::Corrupt(format!("record: {e}")))?;
+                    let hash = record.hash();
+                    if self.stream(&capsule).and_then(|s| s.by_hash.get(&hash).copied())
+                        == Some(loc)
+                    {
+                        Live::Record(hash)
+                    } else {
+                        Live::No
+                    }
+                }
+                KIND_METADATA => {
+                    // Live when this is the canonical on-disk copy, or
+                    // when only the checkpoint carries the metadata (the
+                    // log must keep a copy for full-scan recovery).
+                    let adopt =
+                        match self.stream(&capsule).map(|s| (s.metadata.is_some(), s.meta_loc)) {
+                            Some((true, Some(l))) => l == loc,
+                            Some((true, None)) => true,
+                            _ => false,
+                        };
+                    if adopt {
+                        Live::Meta
+                    } else {
+                        Live::No
+                    }
+                }
+                other => {
+                    return Err(StoreError::Corrupt(format!("unknown entry kind {other}")));
+                }
+            };
+            if matches!(live, Live::No) {
+                continue;
+            }
+            if let Some(limit) = self.cfg.compact_fail_after_bytes {
+                if copied >= limit {
+                    // Test failpoint: flush what was copied (so the crash
+                    // window is "copies durable, victim intact") and bail.
+                    self.flush_inner(now_us, true)?;
+                    return Err(StoreError::Corrupt("compaction failpoint".to_string()));
+                }
+            }
+            let new_off = self.gc.append(kind, &capsule, &body);
+            let disk_len = (ENTRY_HEADER + body.len()) as u64;
+            copied += disk_len;
+            let active = self.active;
+            if let Some(m) = self.segments.get_mut(&active) {
+                m.len += disk_len;
+            }
+            let new_loc = EntryLoc { seg: active, off: new_off };
+            if let Some(idx) = self.stream_mut(&capsule) {
+                match live {
+                    Live::Record(hash) => {
+                        idx.by_hash.insert(hash, new_loc);
+                    }
+                    Live::Meta => {
+                        idx.meta_loc = Some(new_loc);
+                    }
+                    Live::No => {}
+                }
+                idx.dirty = true;
+            }
+        }
+
+        // Copies must be durable before the originals can go away.
+        self.flush_inner(now_us, true)?;
+
+        let reclaimed =
+            self.segments.get(&victim).map(|m| m.len).unwrap_or(0).saturating_sub(copied);
+        std::fs::remove_file(&path)?;
+        File::open(&self.dir)?.sync_all()?;
+        self.obs.dir_fsyncs.inc();
+        self.segments.remove(&victim);
+        self.obs.segments.set(self.segments.len() as i64);
+
+        if self.cfg.compact_fail_before_checkpoint {
+            // Test failpoint: crash with the checkpoint still naming the
+            // deleted segment — recovery must detect that and full-scan.
+            return Err(StoreError::Corrupt("compaction checkpoint failpoint".to_string()));
+        }
+
+        // Close the full-scan window: the new checkpoint stops referencing
+        // the deleted segment.
+        self.checkpoint_now(now_us)?;
+        self.obs.segments_compacted.inc();
+        self.obs.compact_bytes_reclaimed.add(reclaimed);
+        Ok(())
+    }
+}

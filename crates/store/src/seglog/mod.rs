@@ -1,0 +1,984 @@
+//! Segmented shared-log storage engine.
+//!
+//! One append log per *node*, shared by every hosted capsule: records
+//! from all capsules multiplex onto a sequence of fixed-size segment
+//! files, with a per-capsule in-memory index for random reads. This is
+//! the capacity-oriented engine from ROADMAP Open item 5 — a node hosting
+//! millions of capsules cannot afford one file + one fsync per capsule.
+//!
+//! The moving parts (see DESIGN.md, "Storage engine"):
+//!
+//! * **Group commit** (`writer.rs`): appends from every stream batch into
+//!   one buffer; a flush is one `write_all` + one `fdatasync`. Appends
+//!   ack [`AppendAck::Pending`] and become sendable only once the
+//!   covering fsync lands — crashing before the flush loses exactly the
+//!   *unacked* tail.
+//! * **Segment rotation**: the active segment seals past
+//!   `segment_max_bytes`; a fresh segment and a checkpoint follow.
+//! * **Checkpointed recovery** (`checkpoint.rs`): recovery loads the
+//!   stream directory from the last checkpoint and replays only the log
+//!   tail past it — bounded by write traffic since the last checkpoint,
+//!   not log size. Any checkpoint damage falls back to a full scan.
+//! * **Compaction** (`compact.rs`): live entries are copied out of a
+//!   mostly-dead sealed segment and the segment is deleted; every step is
+//!   crash-safe (duplicates dedup on recovery, a deleted-but-still-
+//!   referenced segment invalidates the checkpoint into a full scan).
+//! * **Index eviction**: streams untouched since the last checkpoint can
+//!   drop their in-memory index (resident memory is O(hot capsules)) and
+//!   reload it transparently from the checkpoint on next access.
+
+mod checkpoint;
+mod compact;
+mod segment;
+mod writer;
+
+pub use checkpoint::{CheckpointPos, CKPT_MAGIC};
+pub use segment::SEG_MAGIC;
+
+use crate::policy::{AppendAck, FsyncPolicy};
+use crate::store::{CapsuleStore, StoreError};
+use checkpoint::SectionRecord;
+use gdp_capsule::{CapsuleMetadata, Record, RecordHash};
+use gdp_obs::{Counter, Gauge, Histogram, Scope};
+use gdp_wire::{Name, Wire};
+use parking_lot::Mutex;
+use segment::{seg_path, ScanEnd};
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{File, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use writer::{GroupCommit, ENTRY_HEADER, KIND_METADATA, KIND_RECORD};
+
+/// Tuning knobs for a [`SegLog`].
+#[derive(Clone, Debug)]
+pub struct SegConfig {
+    /// Durability policy. [`FsyncPolicy::Never`] is normalized to the
+    /// default batch window: the whole point of this engine is acked
+    /// durability, and "never fsync" has no coherent ack story here.
+    pub policy: FsyncPolicy,
+    /// Seal the active segment once it reaches this size.
+    pub segment_max_bytes: u64,
+    /// Force an inline flush when this many bytes are batched, bounding
+    /// buffered (unacked) data independently of the flush interval.
+    pub flush_byte_budget: usize,
+    /// Evict cold stream indexes beyond this many resident streams.
+    pub max_resident_streams: usize,
+    /// Auto-compact a sealed segment when at least this percentage of its
+    /// payload bytes are dead (0 disables auto-compaction).
+    pub compact_min_dead_pct: u8,
+    /// Test failpoint: abort compaction after copying this many bytes,
+    /// simulating a crash mid-copy.
+    pub compact_fail_after_bytes: Option<u64>,
+    /// Test failpoint: abort compaction after the victim is unlinked but
+    /// before the checkpoint is rewritten, simulating a crash in the
+    /// window where the checkpoint references a deleted segment.
+    pub compact_fail_before_checkpoint: bool,
+}
+
+impl Default for SegConfig {
+    fn default() -> SegConfig {
+        SegConfig {
+            policy: FsyncPolicy::DEFAULT_BATCH,
+            segment_max_bytes: 8 * 1024 * 1024,
+            flush_byte_budget: 256 * 1024,
+            max_resident_streams: 1024,
+            compact_min_dead_pct: 30,
+            compact_fail_after_bytes: None,
+            compact_fail_before_checkpoint: false,
+        }
+    }
+}
+
+/// Cached metric handles (scope "store"; shares the FileStore counter
+/// names so dashboards and the chaos metric smoke read both engines).
+#[derive(Clone)]
+struct SegObs {
+    entries_appended: Counter,
+    bytes_appended: Counter,
+    fsyncs: Counter,
+    dir_fsyncs: Counter,
+    recovery_truncations: Counter,
+    crc_failures: Counter,
+    group_commits: Counter,
+    checkpoints_written: Counter,
+    segments_rotated: Counter,
+    segments_compacted: Counter,
+    compact_bytes_reclaimed: Counter,
+    index_evictions: Counter,
+    index_reloads: Counter,
+    recovery_tail_entries: Counter,
+    recovery_full_scans: Counter,
+    resident_streams: Gauge,
+    segments: Gauge,
+    fsync_batch_entries: Histogram,
+    fsync_us: Histogram,
+}
+
+impl SegObs {
+    fn new(scope: &Scope) -> SegObs {
+        SegObs {
+            entries_appended: scope.counter("entries_appended"),
+            bytes_appended: scope.counter("bytes_appended"),
+            fsyncs: scope.counter("fsyncs"),
+            dir_fsyncs: scope.counter("dir_fsyncs"),
+            recovery_truncations: scope.counter("recovery_truncations"),
+            crc_failures: scope.counter("crc_failures"),
+            group_commits: scope.counter("group_commits"),
+            checkpoints_written: scope.counter("checkpoints_written"),
+            segments_rotated: scope.counter("segments_rotated"),
+            segments_compacted: scope.counter("segments_compacted"),
+            compact_bytes_reclaimed: scope.counter("compact_bytes_reclaimed"),
+            index_evictions: scope.counter("index_evictions"),
+            index_reloads: scope.counter("index_reloads"),
+            recovery_tail_entries: scope.counter("recovery_tail_entries"),
+            recovery_full_scans: scope.counter("recovery_full_scans"),
+            resident_streams: scope.gauge("resident_streams"),
+            segments: scope.gauge("segments"),
+            fsync_batch_entries: scope.histogram("fsync_batch_entries"),
+            fsync_us: scope.histogram("fsync_us"),
+        }
+    }
+}
+
+/// Where one entry lives in the log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct EntryLoc {
+    seg: u64,
+    off: u64,
+}
+
+/// In-memory index of one capsule's stream.
+struct StreamIndex {
+    metadata: Option<CapsuleMetadata>,
+    /// Canonical on-disk metadata entry (None when only the checkpoint
+    /// carries it; compaction then re-adopts the first copy it meets).
+    meta_loc: Option<EntryLoc>,
+    by_hash: HashMap<RecordHash, EntryLoc>,
+    by_seq: BTreeMap<u64, Vec<RecordHash>>,
+    /// Logical LRU clock value of the last access.
+    touch: u64,
+    /// True when the stream has state not yet covered by a checkpoint;
+    /// only clean streams may evict (Evicted ⇒ checkpoint-covered).
+    dirty: bool,
+}
+
+impl StreamIndex {
+    fn fresh() -> StreamIndex {
+        StreamIndex {
+            metadata: None,
+            meta_loc: None,
+            by_hash: HashMap::new(),
+            by_seq: BTreeMap::new(),
+            touch: 0,
+            dirty: true,
+        }
+    }
+}
+
+/// A stream is resident (index in memory) or evicted to the checkpoint.
+enum StreamSlot {
+    Resident(Box<StreamIndex>),
+    Evicted,
+}
+
+/// Per-segment bookkeeping.
+#[derive(Clone, Copy, Debug, Default)]
+struct SegMeta {
+    /// Total bytes (header + entries, durable + buffered for the active).
+    len: u64,
+    /// Bytes whose entries are superseded (compaction-crash duplicates).
+    dead: u64,
+    /// Set when a compaction attempt hit rot; skip in auto-selection.
+    compact_blocked: bool,
+}
+
+/// What the last `open()` did (for bounded-recovery assertions).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryStats {
+    /// Entries replayed from the log tail past the checkpoint.
+    pub tail_entries: u64,
+    /// True when no usable checkpoint existed and the whole log was scanned.
+    pub full_scan: bool,
+    /// Peak bytes buffered while scanning (bounded by chunk + max entry).
+    pub peak_buffer: usize,
+}
+
+pub(crate) struct LogInner {
+    dir: PathBuf,
+    cfg: SegConfig,
+    segments: BTreeMap<u64, SegMeta>,
+    active: u64,
+    gc: GroupCommit,
+    streams: BTreeMap<Name, StreamSlot>,
+    resident: usize,
+    touch_clock: u64,
+    /// Directory of the last durable checkpoint (section reload source).
+    ckpt: Option<checkpoint::CheckpointHeader>,
+    recovery: RecoveryStats,
+    obs: SegObs,
+}
+
+/// The shared segmented log: cheap-to-clone node-wide handle. Per-capsule
+/// [`CapsuleStore`] views come from [`SegLog::handle`].
+#[derive(Clone)]
+pub struct SegLog {
+    inner: Arc<Mutex<LogInner>>,
+}
+
+impl SegLog {
+    /// Opens (or creates) the log under `dir` with a private metric
+    /// registry.
+    pub fn open(dir: impl AsRef<Path>, cfg: SegConfig) -> Result<SegLog, StoreError> {
+        SegLog::open_with(dir, cfg, &gdp_obs::Metrics::new().scope("store"))
+    }
+
+    /// [`SegLog::open`], registering metrics under `scope`.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        mut cfg: SegConfig,
+        scope: &Scope,
+    ) -> Result<SegLog, StoreError> {
+        if cfg.policy == FsyncPolicy::Never {
+            cfg.policy = FsyncPolicy::DEFAULT_BATCH;
+        }
+        let inner = LogInner::open(dir.as_ref(), cfg, scope)?;
+        Ok(SegLog { inner: Arc::new(Mutex::new(inner)) })
+    }
+
+    /// A [`CapsuleStore`] view of one capsule's stream.
+    pub fn handle(&self, capsule: Name) -> SegStore {
+        SegStore { log: self.clone(), capsule }
+    }
+
+    /// Forces a group-commit flush now; returns the durable epoch.
+    pub fn flush_now(&self, now_us: u64) -> Result<u64, StoreError> {
+        self.inner.lock().flush_inner(now_us, true)
+    }
+
+    /// Periodic maintenance: due flushes, rotation, auto-compaction,
+    /// index eviction. Returns the durable epoch. This is what
+    /// [`SegStore::flush`] calls from the server tick.
+    pub fn maintain(&self, now_us: u64) -> Result<u64, StoreError> {
+        self.inner.lock().maintain(now_us)
+    }
+
+    /// Writes a checkpoint now (flushing first).
+    pub fn checkpoint_now(&self, now_us: u64) -> Result<(), StoreError> {
+        self.inner.lock().checkpoint_now(now_us)
+    }
+
+    /// Seals the active segment and starts a new one (flushing first).
+    pub fn rotate_now(&self, now_us: u64) -> Result<(), StoreError> {
+        self.inner.lock().rotate(now_us)
+    }
+
+    /// Compacts one sealed segment if any crosses the dead-byte
+    /// threshold; returns whether a segment was reclaimed.
+    pub fn compact_once(&self, now_us: u64) -> Result<bool, StoreError> {
+        let mut inner = self.inner.lock();
+        match inner.pick_victim() {
+            Some(victim) => inner.compact_segment(victim, now_us).map(|()| true),
+            None => Ok(false),
+        }
+    }
+
+    /// Compacts a specific sealed segment (tests, operator tooling).
+    pub fn compact_segment(&self, seg: u64, now_us: u64) -> Result<(), StoreError> {
+        self.inner.lock().compact_segment(seg, now_us)
+    }
+
+    /// Ids of all live segments, ascending (last is the active one).
+    pub fn segment_ids(&self) -> Vec<u64> {
+        self.inner.lock().segments.keys().copied().collect()
+    }
+
+    /// Number of streams with a resident in-memory index.
+    pub fn resident_streams(&self) -> usize {
+        self.inner.lock().resident
+    }
+
+    /// Total streams known (resident + evicted).
+    pub fn stream_count(&self) -> usize {
+        self.inner.lock().streams.len()
+    }
+
+    /// What the opening recovery scan did.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.inner.lock().recovery
+    }
+
+    /// The current durable epoch.
+    pub fn durable_epoch(&self) -> u64 {
+        self.inner.lock().gc.epoch_durable()
+    }
+}
+
+/// One capsule's [`CapsuleStore`] view of a [`SegLog`].
+pub struct SegStore {
+    log: SegLog,
+    capsule: Name,
+}
+
+impl SegStore {
+    /// The capsule this handle serves.
+    pub fn capsule(&self) -> &Name {
+        &self.capsule
+    }
+}
+
+impl CapsuleStore for SegStore {
+    fn put_metadata(&mut self, metadata: &CapsuleMetadata) -> Result<(), StoreError> {
+        self.log.inner.lock().put_metadata(&self.capsule, metadata)
+    }
+
+    fn metadata(&self) -> Result<CapsuleMetadata, StoreError> {
+        let mut inner = self.log.inner.lock();
+        inner.ensure_resident(&self.capsule)?;
+        match inner.stream(&self.capsule).and_then(|s| s.metadata.clone()) {
+            Some(m) => Ok(m),
+            None => Err(StoreError::NoMetadata),
+        }
+    }
+
+    fn append(&mut self, record: &Record) -> Result<(), StoreError> {
+        self.log.inner.lock().append(&self.capsule, record).map(|_| ())
+    }
+
+    fn append_acked(&mut self, record: &Record) -> Result<AppendAck, StoreError> {
+        self.log.inner.lock().append(&self.capsule, record)
+    }
+
+    fn get_by_seq(&self, seq: u64) -> Result<Option<Record>, StoreError> {
+        let mut inner = self.log.inner.lock();
+        inner.ensure_resident(&self.capsule)?;
+        let loc = inner
+            .stream(&self.capsule)
+            .and_then(|s| s.by_seq.get(&seq).and_then(|hs| hs.first()).map(|h| s.by_hash[h]));
+        match loc {
+            Some(loc) => inner.read_record(&self.capsule, loc).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn get_all_at_seq(&self, seq: u64) -> Result<Vec<Record>, StoreError> {
+        let mut inner = self.log.inner.lock();
+        inner.ensure_resident(&self.capsule)?;
+        let locs: Vec<EntryLoc> = inner
+            .stream(&self.capsule)
+            .map(|s| {
+                s.by_seq
+                    .get(&seq)
+                    .map(|hs| hs.iter().map(|h| s.by_hash[h]).collect())
+                    .unwrap_or_default()
+            })
+            .unwrap_or_default();
+        locs.into_iter().map(|loc| inner.read_record(&self.capsule, loc)).collect()
+    }
+
+    fn get_by_hash(&self, hash: &RecordHash) -> Result<Option<Record>, StoreError> {
+        let mut inner = self.log.inner.lock();
+        inner.ensure_resident(&self.capsule)?;
+        let loc = inner.stream(&self.capsule).and_then(|s| s.by_hash.get(hash).copied());
+        match loc {
+            Some(loc) => inner.read_record(&self.capsule, loc).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn latest_seq(&self) -> u64 {
+        let mut inner = self.log.inner.lock();
+        if inner.ensure_resident(&self.capsule).is_err() {
+            return 0;
+        }
+        inner.stream(&self.capsule).and_then(|s| s.by_seq.keys().next_back().copied()).unwrap_or(0)
+    }
+
+    fn len(&self) -> usize {
+        let mut inner = self.log.inner.lock();
+        if inner.ensure_resident(&self.capsule).is_err() {
+            return 0;
+        }
+        inner.stream(&self.capsule).map(|s| s.by_hash.len()).unwrap_or(0)
+    }
+
+    fn range(&self, from: u64, to: u64) -> Result<Vec<Record>, StoreError> {
+        let mut inner = self.log.inner.lock();
+        inner.ensure_resident(&self.capsule)?;
+        let locs: Vec<EntryLoc> = inner
+            .stream(&self.capsule)
+            .map(|s| {
+                s.by_seq
+                    .range(from..=to)
+                    .flat_map(|(_, hs)| hs.iter().map(|h| s.by_hash[h]))
+                    .collect()
+            })
+            .unwrap_or_default();
+        locs.into_iter().map(|loc| inner.read_record(&self.capsule, loc)).collect()
+    }
+
+    fn hashes(&self) -> Vec<RecordHash> {
+        let mut inner = self.log.inner.lock();
+        if inner.ensure_resident(&self.capsule).is_err() {
+            return Vec::new();
+        }
+        inner.stream(&self.capsule).map(|s| s.by_hash.keys().copied().collect()).unwrap_or_default()
+    }
+
+    fn flush(&mut self, now_us: u64) -> Result<u64, StoreError> {
+        self.log.inner.lock().maintain(now_us)
+    }
+
+    fn durable_epoch(&self) -> u64 {
+        self.log.inner.lock().gc.epoch_durable()
+    }
+
+    fn durability_of(&self, hash: &RecordHash) -> AppendAck {
+        let mut inner = self.log.inner.lock();
+        if inner.ensure_resident(&self.capsule).is_err() {
+            return AppendAck::Durable;
+        }
+        match inner.stream(&self.capsule).and_then(|s| s.by_hash.get(hash).copied()) {
+            Some(loc) => inner.durability_at(loc),
+            None => AppendAck::Durable,
+        }
+    }
+}
+
+impl LogInner {
+    fn open(dir: &Path, cfg: SegConfig, scope: &Scope) -> Result<LogInner, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let _ = std::fs::remove_file(dir.join("index.ckpt.tmp"));
+        let obs = SegObs::new(scope);
+
+        // Inventory segment files.
+        let mut segments: BTreeMap<u64, SegMeta> = BTreeMap::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(id) = segment::parse_seg_id(name) {
+                let len = entry.metadata()?.len();
+                segments.insert(id, SegMeta { len, ..SegMeta::default() });
+            }
+        }
+        let fresh = segments.is_empty();
+        if fresh {
+            create_segment(dir, 0)?;
+            obs.dir_fsyncs.inc();
+            segments.insert(0, SegMeta { len: SEG_MAGIC.len() as u64, ..SegMeta::default() });
+        }
+        let active = segments.keys().next_back().copied().unwrap_or(0);
+
+        // Validate the checkpoint against the directory: every referenced
+        // segment must exist and the position must be inside the log.
+        let ckpt = checkpoint::load_header(dir).filter(|h| {
+            h.segs.iter().all(|id| segments.contains_key(id))
+                && segments.get(&h.pos.seg).is_some_and(|m| h.pos.off <= m.len)
+        });
+
+        let mut inner = LogInner {
+            dir: dir.to_path_buf(),
+            cfg,
+            segments,
+            active,
+            // Placeholder until the scan fixes the true durable tail; the
+            // file is reopened below.
+            gc: GroupCommit::new(open_segment_append(dir, active)?, 0),
+            streams: BTreeMap::new(),
+            resident: 0,
+            touch_clock: 0,
+            ckpt,
+            recovery: RecoveryStats::default(),
+            obs,
+        };
+        inner.recover()?;
+        Ok(inner)
+    }
+
+    /// Rebuilds stream indexes: checkpoint directory + tail scan (or a
+    /// full scan when the checkpoint is missing/damaged).
+    fn recover(&mut self) -> Result<(), StoreError> {
+        let scan_from = match &self.ckpt {
+            Some(h) => {
+                for name in h.sections.keys() {
+                    self.streams.insert(*name, StreamSlot::Evicted);
+                }
+                h.pos
+            }
+            None => {
+                // A brand-new log (one empty segment, nothing but magic)
+                // has nothing to recover: don't report it as a full scan.
+                let trivial = self.segments.len() == 1
+                    && self.segments.values().next().map(|m| m.len) == Some(SEG_MAGIC.len() as u64);
+                if !trivial {
+                    self.recovery.full_scan = true;
+                    self.obs.recovery_full_scans.inc();
+                }
+                CheckpointPos { seg: self.segments.keys().next().copied().unwrap_or(0), off: 0 }
+            }
+        };
+
+        let seg_ids: Vec<u64> =
+            self.segments.keys().copied().filter(|id| *id >= scan_from.seg).collect();
+        let mut active_valid_end = self.segments[&self.active].len;
+        for id in seg_ids {
+            let from = if id == scan_from.seg { scan_from.off } else { 0 };
+            let path = seg_path(&self.dir, id);
+            // Collect entries first, then merge: the callback cannot
+            // borrow `self` while the scanner drives it.
+            let mut entries: Vec<(u8, Name, Vec<u8>, u64, u64)> = Vec::new();
+            let outcome = segment::scan_segment(&path, from, |e| {
+                entries.push((e.kind, e.capsule, e.body.to_vec(), e.offset, e.disk_len));
+                Ok(())
+            })?;
+            self.recovery.peak_buffer = self.recovery.peak_buffer.max(outcome.peak_buffer);
+            for (kind, capsule, body, offset, disk_len) in entries {
+                self.merge_entry(
+                    kind,
+                    &capsule,
+                    &body,
+                    EntryLoc { seg: id, off: offset },
+                    disk_len,
+                )?;
+                self.recovery.tail_entries += 1;
+            }
+            match outcome.end {
+                ScanEnd::Clean => {}
+                ScanEnd::Invalid { valid_end, crc_mismatch } => {
+                    if crc_mismatch {
+                        self.obs.crc_failures.inc();
+                    }
+                    if id == self.active {
+                        // Torn tail of the active segment: truncate so
+                        // appends restart from a clean edge.
+                        let f = OpenOptions::new().write(true).open(&path)?;
+                        f.set_len(valid_end)?;
+                        f.sync_data()?;
+                        self.obs.recovery_truncations.inc();
+                        active_valid_end = valid_end;
+                        if let Some(m) = self.segments.get_mut(&id) {
+                            m.len = valid_end;
+                        }
+                    } else {
+                        // Rot inside a sealed segment: entries past it are
+                        // unreachable from this scan; keep going — the
+                        // checkpoint may still index earlier entries.
+                        if let Some(m) = self.segments.get_mut(&id) {
+                            m.compact_blocked = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !self.recovery.full_scan {
+            self.obs.recovery_tail_entries.add(self.recovery.tail_entries);
+        }
+
+        self.gc = GroupCommit::new(open_segment_append(&self.dir, self.active)?, active_valid_end);
+        self.obs.segments.set(self.segments.len() as i64);
+        self.obs.resident_streams.set(self.resident as i64);
+        Ok(())
+    }
+
+    /// Merges one scanned entry into the indexes (dedup by hash: the
+    /// first occurrence wins, so compaction-crash duplicates are dead).
+    fn merge_entry(
+        &mut self,
+        kind: u8,
+        capsule: &Name,
+        body: &[u8],
+        loc: EntryLoc,
+        disk_len: u64,
+    ) -> Result<(), StoreError> {
+        self.ensure_resident(capsule)?;
+        match kind {
+            KIND_METADATA => {
+                let meta = CapsuleMetadata::from_wire(body)
+                    .map_err(|e| StoreError::Corrupt(format!("metadata: {e}")))?;
+                let state = self.stream(capsule).map(|s| (s.metadata.is_some(), s.meta_loc));
+                match state {
+                    Some((false, _)) => {
+                        if let Some(idx) = self.stream_mut(capsule) {
+                            idx.metadata = Some(meta);
+                            idx.meta_loc = Some(loc);
+                        }
+                    }
+                    Some((true, None)) => {
+                        // Metadata came from the checkpoint: adopt this
+                        // entry as the canonical on-disk copy.
+                        if let Some(idx) = self.stream_mut(capsule) {
+                            idx.meta_loc = Some(loc);
+                        }
+                    }
+                    _ => {
+                        if let Some(m) = self.segments.get_mut(&loc.seg) {
+                            m.dead += disk_len;
+                        }
+                    }
+                }
+            }
+            KIND_RECORD => {
+                let record = Record::from_wire(body)
+                    .map_err(|e| StoreError::Corrupt(format!("record: {e}")))?;
+                let hash = record.hash();
+                let seq = record.header.seq;
+                let dup = self.stream(capsule).is_some_and(|s| s.by_hash.contains_key(&hash));
+                if dup {
+                    if let Some(m) = self.segments.get_mut(&loc.seg) {
+                        m.dead += disk_len;
+                    }
+                } else if let Some(idx) = self.stream_mut(capsule) {
+                    idx.by_hash.insert(hash, loc);
+                    idx.by_seq.entry(seq).or_default().push(hash);
+                }
+            }
+            other => {
+                return Err(StoreError::Corrupt(format!("unknown entry kind {other}")));
+            }
+        }
+        Ok(())
+    }
+
+    fn stream(&self, capsule: &Name) -> Option<&StreamIndex> {
+        match self.streams.get(capsule) {
+            Some(StreamSlot::Resident(idx)) => Some(idx),
+            _ => None,
+        }
+    }
+
+    fn stream_mut(&mut self, capsule: &Name) -> Option<&mut StreamIndex> {
+        match self.streams.get_mut(capsule) {
+            Some(StreamSlot::Resident(idx)) => Some(idx),
+            _ => None,
+        }
+    }
+
+    /// Makes `capsule`'s index resident, reloading an evicted one from
+    /// the checkpoint or creating a fresh one, and bumps its LRU touch.
+    fn ensure_resident(&mut self, capsule: &Name) -> Result<(), StoreError> {
+        self.touch_clock += 1;
+        let touch = self.touch_clock;
+        match self.streams.get_mut(capsule) {
+            Some(StreamSlot::Resident(idx)) => {
+                idx.touch = touch;
+                return Ok(());
+            }
+            Some(StreamSlot::Evicted) => {
+                let idx = self.reload_stream(capsule)?;
+                self.streams.insert(*capsule, StreamSlot::Resident(Box::new(idx)));
+                self.resident += 1;
+                self.obs.index_reloads.inc();
+            }
+            None => {
+                let mut idx = StreamIndex::fresh();
+                idx.touch = touch;
+                self.streams.insert(*capsule, StreamSlot::Resident(Box::new(idx)));
+                self.resident += 1;
+            }
+        }
+        if let Some(StreamSlot::Resident(idx)) = self.streams.get_mut(capsule) {
+            idx.touch = touch;
+        }
+        self.evict_over_budget(None);
+        self.obs.resident_streams.set(self.resident as i64);
+        Ok(())
+    }
+
+    /// Rebuilds an evicted stream's index from its checkpoint section.
+    /// Evicted ⇒ clean at the last checkpoint, so the section is exact.
+    fn reload_stream(&mut self, capsule: &Name) -> Result<StreamIndex, StoreError> {
+        let Some(h) = &self.ckpt else {
+            return Err(StoreError::Corrupt("evicted stream without checkpoint".to_string()));
+        };
+        let Some(loc) = h.sections.get(capsule) else {
+            return Err(StoreError::Corrupt("evicted stream missing from checkpoint".to_string()));
+        };
+        let payload = checkpoint::read_raw_section(&self.dir, capsule, loc)?;
+        let (metadata, records) = checkpoint::decode_section(&payload)?;
+        let mut idx = StreamIndex::fresh();
+        idx.metadata = metadata;
+        idx.dirty = false;
+        for r in records {
+            idx.by_hash.insert(r.hash, EntryLoc { seg: r.seg, off: r.off });
+            idx.by_seq.entry(r.seq).or_default().push(r.hash);
+        }
+        Ok(idx)
+    }
+
+    /// Evicts clean cold streams while over the residency budget. With
+    /// `checkpoint_at` (maintenance only), dirty streams are first made
+    /// clean by checkpointing. The most-recently-touched stream is never
+    /// evicted — the caller is in the middle of using it.
+    fn evict_over_budget(&mut self, checkpoint_at: Option<u64>) {
+        if self.resident <= self.cfg.max_resident_streams {
+            return;
+        }
+        if let Some(now_us) = checkpoint_at {
+            if !self.streams.values().any(|s| matches!(s, StreamSlot::Resident(i) if !i.dirty)) {
+                // All resident streams are dirty: a checkpoint makes them
+                // evictable. Failure just defers eviction.
+                let _ = self.checkpoint_now(now_us);
+            }
+        }
+        while self.resident > self.cfg.max_resident_streams {
+            let newest = self.touch_clock;
+            let coldest = self
+                .streams
+                .iter()
+                .filter_map(|(name, slot)| match slot {
+                    StreamSlot::Resident(idx) if !idx.dirty && idx.touch < newest => {
+                        Some((idx.touch, *name))
+                    }
+                    _ => None,
+                })
+                .min();
+            let Some((_, name)) = coldest else { break };
+            self.streams.insert(name, StreamSlot::Evicted);
+            self.resident -= 1;
+            self.obs.index_evictions.inc();
+        }
+        self.obs.resident_streams.set(self.resident as i64);
+    }
+
+    fn durability_at(&self, loc: EntryLoc) -> AppendAck {
+        if loc.seg < self.active || loc.off < self.gc.durable_len() {
+            AppendAck::Durable
+        } else {
+            AppendAck::Pending(self.gc.pending_epoch())
+        }
+    }
+
+    fn put_metadata(
+        &mut self,
+        capsule: &Name,
+        metadata: &CapsuleMetadata,
+    ) -> Result<(), StoreError> {
+        self.ensure_resident(capsule)?;
+        if self.stream(capsule).is_some_and(|s| s.metadata.is_some()) {
+            return Ok(());
+        }
+        let body = metadata.to_wire();
+        let off = self.gc.append(KIND_METADATA, capsule, &body);
+        let disk_len = (ENTRY_HEADER + body.len()) as u64;
+        let active = self.active;
+        if let Some(m) = self.segments.get_mut(&active) {
+            m.len += disk_len;
+        }
+        if let Some(idx) = self.stream_mut(capsule) {
+            idx.metadata = Some(metadata.clone());
+            idx.meta_loc = Some(EntryLoc { seg: active, off });
+            idx.dirty = true;
+        }
+        self.obs.entries_appended.inc();
+        self.obs.bytes_appended.add(disk_len);
+        // Capsule creation is acked immediately by the server, so make it
+        // durable immediately: metadata writes are once-per-capsule.
+        self.flush_inner(self.gc.last_now(), true)?;
+        Ok(())
+    }
+
+    fn append(&mut self, capsule: &Name, record: &Record) -> Result<AppendAck, StoreError> {
+        self.ensure_resident(capsule)?;
+        let hash = record.hash();
+        if let Some(loc) = self.stream(capsule).and_then(|s| s.by_hash.get(&hash).copied()) {
+            // Duplicate: report the stored record's current durability so
+            // retried appends never ack ahead of their covering fsync.
+            return Ok(self.durability_at(loc));
+        }
+        let body = record.to_wire();
+        let off = self.gc.append(KIND_RECORD, capsule, &body);
+        let disk_len = (ENTRY_HEADER + body.len()) as u64;
+        let active = self.active;
+        if let Some(m) = self.segments.get_mut(&active) {
+            m.len += disk_len;
+        }
+        let seq = record.header.seq;
+        if let Some(idx) = self.stream_mut(capsule) {
+            idx.by_hash.insert(hash, EntryLoc { seg: active, off });
+            idx.by_seq.entry(seq).or_default().push(hash);
+            idx.dirty = true;
+        }
+        self.obs.entries_appended.inc();
+        self.obs.bytes_appended.add(disk_len);
+
+        let force = self.cfg.policy == FsyncPolicy::Always
+            || self.gc.buffered_bytes() >= self.cfg.flush_byte_budget;
+        if force {
+            self.flush_inner(self.gc.last_now(), true)?;
+            return Ok(AppendAck::Durable);
+        }
+        Ok(AppendAck::Pending(self.gc.pending_epoch()))
+    }
+
+    /// Group-commit flush: when due (or forced), one write + one fsync
+    /// covering every batched append. Returns the durable epoch.
+    fn flush_inner(&mut self, now_us: u64, force: bool) -> Result<u64, StoreError> {
+        let due = match self.cfg.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Never => true, // normalized away in open_with
+            FsyncPolicy::Batch { interval_us } => self.gc.due(now_us, interval_us),
+        };
+        if force || due {
+            let t0 = std::time::Instant::now();
+            if let Some(entries) = self.gc.flush(now_us)? {
+                self.obs.fsyncs.inc();
+                self.obs.group_commits.inc();
+                self.obs.fsync_batch_entries.observe(entries);
+                self.obs.fsync_us.observe(t0.elapsed().as_micros() as u64);
+            }
+        }
+        Ok(self.gc.epoch_durable())
+    }
+
+    /// Maintenance pass: due flush, rotation, auto-compaction, eviction.
+    fn maintain(&mut self, now_us: u64) -> Result<u64, StoreError> {
+        let epoch = self.flush_inner(now_us, false)?;
+        if self.gc.total_len() >= self.cfg.segment_max_bytes {
+            self.rotate(now_us)?;
+        }
+        if self.cfg.compact_min_dead_pct > 0 {
+            if let Some(victim) = self.pick_victim() {
+                self.compact_segment(victim, now_us)?;
+            }
+        }
+        self.evict_over_budget(Some(now_us));
+        Ok(epoch)
+    }
+
+    /// Seals the active segment, starts the next, checkpoints.
+    fn rotate(&mut self, now_us: u64) -> Result<(), StoreError> {
+        self.flush_inner(now_us, true)?;
+        let next = self.active + 1;
+        let file = create_segment(&self.dir, next)?;
+        self.obs.dir_fsyncs.inc();
+        self.gc.rotate_to(file, SEG_MAGIC.len() as u64)?;
+        self.active = next;
+        self.segments.insert(next, SegMeta { len: SEG_MAGIC.len() as u64, ..SegMeta::default() });
+        self.obs.segments_rotated.inc();
+        self.obs.segments.set(self.segments.len() as i64);
+        self.checkpoint_now(now_us)?;
+        Ok(())
+    }
+
+    /// Writes a checkpoint covering everything durable: resident streams
+    /// serialize from memory, evicted streams copy their (still-exact)
+    /// section from the previous checkpoint.
+    fn checkpoint_now(&mut self, now_us: u64) -> Result<(), StoreError> {
+        self.flush_inner(now_us, true)?;
+        let pos = CheckpointPos { seg: self.active, off: self.gc.durable_len() };
+        let names: Vec<Name> = self.streams.keys().copied().collect();
+        let mut sections = Vec::with_capacity(names.len());
+        for name in names {
+            let payload = match self.streams.get(&name) {
+                Some(StreamSlot::Resident(idx)) => {
+                    let mut records = Vec::with_capacity(idx.by_hash.len());
+                    for (seq, hashes) in &idx.by_seq {
+                        for h in hashes {
+                            let loc = idx.by_hash[h];
+                            records.push(SectionRecord {
+                                hash: *h,
+                                seq: *seq,
+                                seg: loc.seg,
+                                off: loc.off,
+                            });
+                        }
+                    }
+                    checkpoint::encode_section(idx.metadata.as_ref(), &records)
+                }
+                Some(StreamSlot::Evicted) => {
+                    let Some(h) = &self.ckpt else {
+                        return Err(StoreError::Corrupt(
+                            "evicted stream without checkpoint".to_string(),
+                        ));
+                    };
+                    let Some(loc) = h.sections.get(&name) else {
+                        return Err(StoreError::Corrupt(
+                            "evicted stream missing from checkpoint".to_string(),
+                        ));
+                    };
+                    checkpoint::read_raw_section(&self.dir, &name, loc)?
+                }
+                None => continue,
+            };
+            sections.push((name, payload));
+        }
+        let segs: Vec<u64> = self.segments.keys().copied().collect();
+        checkpoint::write(&self.dir, pos, &segs, &sections)?;
+        self.obs.dir_fsyncs.inc();
+        self.obs.checkpoints_written.inc();
+        for slot in self.streams.values_mut() {
+            if let StreamSlot::Resident(idx) = slot {
+                idx.dirty = false;
+            }
+        }
+        self.ckpt = checkpoint::load_header(&self.dir);
+        if self.ckpt.is_none() {
+            return Err(StoreError::Corrupt("checkpoint unreadable after write".to_string()));
+        }
+        Ok(())
+    }
+
+    /// The lowest sealed segment over the dead-byte threshold, if any.
+    fn pick_victim(&self) -> Option<u64> {
+        let pct = self.cfg.compact_min_dead_pct as u64;
+        if pct == 0 {
+            return None;
+        }
+        self.segments
+            .iter()
+            .filter(|(id, m)| {
+                **id != self.active
+                    && !m.compact_blocked
+                    && m.len > SEG_MAGIC.len() as u64
+                    && m.dead * 100 >= (m.len - SEG_MAGIC.len() as u64) * pct
+                    && m.dead > 0
+            })
+            .map(|(id, _)| *id)
+            .next()
+    }
+
+    /// Random read of one record, serving the active segment through the
+    /// group-commit buffer and sealed segments from disk.
+    fn read_record(&mut self, capsule: &Name, loc: EntryLoc) -> Result<Record, StoreError> {
+        let decoded = if loc.seg == self.active {
+            let gc = &mut self.gc;
+            let mut header = [0u8; ENTRY_HEADER];
+            match gc.read_at(loc.off, &mut header) {
+                Ok(()) => segment::decode_entry_header_and_body(&header, |body| {
+                    gc.read_at(loc.off + ENTRY_HEADER as u64, body).map_err(segment::rot_eof)
+                }),
+                Err(e) => Err(segment::rot_eof(e)),
+            }
+        } else {
+            segment::read_entry_at(&seg_path(&self.dir, loc.seg), loc.off)
+        };
+        let (kind, cap, body) = match decoded {
+            Ok(v) => v,
+            Err(e) => {
+                if matches!(e, StoreError::Corrupt(_)) {
+                    self.obs.crc_failures.inc();
+                }
+                return Err(e);
+            }
+        };
+        if kind != KIND_RECORD || cap != *capsule {
+            return Err(StoreError::Corrupt("entry kind/stream mismatch on read".to_string()));
+        }
+        Record::from_wire(&body).map_err(|e| StoreError::Corrupt(format!("record: {e}")))
+    }
+}
+
+/// Creates segment `id` with its magic, fsyncing file and directory.
+fn create_segment(dir: &Path, id: u64) -> Result<File, StoreError> {
+    let path = seg_path(dir, id);
+    let mut f = OpenOptions::new().create_new(true).append(true).read(true).open(&path)?;
+    std::io::Write::write_all(&mut f, &SEG_MAGIC)?;
+    f.sync_data()?;
+    File::open(dir)?.sync_all()?;
+    Ok(f)
+}
+
+/// Opens segment `id` for appending (reads allowed for the buffer path).
+fn open_segment_append(dir: &Path, id: u64) -> Result<File, StoreError> {
+    Ok(OpenOptions::new().read(true).append(true).open(seg_path(dir, id))?)
+}

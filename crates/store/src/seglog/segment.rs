@@ -1,0 +1,222 @@
+//! Segment files: naming, bounded-memory scanning, random entry reads.
+//!
+//! A segment is `GDPSEG\0\x01` followed by entries in the framing defined
+//! in `writer.rs`. Scanning streams the file in [`RECOVERY_CHUNK`]-sized
+//! reads (same bound as `FileStore` recovery): peak memory is one chunk
+//! plus the largest single entry, never segment size.
+
+use super::writer::{entry_crc, ENTRY_HEADER};
+use crate::file::RECOVERY_CHUNK;
+use crate::store::StoreError;
+use gdp_wire::Name;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Leading magic of a shared-log segment file.
+pub const SEG_MAGIC: [u8; 8] = *b"GDPSEG\x00\x01";
+
+/// `<dir>/<id>.seg`, zero-padded so lexical order is id order.
+pub(crate) fn seg_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("{id:010}.seg"))
+}
+
+/// Inverse of [`seg_path`] on a file name.
+pub(crate) fn parse_seg_id(name: &str) -> Option<u64> {
+    let stem = name.strip_suffix(".seg")?;
+    if stem.len() != 10 || !stem.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    stem.parse().ok()
+}
+
+/// One decoded entry handed to the scan callback.
+pub(crate) struct ScanEntry<'a> {
+    pub kind: u8,
+    pub capsule: Name,
+    pub body: &'a [u8],
+    /// Offset of the entry's first header byte in the segment.
+    pub offset: u64,
+    /// Framed length on disk (header + body).
+    pub disk_len: u64,
+}
+
+/// Why a scan stopped.
+pub(crate) enum ScanEnd {
+    /// Every byte parsed cleanly.
+    Clean,
+    /// A torn or rotted entry at `valid_end`; `crc_mismatch` is true when
+    /// a complete frame failed its CRC (rot), false when the frame itself
+    /// ran out of file (torn tail).
+    Invalid { valid_end: u64, crc_mismatch: bool },
+}
+
+/// Outcome of [`scan_segment`].
+pub(crate) struct ScanOutcome {
+    pub end: ScanEnd,
+    /// Peak bytes buffered during the scan (bounded-memory regression hook).
+    pub peak_buffer: usize,
+}
+
+/// Streams entries from `offset` (or just past the magic when 0),
+/// invoking `on_entry` for each CRC-clean frame. Decode errors inside a
+/// CRC-clean body are hard [`StoreError::Corrupt`] failures, as in
+/// `FileStore`: valid-CRC-invalid-wire means a bug, not rot.
+pub(crate) fn scan_segment(
+    path: &Path,
+    offset: u64,
+    mut on_entry: impl FnMut(ScanEntry<'_>) -> Result<(), StoreError>,
+) -> Result<ScanOutcome, StoreError> {
+    let mut file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let start_at = if offset == 0 { SEG_MAGIC.len() as u64 } else { offset };
+    if offset == 0 {
+        let mut magic = [0u8; SEG_MAGIC.len()];
+        let got = read_fill(&mut file, &mut magic)?;
+        if got < magic.len() || magic != SEG_MAGIC {
+            return Err(StoreError::Corrupt(format!("{}: bad segment magic", path.display())));
+        }
+    } else {
+        file.seek(SeekFrom::Start(start_at))?;
+    }
+
+    let mut buf: Vec<u8> = Vec::new();
+    let mut start = 0usize;
+    let mut eof = false;
+    let mut peak = 0usize;
+    let mut valid_end = start_at;
+
+    // Same bounded top-up as FileStore recovery: compact consumed bytes,
+    // then read until `need` unparsed bytes are available or EOF.
+    fn ensure(
+        file: &mut File,
+        buf: &mut Vec<u8>,
+        start: &mut usize,
+        eof: &mut bool,
+        peak: &mut usize,
+        need: usize,
+    ) -> Result<bool, std::io::Error> {
+        while buf.len() - *start < need && !*eof {
+            if *start > 0 {
+                buf.drain(..*start);
+                *start = 0;
+            }
+            let want = need.saturating_sub(buf.len()).max(RECOVERY_CHUNK);
+            let old = buf.len();
+            buf.resize(old + want, 0);
+            let got = read_fill(file, &mut buf[old..])?;
+            buf.truncate(old + got);
+            if got == 0 {
+                *eof = true;
+            }
+            *peak = (*peak).max(buf.len());
+        }
+        Ok(buf.len() - *start >= need)
+    }
+
+    loop {
+        if !ensure(&mut file, &mut buf, &mut start, &mut eof, &mut peak, ENTRY_HEADER)? {
+            let end = if valid_end == file_len {
+                ScanEnd::Clean
+            } else {
+                ScanEnd::Invalid { valid_end, crc_mismatch: false }
+            };
+            return Ok(ScanOutcome { end, peak_buffer: peak });
+        }
+        let kind = buf[start];
+        let len = u32::from_be_bytes(buf[start + 1..start + 5].try_into().unwrap()) as usize;
+        let crc = u32::from_be_bytes(buf[start + 5..start + 9].try_into().unwrap());
+        let mut name = [0u8; 32];
+        name.copy_from_slice(&buf[start + 9..start + ENTRY_HEADER]);
+        let capsule = Name(name);
+        // Bounds-check `len` against the file before trusting it with an
+        // allocation: a rotted length byte must tear, not OOM.
+        let remaining = file_len.saturating_sub(valid_end + ENTRY_HEADER as u64);
+        if len as u64 > remaining {
+            return Ok(ScanOutcome {
+                end: ScanEnd::Invalid { valid_end, crc_mismatch: false },
+                peak_buffer: peak,
+            });
+        }
+        if !ensure(&mut file, &mut buf, &mut start, &mut eof, &mut peak, ENTRY_HEADER + len)? {
+            return Ok(ScanOutcome {
+                end: ScanEnd::Invalid { valid_end, crc_mismatch: false },
+                peak_buffer: peak,
+            });
+        }
+        let body = &buf[start + ENTRY_HEADER..start + ENTRY_HEADER + len];
+        if entry_crc(kind, &capsule, body) != crc {
+            return Ok(ScanOutcome {
+                end: ScanEnd::Invalid { valid_end, crc_mismatch: true },
+                peak_buffer: peak,
+            });
+        }
+        on_entry(ScanEntry {
+            kind,
+            capsule,
+            body,
+            offset: valid_end,
+            disk_len: (ENTRY_HEADER + len) as u64,
+        })?;
+        start += ENTRY_HEADER + len;
+        valid_end += (ENTRY_HEADER + len) as u64;
+    }
+}
+
+/// EOF while reading a frame means the frame itself is damaged (a rotted
+/// length field, a truncated file): typed corruption, not a plain IO
+/// error.
+pub(crate) fn rot_eof(e: std::io::Error) -> StoreError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        StoreError::Corrupt("entry truncated under read".to_string())
+    } else {
+        StoreError::from(e)
+    }
+}
+
+/// Random read of one entry from a sealed segment, CRC-checked.
+/// Returns `(kind, capsule, body)`.
+pub(crate) fn read_entry_at(path: &Path, offset: u64) -> Result<(u8, Name, Vec<u8>), StoreError> {
+    let mut file = File::open(path)?;
+    file.seek(SeekFrom::Start(offset))?;
+    let mut header = [0u8; ENTRY_HEADER];
+    file.read_exact(&mut header).map_err(rot_eof)?;
+    decode_entry_header_and_body(&header, |body| file.read_exact(body).map_err(rot_eof))
+}
+
+/// Shared frame decode for random reads: parses `header`, asks `fill` to
+/// produce the body bytes, and CRC-checks the result.
+pub(crate) fn decode_entry_header_and_body(
+    header: &[u8; ENTRY_HEADER],
+    fill: impl FnOnce(&mut [u8]) -> Result<(), StoreError>,
+) -> Result<(u8, Name, Vec<u8>), StoreError> {
+    let kind = header[0];
+    let len = u32::from_be_bytes(header[1..5].try_into().unwrap()) as usize;
+    let crc = u32::from_be_bytes(header[5..9].try_into().unwrap());
+    let mut name = [0u8; 32];
+    name.copy_from_slice(&header[9..ENTRY_HEADER]);
+    let capsule = Name(name);
+    let mut body = vec![0u8; len];
+    fill(&mut body)?;
+    if entry_crc(kind, &capsule, &body) != crc {
+        return Err(StoreError::Corrupt("crc mismatch on read".to_string()));
+    }
+    Ok((kind, capsule, body))
+}
+
+/// `read` until `dst` is full or EOF; returns bytes read.
+fn read_fill(file: &mut File, mut dst: &mut [u8]) -> std::io::Result<usize> {
+    let mut total = 0;
+    while !dst.is_empty() {
+        match file.read(dst) {
+            Ok(0) => break,
+            Ok(n) => {
+                total += n;
+                dst = &mut dst[n..];
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(total)
+}

@@ -7,6 +7,7 @@
 //! segment file with CRC framing and crash-recovery scan (`FileStore` in
 //! `file.rs`). Both index records by sequence number and header hash.
 
+use crate::policy::AppendAck;
 use gdp_capsule::{CapsuleError, CapsuleMetadata, Record, RecordHash};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
@@ -88,6 +89,41 @@ pub trait CapsuleStore: Send {
 
     /// All stored record hashes (for anti-entropy comparison).
     fn hashes(&self) -> Vec<RecordHash>;
+
+    /// Persists a record and reports whether it is already durable or
+    /// waiting on a group-commit fsync. Idempotent: a duplicate append
+    /// returns the *current* durability of the stored record, so a retried
+    /// append is never acked before its covering fsync either.
+    ///
+    /// The default (memory stores, fsync-per-append engines) is durable at
+    /// return; group-commit engines override this to return
+    /// [`AppendAck::Pending`] with the covering durability epoch.
+    fn append_acked(&mut self, record: &Record) -> Result<AppendAck, StoreError> {
+        self.append(record)?;
+        Ok(AppendAck::Durable)
+    }
+
+    /// Drives group-commit: writes and fsyncs any batched appends whose
+    /// flush window has elapsed at `now_us`, then returns the durable
+    /// epoch (acks pending an epoch `<=` the returned value may be
+    /// released). Engines without batching return their current epoch
+    /// unchanged. `now_us` is caller time (sim or wall) in microseconds.
+    fn flush(&mut self, _now_us: u64) -> Result<u64, StoreError> {
+        Ok(self.durable_epoch())
+    }
+
+    /// The highest durability epoch this store has fsynced (0 for engines
+    /// without group-commit).
+    fn durable_epoch(&self) -> u64 {
+        0
+    }
+
+    /// Current durability of a stored record (used when an ack becomes
+    /// sendable for other reasons — e.g. replication quorum — and the
+    /// server must still not release it before the local fsync).
+    fn durability_of(&self, _hash: &RecordHash) -> AppendAck {
+        AppendAck::Durable
+    }
 }
 
 /// In-memory store: the default for simulations and tests.

@@ -1,0 +1,354 @@
+//! Functional tests of the segmented shared-log engine: group-commit ack
+//! semantics, rotation, checkpointed (bounded) recovery, cold-index
+//! eviction, and compaction — the tentpole behaviors of `SegLog`.
+
+use gdp_capsule::{CapsuleMetadata, Record, RecordHash};
+use gdp_crypto::SigningKey;
+use gdp_obs::Metrics;
+use gdp_store::{AppendAck, CapsuleStore, FsyncPolicy, SegConfig, SegLog};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "gdp-seg-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A capsule with `n` chained records (one shared writer key: signing is
+/// the slow part, so fixtures keep key setup minimal).
+fn capsule(tag: u8, n: u64) -> (CapsuleMetadata, Vec<Record>) {
+    let owner = SigningKey::from_seed(&[tag; 32]);
+    let writer = SigningKey::from_seed(&[0xEE; 32]);
+    let meta = gdp_capsule::MetadataBuilder::new()
+        .writer(&writer.verifying_key())
+        .set_str("description", &format!("seg test capsule {tag}"))
+        .sign(&owner);
+    let name = meta.name();
+    let mut prev = RecordHash::anchor(&name);
+    let mut records = Vec::new();
+    for seq in 1..=n {
+        let r = Record::create(
+            &name,
+            &writer,
+            seq,
+            seq * 10,
+            prev,
+            vec![],
+            format!("capsule {tag} record {seq}").into_bytes(),
+        );
+        prev = r.hash();
+        records.push(r);
+    }
+    (meta, records)
+}
+
+fn batch_cfg() -> SegConfig {
+    SegConfig { policy: FsyncPolicy::Batch { interval_us: 5_000 }, ..SegConfig::default() }
+}
+
+#[test]
+fn multi_capsule_roundtrip_and_reopen() {
+    let dir = tmpdir("roundtrip");
+    let caps: Vec<_> = (1u8..=3).map(|t| capsule(t, 5)).collect();
+    {
+        let log = SegLog::open(&dir, batch_cfg()).unwrap();
+        // Interleave appends across capsules: they multiplex onto one log.
+        let mut handles: Vec<_> = caps.iter().map(|(m, _)| log.handle(m.name())).collect();
+        for (h, (m, _)) in handles.iter_mut().zip(&caps) {
+            h.put_metadata(m).unwrap();
+        }
+        for i in 0..5 {
+            for (h, (_, rs)) in handles.iter_mut().zip(&caps) {
+                h.append(&rs[i]).unwrap();
+            }
+        }
+        log.flush_now(1_000_000).unwrap();
+        assert_eq!(log.segment_ids(), vec![0], "small workload stays in one segment");
+    }
+    let log = SegLog::open(&dir, batch_cfg()).unwrap();
+    assert!(log.recovery_stats().full_scan, "no checkpoint yet: full scan expected");
+    for (m, rs) in &caps {
+        let h = log.handle(m.name());
+        assert_eq!(h.metadata().unwrap(), *m);
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.latest_seq(), 5);
+        for r in rs {
+            assert_eq!(h.get_by_hash(&r.hash()).unwrap().unwrap(), *r);
+            assert_eq!(h.get_by_seq(r.header.seq).unwrap().unwrap(), *r);
+        }
+        let range = h.range(2, 4).unwrap();
+        assert_eq!(range, rs[1..4].to_vec());
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn group_commit_acks_only_after_covering_fsync() {
+    let dir = tmpdir("ack");
+    let metrics = Metrics::new();
+    let log = SegLog::open_with(&dir, batch_cfg(), &metrics.scope("store")).unwrap();
+    let (meta, records) = capsule(1, 3);
+    let mut h = log.handle(meta.name());
+    h.put_metadata(&meta).unwrap(); // metadata force-flushes (create acks)
+    let epoch0 = log.durable_epoch();
+
+    let ack = h.append_acked(&records[0]).unwrap();
+    let AppendAck::Pending(epoch) = ack else { panic!("batched append acked durable: {ack:?}") };
+    assert_eq!(epoch, epoch0 + 1, "buffered appends are covered by the next epoch");
+    assert_eq!(h.durability_of(&records[0].hash()), AppendAck::Pending(epoch));
+    // A retried (duplicate) append must not ack ahead of the fsync.
+    assert_eq!(h.append_acked(&records[0]).unwrap(), AppendAck::Pending(epoch));
+
+    // Before the batch window elapses, maintenance must NOT fsync.
+    let fsyncs_before = metrics.counter_value("store", "fsyncs");
+    assert_eq!(h.flush(1_000).unwrap(), epoch0, "window not elapsed: no new epoch");
+    assert_eq!(metrics.counter_value("store", "fsyncs"), fsyncs_before);
+    assert_eq!(h.durability_of(&records[0].hash()), AppendAck::Pending(epoch));
+
+    // Once the window elapses, one fsync covers the batch and the ack
+    // epoch becomes durable.
+    assert_eq!(h.flush(10_000).unwrap(), epoch);
+    assert_eq!(metrics.counter_value("store", "fsyncs"), fsyncs_before + 1);
+    assert_eq!(h.durability_of(&records[0].hash()), AppendAck::Durable);
+    assert_eq!(h.append_acked(&records[0]).unwrap(), AppendAck::Durable);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn one_fsync_covers_appends_across_many_capsules() {
+    let dir = tmpdir("batch");
+    let metrics = Metrics::new();
+    let log = SegLog::open_with(&dir, batch_cfg(), &metrics.scope("store")).unwrap();
+    let caps: Vec<_> = (1u8..=8).map(|t| capsule(t, 2)).collect();
+    for (m, _) in &caps {
+        log.handle(m.name()).put_metadata(m).unwrap();
+    }
+    let fsyncs_before = metrics.counter_value("store", "fsyncs");
+    for (m, rs) in &caps {
+        let mut h = log.handle(m.name());
+        for r in rs {
+            assert!(matches!(h.append_acked(r).unwrap(), AppendAck::Pending(_)));
+        }
+    }
+    log.flush_now(1_000_000).unwrap();
+    assert_eq!(
+        metrics.counter_value("store", "fsyncs"),
+        fsyncs_before + 1,
+        "16 appends across 8 capsules must group-commit under a single fsync"
+    );
+    for (m, rs) in &caps {
+        assert_eq!(log.handle(m.name()).durability_of(&rs[1].hash()), AppendAck::Durable);
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn byte_budget_bounds_unacked_data() {
+    let dir = tmpdir("budget");
+    let cfg = SegConfig { flush_byte_budget: 1, ..batch_cfg() };
+    let log = SegLog::open(&dir, cfg).unwrap();
+    let (meta, records) = capsule(1, 2);
+    let mut h = log.handle(meta.name());
+    h.put_metadata(&meta).unwrap();
+    // Budget of one byte: every batched append crosses it and forces an
+    // inline group commit, so the ack comes back already durable.
+    assert_eq!(h.append_acked(&records[0]).unwrap(), AppendAck::Durable);
+    assert_eq!(h.append_acked(&records[1]).unwrap(), AppendAck::Durable);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn always_policy_acks_durable_immediately() {
+    let dir = tmpdir("always");
+    let cfg = SegConfig { policy: FsyncPolicy::Always, ..SegConfig::default() };
+    let log = SegLog::open(&dir, cfg).unwrap();
+    let (meta, records) = capsule(1, 1);
+    let mut h = log.handle(meta.name());
+    h.put_metadata(&meta).unwrap();
+    assert_eq!(h.append_acked(&records[0]).unwrap(), AppendAck::Durable);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// The crash contract: dropping the log without a flush loses exactly the
+/// writes that were never acked durable — everything acked survives.
+#[test]
+fn crash_loses_exactly_the_unacked_tail() {
+    let dir = tmpdir("crash");
+    let (meta, records) = capsule(1, 8);
+    {
+        let log = SegLog::open(&dir, batch_cfg()).unwrap();
+        let mut h = log.handle(meta.name());
+        h.put_metadata(&meta).unwrap();
+        for r in &records[..5] {
+            h.append(r).unwrap();
+        }
+        log.flush_now(1_000_000).unwrap(); // acked durable
+        for r in &records[5..] {
+            assert!(matches!(h.append_acked(r).unwrap(), AppendAck::Pending(_)));
+        }
+        // Crash: the process state (group-commit buffer) evaporates.
+    }
+    let log = SegLog::open(&dir, batch_cfg()).unwrap();
+    let h = log.handle(meta.name());
+    assert_eq!(h.len(), 5, "acked records survive, unacked buffered tail is lost");
+    for r in &records[..5] {
+        assert_eq!(h.get_by_hash(&r.hash()).unwrap().unwrap(), *r);
+    }
+    for r in &records[5..] {
+        assert_eq!(h.get_by_hash(&r.hash()).unwrap(), None);
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn rotation_seals_segments_and_data_survives() {
+    let dir = tmpdir("rotate");
+    let cfg = SegConfig {
+        segment_max_bytes: 2_048,
+        compact_min_dead_pct: 0, // isolate rotation from compaction
+        ..batch_cfg()
+    };
+    let (meta, records) = capsule(1, 40);
+    {
+        let log = SegLog::open(&dir, cfg.clone()).unwrap();
+        let mut h = log.handle(meta.name());
+        h.put_metadata(&meta).unwrap();
+        for (i, r) in records.iter().enumerate() {
+            h.append(r).unwrap();
+            h.flush((i as u64 + 1) * 10_000).unwrap(); // maintenance tick
+        }
+        assert!(log.segment_ids().len() >= 3, "workload must span segments");
+        for r in &records {
+            assert_eq!(h.get_by_hash(&r.hash()).unwrap().unwrap(), *r, "read across segments");
+        }
+    }
+    let log = SegLog::open(&dir, cfg).unwrap();
+    let stats = log.recovery_stats();
+    assert!(!stats.full_scan, "rotation checkpoints: recovery must be tail-only");
+    let h = log.handle(meta.name());
+    assert_eq!(h.len(), records.len());
+    assert_eq!(h.metadata().unwrap(), meta);
+    for r in &records {
+        assert_eq!(h.get_by_hash(&r.hash()).unwrap().unwrap(), *r);
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Bounded recovery: replay work is proportional to writes since the last
+/// checkpoint, not to log size.
+#[test]
+fn recovery_replays_only_the_tail_past_the_checkpoint() {
+    let dir = tmpdir("bounded");
+    let (meta, records) = capsule(1, 30);
+    {
+        let log = SegLog::open(&dir, batch_cfg()).unwrap();
+        let mut h = log.handle(meta.name());
+        h.put_metadata(&meta).unwrap();
+        for r in &records[..25] {
+            h.append(r).unwrap();
+        }
+        log.checkpoint_now(1_000_000).unwrap();
+        for r in &records[25..] {
+            h.append(r).unwrap();
+        }
+        log.flush_now(2_000_000).unwrap();
+    }
+    let log = SegLog::open(&dir, batch_cfg()).unwrap();
+    let stats = log.recovery_stats();
+    assert!(!stats.full_scan);
+    assert_eq!(stats.tail_entries, 5, "only the 5 post-checkpoint records replay");
+    let h = log.handle(meta.name());
+    assert_eq!(h.len(), 30);
+    for r in &records {
+        assert_eq!(h.get_by_hash(&r.hash()).unwrap().unwrap(), *r);
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn cold_index_eviction_bounds_residency_and_reloads_transparently() {
+    let dir = tmpdir("evict");
+    let metrics = Metrics::new();
+    let cfg = SegConfig { max_resident_streams: 4, ..batch_cfg() };
+    let log = SegLog::open_with(&dir, cfg, &metrics.scope("store")).unwrap();
+    let caps: Vec<_> = (1u8..=10).map(|t| capsule(t, 2)).collect();
+    for (m, rs) in &caps {
+        let mut h = log.handle(m.name());
+        h.put_metadata(m).unwrap();
+        for r in rs {
+            h.append(r).unwrap();
+        }
+    }
+    assert_eq!(log.stream_count(), 10);
+    // Dirty streams cannot evict; maintenance checkpoints to free them.
+    log.maintain(1_000_000).unwrap();
+    assert!(
+        log.resident_streams() <= 4,
+        "resident indexes ({}) must respect the budget",
+        log.resident_streams()
+    );
+    assert!(metrics.counter_value("store", "index_evictions") >= 6);
+
+    // Reads from evicted streams reload from the checkpoint and stay
+    // correct; residency never exceeds the budget while doing so.
+    for (m, rs) in &caps {
+        let h = log.handle(m.name());
+        assert_eq!(h.metadata().unwrap(), *m);
+        for r in rs {
+            assert_eq!(h.get_by_hash(&r.hash()).unwrap().unwrap(), *r);
+        }
+        assert!(log.resident_streams() <= 4 + 1, "reload must not leak residency");
+    }
+    assert!(metrics.counter_value("store", "index_reloads") >= 6);
+    assert_eq!(log.stream_count(), 10, "eviction drops indexes, never streams");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn compaction_relocates_live_entries_and_deletes_the_segment() {
+    let dir = tmpdir("compact");
+    let metrics = Metrics::new();
+    let cfg = SegConfig {
+        segment_max_bytes: 2_048,
+        compact_min_dead_pct: 0, // manual compaction only
+        ..batch_cfg()
+    };
+    let (meta, records) = capsule(1, 40);
+    let log = SegLog::open_with(&dir, cfg.clone(), &metrics.scope("store")).unwrap();
+    let mut h = log.handle(meta.name());
+    h.put_metadata(&meta).unwrap();
+    for (i, r) in records.iter().enumerate() {
+        h.append(r).unwrap();
+        h.flush((i as u64 + 1) * 10_000).unwrap();
+    }
+    let segs = log.segment_ids();
+    assert!(segs.len() >= 3);
+    let victim = segs[0];
+    log.compact_segment(victim, 9_000_000).unwrap();
+    assert!(!log.segment_ids().contains(&victim), "victim removed from the set");
+    assert!(!dir.join(format!("{victim:010}.seg")).exists(), "victim unlinked from disk");
+    assert_eq!(metrics.counter_value("store", "segments_compacted"), 1);
+    for r in &records {
+        assert_eq!(h.get_by_hash(&r.hash()).unwrap().unwrap(), *r, "live entries relocated");
+    }
+    assert_eq!(h.metadata().unwrap(), meta);
+
+    // And the post-compaction state reopens cleanly without a full scan.
+    drop(h);
+    drop(log);
+    let log = SegLog::open(&dir, cfg).unwrap();
+    assert!(!log.recovery_stats().full_scan);
+    let h = log.handle(meta.name());
+    assert_eq!(h.len(), records.len());
+    for r in &records {
+        assert_eq!(h.get_by_hash(&r.hash()).unwrap().unwrap(), *r);
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -83,11 +83,15 @@ step "fault-free metric smoke"
 cargo test -p gdp-sim --test chaos fault_free_metric_accounting -- --nocapture
 
 # Bench artifacts: the report binary must emit parseable figure JSON.
-step "bench report JSON (fig6 + fig8-quick)"
-rm -f BENCH_fig6.json BENCH_fig8.json
+# `report store` also asserts the storage-engine floors inline: segmented
+# >=10x the file engine at 10k+ capsules, recovery replay == checkpoint
+# tail (it exits nonzero when either contract is broken).
+step "bench report JSON (fig6 + store + fig8-quick)"
+rm -f BENCH_fig6.json BENCH_store.json BENCH_fig8.json
 cargo run --release -p gdp-bench --bin report -- fig6 >/dev/null
+cargo run --release -p gdp-bench --bin report -- store >/dev/null
 cargo run --release -p gdp-bench --bin report -- fig8-quick >/dev/null
-for f in BENCH_fig6.json BENCH_fig8.json; do
+for f in BENCH_fig6.json BENCH_store.json BENCH_fig8.json; do
     [ -s "$f" ] || { printf '!!! %s missing or empty\n' "$f"; exit 1; }
     # Re-validate with the same strict parser the dumps are checked with
     # (python as an independent cross-check when available).
@@ -98,10 +102,11 @@ for f in BENCH_fig6.json BENCH_fig8.json; do
     printf '%s OK\n' "$f"
 done
 
-# Perf smoke: re-measure 64 B zero-copy forwarding and fail if it has
-# regressed more than 30% below the floor the fig6 run just recorded in
-# BENCH_fig6.json (the data-path fast paths must not silently rot).
-step "perf smoke (64 B forwarding floor)"
+# Perf smoke: re-measure 64 B zero-copy forwarding and segmented durable
+# appends; fail if either has regressed more than 30% below the floors
+# the fig6/store runs just recorded (the data-path and storage fast paths
+# must not silently rot).
+step "perf smoke (forwarding + store floors)"
 cargo run --release -p gdp-bench --bin report -- perf-smoke
 
 step "OK"
