@@ -506,7 +506,23 @@ impl DataCapsuleServer {
             Ok(IngestOutcome::Duplicate) => {
                 // Idempotent: ack again — but a retry must not ack ahead
                 // of the stored record's covering fsync.
-                let dur = hosted.store.durability_of(&hash);
+                let dur = match hosted.store.durability_of(&hash) {
+                    Some(d) => d,
+                    // The capsule saw this record but the store never
+                    // persisted it (an earlier append_acked failed):
+                    // store it now rather than ack a phantom.
+                    None => match hosted.store.append_acked(&record) {
+                        Ok(a) => a,
+                        Err(_) => {
+                            return vec![self.err_pdu(
+                                client,
+                                seq,
+                                ErrorCode::BadRequest,
+                                "storage failure",
+                            )]
+                        }
+                    },
+                };
                 let body = append_ack_body(record_seq, &hash, 1);
                 let auth = self.auth_for(&capsule_name, &client, seq, &body);
                 let pdu = self.data_pdu(
@@ -702,7 +718,17 @@ impl DataCapsuleServer {
         // record durably (it may count toward a client's quorum), so it is
         // durability-gated exactly like a client ack.
         let ack = match hosted.capsule.ingest(record.clone()) {
-            Ok(IngestOutcome::Duplicate) => hosted.store.durability_of(&hash),
+            Ok(IngestOutcome::Duplicate) => match hosted.store.durability_of(&hash) {
+                Some(d) => d,
+                // Known to the capsule but absent from the store (a
+                // failed earlier append): persist before acking.
+                None => {
+                    let Ok(a) = hosted.store.append_acked(&record) else {
+                        return Vec::new(); // never ack what we failed to store
+                    };
+                    a
+                }
+            },
             Ok(_) => {
                 let Ok(a) = hosted.store.append_acked(&record) else {
                     return Vec::new(); // never ack what we failed to store
@@ -745,12 +771,25 @@ impl DataCapsuleServer {
         for i in done.into_iter().rev() {
             let p = self.pending.remove(i);
             // Quorum reached — but the local copy must also be durable
-            // before this server vouches for the write.
-            let dur = self
-                .hosted
-                .get(&p.capsule)
-                .map(|h| h.store.durability_of(&p.hash))
-                .unwrap_or(AppendAck::Durable);
+            // before this server vouches for the write. A capsule that is
+            // no longer hosted, or a record the store never persisted and
+            // cannot re-persist from the in-memory capsule, fails the
+            // append instead of acking a phantom.
+            let dur = self.hosted.get_mut(&p.capsule).and_then(|h| {
+                h.store.durability_of(&p.hash).or_else(|| {
+                    let r = h.capsule.get(&p.hash).cloned()?;
+                    h.store.append_acked(&r).ok()
+                })
+            });
+            let Some(dur) = dur else {
+                out.push(self.err_pdu(
+                    p.client,
+                    p.request_seq,
+                    ErrorCode::BadRequest,
+                    "record not locally durable",
+                ));
+                continue;
+            };
             let body = append_ack_body(p.record_seq, &p.hash, p.acked + 1);
             let auth = self.auth_for(&p.capsule, &p.client, p.request_seq, &body);
             let pdu = self.data_pdu(
@@ -835,12 +874,11 @@ impl DataCapsuleServer {
         if !self.deferred.is_empty() {
             let mut still = Vec::new();
             for d in std::mem::take(&mut self.deferred) {
-                let durable = self
-                    .hosted
-                    .get(&d.capsule)
-                    .map(|h| h.store.durable_epoch() >= d.epoch)
-                    .unwrap_or(true);
-                if durable {
+                // Only the store that owns the record can confirm the
+                // covering fsync; if the capsule is no longer hosted that
+                // fsync may never happen — drop the ack, never release it.
+                let Some(h) = self.hosted.get(&d.capsule) else { continue };
+                if h.store.durable_epoch() >= d.epoch {
                     self.obs.acks_released.inc();
                     out.push(d.pdu);
                 } else {

@@ -298,8 +298,11 @@ impl FileStore {
             self.obs.recovery_truncations.inc();
         }
         self.tail = valid_end;
-        // Whatever survived to be re-read counts as durable: a pending ack
-        // from before the crash was never sent, and the bytes are on disk.
+        // Re-reading the tail only proves it reached the OS page cache (a
+        // crash can land between a write and its fsync): sync once before
+        // claiming the recovered bytes as durable, or a power loss before
+        // the first post-reopen fsync could lose an already-acked record.
+        self.file.sync_data()?;
         self.synced_tail = valid_end;
         self.recovery_peak_buffer = peak;
         Ok(())
@@ -499,11 +502,8 @@ impl CapsuleStore for FileStore {
         self.epoch_durable
     }
 
-    fn durability_of(&self, hash: &RecordHash) -> AppendAck {
-        match self.index.get(hash) {
-            Some(&offset) => self.durability_at(offset),
-            None => AppendAck::Durable,
-        }
+    fn durability_of(&self, hash: &RecordHash) -> Option<AppendAck> {
+        self.index.get(hash).map(|&offset| self.durability_at(offset))
     }
 }
 
@@ -782,7 +782,7 @@ mod tests {
             .unwrap();
         assert_eq!(s.len(), 8);
         // Pre-migration records are durable; a retried append says so.
-        assert_eq!(s.durability_of(&records[0].hash()), AppendAck::Durable);
+        assert_eq!(s.durability_of(&records[0].hash()), Some(AppendAck::Durable));
         assert_eq!(s.append_acked(&records[0]).unwrap(), AppendAck::Durable);
         // New appends wait on the covering fsync.
         let ack = s.append_acked(&records[8]).unwrap();
@@ -791,7 +791,7 @@ mod tests {
         // Not yet due: the window has not elapsed.
         assert_eq!(s.flush(1_000).unwrap(), 0);
         assert_eq!(s.flush(5_000).unwrap(), 1, "window elapsed: fsync covers the batch");
-        assert_eq!(s.durability_of(&records[8].hash()), AppendAck::Durable);
+        assert_eq!(s.durability_of(&records[8].hash()), Some(AppendAck::Durable));
         drop(s);
         let s = FileStore::open(&path).unwrap();
         assert_eq!(s.len(), 9, "batched appends persisted");

@@ -46,11 +46,10 @@ impl LogInner {
             return Err(StoreError::Corrupt(format!("segment {victim} is not sealed")));
         }
         let path = seg_path(&self.dir, victim);
-        let mut entries: Vec<(u8, gdp_wire::Name, Vec<u8>, u64)> = Vec::new();
-        let outcome = segment::scan_segment(&path, 0, |e| {
-            entries.push((e.kind, e.capsule, e.body.to_vec(), e.offset));
-            Ok(())
-        })?;
+        // Pass 1: prove every entry is readable before copying anything —
+        // deleting bytes we cannot re-home would turn rot into data loss.
+        // Bodies are not retained; peak memory stays one scan chunk.
+        let outcome = segment::scan_segment(&path, 0, |_| Ok(()))?;
         if matches!(outcome.end, ScanEnd::Invalid { .. }) {
             // Unreadable bytes: refuse to delete what we cannot re-home.
             if let Some(m) = self.segments.get_mut(&victim) {
@@ -62,13 +61,16 @@ impl LogInner {
             )));
         }
 
+        // Pass 2: stream the segment again, copying live entries straight
+        // through the group-commit path (no per-segment buffering).
         let mut copied = 0u64;
-        for (kind, capsule, body, offset) in entries {
-            let loc = EntryLoc { seg: victim, off: offset };
+        segment::scan_segment(&path, 0, |e| {
+            let (kind, capsule, body) = (e.kind, e.capsule, e.body);
+            let loc = EntryLoc { seg: victim, off: e.offset };
             self.ensure_resident(&capsule)?;
             let live = match kind {
                 KIND_RECORD => {
-                    let record = Record::from_wire(&body)
+                    let record = Record::from_wire(body)
                         .map_err(|e| StoreError::Corrupt(format!("record: {e}")))?;
                     let hash = record.hash();
                     if self.stream(&capsule).and_then(|s| s.by_hash.get(&hash).copied())
@@ -100,7 +102,7 @@ impl LogInner {
                 }
             };
             if matches!(live, Live::No) {
-                continue;
+                return Ok(());
             }
             if let Some(limit) = self.cfg.compact_fail_after_bytes {
                 if copied >= limit {
@@ -110,7 +112,7 @@ impl LogInner {
                     return Err(StoreError::Corrupt("compaction failpoint".to_string()));
                 }
             }
-            let new_off = self.gc.append(kind, &capsule, &body);
+            let new_off = self.gc.append(kind, &capsule, body);
             let disk_len = (ENTRY_HEADER + body.len()) as u64;
             copied += disk_len;
             let active = self.active;
@@ -130,7 +132,8 @@ impl LogInner {
                 }
                 idx.dirty = true;
             }
-        }
+            Ok(())
+        })?;
 
         // Copies must be durable before the originals can go away.
         self.flush_inner(now_us, true)?;

@@ -432,15 +432,16 @@ impl CapsuleStore for SegStore {
         self.log.inner.lock().gc.epoch_durable()
     }
 
-    fn durability_of(&self, hash: &RecordHash) -> AppendAck {
+    fn durability_of(&self, hash: &RecordHash) -> Option<AppendAck> {
         let mut inner = self.log.inner.lock();
         if inner.ensure_resident(&self.capsule).is_err() {
-            return AppendAck::Durable;
+            // The index cannot be consulted: never vouch for durability.
+            return None;
         }
-        match inner.stream(&self.capsule).and_then(|s| s.by_hash.get(hash).copied()) {
-            Some(loc) => inner.durability_at(loc),
-            None => AppendAck::Durable,
-        }
+        inner
+            .stream(&self.capsule)
+            .and_then(|s| s.by_hash.get(hash).copied())
+            .map(|loc| inner.durability_at(loc))
     }
 }
 
@@ -524,24 +525,21 @@ impl LogInner {
         for id in seg_ids {
             let from = if id == scan_from.seg { scan_from.off } else { 0 };
             let path = seg_path(&self.dir, id);
-            // Collect entries first, then merge: the callback cannot
-            // borrow `self` while the scanner drives it.
-            let mut entries: Vec<(u8, Name, Vec<u8>, u64, u64)> = Vec::new();
+            // Merge each entry as the scanner yields it: peak memory stays
+            // one chunk plus the largest entry (what `peak_buffer` claims),
+            // never the decoded contents of a whole segment.
             let outcome = segment::scan_segment(&path, from, |e| {
-                entries.push((e.kind, e.capsule, e.body.to_vec(), e.offset, e.disk_len));
+                self.merge_entry(
+                    e.kind,
+                    &e.capsule,
+                    e.body,
+                    EntryLoc { seg: id, off: e.offset },
+                    e.disk_len,
+                )?;
+                self.recovery.tail_entries += 1;
                 Ok(())
             })?;
             self.recovery.peak_buffer = self.recovery.peak_buffer.max(outcome.peak_buffer);
-            for (kind, capsule, body, offset, disk_len) in entries {
-                self.merge_entry(
-                    kind,
-                    &capsule,
-                    &body,
-                    EntryLoc { seg: id, off: offset },
-                    disk_len,
-                )?;
-                self.recovery.tail_entries += 1;
-            }
             match outcome.end {
                 ScanEnd::Clean => {}
                 ScanEnd::Invalid { valid_end, crc_mismatch } => {
@@ -574,7 +572,12 @@ impl LogInner {
             self.obs.recovery_tail_entries.add(self.recovery.tail_entries);
         }
 
-        self.gc = GroupCommit::new(open_segment_append(&self.dir, self.active)?, active_valid_end);
+        let active_file = open_segment_append(&self.dir, self.active)?;
+        // The scanned tail proves the bytes reached the OS, not the disk
+        // (a crash can land between write_all and sync_data): fsync once
+        // before the recovered length backs Durable acks again.
+        active_file.sync_data()?;
+        self.gc = GroupCommit::new(active_file, active_valid_end);
         self.obs.segments.set(self.segments.len() as i64);
         self.obs.resident_streams.set(self.resident as i64);
         Ok(())
@@ -601,6 +604,7 @@ impl LogInner {
                         if let Some(idx) = self.stream_mut(capsule) {
                             idx.metadata = Some(meta);
                             idx.meta_loc = Some(loc);
+                            idx.dirty = true;
                         }
                     }
                     Some((true, None)) => {
@@ -608,6 +612,7 @@ impl LogInner {
                         // entry as the canonical on-disk copy.
                         if let Some(idx) = self.stream_mut(capsule) {
                             idx.meta_loc = Some(loc);
+                            idx.dirty = true;
                         }
                     }
                     _ => {
@@ -630,6 +635,11 @@ impl LogInner {
                 } else if let Some(idx) = self.stream_mut(capsule) {
                     idx.by_hash.insert(hash, loc);
                     idx.by_seq.entry(seq).or_default().push(hash);
+                    // A stream reloaded from the checkpoint starts clean;
+                    // merging a post-checkpoint tail entry makes it dirty
+                    // again, or eviction would rebuild it from the stale
+                    // checkpoint section and drop the tail.
+                    idx.dirty = true;
                 }
             }
             other => {

@@ -120,10 +120,10 @@ pub trait CapsuleStore: Send {
 
     /// Current durability of a stored record (used when an ack becomes
     /// sendable for other reasons — e.g. replication quorum — and the
-    /// server must still not release it before the local fsync).
-    fn durability_of(&self, _hash: &RecordHash) -> AppendAck {
-        AppendAck::Durable
-    }
+    /// server must still not release it before the local fsync). `None`
+    /// means the store holds no such record at all — the caller must not
+    /// ack it as durable; re-append (or fail) instead.
+    fn durability_of(&self, hash: &RecordHash) -> Option<AppendAck>;
 }
 
 /// In-memory store: the default for simulations and tests.
@@ -197,6 +197,10 @@ impl CapsuleStore for MemStore {
 
     fn hashes(&self) -> Vec<RecordHash> {
         self.by_hash.keys().copied().collect()
+    }
+
+    fn durability_of(&self, hash: &RecordHash) -> Option<AppendAck> {
+        self.by_hash.contains_key(hash).then_some(AppendAck::Durable)
     }
 }
 

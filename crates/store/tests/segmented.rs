@@ -102,7 +102,7 @@ fn group_commit_acks_only_after_covering_fsync() {
     let ack = h.append_acked(&records[0]).unwrap();
     let AppendAck::Pending(epoch) = ack else { panic!("batched append acked durable: {ack:?}") };
     assert_eq!(epoch, epoch0 + 1, "buffered appends are covered by the next epoch");
-    assert_eq!(h.durability_of(&records[0].hash()), AppendAck::Pending(epoch));
+    assert_eq!(h.durability_of(&records[0].hash()), Some(AppendAck::Pending(epoch)));
     // A retried (duplicate) append must not ack ahead of the fsync.
     assert_eq!(h.append_acked(&records[0]).unwrap(), AppendAck::Pending(epoch));
 
@@ -110,13 +110,13 @@ fn group_commit_acks_only_after_covering_fsync() {
     let fsyncs_before = metrics.counter_value("store", "fsyncs");
     assert_eq!(h.flush(1_000).unwrap(), epoch0, "window not elapsed: no new epoch");
     assert_eq!(metrics.counter_value("store", "fsyncs"), fsyncs_before);
-    assert_eq!(h.durability_of(&records[0].hash()), AppendAck::Pending(epoch));
+    assert_eq!(h.durability_of(&records[0].hash()), Some(AppendAck::Pending(epoch)));
 
     // Once the window elapses, one fsync covers the batch and the ack
     // epoch becomes durable.
     assert_eq!(h.flush(10_000).unwrap(), epoch);
     assert_eq!(metrics.counter_value("store", "fsyncs"), fsyncs_before + 1);
-    assert_eq!(h.durability_of(&records[0].hash()), AppendAck::Durable);
+    assert_eq!(h.durability_of(&records[0].hash()), Some(AppendAck::Durable));
     assert_eq!(h.append_acked(&records[0]).unwrap(), AppendAck::Durable);
     let _ = std::fs::remove_dir_all(dir);
 }
@@ -144,7 +144,7 @@ fn one_fsync_covers_appends_across_many_capsules() {
         "16 appends across 8 capsules must group-commit under a single fsync"
     );
     for (m, rs) in &caps {
-        assert_eq!(log.handle(m.name()).durability_of(&rs[1].hash()), AppendAck::Durable);
+        assert_eq!(log.handle(m.name()).durability_of(&rs[1].hash()), Some(AppendAck::Durable));
     }
     let _ = std::fs::remove_dir_all(dir);
 }
@@ -308,6 +308,54 @@ fn cold_index_eviction_bounds_residency_and_reloads_transparently() {
     }
     assert!(metrics.counter_value("store", "index_reloads") >= 6);
     assert_eq!(log.stream_count(), 10, "eviction drops indexes, never streams");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Regression: tail entries replayed past the checkpoint must mark their
+/// streams dirty. Without that, a stream reloaded from the checkpoint and
+/// then merged still looks checkpoint-clean, eviction (possible even
+/// mid-recovery once residency crosses the budget) drops its index, and
+/// the reload rebuilds from the stale checkpoint section — acked durable
+/// tail records silently vanish and latest_seq regresses.
+#[test]
+fn recovered_tail_survives_index_eviction() {
+    let dir = tmpdir("tailsafe");
+    let caps: Vec<_> = (1u8..=8).map(|t| capsule(t, 2)).collect();
+    {
+        let log = SegLog::open(&dir, batch_cfg()).unwrap();
+        for (m, rs) in &caps {
+            let mut h = log.handle(m.name());
+            h.put_metadata(m).unwrap();
+            h.append(&rs[0]).unwrap();
+        }
+        log.checkpoint_now(1_000_000).unwrap();
+        // Post-checkpoint tail: the second record of every stream.
+        for (m, rs) in &caps {
+            log.handle(m.name()).append(&rs[1]).unwrap();
+        }
+        // Flushed (durable) but past the checkpoint; then crash before
+        // any further checkpoint.
+        log.flush_now(2_000_000).unwrap();
+    }
+    // Reopen under a tiny residency budget, so recovery itself churns
+    // streams in and out while it merges the tail.
+    let cfg = SegConfig { max_resident_streams: 2, ..batch_cfg() };
+    let log = SegLog::open(&dir, cfg).unwrap();
+    assert!(!log.recovery_stats().full_scan, "checkpoint present: tail-only replay");
+    // Maintenance checkpoints the dirty streams and evicts down to the
+    // budget; reads then reload from the *new* checkpoint.
+    log.maintain(3_000_000).unwrap();
+    for (m, _) in &caps {
+        let _ = log.handle(m.name()).latest_seq(); // churn the LRU
+    }
+    assert!(log.resident_streams() <= 2 + 1, "eviction must still enforce the budget");
+    for (m, rs) in &caps {
+        let h = log.handle(m.name());
+        assert_eq!(h.latest_seq(), 2, "tail record lost after eviction/reload");
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get_by_hash(&rs[1].hash()).unwrap().unwrap(), rs[1]);
+        assert_eq!(h.get_by_hash(&rs[0].hash()).unwrap().unwrap(), rs[0]);
+    }
     let _ = std::fs::remove_dir_all(dir);
 }
 
