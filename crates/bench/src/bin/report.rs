@@ -14,6 +14,11 @@
 //!                       group-commit log vs per-capsule files, appends/s
 //!                       and p99 ack latency at 1 / 10k / 100k capsules,
 //!                       plus bounded crash recovery (BENCH_store.json)
+//!   overload            goodput vs offered load through a budgeted
+//!                       server: typed-Nack shedding saturates goodput
+//!                       at the append budget (BENCH_overload.json)
+//!   overload-smoke      re-measure the saturated 4x point; fail if
+//!                       goodput drops below the recorded floor
 //!   fig8                case-study read/write times (28 MB and 115 MB)
 //!   fig8-quick          same, 4 MB model (fast smoke run)
 //!   table1              goal → enabling feature → demonstration test
@@ -26,7 +31,7 @@
 //! ```
 
 use gdp_bench::table::{rate, secs, Table};
-use gdp_bench::{ablations, fig6, fig8, storebench};
+use gdp_bench::{ablations, fig6, fig8, overload, storebench};
 use gdp_obs::json;
 use gdp_sim::workload;
 
@@ -114,14 +119,89 @@ fn run_fig6() {
     );
 }
 
-/// Reads `"key":<float>` out of a flat JSON document (the bench artifacts
-/// are generated by this binary, so the shape is known).
-fn json_number(doc: &str, key: &str) -> Option<f64> {
-    let at = doc.find(&format!("\"{key}\":"))?;
-    let rest = &doc[at + key.len() + 3..];
-    let num: String =
-        rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
-    num.parse().ok()
+/// Overload curve: the production client/server state machines in a
+/// closed loop, offered 1x / 2x / 4x / 8x the server's per-tick append
+/// budget. The conservation laws (attempts = acked + shed, goodput
+/// saturates at the budget, nothing sheds below capacity) are asserted
+/// inside `overload::curve` before the JSON is written.
+fn run_overload() {
+    const BUDGET: u64 = 4;
+    const TICKS: u64 = 50;
+    println!("Overload — goodput vs offered load (budget {BUDGET} appends/tick, {TICKS} ticks)");
+    let points = overload::curve(BUDGET, &[1, 2, 4, 8], TICKS);
+    let mut t = Table::new(&["offered", "arrivals", "attempts", "acked", "shed", "goodput/s"]);
+    let mut points_json = Vec::new();
+    for p in &points {
+        t.row(&[
+            format!("{}x", p.multiplier),
+            p.offered.to_string(),
+            p.attempts.to_string(),
+            p.acked.to_string(),
+            p.shed.to_string(),
+            rate(p.goodput_per_sec),
+        ]);
+        points_json.push(format!(
+            "{{\"multiplier\":{},\"offered\":{},\"attempts\":{},\"acked\":{},\
+             \"shed\":{},\"backlog\":{},\"goodput_per_sec\":{:.3}}}",
+            p.multiplier, p.offered, p.attempts, p.acked, p.shed, p.backlog, p.goodput_per_sec
+        ));
+    }
+    t.print();
+    println!("\nshape: goodput tracks offered load to the budget, then saturates there —");
+    println!("typed Nacks shed the excess before any verification or storage work.");
+    let saturated = points.iter().filter(|p| p.multiplier > 1).map(|p| p.goodput_per_sec);
+    let floor = saturated.fold(f64::INFINITY, f64::min);
+    write_bench_json(
+        "BENCH_overload.json",
+        format!(
+            "{{\"figure\":\"overload\",\"budget_per_tick\":{BUDGET},\"tick_us\":{},\
+             \"ticks\":{TICKS},\"points\":[{}],\
+             \"overload_floor\":{{\"goodput_per_sec\":{floor:.3}}}}}",
+            overload::TICK_US,
+            points_json.join(","),
+        ),
+    );
+}
+
+/// CI overload smoke: re-runs the saturated (4x) point and fails when
+/// its goodput drops below the floor recorded by the last full
+/// `report overload` run (the curve's own conservation asserts run on
+/// every invocation, so a broken shedding path fails loudly here too).
+fn run_overload_smoke() {
+    let doc = match std::fs::read_to_string("BENCH_overload.json") {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!(
+                "overload-smoke: BENCH_overload.json not readable ({e}); run `report overload` first"
+            );
+            std::process::exit(2);
+        }
+    };
+    let floor = json::extract_number(
+        &doc[doc.find("\"overload_floor\"").unwrap_or(0)..],
+        "goodput_per_sec",
+    )
+    .unwrap_or_else(|| {
+        eprintln!(
+            "overload-smoke: no overload_floor in BENCH_overload.json; run `report overload` first"
+        );
+        std::process::exit(2);
+    });
+    const BUDGET: u64 = 4;
+    const TICKS: u64 = 50;
+    let point = overload::curve(BUDGET, &[4], TICKS).remove(0);
+    println!(
+        "overload-smoke: 4x offered load goodput {:.1}/s (floor {floor:.1}/s), {} shed",
+        point.goodput_per_sec, point.shed
+    );
+    if point.goodput_per_sec < floor {
+        eprintln!(
+            "overload-smoke: FAIL — saturated goodput {:.1}/s fell below the recorded floor {floor:.1}/s",
+            point.goodput_per_sec
+        );
+        std::process::exit(1);
+    }
+    println!("overload-smoke: OK");
 }
 
 /// CI perf smoke: re-measures the 64 B zero-copy forwarding rate and
@@ -135,11 +215,12 @@ fn run_perf_smoke() {
             std::process::exit(2);
         }
     };
-    let floor = json_number(&doc[doc.find("\"perf_floor\"").unwrap_or(0)..], "pdus_per_sec")
-        .unwrap_or_else(|| {
-            eprintln!("perf-smoke: no perf_floor in BENCH_fig6.json; run `report fig6` first");
-            std::process::exit(2);
-        });
+    let floor =
+        json::extract_number(&doc[doc.find("\"perf_floor\"").unwrap_or(0)..], "pdus_per_sec")
+            .unwrap_or_else(|| {
+                eprintln!("perf-smoke: no perf_floor in BENCH_fig6.json; run `report fig6` first");
+                std::process::exit(2);
+            });
     // Best of three: the smoke gate must not flake on scheduler noise.
     let measured =
         (0..3).map(|_| fig6::in_process(64, 200_000).pdus_per_sec).fold(0.0f64, f64::max);
@@ -164,11 +245,14 @@ fn run_perf_smoke() {
             std::process::exit(2);
         }
     };
-    let floor = json_number(&doc[doc.find("\"store_floor\"").unwrap_or(0)..], "appends_per_sec")
-        .unwrap_or_else(|| {
-            eprintln!("perf-smoke: no store_floor in BENCH_store.json; run `report store` first");
-            std::process::exit(2);
-        });
+    let floor =
+        json::extract_number(&doc[doc.find("\"store_floor\"").unwrap_or(0)..], "appends_per_sec")
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "perf-smoke: no store_floor in BENCH_store.json; run `report store` first"
+                );
+                std::process::exit(2);
+            });
     let dir = std::env::temp_dir().join(format!("gdp-perf-smoke-store-{}", std::process::id()));
     let measured = (0..3)
         .map(|i| {
@@ -400,6 +484,8 @@ fn main() {
         "fig6" => run_fig6(),
         "store" => run_store(),
         "perf-smoke" => run_perf_smoke(),
+        "overload" => run_overload(),
+        "overload-smoke" => run_overload_smoke(),
         "fig8" => run_fig8("full", 5, FIG8_FULL),
         "fig8-quick" => run_fig8("quick", 2, &[("4 MB model", 4_000_000)]),
         "table1" => run_table1(),
@@ -411,6 +497,7 @@ fn main() {
         "all" => {
             run_fig6();
             run_store();
+            run_overload();
             run_fig8("full", 5, FIG8_FULL);
             run_table1();
             ablations::hashptr(4096);
@@ -421,7 +508,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!("known: fig6 store perf-smoke fig8 fig8-quick table1 ablation-hashptr ablation-durability ablation-session ablation-anycast all");
+            eprintln!("known: fig6 store perf-smoke overload overload-smoke fig8 fig8-quick table1 ablation-hashptr ablation-durability ablation-session ablation-anycast all");
             std::process::exit(2);
         }
     }

@@ -10,6 +10,7 @@
 pub mod ablations;
 pub mod fig6;
 pub mod fig8;
+pub mod overload;
 pub mod storebench;
 pub mod table;
 

@@ -18,11 +18,12 @@ use gdp_crypto::{ct, hkdf, SigningKey, VerifyingKey};
 use gdp_obs::{Counter, Scope};
 use gdp_server::proto::{
     append_ack_body, event_body, mac_response, read_result_body, response_transcript,
-    session_transcript, AckMode, DataMsg, ErrorCode, ReadResult, ReadTarget, ResponseAuth,
+    session_transcript, AckMode, DataMsg, ErrorCode, NackCode, ReadResult, ReadTarget,
+    ResponseAuth,
 };
 use gdp_wire::{Name, Pdu, PduType, Wire};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
 
 /// Default lifetime of a pending request before
@@ -102,6 +103,20 @@ pub enum ClientEvent {
         /// The name that could not be routed.
         name: Name,
     },
+    /// The server shed the request with `Nack{Busy}`. The client armed
+    /// its per-capsule backoff; drivers must not re-issue requests for
+    /// this capsule before `not_before` (see
+    /// [`GdpClient::retry_not_before`]). The pending entry survives — a
+    /// Nack is unauthenticated and must never cancel a request.
+    Backpressure {
+        /// The capsule whose request was shed.
+        capsule: Name,
+        /// Request seq the Nack answered.
+        request_seq: u64,
+        /// Earliest µs timestamp at which a retry may be issued
+        /// (`now + retry_after + jitter`).
+        not_before: u64,
+    },
     /// A pending request expired without an authenticated response (the
     /// response was lost, or never sent). The pending entry is dropped;
     /// callers should re-issue — [`GdpClient::append_record`] re-wraps an
@@ -167,6 +182,7 @@ struct ClientObs {
     verify_failures: Counter,
     server_errors: Counter,
     unreachable: Counter,
+    nacks_received: Counter,
 }
 
 impl ClientObs {
@@ -182,6 +198,7 @@ impl ClientObs {
             verify_failures: scope.counter("verify_failures"),
             server_errors: scope.counter("server_errors"),
             unreachable: scope.counter("unreachable"),
+            nacks_received: scope.counter("nacks_received"),
         }
     }
 }
@@ -197,6 +214,9 @@ pub struct GdpClient {
     writers: HashMap<Name, CapsuleWriter>,
     /// Ordered so [`GdpClient::sweep_timeouts`] expires deterministically.
     pending: BTreeMap<u64, Pending>,
+    /// Per-capsule Nack backoff: earliest µs timestamp a retry may be
+    /// issued. Ordered for deterministic replay.
+    backoff: BTreeMap<Name, u64>,
     /// Pending-request lifetime before the sweep expires it (µs).
     request_timeout: u64,
     obs: ClientObs,
@@ -221,6 +241,7 @@ impl GdpClient {
             flows: HashMap::new(),
             writers: HashMap::new(),
             pending: BTreeMap::new(),
+            backoff: BTreeMap::new(),
             request_timeout: DEFAULT_REQUEST_TIMEOUT_US,
             obs: ClientObs::new(scope),
             rng: StdRng::from_entropy(),
@@ -258,6 +279,19 @@ impl GdpClient {
     /// in the client's `requests_retried` metric.
     pub fn mark_retry(&self) {
         self.obs.requests_retried.inc();
+    }
+
+    /// Earliest µs timestamp at which a retry for `capsule` may be issued
+    /// (0 when no Nack backoff is armed). Retry drivers must consult this
+    /// before re-sending — re-issuing straight into an overloaded server
+    /// is the retry storm the Nack exists to prevent.
+    pub fn retry_not_before(&self, capsule: &Name) -> u64 {
+        self.backoff.get(capsule).copied().unwrap_or(0)
+    }
+
+    /// True once `now` has passed the capsule's Nack backoff.
+    pub fn retry_ready(&self, capsule: &Name, now: u64) -> bool {
+        now >= self.retry_not_before(capsule)
     }
 
     /// Deadline sweep: expires pending requests older than the request
@@ -612,6 +646,23 @@ impl GdpClient {
                 self.obs.server_errors.inc();
                 vec![ClientEvent::ServerError { capsule, code, detail }]
             }
+            DataMsg::Nack { code: NackCode::Busy, retry_after_us } => {
+                // Unauthenticated, like ErrResp: never consumes the pending
+                // request. It only arms the per-capsule backoff, so the
+                // worst a spoofed Nack can do is delay one retry. Jitter is
+                // drawn from the client's seeded rng — deterministic under
+                // simulation, decorrelated across real clients, so a flash
+                // crowd doesn't retry in lockstep when the hint expires.
+                let Some(capsule) = self.pending.get(&pdu.seq).map(|p| p.capsule) else {
+                    return Vec::new();
+                };
+                self.obs.nacks_received.inc();
+                let jitter = self.rng.gen_range(0..=retry_after_us / 2);
+                let not_before = now.saturating_add(retry_after_us).saturating_add(jitter);
+                let slot = self.backoff.entry(capsule).or_insert(0);
+                *slot = (*slot).max(not_before);
+                vec![ClientEvent::Backpressure { capsule, request_seq: pdu.seq, not_before: *slot }]
+            }
             // Request-plane messages: clients never receive these; a
             // correct server does not send them. Named explicitly -- not
             // `_` -- so a future DataMsg variant forces a decision here
@@ -753,6 +804,51 @@ mod tests {
             }
             events
         }
+    }
+
+    /// Regression: a `Nack{Busy}` must arm a jittered backoff instead of
+    /// letting the driver retry immediately (the pre-backoff client had no
+    /// retry gate at all, so `retry_ready` right after a Nack was the
+    /// hot-loop bug this pins). The Nack must also never consume the
+    /// pending request — it is unauthenticated, exactly like `ErrResp`.
+    #[test]
+    fn nack_arms_jittered_backoff_without_cancelling_pending() {
+        const RETRY_AFTER: u64 = 50_000;
+        let run = |seed: u64| {
+            let mut l = looped();
+            l.client.set_rng_seed(seed);
+            // Budget of 1 per tick: the first append lands, the second is
+            // shed with a Nack by the real server code path.
+            l.server.set_overload_policy(1, RETRY_AFTER);
+            let (pdu, _) = l.client.append(l.capsule, b"first", 0, AckMode::Local).unwrap();
+            let events = l.roundtrip(pdu);
+            assert!(matches!(events[0], ClientEvent::AppendAcked { .. }), "{events:?}");
+            let (pdu, _) = l.client.append(l.capsule, b"second", 1, AckMode::Local).unwrap();
+            let before = l.client.pending_len();
+            let events = l.roundtrip(pdu);
+            let ClientEvent::Backpressure { capsule, not_before, .. } = events[0] else {
+                panic!("shed append must surface Backpressure, got {events:?}");
+            };
+            assert_eq!(capsule, l.capsule);
+            // Pending survives: an unauthenticated Nack cancels nothing.
+            assert_eq!(l.client.pending_len(), before);
+            // The hot-loop gate: not ready now (handle_pdu ran at now=0),
+            // not ready an instant before the deadline, ready at it.
+            assert!(!l.client.retry_ready(&l.capsule, 0), "immediate retry must be gated");
+            assert!(!l.client.retry_ready(&l.capsule, not_before - 1));
+            assert!(l.client.retry_ready(&l.capsule, not_before));
+            // Backoff = retry_after + jitter in [0, retry_after/2].
+            assert!(
+                (RETRY_AFTER..=RETRY_AFTER + RETRY_AFTER / 2).contains(&not_before),
+                "not_before {not_before} outside the jitter window"
+            );
+            not_before
+        };
+        // Jitter is seeded: same seed replays identically, different seeds
+        // decorrelate (so a flash crowd does not retry in lockstep).
+        assert_eq!(run(7), run(7), "same seed must replay the same backoff");
+        let spread: std::collections::BTreeSet<u64> = (0..8).map(run).collect();
+        assert!(spread.len() > 1, "jitter must vary across seeds: {spread:?}");
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   injectable faults (delay, reorder, drop, duplicate, asymmetric
 //!   partitions, crash/restart), and a replayable trace digest. The chaos
 //!   suite in `gdp-sim` runs the real node runtimes on it.
+//! * [`admission`] — per-peer token-bucket admission control applied at
+//!   TCP ingest (see DESIGN.md, "Overload & admission"): a flooding peer
+//!   is shed right after frame decode, before its PDUs cost anything.
 //!
 //! Protocol logic in `gdp-router`/`gdp-server`/`gdp-client` is written
 //! sans-I/O so the same state machines run on any substrate. The
@@ -24,12 +27,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod conformance;
 pub mod mem;
 pub mod sim;
 pub mod simnet;
 pub mod tcp;
 
+pub use admission::{AdmissionGate, TokenBucket, Verdict};
 pub use mem::{Endpoint, EndpointId, MemNet, MemNetError};
 pub use sim::{LinkSpec, NodeId, SimCtx, SimNet, SimNode, SimTime, MILLI, SECOND};
 pub use tcp::{PeerEvent, TcpNet, TcpNetConfig, TcpNetError, TcpStats};

@@ -26,6 +26,10 @@
 //! shards     = 4                 # optional (router role): data-plane
 //!                                # forwarding shards; default 1 keeps the
 //!                                # single-threaded router
+//! admission_rate  = 5000         # optional: per-peer ingest admission,
+//!                                # frames/second; 0 (default) disables
+//! admission_burst = 256          # optional: admission bucket depth in
+//!                                # frames (requires admission_rate)
 //! host       = <meta>:<chain>:<peer>,<peer>   # repeatable, see below
 //! ```
 //!
@@ -164,6 +168,13 @@ pub struct NodeConfig {
     /// spawns N worker shards fed over bounded channels, with the FIB
     /// partitioned by destination-name hash (see `crate::shard`).
     pub shards: usize,
+    /// Per-peer token-bucket admission at TCP ingest, in frames/second;
+    /// `0` (the default) disables admission control entirely (see
+    /// DESIGN.md, "Overload & admission").
+    pub admission_rate: u64,
+    /// Admission bucket depth in frames (largest honest burst admitted at
+    /// line rate). Only meaningful with `admission_rate > 0`.
+    pub admission_burst: u64,
 }
 
 impl std::fmt::Debug for NodeConfig {
@@ -181,6 +192,8 @@ impl std::fmt::Debug for NodeConfig {
             .field("stats_path", &self.stats_path)
             .field("hosts", &self.hosts)
             .field("shards", &self.shards)
+            .field("admission_rate", &self.admission_rate)
+            .field("admission_burst", &self.admission_burst)
             .finish()
     }
 }
@@ -224,6 +237,8 @@ impl NodeConfig {
         let mut peers = Vec::new();
         let mut hosts = Vec::new();
         let mut shards = None;
+        let mut admission_rate = None;
+        let mut admission_burst = None;
         for raw in text.lines() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -287,6 +302,20 @@ impl NodeConfig {
                     }
                     shards = Some(n);
                 }
+                "admission_rate" => {
+                    admission_rate = Some(value.parse::<u64>().map_err(|_| {
+                        ConfigError::bad("admission_rate", "must be frames/second (0 disables)")
+                    })?);
+                }
+                "admission_burst" => {
+                    let n: u64 = value.parse().map_err(|_| {
+                        ConfigError::bad("admission_burst", "must be a positive frame count")
+                    })?;
+                    if n == 0 {
+                        return Err(ConfigError::bad("admission_burst", "must be at least 1"));
+                    }
+                    admission_burst = Some(n);
+                }
                 other => return Err(ConfigError::bad(other, "unknown key")),
             }
         }
@@ -303,9 +332,14 @@ impl NodeConfig {
             stats_path,
             hosts,
             shards: shards.unwrap_or(1),
+            admission_rate: admission_rate.unwrap_or(0),
+            admission_burst: admission_burst.unwrap_or(64),
         };
         if cfg.shards > 1 && cfg.role != Role::Router {
             return Err(ConfigError::bad("shards", "sharding requires role = router"));
+        }
+        if admission_burst.is_some() && cfg.admission_rate == 0 {
+            return Err(ConfigError::bad("admission_burst", "requires admission_rate > 0"));
         }
         if cfg.store_engine == StoreEngine::Segmented && cfg.data_dir.is_none() {
             return Err(ConfigError::bad("store_engine", "segmented requires data_dir"));
@@ -357,6 +391,12 @@ impl NodeConfig {
         }
         if self.shards != 1 {
             out.push_str(&format!("shards = {}\n", self.shards));
+        }
+        if self.admission_rate != 0 {
+            out.push_str(&format!("admission_rate = {}\n", self.admission_rate));
+            if self.admission_burst != 64 {
+                out.push_str(&format!("admission_burst = {}\n", self.admission_burst));
+            }
         }
         for h in &self.hosts {
             out.push_str(&format!("host = {}\n", h.render()));
@@ -416,6 +456,8 @@ mod tests {
             stats_path: Some(PathBuf::from("/tmp/gdp-test/stats.json")),
             hosts: vec![sample_host()],
             shards: 1,
+            admission_rate: 2_000,
+            admission_burst: 128,
         };
         let text = cfg.render();
         let parsed = NodeConfig::parse(&text).unwrap();
@@ -432,6 +474,35 @@ mod tests {
         assert_eq!(parsed.hosts.len(), 1);
         assert_eq!(parsed.hosts[0].metadata, cfg.hosts[0].metadata);
         assert_eq!(parsed.hosts[0].peers, cfg.hosts[0].peers);
+        assert_eq!(parsed.admission_rate, cfg.admission_rate);
+        assert_eq!(parsed.admission_burst, cfg.admission_burst);
+    }
+
+    #[test]
+    fn admission_parse_render_and_validation() {
+        let base = "role = router\nlisten = 127.0.0.1:0\nseed = 0101010101010101010101010101010101010101010101010101010101010101\nlabel = r\n";
+        // Defaults: disabled, keys not emitted.
+        let cfg = NodeConfig::parse(base).unwrap();
+        assert_eq!(cfg.admission_rate, 0);
+        assert_eq!(cfg.admission_burst, 64);
+        assert!(!cfg.render().contains("admission"));
+        // Rate alone round-trips with the default burst (not emitted).
+        let cfg = NodeConfig::parse(&format!("{base}admission_rate = 5000\n")).unwrap();
+        assert_eq!((cfg.admission_rate, cfg.admission_burst), (5000, 64));
+        assert!(!cfg.render().contains("admission_burst"));
+        // Rate + burst round-trip.
+        let cfg =
+            NodeConfig::parse(&format!("{base}admission_rate = 5000\nadmission_burst = 256\n"))
+                .unwrap();
+        let re = NodeConfig::parse(&cfg.render()).unwrap();
+        assert_eq!((re.admission_rate, re.admission_burst), (5000, 256));
+        // Burst without a rate is meaningless: reject with the key.
+        let err = NodeConfig::parse(&format!("{base}admission_burst = 8\n")).unwrap_err();
+        assert_eq!(err.key, "admission_burst");
+        // Zero burst is rejected (a bucket that can never admit).
+        let err = NodeConfig::parse(&format!("{base}admission_rate = 10\nadmission_burst = 0\n"))
+            .unwrap_err();
+        assert_eq!(err.key, "admission_burst");
     }
 
     #[test]

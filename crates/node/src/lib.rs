@@ -17,12 +17,14 @@
 
 pub mod client_io;
 pub mod config;
+pub mod ingress;
 pub mod node;
 pub mod runtime;
 pub mod shard;
 
 pub use client_io::{ClientError, ClusterClient};
 pub use config::{ConfigError, HostSpec, NodeConfig, Role, StoreEngine};
+pub use ingress::IngressQueue;
 pub use node::{request_path, start, NodeError, NodeHandle, FOREVER};
 pub use runtime::{build_cores, build_cores_with_obs, NodeOutbox, NodeRuntime};
 pub use shard::{is_data_plane, shard_of, ShardedEngine};

@@ -12,6 +12,7 @@
 //! inside the deterministic chaos simulator in `gdp-sim`.
 
 use crate::config::{NodeConfig, Role};
+use crate::ingress::IngressQueue;
 use crate::runtime::{build_cores_with_obs, NodeRuntime};
 use crate::shard::{is_data_plane, ShardedEngine};
 use gdp_net::tcp::{PeerEvent, TcpNet, TcpNetConfig};
@@ -27,6 +28,10 @@ pub use crate::runtime::FOREVER;
 
 /// How often periodic maintenance (purge, server tick, re-attach) runs.
 const TICK_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Most PDUs staged through the priority queue per loop iteration; caps
+/// how long a drain can defer the maintenance tick under a flood.
+const INGRESS_BATCH: usize = 128;
 
 /// Errors starting a node.
 #[derive(Debug)]
@@ -105,7 +110,12 @@ impl NodeHandle {
 /// capsules, and spawns the event-loop thread.
 pub fn start(cfg: NodeConfig) -> Result<NodeHandle, NodeError> {
     let metrics = Metrics::new();
-    let net = TcpNet::bind_with_obs(cfg.listen, TcpNetConfig::default(), &metrics.scope("net"))
+    let net_cfg = TcpNetConfig {
+        admission_rate: cfg.admission_rate,
+        admission_burst: cfg.admission_burst,
+        ..TcpNetConfig::default()
+    };
+    let net = TcpNet::bind_with_obs(cfg.listen, net_cfg, &metrics.scope("net"))
         .map_err(NodeError::Bind)?;
     let local = net.local_addr();
     let stop = Arc::new(AtomicBool::new(false));
@@ -135,7 +145,9 @@ pub fn start(cfg: NodeConfig) -> Result<NodeHandle, NodeError> {
     let thread = std::thread::Builder::new()
         .name(format!("gdp-node-{}", cfg.label))
         .spawn(move || {
-            let tick_us = loop_metrics.scope("node").histogram("tick_us");
+            let node_scope = loop_metrics.scope("node");
+            let tick_us = node_scope.histogram("tick_us");
+            let control_preempts = node_scope.counter("control_preempts");
             EventLoop {
                 net: loop_net,
                 stop: loop_stop,
@@ -143,6 +155,8 @@ pub fn start(cfg: NodeConfig) -> Result<NodeHandle, NodeError> {
                 epoch: Instant::now(),
                 metrics: loop_metrics,
                 tick_us,
+                control_preempts,
+                ingress: IngressQueue::new(),
                 stats_path,
                 router_name,
                 engine,
@@ -163,6 +177,15 @@ struct EventLoop {
     metrics: Metrics,
     /// Runtime-maintenance latency (scope `node`, metric `tick_us`).
     tick_us: Histogram,
+    /// Times a control-plane PDU dequeued ahead of waiting Data (scope
+    /// `node`, metric `control_preempts`).
+    control_preempts: gdp_obs::Counter,
+    /// Control-over-data priority staging between transport and runtime:
+    /// each loop iteration drains a batch from the socket queue into it
+    /// and processes control-plane PDUs first, so route convergence and
+    /// session setup survive a Data flood (see DESIGN.md, "Overload &
+    /// admission").
+    ingress: IngressQueue<SocketAddr>,
     /// Metrics dump target; `<stats_path>.request` triggers a dump.
     stats_path: Option<PathBuf>,
     /// The control router's identity (shard dispatch predicate).
@@ -200,29 +223,44 @@ impl EventLoop {
                     }
                 }
             }
+            // Stage a batch through the priority queue: block briefly for
+            // the first PDU, then drain whatever else is already queued
+            // (bounded, so a flood cannot starve the tick below), and
+            // process control-plane PDUs ahead of Data.
             match self.net.recv_timeout(Duration::from_millis(20)) {
                 Ok(Some((from, pdu))) => {
-                    let now = self.now();
-                    // Forwarding traffic goes straight to its shard; the
-                    // control plane stays on this thread.
-                    let shard_eligible = match (&self.engine, &self.router_name) {
-                        (Some(_), Some(name)) => is_data_plane(&pdu, name),
-                        _ => false,
-                    };
-                    if shard_eligible {
-                        let nid = self.runtime.neighbor_id(from);
-                        let engine = self.engine.as_ref().unwrap();
-                        engine.note_peer(nid, from);
-                        engine.dispatch(now, nid, pdu);
-                    } else {
-                        let out = self.runtime.on_pdu(now, from, pdu);
-                        self.transmit(out);
-                        self.mirror_installs();
+                    self.ingress.push(from, pdu);
+                    while self.ingress.len() < INGRESS_BATCH {
+                        match self.net.try_recv() {
+                            Ok(Some((from, pdu))) => self.ingress.push(from, pdu),
+                            Ok(None) | Err(_) => break,
+                        }
                     }
                 }
                 Ok(None) => {}
                 Err(_) => break,
             }
+            let preempts_before = self.ingress.preemptions();
+            while let Some((from, pdu)) = self.ingress.pop() {
+                let now = self.now();
+                // Forwarding traffic goes straight to its shard; the
+                // control plane stays on this thread.
+                let shard_eligible = match (&self.engine, &self.router_name) {
+                    (Some(_), Some(name)) => is_data_plane(&pdu, name),
+                    _ => false,
+                };
+                if shard_eligible {
+                    let nid = self.runtime.neighbor_id(from);
+                    let engine = self.engine.as_ref().unwrap();
+                    engine.note_peer(nid, from);
+                    engine.dispatch(now, nid, pdu);
+                } else {
+                    let out = self.runtime.on_pdu(now, from, pdu);
+                    self.transmit(out);
+                    self.mirror_installs();
+                }
+            }
+            self.control_preempts.add(self.ingress.preemptions() - preempts_before);
             if last_tick.elapsed() >= TICK_INTERVAL {
                 last_tick = Instant::now();
                 let started = Instant::now();

@@ -111,6 +111,8 @@ fn three_process_cluster_with_failover() {
             stats_path: None,
             hosts: vec![],
             shards: 1,
+            admission_rate: 0,
+            admission_burst: 64,
         },
     );
 
@@ -127,6 +129,8 @@ fn three_process_cluster_with_failover() {
             fsync: None,
             stats_path: None,
             shards: 1,
+            admission_rate: 0,
+            admission_burst: 64,
             hosts: vec![HostSpec {
                 metadata: meta.clone(),
                 chain: chain_for(me),
@@ -225,6 +229,8 @@ fn single_both_node_serves_clients() {
             fsync: None,
             stats_path: None,
             shards: 1,
+            admission_rate: 0,
+            admission_burst: 64,
             hosts: vec![HostSpec { metadata: meta.clone(), chain, peers: vec![] }],
         },
     );

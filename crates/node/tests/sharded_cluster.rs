@@ -57,6 +57,8 @@ fn sharded_router_carries_cluster_traffic() {
         stats_path: Some(stats.clone()),
         hosts: vec![],
         shards: 4,
+        admission_rate: 0,
+        admission_burst: 64,
     })
     .expect("start sharded router");
 
@@ -90,6 +92,8 @@ fn sharded_router_carries_cluster_traffic() {
             peers: vec![],
         }],
         shards: 1,
+        admission_rate: 0,
+        admission_burst: 64,
     })
     .expect("start storage node");
 

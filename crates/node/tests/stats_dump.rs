@@ -30,6 +30,8 @@ fn trigger_file_and_shutdown_both_dump_valid_json() {
         stats_path: Some(stats.clone()),
         hosts: vec![],
         shards: 1,
+        admission_rate: 0,
+        admission_burst: 64,
     })
     .expect("start node");
 

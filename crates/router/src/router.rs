@@ -52,6 +52,10 @@ pub struct RouterStats {
     pub verify_cache_hits: u64,
     /// Verifications that ran in full (first sight, expired, or evicted).
     pub verify_cache_misses: u64,
+    /// Control-plane PDUs (Advertise/RouterControl/Lookup) whose payload
+    /// did not decode — dropped, but counted so a byzantine flood of
+    /// garbage control frames is fully accounted for.
+    pub ctrl_undecodable: u64,
 }
 
 /// Cached observability handles: resolved once at construction so the
@@ -75,6 +79,7 @@ struct RouterObs {
     lookups_escalated: Counter,
     verify_cache_hits: Counter,
     verify_cache_misses: Counter,
+    ctrl_undecodable: Counter,
 }
 
 impl RouterObs {
@@ -96,6 +101,7 @@ impl RouterObs {
             lookups_escalated: scope.counter("lookups_escalated"),
             verify_cache_hits: scope.counter("verify_cache_hits"),
             verify_cache_misses: scope.counter("verify_cache_misses"),
+            ctrl_undecodable: scope.counter("ctrl_undecodable"),
             scope: scope.clone(),
         }
     }
@@ -364,7 +370,11 @@ impl Router {
     fn handle_advertise(&mut self, now: u64, from: NeighborId, pdu: Pdu) -> Outbox {
         let msg = match AdvertiseMsg::from_wire(&pdu.payload) {
             Ok(m) => m,
-            Err(_) => return Vec::new(),
+            Err(_) => {
+                self.stats.ctrl_undecodable += 1;
+                self.obs.ctrl_undecodable.inc();
+                return Vec::new();
+            }
         };
         match msg {
             AdvertiseMsg::Hello => {
@@ -650,7 +660,11 @@ impl Router {
     fn handle_control(&mut self, now: u64, from: NeighborId, pdu: Pdu) -> Outbox {
         let ControlMsg::Announce { route, distance } = match ControlMsg::from_wire(&pdu.payload) {
             Ok(m) => m,
-            Err(_) => return Vec::new(),
+            Err(_) => {
+                self.stats.ctrl_undecodable += 1;
+                self.obs.ctrl_undecodable.inc();
+                return Vec::new();
+            }
         };
         // Independently re-verify: child routers are in other trust
         // domains. Re-announcement refresh presents byte-identical routes,
@@ -747,7 +761,11 @@ impl Router {
                     None => Vec::new(),
                 }
             }
-            Err(_) => Vec::new(),
+            Err(_) => {
+                self.stats.ctrl_undecodable += 1;
+                self.obs.ctrl_undecodable.inc();
+                Vec::new()
+            }
         }
     }
 

@@ -197,6 +197,24 @@ impl ErrorCode {
     }
 }
 
+/// Why a server refused work it could otherwise have served (load
+/// shedding, as opposed to [`ErrorCode`]'s "this request is wrong").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum NackCode {
+    /// The server is overloaded; retry after the advised delay.
+    Busy = 0,
+}
+
+impl NackCode {
+    fn from_u8(v: u8) -> Option<NackCode> {
+        Some(match v {
+            0 => NackCode::Busy,
+            _ => return None,
+        })
+    }
+}
+
 /// Authentication attached to a server response (paper §V "Secure
 /// Responses"): a full signature at flow start, an HMAC at steady state.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -416,6 +434,21 @@ pub enum DataMsg {
         /// Debug detail (not trusted).
         detail: String,
     },
+    /// Server → client: request *shed*, not failed — the server is
+    /// refusing load it could otherwise serve and advises when to retry.
+    /// Like [`DataMsg::ErrResp`] this is unauthenticated (an overloaded
+    /// server must not pay a signature per shed request), so clients
+    /// treat it as advice only: it never consumes a pending request, and
+    /// a spoofed Nack can at worst delay one retry by the jittered
+    /// backoff, never cancel or corrupt it.
+    Nack {
+        /// Why the request was shed.
+        code: NackCode,
+        /// Advised minimum delay before re-issuing (µs). Clients add
+        /// their own jitter on top so a synchronized storm cannot re-form
+        /// on the retry edge.
+        retry_after_us: u64,
+    },
 }
 
 impl Wire for DataMsg {
@@ -507,6 +540,11 @@ impl Wire for DataMsg {
                 enc.u8(*code as u8);
                 enc.string(detail);
             }
+            DataMsg::Nack { code, retry_after_us } => {
+                enc.u8(16);
+                enc.u8(*code as u8);
+                enc.varint(*retry_after_us);
+            }
         }
     }
 
@@ -555,6 +593,10 @@ impl Wire for DataMsg {
                 peers: dec.seq(|d| d.name())?,
             },
             15 => DataMsg::HostAck { capsule: dec.name()? },
+            16 => DataMsg::Nack {
+                code: NackCode::from_u8(dec.u8()?).ok_or(DecodeError::Invalid("nack code"))?,
+                retry_after_us: dec.varint()?,
+            },
             t => return Err(DecodeError::BadTag(t as u64)),
         })
     }
@@ -639,6 +681,7 @@ mod tests {
             DataMsg::SyncRequest { capsule: name, have_seq: 9, missing: vec![record.hash()] },
             DataMsg::SyncResponse { capsule: name, records: vec![record.clone()] },
             DataMsg::ErrResp { code: ErrorCode::NotFound, detail: "nope".to_string() },
+            DataMsg::Nack { code: NackCode::Busy, retry_after_us: 250_000 },
         ];
         for m in msgs {
             assert_eq!(DataMsg::from_wire(&m.to_wire()).unwrap(), m, "roundtrip failed");

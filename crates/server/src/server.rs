@@ -18,7 +18,7 @@
 
 use crate::proto::{
     append_ack_body, event_body, mac_response, read_result_body, session_transcript, sign_response,
-    AckMode, DataMsg, ErrorCode, ReadResult, ReadTarget, ResponseAuth,
+    AckMode, DataMsg, ErrorCode, NackCode, ReadResult, ReadTarget, ResponseAuth,
 };
 use gdp_capsule::{
     CapsuleError, CapsuleMetadata, DataCapsule, IngestOutcome, MembershipProof, Record, RecordHash,
@@ -52,6 +52,9 @@ pub struct ServerStats {
     pub sync_served: u64,
     /// Sessions established.
     pub sessions: u64,
+    /// Appends shed with `Nack{Busy}` because the per-tick budget was
+    /// spent (see [`DataCapsuleServer::set_overload_policy`]).
+    pub appends_shed: u64,
 }
 
 /// Cached observability handles: resolved once at construction so the
@@ -72,6 +75,8 @@ struct ServerObs {
     durability_timeouts: Counter,
     acks_deferred: Counter,
     acks_released: Counter,
+    appends_shed: Counter,
+    requests_undecodable: Counter,
 }
 
 impl ServerObs {
@@ -90,6 +95,8 @@ impl ServerObs {
             durability_timeouts: scope.counter("durability_timeouts"),
             acks_deferred: scope.counter("acks_deferred"),
             acks_released: scope.counter("acks_released"),
+            appends_shed: scope.counter("appends_shed"),
+            requests_undecodable: scope.counter("requests_undecodable"),
             scope: scope.clone(),
         }
     }
@@ -158,6 +165,13 @@ pub struct DataCapsuleServer {
     obs: ServerObs,
     /// How long to wait for quorum acks before failing an append (µs).
     pub durability_timeout: u64,
+    /// Appends accepted per tick before the server sheds with
+    /// `Nack{Busy}`; 0 disables shedding (the default).
+    append_budget: u64,
+    /// Appends accepted since the last [`DataCapsuleServer::tick`].
+    appends_this_tick: u64,
+    /// The backoff hint carried in `Nack{Busy}` responses (µs).
+    retry_after_us: u64,
     readvertise: bool,
     /// Session-ephemeral-key generator. Entropy-seeded by default;
     /// [`DataCapsuleServer::set_rng_seed`] makes handshakes replayable.
@@ -183,6 +197,9 @@ impl DataCapsuleServer {
             stats: ServerStats::default(),
             obs: ServerObs::new(obs),
             durability_timeout: 10_000_000,
+            append_budget: 0,
+            appends_this_tick: 0,
+            retry_after_us: 50_000,
             readvertise: false,
             rng: StdRng::from_entropy(),
         }
@@ -193,6 +210,17 @@ impl DataCapsuleServer {
     /// session keys become a function of the seed.
     pub fn set_rng_seed(&mut self, seed: u64) {
         self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Enables load shedding: at most `append_budget` appends are accepted
+    /// per [`DataCapsuleServer::tick`] interval; the excess is answered
+    /// with `Nack{Busy, retry_after_us}` (a cheap, unauthenticated hint —
+    /// the client treats it like `ErrResp` and never retires a pending
+    /// request on it, so a forged Nack can at worst delay one retry).
+    /// `append_budget == 0` disables shedding.
+    pub fn set_overload_policy(&mut self, append_budget: u64, retry_after_us: u64) {
+        self.append_budget = append_budget;
+        self.retry_after_us = retry_after_us;
     }
 
     /// Convenience constructor.
@@ -344,7 +372,10 @@ impl DataCapsuleServer {
         let msg = match DataMsg::from_wire(&pdu.payload) {
             Ok(m) => m,
             Err(_) => {
-                return vec![self.err_pdu(pdu.src, pdu.seq, ErrorCode::BadRequest, "undecodable")]
+                // Counted so byzantine-flood accounting can balance every
+                // garbage frame a hostile peer lands on a server.
+                self.obs.requests_undecodable.inc();
+                return vec![self.err_pdu(pdu.src, pdu.seq, ErrorCode::BadRequest, "undecodable")];
             }
         };
         let client = pdu.src;
@@ -376,7 +407,8 @@ impl DataCapsuleServer {
             | DataMsg::AppendAck { .. }
             | DataMsg::ReadResp { .. }
             | DataMsg::Event { .. }
-            | DataMsg::ErrResp { .. } => Vec::new(),
+            | DataMsg::ErrResp { .. }
+            | DataMsg::Nack { .. } => Vec::new(),
         }
     }
 
@@ -497,6 +529,20 @@ impl DataCapsuleServer {
         record: Record,
         ack_mode: AckMode,
     ) -> Vec<Pdu> {
+        // Shed before any verification or storage work: under overload the
+        // cheapest outcome must be the common one. The Nack is a hint, not
+        // an authenticated failure — the client keeps the request pending
+        // and retries after `retry_after_us` plus jitter.
+        if self.append_budget > 0 && self.appends_this_tick >= self.append_budget {
+            self.stats.appends_shed += 1;
+            self.obs.appends_shed.inc();
+            return vec![self.data_pdu(
+                client,
+                seq,
+                &DataMsg::Nack { code: NackCode::Busy, retry_after_us: self.retry_after_us },
+            )];
+        }
+        self.appends_this_tick += 1;
         let Some(hosted) = self.hosted.get_mut(&capsule_name) else {
             return vec![self.err_pdu(client, seq, ErrorCode::NotServing, "unknown capsule")];
         };
@@ -865,6 +911,8 @@ impl DataCapsuleServer {
     /// waits.
     pub fn tick(&mut self, now: u64) -> Vec<Pdu> {
         let mut out = Vec::new();
+        // A new tick opens a fresh append budget (see set_overload_policy).
+        self.appends_this_tick = 0;
         // Drive batched-durability stores; the due-ness check is theirs.
         for h in self.hosted.values_mut() {
             let _ = h.store.flush(now);
@@ -1041,6 +1089,52 @@ mod tests {
         }
         assert_eq!(rig.server.stats.appends, 5);
         assert_eq!(rig.server.stats.reads, 4);
+    }
+
+    #[test]
+    fn overload_sheds_appends_with_nack_and_budget_resets_on_tick() {
+        let mut rig = rig();
+        rig.server.set_overload_policy(2, 75_000);
+        let records: Vec<Record> =
+            (0..5u64).map(|i| rig.writer.append(format!("r{i}").as_bytes(), i).unwrap()).collect();
+        let mut acked = 0u64;
+        let mut nacked = 0u64;
+        for record in records.iter().take(5).cloned() {
+            let out = request(&mut rig, &DataMsg::Append { record, ack_mode: AckMode::Local });
+            match msg_of(&out[0]) {
+                DataMsg::AppendAck { .. } => acked += 1,
+                DataMsg::Nack { code: NackCode::Busy, retry_after_us } => {
+                    assert_eq!(retry_after_us, 75_000, "nack must carry the configured hint");
+                    nacked += 1;
+                }
+                other => panic!("unexpected response under overload: {other:?}"),
+            }
+        }
+        assert_eq!(acked, 2, "budget of 2 admits exactly 2 appends per tick");
+        assert_eq!(nacked, 3, "excess appends must be shed, not dropped silently");
+        assert_eq!(rig.server.stats.appends + rig.server.stats.appends_shed, 5, "conservation");
+        // A tick opens a fresh budget: the shed records can now land.
+        let _ = rig.server.tick(1_000);
+        for record in records.iter().skip(2).take(2).cloned() {
+            let out = request(&mut rig, &DataMsg::Append { record, ack_mode: AckMode::Local });
+            assert!(matches!(msg_of(&out[0]), DataMsg::AppendAck { .. }));
+        }
+        assert_eq!(rig.server.stats.appends, 4);
+    }
+
+    #[test]
+    fn undecodable_request_is_counted() {
+        let mut rig = rig();
+        let pdu = Pdu {
+            pdu_type: PduType::Data,
+            src: rig.client,
+            dst: rig.capsule,
+            seq: 1,
+            payload: vec![0xFF, 0xFF, 0xFF].into(),
+        };
+        let out = rig.server.handle_pdu(0, pdu);
+        assert!(matches!(msg_of(&out[0]), DataMsg::ErrResp { code: ErrorCode::BadRequest, .. }));
+        assert_eq!(rig.server.obs.requests_undecodable.get(), 1);
     }
 
     #[test]

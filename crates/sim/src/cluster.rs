@@ -152,6 +152,8 @@ impl SimCluster {
             stats_path: None,
             hosts: vec![],
             shards: 1,
+            admission_rate: 0,
+            admission_burst: 64,
         }];
         for i in 0..STORAGE {
             let me = &ids[i];
@@ -169,6 +171,8 @@ impl SimCluster {
                 fsync: None,
                 stats_path: None,
                 shards: 1,
+                admission_rate: 0,
+                admission_burst: 64,
                 hosts: vec![HostSpec {
                     metadata: metadata.clone(),
                     chain: ServingChain::direct(
@@ -556,6 +560,14 @@ impl SimCluster {
         self.records.push(record.clone());
         let deadline = self.net.now() + window_us;
         loop {
+            // Honor an armed Nack backoff before (re-)issuing: retrying
+            // straight into an overloaded server is the storm the typed
+            // Nack exists to prevent (events queued while waiting are
+            // still examined by the next pump).
+            let not_before = self.client.retry_not_before(&self.capsule);
+            if self.net.now() < not_before {
+                self.run_until(not_before.min(deadline));
+            }
             let _ = self.endpoints[CLIENT].send(ROUTER, pdu);
             // Per-attempt slice: short enough that a request lost to a
             // mid-failover route retries well before the outer deadline.
@@ -588,6 +600,10 @@ impl SimCluster {
     pub fn client_read(&mut self, target: ReadTarget, window_us: u64) -> Option<VerifiedRead> {
         let deadline = self.net.now() + window_us;
         loop {
+            let not_before = self.client.retry_not_before(&self.capsule);
+            if self.net.now() < not_before {
+                self.run_until(not_before.min(deadline));
+            }
             let pdu = self.client.read(self.capsule, target);
             let _ = self.endpoints[CLIENT].send(ROUTER, pdu);
             let slice = (self.net.now() + 2_000_000).min(deadline);
@@ -615,6 +631,41 @@ impl SimCluster {
             // Mirrors the live driver's 50ms pause between retries, so an
             // unroutable capsule doesn't hot-loop request/Error cycles.
             self.run_for(50_000);
+        }
+    }
+
+    // ---- overload & hostile peers --------------------------------------
+
+    /// The router's identity name (hostile peers need it to forge
+    /// plausible control traffic).
+    pub fn router_name(&self) -> Name {
+        self.router_name
+    }
+
+    /// The router's fabric address (where attached traffic enters).
+    pub fn router_addr(&self) -> SimAddr {
+        self.endpoints[ROUTER].addr
+    }
+
+    /// Allocates a fresh fabric endpoint outside the cluster — the
+    /// injection point for a compromised peer. Whatever it sends rides
+    /// the same seeded fabric (latency, drops) as honest traffic;
+    /// responses the cluster addresses back to it queue in its inbox for
+    /// the test to inspect or ignore.
+    pub fn hostile_endpoint(&mut self) -> SimEndpoint {
+        self.net.endpoint()
+    }
+
+    /// Arms load shedding on every live storage server: at most `budget`
+    /// appends per maintenance tick, excess answered with
+    /// `Nack{Busy, retry_after_us}`.
+    pub fn set_storage_overload_policy(&mut self, budget: u64, retry_after_us: u64) {
+        for i in 0..STORAGE {
+            if let Some(rt) = self.runtimes[1 + i].as_mut() {
+                if let Some(server) = rt.server_mut() {
+                    server.set_overload_policy(budget, retry_after_us);
+                }
+            }
         }
     }
 

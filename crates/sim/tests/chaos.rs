@@ -13,8 +13,11 @@
 //! Sweep width defaults to 100 seeds; `GDP_SIM_SEEDS=N` widens it for
 //! soak runs.
 
+use gdp_cert::{PrincipalId, PrincipalKind};
+use gdp_router::{AttachStep, Attacher};
 use gdp_server::{AckMode, ReadTarget};
-use gdp_sim::{check_invariants, FaultSpec, SimCluster, StoreEngine};
+use gdp_sim::{check_invariants, FaultSpec, SimCluster, StoreEngine, FOREVER};
+use gdp_wire::{Name, Pdu, PduType};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::{Path, PathBuf};
@@ -618,5 +621,276 @@ fn fault_free_metric_accounting_segmented() {
     let deferred: u64 =
         (1..=2).map(|i| c.node_metrics(i).counter_value("server", "acks_deferred")).sum();
     assert!(deferred > 0, "GDP_SIM_SEED={seed}: batch policy never deferred an ack");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- overload & hostile-load scenarios (DESIGN.md, "Overload &
+// admission") ----------------------------------------------------------
+
+/// Flash crowd: a burst of writers piles onto one capsule (the cluster
+/// hosts exactly one — the crowd's target) while every replica is armed
+/// with a 1-append-per-tick budget. The servers must shed the excess as
+/// *typed* `Nack{Busy}` frames — never silent drops — the client must
+/// honor the advertised backoff, and once the burst drains every write
+/// must still be acked: shedding degrades goodput, it never loses it.
+#[test]
+fn flash_crowd_sheds_typed_nacks_and_recovers() {
+    let seed = 0xF1A5;
+    let dir = fresh_dir();
+    let mut c = SimCluster::new(seed, FaultSpec::reliable(), &dir);
+    assert!(c.attach_client(30 * S), "GDP_SIM_SEED={seed}: attach timed out");
+    c.set_storage_overload_policy(1, 100_000);
+
+    // Zipf-flavored burst: rank-weighted body sizes (the head of the
+    // popularity curve writes big, the tail writes small), seed-derived
+    // jitter so the byte pattern differs per seed but replays exactly.
+    let mut rng = StdRng::seed_from_u64(seed);
+    const CROWD: usize = 12;
+    for rank in 1..=CROWD {
+        let size = (512 / rank).max(8) + rng.gen_range(0..8usize);
+        let body = vec![b'a' + (rank as u8 % 26); size];
+        c.client_append(&body, AckMode::Local, 120 * S).unwrap_or_else(|| {
+            panic!("GDP_SIM_SEED={seed}: flash-crowd append rank {rank} never acked")
+        });
+    }
+
+    // The budget actually bit, and every shed frame is accounted: each
+    // one surfaced to the client as exactly one typed Nack (conservation
+    // between the server's shed counter and the client's nack counter).
+    let shed: u64 =
+        (1..=2).map(|i| c.node_metrics(i).counter_value("server", "appends_shed")).sum();
+    assert!(shed > 0, "GDP_SIM_SEED={seed}: 1-append/tick budget never shed under the burst");
+    let nacks = c.client_metrics().counter_value("client", "nacks_received");
+    assert_eq!(shed, nacks, "GDP_SIM_SEED={seed}: shed frames lost instead of Nacked");
+    // Goodput survived: every write in the crowd was eventually acked,
+    // and committed exactly once (retries stayed idempotent).
+    assert_eq!(c.client_metrics().counter_value("client", "acked_writes"), CROWD as u64);
+    let committed: u64 =
+        (1..=2).map(|i| c.node_metrics(i).counter_value("server", "appends_committed")).sum();
+    assert_eq!(committed, CROWD as u64, "GDP_SIM_SEED={seed}: shed/retry broke idempotence");
+
+    // Disarm, let replication fan-out drain, and hold the cluster to the
+    // full invariant suite: shedding must not have forked or lost data.
+    c.set_storage_overload_policy(0, 0);
+    c.run_for(15 * S);
+    check_invariants(&c);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Drives a hostile peer's (genuine) attach handshake from its own
+/// fabric endpoint, returning the captured `Attach` PDU — the artifact a
+/// compromised peer would replay to re-assert a stale advertisement.
+fn hostile_attach(
+    c: &mut SimCluster,
+    ep: &gdp_sim::SimEndpoint,
+    attacher: &mut Attacher,
+    seed: u64,
+) -> Pdu {
+    let router = c.router_addr();
+    let _ = ep.send(router, attacher.hello());
+    let mut captured = None;
+    for _ in 0..100 {
+        c.run_for(50_000);
+        while let Ok(Some((_, pdu))) = ep.try_recv() {
+            match attacher.on_pdu(&pdu) {
+                AttachStep::Send(attach) => {
+                    captured = Some(attach.clone());
+                    let _ = ep.send(router, attach);
+                }
+                AttachStep::Done(_) => {
+                    return captured
+                        .unwrap_or_else(|| panic!("GDP_SIM_SEED={seed}: attach without challenge"))
+                }
+                AttachStep::Failed(reason) => {
+                    panic!("GDP_SIM_SEED={seed}: hostile attach failed: {reason}")
+                }
+                AttachStep::Ignored => {}
+            }
+        }
+    }
+    panic!("GDP_SIM_SEED={seed}: hostile attach never completed");
+}
+
+/// Byzantine flood: a compromised peer with a real identity attaches,
+/// then floods the router with 4x the honest append load across three
+/// frame classes — undecodable control traffic, undecodable data, data
+/// addressed to names that exist nowhere — plus replays of its own
+/// captured `Attach` (stale-advertisement re-assertion). Every hostile
+/// frame must land in exactly one failure counter (nothing vanishes
+/// unaccounted), every honest append must still ack while the flood
+/// runs, and after a mid-flood partition the router must re-converge
+/// routes and keep serving end-to-end.
+#[test]
+fn byzantine_flood_is_accounted_and_survived() {
+    let seed = 0xB12A;
+    let dir = fresh_dir();
+    let mut c = SimCluster::new(seed, FaultSpec::reliable(), &dir);
+    assert!(c.attach_client(30 * S), "GDP_SIM_SEED={seed}: attach timed out");
+
+    // The compromised peer: real keys, real handshake — the threat model
+    // is an *insider* gone hostile, not a spoofer the crypto stops cold.
+    let mallory = PrincipalId::from_seed(PrincipalKind::Client, &[0x66; 32], "mallory");
+    let mallory_name = mallory.name();
+    let ep = c.hostile_endpoint();
+    let router = c.router_addr();
+    let mut attacher = Attacher::new(mallory, c.router_name(), Vec::new(), FOREVER);
+    let replay = hostile_attach(&mut c, &ep, &mut attacher, seed);
+
+    // The flood generator: one hostile frame per call, rotating classes,
+    // with a running tally per class so accounting assertions below can
+    // be exact.
+    struct Flood {
+        ep: gdp_sim::SimEndpoint,
+        router: gdp_sim::SimAddr,
+        mallory: Name,
+        router_name: Name,
+        capsule: Name,
+        nowhere: Name,
+        replay: Pdu,
+        seq: u64,
+        n_ctrl: u64,
+        n_undec: u64,
+        n_noroute: u64,
+        n_replay: u64,
+    }
+    impl Flood {
+        fn send(&mut self, class: usize) {
+            self.seq += 1;
+            match class {
+                // Undecodable control plane: garbage Advertise / Announce
+                // payloads -> router `ctrl_undecodable`.
+                0 => {
+                    let pdu_type = if self.seq.is_multiple_of(2) {
+                        PduType::Advertise
+                    } else {
+                        PduType::RouterControl
+                    };
+                    let pdu = Pdu {
+                        pdu_type,
+                        src: self.mallory,
+                        dst: self.router_name,
+                        seq: self.seq,
+                        payload: vec![0xFF, 0xFF, 0xFF].into(),
+                    };
+                    let _ = self.ep.send(self.router, pdu);
+                    self.n_ctrl += 1;
+                }
+                // Undecodable data: routes fine (the capsule exists), fails
+                // DataMsg decode at a replica -> server
+                // `requests_undecodable` (the BadRequest reply routes back
+                // to mallory's inbox).
+                1 => {
+                    let pdu = Pdu::data(self.mallory, self.capsule, self.seq, vec![0xEE]);
+                    let _ = self.ep.send(self.router, pdu);
+                    self.n_undec += 1;
+                }
+                // Routable nonsense: data for a name no one ever advertised
+                // -> router `pdus_no_route`.
+                2 => {
+                    let pdu = Pdu::data(self.mallory, self.nowhere, self.seq, vec![0xEE]);
+                    let _ = self.ep.send(self.router, pdu);
+                    self.n_noroute += 1;
+                }
+                // Replayed advertisement: the captured Attach re-sent. Its
+                // challenge was consumed by the genuine handshake, so every
+                // replay -> router `adverts_rejected`.
+                _ => {
+                    let _ = self.ep.send(self.router, self.replay.clone());
+                    self.n_replay += 1;
+                }
+            }
+        }
+    }
+    let mut flood = Flood {
+        ep,
+        router,
+        mallory: mallory_name,
+        router_name: c.router_name(),
+        capsule: c.capsule(),
+        nowhere: Name::from_content(b"byzantine: no such capsule anywhere"),
+        replay,
+        seq: 1_000,
+        n_ctrl: 0,
+        n_undec: 0,
+        n_noroute: 0,
+        n_replay: 0,
+    };
+
+    // Phase A — 4x overload: four hostile frames around every honest
+    // append. Goodput must hold end-to-end THROUGHOUT the flood: each
+    // append is required to ack before the next salvo.
+    const HONEST: u64 = 6;
+    for i in 0..HONEST {
+        for k in 0..4u64 {
+            flood.send(((i * 4 + k) % 4) as usize);
+        }
+        c.client_append(format!("honest {i}").as_bytes(), AckMode::Local, 60 * S)
+            .unwrap_or_else(|| panic!("GDP_SIM_SEED={seed}: honest append {i} starved by flood"));
+    }
+    c.run_for(5 * S);
+
+    // Exact accounting: every shed hostile frame is in exactly one
+    // failure counter, and honest traffic contributed to none of them.
+    let rm = c.node_metrics(0);
+    assert_eq!(
+        rm.counter_value("router", "ctrl_undecodable"),
+        flood.n_ctrl,
+        "GDP_SIM_SEED={seed}: undecodable control frames not all accounted"
+    );
+    assert_eq!(
+        rm.counter_value("router", "pdus_no_route"),
+        flood.n_noroute,
+        "GDP_SIM_SEED={seed}: unroutable flood frames not all accounted"
+    );
+    assert_eq!(
+        rm.counter_value("router", "adverts_rejected"),
+        flood.n_replay,
+        "GDP_SIM_SEED={seed}: replayed advertisements not all rejected"
+    );
+    let undecodable: u64 =
+        (1..=2).map(|i| c.node_metrics(i).counter_value("server", "requests_undecodable")).sum();
+    assert_eq!(
+        undecodable, flood.n_undec,
+        "GDP_SIM_SEED={seed}: undecodable data frames not all accounted"
+    );
+    assert_eq!(c.client_metrics().counter_value("client", "acked_writes"), HONEST);
+
+    // Phase B — route convergence under continued fire: partition one
+    // replica, wait out down-detection so its routes are withdrawn, keep
+    // flooding (decode-failure classes only: no-route counts are noisy
+    // while replication retries chase the withdrawn replica), and demand
+    // the survivor still serves acked writes.
+    c.partition_storage(0);
+    c.run_for(2 * S);
+    for i in 0..2u64 {
+        for k in 0..4 {
+            flood.send(if k % 2 == 0 { 1 } else { 3 });
+        }
+        c.client_append(format!("degraded {i}").as_bytes(), AckMode::Local, 60 * S).unwrap_or_else(
+            || panic!("GDP_SIM_SEED={seed}: append {i} failed on the surviving replica"),
+        );
+    }
+    c.heal_storage(0);
+    c.run_for(30 * S);
+
+    // Decode-failure accounting stays exact across both phases; no_route
+    // may only have grown (replication toward the partitioned replica).
+    let rm = c.node_metrics(0);
+    assert_eq!(rm.counter_value("router", "ctrl_undecodable"), flood.n_ctrl);
+    assert_eq!(rm.counter_value("router", "adverts_rejected"), flood.n_replay);
+    assert!(rm.counter_value("router", "pdus_no_route") >= flood.n_noroute);
+    let undecodable: u64 =
+        (1..=2).map(|i| c.node_metrics(i).counter_value("server", "requests_undecodable")).sum();
+    assert_eq!(undecodable, flood.n_undec);
+    assert_eq!(
+        c.client_metrics().counter_value("client", "acked_writes"),
+        HONEST + 2,
+        "GDP_SIM_SEED={seed}: goodput did not survive the flood"
+    );
+    assert!(
+        c.storage_attached(0),
+        "GDP_SIM_SEED={seed}: partitioned replica never re-attached after heal"
+    );
+    check_invariants(&c);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -59,6 +59,8 @@ fn main() {
         stats_path: None,
         hosts: vec![],
         shards: 1,
+        admission_rate: 0,
+        admission_burst: 64,
     })
     .expect("start router");
     println!("router     {} @ {}", router_name.to_hex(), router.local_addr());
@@ -76,6 +78,8 @@ fn main() {
             fsync: None,
             stats_path: None,
             shards: 1,
+            admission_rate: 0,
+            admission_burst: 64,
             hosts: vec![HostSpec {
                 metadata: meta.clone(),
                 chain: chain_for(me),

@@ -3,8 +3,9 @@
 # This is what CI runs; keep it green before merging.
 #
 # Step order is deliberate and fail-fast, cheapest gate first:
-#   fmt -> clippy -> gdp-lint -> build --release -> test -> chaos sweep
-#   -> metric smoke -> bench JSON -> perf smoke
+#   fmt -> clippy -> gdp-lint -> build --release -> test -> fuzz corpus
+#   -> chaos sweep -> metric smoke -> overload smoke -> bench JSON
+#   -> perf smoke
 # gdp-lint runs before the release build: it is a sub-second whole-
 # workspace scan, and a workspace-invariant violation (timing-unsafe
 # compare, secret in a log, hot-path panic, swallowed wire variant)
@@ -53,6 +54,12 @@ cargo test --workspace -q
 step "cargo test (tier-1: facade crate)"
 cargo test -q
 
+# Wire-decoder fuzz gate: replay the pinned crasher corpus, then the
+# 10k-case seeded sweep — any panic in `Pdu`/frame decoding fails here
+# with the crashing input written to crates/wire/tests/corpus/.
+step "wire decode fuzz (corpus replay + seeded sweep)"
+cargo test -q -p gdp-wire --test fuzz_decode -- --nocapture
+
 # Seeded chaos sweep: the workspace test run above already covers the
 # default 100-seed sweep once; this dedicated pass widens/narrows it via
 # GDP_SIM_SEEDS and, on failure, surfaces the failing seed with an exact
@@ -82,16 +89,25 @@ rm -f "$sweep_log"
 step "fault-free metric smoke"
 cargo test -p gdp-sim --test chaos fault_free_metric_accounting -- --nocapture
 
+# Overload smoke: the flash-crowd and byzantine-flood scenarios hold the
+# conservation laws (every shed frame lands in a typed Nack or a failure
+# counter) while goodput survives 4x hostile load end-to-end.
+step "overload smoke (flash crowd + byzantine flood)"
+cargo test -p gdp-sim --test chaos -- --nocapture \
+    flash_crowd_sheds_typed_nacks_and_recovers \
+    byzantine_flood_is_accounted_and_survived
+
 # Bench artifacts: the report binary must emit parseable figure JSON.
 # `report store` also asserts the storage-engine floors inline: segmented
 # >=10x the file engine at 10k+ capsules, recovery replay == checkpoint
 # tail (it exits nonzero when either contract is broken).
-step "bench report JSON (fig6 + store + fig8-quick)"
-rm -f BENCH_fig6.json BENCH_store.json BENCH_fig8.json
+step "bench report JSON (fig6 + store + overload + fig8-quick)"
+rm -f BENCH_fig6.json BENCH_store.json BENCH_overload.json BENCH_fig8.json
 cargo run --release -p gdp-bench --bin report -- fig6 >/dev/null
 cargo run --release -p gdp-bench --bin report -- store >/dev/null
+cargo run --release -p gdp-bench --bin report -- overload >/dev/null
 cargo run --release -p gdp-bench --bin report -- fig8-quick >/dev/null
-for f in BENCH_fig6.json BENCH_store.json BENCH_fig8.json; do
+for f in BENCH_fig6.json BENCH_store.json BENCH_overload.json BENCH_fig8.json; do
     [ -s "$f" ] || { printf '!!! %s missing or empty\n' "$f"; exit 1; }
     # Re-validate with the same strict parser the dumps are checked with
     # (python as an independent cross-check when available).
@@ -108,5 +124,10 @@ done
 # must not silently rot).
 step "perf smoke (forwarding + store floors)"
 cargo run --release -p gdp-bench --bin report -- perf-smoke
+
+# Overload floor: the saturated 4x point must keep serving the full
+# append budget (goodput never collapses below the recorded floor).
+step "overload perf smoke (saturated goodput floor)"
+cargo run --release -p gdp-bench --bin report -- overload-smoke
 
 step "OK"
