@@ -274,37 +274,294 @@ pub fn verify_cold_vs_cached(iterations: u32) -> (f64, f64) {
     (cold, cached)
 }
 
+/// How a [`ShardedPoint`] was obtained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardedMode {
+    /// End-to-end through the real engine (batcher → lanes → workers →
+    /// egress), wall-clock. Requires at least `shards + 1` cores for
+    /// `shards > 1` to mean anything.
+    Live,
+    /// Pipeline projection from two *measured* stage rates on this
+    /// machine: `min(dispatch_rate, shards × worker_rate)`. Used when
+    /// the host has fewer cores than `shards + 1`, where a wall-clock
+    /// multi-thread run only measures the scheduler.
+    Projected,
+}
+
+impl ShardedMode {
+    /// Stable string for the benchmark JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardedMode::Live => "live",
+            ShardedMode::Projected => "projected",
+        }
+    }
+}
+
+/// One sharded-ablation measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedPoint {
+    /// Shard count.
+    pub shards: usize,
+    /// Aggregate forwarding rate, PDUs/s.
+    pub pdus_per_sec: f64,
+    /// Live measurement or pipeline projection.
+    pub mode: ShardedMode,
+    /// Measured dispatch-stage rate (batcher + batched channel handoff),
+    /// PDUs/s — the shared-stage ceiling of the pipeline.
+    pub dispatch_rate: f64,
+    /// Measured single-worker forwarding rate over real batches, PDUs/s.
+    pub worker_rate: f64,
+    /// Cores the host exposed during the run.
+    pub cores: usize,
+}
+
+/// Egress that counts sends; the bench equivalent of the TCP port.
+struct CountingEgress {
+    sent: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+struct CountingPort {
+    sent: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl gdp_node::Egress for CountingEgress {
+    fn port(&self) -> Box<dyn gdp_node::EgressPort> {
+        Box::new(CountingPort { sent: std::sync::Arc::clone(&self.sent) })
+    }
+}
+
+impl gdp_node::EgressPort for CountingPort {
+    fn send_to(&mut self, _addr: std::net::SocketAddr, _pdu: Pdu) {
+        self.sent.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// The shared sharded-ablation fixture: a recording control router with
+/// 32 attached destinations (uniform over shards), the drained installs,
+/// and a nid map binding ids 0..=3 (0 = ingress peer, 3 = the attach
+/// neighbor every route points at).
+fn sharded_fixture(
+    seed: &[u8; 32],
+) -> (
+    Vec<Name>,
+    Vec<gdp_router::RouteInstall>,
+    std::sync::Arc<gdp_node::NidMap<std::net::SocketAddr>>,
+) {
+    let mut control = Router::from_seed(seed, "sharded-control");
+    control.record_installs(true);
+    let mut dests = Vec::new();
+    for d in 0..32u8 {
+        let p = PrincipalId::from_seed(PrincipalKind::Server, &[70 + d; 32], "sharded-dst");
+        dests.push(p.name());
+        let mut attacher = Attacher::new(p, control.name(), vec![], 1 << 50);
+        gdp_router::attach_directly(&mut control, 3, &mut attacher, 0).expect("attach");
+    }
+    let installs = control.drain_installs();
+    let nids = std::sync::Arc::new(gdp_node::NidMap::default());
+    for port in 0..4u16 {
+        let addr: std::net::SocketAddr =
+            format!("127.0.0.1:{}", 23000 + port).parse().expect("addr");
+        nids.nid(addr);
+    }
+    (dests, installs, nids)
+}
+
+/// Prebuilds the load: `iterations` Data PDUs cycling the destination
+/// set, payload refcount-shared from one template. Built outside every
+/// timed region so both stages and both modes pay identical input cost
+/// (none).
+fn prebuilt_load(dests: &[Name], pdu_size: usize, iterations: u32) -> Vec<Pdu> {
+    let template = Pdu::data(Name::ZERO, dests[0], 0, vec![0u8; pdu_size]);
+    (0..iterations)
+        .map(|i| {
+            let mut pdu = template.clone();
+            pdu.dst = dests[i as usize % dests.len()];
+            pdu.seq = i as u64;
+            pdu
+        })
+        .collect()
+}
+
+/// PDUs per timed pass: small enough that a pass's working set is
+/// cache-resident (rebuilt untimed right before each pass), so the
+/// stages measure per-PDU engine cost rather than DRAM streaming.
+const SHARDED_CHUNK: u32 = 8_192;
+
 /// Ablation: aggregate forwarding rate with the data plane partitioned
-/// over `shards` worker threads (each owning its own router, fed its
-/// share of the load up front — the zero-queueing upper bound for the
-/// sharded engine). With one core this is ≈ flat; with N cores it scales.
-pub fn sharded(pdu_size: usize, iterations: u32, shards: usize) -> Fig6Point {
-    let per_shard = iterations / shards.max(1) as u32;
-    let start = std::time::Instant::now();
-    let forwarded: u64 = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..shards)
-            .map(|_| {
-                scope.spawn(move || {
-                    let (mut router, recv_name) = forwarding_fixture(61);
-                    let template = Pdu::data(Name::ZERO, recv_name, 0, vec![0u8; pdu_size]);
-                    let mut out = gdp_router::Outbox::new();
-                    let mut forwarded = 0u64;
-                    for i in 0..per_shard {
-                        let mut pdu = template.clone();
-                        pdu.seq = i as u64;
-                        out.clear();
-                        router.handle_pdu_into(1, 3, pdu, &mut out);
-                        forwarded += out.len() as u64;
-                    }
-                    forwarded
+/// over `shards` run-to-completion workers fed in batches by the
+/// per-connection readers.
+///
+/// Two stage rates are always measured live on this machine, over the
+/// same prebuilt load, timed in cache-warm chunks:
+///
+/// * **dispatch** — one reader staging through the real
+///   [`gdp_node::ShardBatcher`] into unconsumed lanes: shard hash,
+///   staging, batched channel enqueue, counters. This is the per-reader
+///   handoff capacity — exactly the quantity a per-PDU-handoff
+///   regression destroys.
+/// * **worker** — one real [`gdp_node::ShardState`] (seeded router +
+///   mirrored routes + counting egress) run over real batches.
+///
+/// The reported point is:
+///
+/// * `shards == 1`, or enough cores: **live** — prebuilt PDUs staged
+///   through the real engine end to end; the clock stops when the last
+///   PDU leaves the counting egress.
+/// * Otherwise: **projected** — on a host with fewer than `shards + 1`
+///   cores a wall-clock N-thread run measures the scheduler, not the
+///   engine, so the point is computed as `shards × min(dispatch,
+///   worker)`: in the run-to-completion design every *connection* has
+///   its own batcher (dispatch is not a shared serial stage — the
+///   paper's fig6 topology drives 32 senders), so with at least one
+///   sender per shard each worker's pipeline sustains `min(dispatch,
+///   worker)` and shards scale additively. The perf gate additionally
+///   pins the absolute projected rate, so a handoff regression that
+///   degrades `dispatch` below `worker` fails the floor even though the
+///   formula stays linear in `shards`.
+pub fn sharded(pdu_size: usize, iterations: u32, shards: usize) -> ShardedPoint {
+    use gdp_obs::Metrics;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let shards = shards.max(1);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let seed = [61u8; 32];
+    let (dests, installs, nids) = sharded_fixture(&seed);
+    let batch_cap = gdp_node::DEFAULT_SHARD_BATCH;
+    let chunk = SHARDED_CHUNK.min(iterations.max(1));
+
+    // Worker stage, timed per cache-warm chunk.
+    let worker_rate = {
+        let mut router = Router::from_seed(&seed, "sharded-worker");
+        for i in &installs {
+            router.install_verified(i.neighbor, i.distance, &i.route, 0);
+        }
+        let sent = Arc::new(AtomicU64::new(0));
+        let port = gdp_node::Egress::port(&CountingEgress { sent: Arc::clone(&sent) });
+        let mut state = gdp_node::ShardState::new(router, Arc::clone(&nids), port);
+        let mut timed = Duration::ZERO;
+        let mut done = 0u32;
+        while done < iterations {
+            let n = chunk.min(iterations - done);
+            let load = prebuilt_load(&dests, pdu_size, n);
+            let mut batches: Vec<gdp_node::ShardBatch> = load
+                .chunks(batch_cap)
+                .map(|c| gdp_node::ShardBatch {
+                    now: 1,
+                    items: c.iter().map(|p| (0usize, p.clone())).collect(),
                 })
-            })
-            .collect();
-        workers.into_iter().map(|w| w.join().expect("shard worker")).sum()
-    });
-    let elapsed = start.elapsed().as_secs_f64();
-    let pdus_per_sec = forwarded as f64 / elapsed;
-    Fig6Point { pdu_size, pdus_per_sec, throughput_bps: pdus_per_sec * pdu_size as f64 * 8.0 }
+                .collect();
+            let start = Instant::now();
+            for batch in &mut batches {
+                state.process_batch(batch);
+            }
+            timed += start.elapsed();
+            done += n;
+        }
+        assert_eq!(
+            sent.load(Ordering::Relaxed),
+            iterations as u64,
+            "worker stage must forward everything"
+        );
+        iterations as f64 / timed.as_secs_f64()
+    };
+
+    // Dispatch stage: one reader staging into unconsumed lanes, drained
+    // untimed between chunks so queued PDUs never accumulate into a
+    // DRAM-bound working set.
+    let dispatch_rate = {
+        let metrics = Metrics::new();
+        let (engine, lanes) = gdp_node::ShardedEngine::start_unconsumed(
+            shards,
+            batch_cap,
+            &metrics,
+            Arc::clone(&nids),
+            Instant::now(),
+        );
+        let mut batcher = engine.batcher();
+        let mut timed = Duration::ZERO;
+        let mut done = 0u32;
+        while done < iterations {
+            let n = chunk.min(iterations - done);
+            let load = prebuilt_load(&dests, pdu_size, n);
+            let start = Instant::now();
+            for pdu in load.into_iter() {
+                batcher.stage(0, pdu);
+            }
+            batcher.flush();
+            timed += start.elapsed();
+            done += n;
+            for lane in &lanes {
+                while lane.try_recv().is_ok() {}
+            }
+        }
+        drop(batcher);
+        drop(lanes);
+        engine.shutdown();
+        iterations as f64 / timed.as_secs_f64()
+    };
+
+    let live = shards == 1 || cores > shards;
+    let pdus_per_sec = if live {
+        // End-to-end through the real engine; per chunk, the clock
+        // stops when the last PDU of the chunk leaves the egress.
+        let metrics = Metrics::new();
+        let sent = Arc::new(AtomicU64::new(0));
+        let egress = Arc::new(CountingEgress { sent: Arc::clone(&sent) });
+        let engine = gdp_node::ShardedEngine::start(
+            shards,
+            batch_cap,
+            &seed,
+            "sharded-live",
+            &metrics,
+            Arc::clone(&nids),
+            egress,
+            Instant::now(),
+        );
+        for install in installs {
+            engine.mirror_install(install, 0);
+        }
+        // Let workers apply the mirrors before load arrives.
+        std::thread::sleep(Duration::from_millis(20));
+        let mut batcher = engine.batcher();
+        let mut timed = Duration::ZERO;
+        let mut done = 0u32;
+        while done < iterations {
+            let n = chunk.min(iterations - done);
+            let load = prebuilt_load(&dests, pdu_size, n);
+            let expected = (done + n) as u64;
+            let deadline = Instant::now() + Duration::from_secs(60);
+            let start = Instant::now();
+            for pdu in load.into_iter() {
+                batcher.stage(0, pdu);
+            }
+            batcher.flush();
+            while sent.load(Ordering::Relaxed) < expected && Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+            timed += start.elapsed();
+            done += n;
+        }
+        let forwarded = sent.load(Ordering::Relaxed);
+        drop(batcher);
+        engine.shutdown();
+        assert_eq!(forwarded, iterations as u64, "live run must forward everything");
+        iterations as f64 / timed.as_secs_f64()
+    } else {
+        // Pipeline projection; see the function docs.
+        shards as f64 * dispatch_rate.min(worker_rate)
+    };
+
+    ShardedPoint {
+        shards,
+        pdus_per_sec,
+        mode: if live { ShardedMode::Live } else { ShardedMode::Projected },
+        dispatch_rate,
+        worker_rate,
+        cores,
+    }
 }
 
 #[cfg(test)]
@@ -352,6 +609,24 @@ mod tests {
     #[test]
     fn sharded_runs_and_forwards_everything() {
         let p = sharded(64, 4_000, 2);
+        assert!(p.pdus_per_sec > 10_000.0, "rate {}", p.pdus_per_sec);
+        assert!(p.dispatch_rate > 0.0 && p.worker_rate > 0.0);
+        // Whichever mode ran, the projection inputs must be sane: the
+        // batched dispatch stage must clear the worker stage, otherwise
+        // sharding can never pay off.
+        assert!(
+            p.dispatch_rate > p.worker_rate,
+            "dispatch {:.0}/s not above worker {:.0}/s",
+            p.dispatch_rate,
+            p.worker_rate
+        );
+    }
+
+    #[test]
+    fn sharded_single_shard_is_live() {
+        let p = sharded(64, 4_000, 1);
+        assert_eq!(p.mode, ShardedMode::Live);
+        assert_eq!(p.shards, 1);
         assert!(p.pdus_per_sec > 10_000.0, "rate {}", p.pdus_per_sec);
     }
 }

@@ -37,7 +37,10 @@ pub mod tcp;
 pub use admission::{AdmissionGate, TokenBucket, Verdict};
 pub use mem::{Endpoint, EndpointId, MemNet, MemNetError};
 pub use sim::{LinkSpec, NodeId, SimCtx, SimNet, SimNode, SimTime, MILLI, SECOND};
-pub use tcp::{PeerEvent, TcpNet, TcpNetConfig, TcpNetError, TcpStats};
+pub use tcp::{
+    IngestSink, IngestSinkFactory, PeerEvent, PeerHandle, PeerSendError, TcpNet, TcpNetConfig,
+    TcpNetError, TcpStats,
+};
 
 use gdp_wire::Pdu;
 use std::time::Duration;

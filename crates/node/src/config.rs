@@ -26,6 +26,8 @@
 //! shards     = 4                 # optional (router role): data-plane
 //!                                # forwarding shards; default 1 keeps the
 //!                                # single-threaded router
+//! shard_batch = 64               # optional (requires shards > 1): PDUs
+//!                                # per shard handoff batch; default 64
 //! admission_rate  = 5000         # optional: per-peer ingest admission,
 //!                                # frames/second; 0 (default) disables
 //! admission_burst = 256          # optional: admission bucket depth in
@@ -168,6 +170,11 @@ pub struct NodeConfig {
     /// spawns N worker shards fed over bounded channels, with the FIB
     /// partitioned by destination-name hash (see `crate::shard`).
     pub shards: usize,
+    /// PDUs staged per shard handoff batch (`shards > 1` only): readers
+    /// hand workers chunks of up to this many PDUs in one channel send,
+    /// amortizing the wakeup. Default 64; `1` degenerates to per-PDU
+    /// handoff (useful for latency-sensitive or low-rate deployments).
+    pub shard_batch: usize,
     /// Per-peer token-bucket admission at TCP ingest, in frames/second;
     /// `0` (the default) disables admission control entirely (see
     /// DESIGN.md, "Overload & admission").
@@ -192,6 +199,7 @@ impl std::fmt::Debug for NodeConfig {
             .field("stats_path", &self.stats_path)
             .field("hosts", &self.hosts)
             .field("shards", &self.shards)
+            .field("shard_batch", &self.shard_batch)
             .field("admission_rate", &self.admission_rate)
             .field("admission_burst", &self.admission_burst)
             .finish()
@@ -237,6 +245,7 @@ impl NodeConfig {
         let mut peers = Vec::new();
         let mut hosts = Vec::new();
         let mut shards = None;
+        let mut shard_batch = None;
         let mut admission_rate = None;
         let mut admission_burst = None;
         for raw in text.lines() {
@@ -302,6 +311,15 @@ impl NodeConfig {
                     }
                     shards = Some(n);
                 }
+                "shard_batch" => {
+                    let n: usize = value.parse().map_err(|_| {
+                        ConfigError::bad("shard_batch", "must be a positive integer")
+                    })?;
+                    if n == 0 {
+                        return Err(ConfigError::bad("shard_batch", "must be at least 1"));
+                    }
+                    shard_batch = Some(n);
+                }
                 "admission_rate" => {
                     admission_rate = Some(value.parse::<u64>().map_err(|_| {
                         ConfigError::bad("admission_rate", "must be frames/second (0 disables)")
@@ -332,11 +350,15 @@ impl NodeConfig {
             stats_path,
             hosts,
             shards: shards.unwrap_or(1),
+            shard_batch: shard_batch.unwrap_or(crate::shard::DEFAULT_SHARD_BATCH),
             admission_rate: admission_rate.unwrap_or(0),
             admission_burst: admission_burst.unwrap_or(64),
         };
         if cfg.shards > 1 && cfg.role != Role::Router {
             return Err(ConfigError::bad("shards", "sharding requires role = router"));
+        }
+        if shard_batch.is_some() && cfg.shards <= 1 {
+            return Err(ConfigError::bad("shard_batch", "requires shards > 1"));
         }
         if admission_burst.is_some() && cfg.admission_rate == 0 {
             return Err(ConfigError::bad("admission_burst", "requires admission_rate > 0"));
@@ -391,6 +413,9 @@ impl NodeConfig {
         }
         if self.shards != 1 {
             out.push_str(&format!("shards = {}\n", self.shards));
+            if self.shard_batch != crate::shard::DEFAULT_SHARD_BATCH {
+                out.push_str(&format!("shard_batch = {}\n", self.shard_batch));
+            }
         }
         if self.admission_rate != 0 {
             out.push_str(&format!("admission_rate = {}\n", self.admission_rate));
@@ -456,6 +481,7 @@ mod tests {
             stats_path: Some(PathBuf::from("/tmp/gdp-test/stats.json")),
             hosts: vec![sample_host()],
             shards: 1,
+            shard_batch: 64,
             admission_rate: 2_000,
             admission_burst: 128,
         };
@@ -547,6 +573,22 @@ mod tests {
         assert_eq!(NodeConfig::parse(&format!("{base}shards = 0\n")).unwrap_err().key, "shards");
         let both = base.replace("role = router", "role = both");
         assert_eq!(NodeConfig::parse(&format!("{both}shards = 2\n")).unwrap_err().key, "shards");
+        // Batch cap: defaults, round-trips, and is gated on sharding.
+        let cfg = NodeConfig::parse(&format!("{base}shards = 4\nshard_batch = 16\n")).unwrap();
+        assert_eq!(cfg.shard_batch, 16);
+        assert_eq!(NodeConfig::parse(&cfg.render()).unwrap().shard_batch, 16);
+        assert_eq!(
+            NodeConfig::parse(&format!("{base}shards = 4\n")).unwrap().shard_batch,
+            crate::shard::DEFAULT_SHARD_BATCH
+        );
+        assert_eq!(
+            NodeConfig::parse(&format!("{base}shards = 4\nshard_batch = 0\n")).unwrap_err().key,
+            "shard_batch"
+        );
+        assert_eq!(
+            NodeConfig::parse(&format!("{base}shard_batch = 16\n")).unwrap_err().key,
+            "shard_batch"
+        );
     }
 
     #[test]

@@ -13,6 +13,14 @@
 //! scheduling *hint* only: a wrong guess reorders a PDU within the batch,
 //! it never drops or corrupts one. Within each class order stays FIFO, so
 //! per-peer ordering guarantees survive for same-class traffic.
+//!
+//! On a sharded router (`shards > 1`) most Data never reaches this queue
+//! at all: the per-connection TCP readers classify with
+//! [`crate::shard::is_data_plane`] and stage forwarding traffic straight
+//! into the shard lanes (see `crate::shard`), so the event loop — and
+//! this queue — carry only the control plane plus session handshakes.
+//! On unsharded nodes this queue remains the sole ingress path and its
+//! prioritization is what keeps convergence alive under a Data flood.
 
 use gdp_wire::{Pdu, PduType};
 use std::collections::VecDeque;

@@ -26,5 +26,10 @@ pub use client_io::{ClientError, ClusterClient};
 pub use config::{ConfigError, HostSpec, NodeConfig, Role, StoreEngine};
 pub use ingress::IngressQueue;
 pub use node::{request_path, start, NodeError, NodeHandle, FOREVER};
-pub use runtime::{build_cores, build_cores_with_obs, NodeOutbox, NodeRuntime};
-pub use shard::{is_data_plane, shard_of, ShardedEngine};
+pub use runtime::{
+    build_cores, build_cores_with_obs, NidMap, NidSnapshot, NodeOutbox, NodeRuntime,
+};
+pub use shard::{
+    is_data_plane, shard_of, Egress, EgressPort, NetEgress, ShardBatch, ShardBatcher, ShardState,
+    ShardedEngine, DEFAULT_SHARD_BATCH, SHARD_QUEUE_BATCHES,
+};

@@ -14,7 +14,7 @@
 use crate::config::{NodeConfig, Role};
 use crate::ingress::IngressQueue;
 use crate::runtime::{build_cores_with_obs, NodeRuntime};
-use crate::shard::{is_data_plane, ShardedEngine};
+use crate::shard::{NetEgress, ShardedEngine};
 use gdp_net::tcp::{PeerEvent, TcpNet, TcpNetConfig};
 use gdp_obs::{Histogram, Metrics};
 use gdp_wire::Name;
@@ -126,12 +126,30 @@ pub fn start(cfg: NodeConfig) -> Result<NodeHandle, NodeError> {
     let router_name = runtime.router_name();
     let server_name = runtime.server_name();
 
-    // Router role with `shards > 1`: spawn the data-plane shard pool and
-    // have the control router record installs so they can be mirrored.
+    // Router role with `shards > 1`: spawn the data-plane shard pool,
+    // have the control router record installs so they can be mirrored,
+    // and install the reader-side ingest sink so data-plane PDUs are
+    // classified and batched straight into shard lanes — the event-loop
+    // thread only ever sees control traffic.
+    let epoch = Instant::now();
     let engine = if cfg.role == Role::Router && cfg.shards > 1 {
-        let engine = ShardedEngine::start(cfg.shards, &cfg.seed, &cfg.label, &metrics, net.clone());
+        let shards_scope = metrics.scope("router-shards");
+        let egress = Arc::new(NetEgress::new(net.clone(), shards_scope.counter("egress_drops")));
+        let engine = ShardedEngine::start(
+            cfg.shards,
+            cfg.shard_batch,
+            &cfg.seed,
+            &cfg.label,
+            &metrics,
+            runtime.nid_map(),
+            egress,
+            epoch,
+        );
         if let Some(router) = runtime.router_mut() {
             router.record_installs(true);
+        }
+        if let Some(name) = router_name {
+            net.set_ingest_sink(Arc::new(engine.ingest_factory(name)));
         }
         Some(engine)
     } else {
@@ -152,13 +170,12 @@ pub fn start(cfg: NodeConfig) -> Result<NodeHandle, NodeError> {
                 net: loop_net,
                 stop: loop_stop,
                 runtime,
-                epoch: Instant::now(),
+                epoch,
                 metrics: loop_metrics,
                 tick_us,
                 control_preempts,
                 ingress: IngressQueue::new(),
                 stats_path,
-                router_name,
                 engine,
             }
             .run();
@@ -188,10 +205,10 @@ struct EventLoop {
     ingress: IngressQueue<SocketAddr>,
     /// Metrics dump target; `<stats_path>.request` triggers a dump.
     stats_path: Option<PathBuf>,
-    /// The control router's identity (shard dispatch predicate).
-    router_name: Option<Name>,
-    /// Data-plane shard pool (`shards > 1`, router role only): the event
-    /// loop keeps the control plane and dispatches forwarding traffic.
+    /// Data-plane shard pool (`shards > 1`, router role only). Data
+    /// PDUs are staged into it by the TCP readers themselves (the
+    /// ingest sink installed in [`start`]); the event loop only mirrors
+    /// control-router state into it.
     engine: Option<ShardedEngine>,
 }
 
@@ -243,22 +260,15 @@ impl EventLoop {
             let preempts_before = self.ingress.preemptions();
             while let Some((from, pdu)) = self.ingress.pop() {
                 let now = self.now();
-                // Forwarding traffic goes straight to its shard; the
-                // control plane stays on this thread.
-                let shard_eligible = match (&self.engine, &self.router_name) {
-                    (Some(_), Some(name)) => is_data_plane(&pdu, name),
-                    _ => false,
-                };
-                if shard_eligible {
-                    let nid = self.runtime.neighbor_id(from);
-                    let engine = self.engine.as_ref().unwrap();
-                    engine.note_peer(nid, from);
-                    engine.dispatch(now, nid, pdu);
-                } else {
-                    let out = self.runtime.on_pdu(now, from, pdu);
-                    self.transmit(out);
-                    self.mirror_installs();
-                }
+                // When sharding is on, TCP readers already divert
+                // data-plane PDUs into shard lanes before they reach
+                // this queue — what arrives here is control traffic
+                // (plus, at most, a handful of data PDUs from the sliver
+                // between bind and sink install, which the control
+                // router forwards correctly itself).
+                let out = self.runtime.on_pdu(now, from, pdu);
+                self.transmit(out);
+                self.mirror_installs();
             }
             self.control_preempts.add(self.ingress.preemptions() - preempts_before);
             if last_tick.elapsed() >= TICK_INTERVAL {
@@ -283,8 +293,9 @@ impl EventLoop {
     }
 
     /// Replays control-router route installs into the shard that owns
-    /// each name, publishing the neighbor's address first so shard egress
-    /// can resolve it.
+    /// each name. Egress addresses need no separate publish step: the
+    /// runtime and the shard workers share one [`crate::runtime::NidMap`],
+    /// which binds a neighbor id to its address at allocation.
     fn mirror_installs(&mut self) {
         let Some(engine) = &self.engine else { return };
         let now = self.now();
@@ -293,9 +304,6 @@ impl EventLoop {
             None => return,
         };
         for install in installs {
-            if let Some(addr) = self.runtime.neighbor_addr(install.neighbor) {
-                engine.note_peer(install.neighbor, addr);
-            }
             engine.mirror_install(install, now);
         }
     }

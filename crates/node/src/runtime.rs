@@ -18,8 +18,11 @@ use gdp_router::{attach_directly, AttachStep, Attacher, Router};
 use gdp_server::DataCapsuleServer;
 use gdp_store::{Backing, StorageEngine};
 use gdp_wire::{Name, Pdu};
+use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Catalog/RtCert expiry for runtime attachments: effectively forever on
 /// the node's own clock (node time starts at zero at process start).
@@ -34,6 +37,117 @@ pub const ATTACH_RETRY_US: u64 = 500_000;
 
 /// PDUs to transmit, in order: `(peer, pdu)`.
 pub type NodeOutbox<P> = Vec<(P, Pdu)>;
+
+/// Shared peer ↔ neighbor-id table with epoch-snapshot address reads.
+///
+/// The runtime used to own the peer→nid map privately; with reader-side
+/// shard dispatch the per-connection TCP reader threads must allocate and
+/// resolve the *same* id space as the control router, so the map lives
+/// behind an `Arc` with two access paths tuned very differently:
+///
+/// * **Allocation and peer→nid lookup** take a mutex. Both are off the
+///   per-PDU path: a reader resolves its own peer's id once per
+///   connection, and the control plane allocates once per new peer.
+/// * **nid→peer resolution** (shard egress, per PDU) is contention-free:
+///   every allocation publishes a fresh immutable `Arc<Vec<P>>` snapshot
+///   and bumps an epoch counter. Workers cache the snapshot and compare
+///   the epoch at most once per *batch* — one relaxed atomic load — so
+///   the steady state does no locking and no reference-count traffic.
+///
+/// Ids are dense, allocated in first-sight order, and never reused — a
+/// returning peer keeps its id, which is what keeps SimNet runs (where
+/// one thread drives everything through the same structure) replayable.
+pub struct NidMap<P> {
+    inner: Mutex<NidInner<P>>,
+    epoch: AtomicU64,
+}
+
+struct NidInner<P> {
+    ids: HashMap<P, usize>,
+    snap: Arc<Vec<P>>,
+}
+
+/// A worker-cached view of a [`NidMap`] snapshot; see
+/// [`NidMap::refresh`].
+pub struct NidSnapshot<P> {
+    epoch: u64,
+    addrs: Arc<Vec<P>>,
+}
+
+impl<P> Default for NidSnapshot<P> {
+    fn default() -> NidSnapshot<P> {
+        NidSnapshot { epoch: 0, addrs: Arc::new(Vec::new()) }
+    }
+}
+
+impl<P> NidSnapshot<P> {
+    /// The peer bound to `nid` in this snapshot, if allocated by then.
+    pub fn addr(&self, nid: usize) -> Option<&P> {
+        self.addrs.get(nid)
+    }
+}
+
+impl<P> Default for NidMap<P> {
+    fn default() -> NidMap<P> {
+        NidMap {
+            inner: Mutex::new(NidInner { ids: HashMap::new(), snap: Arc::new(Vec::new()) }),
+            epoch: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<P: Copy + Eq + Hash> NidMap<P> {
+    /// The stable neighbor id for `peer`, allocating one on first sight.
+    pub fn nid(&self, peer: P) -> usize {
+        let mut inner = self.inner.lock();
+        if let Some(&n) = inner.ids.get(&peer) {
+            return n;
+        }
+        let n = inner.snap.len();
+        // Copy-on-write: readers keep whatever snapshot they hold; the
+        // O(n) copy runs once per *new peer*, never per PDU.
+        let mut next = Vec::with_capacity(n + 1);
+        next.extend_from_slice(&inner.snap);
+        next.push(peer);
+        inner.snap = Arc::new(next);
+        inner.ids.insert(peer, n);
+        // Release pairs with the Acquire in `refresh`: a worker that sees
+        // the new epoch also sees the snapshot that produced it.
+        self.epoch.fetch_add(1, Ordering::Release);
+        n
+    }
+
+    /// The id already bound to `peer`, without allocating.
+    pub fn lookup(&self, peer: P) -> Option<usize> {
+        self.inner.lock().ids.get(&peer).copied()
+    }
+
+    /// The peer bound to `nid` (locking convenience for cold paths).
+    pub fn addr(&self, nid: usize) -> Option<P> {
+        self.inner.lock().snap.get(nid).copied()
+    }
+
+    /// Allocated id count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().snap.len()
+    }
+
+    /// True when no id has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Brings a worker-owned snapshot cache up to date. Unchanged epochs
+    /// cost one relaxed atomic load; call once per batch, then resolve
+    /// through [`NidSnapshot::addr`] with no locking at all.
+    pub fn refresh(&self, cache: &mut NidSnapshot<P>) {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        if epoch != cache.epoch {
+            cache.addrs = Arc::clone(&self.inner.lock().snap);
+            cache.epoch = epoch;
+        }
+    }
+}
 
 /// Server-side attach progress (storage role, network attach).
 enum ServerAttach {
@@ -126,10 +240,10 @@ pub struct NodeRuntime<P> {
     attach_target: Option<Name>,
     /// The peer all storage-role traffic is sent through.
     uplink: Option<P>,
-    /// Stable peer → neighbor-id map (never reused; a returning peer
-    /// keeps its id).
-    nids: HashMap<P, usize>,
-    addrs: Vec<P>,
+    /// Stable peer ↔ neighbor-id table (never reused; a returning peer
+    /// keeps its id). Shared so TCP reader threads dispatching data-plane
+    /// PDUs straight into shard workers use the same id space.
+    nids: Arc<NidMap<P>>,
 }
 
 impl<P: Copy + Eq + Hash> NodeRuntime<P> {
@@ -149,8 +263,7 @@ impl<P: Copy + Eq + Hash> NodeRuntime<P> {
             attach: None,
             attach_target,
             uplink,
-            nids: HashMap::new(),
-            addrs: Vec::new(),
+            nids: Arc::new(NidMap::default()),
         }
     }
 
@@ -209,9 +322,16 @@ impl<P: Copy + Eq + Hash> NodeRuntime<P> {
         self.nid(peer)
     }
 
+    /// The shared peer ↔ neighbor-id table. The sharded engine holds a
+    /// clone so its reader-side classifiers and worker egress resolve
+    /// through the exact ids the control plane allocates.
+    pub fn nid_map(&self) -> Arc<NidMap<P>> {
+        Arc::clone(&self.nids)
+    }
+
     /// The peer address bound to a neighbor id, if one was ever mapped.
     pub fn neighbor_addr(&self, nid: usize) -> Option<P> {
-        self.addrs.get(nid).copied()
+        self.nids.addr(nid)
     }
 
     /// True once a storage node's network attach has completed.
@@ -231,13 +351,7 @@ impl<P: Copy + Eq + Hash> NodeRuntime<P> {
     }
 
     fn nid(&mut self, peer: P) -> usize {
-        if let Some(&n) = self.nids.get(&peer) {
-            return n;
-        }
-        let n = self.addrs.len();
-        self.addrs.push(peer);
-        self.nids.insert(peer, n);
-        n
+        self.nids.nid(peer)
     }
 
     /// Starts the node: a `both` node attaches its server to its own
@@ -305,7 +419,7 @@ impl<P: Copy + Eq + Hash> NodeRuntime<P> {
         let mut out = Vec::new();
         // Withdraw everything the dead neighbor advertised so reads fail
         // over to surviving replicas.
-        if let (Some(router), Some(&nid)) = (self.router.as_mut(), self.nids.get(&peer)) {
+        if let (Some(router), Some(nid)) = (self.router.as_mut(), self.nids.lookup(peer)) {
             router.neighbor_down(nid);
         }
         // A storage node that lost its uplink must re-attach once the
@@ -382,7 +496,7 @@ impl<P: Copy + Eq + Hash> NodeRuntime<P> {
                             work.push_back((LOCAL_NID, reply));
                         }
                     }
-                } else if let Some(&peer) = self.addrs.get(to) {
+                } else if let Some(peer) = self.nids.addr(to) {
                     out.push((peer, pdu_out));
                 }
             }

@@ -111,6 +111,7 @@ fn three_process_cluster_with_failover() {
             stats_path: None,
             hosts: vec![],
             shards: 1,
+            shard_batch: 64,
             admission_rate: 0,
             admission_burst: 64,
         },
@@ -129,6 +130,7 @@ fn three_process_cluster_with_failover() {
             fsync: None,
             stats_path: None,
             shards: 1,
+            shard_batch: 64,
             admission_rate: 0,
             admission_burst: 64,
             hosts: vec![HostSpec {
@@ -229,6 +231,7 @@ fn single_both_node_serves_clients() {
             fsync: None,
             stats_path: None,
             shards: 1,
+            shard_batch: 64,
             admission_rate: 0,
             admission_burst: 64,
             hosts: vec![HostSpec { metadata: meta.clone(), chain, peers: vec![] }],

@@ -1,0 +1,122 @@
+//! Per-name FIFO across batch boundaries.
+//!
+//! The batched shard handoff must not reorder traffic: a destination
+//! name always maps to one shard, a connection's batcher stages in
+//! arrival order, buffers flush in FIFO order into a FIFO lane, and the
+//! worker runs each batch to completion. This test drives interleaved
+//! traffic for several destinations through a real engine with a tiny
+//! batch cap (so every destination crosses many batch boundaries) and
+//! asserts each destination's sequence numbers egress strictly in
+//! arrival order.
+
+use gdp_cert::identity::{PrincipalId, PrincipalKind};
+use gdp_node::{Egress, EgressPort, NidMap, ShardedEngine};
+use gdp_obs::Metrics;
+use gdp_router::{attach_directly, Attacher, Router};
+use gdp_wire::{Name, Pdu};
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Records every egressed PDU (destination name, sequence) in arrival
+/// order at the port. Shared across all shard workers.
+struct CaptureEgress {
+    log: Arc<Mutex<Vec<(Name, u64)>>>,
+}
+
+struct CapturePort {
+    log: Arc<Mutex<Vec<(Name, u64)>>>,
+}
+
+impl Egress for CaptureEgress {
+    fn port(&self) -> Box<dyn EgressPort> {
+        Box::new(CapturePort { log: Arc::clone(&self.log) })
+    }
+}
+
+impl EgressPort for CapturePort {
+    fn send_to(&mut self, _addr: SocketAddr, pdu: Pdu) {
+        self.log.lock().push((pdu.dst, pdu.seq));
+    }
+}
+
+#[test]
+fn same_destination_pdus_egress_in_arrival_order_across_batches() {
+    const DESTS: usize = 6;
+    const PER_DEST: u64 = 500;
+    const BATCH_CAP: usize = 5; // tiny: forces ~100 batch boundaries per dest
+
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let egress = Arc::new(CaptureEgress { log: Arc::clone(&log) });
+    let metrics = Metrics::new();
+
+    // Seeded fixture: a control router records installs for six attached
+    // principals; the engine mirrors them into the owning shards.
+    let seed = [31u8; 32];
+    let mut control = Router::from_seed(&seed, "order-control");
+    control.record_installs(true);
+    let mut dests = Vec::new();
+    for d in 0..DESTS as u8 {
+        let p = PrincipalId::from_seed(PrincipalKind::Server, &[40 + d; 32], "order-dst");
+        dests.push(p.name());
+        let mut attacher = Attacher::new(p, control.name(), vec![], 1 << 50);
+        attach_directly(&mut control, 3, &mut attacher, 0).expect("attach");
+    }
+
+    // nid space: 0 = the ingress peer, 3 = the attach neighbor (must
+    // resolve to an address for egress to happen).
+    let nids: Arc<NidMap<SocketAddr>> = Arc::new(NidMap::default());
+    for port in 0..4u16 {
+        nids.nid(format!("127.0.0.1:{}", 21000 + port).parse().unwrap());
+    }
+
+    let engine = ShardedEngine::start(
+        4,
+        BATCH_CAP,
+        &seed,
+        "order",
+        &metrics,
+        Arc::clone(&nids),
+        egress,
+        Instant::now(),
+    );
+    for install in control.drain_installs() {
+        engine.mirror_install(install, 0);
+    }
+    // Mirrors travel the control lane; give workers a moment to apply
+    // them before data arrives (in production the attach reply races the
+    // first data PDU the same way, and a miss just means a no-route
+    // Error — here we want every PDU forwarded).
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    // Interleave destinations so every batch boundary lands mid-stream
+    // for each of them.
+    let mut batcher = engine.batcher();
+    for seq in 0..PER_DEST {
+        for dst in &dests {
+            batcher.stage(0, Pdu::data(Name::ZERO, *dst, seq, vec![0u8; 16]));
+        }
+    }
+    batcher.flush();
+    engine.shutdown();
+
+    let log = log.lock();
+    assert_eq!(log.len(), DESTS * PER_DEST as usize, "every PDU must egress exactly once");
+    // Per destination, sequences must be strictly increasing — batching
+    // may interleave *across* destinations but never reorder within one.
+    let mut last: std::collections::HashMap<Name, u64> = std::collections::HashMap::new();
+    for (dst, seq) in log.iter() {
+        if let Some(prev) = last.get(dst) {
+            assert!(seq > prev, "dst {dst:?} reordered: {seq} after {prev}");
+        }
+        last.insert(*dst, *seq);
+    }
+    assert_eq!(last.len(), DESTS);
+    // The tiny cap must actually have produced many batches.
+    let batches = metrics.counter_value("router-shards", "batches_dispatched");
+    assert!(
+        batches as usize > DESTS * (PER_DEST as usize / BATCH_CAP) / 2,
+        "expected many batch boundaries, got {batches}"
+    );
+}

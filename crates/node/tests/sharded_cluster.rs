@@ -57,6 +57,7 @@ fn sharded_router_carries_cluster_traffic() {
         stats_path: Some(stats.clone()),
         hosts: vec![],
         shards: 4,
+        shard_batch: 64,
         admission_rate: 0,
         admission_burst: 64,
     })
@@ -92,6 +93,7 @@ fn sharded_router_carries_cluster_traffic() {
             peers: vec![],
         }],
         shards: 1,
+        shard_batch: 64,
         admission_rate: 0,
         admission_burst: 64,
     })
@@ -142,6 +144,12 @@ fn sharded_router_carries_cluster_traffic() {
         assert!(doc.contains(&format!("\"router-shard{i}\":")), "missing shard scope {i}: {doc}");
     }
     assert!(doc.contains("\"queue_depth\":"), "missing shard queue_depth gauge: {doc}");
+    // …the reader-side batch path actually carried traffic (data-plane
+    // PDUs are classified on the TCP readers and handed to workers in
+    // batches — `batches_dispatched` counts every handoff)…
+    assert!(doc.contains("\"router-shards\":"), "missing shared shard scope: {doc}");
+    let batches: u64 = counter_values(&doc, "batches_dispatched").iter().sum();
+    assert!(batches > 0, "reader-side batching never dispatched: {doc}");
     // …the shard workers actually forwarded the data plane…
     let shard_forwarded: u64 = counter_values(&doc, "pdus_forwarded").iter().sum::<u64>()
         + counter_values(&doc, "pdus_delivered_local").iter().sum::<u64>();

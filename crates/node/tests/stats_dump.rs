@@ -30,6 +30,7 @@ fn trigger_file_and_shutdown_both_dump_valid_json() {
         stats_path: Some(stats.clone()),
         hosts: vec![],
         shards: 1,
+        shard_batch: 64,
         admission_rate: 0,
         admission_burst: 64,
     })

@@ -163,6 +163,30 @@ pub struct Router {
 /// PDUs to emit, paired with the neighbor to emit them to.
 pub type Outbox = Vec<(NeighborId, Pdu)>;
 
+/// True when a router named `router_name` would *forward* this PDU in
+/// the data plane rather than consume it in the control plane.
+///
+/// This is the single source of truth for the split:
+/// [`Router::handle_pdu_into`] derives its dispatch from it, and the
+/// sharded engine's reader-side classifier (`gdp-node`) re-exports it —
+/// adding a `PduType` variant forces both through this one match, so the
+/// two can never drift apart.
+#[inline]
+pub fn is_data_plane(pdu: &Pdu, router_name: &Name) -> bool {
+    match pdu.pdu_type {
+        // Data first: the forwarding fast path evaluates no name guards.
+        PduType::Data => true,
+        // Advertisements are consumed by the router they address; transit
+        // advertisements (toward some other router) are forwarded.
+        PduType::Advertise => pdu.dst != *router_name,
+        // Lookups and router control are consumed when addressed to this
+        // router or the hop-by-hop wildcard zero name.
+        PduType::Lookup | PduType::RouterControl => !(pdu.dst == *router_name || pdu.dst.is_zero()),
+        // Errors always travel the data plane back toward the source.
+        PduType::Error => true,
+    }
+}
+
 /// One recorded route installation (for mirroring into shard workers).
 #[derive(Clone, Debug)]
 pub struct RouteInstall {
@@ -272,31 +296,34 @@ impl Router {
     /// append order is identical to `handle_pdu`'s return order, keeping
     /// simulator determinism intact.
     pub fn handle_pdu_into(&mut self, now: u64, from: NeighborId, pdu: Pdu, out: &mut Outbox) {
+        // The forward-vs-consume split is derived from the shared
+        // [`is_data_plane`] predicate — the same function the sharded
+        // engine's reader-side classifier uses — so routing dispatch and
+        // shard classification cannot drift apart.
+        if is_data_plane(&pdu, &self.name()) {
+            return self.forward_into(now, from, pdu, out);
+        }
         // Control traffic addressed to this router (or to the wildcard
-        // zero name, used hop-by-hop between routers) is consumed here;
-        // everything else is forwarded in the data plane. Data is matched
-        // first so the forwarding fast path evaluates no name guards.
+        // zero name, used hop-by-hop between routers) is consumed here.
+        // Named explicitly -- not `_` -- so adding a PduType variant
+        // forces a routing decision in `is_data_plane` *and* a
+        // consumption arm here.
         match pdu.pdu_type {
-            PduType::Data => self.forward_into(now, from, pdu, out),
-            PduType::Advertise if pdu.dst == self.name() => {
+            PduType::Advertise => {
                 let emitted = self.handle_advertise(now, from, pdu);
                 out.extend(emitted);
             }
-            PduType::Lookup if pdu.dst == self.name() || pdu.dst.is_zero() => {
+            PduType::Lookup => {
                 let emitted = self.handle_lookup(now, from, pdu);
                 out.extend(emitted);
             }
-            PduType::RouterControl if pdu.dst == self.name() || pdu.dst.is_zero() => {
+            PduType::RouterControl => {
                 let emitted = self.handle_control(now, from, pdu);
                 out.extend(emitted);
             }
-            // Control PDUs not addressed to this router (the guards
-            // above) are transit traffic: forward them like data. Named
-            // explicitly -- not `_` -- so adding a PduType variant forces a
-            // routing decision here instead of silently falling through.
-            PduType::Advertise | PduType::Lookup | PduType::RouterControl | PduType::Error => {
-                self.forward_into(now, from, pdu, out)
-            }
+            // `is_data_plane` is unconditionally true for these, so they
+            // took the forwarding branch above.
+            PduType::Data | PduType::Error => {}
         }
     }
 

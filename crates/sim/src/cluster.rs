@@ -152,6 +152,7 @@ impl SimCluster {
             stats_path: None,
             hosts: vec![],
             shards: 1,
+            shard_batch: 64,
             admission_rate: 0,
             admission_burst: 64,
         }];
@@ -171,6 +172,7 @@ impl SimCluster {
                 fsync: None,
                 stats_path: None,
                 shards: 1,
+                shard_batch: 64,
                 admission_rate: 0,
                 admission_burst: 64,
                 hosts: vec![HostSpec {

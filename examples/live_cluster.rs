@@ -59,6 +59,7 @@ fn main() {
         stats_path: None,
         hosts: vec![],
         shards: 1,
+        shard_batch: 64,
         admission_rate: 0,
         admission_burst: 64,
     })
@@ -78,6 +79,7 @@ fn main() {
             fsync: None,
             stats_path: None,
             shards: 1,
+            shard_batch: 64,
             admission_rate: 0,
             admission_burst: 64,
             hosts: vec![HostSpec {
