@@ -369,15 +369,56 @@ fn run_perf_smoke() {
         );
         std::process::exit(1);
     }
+
+    // Read floor: re-measure warm sealed-segment point reads at the
+    // workload the read floor in BENCH_store.json was recorded at — the
+    // block-cache fast lane must not silently rot either.
+    let floor = json::extract_number(
+        &doc[doc.find("\"read_floor\"").unwrap_or(0)..],
+        "point_reads_per_sec",
+    )
+    .unwrap_or_else(|| {
+        eprintln!("perf-smoke: no read_floor in BENCH_store.json; run `report store` first");
+        std::process::exit(2);
+    });
+    let dir = std::env::temp_dir().join(format!("gdp-perf-smoke-read-{}", std::process::id()));
+    let measured = (0..3)
+        .map(|i| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let r = storebench::seg_read_rate(
+                &dir,
+                storebench::FLOOR_READ_CAPSULES,
+                storebench::FLOOR_READ_RECORDS,
+            );
+            if i == 2 {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            r
+        })
+        .fold(0.0f64, f64::max);
+    let threshold = floor * 0.7;
+    println!(
+        "perf-smoke: warm store reads {measured:.0} reads/s (floor {floor:.0}, threshold {threshold:.0})"
+    );
+    if measured < threshold {
+        eprintln!(
+            "perf-smoke: FAIL — warm sealed-segment point reads regressed >30% below the \
+             recorded floor ({measured:.0} < {threshold:.0} reads/s)"
+        );
+        std::process::exit(1);
+    }
     println!("perf-smoke: OK");
 }
 
 /// Storage-engine comparison at equal durability (every append acked
 /// durable before it counts), across capsule counts, plus the bounded
-/// crash-recovery series. Emits `BENCH_store.json` with the segmented
-/// speedup and recovery bound asserted before writing: a build where the
-/// segmented engine is not ≥10× the file engine at 10k+ capsules, or
-/// where recovery replays more than the checkpoint tail, fails here.
+/// crash-recovery series and the sealed-segment read series (1k → 1M
+/// capsules). Emits `BENCH_store.json` with the contracts asserted
+/// before writing: a build where the segmented engine is not ≥10× the
+/// file engine at 10k+ capsules, where recovery replays more than the
+/// checkpoint tail, where warm point reads are not ≥5× uncached at 10k+
+/// capsules, where warm range records are not zero-copy, or where the
+/// 1M run exceeds its pooled-fd budget, fails here.
 fn run_store() {
     let dir = std::env::temp_dir().join(format!("gdp-report-store-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -461,24 +502,96 @@ fn run_store() {
          below the full re-scan."
     );
 
+    println!(
+        "\nread path — sealed-segment reads over a strided capsule sample\n\
+         (uncached = block cache disabled, one block fetch + CRC per read;\n\
+         \x20warm = repeat pass through the CRC-verified block cache):"
+    );
+    let mut t = Table::new(&[
+        "capsules",
+        "rec/cap",
+        "uncached pt/s",
+        "warm pt/s",
+        "speedup",
+        "range rec/s",
+        "zero-copy",
+        "fd opens",
+        "open fds",
+    ]);
+    let mut read_json = Vec::new();
+    let mut read_assert_ok = true;
+    for (capsules, per_capsule) in [(1_000usize, 8usize), (10_000, 8), (100_000, 2), (1_000_000, 1)]
+    {
+        // read_comparison asserts the structural contracts inline: warm
+        // range records are zero-copy slices of cached blocks and the
+        // pooled-fd budget holds (at 1M the pool is smaller than the
+        // sealed-segment count on purpose).
+        let p =
+            storebench::read_comparison(&dir.join(format!("rd-{capsules}")), capsules, per_capsule);
+        t.row(&[
+            p.capsules.to_string(),
+            p.records_per_capsule.to_string(),
+            rate(p.uncached_point_per_sec),
+            rate(p.warm_point_per_sec),
+            format!("{:.1}x", p.speedup()),
+            rate(p.range_records_per_sec),
+            format!("{:.1}%", p.zero_copy_fraction * 100.0),
+            p.fd_opens.to_string(),
+            format!("{}/{}", p.open_fds, p.max_open_segments),
+        ]);
+        if capsules >= 10_000 && p.speedup() < 5.0 {
+            read_assert_ok = false;
+        }
+        read_json.push(format!(
+            "{{\"capsules\":{},\"records_per_capsule\":{},\"sampled\":{},\
+             \"uncached_point_per_sec\":{:.3},\"warm_point_per_sec\":{:.3},\"speedup\":{:.3},\
+             \"range_records_per_sec\":{:.3},\"zero_copy_fraction\":{:.4},\
+             \"fd_opens\":{},\"open_fds\":{},\"max_open_segments\":{}}}",
+            p.capsules,
+            p.records_per_capsule,
+            p.sampled,
+            p.uncached_point_per_sec,
+            p.warm_point_per_sec,
+            p.speedup(),
+            p.range_records_per_sec,
+            p.zero_copy_fraction,
+            p.fd_opens,
+            p.open_fds,
+            p.max_open_segments
+        ));
+    }
+    t.print();
+    assert!(read_assert_ok, "store bench: warm point reads are <5x uncached at 10k+ capsules");
+
     let floor = storebench::seg_append_rate(
         &dir.join("floor"),
         storebench::FLOOR_CAPSULES,
         storebench::FLOOR_APPENDS,
     );
+    let read_floor = storebench::seg_read_rate(
+        &dir.join("read-floor"),
+        storebench::FLOOR_READ_CAPSULES,
+        storebench::FLOOR_READ_RECORDS,
+    );
     write_bench_json(
         "BENCH_store.json",
         format!(
             "{{\"figure\":\"store\",\"group_size\":{},\"fd_budget\":{},\
-             \"append_points\":[{}],\"recovery\":[{}],\
-             \"store_floor\":{{\"capsules\":{},\"appends\":{},\"appends_per_sec\":{:.3}}}}}",
+             \"append_points\":[{}],\"recovery\":[{}],\"read_points\":[{}],\
+             \"store_floor\":{{\"capsules\":{},\"appends\":{},\"appends_per_sec\":{:.3}}},\
+             \"read_floor\":{{\"capsules\":{},\"records_per_capsule\":{},\
+             \"point_reads_per_sec\":{:.3}}}}}",
             storebench::GROUP_SIZE,
             storebench::FD_BUDGET,
             points_json.join(","),
             recovery_json.join(","),
+            read_json.join(","),
             storebench::FLOOR_CAPSULES,
             storebench::FLOOR_APPENDS,
-            floor
+            floor,
+            storebench::FLOOR_READ_CAPSULES,
+            storebench::FLOOR_READ_RECORDS,
+            read_floor
         ),
     );
     let _ = std::fs::remove_dir_all(&dir);

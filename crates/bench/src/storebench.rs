@@ -12,12 +12,12 @@
 //! [`RecoveryStats::tail_entries`], not wall-clock), while the file
 //! store re-scans its entire log.
 
-use gdp_capsule::{Record, RecordHash};
-use gdp_crypto::SigningKey;
+use gdp_capsule::{Record, RecordHash, RecordHeader};
+use gdp_crypto::{sha256, Signature, SigningKey};
 use gdp_store::{
     AppendAck, CapsuleStore, FileStore, FsyncPolicy, RecoveryStats, SegConfig, SegLog,
 };
-use gdp_wire::Name;
+use gdp_wire::{Bytes, Name};
 use std::path::Path;
 use std::time::Instant;
 
@@ -248,4 +248,231 @@ pub fn recovery_comparison(dir: &Path, records: u64, tail: u64) -> RecoveryPoint
     assert_eq!(store.len() as u64, records);
 
     RecoveryPoint { records, tail, file_us, seg_us, seg_stats }
+}
+
+// ------------------------------------------------------------------ reads
+
+/// Point-read sample cap per read point: strided across the capsule
+/// space so neighbouring samples do not share cache blocks at large
+/// counts, and small enough that the warm working set (one block per
+/// sample) fits [`READ_CACHE_BYTES`].
+const READ_SAMPLE: usize = 1_024;
+
+/// Block-cache budget for the cached side of a read comparison: covers
+/// the full strided sample (one 64 KiB block each) with headroom.
+const READ_CACHE_BYTES: usize = 128 * 1024 * 1024;
+
+/// Workload the perf-smoke read floor is recorded at — and re-measured
+/// at, so the comparison is like-for-like.
+pub const FLOOR_READ_CAPSULES: usize = 1_000;
+/// Records per capsule in the read-floor workload.
+pub const FLOOR_READ_RECORDS: usize = 8;
+
+/// Read-path measurement at one capsule count.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadPoint {
+    /// Streams seeded into the log.
+    pub capsules: usize,
+    /// Records appended per stream.
+    pub records_per_capsule: usize,
+    /// Capsules in the strided point-read/range sample.
+    pub sampled: usize,
+    /// Point reads/s with the block cache disabled (every read is its
+    /// own block fetch + entry CRC through the fd pool).
+    pub uncached_point_per_sec: f64,
+    /// Point reads/s on the second pass with the cache enabled.
+    pub warm_point_per_sec: f64,
+    /// Records/s returned by warm range scans over the sample.
+    pub range_records_per_sec: f64,
+    /// Fraction of warm range records whose body was a zero-copy slice
+    /// of a cached block (block-spanning entries legitimately copy).
+    pub zero_copy_fraction: f64,
+    /// Sealed-segment `open(2)` calls the cached run performed.
+    pub fd_opens: u64,
+    /// Pooled fds resident when the run ended.
+    pub open_fds: usize,
+    /// The pool budget the run was configured with.
+    pub max_open_segments: usize,
+}
+
+impl ReadPoint {
+    /// Warm-over-uncached speedup on point reads/s.
+    pub fn speedup(&self) -> f64 {
+        self.warm_point_per_sec / self.uncached_point_per_sec
+    }
+}
+
+/// Segmented config for the read benches. Every stream index stays
+/// resident (index eviction scans all streams once over budget, which
+/// turns a seeding loop quadratic), auto-compaction is off so nothing
+/// perturbs the timed region, and the largest points take bigger
+/// segments with a deliberately tiny fd pool so the 1M run proves the
+/// budget holds while sealed segments outnumber it.
+fn read_cfg(capsules: usize, read_cache_bytes: usize) -> SegConfig {
+    let defaults = SegConfig::default();
+    let big = capsules >= 250_000;
+    SegConfig {
+        policy: FsyncPolicy::DEFAULT_BATCH,
+        max_resident_streams: capsules + 16,
+        compact_min_dead_pct: 0,
+        segment_max_bytes: if big { 48 * 1024 * 1024 } else { defaults.segment_max_bytes },
+        max_open_segments: if big { 4 } else { defaults.max_open_segments },
+        read_cache_bytes,
+        ..defaults
+    }
+}
+
+/// Builds a record without signing it (zeroed signature): the store
+/// layer never verifies signatures, and at 1M capsules real ed25519
+/// signing would dominate the open-loop seeding. Hashing stays honest,
+/// so dedup and the by-hash index behave exactly as with signed records.
+pub fn unsigned_record(capsule: &Name, seq: u64, body: Vec<u8>) -> Record {
+    let header = RecordHeader {
+        seq,
+        timestamp_micros: 0,
+        prev: RecordHash::anchor(capsule),
+        extra: vec![],
+        body_hash: sha256(&body),
+        body_len: body.len() as u32,
+    };
+    Record { header, body: Bytes::from_vec(body), signature: Signature([0u8; 64]) }
+}
+
+/// Open-loop seeder for the read benches: appends `per_capsule` records
+/// for each of `capsules` streams, capsule by capsule (contiguous
+/// per-stream layout on disk), never waiting for acks. Durability rides
+/// the engine's byte-budget inline flushes plus a periodic `maintain`
+/// that also drives rotation; a final rotation seals everything so the
+/// read passes exercise the sealed-segment fast lane, and its
+/// checkpoint bounds any later reopen. Returns the log and the names.
+pub fn seed_capsules(
+    dir: &Path,
+    cfg: SegConfig,
+    capsules: usize,
+    per_capsule: usize,
+) -> (SegLog, Vec<Name>) {
+    let scope = gdp_obs::Metrics::new().scope("store");
+    let log = SegLog::open_with(dir, cfg, &scope).expect("open seg log for seeding");
+    let names: Vec<Name> =
+        (0..capsules).map(|i| Name::from_content(format!("bench-cap-{i}").as_bytes())).collect();
+    let mut now_us = 0u64;
+    let mut appended = 0usize;
+    for name in &names {
+        let mut h = log.handle(*name);
+        for seq in 1..=per_capsule as u64 {
+            let body = format!("read bench payload {appended}").into_bytes();
+            h.append(&unsigned_record(name, seq, body)).expect("seed append");
+            appended += 1;
+            if appended.is_multiple_of(4096) {
+                now_us += 5_000;
+                log.maintain(now_us).expect("seed maintain");
+            }
+        }
+    }
+    now_us += 5_000;
+    log.rotate_now(now_us).expect("seal for reads");
+    (log, names)
+}
+
+/// Strided sample of up to [`READ_SAMPLE`] capsules: with the seeder's
+/// capsule-contiguous layout, striding keeps large-count samples from
+/// sharing blocks, so the uncached side is not accidentally amortized.
+fn sample_names(names: &[Name]) -> Vec<Name> {
+    let k = names.len().min(READ_SAMPLE);
+    let step = (names.len() / k).max(1);
+    (0..k).map(|i| names[i * step]).collect()
+}
+
+/// Times `reps` passes of one point read per sampled capsule.
+fn point_pass(log: &SegLog, sample: &[Name], seq: u64, reps: usize) -> f64 {
+    let handles: Vec<_> = sample.iter().map(|n| log.handle(*n)).collect();
+    let start = Instant::now();
+    for _ in 0..reps {
+        for h in &handles {
+            let r = h.get_by_seq(seq).expect("point read").expect("sampled record exists");
+            std::hint::black_box(&r);
+        }
+    }
+    (reps * sample.len()) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Seeds one log, then measures the sealed-read path both ways:
+/// uncached point reads on the seeding log (cache disabled), then warm
+/// point reads and a warm range scan on a cache-enabled reopen (the
+/// reopen is checkpoint-bounded, not a full scan, even at 1M capsules).
+/// Structural contracts are asserted inline: warm range records must
+/// come back as zero-copy slices of cached blocks (≥95%; only
+/// block-spanning entries copy) and the pooled-fd budget must hold.
+pub fn read_comparison(dir: &Path, capsules: usize, per_capsule: usize) -> ReadPoint {
+    let seq = per_capsule as u64;
+    let (sample, uncached_point_per_sec) = {
+        let (log, names) = seed_capsules(dir, read_cfg(capsules, 0), capsules, per_capsule);
+        let sample = sample_names(&names);
+        let reps = (20_000 / sample.len()).max(2);
+        let rate = point_pass(&log, &sample, seq, reps);
+        (sample, rate)
+    };
+
+    let cfg = read_cfg(capsules, READ_CACHE_BYTES);
+    let max_open_segments = cfg.max_open_segments;
+    let scope = gdp_obs::Metrics::new().scope("store");
+    let log = SegLog::open_with(dir, cfg, &scope).expect("reopen seg log with cache");
+    point_pass(&log, &sample, seq, 1); // fill
+    let reps = (100_000 / sample.len()).max(4);
+    let warm_point_per_sec = point_pass(&log, &sample, seq, reps);
+
+    let handles: Vec<_> = sample.iter().map(|n| log.handle(*n)).collect();
+    for h in &handles {
+        h.range(1, seq).expect("range fill");
+    }
+    let (mut zero_copy, mut total) = (0usize, 0usize);
+    let range_reps = (100_000 / (sample.len() * per_capsule)).max(2);
+    let start = Instant::now();
+    for _ in 0..range_reps {
+        for h in &handles {
+            for r in h.range(1, seq).expect("range read") {
+                total += 1;
+                if r.body.ref_count() > 1 {
+                    zero_copy += 1;
+                }
+            }
+        }
+    }
+    let range_records_per_sec = total as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    let zero_copy_fraction = zero_copy as f64 / total.max(1) as f64;
+    assert!(
+        zero_copy_fraction >= 0.95,
+        "read bench: only {:.1}% of warm range records were zero-copy slices of cached blocks",
+        zero_copy_fraction * 100.0
+    );
+    assert!(
+        log.open_fds() <= max_open_segments,
+        "read bench: {} pooled fds exceed the max_open_segments budget of {}",
+        log.open_fds(),
+        max_open_segments
+    );
+    ReadPoint {
+        capsules,
+        records_per_capsule: per_capsule,
+        sampled: sample.len(),
+        uncached_point_per_sec,
+        warm_point_per_sec,
+        range_records_per_sec,
+        zero_copy_fraction,
+        fd_opens: log.fd_opens(),
+        open_fds: log.open_fds(),
+        max_open_segments,
+    }
+}
+
+/// Warm point-read rate at the floor workload (the perf-smoke probe):
+/// seeds cache-enabled, seals, fills with one pass, times the rest.
+pub fn seg_read_rate(dir: &Path, capsules: usize, per_capsule: usize) -> f64 {
+    let (log, names) =
+        seed_capsules(dir, read_cfg(capsules, READ_CACHE_BYTES), capsules, per_capsule);
+    let sample = sample_names(&names);
+    let seq = per_capsule as u64;
+    point_pass(&log, &sample, seq, 1); // fill
+    let reps = (100_000 / sample.len()).max(4);
+    point_pass(&log, &sample, seq, reps)
 }

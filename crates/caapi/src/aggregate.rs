@@ -83,7 +83,7 @@ impl<B: CapsuleAccess> Aggregator<B> {
                         source,
                         source_seq: r.header.seq,
                         timestamp_micros: r.header.timestamp_micros,
-                        body: r.body.clone(),
+                        body: r.body.to_vec(),
                     });
                 }
                 self.cursors.insert(source, latest);

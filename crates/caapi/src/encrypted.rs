@@ -53,7 +53,8 @@ impl<B: CapsuleAccess> EncryptedBackend<B> {
         let key = self.key_for(capsule)?;
         record.body = key
             .open(capsule, record.header.seq, &record.body)
-            .map_err(|_| CaapiError::Format("body decryption failed".into()))?;
+            .map_err(|_| CaapiError::Format("body decryption failed".into()))?
+            .into();
         Ok(record)
     }
 }

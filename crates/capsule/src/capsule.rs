@@ -404,7 +404,7 @@ mod tests {
         let mut c = fresh();
         let anchor = RecordHash::anchor(&c.name());
         let mut r1 = make_record(&c, 1, anchor, b"1");
-        r1.body = b"tampered".to_vec();
+        r1.body = b"tampered".to_vec().into();
         assert!(c.ingest(r1).is_err());
         assert_eq!(c.len(), 0);
     }

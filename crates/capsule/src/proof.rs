@@ -17,7 +17,7 @@ use crate::capsule::DataCapsule;
 use crate::error::CapsuleError;
 use crate::record::{Heartbeat, Record, RecordHash, RecordHeader};
 use gdp_crypto::VerifyingKey;
-use gdp_wire::{DecodeError, Decoder, Encoder, Name, Wire};
+use gdp_wire::{Bytes, DecodeError, Decoder, Encoder, Name, Wire};
 use std::collections::{HashMap, VecDeque};
 
 /// Proof that the record at `target_seq` is part of the history attested by
@@ -31,7 +31,7 @@ pub struct MembershipProof {
     pub path: Vec<RecordHeader>,
     /// The target record's body (verified against the last header's
     /// `body_hash`).
-    pub body: Vec<u8>,
+    pub body: Bytes,
 }
 
 impl MembershipProof {
@@ -146,7 +146,7 @@ impl Wire for MembershipProof {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         let heartbeat = Heartbeat::decode(dec)?;
         let path = dec.seq(RecordHeader::decode)?;
-        let body = dec.bytes()?.to_vec();
+        let body = Bytes::copy_from_slice(dec.bytes()?);
         Ok(MembershipProof { heartbeat, path, body })
     }
 }
@@ -305,7 +305,7 @@ mod tests {
         let c = capsule_with(&PointerStrategy::Chain, 5);
         let hb = c.head_heartbeat().unwrap().unwrap();
         let mut proof = MembershipProof::build(&c, &hb, 3).unwrap();
-        proof.body = b"forged".to_vec();
+        proof.body = b"forged".to_vec().into();
         assert!(proof.verify(&c.name(), &writer().verifying_key()).is_err());
     }
 

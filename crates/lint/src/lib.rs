@@ -122,6 +122,10 @@ impl Default for LintConfig {
                 // The segmented log's group-commit writer: every durable
                 // append crosses it, and a panic here loses the batch.
                 "crates/store/src/seglog/writer.rs".into(),
+                // The read fast lane: the block cache and fd pool sit on
+                // every sealed-segment read a serving node performs.
+                "crates/store/src/seglog/cache.rs".into(),
+                "crates/store/src/seglog/fdpool.rs".into(),
                 // The rule's own fixture corpus.
                 "fixtures/hp01/".into(),
             ],

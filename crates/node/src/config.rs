@@ -20,6 +20,11 @@
 //! fsync      = batch(5)          # never | always | batch(<ms>):
 //!                                # durability policy for the store
 //!                                # engine (needs data_dir)
+//! read_cache_bytes = 4194304     # optional (segmented engine): byte
+//!                                # budget of the sealed-segment block
+//!                                # cache; 0 disables read caching
+//! max_open_segments = 128        # optional (segmented engine): cap on
+//!                                # pooled sealed-segment read fds
 //! stats_path = /run/gdp/stats.json # optional: metrics dump target; the
 //!                                # daemon dumps on shutdown and whenever
 //!                                # `<stats_path>.request` appears
@@ -159,6 +164,14 @@ pub struct NodeConfig {
     /// Durability policy for the storage engine; `None` keeps each
     /// engine's default (`never` for `file`, `batch(5)` for `segmented`).
     pub fsync: Option<FsyncPolicy>,
+    /// Byte budget of the segmented engine's sealed-segment block cache;
+    /// `None` keeps the engine default. Requires `store_engine =
+    /// segmented`. `0` disables read caching.
+    pub read_cache_bytes: Option<u64>,
+    /// Cap on pooled sealed-segment read fds in the segmented engine;
+    /// `None` keeps the engine default. Requires `store_engine =
+    /// segmented`.
+    pub max_open_segments: Option<u64>,
     /// Where to dump the metrics registry as JSON. Dumped on shutdown,
     /// and on demand whenever a `<stats_path>.request` trigger file
     /// appears (the file is deleted once the dump is written).
@@ -196,6 +209,8 @@ impl std::fmt::Debug for NodeConfig {
             .field("data_dir", &self.data_dir)
             .field("store_engine", &self.store_engine)
             .field("fsync", &self.fsync)
+            .field("read_cache_bytes", &self.read_cache_bytes)
+            .field("max_open_segments", &self.max_open_segments)
             .field("stats_path", &self.stats_path)
             .field("hosts", &self.hosts)
             .field("shards", &self.shards)
@@ -241,6 +256,8 @@ impl NodeConfig {
         let mut data_dir = None;
         let mut store_engine = None;
         let mut fsync = None;
+        let mut read_cache_bytes = None;
+        let mut max_open_segments = None;
         let mut stats_path = None;
         let mut peers = Vec::new();
         let mut hosts = Vec::new();
@@ -300,6 +317,20 @@ impl NodeConfig {
                             .ok_or(ConfigError::bad("fsync", "must be never|always|batch(<ms>)"))?,
                     )
                 }
+                "read_cache_bytes" => {
+                    read_cache_bytes = Some(value.parse::<u64>().map_err(|_| {
+                        ConfigError::bad("read_cache_bytes", "must be a byte count (0 disables)")
+                    })?);
+                }
+                "max_open_segments" => {
+                    let n: u64 = value.parse().map_err(|_| {
+                        ConfigError::bad("max_open_segments", "must be a positive fd count")
+                    })?;
+                    if n == 0 {
+                        return Err(ConfigError::bad("max_open_segments", "must be at least 1"));
+                    }
+                    max_open_segments = Some(n);
+                }
                 "stats_path" => stats_path = Some(PathBuf::from(value)),
                 "host" => hosts.push(HostSpec::parse(value)?),
                 "shards" => {
@@ -347,6 +378,8 @@ impl NodeConfig {
             data_dir,
             store_engine: store_engine.unwrap_or_default(),
             fsync,
+            read_cache_bytes,
+            max_open_segments,
             stats_path,
             hosts,
             shards: shards.unwrap_or(1),
@@ -368,6 +401,12 @@ impl NodeConfig {
         }
         if cfg.fsync.is_some() && cfg.data_dir.is_none() {
             return Err(ConfigError::bad("fsync", "durability policy requires data_dir"));
+        }
+        if cfg.read_cache_bytes.is_some() && cfg.store_engine != StoreEngine::Segmented {
+            return Err(ConfigError::bad("read_cache_bytes", "requires store_engine = segmented"));
+        }
+        if cfg.max_open_segments.is_some() && cfg.store_engine != StoreEngine::Segmented {
+            return Err(ConfigError::bad("max_open_segments", "requires store_engine = segmented"));
         }
         if cfg.role == Role::Storage {
             if cfg.router.is_none() {
@@ -407,6 +446,12 @@ impl NodeConfig {
         }
         if let Some(p) = &self.fsync {
             out.push_str(&format!("fsync = {}\n", p.render()));
+        }
+        if let Some(b) = self.read_cache_bytes {
+            out.push_str(&format!("read_cache_bytes = {b}\n"));
+        }
+        if let Some(n) = self.max_open_segments {
+            out.push_str(&format!("max_open_segments = {n}\n"));
         }
         if let Some(s) = &self.stats_path {
             out.push_str(&format!("stats_path = {}\n", s.display()));
@@ -478,6 +523,8 @@ mod tests {
             data_dir: Some(PathBuf::from("/tmp/gdp-test")),
             store_engine: StoreEngine::Segmented,
             fsync: Some(FsyncPolicy::Batch { interval_us: 7_000 }),
+            read_cache_bytes: Some(8 * 1024 * 1024),
+            max_open_segments: Some(32),
             stats_path: Some(PathBuf::from("/tmp/gdp-test/stats.json")),
             hosts: vec![sample_host()],
             shards: 1,
@@ -496,6 +543,8 @@ mod tests {
         assert_eq!(parsed.data_dir, cfg.data_dir);
         assert_eq!(parsed.store_engine, cfg.store_engine);
         assert_eq!(parsed.fsync, cfg.fsync);
+        assert_eq!(parsed.read_cache_bytes, cfg.read_cache_bytes);
+        assert_eq!(parsed.max_open_segments, cfg.max_open_segments);
         assert_eq!(parsed.stats_path, cfg.stats_path);
         assert_eq!(parsed.hosts.len(), 1);
         assert_eq!(parsed.hosts[0].metadata, cfg.hosts[0].metadata);
@@ -620,6 +669,37 @@ mod tests {
         assert_eq!(err.key, "store_engine");
         let err = NodeConfig::parse(&format!("{base}fsync = always\n")).unwrap_err();
         assert_eq!(err.key, "fsync");
+    }
+
+    #[test]
+    fn read_path_keys_parse_render_and_validation() {
+        let base = "role = router\nlisten = 127.0.0.1:0\nseed = 0101010101010101010101010101010101010101010101010101010101010101\nlabel = r\n";
+        // Defaults: unset, keys not emitted.
+        let cfg = NodeConfig::parse(base).unwrap();
+        assert_eq!(cfg.read_cache_bytes, None);
+        assert_eq!(cfg.max_open_segments, None);
+        assert!(!cfg.render().contains("read_cache_bytes"));
+        assert!(!cfg.render().contains("max_open_segments"));
+        // Explicit values round-trip (0 = caching disabled is legal).
+        let seg = format!("{base}data_dir = /tmp/d\nstore_engine = segmented\n");
+        let cfg =
+            NodeConfig::parse(&format!("{seg}read_cache_bytes = 0\nmax_open_segments = 16\n"))
+                .unwrap();
+        assert_eq!(cfg.read_cache_bytes, Some(0));
+        assert_eq!(cfg.max_open_segments, Some(16));
+        let re = NodeConfig::parse(&cfg.render()).unwrap();
+        assert_eq!(re.read_cache_bytes, cfg.read_cache_bytes);
+        assert_eq!(re.max_open_segments, cfg.max_open_segments);
+        // Bad values are rejected with the offending key.
+        let err = NodeConfig::parse(&format!("{seg}read_cache_bytes = lots\n")).unwrap_err();
+        assert_eq!(err.key, "read_cache_bytes");
+        let err = NodeConfig::parse(&format!("{seg}max_open_segments = 0\n")).unwrap_err();
+        assert_eq!(err.key, "max_open_segments");
+        // Both knobs tune the segmented read path only: reject elsewhere.
+        let err = NodeConfig::parse(&format!("{base}read_cache_bytes = 4096\n")).unwrap_err();
+        assert_eq!(err.key, "read_cache_bytes");
+        let err = NodeConfig::parse(&format!("{base}max_open_segments = 8\n")).unwrap_err();
+        assert_eq!(err.key, "max_open_segments");
     }
 
     #[test]

@@ -108,6 +108,8 @@ fn three_process_cluster_with_failover() {
             data_dir: None,
             store_engine: StoreEngine::File,
             fsync: None,
+            read_cache_bytes: None,
+            max_open_segments: None,
             stats_path: None,
             hosts: vec![],
             shards: 1,
@@ -128,6 +130,8 @@ fn three_process_cluster_with_failover() {
             data_dir: Some(dir.join(label)),
             store_engine: StoreEngine::File,
             fsync: None,
+            read_cache_bytes: None,
+            max_open_segments: None,
             stats_path: None,
             shards: 1,
             shard_batch: 64,
@@ -229,6 +233,8 @@ fn single_both_node_serves_clients() {
             data_dir: Some(dir.join("data")),
             store_engine: StoreEngine::File,
             fsync: None,
+            read_cache_bytes: None,
+            max_open_segments: None,
             stats_path: None,
             shards: 1,
             shard_batch: 64,

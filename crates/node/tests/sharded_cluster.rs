@@ -54,6 +54,8 @@ fn sharded_router_carries_cluster_traffic() {
         data_dir: None,
         store_engine: StoreEngine::File,
         fsync: None,
+        read_cache_bytes: None,
+        max_open_segments: None,
         stats_path: Some(stats.clone()),
         hosts: vec![],
         shards: 4,
@@ -83,6 +85,8 @@ fn sharded_router_carries_cluster_traffic() {
         data_dir: None,
         store_engine: StoreEngine::File,
         fsync: None,
+        read_cache_bytes: None,
+        max_open_segments: None,
         stats_path: None,
         hosts: vec![HostSpec {
             metadata: meta.clone(),

@@ -27,6 +27,8 @@ fn trigger_file_and_shutdown_both_dump_valid_json() {
         data_dir: None,
         store_engine: StoreEngine::File,
         fsync: None,
+        read_cache_bytes: None,
+        max_open_segments: None,
         stats_path: Some(stats.clone()),
         hosts: vec![],
         shards: 1,

@@ -1141,7 +1141,7 @@ mod tests {
     fn bad_record_rejected_and_counted() {
         let mut rig = rig();
         let mut record = rig.writer.append(b"good", 0).unwrap();
-        record.body = b"tampered".to_vec();
+        record.body = b"tampered".to_vec().into();
         let out = request(&mut rig, &DataMsg::Append { record, ack_mode: AckMode::Local });
         assert!(matches!(
             msg_of(&out[0]),

@@ -149,6 +149,8 @@ impl SimCluster {
             data_dir: None,
             store_engine: StoreEngine::File,
             fsync: None,
+            read_cache_bytes: None,
+            max_open_segments: None,
             stats_path: None,
             hosts: vec![],
             shards: 1,
@@ -170,6 +172,11 @@ impl SimCluster {
                 data_dir: Some(data_root.join(format!("s{i}"))),
                 store_engine: engine,
                 fsync: None,
+                // Segmented chaos nodes run a deliberately tiny block
+                // cache and fd pool: constant eviction/refill and fd
+                // churn under faults is exactly the stress we want.
+                read_cache_bytes: (engine == StoreEngine::Segmented).then_some(4096),
+                max_open_segments: (engine == StoreEngine::Segmented).then_some(4),
                 stats_path: None,
                 shards: 1,
                 shard_batch: 64,

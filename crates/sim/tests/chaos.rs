@@ -541,6 +541,18 @@ fn crash_restart_preserves_acked_writes_segmented() {
     let deferred: u64 =
         (1..=2).map(|i| c.node_metrics(i).counter_value("server", "acks_deferred")).sum();
     assert!(deferred > 0, "GDP_SIM_SEED={seed}: group-commit never deferred an ack");
+    // Restart replay plus replica catch-up drive real store reads (the
+    // chaos nodes run a deliberately tiny block cache, so this sweep
+    // exercises eviction + refill): hit/miss accounting must conserve.
+    for i in 1..=2 {
+        let nm = c.node_metrics(i);
+        assert_eq!(
+            nm.counter_value("store", "read_cache_hits")
+                + nm.counter_value("store", "read_cache_misses"),
+            nm.counter_value("store", "reads_served_from_store"),
+            "GDP_SIM_SEED={seed}: read-cache accounting broke across crash/restart"
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -613,6 +625,14 @@ fn fault_free_metric_accounting_segmented() {
         assert_eq!(nm.counter_value("store", "crc_failures"), 0);
         assert_eq!(nm.counter_value("store", "recovery_truncations"), 0);
         assert_eq!(nm.counter_value("store", "recovery_full_scans"), 0);
+        // Read-path conservation: every read the store served is exactly
+        // one block-cache hit or one miss — no double counting, no leak.
+        assert_eq!(
+            nm.counter_value("store", "read_cache_hits")
+                + nm.counter_value("store", "read_cache_misses"),
+            nm.counter_value("store", "reads_served_from_store"),
+            "GDP_SIM_SEED={seed}: read-cache hit/miss accounting does not conserve reads"
+        );
         // Every deferred ack was eventually released.
         let deferred = nm.counter_value("server", "acks_deferred");
         let released = nm.counter_value("server", "acks_released");

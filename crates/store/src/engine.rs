@@ -36,6 +36,8 @@ pub type SharedStore = Arc<Mutex<Box<dyn CapsuleStore>>>;
 pub struct StorageEngine {
     backing: Backing,
     policy: Option<FsyncPolicy>,
+    read_cache_bytes: Option<usize>,
+    max_open_segments: Option<usize>,
     stores: Mutex<HashMap<Name, SharedStore>>,
     seg: Mutex<Option<SegLog>>,
     obs: Scope,
@@ -52,6 +54,8 @@ impl StorageEngine {
         StorageEngine {
             backing,
             policy: None,
+            read_cache_bytes: None,
+            max_open_segments: None,
             stores: Mutex::new(HashMap::new()),
             seg: Mutex::new(None),
             obs: scope,
@@ -62,6 +66,19 @@ impl StorageEngine {
     /// per-capsule files, the default batch window for the shared log).
     pub fn with_policy(mut self, policy: FsyncPolicy) -> StorageEngine {
         self.policy = Some(policy);
+        self
+    }
+
+    /// Tunes the segmented engine's read path (block-cache byte budget,
+    /// pooled-fd cap); `None` keeps the [`SegConfig`] defaults. Ignored
+    /// by the other backings.
+    pub fn with_seg_tuning(
+        mut self,
+        read_cache_bytes: Option<usize>,
+        max_open_segments: Option<usize>,
+    ) -> StorageEngine {
+        self.read_cache_bytes = read_cache_bytes;
+        self.max_open_segments = max_open_segments;
         self
     }
 
@@ -84,9 +101,16 @@ impl StorageEngine {
                 let log = match &*seg {
                     Some(log) => log.clone(),
                     None => {
+                        let defaults = SegConfig::default();
                         let cfg = SegConfig {
                             policy: self.policy.unwrap_or(FsyncPolicy::DEFAULT_BATCH),
-                            ..SegConfig::default()
+                            read_cache_bytes: self
+                                .read_cache_bytes
+                                .unwrap_or(defaults.read_cache_bytes),
+                            max_open_segments: self
+                                .max_open_segments
+                                .unwrap_or(defaults.max_open_segments),
+                            ..defaults
                         };
                         let log = SegLog::open_with(dir, cfg, &self.obs)?;
                         *seg = Some(log.clone());

@@ -26,6 +26,7 @@
 //! synced append.
 
 use crate::crc::{crc32, Crc32};
+use crate::io::read_fill;
 use crate::policy::{AppendAck, FsyncPolicy};
 use crate::store::{CapsuleStore, StoreError};
 use gdp_capsule::{CapsuleMetadata, Record, RecordHash};
@@ -381,23 +382,6 @@ fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
         File::open(parent)?.sync_all()?;
     }
     Ok(())
-}
-
-/// `read` until `dst` is full or EOF; returns bytes read.
-fn read_fill(file: &mut File, mut dst: &mut [u8]) -> std::io::Result<usize> {
-    let mut total = 0;
-    while !dst.is_empty() {
-        match file.read(dst) {
-            Ok(0) => break,
-            Ok(n) => {
-                total += n;
-                dst = &mut dst[n..];
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(total)
 }
 
 impl CapsuleStore for FileStore {

@@ -23,6 +23,7 @@
 pub mod crc;
 pub mod engine;
 pub mod file;
+mod io;
 pub mod policy;
 pub mod seglog;
 pub mod store;

@@ -49,7 +49,7 @@ impl LogInner {
         // Pass 1: prove every entry is readable before copying anything —
         // deleting bytes we cannot re-home would turn rot into data loss.
         // Bodies are not retained; peak memory stays one scan chunk.
-        let outcome = segment::scan_segment(&path, 0, |_| Ok(()))?;
+        let outcome = segment::scan_segment(&path, 0, self.scan_chunk(), |_| Ok(()))?;
         if matches!(outcome.end, ScanEnd::Invalid { .. }) {
             // Unreadable bytes: refuse to delete what we cannot re-home.
             if let Some(m) = self.segments.get_mut(&victim) {
@@ -64,7 +64,8 @@ impl LogInner {
         // Pass 2: stream the segment again, copying live entries straight
         // through the group-commit path (no per-segment buffering).
         let mut copied = 0u64;
-        segment::scan_segment(&path, 0, |e| {
+        let chunk = self.scan_chunk();
+        segment::scan_segment(&path, 0, chunk, |e| {
             let (kind, capsule, body) = (e.kind, e.capsule, e.body);
             let loc = EntryLoc { seg: victim, off: e.offset };
             self.ensure_resident(&capsule)?;
@@ -143,6 +144,11 @@ impl LogInner {
         std::fs::remove_file(&path)?;
         File::open(&self.dir)?.sync_all()?;
         self.obs.dir_fsyncs.inc();
+        // Read-path coherence: the victim's cached blocks and pooled fd
+        // must die with the file, or a later read of a reused segment id
+        // could serve the unlinked inode's bytes.
+        self.read_cache.drop_seg(victim);
+        self.fds.drop_seg(victim);
         self.segments.remove(&victim);
         self.obs.segments.set(self.segments.len() as i64);
 

@@ -1,0 +1,139 @@
+//! Bounded LRU pool of read-only fds for sealed segments.
+//!
+//! Before this pool, every random read of a sealed segment paid a
+//! `File::open` + `seek` (the `read_entry_at` hot spot): under a
+//! read-heavy load over many segments that is one `open(2)`/`close(2)`
+//! pair per record. The pool keeps at most `max_open_segments` fds
+//! resident, evicting the coldest on overflow, and positional reads
+//! (`pread`) mean a pooled fd never carries cursor state.
+//!
+//! Coherence: sealed segments are immutable, so a pooled fd can only go
+//! stale when compaction unlinks its segment — [`FdPool::drop_seg`] is
+//! called in that window (see `compact.rs`), alongside the block cache's
+//! invalidation.
+//!
+//! This module is on gdp-lint's HP01 hot-path list: no `unwrap`/`expect`/
+//! `panic!` and no literal-bound indexing.
+
+use super::segment::seg_path;
+use std::collections::HashMap;
+use std::fs::File;
+use std::path::Path;
+
+pub(crate) struct FdPool {
+    cap: usize,
+    /// Logical LRU clock; bumped per lookup.
+    tick: u64,
+    /// Total `File::open` calls ever made — the regression hook proving
+    /// read-heavy runs reopen segments instead of hoarding fds.
+    opens: u64,
+    files: HashMap<u64, (File, u64)>,
+}
+
+impl FdPool {
+    pub fn new(cap: usize) -> FdPool {
+        FdPool { cap: cap.max(1), tick: 0, opens: 0, files: HashMap::new() }
+    }
+
+    /// Total `File::open` calls made by this pool.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Fds currently held open (always ≤ the configured cap).
+    pub fn open_fds(&self) -> usize {
+        self.files.len()
+    }
+
+    /// The pooled read-only fd for sealed segment `seg`, opening it (and
+    /// evicting the coldest pooled fd when at capacity) on miss. Returns
+    /// whether this call opened the file, for per-open accounting.
+    pub fn get(&mut self, dir: &Path, seg: u64) -> std::io::Result<(&File, bool)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let mut opened = false;
+        if !self.files.contains_key(&seg) {
+            while self.files.len() >= self.cap {
+                let coldest = self.files.iter().min_by_key(|(_, (_, t))| *t).map(|(s, _)| *s);
+                match coldest {
+                    Some(s) => {
+                        self.files.remove(&s);
+                    }
+                    None => break,
+                }
+            }
+            let file = File::open(seg_path(dir, seg))?;
+            self.opens += 1;
+            opened = true;
+            self.files.insert(seg, (file, tick));
+        }
+        match self.files.get_mut(&seg) {
+            Some((file, t)) => {
+                *t = tick;
+                Ok((file, opened))
+            }
+            None => {
+                Err(std::io::Error::new(std::io::ErrorKind::NotFound, "pooled fd not inserted"))
+            }
+        }
+    }
+
+    /// Drops the pooled fd for a segment about to be unlinked
+    /// (compaction); the next read of that id — which can only be a bug —
+    /// would fail to open rather than read a deleted inode.
+    pub fn drop_seg(&mut self, seg: u64) {
+        self.files.remove(&seg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    fn dir_with_segs(n: u64) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gdp-fdpool-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for id in 0..n {
+            let mut f = File::create(seg_path(&dir, id)).unwrap();
+            f.write_all(&[id as u8]).unwrap();
+        }
+        dir
+    }
+
+    #[test]
+    fn pool_caps_open_fds_and_counts_opens() {
+        let dir = dir_with_segs(6);
+        let mut pool = FdPool::new(2);
+        for id in 0..6 {
+            let (_, opened) = pool.get(&dir, id).unwrap();
+            assert!(opened);
+            assert!(pool.open_fds() <= 2, "fd budget exceeded: {}", pool.open_fds());
+        }
+        assert_eq!(pool.opens(), 6);
+        // Hits on the two resident segments do not reopen.
+        let (_, opened) = pool.get(&dir, 5).unwrap();
+        assert!(!opened);
+        assert_eq!(pool.opens(), 6);
+        // The LRU victim (seg 4 after touching 5) reopens.
+        let (_, opened) = pool.get(&dir, 0).unwrap();
+        assert!(opened);
+        let (_, opened) = pool.get(&dir, 5).unwrap();
+        assert!(!opened, "recently-touched fd evicted out of LRU order");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_seg_forces_reopen() {
+        let dir = dir_with_segs(1);
+        let mut pool = FdPool::new(4);
+        pool.get(&dir, 0).unwrap();
+        pool.drop_seg(0);
+        assert_eq!(pool.open_fds(), 0);
+        let (_, opened) = pool.get(&dir, 0).unwrap();
+        assert!(opened);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -27,27 +27,32 @@
 //!   drop their in-memory index (resident memory is O(hot capsules)) and
 //!   reload it transparently from the checkpoint on next access.
 
+mod cache;
 mod checkpoint;
 mod compact;
+mod fdpool;
 mod segment;
 mod writer;
 
 pub use checkpoint::{CheckpointPos, CKPT_MAGIC};
 pub use segment::SEG_MAGIC;
 
+use crate::file::RECOVERY_CHUNK;
 use crate::policy::{AppendAck, FsyncPolicy};
 use crate::store::{CapsuleStore, StoreError};
+use cache::BlockCache;
 use checkpoint::SectionRecord;
+use fdpool::FdPool;
 use gdp_capsule::{CapsuleMetadata, Record, RecordHash};
 use gdp_obs::{Counter, Gauge, Histogram, Scope};
-use gdp_wire::{Name, Wire};
+use gdp_wire::{Bytes, Name, Wire};
 use parking_lot::Mutex;
 use segment::{seg_path, ScanEnd};
 use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use writer::{GroupCommit, ENTRY_HEADER, KIND_METADATA, KIND_RECORD};
+use writer::{entry_crc, GroupCommit, ENTRY_HEADER, KIND_METADATA, KIND_RECORD};
 
 /// Tuning knobs for a [`SegLog`].
 #[derive(Clone, Debug)]
@@ -66,6 +71,17 @@ pub struct SegConfig {
     /// Auto-compact a sealed segment when at least this percentage of its
     /// payload bytes are dead (0 disables auto-compaction).
     pub compact_min_dead_pct: u8,
+    /// Byte budget of the shared sealed-segment block cache (0 disables
+    /// caching: every read refetches, correctness unchanged).
+    pub read_cache_bytes: usize,
+    /// Fixed block size sealed-segment reads are aligned to.
+    pub read_block_bytes: usize,
+    /// On a cache miss with a sequential hint (range scans), read this
+    /// many blocks in one `pread` instead of one.
+    pub readahead_blocks: usize,
+    /// At most this many sealed-segment fds stay pooled for reads
+    /// (LRU-evicted beyond it).
+    pub max_open_segments: usize,
     /// Test failpoint: abort compaction after copying this many bytes,
     /// simulating a crash mid-copy.
     pub compact_fail_after_bytes: Option<u64>,
@@ -83,6 +99,10 @@ impl Default for SegConfig {
             flush_byte_budget: 256 * 1024,
             max_resident_streams: 1024,
             compact_min_dead_pct: 30,
+            read_cache_bytes: 4 * 1024 * 1024,
+            read_block_bytes: 64 * 1024,
+            readahead_blocks: 4,
+            max_open_segments: 128,
             compact_fail_after_bytes: None,
             compact_fail_before_checkpoint: false,
         }
@@ -108,6 +128,12 @@ struct SegObs {
     index_reloads: Counter,
     recovery_tail_entries: Counter,
     recovery_full_scans: Counter,
+    read_cache_hits: Counter,
+    read_cache_misses: Counter,
+    read_cache_evictions: Counter,
+    readahead_blocks: Counter,
+    reads_served_from_store: Counter,
+    segment_fd_opens: Counter,
     resident_streams: Gauge,
     segments: Gauge,
     fsync_batch_entries: Histogram,
@@ -132,6 +158,12 @@ impl SegObs {
             index_reloads: scope.counter("index_reloads"),
             recovery_tail_entries: scope.counter("recovery_tail_entries"),
             recovery_full_scans: scope.counter("recovery_full_scans"),
+            read_cache_hits: scope.counter("read_cache_hits"),
+            read_cache_misses: scope.counter("read_cache_misses"),
+            read_cache_evictions: scope.counter("read_cache_evictions"),
+            readahead_blocks: scope.counter("readahead_blocks"),
+            reads_served_from_store: scope.counter("reads_served_from_store"),
+            segment_fd_opens: scope.counter("segment_fd_opens"),
             resident_streams: scope.gauge("resident_streams"),
             segments: scope.gauge("segments"),
             fsync_batch_entries: scope.histogram("fsync_batch_entries"),
@@ -215,6 +247,10 @@ pub(crate) struct LogInner {
     /// Directory of the last durable checkpoint (section reload source).
     ckpt: Option<checkpoint::CheckpointHeader>,
     recovery: RecoveryStats,
+    /// Shared block cache for sealed-segment reads (see `cache.rs`).
+    read_cache: BlockCache,
+    /// Bounded pool of read-only sealed-segment fds (see `fdpool.rs`).
+    fds: FdPool,
     obs: SegObs,
 }
 
@@ -311,6 +347,17 @@ impl SegLog {
     pub fn durable_epoch(&self) -> u64 {
         self.inner.lock().gc.epoch_durable()
     }
+
+    /// Total sealed-segment `File::open` calls made by the read path
+    /// (the fd-pool regression hook: warm reads must not reopen).
+    pub fn fd_opens(&self) -> u64 {
+        self.inner.lock().fds.opens()
+    }
+
+    /// Sealed-segment fds currently pooled (always ≤ `max_open_segments`).
+    pub fn open_fds(&self) -> usize {
+        self.inner.lock().fds.open_fds()
+    }
 }
 
 /// One capsule's [`CapsuleStore`] view of a [`SegLog`].
@@ -355,7 +402,7 @@ impl CapsuleStore for SegStore {
             .stream(&self.capsule)
             .and_then(|s| s.by_seq.get(&seq).and_then(|hs| hs.first()).map(|h| s.by_hash[h]));
         match loc {
-            Some(loc) => inner.read_record(&self.capsule, loc).map(Some),
+            Some(loc) => inner.read_record(&self.capsule, loc, false).map(Some),
             None => Ok(None),
         }
     }
@@ -372,7 +419,7 @@ impl CapsuleStore for SegStore {
                     .unwrap_or_default()
             })
             .unwrap_or_default();
-        locs.into_iter().map(|loc| inner.read_record(&self.capsule, loc)).collect()
+        locs.into_iter().map(|loc| inner.read_record(&self.capsule, loc, true)).collect()
     }
 
     fn get_by_hash(&self, hash: &RecordHash) -> Result<Option<Record>, StoreError> {
@@ -380,7 +427,7 @@ impl CapsuleStore for SegStore {
         inner.ensure_resident(&self.capsule)?;
         let loc = inner.stream(&self.capsule).and_then(|s| s.by_hash.get(hash).copied());
         match loc {
-            Some(loc) => inner.read_record(&self.capsule, loc).map(Some),
+            Some(loc) => inner.read_record(&self.capsule, loc, false).map(Some),
             None => Ok(None),
         }
     }
@@ -413,7 +460,7 @@ impl CapsuleStore for SegStore {
                     .collect()
             })
             .unwrap_or_default();
-        locs.into_iter().map(|loc| inner.read_record(&self.capsule, loc)).collect()
+        locs.into_iter().map(|loc| inner.read_record(&self.capsule, loc, true)).collect()
     }
 
     fn hashes(&self) -> Vec<RecordHash> {
@@ -479,6 +526,8 @@ impl LogInner {
 
         let mut inner = LogInner {
             dir: dir.to_path_buf(),
+            read_cache: BlockCache::new(cfg.read_cache_bytes, cfg.read_block_bytes),
+            fds: FdPool::new(cfg.max_open_segments),
             cfg,
             segments,
             active,
@@ -522,13 +571,14 @@ impl LogInner {
         let seg_ids: Vec<u64> =
             self.segments.keys().copied().filter(|id| *id >= scan_from.seg).collect();
         let mut active_valid_end = self.segments[&self.active].len;
+        let chunk = self.scan_chunk();
         for id in seg_ids {
             let from = if id == scan_from.seg { scan_from.off } else { 0 };
             let path = seg_path(&self.dir, id);
             // Merge each entry as the scanner yields it: peak memory stays
             // one chunk plus the largest entry (what `peak_buffer` claims),
             // never the decoded contents of a whole segment.
-            let outcome = segment::scan_segment(&path, from, |e| {
+            let outcome = segment::scan_segment(&path, from, chunk, |e| {
                 self.merge_entry(
                     e.kind,
                     &e.capsule,
@@ -647,6 +697,12 @@ impl LogInner {
             }
         }
         Ok(())
+    }
+
+    /// Sequential scan chunk for recovery and compaction: the readahead
+    /// window, never below the historical [`RECOVERY_CHUNK`] bound.
+    pub(crate) fn scan_chunk(&self) -> usize {
+        (self.cfg.read_block_bytes * self.cfg.readahead_blocks.max(1)).max(RECOVERY_CHUNK)
     }
 
     fn stream(&self, capsule: &Name) -> Option<&StreamIndex> {
@@ -948,21 +1004,15 @@ impl LogInner {
     }
 
     /// Random read of one record, serving the active segment through the
-    /// group-commit buffer and sealed segments from disk.
-    fn read_record(&mut self, capsule: &Name, loc: EntryLoc) -> Result<Record, StoreError> {
-        let decoded = if loc.seg == self.active {
-            let gc = &mut self.gc;
-            let mut header = [0u8; ENTRY_HEADER];
-            match gc.read_at(loc.off, &mut header) {
-                Ok(()) => segment::decode_entry_header_and_body(&header, |body| {
-                    gc.read_at(loc.off + ENTRY_HEADER as u64, body).map_err(segment::rot_eof)
-                }),
-                Err(e) => Err(segment::rot_eof(e)),
-            }
-        } else {
-            segment::read_entry_at(&seg_path(&self.dir, loc.seg), loc.off)
-        };
-        let (kind, cap, body) = match decoded {
+    /// group-commit buffer and sealed segments through the block cache.
+    /// `sequential` hints an in-order range scan (enables readahead).
+    fn read_record(
+        &mut self,
+        capsule: &Name,
+        loc: EntryLoc,
+        sequential: bool,
+    ) -> Result<Record, StoreError> {
+        let (kind, cap, body) = match self.read_entry(loc, sequential) {
             Ok(v) => v,
             Err(e) => {
                 if matches!(e, StoreError::Corrupt(_)) {
@@ -974,7 +1024,192 @@ impl LogInner {
         if kind != KIND_RECORD || cap != *capsule {
             return Err(StoreError::Corrupt("entry kind/stream mismatch on read".to_string()));
         }
-        Record::from_wire(&body).map_err(|e| StoreError::Corrupt(format!("record: {e}")))
+        // On the sealed (cached) path the record body stays a zero-copy
+        // slice of the entry bytes — and through them, of a cached block.
+        Record::from_wire_bytes(&body).map_err(|e| StoreError::Corrupt(format!("record: {e}")))
+    }
+
+    /// Reads one entry, counting it on success: the conservation law
+    /// `read_cache_hits + read_cache_misses == reads_served_from_store`
+    /// holds exactly. Active-segment reads serve from the group-commit
+    /// buffer (no disk, no cache) and count as hits by convention.
+    fn read_entry(
+        &mut self,
+        loc: EntryLoc,
+        sequential: bool,
+    ) -> Result<(u8, Name, Bytes), StoreError> {
+        if loc.seg == self.active {
+            let gc = &mut self.gc;
+            let mut header = [0u8; ENTRY_HEADER];
+            let decoded = match gc.read_at(loc.off, &mut header) {
+                Ok(()) => segment::decode_entry_header_and_body(&header, |body| {
+                    gc.read_at(loc.off + ENTRY_HEADER as u64, body).map_err(segment::rot_eof)
+                }),
+                Err(e) => Err(segment::rot_eof(e)),
+            };
+            let (kind, cap, body) = decoded?;
+            self.obs.reads_served_from_store.inc();
+            self.obs.read_cache_hits.inc();
+            return Ok((kind, cap, Bytes::from_vec(body)));
+        }
+        let mut missed = false;
+        let out = self.read_sealed_entry(loc, sequential, &mut missed)?;
+        self.obs.reads_served_from_store.inc();
+        if missed {
+            self.obs.read_cache_misses.inc();
+        } else {
+            self.obs.read_cache_hits.inc();
+        }
+        Ok(out)
+    }
+
+    /// Assembles one entry from a sealed segment through the block cache.
+    /// The body is a zero-copy slice of a cached block when the entry is
+    /// block-resident; entries straddling a block boundary are assembled
+    /// by copy and CRC-checked on every read. Single-block entries record
+    /// their verification in the block itself — the verified set dies
+    /// with the block, so eviction + refill always re-verifies, and rot
+    /// under a previously-cached entry surfaces as a typed `Corrupt`
+    /// after the refill, never as stale or garbled bytes.
+    fn read_sealed_entry(
+        &mut self,
+        loc: EntryLoc,
+        sequential: bool,
+        missed: &mut bool,
+    ) -> Result<(u8, Name, Bytes), StoreError> {
+        let seg_len = match self.segments.get(&loc.seg) {
+            Some(m) => m.len,
+            None => {
+                return Err(StoreError::Corrupt(format!("read from unknown segment {}", loc.seg)))
+            }
+        };
+        if loc.off.saturating_add(ENTRY_HEADER as u64) > seg_len {
+            return Err(StoreError::Corrupt("entry truncated under read".to_string()));
+        }
+        let header =
+            self.cached_range(loc.seg, loc.off, ENTRY_HEADER as u64, sequential, missed)?;
+        let hdr = header.as_slice();
+        let kind = hdr[0];
+        let len = u32::from_be_bytes(hdr[1..5].try_into().unwrap()) as usize;
+        let crc = u32::from_be_bytes(hdr[5..9].try_into().unwrap());
+        let mut name = [0u8; 32];
+        name.copy_from_slice(&hdr[9..ENTRY_HEADER]);
+        let capsule = Name(name);
+        let body_off = loc.off + ENTRY_HEADER as u64;
+        // Bound a rotted length field against the segment before trusting
+        // it with an allocation or a read loop (same rule as the scanner).
+        if len as u64 > seg_len - body_off {
+            return Err(StoreError::Corrupt("entry truncated under read".to_string()));
+        }
+        let bb = self.read_cache.block_bytes() as u64;
+        let first_block = loc.off / bb;
+        let off_in_block = (loc.off - first_block * bb) as u32;
+        let entry_last = body_off + len as u64 - 1;
+        let single_block = entry_last / bb == first_block;
+        let skip_crc =
+            single_block && self.read_cache.is_verified(loc.seg, first_block, off_in_block);
+        let body = self.cached_range(loc.seg, body_off, len as u64, sequential, missed)?;
+        if !skip_crc {
+            if entry_crc(kind, &capsule, &body) != crc {
+                return Err(StoreError::Corrupt("crc mismatch on read".to_string()));
+            }
+            if single_block {
+                self.read_cache.mark_verified(loc.seg, first_block, off_in_block);
+            }
+        }
+        Ok((kind, capsule, body))
+    }
+
+    /// `len` bytes at `off` of sealed segment `seg`, served from the
+    /// block cache: a zero-copy slice when the range sits inside one
+    /// block, a copied assembly when it straddles blocks.
+    fn cached_range(
+        &mut self,
+        seg: u64,
+        off: u64,
+        len: u64,
+        sequential: bool,
+        missed: &mut bool,
+    ) -> Result<Bytes, StoreError> {
+        if len == 0 {
+            return Ok(Bytes::new());
+        }
+        let bb = self.read_cache.block_bytes() as u64;
+        let first = off / bb;
+        let last = (off + len - 1) / bb;
+        if first == last {
+            let block = self.fetch_block(seg, first, sequential, missed)?;
+            let s = (off - first * bb) as usize;
+            let e = s + len as usize;
+            if e > block.len() {
+                return Err(StoreError::Corrupt("entry truncated under read".to_string()));
+            }
+            return Ok(block.slice(s, e));
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for idx in first..=last {
+            let block = self.fetch_block(seg, idx, sequential, missed)?;
+            let base = idx * bb;
+            let s = (off.max(base) - base) as usize;
+            let e = ((off + len).min(base + block.len() as u64).saturating_sub(base)) as usize;
+            if e <= s {
+                return Err(StoreError::Corrupt("entry truncated under read".to_string()));
+            }
+            out.extend_from_slice(&block[s..e]);
+        }
+        if out.len() as u64 != len {
+            return Err(StoreError::Corrupt("entry truncated under read".to_string()));
+        }
+        Ok(Bytes::from_vec(out))
+    }
+
+    /// One block of a sealed segment: cache hit, or a pooled-fd `pread`
+    /// that fills the cache — `readahead_blocks`-sized when the caller
+    /// hinted a sequential scan, with every prefetched block slicing one
+    /// shared allocation (no per-block copy).
+    fn fetch_block(
+        &mut self,
+        seg: u64,
+        idx: u64,
+        sequential: bool,
+        missed: &mut bool,
+    ) -> Result<Bytes, StoreError> {
+        if let Some(b) = self.read_cache.get(seg, idx) {
+            return Ok(b);
+        }
+        *missed = true;
+        let bb = self.read_cache.block_bytes();
+        let blocks = if sequential { self.cfg.readahead_blocks.max(1) } else { 1 };
+        let mut buf = vec![0u8; bb * blocks];
+        let (file, opened) = self.fds.get(&self.dir, seg)?;
+        let got = crate::io::pread_fill(file, idx * bb as u64, &mut buf)?;
+        if opened {
+            self.obs.segment_fd_opens.inc();
+        }
+        if got == 0 {
+            return Err(StoreError::Corrupt("read past segment end".to_string()));
+        }
+        buf.truncate(got);
+        let shared = Bytes::from_vec(buf);
+        let n_blocks = got.div_ceil(bb);
+        let mut evicted = 0u64;
+        for k in 0..n_blocks {
+            if k > 0 && self.read_cache.contains(seg, idx + k as u64) {
+                // Never clobber a resident (possibly verified) block with
+                // a readahead copy of the same bytes.
+                continue;
+            }
+            let s = k * bb;
+            let e = (s + bb).min(got);
+            evicted += self.read_cache.insert(seg, idx + k as u64, shared.slice(s, e));
+            if k > 0 {
+                self.obs.readahead_blocks.inc();
+            }
+        }
+        if evicted > 0 {
+            self.obs.read_cache_evictions.add(evicted);
+        }
+        Ok(shared.slice(0, bb.min(got)))
     }
 }
 

@@ -7,10 +7,11 @@
 
 use super::writer::{entry_crc, ENTRY_HEADER};
 use crate::file::RECOVERY_CHUNK;
+use crate::io::read_fill;
 use crate::store::StoreError;
 use gdp_wire::Name;
 use std::fs::File;
-use std::io::{Read, Seek, SeekFrom};
+use std::io::{Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
 /// Leading magic of a shared-log segment file.
@@ -62,11 +63,17 @@ pub(crate) struct ScanOutcome {
 /// invoking `on_entry` for each CRC-clean frame. Decode errors inside a
 /// CRC-clean body are hard [`StoreError::Corrupt`] failures, as in
 /// `FileStore`: valid-CRC-invalid-wire means a bug, not rot.
+///
+/// `chunk` sets the sequential read size (recovery readahead tuning);
+/// it is clamped to at least [`RECOVERY_CHUNK`] so peak memory claims
+/// stay monotone with the historical bound.
 pub(crate) fn scan_segment(
     path: &Path,
     offset: u64,
+    chunk: usize,
     mut on_entry: impl FnMut(ScanEntry<'_>) -> Result<(), StoreError>,
 ) -> Result<ScanOutcome, StoreError> {
+    let chunk = chunk.max(RECOVERY_CHUNK);
     let mut file = File::open(path)?;
     let file_len = file.metadata()?.len();
     let start_at = if offset == 0 { SEG_MAGIC.len() as u64 } else { offset };
@@ -95,13 +102,14 @@ pub(crate) fn scan_segment(
         eof: &mut bool,
         peak: &mut usize,
         need: usize,
+        chunk: usize,
     ) -> Result<bool, std::io::Error> {
         while buf.len() - *start < need && !*eof {
             if *start > 0 {
                 buf.drain(..*start);
                 *start = 0;
             }
-            let want = need.saturating_sub(buf.len()).max(RECOVERY_CHUNK);
+            let want = need.saturating_sub(buf.len()).max(chunk);
             let old = buf.len();
             buf.resize(old + want, 0);
             let got = read_fill(file, &mut buf[old..])?;
@@ -115,7 +123,7 @@ pub(crate) fn scan_segment(
     }
 
     loop {
-        if !ensure(&mut file, &mut buf, &mut start, &mut eof, &mut peak, ENTRY_HEADER)? {
+        if !ensure(&mut file, &mut buf, &mut start, &mut eof, &mut peak, ENTRY_HEADER, chunk)? {
             let end = if valid_end == file_len {
                 ScanEnd::Clean
             } else {
@@ -138,7 +146,8 @@ pub(crate) fn scan_segment(
                 peak_buffer: peak,
             });
         }
-        if !ensure(&mut file, &mut buf, &mut start, &mut eof, &mut peak, ENTRY_HEADER + len)? {
+        if !ensure(&mut file, &mut buf, &mut start, &mut eof, &mut peak, ENTRY_HEADER + len, chunk)?
+        {
             return Ok(ScanOutcome {
                 end: ScanEnd::Invalid { valid_end, crc_mismatch: false },
                 peak_buffer: peak,
@@ -174,16 +183,6 @@ pub(crate) fn rot_eof(e: std::io::Error) -> StoreError {
     }
 }
 
-/// Random read of one entry from a sealed segment, CRC-checked.
-/// Returns `(kind, capsule, body)`.
-pub(crate) fn read_entry_at(path: &Path, offset: u64) -> Result<(u8, Name, Vec<u8>), StoreError> {
-    let mut file = File::open(path)?;
-    file.seek(SeekFrom::Start(offset))?;
-    let mut header = [0u8; ENTRY_HEADER];
-    file.read_exact(&mut header).map_err(rot_eof)?;
-    decode_entry_header_and_body(&header, |body| file.read_exact(body).map_err(rot_eof))
-}
-
 /// Shared frame decode for random reads: parses `header`, asks `fill` to
 /// produce the body bytes, and CRC-checks the result.
 pub(crate) fn decode_entry_header_and_body(
@@ -202,21 +201,4 @@ pub(crate) fn decode_entry_header_and_body(
         return Err(StoreError::Corrupt("crc mismatch on read".to_string()));
     }
     Ok((kind, capsule, body))
-}
-
-/// `read` until `dst` is full or EOF; returns bytes read.
-fn read_fill(file: &mut File, mut dst: &mut [u8]) -> std::io::Result<usize> {
-    let mut total = 0;
-    while !dst.is_empty() {
-        match file.read(dst) {
-            Ok(0) => break,
-            Ok(n) => {
-                total += n;
-                dst = &mut dst[n..];
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(total)
 }

@@ -374,3 +374,116 @@ fn rotted_sealed_segment_refuses_compaction() {
     assert!(served >= caps[0].1.len() - 3, "rot of one byte must not take out the log");
     let _ = std::fs::remove_dir_all(dir);
 }
+
+/// Disk rot under a block the read cache already holds: warm reads keep
+/// serving the bits that were CRC-verified at fill (sealed segments are
+/// immutable, so the cached copy *is* the authentic data), and once the
+/// cache refills from disk — here via a fresh open — the rot must surface
+/// as typed corruption, never as stale or garbled record contents.
+#[test]
+fn rot_under_a_cached_block_surfaces_as_corrupt_after_refill() {
+    let dir = tmpdir("cachedrot");
+    let (meta, records) = capsule(1, 6);
+    let cfg = SegConfig {
+        policy: FsyncPolicy::Batch { interval_us: 5_000 },
+        compact_min_dead_pct: 0,
+        ..SegConfig::default()
+    };
+    let metrics = Metrics::new();
+    let log = SegLog::open_with(&dir, cfg.clone(), &metrics.scope("store")).unwrap();
+    let mut h = log.handle(meta.name());
+    h.put_metadata(&meta).unwrap();
+    for r in &records {
+        h.append(r).unwrap();
+    }
+    // Seal segment 0 and warm the cache over it.
+    log.rotate_now(1_000_000).unwrap();
+    for r in &records {
+        assert_eq!(h.get_by_hash(&r.hash()).unwrap().unwrap(), *r);
+    }
+
+    // Flip a byte inside the last record's body on disk.
+    let path = dir.join(format!("{:010}.seg", 0));
+    let mut bytes = std::fs::read(&path).unwrap();
+    let pos = bytes.len() - 20;
+    bytes[pos] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    // The cached block still serves the verified original bits.
+    let last = records.last().unwrap();
+    assert_eq!(
+        h.get_by_hash(&last.hash()).unwrap().unwrap(),
+        *last,
+        "cached reads must keep serving the bits verified at fill"
+    );
+    assert_eq!(metrics.counter_value("store", "crc_failures"), 0);
+    drop(h);
+    drop(log);
+
+    // A fresh open starts with an empty cache: the refill re-verifies and
+    // the rot becomes a typed Corrupt on exactly the damaged entry.
+    let metrics = Metrics::new();
+    let log = SegLog::open_with(&dir, cfg, &metrics.scope("store")).unwrap();
+    let h = log.handle(meta.name());
+    match h.get_by_hash(&last.hash()) {
+        Err(StoreError::Corrupt(_)) => {}
+        other => panic!("rotted entry must read as typed corruption, got {other:?}"),
+    }
+    assert!(metrics.counter_value("store", "crc_failures") >= 1);
+    for r in &records[..records.len() - 1] {
+        assert_eq!(
+            h.get_by_hash(&r.hash()).unwrap().unwrap(),
+            *r,
+            "rot must cost only the damaged entry, not its block neighbors"
+        );
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Compaction must invalidate the victim's cached blocks and pooled fd in
+/// the same window as the unlink: reads after compaction serve the
+/// relocated live copies bit-identically, including after the copies
+/// themselves seal into a cached segment.
+#[test]
+fn compaction_drops_victim_cache_and_fd_and_serves_live_copies() {
+    let dir = tmpdir("compactcache");
+    let (meta, records) = capsule(2, 40);
+    let cfg = SegConfig {
+        policy: FsyncPolicy::Batch { interval_us: 5_000 },
+        segment_max_bytes: 1_024,
+        compact_min_dead_pct: 0,
+        max_open_segments: 2,
+        ..SegConfig::default()
+    };
+    let metrics = Metrics::new();
+    let log = SegLog::open_with(&dir, cfg, &metrics.scope("store")).unwrap();
+    let mut h = log.handle(meta.name());
+    h.put_metadata(&meta).unwrap();
+    for (i, r) in records.iter().enumerate() {
+        h.append(r).unwrap();
+        h.flush((i as u64 + 1) * 10_000).unwrap();
+    }
+    // Warm cache and fd pool over every sealed segment.
+    for r in &records {
+        assert_eq!(h.get_by_hash(&r.hash()).unwrap().unwrap(), *r);
+    }
+    let victim = log.segment_ids()[0];
+    log.compact_segment(victim, 9_000_000).unwrap();
+    assert!(!dir.join(format!("{victim:010}.seg")).exists());
+    assert!(log.open_fds() <= 2, "fd budget must hold across compaction");
+
+    // Every record — relocated or not — still serves bit-identically.
+    for r in &records {
+        assert_eq!(h.get_by_hash(&r.hash()).unwrap().unwrap(), *r, "live copy lost to compaction");
+    }
+    // Seal the copies too, so they are served through the block cache,
+    // and sweep again: no stale victim block may shadow a live entry.
+    log.rotate_now(10_000_000).unwrap();
+    for r in &records {
+        assert_eq!(h.get_by_hash(&r.hash()).unwrap().unwrap(), *r);
+    }
+    let hits = metrics.counter_value("store", "read_cache_hits");
+    let misses = metrics.counter_value("store", "read_cache_misses");
+    assert_eq!(hits + misses, metrics.counter_value("store", "reads_served_from_store"));
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -400,3 +400,123 @@ fn compaction_relocates_live_entries_and_deletes_the_segment() {
     }
     let _ = std::fs::remove_dir_all(dir);
 }
+
+#[test]
+fn warm_range_reads_are_zero_copy_and_conserve_cache_counters() {
+    let dir = tmpdir("readcache");
+    let metrics = Metrics::new();
+    // Default 64 KiB blocks: the whole workload fits inside one block, so
+    // every sealed-segment record body must be a slice of a cached block.
+    let log = SegLog::open_with(&dir, batch_cfg(), &metrics.scope("store")).unwrap();
+    let (meta, records) = capsule(1, 20);
+    let mut h = log.handle(meta.name());
+    h.put_metadata(&meta).unwrap();
+    for r in &records {
+        h.append(r).unwrap();
+    }
+    // Seal segment 0: active-segment reads serve from the group-commit
+    // buffer and never exercise the cache.
+    log.rotate_now(1_000_000).unwrap();
+
+    let cold = h.range(1, 20).unwrap();
+    assert_eq!(cold.len(), 20);
+    assert!(
+        metrics.counter_value("store", "read_cache_misses") >= 1,
+        "first pass over a sealed segment must miss at least once"
+    );
+    let misses_after_cold = metrics.counter_value("store", "read_cache_misses");
+
+    let warm = h.range(1, 20).unwrap();
+    assert_eq!(warm, records);
+    assert_eq!(
+        metrics.counter_value("store", "read_cache_misses"),
+        misses_after_cold,
+        "warm pass must be served entirely from the cache"
+    );
+    for r in &warm {
+        assert!(
+            r.body.ref_count() > 1,
+            "warm record bodies must borrow the cached block, not copy it"
+        );
+    }
+
+    // Conservation: every read served by the store is exactly one cache
+    // hit or one cache miss (active-segment buffer reads count as hits).
+    let hits = metrics.counter_value("store", "read_cache_hits");
+    let misses = metrics.counter_value("store", "read_cache_misses");
+    let served = metrics.counter_value("store", "reads_served_from_store");
+    assert_eq!(hits + misses, served, "hit/miss accounting must conserve reads");
+    assert!(served >= 40);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn active_segment_reads_count_as_cache_hits() {
+    let dir = tmpdir("activehit");
+    let metrics = Metrics::new();
+    let log = SegLog::open_with(&dir, batch_cfg(), &metrics.scope("store")).unwrap();
+    let (meta, records) = capsule(2, 5);
+    let mut h = log.handle(meta.name());
+    h.put_metadata(&meta).unwrap();
+    for r in &records {
+        h.append(r).unwrap();
+    }
+    // No rotation: every read serves from the active group-commit buffer.
+    for r in &records {
+        assert_eq!(h.get_by_hash(&r.hash()).unwrap().unwrap(), *r);
+    }
+    let hits = metrics.counter_value("store", "read_cache_hits");
+    let served = metrics.counter_value("store", "reads_served_from_store");
+    assert_eq!(metrics.counter_value("store", "read_cache_misses"), 0);
+    assert_eq!(hits, served);
+    assert_eq!(served, 5);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn fd_pool_bounds_open_segments_and_skips_reopen_when_warm() {
+    let dir = tmpdir("fdpool");
+    let metrics = Metrics::new();
+    // Tiny segments force many sealed files; a zero-byte cache forces
+    // every read through the fd pool (the regression this test pins is
+    // the old one-File::open-per-read hot spot in `read_entry_at`).
+    let cfg = SegConfig {
+        segment_max_bytes: 1_024,
+        compact_min_dead_pct: 0,
+        read_cache_bytes: 0,
+        max_open_segments: 2,
+        ..batch_cfg()
+    };
+    let (meta, records) = capsule(3, 40);
+    let log = SegLog::open_with(&dir, cfg, &metrics.scope("store")).unwrap();
+    let mut h = log.handle(meta.name());
+    h.put_metadata(&meta).unwrap();
+    for (i, r) in records.iter().enumerate() {
+        h.append(r).unwrap();
+        h.flush((i as u64 + 1) * 10_000).unwrap();
+    }
+    let sealed = log.segment_ids().len() - 1;
+    assert!(sealed >= 3, "workload must span several sealed segments");
+
+    // Sweep every record twice: the pool may never exceed its cap.
+    for _ in 0..2 {
+        for r in &records {
+            assert_eq!(h.get_by_hash(&r.hash()).unwrap().unwrap(), *r);
+            assert!(log.open_fds() <= 2, "fd budget exceeded: {}", log.open_fds());
+        }
+    }
+    assert_eq!(log.fd_opens(), metrics.counter_value("store", "segment_fd_opens"));
+
+    // Repeated reads within one pooled segment must not reopen it: hammer
+    // a single record and require the open count to stay flat.
+    let before = log.fd_opens();
+    for _ in 0..10 {
+        let _ = h.get_by_hash(&records[0].hash()).unwrap().unwrap();
+    }
+    assert!(
+        log.fd_opens() <= before + 1,
+        "warm reads of one segment reopened it {} times",
+        log.fd_opens() - before
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}

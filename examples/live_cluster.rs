@@ -56,6 +56,8 @@ fn main() {
         data_dir: None,
         store_engine: StoreEngine::File,
         fsync: None,
+        read_cache_bytes: None,
+        max_open_segments: None,
         stats_path: None,
         hosts: vec![],
         shards: 1,
@@ -77,6 +79,8 @@ fn main() {
             data_dir: None, // in-memory stores for the demo
             store_engine: StoreEngine::File,
             fsync: None,
+            read_cache_bytes: None,
+            max_open_segments: None,
             stats_path: None,
             shards: 1,
             shard_batch: 64,

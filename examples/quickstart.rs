@@ -68,7 +68,7 @@ fn main() {
 
     // 8. Tampering is always detected.
     let mut forged = capsule.get_one(5).unwrap().clone();
-    forged.body = b"forged!".to_vec();
+    forged.body = b"forged!".to_vec().into();
     let mut fresh = DataCapsule::new(metadata).unwrap();
     assert!(fresh.ingest(forged).is_err(), "tampered record rejected");
     println!("tampered record rejected ✔");

@@ -100,7 +100,9 @@ cargo test -p gdp-sim --test chaos -- --nocapture \
 # Bench artifacts: the report binary must emit parseable figure JSON.
 # `report store` also asserts the storage-engine floors inline: segmented
 # >=10x the file engine at 10k+ capsules, recovery replay == checkpoint
-# tail (it exits nonzero when either contract is broken).
+# tail, warm point reads >=5x uncached at 10k+ capsules, warm range
+# records zero-copy, and the 1M-capsule read run inside its pooled-fd
+# budget (it exits nonzero when any contract is broken).
 step "bench report JSON (fig6 + store + overload + fig8-quick)"
 rm -f BENCH_fig6.json BENCH_store.json BENCH_overload.json BENCH_fig8.json
 cargo run --release -p gdp-bench --bin report -- fig6 >/dev/null
@@ -118,10 +120,18 @@ for f in BENCH_fig6.json BENCH_store.json BENCH_overload.json BENCH_fig8.json; d
     printf '%s OK\n' "$f"
 done
 
-# Perf smoke: re-measure 64 B zero-copy forwarding and segmented durable
-# appends; fail if either has regressed more than 30% below the floors
-# the fig6/store runs just recorded (the data-path and storage fast paths
-# must not silently rot).
+# The store artifact must carry both recorded floors (append rate and
+# warm read rate) plus the read series, or the perf smoke below would
+# silently skip the read-path regression gate.
+for key in '"store_floor"' '"read_floor"' '"read_points"'; do
+    grep -q "$key" BENCH_store.json \
+        || { printf '!!! BENCH_store.json missing %s\n' "$key"; exit 1; }
+done
+
+# Perf smoke: re-measure 64 B zero-copy forwarding, segmented durable
+# appends, and warm sealed-segment point reads; fail if any has regressed
+# more than 30% below the floors the fig6/store runs just recorded (the
+# data-path and storage fast paths must not silently rot).
 step "perf smoke (forwarding + store floors)"
 cargo run --release -p gdp-bench --bin report -- perf-smoke
 

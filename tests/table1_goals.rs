@@ -112,7 +112,7 @@ fn secure_storage_untrusted_server() {
         .get_one(1)
         .unwrap()
         .clone();
-    record.body = b"a falsehood".to_vec(); // tamper
+    record.body = b"a falsehood".to_vec().into(); // tamper
     let msg = DataMsg::ReadResp {
         result: ReadResult::Record(record),
         // The server cannot produce a valid auth for content it forged
@@ -285,7 +285,7 @@ fn native_pubsub() {
     let bodies: Vec<Vec<u8>> = events
         .iter()
         .filter_map(|e| match e {
-            ClientEvent::SubEvent { record, .. } => Some(record.body.clone()),
+            ClientEvent::SubEvent { record, .. } => Some(record.body.to_vec()),
             _ => None,
         })
         .collect();
