@@ -246,28 +246,57 @@ pub fn lint_paths(
         parsed.push(SourceFile::parse(&rel, &src));
     }
 
+    // Aux scan set: the sim chaos suites, parsed only for OB02's
+    // conservation-law direction (and their own suppression comments) —
+    // their code is test-only and never sees the per-file rules.
+    let mut aux: Vec<SourceFile> = Vec::new();
+    if default_scan {
+        let sim_tests = root.join("crates/sim/tests");
+        if sim_tests.is_dir() {
+            let mut sim_files = Vec::new();
+            collect_rs(&sim_tests, &mut sim_files)?;
+            sim_files.sort();
+            for f in &sim_files {
+                let rel = normalize(root, f);
+                let src = std::fs::read_to_string(f)?;
+                aux.push(SourceFile::parse(&rel, &src));
+            }
+        }
+    }
+
     let workspace = rules::WorkspaceIndex::build(&parsed);
     let mut findings: Vec<Finding> = Vec::new();
-    let mut suppressed: Vec<Suppressed> = Vec::new();
-
     for file in &parsed {
-        let mut raw = rules::run_all(file, cfg, &workspace);
-        let file_allows = allows(file);
-        raw.retain(|f| {
-            let covered = file_allows.iter().any(|a| {
+        findings.extend(rules::run_all(file, cfg, &workspace));
+    }
+    findings.extend(rules::run_workspace(&parsed, &aux, cfg, Some(root), default_scan));
+
+    // Uniform suppression: every finding — per-file or workspace-wide —
+    // is matched against the allow comments of the file it is reported
+    // in. Findings against non-Rust files (DESIGN.md rows) have no
+    // allow table and cannot be suppressed.
+    let mut allow_map: std::collections::BTreeMap<&str, Vec<Allow>> =
+        std::collections::BTreeMap::new();
+    for file in parsed.iter().chain(aux.iter()) {
+        allow_map.insert(file.path.as_str(), allows(file));
+    }
+    let mut suppressed: Vec<Suppressed> = Vec::new();
+    findings.retain(|f| {
+        let covered = allow_map.get(f.path.as_str()).is_some_and(|file_allows| {
+            file_allows.iter().any(|a| {
                 a.has_reason
                     && (a.line == f.line || a.line + 1 == f.line)
                     && a.rules.iter().any(|r| r == f.rule)
-            });
-            if covered {
-                suppressed.push(Suppressed { rule: f.rule, path: f.path.clone(), line: f.line });
-            }
-            !covered
+            })
         });
-        findings.extend(raw);
-    }
+        if covered {
+            suppressed.push(Suppressed { rule: f.rule, path: f.path.clone(), line: f.line });
+        }
+        !covered
+    });
 
     findings
         .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    suppressed.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(Report { files_scanned: parsed.len(), findings, suppressed })
 }

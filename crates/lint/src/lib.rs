@@ -13,6 +13,16 @@
 //! | `OB01` | plain load/store counter increments only in modules allowlisted as single-writer |
 //! | `WX01` | wire-enum decoders/dispatchers cover every variant; no silent `_ =>` swallowing |
 //! | `US01` | `unsafe` requires a `// SAFETY:` comment; unsafe-free crates carry `#![forbid(unsafe_code)]` |
+//! | `LK01` | the global lock graph is acyclic: no guard live-range (interprocedural, one call deep) acquires locks in a cycle-forming order |
+//! | `LK02` | no blocking call (`fsync`, `write_all`, `pread_fill`, channel ops, `File::open`, `sleep`, `spawn`) while a hot-path lock is held |
+//! | `CH01` | data-plane sends go to `bounded` channels, control lanes drain before data in dual-polling loops, cloned senders have a shutdown path |
+//! | `OB02` | registered metric names, DESIGN.md's metric-namespace tables, and chaos conservation laws agree exactly |
+//!
+//! The first six are per-file token rules; the `LK`/`CH`/`OB02` family
+//! runs on a two-pass, workspace-wide analysis: pass 1 builds a
+//! cross-file symbol table and call graph ([`symbols`], [`callgraph`]),
+//! pass 2 evaluates lock-guard live ranges, channel constructor kinds,
+//! and the metric namespace against it.
 //!
 //! A finding is suppressed — deliberately and auditable — with a trailing
 //! or preceding comment naming the rule *and a reason*:
@@ -28,10 +38,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod symbols;
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -103,6 +115,26 @@ pub struct LintConfig {
     /// Minimum distinct variants a match must name before `WX01` treats
     /// it as a dispatcher (small partial matches are exempt).
     pub dispatch_threshold: usize,
+    /// Path fragments of modules where `LK02` polices blocking calls
+    /// under a held lock. Deliberately *excludes* `seglog/mod.rs`: the
+    /// segmented log's `LogInner` is an I/O-owning coarse lock by design
+    /// (see DESIGN.md, "Lock policy") — its read path is kept honest by
+    /// the fetch-outside/install-under-lock structure and the TSan
+    /// smoke, not by this rule.
+    pub blocking_sensitive_modules: Vec<String>,
+    /// Call names `LK02` treats as blocking. Structural refinements in
+    /// the call-graph scan keep the common ones precise (`join` must be
+    /// argless, `open` must be `File::open`/`.open(`, channel ops must
+    /// be method calls; `try_send`/`try_recv` never match).
+    pub blocking_calls: Vec<String>,
+    /// Path fragments of data-plane modules for `CH01`: sends must go
+    /// to bounded lanes, control drains before data, cloned senders
+    /// need a shutdown path.
+    pub data_plane_modules: Vec<String>,
+    /// Identifier segments marking a channel name as a control lane
+    /// (`ctrl_rx`, `ev_tx`, ...): exempt from the bounded-lane check
+    /// and required to drain first in dual-polling loops.
+    pub control_lane_markers: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -144,6 +176,62 @@ impl Default for LintConfig {
             ],
             wire_enums: vec!["Pdu".into(), "PduType".into(), "DataMsg".into()],
             dispatch_threshold: 4,
+            blocking_sensitive_modules: vec![
+                "crates/router/src/router.rs".into(),
+                "crates/router/src/fib.rs".into(),
+                "crates/router/src/vcache.rs".into(),
+                "crates/node/src/shard.rs".into(),
+                "crates/node/src/runtime.rs".into(),
+                "crates/node/src/bin/gdpd.rs".into(),
+                "crates/net/src/tcp.rs".into(),
+                // The storage engine's capsule map is on every open;
+                // recovery I/O must never run under it.
+                "crates/store/src/engine.rs".into(),
+                "crates/store/src/seglog/writer.rs".into(),
+                "crates/store/src/seglog/cache.rs".into(),
+                "crates/store/src/seglog/fdpool.rs".into(),
+                // The rule's own fixture corpus.
+                "fixtures/lk02/".into(),
+            ],
+            blocking_calls: [
+                "fsync",
+                "fdatasync",
+                "sync_all",
+                "sync_data",
+                "write_all",
+                "read_fill",
+                "pread_fill",
+                "read_exact",
+                "sleep",
+                "send",
+                "recv",
+                "recv_timeout",
+                "open",
+                "connect",
+                "accept",
+                "join",
+                "spawn",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            data_plane_modules: vec![
+                "crates/router/src/router.rs".into(),
+                "crates/node/src/shard.rs".into(),
+                "crates/node/src/runtime.rs".into(),
+                "crates/node/src/bin/gdpd.rs".into(),
+                "crates/net/src/tcp.rs".into(),
+                // The rule's own fixture corpus.
+                "fixtures/ch01/".into(),
+            ],
+            control_lane_markers: vec![
+                "ctrl".into(),
+                "control".into(),
+                "ev".into(),
+                "event".into(),
+                "shutdown".into(),
+                "wake".into(),
+            ],
         }
     }
 }

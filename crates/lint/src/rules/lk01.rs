@@ -1,0 +1,179 @@
+//! `LK01` — lock-order cycles.
+//!
+//! Builds the global lock graph: an edge `A → B` is recorded whenever a
+//! guard for `A` is still live (see `callgraph` for the live-range
+//! rules) at a point that acquires `B` — either directly in the same
+//! function, or one call deep through a resolved callee that acquires
+//! `B` in its own body. Any cycle in that graph (including the trivial
+//! `A → A` re-acquisition) is a potential deadlock: two threads taking
+//! the edges in opposite order wedge forever, and a re-entrant `lock()`
+//! on the shims' parking_lot-style mutex deadlocks a single thread.
+//!
+//! One finding is reported per distinct cycle, anchored at the outer
+//! acquisition site of its lexicographically smallest edge, with every
+//! edge's acquisition sites listed in the message.
+
+use crate::callgraph::CallGraph;
+use crate::engine::SourceFile;
+use crate::symbols::Symbols;
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One lock-graph edge with its witness sites.
+struct Edge {
+    /// Outer acquisition site: `path:line` plus exact (path, line, col)
+    /// for the anchor finding.
+    outer: (String, usize, usize),
+    /// Inner acquisition site as `path:line`.
+    inner: String,
+    /// Optional call hop (`via \`f\``) when the edge is interprocedural.
+    via: Option<String>,
+}
+
+/// Runs the rule over the whole workspace.
+pub fn run(files: &[SourceFile], sym: &Symbols, cg: &CallGraph) -> Vec<Finding> {
+    // Collect edges, first witness per (from, to) pair wins.
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    for (i, ff) in cg.facts.iter().enumerate() {
+        let fdef = &sym.fns[i];
+        let file = &files[fdef.file];
+        for a in &ff.acqs {
+            if file.in_test.get(a.tok).copied().unwrap_or(false) || a.lock.starts_with("?.") {
+                continue;
+            }
+            let outer = (file.path.clone(), a.line, a.col);
+            // Direct nested acquisitions.
+            for b in &ff.acqs {
+                if b.tok > a.tok && b.tok <= a.end && !b.lock.starts_with("?.") {
+                    edges.entry((a.lock.clone(), b.lock.clone())).or_insert_with(|| Edge {
+                        outer: outer.clone(),
+                        inner: format!("{}:{}", file.path, b.line),
+                        via: None,
+                    });
+                }
+            }
+            // One call deep: callee's direct acquisitions.
+            for c in &ff.calls {
+                if c.tok <= a.tok || c.tok > a.end {
+                    continue;
+                }
+                for &t in &c.targets {
+                    let tdef = &sym.fns[t];
+                    let tfile = &files[tdef.file];
+                    for b in &cg.facts[t].acqs {
+                        if tfile.in_test.get(b.tok).copied().unwrap_or(false)
+                            || b.lock.starts_with("?.")
+                        {
+                            continue;
+                        }
+                        edges.entry((a.lock.clone(), b.lock.clone())).or_insert_with(|| Edge {
+                            outer: outer.clone(),
+                            inner: format!("{}:{}", tdef.path, b.line),
+                            via: Some(format!("via `{}` ({}:{})", c.name, file.path, c.line)),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Adjacency for cycle search.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from.as_str()).or_default().push(to.as_str());
+    }
+
+    // Every edge that closes a cycle: BFS from `to` back to `from`,
+    // reconstruct the node sequence, canonicalize (rotate to the
+    // smallest node), dedupe.
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut out = Vec::new();
+    for (from, to) in edges.keys() {
+        let Some(path_back) = bfs_path(&adj, to, from) else { continue };
+        // Cycle node sequence: from -> to -> ... -> from.
+        let mut cycle: Vec<String> = vec![from.clone()];
+        cycle.extend(path_back.iter().map(|s| s.to_string()));
+        cycle.pop(); // last == from again
+        let canon = canonicalize(&cycle);
+        if !seen.insert(canon.clone()) {
+            continue;
+        }
+        // Describe every edge of the canonical rotation.
+        let mut parts = Vec::new();
+        for k in 0..canon.len() {
+            let a = &canon[k];
+            let b = &canon[(k + 1) % canon.len()];
+            if let Some(e) = edges.get(&(a.clone(), b.clone())) {
+                let via = e.via.as_deref().map(|v| format!(", {v}")).unwrap_or_default();
+                parts.push(format!(
+                    "`{a}` held at {}:{} while acquiring `{b}` at {}{via}",
+                    e.outer.0, e.outer.1, e.inner
+                ));
+            }
+        }
+        let anchor = edges
+            .get(&(canon[0].clone(), canon[(1) % canon.len()].clone()))
+            .map(|e| e.outer.clone())
+            .unwrap_or_else(|| (String::new(), 0, 0));
+        let message = if canon.len() == 1 {
+            format!(
+                "lock `{}` acquired while a guard for it is already held ({}) — \
+                 self-deadlock on re-entrant lock",
+                canon[0],
+                parts.join("; ")
+            )
+        } else {
+            format!(
+                "lock-order cycle {} — two threads taking these edges in opposite order \
+                 deadlock: {}",
+                canon.iter().map(|n| format!("`{n}`")).collect::<Vec<_>>().join(" → "),
+                parts.join("; ")
+            )
+        };
+        out.push(Finding { rule: "LK01", path: anchor.0, line: anchor.1, col: anchor.2, message });
+    }
+    out
+}
+
+/// Shortest path `from → … → to` (inclusive of `to`), or `None`.
+fn bfs_path<'a>(
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    from: &'a str,
+    to: &str,
+) -> Option<Vec<&'a str>> {
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(from);
+    let mut visited: BTreeSet<&str> = BTreeSet::new();
+    visited.insert(from);
+    while let Some(n) = queue.pop_front() {
+        if n == to {
+            // Reconstruct.
+            let mut path = vec![n];
+            let mut cur = n;
+            while cur != from {
+                cur = prev[cur];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &m in adj.get(n).into_iter().flatten() {
+            if visited.insert(m) {
+                prev.insert(m, n);
+                queue.push_back(m);
+            }
+        }
+    }
+    None
+}
+
+/// Rotates the cycle so the lexicographically smallest node leads.
+fn canonicalize(cycle: &[String]) -> Vec<String> {
+    let min = cycle.iter().enumerate().min_by_key(|(_, n)| n.as_str()).map(|(i, _)| i).unwrap_or(0);
+    let mut out = Vec::with_capacity(cycle.len());
+    for k in 0..cycle.len() {
+        out.push(cycle[(min + k) % cycle.len()].clone());
+    }
+    out
+}

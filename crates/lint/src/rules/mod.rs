@@ -1,9 +1,16 @@
 //! The rule engine: shared token helpers, the cross-file workspace index,
-//! and the six rules (one module each).
+//! and the ten rules (one module each). Six are per-file token rules run
+//! by [`run_all`]; the concurrency/namespace family (`LK01`, `LK02`,
+//! `CH01`, `OB02`) runs once over the whole scan set via
+//! [`run_workspace`] on the pass-1 symbol table and call graph.
 
+pub mod ch01;
 pub mod ct01;
 pub mod hp01;
+pub mod lk01;
+pub mod lk02;
 pub mod ob01;
+pub mod ob02;
 pub mod sk01;
 pub mod us01;
 pub mod wx01;
@@ -12,9 +19,11 @@ use crate::engine::SourceFile;
 use crate::lexer::{Tok, TokKind};
 use crate::{Finding, LintConfig};
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 
 /// All rule IDs, in report order.
-pub const RULE_IDS: [&str; 6] = ["CT01", "HP01", "OB01", "SK01", "US01", "WX01"];
+pub const RULE_IDS: [&str; 10] =
+    ["CH01", "CT01", "HP01", "LK01", "LK02", "OB01", "OB02", "SK01", "US01", "WX01"];
 
 /// Cross-file facts rules need: wire-enum variant sets (`WX01`) and
 /// per-crate `unsafe` inventory (`US01`).
@@ -220,7 +229,7 @@ pub fn finding(rule: &'static str, file: &SourceFile, tok: &Tok, message: String
     Finding { rule, path: file.path.clone(), line: tok.line, col: tok.col, message }
 }
 
-/// Runs every rule over one file.
+/// Runs every per-file rule over one file.
 pub fn run_all(file: &SourceFile, cfg: &LintConfig, ws: &WorkspaceIndex) -> Vec<Finding> {
     let mut out = Vec::new();
     out.extend(ct01::run(file));
@@ -229,5 +238,27 @@ pub fn run_all(file: &SourceFile, cfg: &LintConfig, ws: &WorkspaceIndex) -> Vec<
     out.extend(ob01::run(file, cfg));
     out.extend(wx01::run(file, cfg, ws));
     out.extend(us01::run(file, ws));
+    out
+}
+
+/// Runs the workspace-wide rules (`LK01`, `LK02`, `CH01`, `OB02`) once
+/// over the whole scan set: builds the pass-1 symbol table and call
+/// graph, then evaluates each rule on it. `aux` carries files scanned
+/// for conservation-law assertions only (the sim chaos suites); `root`
+/// anchors `OB02`'s DESIGN.md lookup.
+pub fn run_workspace(
+    files: &[SourceFile],
+    aux: &[SourceFile],
+    cfg: &LintConfig,
+    root: Option<&Path>,
+    default_scan: bool,
+) -> Vec<Finding> {
+    let sym = crate::symbols::Symbols::build(files);
+    let cg = crate::callgraph::CallGraph::build(files, &sym, cfg);
+    let mut out = Vec::new();
+    out.extend(lk01::run(files, &sym, &cg));
+    out.extend(lk02::run(files, &sym, &cg, cfg));
+    out.extend(ch01::run(files, &sym, cfg));
+    out.extend(ob02::run(files, aux, root, default_scan));
     out
 }

@@ -1,0 +1,262 @@
+//! `OB02` — counter-namespace drift between code, docs, and chaos laws.
+//!
+//! Three directions, all name-based over literal strings:
+//!
+//! 1. **code → doc**: every metric registered with a literal name
+//!    (`obs.counter("...")` / `.gauge(..)` / `.histogram(..)`, outside
+//!    test code) must appear in the metric-namespace tables of the
+//!    governing `DESIGN.md`.
+//! 2. **doc → code**: every metric named in those tables must be
+//!    registered somewhere in the scanned set — stale rows rot the
+//!    operator documentation.
+//! 3. **chaos → registry**: every counter asserted through
+//!    `counter_value("scope", "name")` in a conservation law must be a
+//!    registered metric; a law asserting a ghost counter is vacuous.
+//!
+//! The governing doc for a file is a sibling `DESIGN.md` in the file's
+//! own directory when present (this is how the fixture corpus carries
+//! its own table), else the workspace-root `DESIGN.md` on default
+//! scans. Files with no governing doc are skipped. Doc-side findings
+//! are reported against the `DESIGN.md` line of the stale row.
+
+use crate::engine::SourceFile;
+use crate::lexer::TokKind;
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// One literal metric registration site.
+struct Reg {
+    name: String,
+    path: String,
+    line: usize,
+    col: usize,
+}
+
+/// Runs the rule. `root` anchors doc lookup; without it (or with no doc
+/// found for any file) only the chaos direction against an empty
+/// registry is skipped entirely.
+pub fn run(
+    files: &[SourceFile],
+    aux: &[SourceFile],
+    root: Option<&Path>,
+    default_scan: bool,
+) -> Vec<Finding> {
+    let Some(root) = root else { return Vec::new() };
+    let mut out = Vec::new();
+
+    // Literal registrations per file, grouped by governing doc.
+    let mut regs: Vec<(Reg, Option<String>)> = Vec::new();
+    let mut doc_cache: BTreeMap<String, bool> = BTreeMap::new();
+    for file in files {
+        let doc = governing_doc(&file.path, root, default_scan, &mut doc_cache);
+        for reg in registrations(file) {
+            regs.push((reg, doc.clone()));
+        }
+    }
+    let all_names: BTreeSet<&str> = regs.iter().map(|(r, _)| r.name.as_str()).collect();
+
+    // Per-doc: parse the tables once, run both directions.
+    let docs: BTreeSet<String> =
+        regs.iter().filter_map(|(_, d)| d.clone()).collect::<BTreeSet<_>>();
+    // Docs that govern files with zero registrations still need the
+    // doc→code direction (a table row with no code at all).
+    let mut governed: BTreeSet<String> = docs;
+    for file in files {
+        if let Some(d) = governing_doc(&file.path, root, default_scan, &mut doc_cache) {
+            governed.insert(d);
+        }
+    }
+    for doc_rel in &governed {
+        let Ok(text) = std::fs::read_to_string(root.join(doc_rel)) else { continue };
+        let table = metric_table(&text);
+        let doc_names: BTreeSet<&str> = table.iter().map(|(n, _)| n.as_str()).collect();
+        let group_regs: BTreeSet<&str> = regs
+            .iter()
+            .filter(|(_, d)| d.as_deref() == Some(doc_rel.as_str()))
+            .map(|(r, _)| r.name.as_str())
+            .collect();
+        for (reg, d) in &regs {
+            if d.as_deref() == Some(doc_rel.as_str()) && !doc_names.contains(reg.name.as_str()) {
+                out.push(Finding {
+                    rule: "OB02",
+                    path: reg.path.clone(),
+                    line: reg.line,
+                    col: reg.col,
+                    message: format!(
+                        "metric `{}` is registered here but missing from the metric-namespace \
+                         table in {doc_rel} — document it or the operator surface drifts",
+                        reg.name
+                    ),
+                });
+            }
+        }
+        for (name, line) in &table {
+            if !group_regs.contains(name.as_str()) {
+                out.push(Finding {
+                    rule: "OB02",
+                    path: doc_rel.clone(),
+                    line: *line,
+                    col: 1,
+                    message: format!(
+                        "metric `{name}` is documented in {doc_rel} but never registered in the \
+                         scanned code — stale row, remove it or restore the metric"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Chaos direction: counter_value("scope", "name") pairs everywhere
+    // (scanned files and the aux conservation-law suites).
+    if !all_names.is_empty() {
+        for file in files.iter().chain(aux.iter()) {
+            for (name, line, col) in counter_values(file) {
+                if !all_names.contains(name.as_str()) {
+                    out.push(Finding {
+                        rule: "OB02",
+                        path: file.path.clone(),
+                        line,
+                        col,
+                        message: format!(
+                            "conservation law asserts counter `{name}` which is not registered \
+                             anywhere — the assertion is vacuous"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The governing doc for `path`, as a workspace-relative path.
+fn governing_doc(
+    path: &str,
+    root: &Path,
+    default_scan: bool,
+    cache: &mut BTreeMap<String, bool>,
+) -> Option<String> {
+    if let Some(at) = path.rfind('/') {
+        let sibling = format!("{}/DESIGN.md", &path[..at]);
+        let exists = *cache.entry(sibling.clone()).or_insert_with(|| root.join(&sibling).is_file());
+        if exists {
+            return Some(sibling);
+        }
+    }
+    if default_scan {
+        let exists =
+            *cache.entry("DESIGN.md".into()).or_insert_with(|| root.join("DESIGN.md").is_file());
+        if exists {
+            return Some("DESIGN.md".into());
+        }
+    }
+    None
+}
+
+/// The string literal carried by the `Lit` token at `idx`, matched
+/// through the per-line side table by literal order on the line.
+fn lit_text(file: &SourceFile, idx: usize) -> Option<String> {
+    let toks = &file.tokens;
+    let line = toks.get(idx)?.line;
+    if toks[idx].kind != TokKind::Lit {
+        return None;
+    }
+    let nth = toks[..idx].iter().filter(|t| t.kind == TokKind::Lit && t.line == line).count();
+    file.strings.iter().filter(|s| s.line == line).nth(nth).map(|s| s.text.clone())
+}
+
+/// Literal registrations (`.counter("x")` etc.) outside test code.
+fn registrations(file: &SourceFile) -> Vec<Reg> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !matches!(toks[i].text.as_str(), "counter" | "gauge" | "histogram")
+            || toks[i].kind != TokKind::Ident
+            || i == 0
+            || toks[i - 1].text != "."
+            || toks.get(i + 1).map(|t| t.text.as_str()) != Some("(")
+            || file.in_test.get(i).copied().unwrap_or(false)
+        {
+            continue;
+        }
+        let Some(name) = lit_text(file, i + 2) else { continue };
+        out.push(Reg { name, path: file.path.clone(), line: toks[i].line, col: toks[i].col });
+    }
+    out
+}
+
+/// `counter_value("scope", "name")` literal pairs (test code included —
+/// that is where conservation laws live).
+fn counter_values(file: &SourceFile) -> Vec<(String, usize, usize)> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].text != "counter_value"
+            || toks[i].kind != TokKind::Ident
+            || toks.get(i + 1).map(|t| t.text.as_str()) != Some("(")
+            || toks.get(i + 2).map(|t| t.kind) != Some(TokKind::Lit)
+            || toks.get(i + 3).map(|t| t.text.as_str()) != Some(",")
+            || toks.get(i + 4).map(|t| t.kind) != Some(TokKind::Lit)
+        {
+            continue;
+        }
+        if let Some(name) = lit_text(file, i + 4) {
+            out.push((name, toks[i].line, toks[i].col));
+        }
+    }
+    out
+}
+
+/// Metric names (with their line numbers) from every metric-namespace
+/// table in a markdown document. A table qualifies when its header row
+/// names both a "scope" and a "metric" column; names are the backticked
+/// identifiers in the metric column of each data row.
+fn metric_table(text: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut metric_col: Option<usize> = None;
+    for (ln, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            metric_col = None;
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split('|').collect();
+        let is_sep = trimmed.chars().all(|c| matches!(c, '|' | '-' | ':' | ' '));
+        if is_sep {
+            continue;
+        }
+        match metric_col {
+            None => {
+                let lower: Vec<String> = cells.iter().map(|c| c.to_lowercase()).collect();
+                if lower.iter().any(|c| c.contains("scope")) {
+                    metric_col = lower.iter().position(|c| c.contains("metric"));
+                }
+            }
+            Some(col) => {
+                if let Some(cell) = cells.get(col) {
+                    for name in backticked(cell) {
+                        out.push((name, ln + 1));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Every `` `name` `` span in a table cell.
+fn backticked(cell: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = cell;
+    while let Some(a) = rest.find('`') {
+        let tail = &rest[a + 1..];
+        let Some(b) = tail.find('`') else { break };
+        let name = &tail[..b];
+        if !name.is_empty() && !name.contains(' ') {
+            out.push(name.to_string());
+        }
+        rest = &tail[b + 1..];
+    }
+    out
+}

@@ -1,0 +1,11 @@
+// CH01 fixture: an unbounded data send carrying a reasoned suppression
+// — must be recorded as suppressed, not reported.
+
+use crossbeam::channel::unbounded;
+
+pub fn legacy_pump() {
+    let (legacy_tx, legacy_rx) = unbounded();
+    // gdp-lint: allow(CH01) -- fixture: waived unbounded lane exercising suppression on a workspace-wide rule
+    legacy_tx.send(1u8).ok();
+    let _ = legacy_rx.recv();
+}

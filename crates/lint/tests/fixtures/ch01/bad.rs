@@ -1,0 +1,29 @@
+// CH01 fixture: three violations of data-plane channel discipline. The
+// path fragment `fixtures/ch01/` is on the default data-plane list.
+
+use crossbeam::channel::{bounded, unbounded, Receiver};
+
+pub fn pump() {
+    let (pkt_tx, pkt_rx) = unbounded();
+    pkt_tx.send(1u8).ok();
+    let _ = pkt_rx.recv();
+}
+
+pub fn poll(pkt2_rx: &Receiver<u8>, ctrl_rx: &Receiver<u8>) {
+    loop {
+        if let Ok(v) = pkt2_rx.try_recv() {
+            let _ = v;
+        }
+        if let Ok(c) = ctrl_rx.try_recv() {
+            let _ = c;
+        }
+        break;
+    }
+}
+
+pub fn fan_out() {
+    let (feed_tx, feed_rx) = bounded(8);
+    let worker = feed_tx.clone();
+    worker.send(1u8).ok();
+    let _ = feed_rx.recv();
+}

@@ -1,0 +1,32 @@
+// CH01 fixture: the compliant shapes — bounded data lane, control
+// drained before data, cloned sender with a visible drop. No findings.
+
+use crossbeam::channel::{bounded, Receiver};
+
+pub fn pump_bounded() {
+    let (frame_tx, frame_rx) = bounded(64);
+    let extra = frame_tx.clone();
+    extra.send(1u8).ok();
+    let _ = frame_rx.recv();
+    drop(frame_tx);
+}
+
+pub fn poll_ordered(frame2_rx: &Receiver<u8>, ctrl_rx: &Receiver<u8>) {
+    loop {
+        if let Ok(c) = ctrl_rx.try_recv() {
+            let _ = c;
+        }
+        if let Ok(v) = frame2_rx.try_recv() {
+            let _ = v;
+        }
+        break;
+    }
+}
+
+pub fn event_lane_may_be_unbounded() {
+    // Control lanes (`ev`, `ctrl`, ... markers) are exempt from the
+    // bounded-lane check: they are low-rate by construction.
+    let (ev_tx, ev_rx) = crossbeam::channel::unbounded();
+    ev_tx.send(1u8).ok();
+    let _ = ev_rx.recv();
+}

@@ -1,0 +1,16 @@
+// LK01 fixture: a deliberate re-entrant acquisition carrying a reasoned
+// suppression — must land in the suppressed list, not the findings.
+
+use parking_lot::Mutex;
+
+pub struct Solo {
+    pub omega: Mutex<u8>,
+}
+
+pub fn waived(s: &Solo) {
+    // gdp-lint: allow(LK01) -- fixture: waived re-entrant acquisition exercising suppression on a workspace-wide rule
+    let g = s.omega.lock();
+    let again = s.omega.lock();
+    drop(again);
+    drop(g);
+}

@@ -1,0 +1,24 @@
+// LK01 fixture: one half of a lock-order cycle that spans two files
+// (bad_peer.rs acquires the same locks in the opposite order), plus a
+// self-deadlock re-acquisition. Fixture files are data, not compiled.
+
+use parking_lot::Mutex;
+
+pub struct PairA {
+    pub alpha: Mutex<u8>,
+    pub beta: Mutex<u8>,
+}
+
+pub fn forward_order(p: &PairA) {
+    let a = p.alpha.lock();
+    let b = p.beta.lock();
+    drop(b);
+    drop(a);
+}
+
+pub fn reenter(p: &PairA) {
+    let g = p.alpha.lock();
+    let again = p.alpha.lock();
+    drop(again);
+    drop(g);
+}

@@ -1,0 +1,12 @@
+// LK01 fixture: the other half of the cross-file cycle — acquires the
+// PairA locks in the opposite order from bad.rs. Neither file alone
+// contains a cycle; only the workspace-wide lock graph sees it.
+
+use crate::PairA;
+
+pub fn reverse_order(p: &PairA) {
+    let b = p.beta.lock();
+    let a = p.alpha.lock();
+    drop(a);
+    drop(b);
+}

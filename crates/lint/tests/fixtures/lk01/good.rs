@@ -1,0 +1,23 @@
+// LK01 fixture: nested acquisition in a single consistent order — an
+// edge in the lock graph, but no cycle, so no finding.
+
+use parking_lot::Mutex;
+
+pub struct PairB {
+    pub gamma: Mutex<u8>,
+    pub delta: Mutex<u8>,
+}
+
+pub fn first(p: &PairB) {
+    let g = p.gamma.lock();
+    let d = p.delta.lock();
+    drop(d);
+    drop(g);
+}
+
+pub fn second(p: &PairB) {
+    let g = p.gamma.lock();
+    let d = p.delta.lock();
+    drop(d);
+    drop(g);
+}

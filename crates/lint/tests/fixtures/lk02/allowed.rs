@@ -1,0 +1,16 @@
+// LK02 fixture: a lock that deliberately owns its I/O, waived with a
+// reasoned suppression — must be recorded as suppressed, not reported.
+
+use parking_lot::Mutex;
+use std::fs::File;
+
+pub struct OwnedIo {
+    pub gate: Mutex<u64>,
+}
+
+pub fn flush_owned(o: &OwnedIo, f: &mut File) {
+    let g = o.gate.lock();
+    // gdp-lint: allow(LK02) -- fixture: this guard deliberately owns the fsync (coarse I/O-owning lock pattern)
+    f.sync_all().ok();
+    drop(g);
+}

@@ -1,0 +1,26 @@
+// LK02 fixture: blocking work inside a hot-path critical section. The
+// path fragment `fixtures/lk02/` is on the default blocking-sensitive
+// list. One direct primitive, one interprocedural witness.
+
+use parking_lot::Mutex;
+use std::fs::File;
+
+pub struct Ledger {
+    pub cursor: Mutex<u64>,
+}
+
+pub fn flush_under_lock(l: &Ledger, f: &mut File) {
+    let g = l.cursor.lock();
+    f.sync_all().ok();
+    drop(g);
+}
+
+fn settle() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn wait_under_lock(l: &Ledger) {
+    let g = l.cursor.lock();
+    settle();
+    drop(g);
+}

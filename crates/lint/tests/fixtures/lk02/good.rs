@@ -1,0 +1,17 @@
+// LK02 fixture: the staged shape — state mutated under the lock, the
+// blocking I/O done after the guard is released. No finding.
+
+use parking_lot::Mutex;
+use std::fs::File;
+
+pub struct Journal {
+    pub head: Mutex<u64>,
+}
+
+pub fn flush_staged(j: &Journal, f: &mut File) {
+    {
+        let mut g = j.head.lock();
+        *g += 1;
+    }
+    f.sync_all().ok();
+}

@@ -1,0 +1,7 @@
+// OB02 fixture: an undocumented registration carrying a reasoned
+// suppression — must be recorded as suppressed, not reported.
+
+pub fn install_waived(scope: &gdp_obs::Scope) {
+    // gdp-lint: allow(OB02) -- fixture: waived undocumented metric exercising suppression on a workspace-wide rule
+    let _ = scope.counter("undoc_but_waived");
+}

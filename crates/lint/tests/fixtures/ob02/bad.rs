@@ -1,0 +1,12 @@
+// OB02 fixture: namespace drift in both directions plus a vacuous
+// conservation law. The sibling DESIGN.md is the governing doc.
+
+pub fn install(scope: &gdp_obs::Scope) {
+    let _ = scope.counter("frames_relayed");
+    let _ = scope.counter("mystery_total");
+}
+
+pub fn law(m: &gdp_obs::Metrics) {
+    assert_eq!(m.counter_value("fix", "frames_relayed"), 0);
+    assert_eq!(m.counter_value("fix", "phantom"), 0);
+}

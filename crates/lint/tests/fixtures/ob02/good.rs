@@ -1,0 +1,10 @@
+// OB02 fixture: a registration present in the sibling DESIGN.md table
+// and a law asserting a registered counter. No findings.
+
+pub fn install_documented(scope: &gdp_obs::Scope) {
+    let _ = scope.counter("frames_relayed");
+}
+
+pub fn sound_law(m: &gdp_obs::Metrics) {
+    assert_eq!(m.counter_value("fix", "frames_relayed"), 0);
+}

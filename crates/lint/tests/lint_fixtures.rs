@@ -102,6 +102,103 @@ fn us01_flags_bad_and_passes_good() {
 }
 
 #[test]
+fn lk01_flags_cross_file_cycle_and_self_deadlock() {
+    let report = lint_fixture("lk01");
+    // Line 13: anchor of the two-file cycle (bad.rs takes alpha→beta,
+    // bad_peer.rs takes beta→alpha). Line 20: re-entrant self-cycle.
+    assert_eq!(
+        triples(&report),
+        expect("LK01", "fixtures/lk01/bad.rs", &[13, 20]),
+        "LK01 fixture drift"
+    );
+    // The cycle message must carry both edges' acquisition sites — the
+    // proof that the analysis is workspace-wide, not per-file.
+    let msg = &report.findings[0].message;
+    assert!(msg.contains("fixtures/lk01/bad.rs:13"), "missing local edge in: {msg}");
+    assert!(msg.contains("fixtures/lk01/bad_peer.rs:8"), "missing cross-file edge in: {msg}");
+    assert!(msg.contains("`PairA.alpha` → `PairA.beta`"), "missing cycle path in: {msg}");
+    assert!(report.findings[1].message.contains("self-deadlock"));
+}
+
+#[test]
+fn lk02_flags_direct_and_interprocedural_blocking() {
+    let report = lint_fixture("lk02");
+    // Line 14: fsync directly under the guard. Line 24: a call whose
+    // may-block witness chain reaches thread::sleep.
+    assert_eq!(
+        triples(&report),
+        expect("LK02", "fixtures/lk02/bad.rs", &[14, 24]),
+        "LK02 fixture drift"
+    );
+    let msg = &report.findings[1].message;
+    assert!(msg.contains("`sleep` (fixtures/lk02/bad.rs:19)"), "missing witness chain in: {msg}");
+}
+
+#[test]
+fn ch01_flags_unbounded_send_drain_order_and_shutdown_gap() {
+    let report = lint_fixture("ch01");
+    // Line 8: send on an unbounded data lane. Line 14: data polled
+    // before control in a dual loop. Line 25: cloned sender with no
+    // visible shutdown path (anchored at its construction).
+    assert_eq!(
+        triples(&report),
+        expect("CH01", "fixtures/ch01/bad.rs", &[8, 14, 25]),
+        "CH01 fixture drift"
+    );
+}
+
+#[test]
+fn ob02_flags_drift_in_both_directions_and_vacuous_laws() {
+    let report = lint_fixture("ob02");
+    // DESIGN.md line 10: documented-but-unregistered row. bad.rs line 6:
+    // registered-but-undocumented metric. bad.rs line 11: conservation
+    // law asserting a ghost counter.
+    let mut want = expect("OB02", "fixtures/ob02/DESIGN.md", &[10]);
+    want.extend(expect("OB02", "fixtures/ob02/bad.rs", &[6, 11]));
+    assert_eq!(triples(&report), want, "OB02 fixture drift");
+}
+
+#[test]
+fn workspace_rules_suppression_round_trip() {
+    // Each new-rule fixture dir carries one reasoned allow; all four
+    // must land in the suppressed list (auditable), never in findings.
+    for (sub, file, line) in [
+        ("lk01", "fixtures/lk01/allowed.rs", 12usize),
+        ("lk02", "fixtures/lk02/allowed.rs", 14),
+        ("ch01", "fixtures/ch01/allowed.rs", 9),
+        ("ob02", "fixtures/ob02/allowed.rs", 6),
+    ] {
+        let report = lint_fixture(sub);
+        let hit = report.suppressed.iter().any(|s| s.path == file && s.line == line);
+        assert!(hit, "{sub}: expected a suppressed finding at {file}:{line}");
+        assert!(
+            !report.findings.iter().any(|f| f.path == file),
+            "{sub}: allowed fixture must not produce findings"
+        );
+    }
+}
+
+#[test]
+fn binary_mixed_per_file_and_workspace_findings() {
+    // One per-file rule dir (ct01) plus one workspace rule dir (lk01)
+    // in the same invocation: exit 1, and the JSON by_rule block counts
+    // both families.
+    let root = tests_root();
+    let out = Command::new(env!("CARGO_BIN_EXE_gdp-lint"))
+        .args(["--format", "json", "--root"])
+        .arg(&root)
+        .arg(root.join("fixtures/ct01"))
+        .arg(root.join("fixtures/lk01"))
+        .output()
+        .expect("run gdp-lint");
+    assert_eq!(out.status.code(), Some(1), "mixed corpus must fail the lint");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    gdp_obs::json::validate(&stdout).expect("binary JSON must validate");
+    assert!(stdout.contains("\"CT01\": 3"), "per-file rule count missing: {stdout}");
+    assert!(stdout.contains("\"LK01\": 2"), "workspace rule count missing: {stdout}");
+}
+
+#[test]
 fn suppression_round_trip() {
     let report = lint_fixture("suppress");
     // valid.rs: both findings carry a reasoned allow — suppressed, and

@@ -36,6 +36,7 @@ use gdp_wire::Pdu;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -77,6 +78,13 @@ pub struct TcpNetConfig {
     /// send from a full bucket). Ignored while `admission_rate == 0`;
     /// clamped to ≥ 1 otherwise.
     pub admission_burst: u64,
+    /// Bound on the shared receive queue (PDUs, all peers). The data
+    /// plane never rides an unbounded lane: when the node's consumer
+    /// wedges or falls behind, excess admitted frames are shed with the
+    /// `ingest_dropped` counter instead of growing the heap without
+    /// limit. Generous by default — it exists to convert a wedged
+    /// consumer into typed loss, not to throttle normal bursts.
+    pub ingest_queue: usize,
 }
 
 impl Default for TcpNetConfig {
@@ -93,6 +101,7 @@ impl Default for TcpNetConfig {
             jitter_seed: None,
             admission_rate: 0,
             admission_burst: 64,
+            ingest_queue: 64 * 1024,
         }
     }
 }
@@ -161,6 +170,9 @@ pub struct TcpStats {
     /// shedding. One sustained flood counts once, however many frames it
     /// loses.
     pub admission_throttled_peers: u64,
+    /// Admitted PDUs shed because the bounded shared receive queue was
+    /// full (consumer wedged or overloaded). `0` in healthy operation.
+    pub ingest_dropped: u64,
 }
 
 /// Registry-backed counter cells (wire-level names: a "frame" carries one
@@ -177,6 +189,7 @@ struct StatCells {
     egress_batched_frames: Counter,
     admission_dropped: Counter,
     admission_throttled_peers: Counter,
+    ingest_dropped: Counter,
 }
 
 impl StatCells {
@@ -192,6 +205,7 @@ impl StatCells {
             egress_batched_frames: scope.counter("egress_batched_frames"),
             admission_dropped: scope.counter("admission_dropped"),
             admission_throttled_peers: scope.counter("admission_throttled_peers"),
+            ingest_dropped: scope.counter("ingest_dropped"),
         }
     }
 }
@@ -311,7 +325,11 @@ impl TcpNet {
     ) -> Result<TcpNet, TcpNetError> {
         let listener = TcpListener::bind(addr).map_err(TcpNetError::Bind)?;
         let local = listener.local_addr().map_err(TcpNetError::Bind)?;
-        let (pdu_tx, pdu_rx) = unbounded();
+        // Data lane: bounded, so a wedged consumer becomes typed loss
+        // (`ingest_dropped`) instead of unbounded heap growth. The event
+        // lane is control — low-rate by construction — and stays
+        // unbounded so peer transitions are never shed.
+        let (pdu_tx, pdu_rx) = bounded(cfg.ingest_queue.max(1));
         let (ev_tx, ev_rx) = unbounded();
         let inner = Arc::new(Shared {
             cfg,
@@ -350,16 +368,20 @@ impl TcpNet {
         if self.inner.shutdown.load(Ordering::SeqCst) {
             return Err(TcpNetError::Shutdown);
         }
-        let mut peers = self.inner.peers.lock();
-        let tx = peers.entry(to).or_insert_with(|| spawn_writer(&self.inner, to, None));
+        let tx = writer_for(&self.inner, to);
         match tx.try_send(pdu) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => Err(TcpNetError::Backpressure(to)),
             Err(TrySendError::Disconnected(pdu)) => {
-                // The writer exited (peer died earlier); start a fresh one.
+                // The writer exited (peer died earlier); start a fresh
+                // one — spawned before re-taking the peer-map lock, so
+                // the blocking thread-creation syscall never runs under
+                // the lock every data-plane send contends on.
                 let tx = spawn_writer(&self.inner, to, None);
                 let r = tx.try_send(pdu).map_err(|_| TcpNetError::Backpressure(to));
-                peers.insert(to, tx);
+                if !self.inner.shutdown.load(Ordering::SeqCst) {
+                    self.inner.peers.lock().insert(to, tx);
+                }
                 r
             }
         }
@@ -381,9 +403,7 @@ impl TcpNet {
         if self.inner.shutdown.load(Ordering::SeqCst) {
             return Err(TcpNetError::Shutdown);
         }
-        let mut peers = self.inner.peers.lock();
-        let tx = peers.entry(to).or_insert_with(|| spawn_writer(&self.inner, to, None));
-        Ok(PeerHandle { tx: tx.clone() })
+        Ok(PeerHandle { tx: writer_for(&self.inner, to) })
     }
 
     /// Blocks until a PDU arrives or the fabric shuts down.
@@ -431,6 +451,7 @@ impl TcpNet {
             egress_batched_frames: s.egress_batched_frames.get(),
             admission_dropped: s.admission_dropped.get(),
             admission_throttled_peers: s.admission_throttled_peers.get(),
+            ingest_dropped: s.ingest_dropped.get(),
         }
     }
 
@@ -564,11 +585,16 @@ fn inbound_connection(shared: Arc<Shared>, mut stream: TcpStream) {
 
     // Adopt this connection for outbound traffic to the peer unless a
     // writer already exists (e.g. simultaneous dial from both sides).
-    {
-        let mut peers = shared.peers.lock();
-        if !peers.contains_key(&peer) && !shared.shutdown.load(Ordering::SeqCst) {
-            if let Ok(write_half) = stream.try_clone() {
-                let tx = spawn_writer(&shared, peer, Some(write_half));
+    // The adopted writer is spawned *before* taking the peer-map lock
+    // (thread creation is a blocking syscall); if a writer appeared in
+    // the window, the fresh sender is dropped and its thread exits on
+    // Disconnected.
+    let adopt = !shared.peers.lock().contains_key(&peer) && !shared.shutdown.load(Ordering::SeqCst);
+    if adopt {
+        if let Ok(write_half) = stream.try_clone() {
+            let tx = spawn_writer(&shared, peer, Some(write_half));
+            let mut peers = shared.peers.lock();
+            if !peers.contains_key(&peer) && !shared.shutdown.load(Ordering::SeqCst) {
                 peers.insert(peer, tx);
             }
         }
@@ -630,7 +656,12 @@ fn read_loop(shared: Arc<Shared>, peer: SocketAddr, mut stream: TcpStream) {
                                 },
                                 None => pdu,
                             };
-                            let _ = shared.pdu_tx.send((peer, pdu));
+                            // Bounded lane: a full queue (consumer
+                            // wedged/overloaded) sheds with a typed
+                            // counter instead of growing the heap.
+                            if shared.pdu_tx.try_send((peer, pdu)).is_err() {
+                                shared.stats.ingest_dropped.inc();
+                            }
                         }
                         Ok(None) => break,
                         Err(_) => {
@@ -663,6 +694,29 @@ fn read_loop(shared: Arc<Shared>, peer: SocketAddr, mut stream: TcpStream) {
 fn peer_lost(shared: &Shared, peer: SocketAddr) {
     if shared.peers.lock().remove(&peer).is_some() {
         let _ = shared.ev_tx.send(PeerEvent::Down(peer));
+    }
+}
+
+/// Returns the egress sender for `to`, spawning the writer if none
+/// exists. The spawn happens *outside* the peer-map lock (thread
+/// creation is a blocking syscall, and `Shared.peers` is on every
+/// data-plane send): the writer is created optimistically, and the
+/// loser of a concurrent race is simply dropped — its thread exits on
+/// `Disconnected` when the fresh sender goes out of scope.
+fn writer_for(shared: &Arc<Shared>, to: SocketAddr) -> Sender<Pdu> {
+    if let Some(tx) = shared.peers.lock().get(&to) {
+        return tx.clone();
+    }
+    let fresh = spawn_writer(shared, to, None);
+    let mut peers = shared.peers.lock();
+    if shared.shutdown.load(Ordering::SeqCst) {
+        // Shutdown cleared the map between the spawn and here; don't
+        // repopulate it. The fresh sender drops and its writer exits.
+        return fresh;
+    }
+    match peers.entry(to) {
+        Entry::Occupied(e) => e.get().clone(),
+        Entry::Vacant(v) => v.insert(fresh).clone(),
     }
 }
 

@@ -14,6 +14,7 @@ use crate::store::{CapsuleStore, MemStore, StoreError};
 use gdp_obs::Scope;
 use gdp_wire::Name;
 use parking_lot::Mutex;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -112,6 +113,7 @@ impl StorageEngine {
                                 .unwrap_or(defaults.max_open_segments),
                             ..defaults
                         };
+                        // gdp-lint: allow(LK02) -- once-cell init: the `seg` guard deliberately serializes concurrent first-openers so exactly one runs recovery on the shared directory; steady state takes the Some(..) fast arm
                         let log = SegLog::open_with(dir, cfg, &self.obs)?;
                         *seg = Some(log.clone());
                         log
@@ -131,14 +133,20 @@ impl StorageEngine {
 
     /// Opens (creating if needed) the shared-handle store for `capsule`.
     pub fn open(&self, capsule: &Name) -> Result<SharedStore, StoreError> {
-        let mut stores = self.stores.lock();
-        if let Some(s) = stores.get(capsule) {
+        if let Some(s) = self.stores.lock().get(capsule) {
             return Ok(Arc::clone(s));
         }
-        let store = self.build(capsule)?;
-        let arc = Arc::new(Mutex::new(store));
-        stores.insert(*capsule, Arc::clone(&arc));
-        Ok(arc)
+        // Build outside the `stores` lock: file-backed builds replay a
+        // log from disk, and `stores` sits on the lookup path of every
+        // request. Two threads may race to build the same capsule; the
+        // first inserter wins and the loser adopts its store, so handle
+        // sharing is preserved.
+        let built = self.build(capsule)?;
+        let mut stores = self.stores.lock();
+        Ok(match stores.entry(*capsule) {
+            Entry::Occupied(e) => Arc::clone(e.get()),
+            Entry::Vacant(v) => Arc::clone(v.insert(Arc::new(Mutex::new(built)))),
+        })
     }
 
     /// The node's shared segmented log, if that backing is in use and has

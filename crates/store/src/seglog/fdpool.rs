@@ -19,6 +19,7 @@ use super::segment::seg_path;
 use std::collections::HashMap;
 use std::fs::File;
 use std::path::Path;
+use std::sync::Arc;
 
 pub(crate) struct FdPool {
     cap: usize,
@@ -27,7 +28,7 @@ pub(crate) struct FdPool {
     /// Total `File::open` calls ever made — the regression hook proving
     /// read-heavy runs reopen segments instead of hoarding fds.
     opens: u64,
-    files: HashMap<u64, (File, u64)>,
+    files: HashMap<u64, (Arc<File>, u64)>,
 }
 
 impl FdPool {
@@ -48,7 +49,14 @@ impl FdPool {
     /// The pooled read-only fd for sealed segment `seg`, opening it (and
     /// evicting the coldest pooled fd when at capacity) on miss. Returns
     /// whether this call opened the file, for per-open accounting.
-    pub fn get(&mut self, dir: &Path, seg: u64) -> std::io::Result<(&File, bool)> {
+    ///
+    /// The handle is refcounted: the `pread` it serves never borrows the
+    /// pool, so pool bookkeeping (eviction, invalidation) and the read
+    /// itself are structurally independent — evicting or dropping the
+    /// segment mid-read just drops the pool's reference while the
+    /// in-flight read keeps the file alive (LK01/LK02 audit: no second
+    /// lock, and no pool borrow, is ever held across the `pread`).
+    pub fn get(&mut self, dir: &Path, seg: u64) -> std::io::Result<(Arc<File>, bool)> {
         self.tick += 1;
         let tick = self.tick;
         let mut opened = false;
@@ -62,7 +70,7 @@ impl FdPool {
                     None => break,
                 }
             }
-            let file = File::open(seg_path(dir, seg))?;
+            let file = Arc::new(File::open(seg_path(dir, seg))?);
             self.opens += 1;
             opened = true;
             self.files.insert(seg, (file, tick));
@@ -70,7 +78,7 @@ impl FdPool {
         match self.files.get_mut(&seg) {
             Some((file, t)) => {
                 *t = tick;
-                Ok((file, opened))
+                Ok((Arc::clone(file), opened))
             }
             None => {
                 Err(std::io::Error::new(std::io::ErrorKind::NotFound, "pooled fd not inserted"))

@@ -1181,8 +1181,12 @@ impl LogInner {
         let bb = self.read_cache.block_bytes();
         let blocks = if sequential { self.cfg.readahead_blocks.max(1) } else { 1 };
         let mut buf = vec![0u8; bb * blocks];
+        // The pooled handle is refcounted: the pread holds no borrow of
+        // the pool (and no lock but LogInner's own), so cache/pool
+        // bookkeeping can never deadlock against the read (see the
+        // LK01/LK02 audit note in `fdpool.rs`).
         let (file, opened) = self.fds.get(&self.dir, seg)?;
-        let got = crate::io::pread_fill(file, idx * bb as u64, &mut buf)?;
+        let got = crate::io::pread_fill(&file, idx * bb as u64, &mut buf)?;
         if opened {
             self.obs.segment_fd_opens.inc();
         }

@@ -13,7 +13,7 @@
 //! Read batches are bounded (one socket buffer), so the pinned memory is
 //! bounded too; see DESIGN.md "Data-path performance".
 
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 /// An immutable, refcounted byte buffer. Cloning and slicing are O(1) and
 /// never copy the underlying bytes.
@@ -25,12 +25,10 @@ pub struct Bytes {
     len: usize,
 }
 
-static EMPTY: OnceLock<Bytes> = OnceLock::new();
-
 impl Bytes {
     /// The empty buffer (no allocation).
     pub fn new() -> Bytes {
-        EMPTY.get_or_init(|| Bytes { data: None, off: 0, len: 0 }).clone()
+        Bytes { data: None, off: 0, len: 0 }
     }
 
     /// Takes ownership of a `Vec` without copying it.

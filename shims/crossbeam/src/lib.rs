@@ -4,12 +4,37 @@
 //! matching error enums. Built on `Mutex<VecDeque>` + `Condvar`; correct
 //! and adequate for the transport and test workloads here, though slower
 //! than real crossbeam under heavy contention.
+//!
+//! Under `--cfg gdp_tsan` (the `scripts/verify.sh --tsan` build) the
+//! queue lock carries a fence word updated in instrumented code, because
+//! the `std::sync` primitives underneath are built without TSan
+//! instrumentation and their happens-before edges would otherwise be
+//! invisible — see the parking_lot shim's module docs for the full story.
 
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::{Arc, Condvar, Mutex};
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
     use std::time::{Duration, Instant};
+
+    /// TSan-visible happens-before fence word; only exists when built
+    /// with `--cfg gdp_tsan`, so stable builds carry no extra state.
+    #[cfg(gdp_tsan)]
+    #[derive(Debug, Default)]
+    struct TsanClock {
+        clock: AtomicUsize,
+    }
+
+    #[cfg(gdp_tsan)]
+    impl TsanClock {
+        fn acquired(&self) {
+            self.clock.load(Ordering::Acquire);
+        }
+
+        fn releasing(&self) {
+            self.clock.fetch_add(1, Ordering::Release);
+        }
+    }
 
     /// Error returned by [`Sender::send`] when all receivers are gone.
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,11 +90,50 @@ pub mod channel {
 
     struct Chan<T> {
         queue: Mutex<VecDeque<T>>,
+        #[cfg(gdp_tsan)]
+        hb: TsanClock,
         not_empty: Condvar,
         not_full: Condvar,
         cap: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
+    }
+
+    /// On stable the queue guard IS the std guard — the dispatch fast
+    /// path pays nothing for the TSan plumbing. Under `--cfg gdp_tsan` a
+    /// wrapper pairs every unlock (including implicit drops on early
+    /// returns) with a release on the channel's fence word, and every
+    /// condvar re-acquisition with an acquire.
+    #[cfg(not(gdp_tsan))]
+    type QueueGuard<'a, T> = MutexGuard<'a, VecDeque<T>>;
+
+    #[cfg(gdp_tsan)]
+    struct QueueGuard<'a, T> {
+        inner: Option<MutexGuard<'a, VecDeque<T>>>,
+        hb: &'a TsanClock,
+    }
+
+    #[cfg(gdp_tsan)]
+    impl<T> std::ops::Deref for QueueGuard<'_, T> {
+        type Target = VecDeque<T>;
+        fn deref(&self) -> &VecDeque<T> {
+            self.inner.as_ref().expect("queue guard used during wait")
+        }
+    }
+
+    #[cfg(gdp_tsan)]
+    impl<T> std::ops::DerefMut for QueueGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut VecDeque<T> {
+            self.inner.as_mut().expect("queue guard used during wait")
+        }
+    }
+
+    #[cfg(gdp_tsan)]
+    impl<T> Drop for QueueGuard<'_, T> {
+        fn drop(&mut self) {
+            // Runs before the inner guard's unlock, i.e. still locked.
+            self.hb.releasing();
+        }
     }
 
     impl<T> Chan<T> {
@@ -79,6 +143,62 @@ pub mod channel {
 
         fn disconnected_rx(&self) -> bool {
             self.receivers.load(Ordering::SeqCst) == 0
+        }
+
+        #[cfg(not(gdp_tsan))]
+        fn lock_queue(&self) -> QueueGuard<'_, T> {
+            self.queue.lock().unwrap_or_else(|p| p.into_inner())
+        }
+
+        #[cfg(gdp_tsan)]
+        fn lock_queue(&self) -> QueueGuard<'_, T> {
+            let g = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+            self.hb.acquired();
+            QueueGuard { inner: Some(g), hb: &self.hb }
+        }
+
+        /// Condvar wait through the annotated guard: release before the
+        /// lock is given up, acquire after it is re-taken.
+        #[cfg(not(gdp_tsan))]
+        fn wait<'a>(&'a self, cv: &Condvar, q: QueueGuard<'a, T>) -> QueueGuard<'a, T> {
+            cv.wait(q).unwrap_or_else(|p| p.into_inner())
+        }
+
+        #[cfg(gdp_tsan)]
+        fn wait<'a>(&'a self, cv: &Condvar, mut q: QueueGuard<'a, T>) -> QueueGuard<'a, T> {
+            self.hb.releasing();
+            let g = q.inner.take().expect("queue guard used during wait");
+            let g = cv.wait(g).unwrap_or_else(|p| p.into_inner());
+            self.hb.acquired();
+            q.inner = Some(g);
+            q
+        }
+
+        /// Timed condvar wait (the caller re-checks its own deadline).
+        #[cfg(not(gdp_tsan))]
+        fn wait_timeout<'a>(
+            &'a self,
+            cv: &Condvar,
+            q: QueueGuard<'a, T>,
+            dur: Duration,
+        ) -> QueueGuard<'a, T> {
+            let (g, _res) = cv.wait_timeout(q, dur).unwrap_or_else(|p| p.into_inner());
+            g
+        }
+
+        #[cfg(gdp_tsan)]
+        fn wait_timeout<'a>(
+            &'a self,
+            cv: &Condvar,
+            mut q: QueueGuard<'a, T>,
+            dur: Duration,
+        ) -> QueueGuard<'a, T> {
+            self.hb.releasing();
+            let g = q.inner.take().expect("queue guard used during wait");
+            let (g, _res) = cv.wait_timeout(g, dur).unwrap_or_else(|p| p.into_inner());
+            self.hb.acquired();
+            q.inner = Some(g);
+            q
         }
     }
 
@@ -109,6 +229,8 @@ pub mod channel {
     fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let chan = Arc::new(Chan {
             queue: Mutex::new(VecDeque::new()),
+            #[cfg(gdp_tsan)]
+            hb: TsanClock::default(),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             cap,
@@ -153,14 +275,14 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Sends a message, blocking while a bounded channel is full.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
+            let mut q = self.chan.lock_queue();
             loop {
                 if self.chan.disconnected_rx() {
                     return Err(SendError(msg));
                 }
                 match self.chan.cap {
                     Some(cap) if q.len() >= cap => {
-                        q = self.chan.not_full.wait(q).unwrap_or_else(|p| p.into_inner());
+                        q = self.chan.wait(&self.chan.not_full, q);
                     }
                     _ => break,
                 }
@@ -173,7 +295,7 @@ pub mod channel {
 
         /// Sends without blocking; fails if full or disconnected.
         pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
-            let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
+            let mut q = self.chan.lock_queue();
             if self.chan.disconnected_rx() {
                 return Err(TrySendError::Disconnected(msg));
             }
@@ -190,7 +312,7 @@ pub mod channel {
 
         /// Number of messages currently queued.
         pub fn len(&self) -> usize {
-            self.chan.queue.lock().unwrap_or_else(|p| p.into_inner()).len()
+            self.chan.lock_queue().len()
         }
 
         /// True when no messages are queued.
@@ -202,7 +324,7 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Blocks until a message arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
+            let mut q = self.chan.lock_queue();
             loop {
                 if let Some(msg) = q.pop_front() {
                     drop(q);
@@ -212,13 +334,13 @@ pub mod channel {
                 if self.chan.disconnected_tx() {
                     return Err(RecvError);
                 }
-                q = self.chan.not_empty.wait(q).unwrap_or_else(|p| p.into_inner());
+                q = self.chan.wait(&self.chan.not_empty, q);
             }
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
+            let mut q = self.chan.lock_queue();
             if let Some(msg) = q.pop_front() {
                 drop(q);
                 self.chan.not_full.notify_one();
@@ -234,7 +356,7 @@ pub mod channel {
         /// Blocks up to `timeout` for a message.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
             let deadline = Instant::now() + timeout;
-            let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
+            let mut q = self.chan.lock_queue();
             loop {
                 if let Some(msg) = q.pop_front() {
                     drop(q);
@@ -248,18 +370,13 @@ pub mod channel {
                 if now >= deadline {
                     return Err(RecvTimeoutError::Timeout);
                 }
-                let (guard, _res) = self
-                    .chan
-                    .not_empty
-                    .wait_timeout(q, deadline - now)
-                    .unwrap_or_else(|p| p.into_inner());
-                q = guard;
+                q = self.chan.wait_timeout(&self.chan.not_empty, q, deadline - now);
             }
         }
 
         /// Number of messages currently queued.
         pub fn len(&self) -> usize {
-            self.chan.queue.lock().unwrap_or_else(|p| p.into_inner()).len()
+            self.chan.lock_queue().len()
         }
 
         /// True when no messages are queued.
